@@ -1,0 +1,394 @@
+package swvec
+
+// The benchmark harness of deliverable (d): one benchmark per paper
+// figure (each regenerates the figure's series via internal/figures)
+// plus kernel micro-benchmarks and ablations for the design choices
+// DESIGN.md calls out. Custom metrics report modeled cycles per DP
+// cell on the Skylake model alongside the usual wall-clock numbers
+// (the wall clock measures the emulated vector machine, not native
+// SIMD).
+//
+// Run: go test -bench=. -benchmem .
+
+import (
+	"testing"
+
+	"swvec/internal/aln"
+	"swvec/internal/baselines"
+	"swvec/internal/core"
+	"swvec/internal/figures"
+	"swvec/internal/isa"
+	"swvec/internal/perfmodel"
+	"swvec/internal/seqio"
+	"swvec/internal/submat"
+	"swvec/internal/vek"
+)
+
+var benchCfg = figures.Config{Quick: true}
+
+func BenchmarkFig06_AVX2vsAVX512(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		figures.Fig06AVX2vsAVX512(benchCfg)
+	}
+}
+
+func BenchmarkFig07_AffineGap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		figures.Fig07AffineGap(benchCfg)
+	}
+}
+
+func BenchmarkFig08_Traceback(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		figures.Fig08Traceback(benchCfg)
+	}
+}
+
+func BenchmarkFig09_SubstMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		figures.Fig09SubstMatrix(benchCfg)
+	}
+}
+
+func BenchmarkFig10_Tuning(b *testing.B) {
+	cfg := figures.Config{Quick: true, DBSize: 8, QueryLens: []int{64, 320}}
+	for i := 0; i < b.N; i++ {
+		figures.Fig10Tuning(cfg)
+	}
+}
+
+func BenchmarkFig11_Scaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		figures.Fig11Scaling(benchCfg)
+	}
+}
+
+func BenchmarkFig12_TopDown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		figures.Fig12TopDown(benchCfg)
+	}
+}
+
+func BenchmarkFig13_Scenarios(b *testing.B) {
+	cfg := figures.Config{Quick: true, DBSize: 24, QueryLens: []int{35, 110}}
+	for i := 0; i < b.N; i++ {
+		figures.Fig13Scenarios(cfg)
+	}
+}
+
+func BenchmarkFig14_VsParasail(b *testing.B) {
+	// A larger quick database than the default so length-sorted
+	// batching is representative (a single unsorted batch overstates
+	// padding and understates the headline ratios).
+	cfg := figures.Config{Quick: true, DBSize: 96}
+	var h figures.Headline
+	for i := 0; i < b.N; i++ {
+		_, h = figures.Fig14VsParasail(cfg)
+	}
+	b.ReportMetric(h.VsDiag, "x-vs-diag")
+	b.ReportMetric(h.VsScan, "x-vs-scan")
+	b.ReportMetric(h.VsStriped, "x-vs-striped")
+}
+
+func BenchmarkDeterminism(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		figures.Determinism(benchCfg)
+	}
+}
+
+// --- kernel micro-benchmarks ---
+
+type benchPair struct {
+	q, d []uint8
+	mat  *submat.Matrix
+	gaps aln.Gaps
+}
+
+func newBenchPair(qlen, dlen int) benchPair {
+	mat := submat.Blosum62()
+	g := seqio.NewGenerator(5)
+	return benchPair{
+		q:    g.Protein("q", qlen).Encode(mat.Alphabet()),
+		d:    g.Protein("d", dlen).Encode(mat.Alphabet()),
+		mat:  mat,
+		gaps: aln.DefaultGaps(),
+	}
+}
+
+// reportModel attaches the modeled Skylake cycles/cell for a tally.
+func reportModel(b *testing.B, tal *vek.Tally, cells int64, wsKB float64) {
+	run := perfmodel.Run{Arch: isa.Get(isa.Skylake), Tally: tal, Cells: cells, WorkingSetKB: wsKB}
+	b.ReportMetric(run.Cycles()/float64(cells), "modelcyc/cell")
+	b.ReportMetric(run.GCUPS1(), "modelGCUPS")
+}
+
+func BenchmarkKernelScalar(b *testing.B) {
+	p := newBenchPair(320, 1000)
+	cells := int64(len(p.q)) * int64(len(p.d))
+	b.SetBytes(cells)
+	for i := 0; i < b.N; i++ {
+		baselines.ScalarAffine(p.q, p.d, p.mat, p.gaps)
+	}
+}
+
+func BenchmarkKernelPair16(b *testing.B) {
+	p := newBenchPair(320, 1000)
+	cells := int64(len(p.q)) * int64(len(p.d))
+	b.SetBytes(cells)
+	mch, tal := vek.NewMachine()
+	for i := 0; i < b.N; i++ {
+		tal.Reset()
+		if _, _, err := core.AlignPair16(mch, p.q, p.d, p.mat, core.PairOptions{Gaps: p.gaps}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportModel(b, tal, cells, float64(len(p.q))*26/1024)
+}
+
+func BenchmarkKernelPair16Traceback(b *testing.B) {
+	p := newBenchPair(320, 1000)
+	cells := int64(len(p.q)) * int64(len(p.d))
+	b.SetBytes(cells)
+	mch, tal := vek.NewMachine()
+	for i := 0; i < b.N; i++ {
+		tal.Reset()
+		if _, _, err := core.AlignPair16(mch, p.q, p.d, p.mat, core.PairOptions{Gaps: p.gaps, Traceback: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportModel(b, tal, cells, float64(len(p.q))*29/1024)
+}
+
+func BenchmarkKernelPair16Wide(b *testing.B) {
+	p := newBenchPair(320, 1000)
+	cells := int64(len(p.q)) * int64(len(p.d))
+	b.SetBytes(cells)
+	mch, tal := vek.NewMachine()
+	for i := 0; i < b.N; i++ {
+		tal.Reset()
+		if _, err := core.AlignPair16W(mch, p.q, p.d, p.mat, core.PairOptions{Gaps: p.gaps}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportModel(b, tal, cells, float64(len(p.q))*26/1024)
+}
+
+func BenchmarkKernelPair8Fixed(b *testing.B) {
+	p := newBenchPair(320, 1000)
+	fixed := submat.MatchMismatch(p.mat.Alphabet(), 2, -1)
+	cells := int64(len(p.q)) * int64(len(p.d))
+	b.SetBytes(cells)
+	mch, tal := vek.NewMachine()
+	for i := 0; i < b.N; i++ {
+		tal.Reset()
+		if _, err := core.AlignPair8(mch, p.q, p.d, fixed, core.PairOptions{Gaps: p.gaps}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportModel(b, tal, cells, float64(len(p.q))*13/1024)
+}
+
+func BenchmarkKernelBatch8(b *testing.B) {
+	mat := submat.Blosum62()
+	tables := submat.NewCodeTables(mat)
+	g := seqio.NewGenerator(6)
+	db := g.Database(32)
+	batch := seqio.BuildBatches(db, mat.Alphabet(), seqio.BatchOptions{SortByLength: true})[0]
+	q := g.Protein("q", 320).Encode(mat.Alphabet())
+	cells := batch.Cells(len(q))
+	b.SetBytes(cells)
+	mch, tal := vek.NewMachine()
+	for i := 0; i < b.N; i++ {
+		tal.Reset()
+		if _, err := core.AlignBatch8(mch, q, tables, batch, core.BatchOptions{Gaps: aln.DefaultGaps()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportModel(b, tal, cells, 64)
+}
+
+func BenchmarkKernelDiag16(b *testing.B) {
+	p := newBenchPair(320, 1000)
+	cells := int64(len(p.q)) * int64(len(p.d))
+	b.SetBytes(cells)
+	mch, tal := vek.NewMachine()
+	for i := 0; i < b.N; i++ {
+		tal.Reset()
+		baselines.Diag16(mch, p.q, p.d, p.mat, p.gaps)
+	}
+	reportModel(b, tal, cells, float64(len(p.q))*26/1024)
+}
+
+func BenchmarkKernelScan16(b *testing.B) {
+	p := newBenchPair(320, 1000)
+	cells := int64(len(p.q)) * int64(len(p.d))
+	b.SetBytes(cells)
+	mch, tal := vek.NewMachine()
+	for i := 0; i < b.N; i++ {
+		tal.Reset()
+		baselines.Scan16(mch, p.q, p.d, p.mat, p.gaps)
+	}
+	reportModel(b, tal, cells, float64(len(p.q))*26/1024)
+}
+
+func BenchmarkKernelStriped16(b *testing.B) {
+	p := newBenchPair(320, 1000)
+	prof := baselines.NewStripedProfile16(p.mat, p.q)
+	cells := int64(len(p.q)) * int64(len(p.d))
+	b.SetBytes(cells)
+	mch, tal := vek.NewMachine()
+	for i := 0; i < b.N; i++ {
+		tal.Reset()
+		baselines.Striped16(mch, prof, p.d, p.gaps)
+	}
+	reportModel(b, tal, cells, float64(len(p.q))*90/1024)
+}
+
+// --- ablation benchmarks (DESIGN.md §6) ---
+
+// ablationRatio runs the kernel twice with one option toggled and
+// reports the modeled cycle ratio per architecture (off/on: >1 means
+// the paper's choice wins). Skylake and Haswell bracket the
+// microarchitecture range — some optimizations only matter where ports
+// are scarcer.
+func ablationRatio(b *testing.B, base, variant core.PairOptions) {
+	p := newBenchPair(320, 1000)
+	cells := int64(len(p.q)) * int64(len(p.d))
+	var ratioSKX, ratioHSW float64
+	for i := 0; i < b.N; i++ {
+		mA, tA := vek.NewMachine()
+		if _, _, err := core.AlignPair16(mA, p.q, p.d, p.mat, base); err != nil {
+			b.Fatal(err)
+		}
+		mB, tB := vek.NewMachine()
+		if _, _, err := core.AlignPair16(mB, p.q, p.d, p.mat, variant); err != nil {
+			b.Fatal(err)
+		}
+		ws := float64(len(p.q)) * 26 / 1024
+		ratio := func(arch *isa.Arch) float64 {
+			cA := perfmodel.Run{Arch: arch, Tally: tA, Cells: cells, WorkingSetKB: ws}.Cycles()
+			cB := perfmodel.Run{Arch: arch, Tally: tB, Cells: cells, WorkingSetKB: ws}.Cycles()
+			return cB / cA
+		}
+		ratioSKX = ratio(isa.Get(isa.Skylake))
+		ratioHSW = ratio(isa.Get(isa.Haswell))
+	}
+	b.ReportMetric(ratioSKX, "skx-ratio-off/on")
+	b.ReportMetric(ratioHSW, "hsw-ratio-off/on")
+}
+
+func BenchmarkAblationDiagonalVsRowMajor(b *testing.B) {
+	g := aln.DefaultGaps()
+	ablationRatio(b, core.PairOptions{Gaps: g}, core.PairOptions{Gaps: g, RowMajorLayout: true})
+}
+
+func BenchmarkAblationDeferredVsEagerMax(b *testing.B) {
+	g := aln.DefaultGaps()
+	ablationRatio(b, core.PairOptions{Gaps: g}, core.PairOptions{Gaps: g, EagerMax: true})
+}
+
+// BenchmarkAblationDeferredVsEagerMaxBatch runs the §III-D ablation on
+// the ALU-bound batch engine, where the per-vector reduction is not
+// hidden by a load bottleneck — the setting where deferring pays.
+func BenchmarkAblationDeferredVsEagerMaxBatch(b *testing.B) {
+	mat := submat.Blosum62()
+	tables := submat.NewCodeTables(mat)
+	g := seqio.NewGenerator(9)
+	db := g.Database(32)
+	batch := seqio.BuildBatches(db, mat.Alphabet(), seqio.BatchOptions{SortByLength: true})[0]
+	q := g.Protein("q", 320).Encode(mat.Alphabet())
+	cells := batch.Cells(len(q))
+	arch := isa.Get(isa.Skylake)
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		mD, tD := vek.NewMachine()
+		if _, err := core.AlignBatch8(mD, q, tables, batch, core.BatchOptions{Gaps: aln.DefaultGaps()}); err != nil {
+			b.Fatal(err)
+		}
+		mE, tE := vek.NewMachine()
+		if _, err := core.AlignBatch8(mE, q, tables, batch, core.BatchOptions{Gaps: aln.DefaultGaps(), EagerMax: true}); err != nil {
+			b.Fatal(err)
+		}
+		cD := perfmodel.Run{Arch: arch, Tally: tD, Cells: cells, WorkingSetKB: 64}.Cycles()
+		cE := perfmodel.Run{Arch: arch, Tally: tE, Cells: cells, WorkingSetKB: 64}.Cycles()
+		ratio = cE / cD
+	}
+	b.ReportMetric(ratio, "skx-ratio-eager/deferred")
+}
+
+func BenchmarkAblationPadTailVsScalarTail(b *testing.B) {
+	g := aln.DefaultGaps()
+	ablationRatio(b, core.PairOptions{Gaps: g}, core.PairOptions{Gaps: g, ScalarTail: true})
+}
+
+// BenchmarkAblationProfileVsGather8Bit contrasts the 8-bit pair
+// kernel's scalar profile assembly with the batch engine's shuffle
+// scoring — the §III-C motivation for database batching.
+func BenchmarkAblationProfileVsGather8Bit(b *testing.B) {
+	mat := submat.Blosum62()
+	tables := submat.NewCodeTables(mat)
+	g := seqio.NewGenerator(7)
+	db := g.Database(32)
+	batch := seqio.BuildBatches(db, mat.Alphabet(), seqio.BatchOptions{SortByLength: true})[0]
+	q := g.Protein("q", 320).Encode(mat.Alphabet())
+	arch := isa.Get(isa.Skylake)
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		mP, tP := vek.NewMachine()
+		d := db[0].Encode(mat.Alphabet())
+		if _, err := core.AlignPair8(mP, q, d, mat, core.PairOptions{Gaps: aln.DefaultGaps()}); err != nil {
+			b.Fatal(err)
+		}
+		pairCells := int64(len(q)) * int64(len(d))
+		mB, tB := vek.NewMachine()
+		if _, err := core.AlignBatch8(mB, q, tables, batch, core.BatchOptions{Gaps: aln.DefaultGaps()}); err != nil {
+			b.Fatal(err)
+		}
+		batchCells := int64(len(q)) * int64(batch.MaxLen) * int64(batch.Count)
+		cP := perfmodel.Run{Arch: arch, Tally: tP, Cells: pairCells, WorkingSetKB: 8}.Cycles() / float64(pairCells)
+		cB := perfmodel.Run{Arch: arch, Tally: tB, Cells: batchCells, WorkingSetKB: 64}.Cycles() / float64(batchCells)
+		ratio = cP / cB
+	}
+	b.ReportMetric(ratio, "x-batch-vs-pair8")
+}
+
+// BenchmarkAblationBatchBlockCols sweeps the batch engine's block
+// size, the knob §IV-I wants an autotuner for.
+func BenchmarkAblationBatchBlockCols(b *testing.B) {
+	mat := submat.Blosum62()
+	tables := submat.NewCodeTables(mat)
+	g := seqio.NewGenerator(8)
+	db := g.Database(32)
+	batch := seqio.BuildBatches(db, mat.Alphabet(), seqio.BatchOptions{SortByLength: true})[0]
+	q := g.Protein("q", 320).Encode(mat.Alphabet())
+	for i := 0; i < b.N; i++ {
+		for _, cols := range []int{0, 32, 128, 512} {
+			if _, err := core.AlignBatch8(vek.Bare, q, tables, batch, core.BatchOptions{Gaps: aln.DefaultGaps(), BlockCols: cols}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkSearchEndToEnd measures the public API's database search on
+// the host (wall clock of the emulated machine).
+func BenchmarkSearchEndToEnd(b *testing.B) {
+	al, err := New(WithLengthSortedBatches())
+	if err != nil {
+		b.Fatal(err)
+	}
+	db := GenerateDatabase(9, 64)
+	query := db[10].Residues
+	if len(query) > 200 {
+		query = query[:200]
+	}
+	var cells int64
+	for i := 0; i < b.N; i++ {
+		res, err := al.Search(query, db)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cells = res.Cells
+	}
+	b.SetBytes(cells)
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"swvec"
+)
+
+func TestParseMatrixFlag(t *testing.T) {
+	if parseMatrixFlag("blosum62") != swvec.Blosum62() {
+		t.Error("blosum62 flag wrong")
+	}
+	if parseMatrixFlag("") != swvec.Blosum62() {
+		t.Error("empty flag should default to blosum62")
+	}
+	if parseMatrixFlag("dna") != swvec.DNAMatrix() {
+		t.Error("dna flag wrong")
+	}
+	m := parseMatrixFlag("2/-1")
+	if m == nil {
+		t.Fatal("match/mismatch flag rejected")
+	}
+	if match, mismatch, ok := m.FixedScores(); !ok || match != 2 || mismatch != -1 {
+		t.Errorf("parsed matrix scores %d/%d ok=%v", match, mismatch, ok)
+	}
+}
+
+func TestReadFastaHelper(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.fasta")
+	if err := os.WriteFile(path, []byte(">a\nMKVLAW\n>b\nACDE\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	seqs := readFasta(path)
+	if len(seqs) != 2 || seqs[0].ID != "a" || string(seqs[1].Residues) != "ACDE" {
+		t.Fatalf("parsed %+v", seqs)
+	}
+}

@@ -1,0 +1,256 @@
+// Command swserver is the centralized alignment server of usage
+// scenario 2 (§II-C, §IV-G): clients submit protein queries over TCP,
+// the server accumulates them into batches, aligns each batch against
+// its database with the multi-query engine, and returns the top hits.
+// Accumulating queries before computing is the efficiency lever the
+// paper highlights for this scenario.
+//
+// Server:  swserver -listen :7979 -db db.fasta [-batch 8] [-window 50ms]
+// Client:  swserver -connect localhost:7979 -query q.fasta [-top 5]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"swvec"
+)
+
+// request is one submitted query.
+type request struct {
+	ID       string `json:"id"`
+	Residues string `json:"residues"`
+	Top      int    `json:"top"`
+}
+
+// hit is one database match.
+type hit struct {
+	SeqID string `json:"seq_id"`
+	Score int32  `json:"score"`
+}
+
+// response answers one request.
+type response struct {
+	ID    string `json:"id"`
+	Hits  []hit  `json:"hits"`
+	Error string `json:"error,omitempty"`
+}
+
+func main() {
+	var (
+		listen  = flag.String("listen", "", "serve on this address (server mode)")
+		connect = flag.String("connect", "", "connect to this address (client mode)")
+		dbPath  = flag.String("db", "", "database FASTA (server mode)")
+		genDB   = flag.Int("gen-db", 0, "serve a synthetic database of this size instead of -db")
+		batch   = flag.Int("batch", 8, "queries to accumulate before computing")
+		window  = flag.Duration("window", 50*time.Millisecond, "maximum accumulation delay")
+		query   = flag.String("query", "", "query FASTA (client mode; all records are submitted)")
+		top     = flag.Int("top", 5, "hits per query (client mode)")
+		threads = flag.Int("threads", 0, "worker threads (server mode)")
+	)
+	flag.Parse()
+
+	switch {
+	case *listen != "":
+		runServer(*listen, *dbPath, *genDB, *batch, *window, *threads)
+	case *connect != "":
+		runClient(*connect, *query, *top)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// pending couples a request with its reply channel.
+type pending struct {
+	req   request
+	reply chan response
+}
+
+func runServer(addr, dbPath string, genDB, batchSize int, window time.Duration, threads int) {
+	var db []swvec.Sequence
+	if genDB > 0 {
+		db = swvec.GenerateDatabase(42, genDB)
+	} else {
+		if dbPath == "" {
+			fatal("server mode needs -db or -gen-db")
+		}
+		f, err := os.Open(dbPath)
+		if err != nil {
+			fatal("%v", err)
+		}
+		var rerr error
+		db, rerr = swvec.ReadFasta(f)
+		f.Close()
+		if rerr != nil {
+			fatal("%v", rerr)
+		}
+	}
+	al, err := swvec.New(swvec.WithThreads(threads), swvec.WithLengthSortedBatches())
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	queue := make(chan pending, 4*batchSize)
+	go batcher(al, db, queue, batchSize, window)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("swserver: %d sequences loaded, accumulating up to %d queries per batch on %s\n",
+		len(db), batchSize, addr)
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "swserver: accept: %v\n", err)
+			continue
+		}
+		go serveConn(conn, queue)
+	}
+}
+
+// batcher accumulates requests and runs the multi-query engine once
+// per batch — the scenario-2 design.
+func batcher(al *swvec.Aligner, db []swvec.Sequence, queue <-chan pending, batchSize int, window time.Duration) {
+	for {
+		first, ok := <-queue
+		if !ok {
+			return
+		}
+		batch := []pending{first}
+		timer := time.NewTimer(window)
+	fill:
+		for len(batch) < batchSize {
+			select {
+			case p, ok := <-queue:
+				if !ok {
+					break fill
+				}
+				batch = append(batch, p)
+			case <-timer.C:
+				break fill
+			}
+		}
+		timer.Stop()
+		process(al, db, batch)
+	}
+}
+
+func process(al *swvec.Aligner, db []swvec.Sequence, batch []pending) {
+	queries := make([][]byte, len(batch))
+	for i, p := range batch {
+		queries[i] = []byte(p.req.Residues)
+	}
+	res, err := al.SearchAll(queries, db)
+	if err != nil {
+		for _, p := range batch {
+			p.reply <- response{ID: p.req.ID, Error: err.Error()}
+		}
+		return
+	}
+	fmt.Printf("swserver: batch of %d queries, %d cells, %.1f ms (%.3f GCUPS)\n",
+		len(batch), res.Cells, float64(res.Elapsed.Microseconds())/1000, res.GCUPS())
+	for qi, p := range batch {
+		n := p.req.Top
+		if n <= 0 {
+			n = 5
+		}
+		idx := make([]int, len(db))
+		for i := range idx {
+			idx[i] = i
+		}
+		scores := res.Scores[qi]
+		sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+		if n > len(idx) {
+			n = len(idx)
+		}
+		hits := make([]hit, n)
+		for i := 0; i < n; i++ {
+			hits[i] = hit{SeqID: db[idx[i]].ID, Score: scores[idx[i]]}
+		}
+		p.reply <- response{ID: p.req.ID, Hits: hits}
+	}
+}
+
+func serveConn(conn net.Conn, queue chan<- pending) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	enc := json.NewEncoder(conn)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for sc.Scan() {
+		var req request
+		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
+			mu.Lock()
+			enc.Encode(response{Error: fmt.Sprintf("bad request: %v", err)})
+			mu.Unlock()
+			continue
+		}
+		reply := make(chan response, 1)
+		queue <- pending{req: req, reply: reply}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp := <-reply
+			mu.Lock()
+			enc.Encode(resp)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+}
+
+func runClient(addr, queryPath string, top int) {
+	if queryPath == "" {
+		fatal("client mode needs -query")
+	}
+	f, err := os.Open(queryPath)
+	if err != nil {
+		fatal("%v", err)
+	}
+	queries, rerr := swvec.ReadFasta(f)
+	f.Close()
+	if rerr != nil {
+		fatal("%v", rerr)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer conn.Close()
+	enc := json.NewEncoder(conn)
+	for i := range queries {
+		if err := enc.Encode(request{ID: queries[i].ID, Residues: string(queries[i].Residues), Top: top}); err != nil {
+			fatal("send: %v", err)
+		}
+	}
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	for range queries {
+		var resp response
+		if err := dec.Decode(&resp); err != nil {
+			fatal("recv: %v", err)
+		}
+		if resp.Error != "" {
+			fmt.Printf("%s: error: %s\n", resp.ID, resp.Error)
+			continue
+		}
+		fmt.Printf("%s:\n", resp.ID)
+		for rank, h := range resp.Hits {
+			fmt.Printf("  %2d. score %5d  %s\n", rank+1, h.Score, h.SeqID)
+		}
+	}
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "swserver: "+format+"\n", args...)
+	os.Exit(1)
+}

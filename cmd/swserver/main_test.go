@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"net"
+	"testing"
+	"time"
+
+	"swvec"
+)
+
+// startTestServer wires the batcher + connection handler on an
+// ephemeral port, mirroring runServer without the fatal-exit paths.
+func startTestServer(t *testing.T, db []swvec.Sequence, batchSize int, window time.Duration) string {
+	t.Helper()
+	al, err := swvec.New(swvec.WithThreads(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queue := make(chan pending, 4*batchSize)
+	go batcher(al, db, queue, batchSize, window)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go serveConn(conn, queue)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	db := swvec.GenerateDatabase(42, 48)
+	addr := startTestServer(t, db, 4, 30*time.Millisecond)
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// Submit three queries that are fragments of known database
+	// entries; their top hit must be the source sequence.
+	sources := []int{5, 17, 33}
+	enc := json.NewEncoder(conn)
+	for i, si := range sources {
+		frag := db[si].Residues
+		if len(frag) > 120 {
+			frag = frag[:120]
+		}
+		if err := enc.Encode(request{ID: db[si].ID, Residues: string(frag), Top: 3}); err != nil {
+			t.Fatal(err)
+		}
+		_ = i
+	}
+
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	got := map[string]response{}
+	for range sources {
+		var resp response
+		if err := dec.Decode(&resp); err != nil {
+			t.Fatal(err)
+		}
+		got[resp.ID] = resp
+	}
+	for _, si := range sources {
+		resp, ok := got[db[si].ID]
+		if !ok {
+			t.Fatalf("no response for %s", db[si].ID)
+		}
+		if resp.Error != "" {
+			t.Fatalf("%s: %s", resp.ID, resp.Error)
+		}
+		if len(resp.Hits) == 0 || resp.Hits[0].SeqID != db[si].ID {
+			t.Fatalf("%s: top hit %+v, want self", resp.ID, resp.Hits)
+		}
+	}
+}
+
+func TestServerRejectsBadRequest(t *testing.T) {
+	db := swvec.GenerateDatabase(43, 8)
+	addr := startTestServer(t, db, 2, 20*time.Millisecond)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("this is not json\n")); err != nil {
+		t.Fatal(err)
+	}
+	var resp response
+	if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Error == "" {
+		t.Fatal("malformed request should produce an error response")
+	}
+}
+
+func TestServerRejectsInvalidResidues(t *testing.T) {
+	db := swvec.GenerateDatabase(44, 8)
+	addr := startTestServer(t, db, 2, 20*time.Millisecond)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	enc := json.NewEncoder(conn)
+	if err := enc.Encode(request{ID: "bad", Residues: "MK1VLAW"}); err != nil {
+		t.Fatal(err)
+	}
+	var resp response
+	if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Error == "" {
+		t.Fatal("invalid residues should produce an error response")
+	}
+}

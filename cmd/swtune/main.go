@@ -1,0 +1,126 @@
+// Command swtune runs the evolutionary hyperparameter search of
+// §III-E against the modeled runtime of the alignment kernels on a
+// chosen architecture, printing the per-generation convergence and the
+// winning configuration.
+//
+// Usage:
+//
+//	swtune -arch skylake -qlen 320 -pop 16 -gens 12
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"swvec/internal/aln"
+	"swvec/internal/core"
+	"swvec/internal/isa"
+	"swvec/internal/perfmodel"
+	"swvec/internal/seqio"
+	"swvec/internal/submat"
+	"swvec/internal/tuner"
+	"swvec/internal/vek"
+)
+
+func main() {
+	var (
+		archName = flag.String("arch", "skylake", "architecture: haswell, broadwell, skylake, cascadelake, alderlake")
+		qlen     = flag.Int("qlen", 320, "query length")
+		dbSize   = flag.Int("db", 32, "database sequences for the fitness workload")
+		pop      = flag.Int("pop", 16, "population size")
+		gens     = flag.Int("gens", 12, "generations")
+		seed     = flag.Int64("seed", 1, "search seed")
+	)
+	flag.Parse()
+
+	arch := lookupArch(*archName)
+	if arch == nil {
+		fmt.Fprintf(os.Stderr, "swtune: unknown architecture %q\n", *archName)
+		os.Exit(2)
+	}
+
+	mat := submat.Blosum62()
+	tables := submat.NewCodeTables(mat)
+	gaps := aln.DefaultGaps()
+	g := seqio.NewGenerator(42)
+	db := g.Database(*dbSize)
+	query := g.Protein("q", *qlen).Encode(mat.Alphabet())
+	target := g.Protein("t", 2000).Encode(mat.Alphabet())
+	batches := seqio.BuildBatches(db, mat.Alphabet(), seqio.BatchOptions{})
+	batchesSorted := seqio.BuildBatches(db, mat.Alphabet(), seqio.BatchOptions{SortByLength: true})
+
+	params := tuner.KernelParams()
+	cache := map[string]float64{}
+	fitness := func(tc tuner.Config) float64 {
+		k := fmt.Sprintf("%v", tc)
+		if v, ok := cache[k]; ok {
+			return v
+		}
+		mch, tal := vek.NewMachine()
+		popt := core.PairOptions{
+			Gaps:            gaps,
+			ScalarThreshold: tc["scalar_threshold"],
+			ScalarTail:      tc["scalar_tail"] == 1,
+			EagerMax:        tc["eager_max"] == 1,
+		}
+		if _, _, err := core.AlignPair16(mch, query, target, mat, popt); err != nil {
+			panic(err)
+		}
+		cells := int64(len(query)) * int64(len(target))
+		bset := batches
+		if tc["sort_by_length"] == 1 {
+			bset = batchesSorted
+		}
+		for _, b := range bset {
+			if _, err := core.AlignBatch8(mch, query, tables, b,
+				core.BatchOptions{Gaps: gaps, BlockCols: tc["block_cols"]}); err != nil {
+				panic(err)
+			}
+		}
+		cells += seqio.BatchedCells(bset, len(query))
+		run := perfmodel.Run{Arch: arch, Tally: tal, Cells: cells, WorkingSetKB: 64}
+		v := run.Seconds(1)
+		cache[k] = v
+		return v
+	}
+
+	opts := tuner.DefaultOptions()
+	opts.Population = *pop
+	opts.Generations = *gens
+	opts.Seed = *seed
+	res, err := tuner.Optimize(params, fitness, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "swtune: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("architecture %s, query %d aa, %d evaluations\n", arch.Name, *qlen, res.Evaluations)
+	fmt.Printf("baseline fitness %.6g s, tuned %.6g s: %+.1f%% improvement\n",
+		res.BaselineFitness, res.BestFitness, 100*res.Improvement())
+	fmt.Println("convergence (best fitness per generation):")
+	for i, f := range res.History {
+		fmt.Printf("  gen %2d: %.6g\n", i, f)
+	}
+	fmt.Println("best configuration:")
+	for _, p := range params {
+		fmt.Printf("  %-18s %d\n", p.Name, res.Best[p.Name])
+	}
+}
+
+func lookupArch(name string) *isa.Arch {
+	switch strings.ToLower(name) {
+	case "haswell":
+		return isa.Get(isa.Haswell)
+	case "broadwell":
+		return isa.Get(isa.Broadwell)
+	case "skylake":
+		return isa.Get(isa.Skylake)
+	case "cascadelake":
+		return isa.Get(isa.Cascadelake)
+	case "alderlake":
+		return isa.Get(isa.Alderlake)
+	}
+	return nil
+}

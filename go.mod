@@ -1,0 +1,3 @@
+module swvec
+
+go 1.22

@@ -1,0 +1,50 @@
+package aln
+
+import "fmt"
+
+// Rescore recomputes an alignment's score by replaying its CIGAR over
+// the encoded query and database sequences. score gives the
+// substitution score of a (query code, database code) pair. A valid
+// traceback must rescore to exactly Alignment.Score; this is the
+// end-to-end check the traceback tests and the swalign CLI use.
+func Rescore(a *Alignment, q, d []uint8, score func(qc, dc uint8) int32, g Gaps) (int32, error) {
+	if a.BegQ < 0 {
+		if len(a.Cigar) != 0 {
+			return 0, fmt.Errorf("aln: empty alignment carries %d cigar ops", len(a.Cigar))
+		}
+		return 0, nil
+	}
+	i, j := a.BegQ, a.BegD
+	var total int32
+	for _, op := range a.Cigar {
+		switch op.Kind {
+		case OpMatch:
+			for k := 0; k < op.Len; k++ {
+				if i >= len(q) || j >= len(d) {
+					return 0, fmt.Errorf("aln: match op runs past sequence ends at (%d,%d)", i, j)
+				}
+				total += score(q[i], d[j])
+				i++
+				j++
+			}
+		case OpDelete:
+			if j+op.Len > len(d) {
+				return 0, fmt.Errorf("aln: delete op runs past database end at %d", j)
+			}
+			total -= g.Open + int32(op.Len-1)*g.Extend
+			j += op.Len
+		case OpInsert:
+			if i+op.Len > len(q) {
+				return 0, fmt.Errorf("aln: insert op runs past query end at %d", i)
+			}
+			total -= g.Open + int32(op.Len-1)*g.Extend
+			i += op.Len
+		default:
+			return 0, fmt.Errorf("aln: unknown cigar op %q", op.Kind)
+		}
+	}
+	if i != a.EndQ+1 || j != a.EndD+1 {
+		return 0, fmt.Errorf("aln: cigar walks to (%d,%d), alignment ends at (%d,%d)", i-1, j-1, a.EndQ, a.EndD)
+	}
+	return total, nil
+}

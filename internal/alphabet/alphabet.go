@@ -1,0 +1,145 @@
+// Package alphabet defines residue encodings for protein and DNA
+// sequences. Encodings map ASCII residue letters to small integer
+// indices that address rows and columns of a substitution matrix.
+//
+// The protein encoding follows the reorganized 32-wide substitution
+// matrix layout from the paper: the 20 standard amino acids occupy
+// indices 0..19, the ambiguity codes B, Z, X and the unknown/stop
+// characters occupy the following rows, and the remaining rows up to 32
+// are sentinel rows whose scores are uniformly the minimum penalty, so
+// that any byte can be translated to an index without bounds checks.
+package alphabet
+
+import "fmt"
+
+// Kind identifies an alphabet family.
+type Kind uint8
+
+const (
+	// Protein is the 20-letter amino-acid alphabet plus ambiguity codes.
+	Protein Kind = iota
+	// DNA is the 4-letter nucleotide alphabet plus N.
+	DNA
+)
+
+// Width is the number of rows in the reorganized substitution matrix.
+// It is fixed at 32 so one matrix row of int8 scores fills exactly one
+// 256-bit vector register, as described in §III-C of the paper.
+const Width = 32
+
+// Sentinel is the index used for any byte that does not encode a
+// residue. Scores involving Sentinel are strongly negative so padding
+// never participates in an optimal local alignment.
+const Sentinel = Width - 1
+
+// proteinLetters lists the canonical residue order used by the
+// reorganized matrix: the 20 standard amino acids in alphabetical
+// order, then B (Asx), Z (Glx), X (any), U (Sec, scored as C),
+// O (Pyl, scored as K), J (Xle), and '*' (stop).
+const proteinLetters = "ARNDCQEGHILKMFPSTWYVBZXUOJ*"
+
+// dnaLetters lists nucleotides followed by the ambiguity code N.
+const dnaLetters = "ACGTN"
+
+// An Alphabet translates sequence bytes to matrix indices and back.
+type Alphabet struct {
+	kind    Kind
+	letters string
+	// enc maps every possible byte to an index in [0, Width).
+	enc [256]uint8
+}
+
+var (
+	proteinAlpha = build(Protein, proteinLetters)
+	dnaAlpha     = build(DNA, dnaLetters)
+)
+
+// ForKind returns the shared alphabet instance for kind.
+func ForKind(kind Kind) *Alphabet {
+	if kind == DNA {
+		return dnaAlpha
+	}
+	return proteinAlpha
+}
+
+// ProteinAlphabet returns the shared protein alphabet.
+func ProteinAlphabet() *Alphabet { return proteinAlpha }
+
+// DNAAlphabet returns the shared DNA alphabet.
+func DNAAlphabet() *Alphabet { return dnaAlpha }
+
+func build(kind Kind, letters string) *Alphabet {
+	a := &Alphabet{kind: kind, letters: letters}
+	for i := range a.enc {
+		a.enc[i] = Sentinel
+	}
+	for i := 0; i < len(letters); i++ {
+		upper := letters[i]
+		a.enc[upper] = uint8(i)
+		if upper >= 'A' && upper <= 'Z' {
+			a.enc[upper+('a'-'A')] = uint8(i)
+		}
+	}
+	return a
+}
+
+// Kind reports the alphabet family.
+func (a *Alphabet) Kind() Kind { return a.kind }
+
+// Size returns the number of real (non-sentinel) residue codes.
+func (a *Alphabet) Size() int { return len(a.letters) }
+
+// Index returns the matrix index for residue byte b. Unknown bytes map
+// to Sentinel.
+func (a *Alphabet) Index(b byte) uint8 { return a.enc[b] }
+
+// Letter returns the canonical letter for index i, or '?' if i is not a
+// real residue index.
+func (a *Alphabet) Letter(i uint8) byte {
+	if int(i) < len(a.letters) {
+		return a.letters[i]
+	}
+	return '?'
+}
+
+// Encode translates an ASCII sequence into matrix indices. The result
+// always has len(seq) entries; unknown bytes become Sentinel.
+func (a *Alphabet) Encode(seq []byte) []uint8 {
+	out := make([]uint8, len(seq))
+	for i, b := range seq {
+		out[i] = a.enc[b]
+	}
+	return out
+}
+
+// EncodeString is Encode for a string input.
+func (a *Alphabet) EncodeString(seq string) []uint8 {
+	out := make([]uint8, len(seq))
+	for i := 0; i < len(seq); i++ {
+		out[i] = a.enc[seq[i]]
+	}
+	return out
+}
+
+// Decode translates matrix indices back into ASCII letters.
+func (a *Alphabet) Decode(idx []uint8) []byte {
+	out := make([]byte, len(idx))
+	for i, v := range idx {
+		out[i] = a.Letter(v)
+	}
+	return out
+}
+
+// Validate reports an error when seq contains a byte that is not a
+// residue, ambiguity code, or lowercase variant thereof.
+func (a *Alphabet) Validate(seq []byte) error {
+	for i, b := range seq {
+		if a.enc[b] == Sentinel {
+			return fmt.Errorf("alphabet: byte %q at position %d is not a valid residue", b, i)
+		}
+	}
+	return nil
+}
+
+// Letters returns the canonical residue order as a string.
+func (a *Alphabet) Letters() string { return a.letters }

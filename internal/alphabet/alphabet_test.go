@@ -1,0 +1,131 @@
+package alphabet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestProteinRoundTrip(t *testing.T) {
+	a := ProteinAlphabet()
+	for i := 0; i < a.Size(); i++ {
+		letter := a.Letters()[i]
+		if got := a.Index(letter); got != uint8(i) {
+			t.Errorf("Index(%q) = %d, want %d", letter, got, i)
+		}
+		if got := a.Letter(uint8(i)); got != letter {
+			t.Errorf("Letter(%d) = %q, want %q", i, got, letter)
+		}
+	}
+}
+
+func TestProteinLowercase(t *testing.T) {
+	a := ProteinAlphabet()
+	if a.Index('a') != a.Index('A') {
+		t.Error("lowercase 'a' should map like 'A'")
+	}
+	if a.Index('v') != a.Index('V') {
+		t.Error("lowercase 'v' should map like 'V'")
+	}
+}
+
+func TestUnknownMapsToSentinel(t *testing.T) {
+	a := ProteinAlphabet()
+	for _, b := range []byte{'1', ' ', '-', 0, 255, '\n'} {
+		if got := a.Index(b); got != Sentinel {
+			t.Errorf("Index(%q) = %d, want sentinel %d", b, got, Sentinel)
+		}
+	}
+}
+
+func TestIndexAlwaysInWidthProperty(t *testing.T) {
+	a := ProteinAlphabet()
+	d := DNAAlphabet()
+	f := func(b byte) bool {
+		return a.Index(b) < Width && d.Index(b) < Width
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeDecode(t *testing.T) {
+	a := ProteinAlphabet()
+	seq := []byte("MKVLAW")
+	enc := a.Encode(seq)
+	if len(enc) != len(seq) {
+		t.Fatalf("len = %d, want %d", len(enc), len(seq))
+	}
+	dec := a.Decode(enc)
+	if string(dec) != "MKVLAW" {
+		t.Fatalf("decode = %q, want MKVLAW", dec)
+	}
+}
+
+func TestEncodeStringMatchesEncode(t *testing.T) {
+	a := ProteinAlphabet()
+	f := func(s string) bool {
+		bs := a.Encode([]byte(s))
+		ss := a.EncodeString(s)
+		if len(bs) != len(ss) {
+			return false
+		}
+		for i := range bs {
+			if bs[i] != ss[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	a := ProteinAlphabet()
+	if err := a.Validate([]byte("ACDEFGHIKLMNPQRSTVWYXBZ")); err != nil {
+		t.Errorf("valid protein rejected: %v", err)
+	}
+	if err := a.Validate([]byte("ACD1")); err == nil {
+		t.Error("digit accepted as residue")
+	}
+}
+
+func TestDNA(t *testing.T) {
+	d := DNAAlphabet()
+	if d.Kind() != DNA {
+		t.Error("kind mismatch")
+	}
+	if d.Size() != 5 {
+		t.Errorf("size = %d, want 5", d.Size())
+	}
+	if d.Index('A') != 0 || d.Index('C') != 1 || d.Index('G') != 2 || d.Index('T') != 3 || d.Index('N') != 4 {
+		t.Error("DNA encoding order wrong")
+	}
+	if d.Index('t') != 3 {
+		t.Error("lowercase t wrong")
+	}
+}
+
+func TestForKind(t *testing.T) {
+	if ForKind(Protein) != ProteinAlphabet() {
+		t.Error("ForKind(Protein) mismatch")
+	}
+	if ForKind(DNA) != DNAAlphabet() {
+		t.Error("ForKind(DNA) mismatch")
+	}
+}
+
+func TestSentinelLetterIsQuestionMark(t *testing.T) {
+	a := ProteinAlphabet()
+	if a.Letter(Sentinel) != '?' {
+		t.Errorf("sentinel letter = %q, want '?'", a.Letter(Sentinel))
+	}
+}
+
+func TestProteinSizeFitsWidth(t *testing.T) {
+	a := ProteinAlphabet()
+	if a.Size() >= Width {
+		t.Fatalf("alphabet size %d must leave room below width %d for sentinel rows", a.Size(), Width)
+	}
+}

@@ -1,0 +1,129 @@
+package baselines
+
+import (
+	"swvec/internal/aln"
+	"swvec/internal/submat"
+	"swvec/internal/vek"
+)
+
+const lanes16 = 16
+
+// negInf16 matches the E/F boundary of the core kernels.
+const negInf16 = int16(-30000)
+
+// Diag16 is the Wozniak-style anti-diagonal kernel as Parasail ships
+// it ("diag"): the same wavefront dependency structure as the paper's
+// kernel but without the paper's §III optimizations — substitution
+// scores are assembled lane by lane with scalar lookups (no
+// reorganized-matrix gather), and the running maximum is reduced
+// eagerly on every vector instead of deferred. Deterministic, like the
+// paper's kernel, but substantially slower; the Fig. 14 comparison
+// quantifies the gap.
+func Diag16(mch vek.Machine, q, dseq []uint8, mat *submat.Matrix, g aln.Gaps) aln.ScoreResult {
+	res := aln.ScoreResult{EndQ: -1, EndD: -1}
+	if len(q) == 0 || len(dseq) == 0 {
+		return res
+	}
+	m, n := len(q), len(dseq)
+	slack := lanes16 + 2
+	mk := func(fill int16) []int16 {
+		b := make([]int16, m+2+slack)
+		if fill != 0 {
+			for i := range b {
+				b[i] = fill
+			}
+		}
+		return b
+	}
+	hPrev2, hPrev, hCur := mk(0), mk(0), mk(0)
+	ePrev, eCur := mk(negInf16), mk(negInf16)
+	fPrev, fCur := mk(negInf16), mk(negInf16)
+	scoreBuf := make([]int16, lanes16)
+
+	openV := mch.Splat16(int16(g.Open))
+	extV := mch.Splat16(int16(g.Extend))
+	zeroV := mch.Zero16()
+	var best int32
+
+	for d := 2; d <= m+n; d++ {
+		lo := d - n
+		if lo < 1 {
+			lo = 1
+		}
+		hi := d - 1
+		if hi > m {
+			hi = m
+		}
+		r := lo
+		for ; r+lanes16 <= hi+1; r += lanes16 {
+			// Scalar score assembly: one matrix lookup and one store
+			// per lane — the cost the paper's gather/profile paths
+			// remove.
+			for l := 0; l < lanes16; l++ {
+				i := r + l
+				scoreBuf[l] = int16(mat.Score(q[i-1], dseq[d-i-1]))
+			}
+			mch.T.Add(vek.OpScalarLoad, vek.W256, lanes16)
+			mch.T.Add(vek.OpScalarStore, vek.W256, lanes16)
+			score := mch.Load16(scoreBuf)
+
+			up := mch.Load16(hPrev[r-1:])
+			left := mch.Load16(hPrev[r:])
+			diagv := mch.Load16(hPrev2[r-1:])
+			eIn := mch.Load16(ePrev[r:])
+			fIn := mch.Load16(fPrev[r-1:])
+
+			e := mch.Max16(mch.SubSat16(eIn, extV), mch.SubSat16(left, openV))
+			f := mch.Max16(mch.SubSat16(fIn, extV), mch.SubSat16(up, openV))
+			h := mch.AddSat16(diagv, score)
+			h = mch.Max16(h, zeroV)
+			h = mch.Max16(h, e)
+			h = mch.Max16(h, f)
+			mch.Store16(hCur[r:], h)
+			mch.Store16(eCur[r:], e)
+			mch.Store16(fCur[r:], f)
+
+			// Eager per-vector reduction (the §III-D anti-pattern).
+			if v := int32(mch.ReduceMax16(h)); v > best {
+				best = v
+			}
+			mch.T.Add(vek.OpScalar, vek.W256, 1)
+		}
+		for i := r; i <= hi; i++ {
+			j := d - i
+			sc := int32(mat.Score(q[i-1], dseq[j-1]))
+			e := maxI32(int32(ePrev[i])-g.Extend, int32(hPrev[i])-g.Open)
+			f := maxI32(int32(fPrev[i-1])-g.Extend, int32(hPrev[i-1])-g.Open)
+			h := maxI32(maxI32(int32(hPrev2[i-1])+sc, 0), maxI32(e, f))
+			hCur[i] = int16(h)
+			eCur[i] = int16(clampLo(e))
+			fCur[i] = int16(clampLo(f))
+			if h > best {
+				best = h
+			}
+			mch.T.Add(vek.OpScalar, vek.W256, 10)
+			mch.T.Add(vek.OpScalarLoad, vek.W256, 6)
+			mch.T.Add(vek.OpScalarStore, vek.W256, 3)
+		}
+		// Boundary guards for the next diagonal.
+		hCur[0] = 0
+		eCur[0], fCur[0] = negInf16, negInf16
+		if d <= m {
+			hCur[d] = 0
+			eCur[d], fCur[d] = negInf16, negInf16
+		}
+		mch.T.Add(vek.OpScalarStore, vek.W256, 6)
+		hPrev2, hPrev, hCur = hPrev, hCur, hPrev2
+		ePrev, eCur = eCur, ePrev
+		fPrev, fCur = fCur, fPrev
+	}
+	res.Score = best
+	return res
+}
+
+func clampLo(v int32) int32 {
+	if v < -32768 {
+		return -32768
+	}
+	return v
+}

@@ -1,0 +1,164 @@
+package baselines
+
+import (
+	"swvec/internal/aln"
+	"swvec/internal/submat"
+	"swvec/internal/vek"
+)
+
+// ScanStats reports the speculative behaviour of the scan kernel.
+type ScanStats struct {
+	// Columns is the number of database columns processed.
+	Columns int
+	// Corrections counts the vector chunks whose E state had to be
+	// repaired after the F prefix pass raised H — the data-dependent
+	// correction work that makes scan's runtime non-deterministic
+	// (§IV-H).
+	Corrections int
+}
+
+// Scan16 is the prefix-scan Smith-Waterman kernel in the style of
+// Rognes/Daily ("scan" in Parasail): per database column, a first
+// vector pass computes H without the vertical gap state, a logarithmic
+// weighted prefix-max pass propagates F down the column, and a
+// correction pass repairs E wherever F changed H. The amount of
+// correction work depends on the input data.
+func Scan16(mch vek.Machine, q, dseq []uint8, mat *submat.Matrix, g aln.Gaps) (aln.ScoreResult, ScanStats) {
+	res := aln.ScoreResult{EndQ: -1, EndD: -1}
+	var stats ScanStats
+	if len(q) == 0 || len(dseq) == 0 {
+		return res, stats
+	}
+	m, n := len(q), len(dseq)
+	chunks := (m + lanes16 - 1) / lanes16
+	padded := chunks * lanes16
+
+	// Column state, padded to whole vectors. Padded rows use sentinel
+	// query codes, whose scores are strongly negative.
+	hCol := make([]int16, padded)  // H(i, j-1) then H(i, j)
+	eCol := make([]int16, padded)  // E(i, j) horizontal state
+	hTild := make([]int16, padded) // H without F, current column
+	hDiag := make([]int16, padded) // H(i-1, j-1) staging
+	qPad := make([]uint8, padded)  // padded query codes
+	for i := range eCol {
+		eCol[i] = negInf16
+	}
+	for i := range qPad {
+		if i < m {
+			qPad[i] = q[i]
+		} else {
+			qPad[i] = submat.W - 1 // sentinel
+		}
+	}
+	// Sequential query profile (Rognes 2000): prof[c*padded+i] is the
+	// score of query position i against residue code c, so a column's
+	// scores are consecutive vector loads.
+	prof := make([]int16, submat.W*padded)
+	for c := 0; c < submat.W; c++ {
+		for i := 0; i < padded; i++ {
+			prof[c*padded+i] = int16(mat.Score(qPad[i], uint8(c)))
+		}
+	}
+	mch.T.Add(vek.OpScalarStore, vek.W256, uint64(3*padded+submat.W*padded/lanes16))
+
+	openV := mch.Splat16(int16(g.Open))
+	extV := mch.Splat16(int16(g.Extend))
+	zeroV := mch.Zero16()
+	// ramp[l] = (l+1) * extend, for folding the cross-chunk F carry.
+	var ramp vek.I16x16
+	for l := range ramp {
+		ramp[l] = int16(int32(l+1) * g.Extend)
+	}
+	vMax := mch.Zero16()
+
+	for j := 1; j <= n; j++ {
+		dc := dseq[j-1]
+		stats.Columns++
+		// Pass 1: Htilde = max(0, Hdiag + S, E); E' = max(E-ext,
+		// Htilde-open). Hdiag(i) = H(i-1, j-1) = previous column's H
+		// shifted down one row.
+		carry := int16(0) // H(0, j-1) boundary
+		for t := 0; t < chunks; t++ {
+			base := t * lanes16
+			hPrevChunk := mch.Load16(hCol[base:])
+			shifted := mch.ShiftLanesLeft16(hPrevChunk, 1)
+			shifted = mch.Insert16(shifted, 0, carry)
+			carry = hPrevChunk[lanes16-1]
+			mch.T.Add(vek.OpScalar, vek.W256, 1)
+			mch.Store16(hDiag[base:], shifted)
+		}
+		profRow := prof[int(dc)*padded : (int(dc)+1)*padded]
+		for t := 0; t < chunks; t++ {
+			base := t * lanes16
+			score := mch.Load16(profRow[base:])
+			diagv := mch.Load16(hDiag[base:])
+			eIn := mch.Load16(eCol[base:])
+			h := mch.AddSat16(diagv, score)
+			h = mch.Max16(h, zeroV)
+			h = mch.Max16(h, eIn)
+			mch.Store16(hTild[base:], h)
+			eOut := mch.Max16(mch.SubSat16(eIn, extV), mch.SubSat16(h, openV))
+			mch.Store16(eCol[base:], eOut)
+		}
+		// Pass 2: weighted prefix-max to propagate F down the column.
+		// Within a chunk, log2(lanes) shift-subtract-max steps; across
+		// chunks, a scalar carry folded back with the ramp.
+		fCarry := int32(negInf16) // F entering the chunk from above
+		for t := 0; t < chunks; t++ {
+			base := t * lanes16
+			h := mch.Load16(hTild[base:])
+			// A(i) = Htilde(i) - open is the gap-open candidate from
+			// each row; propagate A downward with decay ext per row.
+			v := mch.SubSat16(h, openV)
+			for s := 1; s < lanes16; s <<= 1 {
+				decay := mch.Splat16(int16(clamp32(int32(s)*g.Extend, 32767)))
+				// The shift zero-fills the low lanes. A spurious
+				// candidate of 0-s*ext is always negative, and F only
+				// influences H (>= 0) and the E repair when positive,
+				// so the zero fill is harmless.
+				shifted := mch.ShiftLanesLeft16(v, s)
+				v = mch.Max16(v, mch.SubSat16(shifted, decay))
+			}
+			// v(l) now holds max_{k<=l} (A(k) - (l-k)*ext) over the
+			// chunk. F uses strictly earlier rows: shift down by one
+			// (zero fill again harmless).
+			fVec := mch.ShiftLanesLeft16(v, 1)
+			// Fold the carry from previous chunks:
+			// carryFold(l) = fCarry - l*ext.
+			carryFold := mch.SubSat16(mch.Splat16(int16(clamp32(fCarry+g.Extend, 32767))), mch.Load16(ramp[:]))
+			fVec = mch.Max16(fVec, carryFold)
+			hOut := mch.Max16(mch.Load16(hTild[base:]), fVec)
+			mch.Store16(hCol[base:], hOut)
+			vMax = mch.Max16(vMax, hOut)
+			// E correction: wherever F raised H, E' must see the
+			// larger H.
+			changed := mch.CmpGt16(hOut, h)
+			if mch.MoveMask16(changed) != 0 {
+				stats.Corrections++
+				eIn := mch.Load16(eCol[base:])
+				eFix := mch.Max16(eIn, mch.SubSat16(hOut, openV))
+				mch.Store16(eCol[base:], eFix)
+			}
+			// Carry F out of the chunk: the inclusive scan's last lane
+			// against the decayed previous carry.
+			fCarry = maxI32(int32(v[lanes16-1]), fCarry-int32(lanes16)*g.Extend)
+			mch.T.Add(vek.OpScalar, vek.W256, 3)
+		}
+	}
+	best := int32(mch.ReduceMax16(vMax))
+	res.Score = best
+	if best >= 32767 {
+		res.Saturated = true
+	}
+	return res, stats
+}
+
+func clamp32(v, hi int32) int32 {
+	if v > hi {
+		return hi
+	}
+	if v < -32768 {
+		return -32768
+	}
+	return v
+}

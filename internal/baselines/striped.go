@@ -1,0 +1,149 @@
+package baselines
+
+import (
+	"swvec/internal/aln"
+	"swvec/internal/submat"
+	"swvec/internal/vek"
+)
+
+// StripedStats reports the speculative behaviour of the striped
+// kernel.
+type StripedStats struct {
+	// Columns is the number of database columns processed.
+	Columns int
+	// LazyFIterations counts the inner iterations of the lazy-F
+	// correction loop. The count depends on the input data — the
+	// source of the non-determinism the paper contrasts with its own
+	// wavefront kernel (§IV-H).
+	LazyFIterations int
+	// MaxLazyFPerColumn is the worst single-column correction count.
+	MaxLazyFPerColumn int
+}
+
+// StripedProfile16 is the Farrar striped query profile: for residue
+// code c and stripe index t, lane l holds the substitution score of
+// query position t + l*segLen against c.
+type StripedProfile16 struct {
+	segLen int
+	m      int
+	prof   []vek.I16x16 // indexed [c*segLen + t]
+}
+
+// NewStripedProfile16 builds the striped profile for the encoded
+// query.
+func NewStripedProfile16(mat *submat.Matrix, q []uint8) *StripedProfile16 {
+	m := len(q)
+	segLen := (m + lanes16 - 1) / lanes16
+	p := &StripedProfile16{segLen: segLen, m: m, prof: make([]vek.I16x16, submat.W*segLen)}
+	for c := 0; c < submat.W; c++ {
+		for t := 0; t < segLen; t++ {
+			var v vek.I16x16
+			for l := 0; l < lanes16; l++ {
+				pos := t + l*segLen
+				if pos < m {
+					v[l] = int16(mat.Score(q[pos], uint8(c)))
+				} else {
+					v[l] = int16(submat.SentinelScore)
+				}
+			}
+			p.prof[c*segLen+t] = v
+		}
+	}
+	return p
+}
+
+// SegLen returns the stripe count.
+func (p *StripedProfile16) SegLen() int { return p.segLen }
+
+// Striped16 is the Farrar striped Smith-Waterman kernel ("striped" in
+// Parasail): the query is laid out in interleaved stripes so the inner
+// loop has no dependencies, F is speculatively assumed not to
+// propagate across stripes, and a lazy-F correction loop repairs the
+// columns where the speculation fails. Fastest of the Parasail trio on
+// most inputs, but with data-dependent correction work.
+func Striped16(mch vek.Machine, prof *StripedProfile16, dseq []uint8, g aln.Gaps) (aln.ScoreResult, StripedStats) {
+	res := aln.ScoreResult{EndQ: -1, EndD: -1}
+	var stats StripedStats
+	if prof.m == 0 || len(dseq) == 0 {
+		return res, stats
+	}
+	segLen := prof.segLen
+	openV := mch.Splat16(int16(g.Open))
+	extV := mch.Splat16(int16(g.Extend))
+	zeroV := mch.Zero16()
+
+	pvHStore := make([]vek.I16x16, segLen)
+	pvHLoad := make([]vek.I16x16, segLen)
+	pvE := make([]vek.I16x16, segLen)
+	negV := mch.Splat16(negInf16)
+	for i := range pvE {
+		pvE[i] = negV
+	}
+	mch.T.Add(vek.OpStore, vek.W256, uint64(3*segLen))
+	vMax := mch.Zero16()
+
+	for j := 0; j < len(dseq); j++ {
+		stats.Columns++
+		vF := negV
+		// H(i-1, j-1) for stripe 0 comes from the last stripe of the
+		// previous column, shifted by one lane (zero enters lane 0 as
+		// the H(0, j-1) boundary).
+		vH := mch.ShiftLanesLeft16(pvHStore[segLen-1], 1)
+		pvHLoad, pvHStore = pvHStore, pvHLoad
+		profRow := prof.prof[int(dseq[j])*segLen : (int(dseq[j])+1)*segLen]
+
+		for t := 0; t < segLen; t++ {
+			vH = mch.AddSat16(vH, profRow[t])
+			vE := pvE[t]
+			vH = mch.Max16(vH, vE)
+			vH = mch.Max16(vH, vF)
+			vH = mch.Max16(vH, zeroV)
+			vMax = mch.Max16(vMax, vH)
+			pvHStore[t] = vH
+			mch.T.Add(vek.OpLoad, vek.W256, 2)  // profile + E loads
+			mch.T.Add(vek.OpStore, vek.W256, 1) // H store
+
+			vHGap := mch.SubSat16(vH, openV)
+			vE = mch.Max16(mch.SubSat16(vE, extV), vHGap)
+			pvE[t] = vE
+			mch.T.Add(vek.OpStore, vek.W256, 1)
+			vF = mch.Max16(mch.SubSat16(vF, extV), vHGap)
+			vH = pvHLoad[t]
+			mch.T.Add(vek.OpLoad, vek.W256, 1)
+		}
+
+		// Lazy-F: the speculative inner loop ignored F propagation
+		// across stripe boundaries; repair until F can no longer
+		// improve any lane.
+		perColumn := 0
+	lazy:
+		for k := 0; k < lanes16; k++ {
+			vF = mch.ShiftLanesLeft16(vF, 1)
+			vF = mch.Insert16(vF, 0, negInf16)
+			for t := 0; t < segLen; t++ {
+				vH := pvHStore[t]
+				mch.T.Add(vek.OpLoad, vek.W256, 1)
+				vH = mch.Max16(vH, vF)
+				pvHStore[t] = vH
+				mch.T.Add(vek.OpStore, vek.W256, 1)
+				vMax = mch.Max16(vMax, vH)
+				stats.LazyFIterations++
+				perColumn++
+				vHGap := mch.SubSat16(vH, openV)
+				vF = mch.SubSat16(vF, extV)
+				if mch.MoveMask16(mch.CmpGt16(vF, vHGap)) == 0 {
+					break lazy
+				}
+			}
+		}
+		if perColumn > stats.MaxLazyFPerColumn {
+			stats.MaxLazyFPerColumn = perColumn
+		}
+	}
+	best := int32(mch.ReduceMax16(vMax))
+	res.Score = best
+	if best >= 32767 {
+		res.Saturated = true
+	}
+	return res, stats
+}

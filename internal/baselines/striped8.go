@@ -1,0 +1,131 @@
+package baselines
+
+import (
+	"swvec/internal/aln"
+	"swvec/internal/submat"
+	"swvec/internal/vek"
+)
+
+const lanes8 = 32
+
+// StripedProfile8 is the 8-bit Farrar profile: 32 lanes, stripe t lane
+// l covering query position t + l*segLen.
+type StripedProfile8 struct {
+	segLen int
+	m      int
+	prof   []vek.I8x32 // indexed [c*segLen + t]
+}
+
+// NewStripedProfile8 builds the 8-bit striped profile.
+func NewStripedProfile8(mat *submat.Matrix, q []uint8) *StripedProfile8 {
+	m := len(q)
+	segLen := (m + lanes8 - 1) / lanes8
+	p := &StripedProfile8{segLen: segLen, m: m, prof: make([]vek.I8x32, submat.W*segLen)}
+	for c := 0; c < submat.W; c++ {
+		for t := 0; t < segLen; t++ {
+			var v vek.I8x32
+			for l := 0; l < lanes8; l++ {
+				pos := t + l*segLen
+				if pos < m {
+					v[l] = mat.Score(q[pos], uint8(c))
+				} else {
+					v[l] = submat.SentinelScore
+				}
+			}
+			p.prof[c*segLen+t] = v
+		}
+	}
+	return p
+}
+
+// SegLen returns the stripe count.
+func (p *StripedProfile8) SegLen() int { return p.segLen }
+
+// Striped8 is the 8-bit Farrar kernel, the configuration Parasail's
+// dispatch prefers in practice: 32 cells per issue, saturating at 127
+// (callers rerun saturated pairs at 16 bits), with the same
+// data-dependent lazy-F loop as Striped16.
+func Striped8(mch vek.Machine, prof *StripedProfile8, dseq []uint8, g aln.Gaps) (aln.ScoreResult, StripedStats) {
+	res := aln.ScoreResult{EndQ: -1, EndD: -1}
+	var stats StripedStats
+	if prof.m == 0 || len(dseq) == 0 {
+		return res, stats
+	}
+	if g.Open > 127 {
+		g.Open = 127
+	}
+	segLen := prof.segLen
+	openV := mch.Splat8(int8(g.Open))
+	extV := mch.Splat8(int8(g.Extend))
+	zeroV := mch.Zero8()
+	const negInf8 = int8(-128)
+
+	pvHStore := make([]vek.I8x32, segLen)
+	pvHLoad := make([]vek.I8x32, segLen)
+	pvE := make([]vek.I8x32, segLen)
+	negV := mch.Splat8(negInf8)
+	for i := range pvE {
+		pvE[i] = negV
+	}
+	mch.T.Add(vek.OpStore, vek.W256, uint64(3*segLen))
+	vMax := mch.Zero8()
+
+	for j := 0; j < len(dseq); j++ {
+		stats.Columns++
+		vF := negV
+		vH := mch.ShiftLanesLeft8(pvHStore[segLen-1], 1)
+		pvHLoad, pvHStore = pvHStore, pvHLoad
+		profRow := prof.prof[int(dseq[j])*segLen : (int(dseq[j])+1)*segLen]
+
+		for t := 0; t < segLen; t++ {
+			vH = mch.AddSat8(vH, profRow[t])
+			vE := pvE[t]
+			vH = mch.Max8(vH, vE)
+			vH = mch.Max8(vH, vF)
+			vH = mch.Max8(vH, zeroV)
+			vMax = mch.Max8(vMax, vH)
+			pvHStore[t] = vH
+			mch.T.Add(vek.OpLoad, vek.W256, 2)
+			mch.T.Add(vek.OpStore, vek.W256, 1)
+
+			vHGap := mch.SubSat8(vH, openV)
+			vE = mch.Max8(mch.SubSat8(vE, extV), vHGap)
+			pvE[t] = vE
+			mch.T.Add(vek.OpStore, vek.W256, 1)
+			vF = mch.Max8(mch.SubSat8(vF, extV), vHGap)
+			vH = pvHLoad[t]
+			mch.T.Add(vek.OpLoad, vek.W256, 1)
+		}
+
+		perColumn := 0
+	lazy:
+		for k := 0; k < lanes8; k++ {
+			vF = mch.ShiftLanesLeft8(vF, 1)
+			vF = mch.Insert8(vF, 0, negInf8)
+			for t := 0; t < segLen; t++ {
+				vH := pvHStore[t]
+				mch.T.Add(vek.OpLoad, vek.W256, 1)
+				vH = mch.Max8(vH, vF)
+				pvHStore[t] = vH
+				mch.T.Add(vek.OpStore, vek.W256, 1)
+				vMax = mch.Max8(vMax, vH)
+				stats.LazyFIterations++
+				perColumn++
+				vHGap := mch.SubSat8(vH, openV)
+				vF = mch.SubSat8(vF, extV)
+				if mch.MoveMask8(mch.CmpGt8(vF, vHGap)) == 0 {
+					break lazy
+				}
+			}
+		}
+		if perColumn > stats.MaxLazyFPerColumn {
+			stats.MaxLazyFPerColumn = perColumn
+		}
+	}
+	best := int32(mch.ReduceMax8(vMax))
+	res.Score = best
+	if best >= 127 {
+		res.Saturated = true
+	}
+	return res, stats
+}

@@ -1,0 +1,306 @@
+package baselines
+
+import (
+	"testing"
+	"testing/quick"
+
+	"swvec/internal/aln"
+	"swvec/internal/seqio"
+	"swvec/internal/submat"
+	"swvec/internal/vek"
+)
+
+var b62 = submat.Blosum62()
+
+func randomPair(g *seqio.Generator, qlen, dlen int) ([]uint8, []uint8) {
+	q := g.Protein("q", qlen).Encode(protAlpha)
+	d := g.Protein("d", dlen).Encode(protAlpha)
+	return q, d
+}
+
+func TestDiag16MatchesScalar(t *testing.T) {
+	g := seqio.NewGenerator(61)
+	gaps := aln.DefaultGaps()
+	for trial := 0; trial < 30; trial++ {
+		q, d := randomPair(g, 3+trial*9, 5+trial*13)
+		want := ScalarAffine(q, d, b62, gaps)
+		got := Diag16(vek.Bare, q, d, b62, gaps)
+		if got.Score != want.Score {
+			t.Fatalf("trial %d: score %d, want %d", trial, got.Score, want.Score)
+		}
+	}
+}
+
+func TestDiag16Homologs(t *testing.T) {
+	g := seqio.NewGenerator(62)
+	gaps := aln.Gaps{Open: 5, Extend: 1}
+	for trial := 0; trial < 10; trial++ {
+		src := g.Protein("s", 150+trial*31)
+		rel := g.Related(src, "r", 0.15, 0.04)
+		q, d := src.Encode(protAlpha), rel.Encode(protAlpha)
+		want := ScalarAffine(q, d, b62, gaps)
+		got := Diag16(vek.Bare, q, d, b62, gaps)
+		if got.Score != want.Score {
+			t.Fatalf("trial %d: score %d, want %d", trial, got.Score, want.Score)
+		}
+	}
+}
+
+func TestScan16MatchesScalar(t *testing.T) {
+	g := seqio.NewGenerator(63)
+	gaps := aln.DefaultGaps()
+	for trial := 0; trial < 30; trial++ {
+		q, d := randomPair(g, 3+trial*9, 5+trial*13)
+		want := ScalarAffine(q, d, b62, gaps)
+		got, _ := Scan16(vek.Bare, q, d, b62, gaps)
+		if got.Score != want.Score {
+			t.Fatalf("trial %d (%dx%d): score %d, want %d", trial, len(q), len(d), got.Score, want.Score)
+		}
+	}
+}
+
+func TestScan16Homologs(t *testing.T) {
+	g := seqio.NewGenerator(64)
+	gaps := aln.Gaps{Open: 4, Extend: 1}
+	for trial := 0; trial < 10; trial++ {
+		src := g.Protein("s", 120+trial*41)
+		rel := g.Related(src, "r", 0.2, 0.06)
+		q, d := src.Encode(protAlpha), rel.Encode(protAlpha)
+		want := ScalarAffine(q, d, b62, gaps)
+		got, stats := Scan16(vek.Bare, q, d, b62, gaps)
+		if got.Score != want.Score {
+			t.Fatalf("trial %d: score %d, want %d", trial, got.Score, want.Score)
+		}
+		if stats.Columns != len(d) {
+			t.Fatalf("columns %d, want %d", stats.Columns, len(d))
+		}
+	}
+}
+
+func TestScan16GapHeavyCorrections(t *testing.T) {
+	// A long vertical gap forces F to dominate across chunk
+	// boundaries, exercising the correction pass.
+	g := seqio.NewGenerator(65)
+	src := g.Protein("s", 400)
+	q := src.Encode(protAlpha)
+	// Database = query with a large block deleted: optimal alignment
+	// needs a long insertion (vertical gap).
+	d := append(append([]uint8{}, q[:100]...), q[300:]...)
+	gaps := aln.Gaps{Open: 3, Extend: 1}
+	want := ScalarAffine(q, d, b62, gaps)
+	got, stats := Scan16(vek.Bare, q, d, b62, gaps)
+	if got.Score != want.Score {
+		t.Fatalf("score %d, want %d", got.Score, want.Score)
+	}
+	if stats.Corrections == 0 {
+		t.Error("expected E corrections on a gap-heavy input")
+	}
+}
+
+func TestStriped16MatchesScalar(t *testing.T) {
+	g := seqio.NewGenerator(66)
+	gaps := aln.DefaultGaps()
+	for trial := 0; trial < 30; trial++ {
+		q, d := randomPair(g, 3+trial*9, 5+trial*13)
+		want := ScalarAffine(q, d, b62, gaps)
+		prof := NewStripedProfile16(b62, q)
+		got, _ := Striped16(vek.Bare, prof, d, gaps)
+		if got.Score != want.Score {
+			t.Fatalf("trial %d (%dx%d): score %d, want %d", trial, len(q), len(d), got.Score, want.Score)
+		}
+	}
+}
+
+func TestStriped16Homologs(t *testing.T) {
+	g := seqio.NewGenerator(67)
+	gaps := aln.Gaps{Open: 4, Extend: 1}
+	for trial := 0; trial < 10; trial++ {
+		src := g.Protein("s", 130+trial*37)
+		rel := g.Related(src, "r", 0.18, 0.05)
+		q, d := src.Encode(protAlpha), rel.Encode(protAlpha)
+		want := ScalarAffine(q, d, b62, gaps)
+		prof := NewStripedProfile16(b62, q)
+		got, _ := Striped16(vek.Bare, prof, d, gaps)
+		if got.Score != want.Score {
+			t.Fatalf("trial %d: score %d, want %d", trial, got.Score, want.Score)
+		}
+	}
+}
+
+func TestStriped16LazyFVariesWithInput(t *testing.T) {
+	// The paper's determinism argument: striped's correction work is
+	// data dependent. A gap-heavy input must trigger more lazy-F
+	// iterations per column than an unrelated random input.
+	g := seqio.NewGenerator(68)
+	src := g.Protein("s", 400)
+	q := src.Encode(protAlpha)
+	gaps := aln.Gaps{Open: 3, Extend: 1}
+	prof := NewStripedProfile16(b62, q)
+
+	dGap := append(append([]uint8{}, q[:100]...), q[300:]...)
+	_, gapStats := Striped16(vek.Bare, prof, dGap, gaps)
+
+	dRand := g.Protein("d", len(dGap)).Encode(protAlpha)
+	_, randStats := Striped16(vek.Bare, prof, dRand, gaps)
+
+	gapRate := float64(gapStats.LazyFIterations) / float64(gapStats.Columns)
+	randRate := float64(randStats.LazyFIterations) / float64(randStats.Columns)
+	if gapRate <= randRate {
+		t.Errorf("lazy-F rate on homologous input (%.2f) should exceed random (%.2f)", gapRate, randRate)
+	}
+}
+
+func TestAllKernelsAgreeProperty(t *testing.T) {
+	g := seqio.NewGenerator(69)
+	gaps := aln.DefaultGaps()
+	f := func(ql, dl uint8) bool {
+		qlen := 1 + int(ql)%150
+		dlen := 1 + int(dl)%150
+		q, d := randomPair(g, qlen, dlen)
+		want := ScalarAffine(q, d, b62, gaps).Score
+		if Diag16(vek.Bare, q, d, b62, gaps).Score != want {
+			return false
+		}
+		if got, _ := Scan16(vek.Bare, q, d, b62, gaps); got.Score != want {
+			return false
+		}
+		prof := NewStripedProfile16(b62, q)
+		got, _ := Striped16(vek.Bare, prof, d, gaps)
+		return got.Score == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKernelsEmptyInputs(t *testing.T) {
+	q := enc("ACD")
+	gaps := aln.DefaultGaps()
+	if got := Diag16(vek.Bare, nil, q, b62, gaps); got.Score != 0 {
+		t.Error("diag empty query")
+	}
+	if got, _ := Scan16(vek.Bare, q, nil, b62, gaps); got.Score != 0 {
+		t.Error("scan empty database")
+	}
+	prof := NewStripedProfile16(b62, q)
+	if got, _ := Striped16(vek.Bare, prof, nil, gaps); got.Score != 0 {
+		t.Error("striped empty database")
+	}
+}
+
+func TestStripedProfileLayout(t *testing.T) {
+	q := enc("ACDEFGHIKLMNPQRSTVWYACDEFGHIKLMNP") // 33 residues, segLen 3
+	prof := NewStripedProfile16(b62, q)
+	if prof.SegLen() != 3 {
+		t.Fatalf("segLen = %d, want 3", prof.SegLen())
+	}
+	for c := 0; c < submat.W; c++ {
+		for t2 := 0; t2 < prof.SegLen(); t2++ {
+			v := prof.prof[c*prof.SegLen()+t2]
+			for l := 0; l < lanes16; l++ {
+				pos := t2 + l*prof.SegLen()
+				want := int16(submat.SentinelScore)
+				if pos < len(q) {
+					want = int16(b62.Score(q[pos], uint8(c)))
+				}
+				if v[l] != want {
+					t.Fatalf("profile(%d, %d, lane %d) = %d, want %d", c, t2, l, v[l], want)
+				}
+			}
+		}
+	}
+}
+
+func TestDiagCheaperThanScalarButCostsMoreThanGather(t *testing.T) {
+	// Sanity on the op mix: Parasail-diag spends scalar loads on score
+	// assembly that the paper's kernel replaces with gathers.
+	g := seqio.NewGenerator(70)
+	q, d := randomPair(g, 128, 256)
+	mch, tal := vek.NewMachine()
+	Diag16(mch, q, d, b62, aln.DefaultGaps())
+	if tal.N256[vek.OpGather32] != 0 {
+		t.Error("Parasail-style diag must not use gathers")
+	}
+	if tal.N256[vek.OpScalarLoad] == 0 {
+		t.Error("diag should assemble scores with scalar loads")
+	}
+	if tal.N256[vek.OpReduce] == 0 {
+		t.Error("diag reduces eagerly; expected reduce ops")
+	}
+}
+
+func TestStriped8MatchesScalarUnderSaturation(t *testing.T) {
+	g := seqio.NewGenerator(71)
+	gaps := aln.DefaultGaps()
+	for trial := 0; trial < 30; trial++ {
+		q, d := randomPair(g, 3+trial*9, 5+trial*13)
+		want := ScalarAffine(q, d, b62, gaps).Score
+		prof := NewStripedProfile8(b62, q)
+		got, _ := Striped8(vek.Bare, prof, d, gaps)
+		if want < 127 {
+			if got.Score != want {
+				t.Fatalf("trial %d: score %d, want %d", trial, got.Score, want)
+			}
+			if got.Saturated {
+				t.Fatalf("trial %d: spurious saturation", trial)
+			}
+		} else if !got.Saturated {
+			t.Fatalf("trial %d: true score %d should saturate", trial, want)
+		}
+	}
+}
+
+func TestStriped8SaturatesOnHomologs(t *testing.T) {
+	g := seqio.NewGenerator(72)
+	src := g.Protein("s", 300)
+	rel := g.Related(src, "r", 0.05, 0.01)
+	q, d := src.Encode(protAlpha), rel.Encode(protAlpha)
+	if ScalarAffine(q, d, b62, aln.DefaultGaps()).Score <= 127 {
+		t.Skip("homolog unexpectedly weak")
+	}
+	prof := NewStripedProfile8(b62, q)
+	got, _ := Striped8(vek.Bare, prof, d, aln.DefaultGaps())
+	if !got.Saturated {
+		t.Fatalf("expected saturation, score %d", got.Score)
+	}
+}
+
+func TestStriped8LazyFDataDependence(t *testing.T) {
+	g := seqio.NewGenerator(73)
+	src := g.Protein("s", 400)
+	q := src.Encode(protAlpha)
+	gaps := aln.Gaps{Open: 3, Extend: 1}
+	prof := NewStripedProfile8(b62, q)
+	dGap := append(append([]uint8{}, q[:100]...), q[300:]...)
+	_, gapStats := Striped8(vek.Bare, prof, dGap, gaps)
+	dRand := g.Protein("d", len(dGap)).Encode(protAlpha)
+	_, randStats := Striped8(vek.Bare, prof, dRand, gaps)
+	gapRate := float64(gapStats.LazyFIterations) / float64(gapStats.Columns)
+	randRate := float64(randStats.LazyFIterations) / float64(randStats.Columns)
+	if gapRate <= randRate {
+		t.Errorf("lazy-F rate on homologous input (%.2f) should exceed random (%.2f)", gapRate, randRate)
+	}
+}
+
+func TestStripedProfile8Layout(t *testing.T) {
+	q := enc("ACDEFGHIKLMNPQRSTVWYACDEFGHIKLMNPQRSTVWY") // 40 residues, segLen 2
+	prof := NewStripedProfile8(b62, q)
+	if prof.SegLen() != 2 {
+		t.Fatalf("segLen = %d, want 2", prof.SegLen())
+	}
+	for c := 0; c < submat.W; c++ {
+		for t2 := 0; t2 < prof.SegLen(); t2++ {
+			v := prof.prof[c*prof.SegLen()+t2]
+			for l := 0; l < lanes8; l++ {
+				pos := t2 + l*prof.SegLen()
+				want := int8(submat.SentinelScore)
+				if pos < len(q) {
+					want = b62.Score(q[pos], uint8(c))
+				}
+				if v[l] != want {
+					t.Fatalf("profile(%d,%d,lane %d) = %d, want %d", c, t2, l, v[l], want)
+				}
+			}
+		}
+	}
+}

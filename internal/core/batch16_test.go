@@ -1,0 +1,93 @@
+package core
+
+import (
+	"testing"
+
+	"swvec/internal/aln"
+	"swvec/internal/baselines"
+	"swvec/internal/seqio"
+	"swvec/internal/vek"
+)
+
+func TestBatch16MatchesScalarPerLane(t *testing.T) {
+	g := seqio.NewGenerator(141)
+	seqs, batch := makeBatch(t, g, 32, false)
+	query := g.Protein("q", 90).Encode(protAlpha)
+	gaps := aln.DefaultGaps()
+	res, err := AlignBatch16(vek.Bare, query, b62Tables, batch, BatchOptions{Gaps: gaps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lane := 0; lane < batch.Count; lane++ {
+		d := seqs[batch.Index[lane]].Encode(protAlpha)
+		want := baselines.ScalarAffine(query, d, b62, gaps).Score
+		if res.Scores[lane] != want {
+			t.Fatalf("lane %d: %d, want %d", lane, res.Scores[lane], want)
+		}
+		if res.Saturated[lane] {
+			t.Fatalf("lane %d: spurious 16-bit saturation", lane)
+		}
+	}
+}
+
+func TestBatch16HandlesScoresBeyond8Bit(t *testing.T) {
+	// The whole point of the tier: homologs whose scores exceed 127.
+	g := seqio.NewGenerator(142)
+	query := g.Protein("q", 500)
+	seqs := g.Database(28)
+	for k := 0; k < 4; k++ {
+		seqs = append(seqs, g.Related(query, "h", 0.05, 0.01))
+	}
+	batch := seqio.BuildBatches(seqs, protAlpha, seqio.BatchOptions{})[0]
+	qEnc := query.Encode(protAlpha)
+	res, err := AlignBatch16(vek.Bare, qEnc, b62Tables, batch, BatchOptions{Gaps: aln.DefaultGaps()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawBig := false
+	for lane := 0; lane < batch.Count; lane++ {
+		d := seqs[batch.Index[lane]].Encode(protAlpha)
+		want := baselines.ScalarAffine(qEnc, d, b62, aln.DefaultGaps()).Score
+		if res.Scores[lane] != want {
+			t.Fatalf("lane %d: %d, want %d", lane, res.Scores[lane], want)
+		}
+		if want > 127 {
+			sawBig = true
+		}
+	}
+	if !sawBig {
+		t.Fatal("test vacuous: no lane above the 8-bit ceiling")
+	}
+}
+
+func TestBatch16LinearMatchesScalar(t *testing.T) {
+	g := seqio.NewGenerator(143)
+	seqs, batch := makeBatch(t, g, 20, true)
+	query := g.Protein("q", 70).Encode(protAlpha)
+	gaps := aln.Linear(4)
+	res, err := AlignBatch16(vek.Bare, query, b62Tables, batch, BatchOptions{Gaps: gaps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lane := 0; lane < batch.Count; lane++ {
+		d := seqs[batch.Index[lane]].Encode(protAlpha)
+		want := baselines.ScalarLinear(query, d, b62, 4).Score
+		if res.Scores[lane] != want {
+			t.Fatalf("lane %d: %d, want %d", lane, res.Scores[lane], want)
+		}
+	}
+}
+
+func TestBatch16Errors(t *testing.T) {
+	g := seqio.NewGenerator(144)
+	_, batch := makeBatch(t, g, 8, false)
+	if _, err := AlignBatch16(vek.Bare, nil, b62Tables, batch, BatchOptions{Gaps: aln.DefaultGaps()}); err == nil {
+		t.Error("empty query accepted")
+	}
+	if _, err := AlignBatch16(vek.Bare, []uint8{1}, b62Tables, &seqio.Batch{}, BatchOptions{Gaps: aln.DefaultGaps()}); err == nil {
+		t.Error("empty batch accepted")
+	}
+	if _, err := AlignBatch16(vek.Bare, []uint8{1}, b62Tables, batch, BatchOptions{Gaps: aln.Gaps{}}); err == nil {
+		t.Error("invalid gaps accepted")
+	}
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"testing"
+
+	"swvec/internal/aln"
+	"swvec/internal/baselines"
+	"swvec/internal/seqio"
+	"swvec/internal/submat"
+	"swvec/internal/vek"
+)
+
+var b62Tables = submat.NewCodeTables(b62)
+
+func makeBatch(t *testing.T, g *seqio.Generator, count int, sorted bool) ([]seqio.Sequence, *seqio.Batch) {
+	t.Helper()
+	seqs := g.Database(count)
+	batches := seqio.BuildBatches(seqs, protAlpha, seqio.BatchOptions{SortByLength: sorted})
+	if len(batches) != (count+31)/32 {
+		t.Fatalf("batches = %d", len(batches))
+	}
+	return seqs, batches[0]
+}
+
+// checkBatchAgainstScalar verifies every lane against the golden
+// scalar kernel under 8-bit saturation semantics.
+func checkBatchAgainstScalar(t *testing.T, query []uint8, seqs []seqio.Sequence, batch *seqio.Batch, res BatchResult, g aln.Gaps) {
+	t.Helper()
+	for lane := 0; lane < batch.Count; lane++ {
+		d := seqs[batch.Index[lane]].Encode(protAlpha)
+		var want int32
+		if g.IsLinear() {
+			want = baselines.ScalarLinear(query, d, b62, g.Extend).Score
+		} else {
+			want = baselines.ScalarAffine(query, d, b62, g).Score
+		}
+		if want >= int32(sat8) {
+			if !res.Saturated[lane] {
+				t.Errorf("lane %d: true score %d should saturate, got %d unsaturated",
+					lane, want, res.Scores[lane])
+			}
+			continue
+		}
+		if res.Scores[lane] != want {
+			t.Errorf("lane %d: score %d, want %d", lane, res.Scores[lane], want)
+		}
+		if res.Saturated[lane] {
+			t.Errorf("lane %d: spurious saturation at score %d", lane, res.Scores[lane])
+		}
+	}
+}
+
+func TestBatch8MatchesScalarPerLane(t *testing.T) {
+	g := seqio.NewGenerator(51)
+	seqs, batch := makeBatch(t, g, 32, false)
+	query := g.Protein("q", 80).Encode(protAlpha)
+	res, err := AlignBatch8(vek.Bare, query, b62Tables, batch, BatchOptions{Gaps: aln.DefaultGaps()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBatchAgainstScalar(t, query, seqs, batch, res, aln.DefaultGaps())
+}
+
+func TestBatch8PartialBatch(t *testing.T) {
+	g := seqio.NewGenerator(52)
+	seqs, batch := makeBatch(t, g, 11, false)
+	if batch.Count != 11 {
+		t.Fatalf("count = %d, want 11", batch.Count)
+	}
+	query := g.Protein("q", 50).Encode(protAlpha)
+	res, err := AlignBatch8(vek.Bare, query, b62Tables, batch, BatchOptions{Gaps: aln.DefaultGaps()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBatchAgainstScalar(t, query, seqs, batch, res, aln.DefaultGaps())
+	for lane := batch.Count; lane < lanes8; lane++ {
+		if res.Scores[lane] != 0 {
+			t.Errorf("padding lane %d has score %d", lane, res.Scores[lane])
+		}
+	}
+}
+
+func TestBatch8BlockedMatchesUnblocked(t *testing.T) {
+	g := seqio.NewGenerator(53)
+	_, batch := makeBatch(t, g, 32, true)
+	query := g.Protein("q", 64).Encode(protAlpha)
+	base, err := AlignBatch8(vek.Bare, query, b62Tables, batch, BatchOptions{Gaps: aln.DefaultGaps()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, block := range []int{1, 7, 32, 100, 1000} {
+		blocked, err := AlignBatch8(vek.Bare, query, b62Tables, batch,
+			BatchOptions{Gaps: aln.DefaultGaps(), BlockCols: block})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if blocked.Scores != base.Scores {
+			t.Fatalf("block %d: scores diverge", block)
+		}
+	}
+}
+
+func TestBatch8LinearMatchesScalar(t *testing.T) {
+	g := seqio.NewGenerator(54)
+	seqs, batch := makeBatch(t, g, 32, false)
+	query := g.Protein("q", 60).Encode(protAlpha)
+	gaps := aln.Linear(2)
+	res, err := AlignBatch8(vek.Bare, query, b62Tables, batch, BatchOptions{Gaps: gaps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBatchAgainstScalar(t, query, seqs, batch, res, gaps)
+}
+
+func TestBatch8SaturationAndRescue(t *testing.T) {
+	// Put a long homolog of the query in the batch: its true score
+	// exceeds 127 and must be flagged for 16-bit rescue.
+	g := seqio.NewGenerator(55)
+	seqs := g.Database(31)
+	query := g.Protein("q", 400)
+	seqs = append(seqs, g.Related(query, "homolog", 0.05, 0.01))
+	batches := seqio.BuildBatches(seqs, protAlpha, seqio.BatchOptions{})
+	batch := batches[0]
+	qEnc := query.Encode(protAlpha)
+	res, err := AlignBatch8(vek.Bare, qEnc, b62Tables, batch, BatchOptions{Gaps: aln.DefaultGaps()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	homolane := -1
+	for lane := 0; lane < batch.Count; lane++ {
+		if seqs[batch.Index[lane]].ID == "homolog" {
+			homolane = lane
+		}
+	}
+	if homolane < 0 {
+		t.Fatal("homolog not found in batch")
+	}
+	if !res.Saturated[homolane] {
+		t.Fatalf("homolog lane score %d not saturated", res.Scores[homolane])
+	}
+	// 16-bit rescue must recover the true score.
+	d := seqs[batch.Index[homolane]].Encode(protAlpha)
+	want := baselines.ScalarAffine(qEnc, d, b62, aln.DefaultGaps())
+	got, _, err := AlignPair16(vek.Bare, qEnc, d, b62, defaultOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Score != want.Score {
+		t.Fatalf("rescue score %d, want %d", got.Score, want.Score)
+	}
+	if got.Score <= 127 {
+		t.Fatalf("test is vacuous: true score %d fits 8 bits", got.Score)
+	}
+}
+
+func TestBatch8FewerOpsPerCellThanPair16(t *testing.T) {
+	// The central performance claim: the 8-bit batch path needs far
+	// fewer vector issues per DP cell than the gather-based 16-bit
+	// pair kernel.
+	g := seqio.NewGenerator(56)
+	seqs, batch := makeBatch(t, g, 32, true)
+	query := g.Protein("q", 100).Encode(protAlpha)
+
+	mB, tB := vek.NewMachine()
+	if _, err := AlignBatch8(mB, query, b62Tables, batch, BatchOptions{Gaps: aln.DefaultGaps()}); err != nil {
+		t.Fatal(err)
+	}
+	batchCells := float64(int64(len(query)) * int64(batch.MaxLen) * int64(batch.Count))
+	batchOps := float64(tB.VectorTotal()) / batchCells
+
+	mP, tP := vek.NewMachine()
+	d := seqs[batch.Index[0]].Encode(protAlpha)
+	if _, _, err := AlignPair16(mP, query, d, b62, defaultOpt()); err != nil {
+		t.Fatal(err)
+	}
+	pairCells := float64(len(query) * len(d))
+	pairOps := float64(tP.VectorTotal()) / pairCells
+
+	if batchOps >= pairOps/2 {
+		t.Errorf("batch ops/cell %.3f not clearly below pair16 %.3f", batchOps, pairOps)
+	}
+}
+
+func TestBatch8ErrorPaths(t *testing.T) {
+	g := seqio.NewGenerator(57)
+	_, batch := makeBatch(t, g, 32, false)
+	query := g.Protein("q", 10).Encode(protAlpha)
+	if _, err := AlignBatch8(vek.Bare, nil, b62Tables, batch, BatchOptions{Gaps: aln.DefaultGaps()}); err == nil {
+		t.Error("empty query accepted")
+	}
+	if _, err := AlignBatch8(vek.Bare, query, b62Tables, &seqio.Batch{}, BatchOptions{Gaps: aln.DefaultGaps()}); err == nil {
+		t.Error("empty batch accepted")
+	}
+	if _, err := AlignBatch8(vek.Bare, query, b62Tables, batch, BatchOptions{Gaps: aln.Gaps{Open: 200, Extend: 1}}); err == nil {
+		t.Error("out-of-range gap open accepted")
+	}
+}
+
+func TestCodeTablesMatchMatrix(t *testing.T) {
+	tables := submat.NewCodeTables(b62)
+	var idx vek.I8x32
+	for l := range idx {
+		idx[l] = int8(l) // codes 0..31
+	}
+	for c := 0; c < submat.W; c++ {
+		got := tables.LookupScores(vek.Bare, uint8(c), idx)
+		for l := 0; l < 32; l++ {
+			want := b62.Score(uint8(c), uint8(l))
+			if got[l] != want {
+				t.Fatalf("code %d vs %d: got %d, want %d", c, l, got[l], want)
+			}
+		}
+	}
+}

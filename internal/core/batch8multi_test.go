@@ -1,0 +1,205 @@
+package core
+
+import (
+	"testing"
+
+	"swvec/internal/aln"
+	"swvec/internal/baselines"
+	"swvec/internal/seqio"
+	"swvec/internal/submat"
+	"swvec/internal/vek"
+)
+
+func multiQueries(g *seqio.Generator, lens ...int) [][]uint8 {
+	out := make([][]uint8, len(lens))
+	for i, n := range lens {
+		out[i] = g.Protein("q", n).Encode(protAlpha)
+	}
+	return out
+}
+
+func TestBatch8MultiMatchesSingle(t *testing.T) {
+	g := seqio.NewGenerator(121)
+	_, batch := makeBatch(t, g, 32, true)
+	queries := multiQueries(g, 35, 64, 110, 190)
+	gaps := aln.DefaultGaps()
+
+	multi, err := AlignBatch8Multi(vek.Bare, queries, b62Tables, batch, BatchOptions{Gaps: gaps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, q := range queries {
+		single, err := AlignBatch8(vek.Bare, q, b62Tables, batch, BatchOptions{Gaps: gaps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if multi[qi].Scores != single.Scores {
+			t.Fatalf("query %d: multi scores diverge from single", qi)
+		}
+		if multi[qi].Saturated != single.Saturated {
+			t.Fatalf("query %d: saturation flags diverge", qi)
+		}
+	}
+}
+
+func TestBatch8MultiLinearMatchesSingle(t *testing.T) {
+	g := seqio.NewGenerator(122)
+	_, batch := makeBatch(t, g, 20, false)
+	queries := multiQueries(g, 40, 90)
+	gaps := aln.Linear(2)
+	multi, err := AlignBatch8Multi(vek.Bare, queries, b62Tables, batch, BatchOptions{Gaps: gaps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, q := range queries {
+		single, err := AlignBatch8(vek.Bare, q, b62Tables, batch, BatchOptions{Gaps: gaps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if multi[qi].Scores != single.Scores {
+			t.Fatalf("query %d: linear multi diverges", qi)
+		}
+	}
+}
+
+func TestBatch8MultiBlockedMatchesSingle(t *testing.T) {
+	g := seqio.NewGenerator(123)
+	_, batch := makeBatch(t, g, 32, true)
+	queries := multiQueries(g, 50, 77)
+	gaps := aln.DefaultGaps()
+	multi, err := AlignBatch8Multi(vek.Bare, queries, b62Tables, batch,
+		BatchOptions{Gaps: gaps, BlockCols: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, q := range queries {
+		single, err := AlignBatch8(vek.Bare, q, b62Tables, batch,
+			BatchOptions{Gaps: gaps, BlockCols: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if multi[qi].Scores != single.Scores {
+			t.Fatalf("query %d: blocked multi diverges", qi)
+		}
+	}
+}
+
+func TestBatch8MultiSavesScratchWork(t *testing.T) {
+	// The scenario-2 lever: shared scratch means fewer shuffle issues
+	// than running the queries separately.
+	g := seqio.NewGenerator(124)
+	_, batch := makeBatch(t, g, 32, true)
+	queries := multiQueries(g, 60, 60, 60, 60, 60, 60)
+	gaps := aln.DefaultGaps()
+
+	mM, tM := vek.NewMachine()
+	if _, err := AlignBatch8Multi(mM, queries, b62Tables, batch, BatchOptions{Gaps: gaps}); err != nil {
+		t.Fatal(err)
+	}
+	mS, tS := vek.NewMachine()
+	for _, q := range queries {
+		if _, err := AlignBatch8(mS, q, b62Tables, batch, BatchOptions{Gaps: gaps}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tM.N256[vek.OpShuffle] >= tS.N256[vek.OpShuffle] {
+		t.Errorf("multi shuffles %d should be below separate %d (scratch reuse)",
+			tM.N256[vek.OpShuffle], tS.N256[vek.OpShuffle])
+	}
+	if tM.Total() >= tS.Total() {
+		t.Errorf("multi total ops %d should be below separate %d", tM.Total(), tS.Total())
+	}
+}
+
+func TestBatch8MultiErrors(t *testing.T) {
+	g := seqio.NewGenerator(125)
+	_, batch := makeBatch(t, g, 8, false)
+	q := multiQueries(g, 20)
+	if _, err := AlignBatch8Multi(vek.Bare, nil, b62Tables, batch, BatchOptions{Gaps: aln.DefaultGaps()}); err == nil {
+		t.Error("no queries accepted")
+	}
+	if _, err := AlignBatch8Multi(vek.Bare, [][]uint8{nil}, b62Tables, batch, BatchOptions{Gaps: aln.DefaultGaps()}); err == nil {
+		t.Error("empty query accepted")
+	}
+	if _, err := AlignBatch8Multi(vek.Bare, q, b62Tables, &seqio.Batch{}, BatchOptions{Gaps: aln.DefaultGaps()}); err == nil {
+		t.Error("empty batch accepted")
+	}
+	if _, err := AlignBatch8Multi(vek.Bare, q, b62Tables, batch, BatchOptions{Gaps: aln.Gaps{Open: 200, Extend: 1}}); err == nil {
+		t.Error("8-bit range violation accepted")
+	}
+	if _, err := AlignBatch8Multi(vek.Bare, q, b62Tables, batch, BatchOptions{Gaps: aln.Gaps{}}); err == nil {
+		t.Error("invalid gaps accepted")
+	}
+}
+
+func TestPair16FixedScorePathMatchesScalar(t *testing.T) {
+	// The compare-and-blend fast path of the 16-bit kernel (Fig. 9's
+	// "without substitution matrix" series).
+	mm := submatMatchMismatch(t)
+	g := seqio.NewGenerator(126)
+	gaps := aln.Gaps{Open: 4, Extend: 1}
+	for trial := 0; trial < 15; trial++ {
+		q := g.Protein("q", 20+trial*13).Encode(protAlpha)
+		d := g.Protein("d", 30+trial*17).Encode(protAlpha)
+		want := baselinesScalar(q, d, mm, gaps)
+		got, _, err := AlignPair16(vek.Bare, q, d, mm, PairOptions{Gaps: gaps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Score != want {
+			t.Fatalf("trial %d: fixed-path score %d, want %d", trial, got.Score, want)
+		}
+	}
+	// The fast path must not gather.
+	q := g.Protein("q", 100).Encode(protAlpha)
+	d := g.Protein("d", 200).Encode(protAlpha)
+	mch, tal := vek.NewMachine()
+	if _, _, err := AlignPair16(mch, q, d, mm, PairOptions{Gaps: gaps}); err != nil {
+		t.Fatal(err)
+	}
+	if tal.N256[vek.OpGather32] != 0 {
+		t.Error("fixed-score path must not gather")
+	}
+	if tal.N256[vek.OpCmpEq8] == 0 {
+		t.Error("fixed-score path should use compare-and-blend")
+	}
+}
+
+func TestPair16FixedTracebackRescores(t *testing.T) {
+	mm := submatMatchMismatch(t)
+	g := seqio.NewGenerator(127)
+	src := g.Protein("s", 90)
+	rel := g.Related(src, "r", 0.15, 0.05)
+	q, d := src.Encode(protAlpha), rel.Encode(protAlpha)
+	gaps := aln.Gaps{Open: 4, Extend: 1}
+	res, tb, err := AlignPair16(vek.Bare, q, d, mm, PairOptions{Gaps: gaps, Traceback: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score == 0 {
+		t.Skip("no alignment")
+	}
+	a, err := tb.Walk(res.EndQ, res.EndD, res.Score)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := aln.Rescore(a, q, d, func(qc, dc uint8) int32 { return int32(mm.Score(qc, dc)) }, gaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != res.Score {
+		t.Fatalf("rescore %d, want %d", got, res.Score)
+	}
+}
+
+// submatMatchMismatch builds the fixed matrix used by the fast-path
+// tests.
+func submatMatchMismatch(t *testing.T) *submat.Matrix {
+	t.Helper()
+	return submat.MatchMismatch(protAlpha, 3, -2)
+}
+
+// baselinesScalar is a thin wrapper to keep the fast-path test terse.
+func baselinesScalar(q, d []uint8, m *submat.Matrix, g aln.Gaps) int32 {
+	return baselines.ScalarAffine(q, d, m, g).Score
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"swvec/internal/aln"
+	"swvec/internal/alphabet"
+	"swvec/internal/baselines"
+	"swvec/internal/seqio"
+	"swvec/internal/submat"
+	"swvec/internal/vek"
+)
+
+// randomDNA builds a random nucleotide sequence.
+func randomDNA(rng *rand.Rand, n int) []byte {
+	const nt = "ACGT"
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = nt[rng.Intn(4)]
+	}
+	return out
+}
+
+// TestDNAKernelsMatchScalar runs the whole kernel stack on the DNA
+// alphabet — the paper's methods apply to nucleotide alignment with a
+// simpler matrix (§II-A).
+func TestDNAKernelsMatchScalar(t *testing.T) {
+	mat := submat.DNADefault()
+	alpha := alphabet.DNAAlphabet()
+	rng := rand.New(rand.NewSource(77))
+	gaps := aln.Gaps{Open: 5, Extend: 2}
+	for trial := 0; trial < 20; trial++ {
+		q := alpha.Encode(randomDNA(rng, 20+trial*31))
+		d := alpha.Encode(randomDNA(rng, 30+trial*47))
+		want := baselines.ScalarAffine(q, d, mat, gaps)
+
+		got16, _, err := AlignPair16(vek.Bare, q, d, mat, PairOptions{Gaps: gaps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got16.Score != want.Score {
+			t.Fatalf("trial %d: pair16 %d, want %d", trial, got16.Score, want.Score)
+		}
+
+		got8, err := AlignPair8(vek.Bare, q, d, mat, PairOptions{Gaps: gaps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want.Score < int32(sat8) && got8.Score != want.Score {
+			t.Fatalf("trial %d: pair8 %d, want %d", trial, got8.Score, want.Score)
+		}
+
+		gotW, err := AlignPair16W(vek.Bare, q, d, mat, PairOptions{Gaps: gaps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotW.Score != want.Score {
+			t.Fatalf("trial %d: pair16w %d, want %d", trial, gotW.Score, want.Score)
+		}
+	}
+}
+
+func TestDNABatchEngine(t *testing.T) {
+	mat := submat.DNADefault()
+	alpha := alphabet.DNAAlphabet()
+	tables := submat.NewCodeTables(mat)
+	rng := rand.New(rand.NewSource(78))
+	seqs := make([]seqio.Sequence, 24)
+	for i := range seqs {
+		seqs[i] = seqio.Sequence{ID: "d", Residues: randomDNA(rng, 50+rng.Intn(300))}
+	}
+	batch := seqio.BuildBatches(seqs, alpha, seqio.BatchOptions{})[0]
+	q := alpha.Encode(randomDNA(rng, 120))
+	gaps := aln.Gaps{Open: 5, Extend: 2}
+	res, err := AlignBatch8(vek.Bare, q, tables, batch, BatchOptions{Gaps: gaps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lane := 0; lane < batch.Count; lane++ {
+		d := seqs[batch.Index[lane]].Encode(alpha)
+		want := baselines.ScalarAffine(q, d, mat, gaps).Score
+		if want >= int32(sat8) {
+			if !res.Saturated[lane] {
+				t.Fatalf("lane %d: score %d should saturate", lane, want)
+			}
+			continue
+		}
+		if res.Scores[lane] != want {
+			t.Fatalf("lane %d: %d, want %d", lane, res.Scores[lane], want)
+		}
+	}
+}
+
+func TestDNATracebackRescores(t *testing.T) {
+	mat := submat.DNADefault()
+	alpha := alphabet.DNAAlphabet()
+	rng := rand.New(rand.NewSource(79))
+	src := randomDNA(rng, 300)
+	// A read with a deletion relative to the reference.
+	read := append(append([]byte{}, src[40:120]...), src[135:220]...)
+	q := alpha.Encode(read)
+	d := alpha.Encode(src)
+	gaps := aln.Gaps{Open: 6, Extend: 1}
+	res, tb, err := AlignPair16(vek.Bare, q, d, mat, PairOptions{Gaps: gaps, Traceback: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score <= 0 {
+		t.Fatal("expected positive DNA alignment")
+	}
+	a, err := tb.Walk(res.EndQ, res.EndD, res.Score)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := aln.Rescore(a, q, d, func(qc, dc uint8) int32 { return int32(mat.Score(qc, dc)) }, gaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != res.Score {
+		t.Fatalf("rescore %d, want %d", got, res.Score)
+	}
+	hasDel := false
+	for _, op := range a.Cigar {
+		if op.Kind == aln.OpDelete && op.Len >= 10 {
+			hasDel = true
+		}
+	}
+	if !hasDel {
+		t.Errorf("expected a long deletion, cigar %s", a.CigarString())
+	}
+}
+
+// TestAdaptivePropertyVsScalar checks the full adaptive stack against
+// the oracle over random protein pairs.
+func TestAdaptivePropertyVsScalar(t *testing.T) {
+	g := seqio.NewGenerator(80)
+	gaps := aln.DefaultGaps()
+	for trial := 0; trial < 30; trial++ {
+		q := g.Protein("q", 1+trial*11%240).Encode(protAlpha)
+		d := g.Protein("d", 1+trial*17%240).Encode(protAlpha)
+		want := baselines.ScalarAffine(q, d, b62, gaps).Score
+		got, _, err := AlignPairAdaptive(vek.Bare, q, d, b62, PairOptions{Gaps: gaps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Score != want && !got.Saturated {
+			t.Fatalf("trial %d: adaptive %d, want %d", trial, got.Score, want)
+		}
+	}
+}

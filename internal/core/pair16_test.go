@@ -1,0 +1,309 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"swvec/internal/aln"
+	"swvec/internal/alphabet"
+	"swvec/internal/baselines"
+	"swvec/internal/seqio"
+	"swvec/internal/submat"
+	"swvec/internal/vek"
+)
+
+var (
+	protAlpha = alphabet.ProteinAlphabet()
+	b62       = submat.Blosum62()
+)
+
+func enc(s string) []uint8 { return protAlpha.EncodeString(s) }
+
+func defaultOpt() PairOptions { return PairOptions{Gaps: aln.DefaultGaps()} }
+
+func TestPair16MatchesScalarSmall(t *testing.T) {
+	q := enc("MKVLAWGQHEAGAWGHEE")
+	d := enc("PAWHEAEMKVLAWQHE")
+	want := baselines.ScalarAffine(q, d, b62, aln.DefaultGaps())
+	got, tb, err := AlignPair16(vek.Bare, q, d, b62, defaultOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Score != want.Score {
+		t.Fatalf("score = %d, want %d", got.Score, want.Score)
+	}
+	if tb != nil {
+		t.Fatal("traceback returned without being requested")
+	}
+}
+
+func TestPair16MatchesScalarRandom(t *testing.T) {
+	g := seqio.NewGenerator(21)
+	gaps := aln.DefaultGaps()
+	for trial := 0; trial < 40; trial++ {
+		qlen := 5 + trial*7%200
+		dlen := 5 + trial*13%300
+		q := g.Protein("q", qlen).Encode(protAlpha)
+		d := g.Protein("d", dlen).Encode(protAlpha)
+		want := baselines.ScalarAffine(q, d, b62, gaps)
+		got, _, err := AlignPair16(vek.Bare, q, d, b62, defaultOpt())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Score != want.Score {
+			t.Fatalf("trial %d (%dx%d): score = %d, want %d", trial, qlen, dlen, got.Score, want.Score)
+		}
+	}
+}
+
+func TestPair16MatchesScalarRelatedSequences(t *testing.T) {
+	// Homologous pairs produce long high-scoring alignments with gaps,
+	// exercising the E/F machinery harder than random pairs.
+	g := seqio.NewGenerator(22)
+	gaps := aln.Gaps{Open: 5, Extend: 1}
+	for trial := 0; trial < 15; trial++ {
+		src := g.Protein("s", 120+trial*17)
+		rel := g.Related(src, "r", 0.15, 0.05)
+		q := src.Encode(protAlpha)
+		d := rel.Encode(protAlpha)
+		want := baselines.ScalarAffine(q, d, b62, gaps)
+		got, _, err := AlignPair16(vek.Bare, q, d, b62, PairOptions{Gaps: gaps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Score != want.Score {
+			t.Fatalf("trial %d: score = %d, want %d", trial, got.Score, want.Score)
+		}
+	}
+}
+
+func TestPair16PropertyVsScalar(t *testing.T) {
+	g := seqio.NewGenerator(23)
+	gaps := aln.DefaultGaps()
+	f := func(qLen, dLen uint8) bool {
+		ql := 1 + int(qLen)%120
+		dl := 1 + int(dLen)%120
+		q := g.Protein("q", ql).Encode(protAlpha)
+		d := g.Protein("d", dl).Encode(protAlpha)
+		want := baselines.ScalarAffine(q, d, b62, gaps)
+		got, _, err := AlignPair16(vek.Bare, q, d, b62, defaultOpt())
+		return err == nil && got.Score == want.Score
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPair16PadTailMatchesScalarTail(t *testing.T) {
+	g := seqio.NewGenerator(24)
+	gaps := aln.DefaultGaps()
+	for trial := 0; trial < 25; trial++ {
+		q := g.Protein("q", 17+trial*11).Encode(protAlpha)
+		d := g.Protein("d", 31+trial*7).Encode(protAlpha)
+		padded, _, err := AlignPair16(vek.Bare, q, d, b62, PairOptions{Gaps: gaps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		scalar, _, err := AlignPair16(vek.Bare, q, d, b62, PairOptions{Gaps: gaps, ScalarTail: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if scalar.Score != padded.Score {
+			t.Fatalf("trial %d: padded tail %d != scalar tail %d", trial, padded.Score, scalar.Score)
+		}
+		// The linear kernel has both tail paths too.
+		lp, _, err := AlignPair16(vek.Bare, q, d, b62, PairOptions{Gaps: aln.Linear(2)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ls, _, err := AlignPair16(vek.Bare, q, d, b62, PairOptions{Gaps: aln.Linear(2), ScalarTail: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lp.Score != ls.Score {
+			t.Fatalf("trial %d: linear padded %d != scalar %d", trial, lp.Score, ls.Score)
+		}
+	}
+}
+
+func TestPair16ScalarThresholdInvariance(t *testing.T) {
+	// Any threshold must give the same score: the fallback is an
+	// implementation route, not a different algorithm.
+	g := seqio.NewGenerator(25)
+	q := g.Protein("q", 90).Encode(protAlpha)
+	d := g.Protein("d", 150).Encode(protAlpha)
+	want := baselines.ScalarAffine(q, d, b62, aln.DefaultGaps())
+	for _, thr := range []int{1, 2, 4, 8, 16, 100} {
+		got, _, err := AlignPair16(vek.Bare, q, d, b62, PairOptions{Gaps: aln.DefaultGaps(), ScalarThreshold: thr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Score != want.Score {
+			t.Fatalf("threshold %d: score = %d, want %d", thr, got.Score, want.Score)
+		}
+	}
+}
+
+func TestPair16TrackPosition(t *testing.T) {
+	g := seqio.NewGenerator(26)
+	q := g.Protein("q", 80).Encode(protAlpha)
+	d := g.Protein("d", 200).Encode(protAlpha)
+	want := baselines.ScalarAffine(q, d, b62, aln.DefaultGaps())
+	got, _, err := AlignPair16(vek.Bare, q, d, b62, PairOptions{Gaps: aln.DefaultGaps(), TrackPosition: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Score != want.Score {
+		t.Fatalf("score = %d, want %d", got.Score, want.Score)
+	}
+	if got.EndQ < 0 || got.EndD < 0 {
+		t.Fatal("position tracking returned no position")
+	}
+	// The tracked cell must actually hold the optimal score: verify by
+	// re-aligning the prefixes ending there.
+	pre := baselines.ScalarAffine(q[:got.EndQ+1], d[:got.EndD+1], b62, aln.DefaultGaps())
+	if pre.Score != got.Score {
+		t.Fatalf("prefix score at tracked position = %d, want %d", pre.Score, got.Score)
+	}
+}
+
+func TestPair16EagerMaxSameScore(t *testing.T) {
+	g := seqio.NewGenerator(27)
+	q := g.Protein("q", 70).Encode(protAlpha)
+	d := g.Protein("d", 130).Encode(protAlpha)
+	deferred, _, err := AlignPair16(vek.Bare, q, d, b62, defaultOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eager, _, err := AlignPair16(vek.Bare, q, d, b62, PairOptions{Gaps: aln.DefaultGaps(), EagerMax: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deferred.Score != eager.Score {
+		t.Fatalf("eager %d != deferred %d", eager.Score, deferred.Score)
+	}
+}
+
+func TestPair16EagerMaxCostsMoreReduces(t *testing.T) {
+	g := seqio.NewGenerator(28)
+	q := g.Protein("q", 100).Encode(protAlpha)
+	d := g.Protein("d", 300).Encode(protAlpha)
+	mDef, tDef := vek.NewMachine()
+	if _, _, err := AlignPair16(mDef, q, d, b62, defaultOpt()); err != nil {
+		t.Fatal(err)
+	}
+	mEag, tEag := vek.NewMachine()
+	if _, _, err := AlignPair16(mEag, q, d, b62, PairOptions{Gaps: aln.DefaultGaps(), EagerMax: true}); err != nil {
+		t.Fatal(err)
+	}
+	if tEag.N256[vek.OpReduce] <= tDef.N256[vek.OpReduce] {
+		t.Errorf("eager reduces %d should exceed deferred %d",
+			tEag.N256[vek.OpReduce], tDef.N256[vek.OpReduce])
+	}
+}
+
+func TestPair16LinearMatchesScalarLinear(t *testing.T) {
+	g := seqio.NewGenerator(29)
+	for trial := 0; trial < 25; trial++ {
+		q := g.Protein("q", 10+trial*9).Encode(protAlpha)
+		d := g.Protein("d", 20+trial*13).Encode(protAlpha)
+		want := baselines.ScalarLinear(q, d, b62, 2)
+		got, _, err := AlignPair16(vek.Bare, q, d, b62, PairOptions{Gaps: aln.Linear(2)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Score != want.Score {
+			t.Fatalf("trial %d: linear score = %d, want %d", trial, got.Score, want.Score)
+		}
+	}
+}
+
+func TestPair16LinearCheaperThanAffine(t *testing.T) {
+	g := seqio.NewGenerator(30)
+	q := g.Protein("q", 200).Encode(protAlpha)
+	d := g.Protein("d", 400).Encode(protAlpha)
+	mAff, tAff := vek.NewMachine()
+	if _, _, err := AlignPair16(mAff, q, d, b62, defaultOpt()); err != nil {
+		t.Fatal(err)
+	}
+	mLin, tLin := vek.NewMachine()
+	if _, _, err := AlignPair16(mLin, q, d, b62, PairOptions{Gaps: aln.Linear(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if tLin.Total() >= tAff.Total() {
+		t.Errorf("linear ops %d should be below affine %d", tLin.Total(), tAff.Total())
+	}
+}
+
+func TestPair16EmptyInputs(t *testing.T) {
+	if _, _, err := AlignPair16(vek.Bare, nil, enc("ACD"), b62, defaultOpt()); err == nil {
+		t.Error("empty query accepted")
+	}
+	if _, _, err := AlignPair16(vek.Bare, enc("ACD"), nil, b62, defaultOpt()); err == nil {
+		t.Error("empty database accepted")
+	}
+	if _, _, err := AlignPair16(vek.Bare, enc("A"), enc("A"), b62, PairOptions{Gaps: aln.Gaps{Open: 0, Extend: 0}}); err == nil {
+		t.Error("zero gap penalties accepted")
+	}
+}
+
+func TestPair16SingleResidue(t *testing.T) {
+	got, _, err := AlignPair16(vek.Bare, enc("W"), enc("W"), b62, defaultOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Score != 11 {
+		t.Fatalf("W/W = %d, want 11", got.Score)
+	}
+}
+
+func TestPair16NoPositiveScore(t *testing.T) {
+	got, _, err := AlignPair16(vek.Bare, enc("WWWWWWWWWW"), enc("PPPPPPPPPPPPPPPP"), b62, defaultOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Score != 0 {
+		t.Fatalf("score = %d, want 0", got.Score)
+	}
+	if got.EndQ != -1 || got.EndD != -1 {
+		t.Fatalf("end = (%d,%d), want (-1,-1)", got.EndQ, got.EndD)
+	}
+}
+
+func TestPair16RowMajorSameScoreMoreTraffic(t *testing.T) {
+	g := seqio.NewGenerator(31)
+	q := g.Protein("q", 120).Encode(protAlpha)
+	d := g.Protein("d", 250).Encode(protAlpha)
+	mDiag, tDiag := vek.NewMachine()
+	a, _, err := AlignPair16(mDiag, q, d, b62, defaultOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mRow, tRow := vek.NewMachine()
+	b, _, err := AlignPair16(mRow, q, d, b62, PairOptions{Gaps: aln.DefaultGaps(), RowMajorLayout: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Score != b.Score {
+		t.Fatalf("layouts disagree: %d vs %d", a.Score, b.Score)
+	}
+	if tRow.Total() <= tDiag.Total() {
+		t.Errorf("row-major traffic %d should exceed diagonal %d", tRow.Total(), tDiag.Total())
+	}
+}
+
+func TestPair16SaturationFlag(t *testing.T) {
+	// Two identical maximal-score sequences long enough to exceed
+	// 32767: 11 (W/W) * 3000 = 33000 > 32767.
+	w := make([]uint8, 3000)
+	for i := range w {
+		w[i] = protAlpha.Index('W')
+	}
+	got, _, err := AlignPair16(vek.Bare, w, w, b62, defaultOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Saturated {
+		t.Fatalf("expected saturation, score = %d", got.Score)
+	}
+}

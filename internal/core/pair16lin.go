@@ -1,0 +1,162 @@
+package core
+
+import (
+	"swvec/internal/aln"
+	"swvec/internal/submat"
+	"swvec/internal/vek"
+)
+
+// alignPair16Linear is the reduced kernel for the linear gap model
+// (Fig. 7's "without affine gap penalty" configuration): no E/F gap
+// state is kept, every gap step pays the flat extension cost, saving
+// two buffer loads, two stores and four arithmetic ops per vector.
+func alignPair16Linear(mch vek.Machine, q, dseq []uint8, mat *submat.Matrix, opt PairOptions) (aln.ScoreResult, *TraceMatrix, error) {
+	res := aln.ScoreResult{EndQ: -1, EndD: -1}
+	m, n := len(q), len(dseq)
+	st := newPairState16(mch, q, dseq, mat)
+	var tb *TraceMatrix
+	if opt.Traceback {
+		tb = newTraceMatrix(m, n)
+	}
+	trk := newTracker(mch, opt.Traceback || opt.TrackPosition)
+	ext16 := int16(clampI32(opt.Gaps.Extend, 32767))
+	extV := mch.Splat16(ext16)
+	zeroV := mch.Zero16()
+	oneV := mch.Splat16(tbDiag)
+	twoV := mch.Splat16(tbLeft)
+	threeV := mch.Splat16(tbUp)
+	thr := opt.scalarThreshold(lanes16)
+
+	for d := 2; d <= m+n; d++ {
+		lo, hi := diagBounds(d, m, n)
+		var tbDiagSlice []int8
+		if tb != nil {
+			tbDiagSlice = tb.diagSlice(d)
+		}
+		if hi-lo+1 < thr {
+			for i := lo; i <= hi; i++ {
+				st.scalarCellLinear(mch, q, dseq, mat, &opt, trk, tbDiagSlice, d, i, lo)
+			}
+			st.rotate(mch, d)
+			continue
+		}
+		r := lo
+		for ; r+lanes16 <= hi+1; r += lanes16 {
+			t0 := n - d + r
+			iq0 := mch.Load32(st.qMul[r-1:])
+			iq1 := mch.Load32(st.qMul[r+7:])
+			id0 := mch.Load32(st.dRev[t0:])
+			id1 := mch.Load32(st.dRev[t0+8:])
+			g0 := mch.Gather32(st.flat, mch.Add32(iq0, id0))
+			g1 := mch.Gather32(st.flat, mch.Add32(iq1, id1))
+			score := mch.Narrow32To16(g0, g1)
+
+			up := mch.Load16(st.hPrev[r-1:])
+			left := mch.Load16(st.hPrev[r:])
+			diagv := mch.Load16(st.hPrev2[r-1:])
+
+			e := mch.SubSat16(left, extV)
+			f := mch.SubSat16(up, extV)
+			h0 := mch.AddSat16(diagv, score)
+			h := mch.Max16(h0, zeroV)
+			h = mch.Max16(h, e)
+			h = mch.Max16(h, f)
+			mch.Store16(st.hCur[r:], h)
+			if opt.RowMajorLayout {
+				mch.T.Add(vek.OpScalarLoad, vek.W256, 3*lanes16)
+				mch.T.Add(vek.OpScalarStore, vek.W256, lanes16)
+			}
+
+			if opt.EagerMax {
+				eagerReduce(mch, trk, h)
+			} else {
+				trk.updateVector(mch, h, r, d)
+			}
+
+			if tb != nil {
+				dir := dirEncode(mch, h, h0, e, zeroV, oneV, twoV, threeV)
+				packed := mch.Narrow16To8(dir, zeroV)
+				mch.Store8Partial(tbDiagSlice[r-lo:r-lo+lanes16], packed)
+			}
+		}
+		if tail := hi - r + 1; tail > 0 {
+			if opt.ScalarTail {
+				for i := r; i <= hi; i++ {
+					st.scalarCellLinear(mch, q, dseq, mat, &opt, trk, tbDiagSlice, d, i, lo)
+				}
+			} else {
+				st.paddedTailLinear(mch, &opt, trk, tbDiagSlice, d, r, hi, lo, extV)
+			}
+		}
+		st.rotate(mch, d)
+	}
+	trk.finish(mch, &res, int32(sat16))
+	return res, tb, nil
+}
+
+// paddedTailLinear processes the final partial vector of a diagonal
+// with zero padding (§III-B) under the linear gap model.
+func (st *pairState16) paddedTailLinear(mch vek.Machine, opt *PairOptions, trk *tracker, tbSlice []int8, d, r, hi, lo int, extV vek.I16x16) {
+	valid := hi - r + 1
+	score := st.scoreVecPartial(mch, d, r, valid)
+	up := mch.Load16Partial(st.hPrev[r-1 : r-1+valid])
+	left := mch.Load16Partial(st.hPrev[r : r+valid])
+	diagv := mch.Load16Partial(st.hPrev2[r-1 : r-1+valid])
+	zeroV := mch.Zero16()
+	e := mch.SubSat16(left, extV)
+	f := mch.SubSat16(up, extV)
+	h0 := mch.AddSat16(diagv, score)
+	h := mch.Max16(h0, zeroV)
+	h = mch.Max16(h, e)
+	h = mch.Max16(h, f)
+	mch.Store16Partial(st.hCur[r:r+valid], h)
+	hMasked := h
+	for l := valid; l < lanes16; l++ {
+		hMasked[l] = 0
+	}
+	mch.T.Add(vek.OpLogic, vek.W256, 1)
+	if opt.EagerMax {
+		eagerReduce(mch, trk, hMasked)
+	} else {
+		trk.updateVector(mch, hMasked, r, d)
+	}
+	if tbSlice != nil {
+		oneV := mch.Splat16(tbDiag)
+		twoV := mch.Splat16(tbLeft)
+		threeV := mch.Splat16(tbUp)
+		dir := dirEncode(mch, h, h0, e, zeroV, oneV, twoV, threeV)
+		packed := mch.Narrow16To8(dir, zeroV)
+		mch.Store8Partial(tbSlice[r-lo:r-lo+valid], packed)
+	}
+}
+
+// scalarCellLinear computes one linear-gap cell with scalar
+// instructions.
+func (st *pairState16) scalarCellLinear(mch vek.Machine, q, dseq []uint8, mat *submat.Matrix, opt *PairOptions, trk *tracker, tbSlice []int8, d, i, lo int) {
+	j := d - i
+	sc := int32(mat.Score(q[i-1], dseq[j-1]))
+	e := satSub16(int32(st.hPrev[i]), opt.Gaps.Extend)
+	f := satSub16(int32(st.hPrev[i-1]), opt.Gaps.Extend)
+	h0 := satAdd16(int32(st.hPrev2[i-1]), sc)
+	h := maxI32(maxI32(h0, 0), maxI32(e, f))
+	st.hCur[i] = int16(h)
+	trk.updateScalar(h, i, d)
+	mch.T.Add(vek.OpScalar, vek.W256, 6)
+	mch.T.Add(vek.OpScalarLoad, vek.W256, 4)
+	mch.T.Add(vek.OpScalarStore, vek.W256, 1)
+	if tbSlice != nil {
+		var dir uint8
+		switch {
+		case h == 0:
+			dir = tbStop
+		case h == h0:
+			dir = tbDiag
+		case h == e:
+			dir = tbLeft
+		default:
+			dir = tbUp
+		}
+		tbSlice[i-lo] = int8(dir)
+		mch.T.Add(vek.OpScalarStore, vek.W256, 1)
+	}
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+
+	"swvec/internal/aln"
+)
+
+// Traceback direction codes. Bits 0-1 carry the source of H; bit 2
+// marks that E at this cell came from a gap extension (not a fresh
+// open), bit 3 the same for F. One byte per cell ("recording from
+// which cell (up, left, or diagonal) a particular cell was updated",
+// §IV-C).
+const (
+	tbStop = 0 // H == 0
+	tbDiag = 1 // H from H(i-1,j-1) + S
+	tbLeft = 2 // H from E (gap in query / consume database)
+	tbUp   = 3 // H from F (gap in database / consume query)
+
+	tbMask    = 3
+	tbEExtend = 4
+	tbFExtend = 8
+)
+
+// TraceMatrix stores one direction byte per DP cell in the paper's
+// diagonal-linearized order: all cells of anti-diagonal d are
+// consecutive, diagonals are concatenated in increasing d. This is the
+// same memory mapping Fig. 2 uses for H, applied to the traceback
+// store.
+type TraceMatrix struct {
+	m, n int
+	// off[d-2] is the codes offset of anti-diagonal d (d in 2..m+n).
+	off []int
+	// codes is stored as int8 so the kernels can write direction
+	// vectors with ordinary partial stores; values are 0..15.
+	codes []int8
+}
+
+// newTraceMatrix allocates the diagonal-linearized traceback store for
+// an m x n problem.
+func newTraceMatrix(m, n int) *TraceMatrix {
+	t := &TraceMatrix{m: m, n: n, off: make([]int, m+n-1)}
+	total := 0
+	for d := 2; d <= m+n; d++ {
+		t.off[d-2] = total
+		lo, hi := diagBounds(d, m, n)
+		if hi >= lo {
+			total += hi - lo + 1
+		}
+	}
+	t.codes = make([]int8, total)
+	return t
+}
+
+// index returns the storage index of cell (i, j), 1-based.
+func (t *TraceMatrix) index(i, j int) int {
+	d := i + j
+	lo, _ := diagBounds(d, t.m, t.n)
+	return t.off[d-2] + (i - lo)
+}
+
+// at returns the direction code of cell (i, j), 1-based.
+func (t *TraceMatrix) at(i, j int) uint8 { return uint8(t.codes[t.index(i, j)]) }
+
+// diagSlice returns the writable code slice for anti-diagonal d.
+func (t *TraceMatrix) diagSlice(d int) []int8 {
+	lo, hi := diagBounds(d, t.m, t.n)
+	if hi < lo {
+		return nil
+	}
+	start := t.off[d-2]
+	return t.codes[start : start+(hi-lo+1)]
+}
+
+// Bytes returns the total storage the traceback occupies (the Fig. 8
+// memory-cost axis).
+func (t *TraceMatrix) Bytes() int { return len(t.codes) }
+
+// Walk recovers the alignment ending at the 0-based cell (endQ, endD)
+// with the given score. The walk follows the affine state machine:
+// from a match state the stored 2-bit source selects the move; inside
+// a gap run the extend bits decide whether the gap continues.
+func (t *TraceMatrix) Walk(endQ, endD int, score int32) (*aln.Alignment, error) {
+	if endQ < 0 || endD < 0 {
+		return &aln.Alignment{Score: score, BegQ: -1, EndQ: -1, BegD: -1, EndD: -1}, nil
+	}
+	if endQ >= t.m || endD >= t.n {
+		return nil, fmt.Errorf("core: traceback start (%d,%d) outside %dx%d matrix", endQ, endD, t.m, t.n)
+	}
+	a := &aln.Alignment{Score: score, EndQ: endQ, EndD: endD}
+	i, j := endQ+1, endD+1 // 1-based walk coordinates
+	const (
+		stM = iota
+		stE
+		stF
+	)
+	state := stM
+	steps := 0
+	limit := t.m + t.n + 2
+	for i >= 1 && j >= 1 {
+		if steps++; steps > limit {
+			return nil, fmt.Errorf("core: traceback did not terminate within %d steps", limit)
+		}
+		code := t.at(i, j)
+		switch state {
+		case stM:
+			switch code & tbMask {
+			case tbStop:
+				a.BegQ, a.BegD = i, j
+				a.Reverse()
+				return a, nil
+			case tbDiag:
+				a.AppendOp(aln.OpMatch, 1)
+				i--
+				j--
+			case tbLeft:
+				state = stE
+			default: // tbUp
+				state = stF
+			}
+		case stE:
+			// E(i,j) came from the cell to the left; consume one
+			// database residue.
+			a.AppendOp(aln.OpDelete, 1)
+			if code&tbEExtend == 0 {
+				state = stM
+			}
+			j--
+		case stF:
+			a.AppendOp(aln.OpInsert, 1)
+			if code&tbFExtend == 0 {
+				state = stM
+			}
+			i--
+		}
+	}
+	// Ran into the matrix boundary: the local alignment starts here.
+	a.BegQ, a.BegD = i, j
+	a.Reverse()
+	return a, nil
+}

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"testing"
+
+	"swvec/internal/aln"
+	"swvec/internal/baselines"
+	"swvec/internal/seqio"
+	"swvec/internal/vek"
+)
+
+// rescore replays a traceback against the substitution matrix.
+func rescore(t *testing.T, a *aln.Alignment, q, d []uint8, g aln.Gaps) int32 {
+	t.Helper()
+	sc, err := aln.Rescore(a, q, d, func(qc, dc uint8) int32 {
+		return int32(b62.Score(qc, dc))
+	}, g)
+	if err != nil {
+		t.Fatalf("rescore: %v", err)
+	}
+	return sc
+}
+
+func alignWithTB(t *testing.T, q, d []uint8, g aln.Gaps) (aln.ScoreResult, *aln.Alignment) {
+	t.Helper()
+	res, tb, err := AlignPair16(vek.Bare, q, d, b62, PairOptions{Gaps: g, Traceback: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb == nil {
+		t.Fatal("traceback requested but not returned")
+	}
+	a, err := tb.Walk(res.EndQ, res.EndD, res.Score)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, a
+}
+
+func TestTracebackExactMatch(t *testing.T) {
+	q := enc("ACDEFGHIKLMNPQRSTVWY")
+	res, a := alignWithTB(t, q, q, aln.DefaultGaps())
+	if want := baselines.ScalarAffine(q, q, b62, aln.DefaultGaps()).Score; res.Score != want {
+		t.Fatalf("score = %d, want %d", res.Score, want)
+	}
+	if a.CigarString() != "20M" {
+		t.Fatalf("cigar = %q, want 20M", a.CigarString())
+	}
+	if a.BegQ != 0 || a.BegD != 0 || a.EndQ != 19 || a.EndD != 19 {
+		t.Fatalf("span = q[%d,%d] d[%d,%d]", a.BegQ, a.EndQ, a.BegD, a.EndD)
+	}
+	if got := rescore(t, a, q, q, aln.DefaultGaps()); got != res.Score {
+		t.Fatalf("rescore = %d, want %d", got, res.Score)
+	}
+}
+
+func TestTracebackWithGap(t *testing.T) {
+	// Query is the database with a 3-residue block deleted: the
+	// optimal alignment must contain one deletion run.
+	d := enc("MKVLAWGQHEAGAWGHEEKLVV")
+	q := append(append([]uint8{}, d[:8]...), d[11:]...)
+	g := aln.Gaps{Open: 4, Extend: 1}
+	res, a := alignWithTB(t, q, d, g)
+	if want := baselines.ScalarAffine(q, d, b62, g).Score; res.Score != want {
+		t.Fatalf("score = %d, want %d", res.Score, want)
+	}
+	if got := rescore(t, a, q, d, g); got != res.Score {
+		t.Fatalf("rescore = %d, want %d", got, res.Score)
+	}
+	hasDelete := false
+	for _, op := range a.Cigar {
+		if op.Kind == aln.OpDelete && op.Len == 3 {
+			hasDelete = true
+		}
+	}
+	if !hasDelete {
+		t.Errorf("expected a 3-residue deletion, cigar = %s", a.CigarString())
+	}
+}
+
+func TestTracebackRandomRescores(t *testing.T) {
+	g := seqio.NewGenerator(41)
+	gaps := aln.DefaultGaps()
+	for trial := 0; trial < 30; trial++ {
+		src := g.Protein("s", 40+trial*13)
+		rel := g.Related(src, "r", 0.2, 0.06)
+		q := src.Encode(protAlpha)
+		d := rel.Encode(protAlpha)
+		res, a := alignWithTB(t, q, d, gaps)
+		want := baselines.ScalarAffine(q, d, b62, gaps)
+		if res.Score != want.Score {
+			t.Fatalf("trial %d: score %d, want %d", trial, res.Score, want.Score)
+		}
+		if res.Score == 0 {
+			continue
+		}
+		if got := rescore(t, a, q, d, gaps); got != res.Score {
+			t.Fatalf("trial %d: rescore %d, want %d (cigar %s)", trial, got, res.Score, a.CigarString())
+		}
+		if a.EndQ != res.EndQ || a.EndD != res.EndD {
+			t.Fatalf("trial %d: alignment end (%d,%d) != result end (%d,%d)",
+				trial, a.EndQ, a.EndD, res.EndQ, res.EndD)
+		}
+	}
+}
+
+func TestTracebackLinearGapRescores(t *testing.T) {
+	g := seqio.NewGenerator(42)
+	gaps := aln.Linear(2)
+	for trial := 0; trial < 20; trial++ {
+		src := g.Protein("s", 30+trial*11)
+		rel := g.Related(src, "r", 0.15, 0.08)
+		q := src.Encode(protAlpha)
+		d := rel.Encode(protAlpha)
+		res, a := alignWithTB(t, q, d, gaps)
+		want := baselines.ScalarLinear(q, d, b62, 2)
+		if res.Score != want.Score {
+			t.Fatalf("trial %d: score %d, want %d", trial, res.Score, want.Score)
+		}
+		if res.Score == 0 {
+			continue
+		}
+		if got := rescore(t, a, q, d, gaps); got != res.Score {
+			t.Fatalf("trial %d: rescore %d, want %d", trial, got, res.Score)
+		}
+	}
+}
+
+func TestTracebackZeroScore(t *testing.T) {
+	q := enc("WWWW")
+	d := enc("PPPP")
+	res, tb, err := AlignPair16(vek.Bare, q, d, b62, PairOptions{Gaps: aln.DefaultGaps(), Traceback: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := tb.Walk(res.EndQ, res.EndD, res.Score)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BegQ != -1 || len(a.Cigar) != 0 {
+		t.Fatalf("zero-score walk produced ops: %+v", a)
+	}
+}
+
+func TestTracebackScalarThresholdInvariance(t *testing.T) {
+	// The alignment must rescore correctly whichever mix of vector and
+	// scalar cells produced the trace.
+	g := seqio.NewGenerator(43)
+	src := g.Protein("s", 100)
+	rel := g.Related(src, "r", 0.2, 0.05)
+	q := src.Encode(protAlpha)
+	d := rel.Encode(protAlpha)
+	gaps := aln.DefaultGaps()
+	for _, thr := range []int{1, 8, 64} {
+		res, tb, err := AlignPair16(vek.Bare, q, d, b62,
+			PairOptions{Gaps: gaps, Traceback: true, ScalarThreshold: thr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := tb.Walk(res.EndQ, res.EndD, res.Score)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := rescore(t, a, q, d, gaps); got != res.Score {
+			t.Fatalf("threshold %d: rescore %d, want %d", thr, got, res.Score)
+		}
+	}
+}
+
+func TestTracebackScalarTailRescores(t *testing.T) {
+	g := seqio.NewGenerator(44)
+	src := g.Protein("s", 77)
+	rel := g.Related(src, "r", 0.2, 0.05)
+	q := src.Encode(protAlpha)
+	d := rel.Encode(protAlpha)
+	gaps := aln.DefaultGaps()
+	res, tb, err := AlignPair16(vek.Bare, q, d, b62,
+		PairOptions{Gaps: gaps, Traceback: true, ScalarTail: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := tb.Walk(res.EndQ, res.EndD, res.Score)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rescore(t, a, q, d, gaps); got != res.Score {
+		t.Fatalf("rescore %d, want %d", got, res.Score)
+	}
+}
+
+func TestTraceMatrixBytes(t *testing.T) {
+	tb := newTraceMatrix(10, 20)
+	if tb.Bytes() != 200 {
+		t.Fatalf("bytes = %d, want 200", tb.Bytes())
+	}
+}
+
+func TestTraceMatrixIndexBijective(t *testing.T) {
+	m, n := 7, 11
+	tb := newTraceMatrix(m, n)
+	seen := make(map[int]bool)
+	for i := 1; i <= m; i++ {
+		for j := 1; j <= n; j++ {
+			idx := tb.index(i, j)
+			if idx < 0 || idx >= len(tb.codes) {
+				t.Fatalf("index(%d,%d) = %d out of range", i, j, idx)
+			}
+			if seen[idx] {
+				t.Fatalf("index(%d,%d) = %d collides", i, j, idx)
+			}
+			seen[idx] = true
+		}
+	}
+	if len(seen) != m*n {
+		t.Fatalf("covered %d cells, want %d", len(seen), m*n)
+	}
+}
+
+func TestWalkRejectsOutOfRange(t *testing.T) {
+	tb := newTraceMatrix(5, 5)
+	if _, err := tb.Walk(7, 2, 10); err == nil {
+		t.Error("out-of-range walk start accepted")
+	}
+}
+
+func TestTracebackEndPositionsMatchScalarScoreAt(t *testing.T) {
+	// The end cell reported by the kernel must be a true optimum:
+	// aligning the prefixes up to it reproduces the score.
+	g := seqio.NewGenerator(45)
+	q := g.Protein("q", 60).Encode(protAlpha)
+	d := g.Protein("d", 90).Encode(protAlpha)
+	gaps := aln.DefaultGaps()
+	res, _, err := AlignPair16(vek.Bare, q, d, b62, PairOptions{Gaps: gaps, Traceback: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score == 0 {
+		t.Skip("no positive alignment in this draw")
+	}
+	pre := baselines.ScalarAffine(q[:res.EndQ+1], d[:res.EndD+1], b62, gaps)
+	if pre.Score != res.Score {
+		t.Fatalf("prefix score %d, want %d", pre.Score, res.Score)
+	}
+}

@@ -1,0 +1,162 @@
+package figures
+
+import (
+	"fmt"
+
+	"swvec/internal/aln"
+	"swvec/internal/core"
+	"swvec/internal/isa"
+	"swvec/internal/stats"
+	"swvec/internal/submat"
+	"swvec/internal/vek"
+)
+
+// Fig06AVX2vsAVX512 reproduces Fig. 6: the wavefront kernel at 256-bit
+// versus 512-bit width on the two AVX-512 architectures (Skylake,
+// Cascadelake), per query size. The wide kernel halves the issue count
+// but pays the AVX-512 frequency license and wider-port costs, so the
+// speedup stays well under 2x — the paper's reason for continuing with
+// AVX2.
+func Fig06AVX2vsAVX512(cfg Config) *stats.Table {
+	w := newWorkload(cfg)
+	archs := []*isa.Arch{isa.Get(isa.Skylake), isa.Get(isa.Cascadelake)}
+	t := &stats.Table{
+		Title:   "Fig 6: AVX2 (256) vs AVX512 on 10 protein queries (modeled GCUPS, 1 thread)",
+		Headers: []string{"query_len"},
+		Note:    "AVX512 gains stay well below 2x: frequency license + wider-port costs",
+	}
+	for _, a := range archs {
+		t.Headers = append(t.Headers, a.Name+" AVX2", a.Name+" AVX512", a.Name+" speedup")
+	}
+	for qi, q := range w.encQ {
+		m256, t256 := vek.NewMachine()
+		if _, _, err := core.AlignPair16(m256, q, w.target, w.mat, core.PairOptions{Gaps: w.gaps}); err != nil {
+			panic(err)
+		}
+		m512, t512 := vek.NewMachine()
+		if _, err := core.AlignPair16W(m512, q, w.target, w.mat, core.PairOptions{Gaps: w.gaps}); err != nil {
+			panic(err)
+		}
+		row := []interface{}{w.queries[qi].Len()}
+		for _, a := range archs {
+			r256 := pairRun(a, t256, len(q), len(w.target))
+			r512 := pairRun(a, t512, len(q), len(w.target))
+			g256, g512 := r256.GCUPS1(), r512.GCUPS1()
+			row = append(row, g256, g512, fmt.Sprintf("%.2fx", g512/g256))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Fig07AffineGap reproduces Fig. 7: the wavefront kernel with affine
+// versus linear gap penalties across the four evaluated architectures.
+// The paper's finding — affine costs almost nothing — reproduces
+// because the kernel is gather/load bound: the extra E/F bookkeeping
+// of the affine model hides under that bottleneck.
+func Fig07AffineGap(cfg Config) *stats.Table {
+	w := newWorkload(cfg)
+	t := &stats.Table{
+		Title:   "Fig 7: affine vs linear gap penalty (modeled GCUPS, 1 thread)",
+		Headers: []string{"query_len"},
+		Note:    "affine E/F state hides under the gather/load bottleneck of the pair kernel; only the ALU-bound batch engine pays measurably for affine (see EXPERIMENTS.md)",
+	}
+	for _, a := range isa.Evaluated() {
+		t.Headers = append(t.Headers, a.Name+" affine", a.Name+" linear")
+	}
+	// A linear penalty of 6/residue keeps scores in the logarithmic
+	// regime (a weak linear gap would saturate the score range and
+	// measure the rescue path instead of the kernel).
+	linear := aln.Linear(6)
+	for qi, q := range w.encQ {
+		mA, talA := vek.NewMachine()
+		if _, _, err := core.AlignPair16(mA, q, w.target, w.mat, core.PairOptions{Gaps: w.gaps}); err != nil {
+			panic(err)
+		}
+		mL, talL := vek.NewMachine()
+		if _, _, err := core.AlignPair16(mL, q, w.target, w.mat, core.PairOptions{Gaps: linear}); err != nil {
+			panic(err)
+		}
+		row := []interface{}{w.queries[qi].Len()}
+		for _, a := range isa.Evaluated() {
+			rA := pairRun(a, talA, len(q), len(w.target))
+			rL := pairRun(a, talL, len(q), len(w.target))
+			row = append(row, rA.GCUPS1(), rL.GCUPS1())
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Fig08Traceback reproduces Fig. 8: the wavefront kernel with and
+// without traceback recording. Recording directions adds a handful of
+// cheap vector ops and one byte store per cell; the paper found no
+// meaningful slowdown.
+func Fig08Traceback(cfg Config) *stats.Table {
+	w := newWorkload(cfg)
+	t := &stats.Table{
+		Title:   "Fig 8: with vs without traceback (modeled GCUPS, 1 thread)",
+		Headers: []string{"query_len", "tb_bytes"},
+		Note:    "traceback stores one direction byte per cell in diagonal-linearized memory",
+	}
+	for _, a := range isa.Evaluated() {
+		t.Headers = append(t.Headers, a.Name+" no-tb", a.Name+" tb")
+	}
+	for qi, q := range w.encQ {
+		mN, tN := vek.NewMachine()
+		if _, _, err := core.AlignPair16(mN, q, w.target, w.mat, core.PairOptions{Gaps: w.gaps}); err != nil {
+			panic(err)
+		}
+		mT, tT := vek.NewMachine()
+		_, tb, err := core.AlignPair16(mT, q, w.target, w.mat, core.PairOptions{Gaps: w.gaps, Traceback: true})
+		if err != nil {
+			panic(err)
+		}
+		row := []interface{}{w.queries[qi].Len(), tb.Bytes()}
+		for _, a := range isa.Evaluated() {
+			rN := pairRun(a, tN, len(q), len(w.target))
+			rT := pairRun(a, tT, len(q), len(w.target))
+			// Traceback widens the working set by the trace bytes of
+			// the active diagonals (a few KB), not the whole matrix.
+			rT.WorkingSetKB += float64(3*len(q)) / 1024
+			row = append(row, rN.GCUPS1(), rT.GCUPS1())
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Fig09SubstMatrix reproduces Fig. 9: the kernel with the BLOSUM62
+// substitution matrix (gather path) versus fixed match/mismatch
+// scores (compare-and-blend path). The gather's port pressure makes
+// the substitution-matrix runs core bound.
+func Fig09SubstMatrix(cfg Config) *stats.Table {
+	w := newWorkload(cfg)
+	fixed := submat.MatchMismatch(w.mat.Alphabet(), 2, -1)
+	t := &stats.Table{
+		Title:   "Fig 9: with vs without substitution matrix (modeled GCUPS, 1 thread)",
+		Headers: []string{"query_len"},
+		Note:    "the gather path pays port pressure; the 8-bit batch engine closes the 8-bit gap (see bench ablations)",
+	}
+	for _, a := range isa.Evaluated() {
+		t.Headers = append(t.Headers, a.Name+" submat", a.Name+" fixed")
+	}
+	for qi, q := range w.encQ {
+		mS, tS := vek.NewMachine()
+		if _, _, err := core.AlignPair16(mS, q, w.target, w.mat, core.PairOptions{Gaps: w.gaps}); err != nil {
+			panic(err)
+		}
+		mF, tF := vek.NewMachine()
+		if _, _, err := core.AlignPair16(mF, q, w.target, fixed, core.PairOptions{Gaps: w.gaps}); err != nil {
+			panic(err)
+		}
+		row := []interface{}{w.queries[qi].Len()}
+		for _, a := range isa.Evaluated() {
+			rS := pairRun(a, tS, len(q), len(w.target))
+			rF := pairRun(a, tF, len(q), len(w.target))
+			row = append(row, rS.GCUPS1(), rF.GCUPS1())
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

@@ -1,0 +1,132 @@
+package figures
+
+import (
+	"fmt"
+
+	"swvec/internal/core"
+	"swvec/internal/isa"
+	"swvec/internal/perfmodel"
+	"swvec/internal/seqio"
+	"swvec/internal/stats"
+	"swvec/internal/tuner"
+	"swvec/internal/vek"
+)
+
+// Fig10Tuning reproduces Fig. 10: the evolutionary hyperparameter
+// search per architecture and query size. The paper tunes GCC
+// hyperparameters; here the same GA tunes the kernel hyperparameter
+// registry (scalar threshold, tail padding, batch block size, layout)
+// against the modeled runtime. As in the paper, gains vary strongly
+// with architecture and query size, and the search is a heuristic with
+// no optimality guarantee.
+func Fig10Tuning(cfg Config) *stats.Table {
+	w := newWorkload(cfg)
+	// The GA evaluates dozens of configurations; cap the fitness
+	// workload so a full harness run stays tractable. Gains are
+	// per-query-size relative measurements, so the cap does not change
+	// the figure's story.
+	if len(w.db) > 16 {
+		w.db = w.db[:16]
+	}
+	if len(w.target) > 600 {
+		w.target = w.target[:600]
+	}
+	if len(w.encQ) > 4 {
+		keep := []int{0, len(w.encQ) / 3, 2 * len(w.encQ) / 3, len(w.encQ) - 1}
+		var qs []seqio.Sequence
+		var es [][]uint8
+		for _, i := range keep {
+			qs = append(qs, w.queries[i])
+			es = append(es, w.encQ[i])
+		}
+		w.queries, w.encQ = qs, es
+	}
+	for i, q := range w.encQ {
+		if len(q) > 1500 {
+			w.encQ[i] = q[:1500]
+			w.queries[i].Residues = w.queries[i].Residues[:1500]
+		}
+	}
+	t := &stats.Table{
+		Title:   "Fig 10: performance improvement after hyperparameter tuning (GA, pop 12, 6 generations)",
+		Headers: []string{"arch", "query_len", "baseline_GCUPS", "tuned_GCUPS", "improvement", "best_config"},
+		Note:    "gains are architecture- and query-size-dependent; the GA is not guaranteed optimal",
+	}
+
+	// The tally for a configuration is architecture independent, so
+	// measure once per distinct configuration and reprice per arch.
+	type measured struct {
+		tally *vek.Tally
+		cells int64
+		wsKB  float64
+	}
+	cache := map[string]measured{}
+	params := tuner.KernelParams()
+	key := func(cfg tuner.Config) string {
+		s := ""
+		for _, p := range params {
+			s += fmt.Sprintf("%s=%d;", p.Name, cfg[p.Name])
+		}
+		return s
+	}
+	// measure runs the config's kernels for one query size; tallies
+	// are architecture independent, so each (query, config) pair is
+	// measured once and repriced per architecture.
+	measure := func(qi int, tc tuner.Config) measured {
+		k := fmt.Sprintf("q%d|%s", qi, key(tc))
+		if m, ok := cache[k]; ok {
+			return m
+		}
+		q := w.encQ[qi]
+		mch, tal := vek.NewMachine()
+		// Pair-kernel component with the config's kernel knobs.
+		popt := core.PairOptions{
+			Gaps:            w.gaps,
+			ScalarThreshold: tc["scalar_threshold"],
+			ScalarTail:      tc["scalar_tail"] == 1,
+			EagerMax:        tc["eager_max"] == 1,
+		}
+		if _, _, err := core.AlignPair16(mch, q, w.target, w.mat, popt); err != nil {
+			panic(err)
+		}
+		cells := int64(len(q)) * int64(len(w.target))
+		// Batch-engine component with the layout knobs.
+		talB, cellsB, _ := w.searchTally(q, tc["block_cols"], tc["sort_by_length"] == 1, w.gaps)
+		tal.Merge(talB)
+		cells += cellsB
+		m := measured{tally: tal, cells: cells, wsKB: w.batchWorkingSetKB(tc["block_cols"])}
+		cache[k] = m
+		return m
+	}
+
+	opts := tuner.DefaultOptions()
+	opts.Population = 12
+	opts.Generations = 6
+	for _, arch := range isa.Evaluated() {
+		for qi := range w.encQ {
+			fitness := func(tc tuner.Config) float64 {
+				m := measure(qi, tc)
+				run := perfmodel.Run{Arch: arch, Tally: m.tally, Cells: m.cells, WorkingSetKB: m.wsKB}
+				return run.Seconds(1)
+			}
+			opts.Seed = cfg.Seed + int64(qi)
+			res, err := tuner.Optimize(params, fitness, opts)
+			if err != nil {
+				panic(err)
+			}
+			m := measure(qi, res.Best)
+			baseCfg := tuner.Config{}
+			for _, p := range params {
+				baseCfg[p.Name] = p.Values[0]
+			}
+			mb := measure(qi, baseCfg)
+			baseRun := perfmodel.Run{Arch: arch, Tally: mb.tally, Cells: mb.cells, WorkingSetKB: mb.wsKB}
+			bestRun := perfmodel.Run{Arch: arch, Tally: m.tally, Cells: m.cells, WorkingSetKB: m.wsKB}
+			t.AddRow(arch.Name, w.queries[qi].Len(),
+				baseRun.GCUPS1(), bestRun.GCUPS1(),
+				fmt.Sprintf("%+.1f%%", 100*res.Improvement()),
+				key(res.Best))
+		}
+	}
+	return t
+}

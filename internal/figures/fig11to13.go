@@ -1,0 +1,161 @@
+package figures
+
+import (
+	"fmt"
+	"runtime"
+
+	"swvec/internal/aln"
+	"swvec/internal/core"
+	"swvec/internal/isa"
+	"swvec/internal/perfmodel"
+	"swvec/internal/profile"
+	"swvec/internal/sched"
+	"swvec/internal/stats"
+	"swvec/internal/submat"
+	"swvec/internal/vek"
+)
+
+// Fig11Scaling reproduces Fig. 11: throughput scaling with thread
+// count per architecture, including the frequency-droop recalibration
+// of §IV-E and the hyperthreading region beyond the core count.
+func Fig11Scaling(cfg Config) *stats.Table {
+	w := newWorkload(cfg)
+	t := &stats.Table{
+		Title:   "Fig 11: thread scaling with frequency recalibration (modeled)",
+		Headers: []string{"arch", "threads", "freq_GHz", "GCUPS", "speedup_raw", "speedup_recalibrated"},
+		Note:    "raw speedups are sub-linear purely from frequency droop; recalibrated speedups track core count, and hyperthreading adds throughput beyond it",
+	}
+	q := w.encQ[len(w.encQ)/2]
+	for _, arch := range isa.Evaluated() {
+		run := w.searchRun(arch, q, 0, false)
+		for _, p := range run.Scaling(perfmodel.DefaultThreadCounts(arch)) {
+			t.AddRow(arch.Name, p.Threads,
+				fmt.Sprintf("%.2f", p.FreqGHz), p.GCUPS,
+				fmt.Sprintf("%.2fx", p.SpeedupRaw),
+				fmt.Sprintf("%.2fx", p.SpeedupRecal))
+		}
+	}
+	return t
+}
+
+// Fig12TopDown reproduces Fig. 12: (a) the backend-bound split with
+// and without the substitution matrix, (b) pipeline-slot efficiency
+// versus thread count for a large query batch, (c) the same per query
+// size.
+func Fig12TopDown(cfg Config) []*stats.Table {
+	w := newWorkload(cfg)
+	arch := isa.Get(isa.Skylake)
+
+	a := &stats.Table{
+		Title:   "Fig 12a: top-down backend-bound split, Skylake (with vs without substitution matrix)",
+		Headers: []string{"scenario", "retiring", "frontend", "badspec", "backend", "backend_mem", "backend_core", "verdict"},
+		Note:    "with the substitution matrix the kernel is core bound (gather port pressure); memory-bound slots stay >= ~8%, higher without the matrix",
+	}
+	// Fig. 12a profiles the wavefront pair kernel, where the
+	// substitution matrix changes the score path (gathers vs
+	// compare-and-blend); the batch engine never gathers.
+	q := w.encQ[len(w.encQ)/2]
+	fixed := submat.MatchMismatch(w.mat.Alphabet(), 2, -1)
+	pairTally := func(mat *submat.Matrix) perfmodel.Run {
+		mch, tal := vek.NewMachine()
+		if _, _, err := core.AlignPair16(mch, q, w.target, mat, core.PairOptions{Gaps: w.gaps}); err != nil {
+			panic(err)
+		}
+		return pairRun(arch, tal, len(q), len(w.target))
+	}
+	withRun := pairTally(w.mat)
+	withoutRun := pairTally(fixed)
+	for _, sc := range []struct {
+		name string
+		run  perfmodel.Run
+	}{{"with substitution matrix", withRun}, {"without (fixed scores)", withoutRun}} {
+		rep := profile.Analyze(sc.name, sc.run)
+		td := rep.Breakdown
+		verdict := "memory bound"
+		if rep.CPUBound() {
+			verdict = "core bound"
+		}
+		a.AddRow(sc.name,
+			pct(td.Retiring), pct(td.FrontendBound), pct(td.BadSpeculation),
+			pct(td.BackendBound), pct(td.BackendMemory), pct(td.BackendCore), verdict)
+	}
+
+	b := &stats.Table{
+		Title:   "Fig 12b: pipeline-slot efficiency vs threads (large query batch, Skylake)",
+		Headers: []string{"threads", "slot_efficiency"},
+		Note:    "the second hardware thread fills idle backend slots, raising efficiency",
+	}
+	counts := perfmodel.DefaultThreadCounts(arch)
+	for _, p := range profile.HTEfficiencySeries(withRun, counts) {
+		b.AddRow(p.Threads, pct(p.Efficiency))
+	}
+
+	c := &stats.Table{
+		Title:   "Fig 12c: pipeline-slot efficiency per query protein and thread count (Skylake)",
+		Headers: []string{"query_len", "1T", "all cores", "2x HT"},
+		Note:    "small queries are less reliable (short kernels), as the paper observed",
+	}
+	for qi, qe := range w.encQ {
+		run := w.searchRun(arch, qe, 0, false)
+		pts := profile.HTEfficiencySeries(run, []int{1, arch.Cores, arch.Threads()})
+		c.AddRow(w.queries[qi].Len(), pct(pts[0].Efficiency), pct(pts[1].Efficiency), pct(pts[2].Efficiency))
+	}
+	return []*stats.Table{a, b, c}
+}
+
+func pct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }
+
+// Fig13Scenarios reproduces Fig. 13: measured wall-clock throughput of
+// the three usage scenarios on the host, plus the modeled Skylake
+// numbers from the merged tallies. Scenario 2 (batched queries) wins
+// through data reuse; scenario 3 pays the pair-kernel overhead on
+// small inputs.
+func Fig13Scenarios(cfg Config) *stats.Table {
+	w := newWorkload(cfg)
+	arch := isa.Get(isa.Skylake)
+	threads := runtime.GOMAXPROCS(0)
+	opt := sched.Options{Gaps: w.gaps, Threads: threads, Instrument: true}
+	t := &stats.Table{
+		Title:   "Fig 13: usage scenarios (measured on host + modeled Skylake, all threads)",
+		Headers: []string{"scenario", "cells", "host_ms", "host_GCUPS", "modeled_GCUPS_1T"},
+		Note:    "host GCUPS reflects the emulated vector machine, not native SIMD; compare scenarios relatively",
+	}
+
+	// Scenario 1: single query vs database.
+	q := w.encQ[len(w.encQ)/2]
+	s1, err := sched.Search(q, w.db, w.mat, opt)
+	if err != nil {
+		panic(err)
+	}
+	r1 := pairRunWS(arch, s1.Tally, s1.Cells, w.batchWorkingSetKB(0))
+	t.AddRow("S1 single query vs DB", s1.Cells, fmt.Sprintf("%.1f", float64(s1.Elapsed.Microseconds())/1000), s1.GCUPS(), r1.GCUPS1())
+
+	// Scenario 2: batch of queries vs database (centralized server).
+	queries := make([][]uint8, 0, len(w.encQ))
+	queries = append(queries, w.encQ...)
+	s2, err := sched.MultiSearch(queries, w.db, w.mat, opt)
+	if err != nil {
+		panic(err)
+	}
+	r2 := pairRunWS(arch, s2.Tally, s2.Cells, w.batchWorkingSetKB(0))
+	t.AddRow("S2 batched queries vs DB", s2.Cells, fmt.Sprintf("%.1f", float64(s2.Elapsed.Microseconds())/1000), s2.GCUPS(), r2.GCUPS1())
+
+	// Scenario 3: small queries vs small database (subroutine).
+	smallDB := w.db
+	if len(smallDB) > 8 {
+		smallDB = smallDB[:8]
+	}
+	smallQ := queries
+	if len(smallQ) > 4 {
+		smallQ = smallQ[:4]
+	}
+	s3, err := sched.Subroutine(smallQ, smallDB, w.mat, false, opt)
+	if err != nil {
+		panic(err)
+	}
+	r3 := pairRunWS(arch, s3.Tally, s3.Cells, float64(smallDB[0].Len())*26/1024)
+	t.AddRow("S3 small sets (subroutine)", s3.Cells, fmt.Sprintf("%.1f", float64(s3.Elapsed.Microseconds())/1000), s3.GCUPS(), r3.GCUPS1())
+
+	_ = aln.DefaultGaps()
+	return t
+}

@@ -1,0 +1,173 @@
+// Package figures regenerates every figure of the paper's evaluation
+// (§IV, Figs. 6-14): each FigNN function runs the real kernels on the
+// emulated vector machine, feeds the operation tallies through the
+// per-architecture performance model, and returns the same rows and
+// series the paper plots. cmd/swbench prints them; bench_test.go wraps
+// them as Go benchmarks. Absolute numbers are modeled, the shapes
+// (who wins, by what factor, where crossovers fall) are the
+// reproduction targets recorded in EXPERIMENTS.md.
+package figures
+
+import (
+	"fmt"
+
+	"swvec/internal/aln"
+	"swvec/internal/core"
+	"swvec/internal/isa"
+	"swvec/internal/perfmodel"
+	"swvec/internal/seqio"
+	"swvec/internal/submat"
+	"swvec/internal/vek"
+)
+
+// Config scales the figure workloads.
+type Config struct {
+	// Seed drives every synthetic generator.
+	Seed int64
+	// DBSize is the synthetic database sequence count.
+	DBSize int
+	// QueryLens overrides the query sizes (default: the standard ten).
+	QueryLens []int
+	// PairTargetLen is the database-sequence length used by the
+	// pairwise figures (6, 8, 9).
+	PairTargetLen int
+	// Quick shrinks everything for fast benchmark iterations.
+	Quick bool
+}
+
+// normalized fills defaults.
+func (c Config) normalized() Config {
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Quick {
+		if c.DBSize == 0 {
+			c.DBSize = 32
+		}
+		if len(c.QueryLens) == 0 {
+			c.QueryLens = []int{35, 110, 320}
+		}
+		if c.PairTargetLen == 0 {
+			c.PairTargetLen = 600
+		}
+		return c
+	}
+	if c.DBSize == 0 {
+		c.DBSize = 128
+	}
+	if len(c.QueryLens) == 0 {
+		c.QueryLens = seqio.StandardQueryLengths
+	}
+	if c.PairTargetLen == 0 {
+		c.PairTargetLen = 2000
+	}
+	return c
+}
+
+// workload bundles the standard figure inputs.
+type workload struct {
+	cfg     Config
+	queries []seqio.Sequence
+	encQ    [][]uint8
+	db      []seqio.Sequence
+	mat     *submat.Matrix
+	tables  *submat.CodeTables
+	gaps    aln.Gaps
+	// target is the single database sequence used by pairwise figures.
+	target []uint8
+}
+
+func newWorkload(cfg Config) *workload {
+	cfg = cfg.normalized()
+	mat := submat.Blosum62()
+	alpha := mat.Alphabet()
+	g := seqio.NewGenerator(cfg.Seed)
+	w := &workload{
+		cfg:    cfg,
+		mat:    mat,
+		tables: submat.NewCodeTables(mat),
+		gaps:   aln.DefaultGaps(),
+		db:     g.Database(cfg.DBSize),
+	}
+	qg := seqio.NewGenerator(cfg.Seed + 1)
+	for i, n := range cfg.QueryLens {
+		s := qg.Protein(fmt.Sprintf("QRY%02d_len%d", i, n), n)
+		w.queries = append(w.queries, s)
+		w.encQ = append(w.encQ, s.Encode(alpha))
+	}
+	w.target = qg.Protein("TARGET", cfg.PairTargetLen).Encode(alpha)
+	return w
+}
+
+// pairRun measures one pair-kernel execution and wraps it for the
+// model.
+func pairRun(arch *isa.Arch, tal *vek.Tally, qlen, dlen int) perfmodel.Run {
+	return perfmodel.Run{
+		Arch:  arch,
+		Tally: tal,
+		Cells: int64(qlen) * int64(dlen),
+		// Rolling diagonal buffers: 9 int16 arrays of ~qlen plus
+		// index arrays.
+		WorkingSetKB: float64(qlen) * 26 / 1024,
+	}
+}
+
+// pairRunWS wraps an arbitrary tally with an explicit working set.
+func pairRunWS(arch *isa.Arch, tal *vek.Tally, cells int64, wsKB float64) perfmodel.Run {
+	return perfmodel.Run{Arch: arch, Tally: tal, Cells: cells, WorkingSetKB: wsKB}
+}
+
+// searchTally runs the full 8-bit batch search (with 16-bit rescue)
+// single-threaded and instrumented, returning the merged tally, the
+// cell count, and the rescue count.
+func (w *workload) searchTally(query []uint8, blockCols int, sortLen bool, gaps aln.Gaps) (*vek.Tally, int64, int) {
+	mch, tal := vek.NewMachine()
+	batches := seqio.BuildBatches(w.db, w.mat.Alphabet(), seqio.BatchOptions{SortByLength: sortLen})
+	cells := seqio.BatchedCells(batches, len(query))
+	rescued := 0
+	for _, b := range batches {
+		br, err := core.AlignBatch8(mch, query, w.tables, b, core.BatchOptions{Gaps: gaps, BlockCols: blockCols})
+		if err != nil {
+			panic(fmt.Sprintf("figures: batch align: %v", err))
+		}
+		for lane := 0; lane < b.Count; lane++ {
+			if br.Saturated[lane] {
+				d := w.db[b.Index[lane]].Encode(w.mat.Alphabet())
+				if _, _, err := core.AlignPair16(mch, query, d, w.mat, core.PairOptions{Gaps: gaps}); err != nil {
+					panic(fmt.Sprintf("figures: rescue: %v", err))
+				}
+				rescued++
+			}
+		}
+	}
+	return tal, cells, rescued
+}
+
+// searchRun wraps searchTally for the model.
+func (w *workload) searchRun(arch *isa.Arch, query []uint8, blockCols int, sortLen bool) perfmodel.Run {
+	tal, cells, _ := w.searchTally(query, blockCols, sortLen, w.gaps)
+	return perfmodel.Run{
+		Arch:         arch,
+		Tally:        tal,
+		Cells:        cells,
+		WorkingSetKB: w.batchWorkingSetKB(blockCols),
+	}
+}
+
+// batchWorkingSetKB estimates the batch engine's resident footprint:
+// the H/F rows plus the per-code score scratch over the block width.
+func (w *workload) batchWorkingSetKB(blockCols int) float64 {
+	maxLen := 0
+	for i := range w.db {
+		if w.db[i].Len() > maxLen {
+			maxLen = w.db[i].Len()
+		}
+	}
+	cols := maxLen
+	if blockCols > 0 && blockCols < cols {
+		cols = blockCols
+	}
+	// 2 state rows over the full length + ~21 distinct residue-code
+	// scratch rows over the block, all 32 lanes of int8.
+	return (2*float64(maxLen) + 21*float64(cols)) * 32 / 1024
+}

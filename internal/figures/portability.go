@@ -1,0 +1,50 @@
+package figures
+
+import (
+	"swvec/internal/core"
+	"swvec/internal/isa"
+	"swvec/internal/stats"
+	"swvec/internal/vek"
+)
+
+// Portability reproduces the paper's portability analysis (§I
+// contribution (vi), §IV-B): how each kernel build behaves across the
+// architecture generations. The AVX2 kernels run natively everywhere;
+// the AVX-512 build runs natively only on Skylake/Cascadelake and
+// executes as two 256-bit halves elsewhere — the compatibility
+// argument behind the paper's choice to continue with AVX2.
+func Portability(cfg Config) *stats.Table {
+	w := newWorkload(cfg)
+	t := &stats.Table{
+		Title:   "Portability: kernel builds across architectures (modeled GCUPS, 1 thread)",
+		Headers: []string{"arch", "native_width", "batch8 (AVX2)", "pair16 (AVX2)", "pair16 (AVX512 build)", "512_penalty"},
+		Note:    "the AVX-512 build double-pumps on AVX2-only machines; AVX2 kernels are the portable choice (§IV-B)",
+	}
+	q := w.encQ[len(w.encQ)/2]
+
+	// Measure once; reprice per architecture.
+	talBatch, cellsBatch, _ := w.searchTally(q, 0, true, w.gaps)
+	m256, tal256 := vek.NewMachine()
+	if _, _, err := core.AlignPair16(m256, q, w.target, w.mat, core.PairOptions{Gaps: w.gaps}); err != nil {
+		panic(err)
+	}
+	m512, tal512 := vek.NewMachine()
+	if _, err := core.AlignPair16W(m512, q, w.target, w.mat, core.PairOptions{Gaps: w.gaps}); err != nil {
+		panic(err)
+	}
+	for _, arch := range isa.All() {
+		width := "AVX2"
+		if arch.HasAVX512 {
+			width = "AVX512"
+		}
+		gBatch := pairRunWS(arch, talBatch, cellsBatch, w.batchWorkingSetKB(0)).GCUPS1()
+		g256 := pairRun(arch, tal256, len(q), len(w.target)).GCUPS1()
+		g512 := pairRun(arch, tal512, len(q), len(w.target)).GCUPS1()
+		penalty := "native"
+		if !arch.HasAVX512 {
+			penalty = "double-pumped"
+		}
+		t.AddRow(arch.Name, width, gBatch, g256, g512, penalty)
+	}
+	return t
+}

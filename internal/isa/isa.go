@@ -1,0 +1,429 @@
+// Package isa models the processor architectures of the paper's
+// evaluation (§IV-A): Haswell E5-2660, Broadwell E5-2680, Skylake Gold
+// 6132, Cascadelake Gold 6242, and Alderlake i9-12900HK.
+//
+// The performance model is a port-occupancy bottleneck model: every
+// opcode class occupies the shuffle port (p5), the vector/scalar ALU
+// ports (p0/p1), the load ports, and the store port for some number of
+// cycles, and the modeled execution time is the most-occupied
+// resource, bounded below by issue bandwidth, inflated by a
+// per-microarchitecture dependency penalty for the wavefront
+// recurrence. This captures the effects the paper observes on real
+// hardware: gathers saturating the load/shuffle ports (core bound,
+// §IV-F), traceback recording hiding under the gather bottleneck
+// (Fig. 8), and AVX-512's port fusion eating most of its theoretical
+// 2x (Fig. 6). The frequency side models single-core vs all-core turbo
+// droop and AVX license offsets (§IV-E).
+//
+// The models substitute for the paper's physical machines: kernels run
+// on the emulated vector machine (internal/vek) which tallies issued
+// operations, and isa converts tallies into modeled cycles and
+// wall-clock seconds per architecture. Absolute numbers are synthetic;
+// the relative shapes follow published port tables and the paper's
+// observations.
+package isa
+
+import (
+	"fmt"
+
+	"swvec/internal/vek"
+)
+
+// ID selects one of the modeled architectures.
+type ID int
+
+const (
+	// Haswell models the Intel Xeon E5-2660 (8 cores) baseline.
+	Haswell ID = iota
+	// Broadwell models the Intel Xeon E5-2680 (14 cores) baseline.
+	Broadwell
+	// Skylake models the Intel Xeon Gold 6132 (16 cores).
+	Skylake
+	// Cascadelake models the Intel Xeon Gold 6242 (16 cores).
+	Cascadelake
+	// Alderlake models the Intel i9-12900HK (10 cores), used by the
+	// paper for the memory analysis.
+	Alderlake
+
+	// NumArchs is the number of modeled architectures.
+	NumArchs int = iota
+)
+
+// PortCost is the per-issue occupancy of each execution resource, in
+// cycles. A zero field means the op does not use that resource.
+type PortCost struct {
+	// P5 is the shuffle/permute port.
+	P5 float64
+	// ALU is the combined vector/scalar arithmetic throughput
+	// (p0+p1-style: 0.5 means two such ops issue per cycle).
+	ALU float64
+	// Load is the load-port occupancy (two load ports: a plain load
+	// costs 0.5).
+	Load float64
+	// Store is the store-port occupancy.
+	Store float64
+	// Uops is the retired micro-op count (issue-bandwidth bound and
+	// retiring-slots estimate).
+	Uops float64
+}
+
+// Occupancy is a tally folded onto the execution resources.
+// GatherLoad is the load-port occupancy of gathers into the
+// L1-resident substitution matrix; it shares the load ports with Load
+// but is exempt from cache-miss scaling and from memory-stall
+// accounting (Vtune counts saturated ports as core bound).
+type Occupancy struct {
+	P5, ALU, Load, GatherLoad, Store, Uops float64
+}
+
+// Arch describes one modeled processor.
+type Arch struct {
+	// ID is the architecture selector.
+	ID ID
+	// Name is the marketing name used in figure labels.
+	Name string
+	// Cores is the physical core count; ThreadsPerCore is 2 with
+	// hyperthreading.
+	Cores          int
+	ThreadsPerCore int
+	// Turbo1GHz is the single-core turbo frequency; TurboAllGHz the
+	// all-core turbo. The droop curve interpolates between them
+	// (§IV-E's frequency variability).
+	Turbo1GHz   float64
+	TurboAllGHz float64
+	// AVX2OffsetGHz and AVX512OffsetGHz are the license-based
+	// frequency reductions for 256-/512-bit heavy instruction streams.
+	AVX2OffsetGHz   float64
+	AVX512OffsetGHz float64
+	// HasAVX512 reports whether 512-bit kernels can run natively.
+	HasAVX512 bool
+	// SlotsPerCycle is the pipeline issue width.
+	SlotsPerCycle int
+	// Port256 and Port512 are per-opcode-class port occupancies.
+	Port256 [vek.NumOps]PortCost
+	Port512 [vek.NumOps]PortCost
+	// DepPenalty inflates the bottleneck-resource time to account for
+	// the wavefront dependency chains keeping ports from saturating.
+	DepPenalty float64
+	// HTEfficiency is the fraction of idle pipeline slots a second
+	// hardware thread recovers (Fig. 11/12 hyperthreading gains).
+	HTEfficiency float64
+	// L1KB, L2KB and L3MBPerCore size the modeled cache hierarchy.
+	L1KB, L2KB  int
+	L3MBPerCore float64
+	// MemBWGBs is the per-socket memory bandwidth.
+	MemBWGBs float64
+}
+
+// base256 returns Skylake-generation port occupancies; per-arch
+// constructors override what differs.
+func base256() [vek.NumOps]PortCost {
+	var c [vek.NumOps]PortCost
+	c[vek.OpLoad] = PortCost{Load: 0.5, Uops: 1}
+	c[vek.OpStore] = PortCost{Store: 1, Uops: 1}
+	c[vek.OpBroadcast] = PortCost{P5: 1, Uops: 1}
+	alu := PortCost{ALU: 0.5, Uops: 1}
+	for _, op := range []vek.Op{
+		vek.OpAddSat8, vek.OpSubSat8, vek.OpAddSat16, vek.OpSubSat16,
+		vek.OpMax8, vek.OpMax16, vek.OpMax32, vek.OpMin8, vek.OpMin16,
+		vek.OpCmpGt8, vek.OpCmpGt16, vek.OpCmpEq8,
+	} {
+		c[op] = alu
+	}
+	c[vek.OpAdd32] = PortCost{ALU: 0.33, Uops: 1}
+	c[vek.OpSub32] = PortCost{ALU: 0.33, Uops: 1}
+	c[vek.OpLogic] = PortCost{ALU: 0.33, Uops: 1}
+	c[vek.OpBlend] = PortCost{ALU: 0.67, Uops: 2} // vpblendvb: 2 uops p015
+	c[vek.OpShuffle] = PortCost{P5: 1, Uops: 1}
+	c[vek.OpPermute] = PortCost{P5: 1, Uops: 1}
+	c[vek.OpLaneShift] = PortCost{P5: 2, Uops: 2} // vperm2i128 + vpalignr
+	// vpgatherdd ymm: 8 element loads on 2 load ports plus index
+	// shuffling and merge uops.
+	c[vek.OpGather32] = PortCost{Load: 4, P5: 1, ALU: 1, Uops: 5}
+	c[vek.OpMoveMask] = PortCost{ALU: 1, Uops: 1}
+	c[vek.OpReduce] = PortCost{P5: 2.5, ALU: 2.5, Uops: 10} // log2(lanes) shuffle+max
+	c[vek.OpUnpack] = PortCost{P5: 1, Uops: 1}
+	// Scalar fallback: 4-wide scalar ALU, 2 load ports, 1 store port.
+	c[vek.OpScalar] = PortCost{ALU: 0.25, Uops: 1}
+	c[vek.OpScalarLoad] = PortCost{Load: 0.5, Uops: 1}
+	c[vek.OpScalarStore] = PortCost{Store: 1, Uops: 1}
+	return c
+}
+
+// widen512 derives AVX-512 occupancies: ALU ops fuse port 0 and 1
+// (one 512-bit op per cycle instead of two 256-bit), the shuffle port
+// handles one 512-bit shuffle per cycle, gathers double their load
+// work, stores occupy the single store port for a full cycle.
+func widen512(c256 [vek.NumOps]PortCost) [vek.NumOps]PortCost {
+	c := c256
+	for i := range c {
+		if c[i].ALU > 0 {
+			c[i].ALU *= 2
+		}
+	}
+	c[vek.OpGather32] = PortCost{Load: 8, P5: 1.5, ALU: 2, Uops: 9}
+	c[vek.OpLaneShift] = PortCost{P5: 1.5, Uops: 1} // valignd is one 512-bit issue
+	c[vek.OpBlend] = PortCost{ALU: 1, Uops: 1}      // mask blends are cheap on AVX-512
+	c[vek.OpReduce] = PortCost{P5: 3, ALU: 3, Uops: 12}
+	return c
+}
+
+var archs = buildArchs()
+
+func buildArchs() [NumArchs]*Arch {
+	var out [NumArchs]*Arch
+
+	hsw := &Arch{
+		ID: Haswell, Name: "Haswell E5-2660", Cores: 8, ThreadsPerCore: 2,
+		Turbo1GHz: 3.3, TurboAllGHz: 2.9, AVX2OffsetGHz: 0.2,
+		HasAVX512: false, SlotsPerCycle: 4,
+		DepPenalty: 1.45, HTEfficiency: 0.55,
+		L1KB: 32, L2KB: 256, L3MBPerCore: 2.5, MemBWGBs: 59,
+	}
+	hsw.Port256 = base256()
+	// First-generation gather is microcoded: heavy on every resource.
+	hsw.Port256[vek.OpGather32] = PortCost{Load: 6, P5: 4, ALU: 3, Uops: 20}
+	// HSW integer SIMD runs on p1+p5 only: ALU ops contend with the
+	// shuffle port.
+	for _, op := range []vek.Op{
+		vek.OpAddSat8, vek.OpSubSat8, vek.OpAddSat16, vek.OpSubSat16,
+		vek.OpMax8, vek.OpMax16, vek.OpMax32, vek.OpMin8, vek.OpMin16,
+		vek.OpCmpGt8, vek.OpCmpGt16, vek.OpCmpEq8,
+	} {
+		hsw.Port256[op] = PortCost{ALU: 0.5, P5: 0.25, Uops: 1}
+	}
+	hsw.Port256[vek.OpBlend] = PortCost{P5: 2, Uops: 2} // vpblendvb: 2 p5 uops
+	out[Haswell] = hsw
+
+	bdw := &Arch{
+		ID: Broadwell, Name: "Broadwell E5-2680", Cores: 14, ThreadsPerCore: 2,
+		Turbo1GHz: 3.3, TurboAllGHz: 2.8, AVX2OffsetGHz: 0.2,
+		HasAVX512: false, SlotsPerCycle: 4,
+		DepPenalty: 1.40, HTEfficiency: 0.55,
+		L1KB: 32, L2KB: 256, L3MBPerCore: 2.5, MemBWGBs: 68,
+	}
+	bdw.Port256 = hsw.Port256
+	bdw.Port256[vek.OpGather32] = PortCost{Load: 5, P5: 2, ALU: 2, Uops: 12}
+	out[Broadwell] = bdw
+
+	skx := &Arch{
+		ID: Skylake, Name: "Skylake Gold 6132", Cores: 16, ThreadsPerCore: 2,
+		Turbo1GHz: 3.7, TurboAllGHz: 3.0, AVX2OffsetGHz: 0.3, AVX512OffsetGHz: 0.7,
+		HasAVX512: true, SlotsPerCycle: 4,
+		DepPenalty: 1.30, HTEfficiency: 0.60,
+		L1KB: 32, L2KB: 1024, L3MBPerCore: 1.375, MemBWGBs: 119,
+	}
+	skx.Port256 = base256()
+	skx.Port512 = widen512(skx.Port256)
+	out[Skylake] = skx
+
+	clx := &Arch{
+		ID: Cascadelake, Name: "Cascadelake Gold 6242", Cores: 16, ThreadsPerCore: 2,
+		Turbo1GHz: 3.9, TurboAllGHz: 3.1, AVX2OffsetGHz: 0.3, AVX512OffsetGHz: 0.6,
+		HasAVX512: true, SlotsPerCycle: 4,
+		DepPenalty: 1.27, HTEfficiency: 0.62,
+		L1KB: 32, L2KB: 1024, L3MBPerCore: 1.375, MemBWGBs: 131,
+	}
+	clx.Port256 = base256()
+	clx.Port512 = widen512(clx.Port256)
+	out[Cascadelake] = clx
+
+	adl := &Arch{
+		ID: Alderlake, Name: "Alderlake i9-12900HK", Cores: 10, ThreadsPerCore: 2,
+		Turbo1GHz: 5.0, TurboAllGHz: 3.8, AVX2OffsetGHz: 0.2,
+		HasAVX512: false, SlotsPerCycle: 6,
+		DepPenalty: 1.20, HTEfficiency: 0.50,
+		L1KB: 48, L2KB: 1280, L3MBPerCore: 2.4, MemBWGBs: 76,
+	}
+	adl.Port256 = base256()
+	adl.Port256[vek.OpGather32] = PortCost{Load: 4.5, P5: 1, ALU: 1.5, Uops: 6}
+	// Alderlake has a third vector ALU port.
+	for i := range adl.Port256 {
+		if adl.Port256[i].ALU > 0 && adl.Port256[i].P5 == 0 {
+			adl.Port256[i].ALU *= 0.75
+		}
+	}
+	out[Alderlake] = adl
+
+	return out
+}
+
+// Get returns the shared model for id.
+func Get(id ID) *Arch { return archs[id] }
+
+// All returns every modeled architecture in paper order.
+func All() []*Arch {
+	return []*Arch{archs[Haswell], archs[Broadwell], archs[Skylake], archs[Cascadelake], archs[Alderlake]}
+}
+
+// Evaluated returns the four architectures used for the kernel figures
+// (Alderlake is only used for the memory analysis).
+func Evaluated() []*Arch {
+	return []*Arch{archs[Haswell], archs[Broadwell], archs[Skylake], archs[Cascadelake]}
+}
+
+// String returns the architecture name.
+func (a *Arch) String() string { return a.Name }
+
+// Threads returns the total hardware thread count.
+func (a *Arch) Threads() int { return a.Cores * a.ThreadsPerCore }
+
+// Freq returns the modeled operating frequency in GHz with activeCores
+// cores busy running width-w vector code (§IV-E droop + AVX license).
+func (a *Arch) Freq(activeCores int, w vek.Width) float64 {
+	if activeCores < 1 {
+		activeCores = 1
+	}
+	if activeCores > a.Cores {
+		activeCores = a.Cores
+	}
+	f := a.Turbo1GHz
+	if a.Cores > 1 {
+		frac := float64(activeCores-1) / float64(a.Cores-1)
+		f = a.Turbo1GHz - (a.Turbo1GHz-a.TurboAllGHz)*frac
+	}
+	switch w {
+	case vek.W512:
+		f -= a.AVX512OffsetGHz
+	default:
+		f -= a.AVX2OffsetGHz
+	}
+	if f < 0.8 {
+		f = 0.8
+	}
+	return f
+}
+
+// Occupancy folds a tally onto the execution resources. 512-bit work
+// on a non-AVX512 machine executes as two 256-bit halves.
+func (a *Arch) Occupancy(t *vek.Tally) Occupancy {
+	var o Occupancy
+	if t == nil {
+		return o
+	}
+	for i := 0; i < vek.NumOps; i++ {
+		n := float64(t.N256[i])
+		pc := a.Port256[i]
+		isGather := vek.Op(i) == vek.OpGather32
+		if t.N512[i] > 0 {
+			if a.HasAVX512 {
+				w := a.Port512[i]
+				n5 := float64(t.N512[i])
+				o.P5 += n5 * w.P5
+				o.ALU += n5 * w.ALU
+				if isGather {
+					o.GatherLoad += n5 * w.Load
+				} else {
+					o.Load += n5 * w.Load
+				}
+				o.Store += n5 * w.Store
+				o.Uops += n5 * w.Uops
+			} else {
+				n += 2 * float64(t.N512[i])
+			}
+		}
+		o.P5 += n * pc.P5
+		o.ALU += n * pc.ALU
+		if isGather {
+			o.GatherLoad += n * pc.Load
+		} else {
+			o.Load += n * pc.Load
+		}
+		o.Store += n * pc.Store
+		o.Uops += n * pc.Uops
+	}
+	return o
+}
+
+// CyclesWithMiss converts a tally into modeled core cycles with the
+// given memory miss factor applied to load/store occupancy: the
+// bottleneck resource, bounded by issue bandwidth, inflated by the
+// dependency penalty.
+func (a *Arch) CyclesWithMiss(t *vek.Tally, missFactor float64) float64 {
+	o := a.Occupancy(t)
+	if missFactor < 1 {
+		missFactor = 1
+	}
+	crit := o.P5
+	if o.ALU > crit {
+		crit = o.ALU
+	}
+	if v := o.Load*missFactor + o.GatherLoad; v > crit {
+		crit = v
+	}
+	if v := o.Store * missFactor; v > crit {
+		crit = v
+	}
+	// The dependency penalty stretches the resource-bound time (the
+	// wavefront recurrence keeps ports from saturating), but the
+	// stretched schedule has idle issue slots that independent work can
+	// fill — so the issue-bandwidth bound applies to the raw uop count,
+	// unscaled. This is the mechanism behind the paper's "traceback is
+	// free" observation (Fig. 8): the direction-encoding uops retire in
+	// the dependency bubbles of the load/gather-bound kernel.
+	cycles := crit * a.DepPenalty
+	if v := o.Uops / float64(a.SlotsPerCycle); v > cycles {
+		cycles = v
+	}
+	return cycles
+}
+
+// Cycles converts a tally into modeled core cycles with an L1-resident
+// working set.
+func (a *Arch) Cycles(t *vek.Tally) float64 { return a.CyclesWithMiss(t, 1) }
+
+// DominantWidth reports the register width that dominates the tally,
+// which selects the AVX frequency license.
+func DominantWidth(t *vek.Tally) vek.Width {
+	if t == nil {
+		return vek.W256
+	}
+	var n256, n512 uint64
+	for i := 0; i < vek.NumOps; i++ {
+		n256 += t.N256[i]
+		n512 += t.N512[i]
+	}
+	if n512 > n256 {
+		return vek.W512
+	}
+	return vek.W256
+}
+
+// Seconds converts a tally into modeled wall-clock seconds on one
+// thread with activeCores cores busy (for the frequency license).
+func (a *Arch) Seconds(t *vek.Tally, activeCores int) float64 {
+	w := DominantWidth(t)
+	return a.Cycles(t) / (a.Freq(activeCores, w) * 1e9)
+}
+
+// Validate checks internal consistency of the model.
+func (a *Arch) Validate() error {
+	if a.Cores <= 0 || a.ThreadsPerCore <= 0 {
+		return fmt.Errorf("isa: %s: bad core counts", a.Name)
+	}
+	if a.TurboAllGHz > a.Turbo1GHz {
+		return fmt.Errorf("isa: %s: all-core turbo above single-core turbo", a.Name)
+	}
+	for i := 0; i < vek.NumOps; i++ {
+		pc := a.Port256[i]
+		if pc.Uops <= 0 {
+			return fmt.Errorf("isa: %s: op %v retires no uops", a.Name, vek.Op(i))
+		}
+		if pc.P5 == 0 && pc.ALU == 0 && pc.Load == 0 && pc.Store == 0 {
+			return fmt.Errorf("isa: %s: op %v occupies no resource", a.Name, vek.Op(i))
+		}
+		if a.HasAVX512 {
+			w := a.Port512[i]
+			if w.Uops <= 0 {
+				return fmt.Errorf("isa: %s: 512-bit op %v retires no uops", a.Name, vek.Op(i))
+			}
+		}
+	}
+	if a.DepPenalty < 1 {
+		return fmt.Errorf("isa: %s: dependency penalty below 1", a.Name)
+	}
+	if a.HTEfficiency < 0 || a.HTEfficiency > 1 {
+		return fmt.Errorf("isa: %s: HT efficiency out of [0,1]", a.Name)
+	}
+	return nil
+}

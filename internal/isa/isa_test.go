@@ -1,0 +1,279 @@
+package isa
+
+import (
+	"testing"
+
+	"swvec/internal/vek"
+)
+
+func TestAllModelsValidate(t *testing.T) {
+	for _, a := range All() {
+		if err := a.Validate(); err != nil {
+			t.Errorf("%s: %v", a.Name, err)
+		}
+	}
+}
+
+func TestGetAndAll(t *testing.T) {
+	if len(All()) != NumArchs {
+		t.Fatalf("All() = %d archs, want %d", len(All()), NumArchs)
+	}
+	if Get(Skylake).Name != "Skylake Gold 6132" {
+		t.Errorf("Skylake name = %q", Get(Skylake).Name)
+	}
+	if len(Evaluated()) != 4 {
+		t.Errorf("Evaluated() = %d, want 4", len(Evaluated()))
+	}
+	for _, a := range Evaluated() {
+		if a.ID == Alderlake {
+			t.Error("Alderlake must not be in the kernel-figure set")
+		}
+	}
+}
+
+func TestFreqDroopMonotone(t *testing.T) {
+	for _, a := range All() {
+		prev := a.Freq(1, vek.W256)
+		for n := 2; n <= a.Cores; n++ {
+			f := a.Freq(n, vek.W256)
+			if f > prev {
+				t.Errorf("%s: frequency rose from %.2f to %.2f at %d cores", a.Name, prev, f, n)
+			}
+			prev = f
+		}
+	}
+}
+
+func TestFreqLicenseOffsets(t *testing.T) {
+	skx := Get(Skylake)
+	f256 := skx.Freq(8, vek.W256)
+	f512 := skx.Freq(8, vek.W512)
+	if f512 >= f256 {
+		t.Errorf("AVX512 license must reduce frequency: %.2f vs %.2f", f512, f256)
+	}
+}
+
+func TestFreqClampsActiveCores(t *testing.T) {
+	a := Get(Haswell)
+	if a.Freq(0, vek.W256) != a.Freq(1, vek.W256) {
+		t.Error("activeCores=0 should clamp to 1")
+	}
+	if a.Freq(100, vek.W256) != a.Freq(a.Cores, vek.W256) {
+		t.Error("activeCores beyond Cores should clamp")
+	}
+}
+
+func TestCyclesScaleWithCounts(t *testing.T) {
+	a := Get(Skylake)
+	var t1, t2 vek.Tally
+	t1.Add(vek.OpAddSat8, vek.W256, 100)
+	t2.Add(vek.OpAddSat8, vek.W256, 200)
+	c1, c2 := a.Cycles(&t1), a.Cycles(&t2)
+	if c2 != 2*c1 || c1 <= 0 {
+		t.Errorf("cycles not linear: %f vs %f", c1, c2)
+	}
+}
+
+func TestGatherDominatesALU(t *testing.T) {
+	// A gather must be markedly more expensive than a saturating add
+	// on every model — this drives the paper's core-bound finding.
+	for _, a := range All() {
+		var tg, ta vek.Tally
+		tg.Add(vek.OpGather32, vek.W256, 100)
+		ta.Add(vek.OpAddSat8, vek.W256, 100)
+		if a.Cycles(&tg) < 4*a.Cycles(&ta) {
+			t.Errorf("%s: gather cycles %.1f too close to add cycles %.1f",
+				a.Name, a.Cycles(&tg), a.Cycles(&ta))
+		}
+	}
+}
+
+func TestHaswellGatherSlowest(t *testing.T) {
+	var tg vek.Tally
+	tg.Add(vek.OpGather32, vek.W256, 100)
+	hsw := Get(Haswell).Cycles(&tg)
+	for _, a := range []*Arch{Get(Skylake), Get(Cascadelake), Get(Alderlake)} {
+		if a.Cycles(&tg) >= hsw {
+			t.Errorf("%s gather (%.1f cyc) should beat Haswell (%.1f)",
+				a.Name, a.Cycles(&tg), hsw)
+		}
+	}
+}
+
+func TestIndependentOpsHideUnderBottleneck(t *testing.T) {
+	// The port model's defining property (and the Fig. 8 mechanism):
+	// adding ALU work to a load-bound instruction mix costs nothing
+	// until the ALU ports saturate.
+	a := Get(Skylake)
+	var loads vek.Tally
+	loads.Add(vek.OpGather32, vek.W256, 1000) // load-port bound
+	base := a.Cycles(&loads)
+	withALU := loads
+	withALU.Add(vek.OpAddSat16, vek.W256, 1000) // 500 ALU cycles < 4000 load cycles
+	if a.Cycles(&withALU) != base {
+		t.Errorf("ALU work under a load bottleneck should be free: %.0f vs %.0f",
+			a.Cycles(&withALU), base)
+	}
+	// But enough ALU work eventually becomes the bottleneck.
+	withALU.Add(vek.OpAddSat16, vek.W256, 20000)
+	if a.Cycles(&withALU) <= base {
+		t.Error("saturating the ALU ports should raise the cycle count")
+	}
+}
+
+func TestAVX512NotTwiceAsFast(t *testing.T) {
+	// The Fig. 6 shape: a 512-bit kernel issuing half the ops must not
+	// get the full 2x, because of downclocking and port fusion.
+	skx := Get(Skylake)
+	var t256, t512 vek.Tally
+	mix := []struct {
+		op vek.Op
+		n  uint64
+	}{
+		{vek.OpLoad, 4}, {vek.OpAddSat16, 2}, {vek.OpMax16, 4},
+		{vek.OpSubSat16, 2}, {vek.OpStore, 3}, {vek.OpLaneShift, 2},
+		{vek.OpGather32, 2},
+	}
+	const steps = 1000
+	for _, m := range mix {
+		t256.Add(m.op, vek.W256, m.n*steps)
+		t512.Add(m.op, vek.W512, m.n*steps/2) // half the issues for the same cells
+	}
+	s256 := skx.Cycles(&t256) / skx.Freq(1, vek.W256)
+	s512 := skx.Cycles(&t512) / skx.Freq(1, vek.W512)
+	speedup := s256 / s512
+	if speedup >= 1.9 {
+		t.Errorf("AVX512 speedup %.2f should be well below 2x", speedup)
+	}
+	if speedup <= 0.9 {
+		t.Errorf("AVX512 speedup %.2f should not collapse", speedup)
+	}
+}
+
+func TestCycles512FallbackOnAVX2Machine(t *testing.T) {
+	hsw := Get(Haswell)
+	var t512 vek.Tally
+	t512.Add(vek.OpAddSat8, vek.W512, 100)
+	var t256 vek.Tally
+	t256.Add(vek.OpAddSat8, vek.W256, 200)
+	if hsw.Cycles(&t512) != hsw.Cycles(&t256) {
+		t.Error("512-bit work on AVX2 machine should cost exactly two 256-bit halves")
+	}
+}
+
+func TestOccupancySeparatesGatherLoads(t *testing.T) {
+	a := Get(Skylake)
+	var tal vek.Tally
+	tal.Add(vek.OpGather32, vek.W256, 10)
+	tal.Add(vek.OpLoad, vek.W256, 10)
+	o := a.Occupancy(&tal)
+	if o.GatherLoad != 40 {
+		t.Errorf("gather load occupancy = %.1f, want 40", o.GatherLoad)
+	}
+	if o.Load != 5 {
+		t.Errorf("plain load occupancy = %.1f, want 5", o.Load)
+	}
+}
+
+func TestMissFactorOnlyScalesPlainMemory(t *testing.T) {
+	// A gather-dominated mix must not get more expensive with a bigger
+	// working set (its table is L1 resident); a streaming-load mix
+	// must.
+	a := Get(Skylake)
+	var gathers, streams vek.Tally
+	gathers.Add(vek.OpGather32, vek.W256, 1000)
+	streams.Add(vek.OpLoad, vek.W256, 8000)
+	if a.CyclesWithMiss(&gathers, 2.6) != a.CyclesWithMiss(&gathers, 1) {
+		t.Error("gather cost should not scale with the working set")
+	}
+	if a.CyclesWithMiss(&streams, 2.6) <= a.CyclesWithMiss(&streams, 1) {
+		t.Error("streaming loads must scale with the working set")
+	}
+}
+
+func TestDominantWidth(t *testing.T) {
+	var t1 vek.Tally
+	t1.Add(vek.OpAddSat8, vek.W256, 10)
+	if DominantWidth(&t1) != vek.W256 {
+		t.Error("256-dominant tally misclassified")
+	}
+	t1.Add(vek.OpAddSat8, vek.W512, 20)
+	if DominantWidth(&t1) != vek.W512 {
+		t.Error("512-dominant tally misclassified")
+	}
+	if DominantWidth(nil) != vek.W256 {
+		t.Error("nil tally should default to 256")
+	}
+}
+
+func TestSecondsPositive(t *testing.T) {
+	var tal vek.Tally
+	tal.Add(vek.OpMax8, vek.W256, 1000)
+	for _, a := range All() {
+		s1 := a.Seconds(&tal, 1)
+		sN := a.Seconds(&tal, a.Cores)
+		if s1 <= 0 {
+			t.Errorf("%s: nonpositive seconds", a.Name)
+		}
+		if sN < s1 {
+			t.Errorf("%s: work should take at least as long at all-core frequency", a.Name)
+		}
+	}
+}
+
+func TestNilTallyCycles(t *testing.T) {
+	if Get(Haswell).Cycles(nil) != 0 {
+		t.Error("nil tally should cost 0 cycles")
+	}
+}
+
+func TestIssueBandwidthBound(t *testing.T) {
+	// Many cheap uops must be bounded by issue width, not port sums —
+	// and that bound is NOT scaled by the dependency penalty (uops
+	// retire in dependency bubbles; see CyclesWithMiss).
+	a := Get(Skylake)
+	var tal vek.Tally
+	// A balanced logic+load+store mix can sustain >4 uops/cycle of
+	// port capacity, so the 4-wide issue front end becomes the limit:
+	// resources peak at 1000 cycles (x1.3 dep = 1300) but 6000 uops
+	// need 1500 issue cycles.
+	tal.Add(vek.OpLogic, vek.W256, 3000) // 990 ALU cycles
+	tal.Add(vek.OpLoad, vek.W256, 2000)  // 1000 load cycles
+	tal.Add(vek.OpStore, vek.W256, 1000) // 1000 store cycles
+	got := a.Cycles(&tal)
+	want := 6000.0 / float64(a.SlotsPerCycle) // unscaled uop bound
+	if got != want {
+		t.Errorf("cycles %.0f, want the unscaled issue-bandwidth bound %.0f", got, want)
+	}
+}
+
+func TestArchGenerationOrdering(t *testing.T) {
+	// Newer generations must model faster on the same kernel mix:
+	// seconds(Haswell) >= seconds(Broadwell) >= seconds(Skylake) >=
+	// seconds(Cascadelake) for a representative gather+ALU mix.
+	var tal vek.Tally
+	tal.Add(vek.OpGather32, vek.W256, 1000)
+	tal.Add(vek.OpAddSat16, vek.W256, 4000)
+	tal.Add(vek.OpMax16, vek.W256, 4000)
+	tal.Add(vek.OpLoad, vek.W256, 3000)
+	tal.Add(vek.OpStore, vek.W256, 1500)
+	order := []ID{Haswell, Broadwell, Skylake, Cascadelake}
+	prev := Get(order[0]).Seconds(&tal, 1)
+	for _, id := range order[1:] {
+		s := Get(id).Seconds(&tal, 1)
+		if s > prev {
+			t.Errorf("%s (%.3g s) should not be slower than its predecessor (%.3g s)",
+				Get(id).Name, s, prev)
+		}
+		prev = s
+	}
+}
+
+func TestHaswellBlendOnP5(t *testing.T) {
+	// The HSW-specific hazard: vpblendvb occupies the shuffle port.
+	hsw := Get(Haswell)
+	skx := Get(Skylake)
+	if hsw.Port256[vek.OpBlend].P5 <= skx.Port256[vek.OpBlend].P5 {
+		t.Error("Haswell blends should pressure p5 more than Skylake")
+	}
+}

@@ -1,0 +1,254 @@
+// Package perfmodel converts vector-machine tallies into modeled
+// performance numbers on the paper's architectures: bottleneck cycles
+// from the port-occupancy model, Vtune-style top-down pipeline-slot
+// breakdowns (Fig. 12), GCUPS, and multi-thread scaling with the
+// frequency-droop recalibration and hyperthreading model of §IV-E
+// (Fig. 11).
+package perfmodel
+
+import (
+	"fmt"
+
+	"swvec/internal/isa"
+	"swvec/internal/vek"
+)
+
+// Run is one measured kernel execution: the operations it issued, the
+// DP cells it computed, and the working set it streamed over.
+type Run struct {
+	Arch  *isa.Arch
+	Tally *vek.Tally
+	// Cells is the number of DP cells updated.
+	Cells int64
+	// WorkingSetKB is the resident buffer footprint (rolling DP
+	// buffers, profiles, scratch); it selects the cache level the
+	// memory ops hit.
+	WorkingSetKB float64
+}
+
+// missFactor scales memory-op occupancy by where the working set
+// lives.
+func missFactor(a *isa.Arch, workingSetKB float64) float64 {
+	switch {
+	case workingSetKB <= float64(a.L1KB):
+		return 1.0
+	case workingSetKB <= float64(a.L2KB):
+		return 1.15
+	case workingSetKB <= a.L3MBPerCore*1024*float64(a.Cores):
+		return 1.45
+	default:
+		return 2.6
+	}
+}
+
+// Cycles returns the modeled single-thread core cycles: the bottleneck
+// execution resource under the run's cache behaviour.
+func (r Run) Cycles() float64 {
+	if r.Tally == nil {
+		return 0
+	}
+	return r.Arch.CyclesWithMiss(r.Tally, missFactor(r.Arch, r.WorkingSetKB))
+}
+
+// Bottleneck names the resource that determines the run's modeled
+// cycles: "p5", "alu", "load", "store", or "issue". Load/store
+// bottlenecks mean the run is genuinely memory-limited (its GCUPS
+// falls as the working set grows); everything else is CPU-limited.
+func (r Run) Bottleneck() string {
+	if r.Tally == nil {
+		return "issue"
+	}
+	o := r.Arch.Occupancy(r.Tally)
+	mf := missFactor(r.Arch, r.WorkingSetKB)
+	name, crit := "p5", o.P5
+	if o.ALU > crit {
+		name, crit = "alu", o.ALU
+	}
+	if v := o.Load*mf + o.GatherLoad; v > crit {
+		name, crit = "load", v
+	}
+	if v := o.Store * mf; v > crit {
+		name, crit = "store", v
+	}
+	if v := o.Uops / float64(r.Arch.SlotsPerCycle); v > crit*r.Arch.DepPenalty {
+		name = "issue"
+	}
+	return name
+}
+
+// Width returns the dominant register width of the run.
+func (r Run) Width() vek.Width { return isa.DominantWidth(r.Tally) }
+
+// Seconds returns modeled single-thread wall-clock with activeCores
+// cores busy (setting the frequency license and droop).
+func (r Run) Seconds(activeCores int) float64 {
+	return r.Cycles() / (r.Arch.Freq(activeCores, r.Width()) * 1e9)
+}
+
+// GCUPS1 returns modeled single-thread giga-cell-updates per second at
+// single-core turbo.
+func (r Run) GCUPS1() float64 {
+	s := r.Seconds(1)
+	if s <= 0 {
+		return 0
+	}
+	return float64(r.Cells) / s / 1e9
+}
+
+// TopDown is a Vtune-style pipeline-slot breakdown; the four top-level
+// fractions sum to 1, and BackendBound = BackendMemory + BackendCore.
+type TopDown struct {
+	Retiring       float64
+	FrontendBound  float64
+	BadSpeculation float64
+	BackendBound   float64
+	BackendMemory  float64
+	BackendCore    float64
+}
+
+// Utilization is the fraction of issue slots doing useful work.
+func (t TopDown) Utilization() float64 { return t.Retiring }
+
+// TopDown computes the pipeline-slot breakdown of the run. Front-end
+// and bad-speculation are small constants (branch-light SIMD inner
+// loops). Retiring follows the retired-uop count against the issue
+// slots of the modeled execution time. The backend split follows
+// Vtune's semantics: memory-bound counts stalls waiting for data
+// (cache misses and store buffering), while saturated execution ports
+// — including load-port pressure from L1-resident gathers — count as
+// core bound. That convention is what makes the paper's
+// substitution-matrix runs core bound (§IV-F).
+func (r Run) TopDown() TopDown {
+	cycles := r.Cycles()
+	if cycles <= 0 {
+		return TopDown{Retiring: 1}
+	}
+	o := r.Arch.Occupancy(r.Tally)
+	slots := cycles * float64(r.Arch.SlotsPerCycle)
+	td := TopDown{FrontendBound: 0.06, BadSpeculation: 0.015}
+	retiring := o.Uops / slots
+	if max := 1 - td.FrontendBound - td.BadSpeculation; retiring > max {
+		retiring = max
+	}
+	td.Retiring = retiring
+	td.BackendBound = 1 - td.Retiring - td.FrontendBound - td.BadSpeculation
+	if td.BackendBound < 0 {
+		td.BackendBound = 0
+	}
+	// Memory stalls: the extra load/store cycles induced by cache
+	// misses plus a baseline streaming share of the memory traffic.
+	// Gather loads are excluded — they hit the L1-resident matrix and
+	// their port pressure counts as core bound.
+	mf := missFactor(r.Arch, r.WorkingSetKB)
+	// Loads stall retirement directly; stores only through buffer
+	// pressure on misses, so they are half-weighted and contribute no
+	// streaming baseline.
+	memStall := o.Load*((mf-1)+0.3) + o.Store*(mf-1)*0.5
+	memShare := memStall / cycles
+	td.BackendMemory = minF(td.BackendBound, memShare)
+	td.BackendCore = td.BackendBound - td.BackendMemory
+	return td
+}
+
+// ScalingPoint is one entry of a Fig. 11 series.
+type ScalingPoint struct {
+	Threads int
+	// GCUPS is the modeled aggregate throughput.
+	GCUPS float64
+	// FreqGHz is the modeled operating frequency at this thread count.
+	FreqGHz float64
+	// SpeedupRaw is GCUPS relative to the naive single-thread baseline
+	// (single-core turbo).
+	SpeedupRaw float64
+	// SpeedupRecal is GCUPS relative to the recalibrated baseline: the
+	// single-thread rate at the drooped all-core frequency, the
+	// correction §IV-E found necessary.
+	SpeedupRecal float64
+}
+
+// GCUPSAt returns modeled aggregate throughput with t hardware
+// threads. Threads beyond the core count share cores via
+// hyperthreading: the second thread recovers a fraction of the idle
+// pipeline slots.
+func (r Run) GCUPSAt(threads int) float64 {
+	if threads < 1 {
+		threads = 1
+	}
+	maxThreads := r.Arch.Threads()
+	if threads > maxThreads {
+		threads = maxThreads
+	}
+	activeCores := threads
+	if activeCores > r.Arch.Cores {
+		activeCores = r.Arch.Cores
+	}
+	freq := r.Arch.Freq(activeCores, r.Width())
+	cyc := r.Cycles()
+	if cyc <= 0 {
+		return 0
+	}
+	ratePerThread := float64(r.Cells) / (cyc / (freq * 1e9)) / 1e9
+	if threads <= r.Arch.Cores {
+		return ratePerThread * float64(threads)
+	}
+	// Hyperthreaded cores: each core with two threads yields
+	// 1 + HTEfficiency * (1 - utilization) of a single thread's rate.
+	td := r.TopDown()
+	htFactor := 1 + r.Arch.HTEfficiency*(1-td.Utilization())
+	if htFactor > 2 {
+		htFactor = 2
+	}
+	htCores := threads - r.Arch.Cores
+	singleCores := r.Arch.Cores - htCores
+	return ratePerThread * (float64(singleCores) + float64(htCores)*htFactor)
+}
+
+// Scaling produces the full Fig. 11 series for the given thread
+// counts.
+func (r Run) Scaling(threadCounts []int) []ScalingPoint {
+	base1 := r.GCUPSAt(1)
+	// Recalibrated baseline: single-thread work at the all-core
+	// frequency.
+	freqAll := r.Arch.Freq(r.Arch.Cores, r.Width())
+	recalBase := float64(r.Cells) / (r.Cycles() / (freqAll * 1e9)) / 1e9
+	out := make([]ScalingPoint, 0, len(threadCounts))
+	for _, t := range threadCounts {
+		g := r.GCUPSAt(t)
+		activeCores := t
+		if activeCores > r.Arch.Cores {
+			activeCores = r.Arch.Cores
+		}
+		out = append(out, ScalingPoint{
+			Threads:      t,
+			GCUPS:        g,
+			FreqGHz:      r.Arch.Freq(activeCores, r.Width()),
+			SpeedupRaw:   g / base1,
+			SpeedupRecal: g / recalBase,
+		})
+	}
+	return out
+}
+
+// DefaultThreadCounts returns 1,2,4,... up to 2x the core count
+// (hyperthreading included), always ending exactly at 2x cores.
+func DefaultThreadCounts(a *isa.Arch) []int {
+	var out []int
+	for t := 1; t < a.Threads(); t *= 2 {
+		out = append(out, t)
+	}
+	out = append(out, a.Threads())
+	return out
+}
+
+func (t TopDown) String() string {
+	return fmt.Sprintf("retiring %.1f%% frontend %.1f%% badspec %.1f%% backend %.1f%% (mem %.1f%% core %.1f%%)",
+		100*t.Retiring, 100*t.FrontendBound, 100*t.BadSpeculation,
+		100*t.BackendBound, 100*t.BackendMemory, 100*t.BackendCore)
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

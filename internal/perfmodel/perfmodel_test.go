@@ -1,0 +1,224 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+
+	"swvec/internal/aln"
+	"swvec/internal/core"
+	"swvec/internal/isa"
+	"swvec/internal/seqio"
+	"swvec/internal/submat"
+	"swvec/internal/vek"
+)
+
+var protAlpha = submat.Blosum62().Alphabet()
+
+// measuredRun produces a real tally from the 16-bit pair kernel.
+func measuredRun(t *testing.T, arch *isa.Arch, qlen, dlen int) Run {
+	t.Helper()
+	g := seqio.NewGenerator(91)
+	q := g.Protein("q", qlen).Encode(protAlpha)
+	d := g.Protein("d", dlen).Encode(protAlpha)
+	mch, tal := vek.NewMachine()
+	if _, _, err := core.AlignPair16(mch, q, d, submat.Blosum62(), core.PairOptions{Gaps: aln.DefaultGaps()}); err != nil {
+		t.Fatal(err)
+	}
+	return Run{
+		Arch:         arch,
+		Tally:        tal,
+		Cells:        int64(qlen) * int64(dlen),
+		WorkingSetKB: float64(qlen) * 14 / 1024,
+	}
+}
+
+func TestTopDownSumsToOne(t *testing.T) {
+	for _, arch := range isa.All() {
+		r := measuredRun(t, arch, 200, 400)
+		td := r.TopDown()
+		sum := td.Retiring + td.FrontendBound + td.BadSpeculation + td.BackendBound
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%s: fractions sum to %f", arch.Name, sum)
+		}
+		if math.Abs(td.BackendMemory+td.BackendCore-td.BackendBound) > 1e-9 {
+			t.Errorf("%s: backend split inconsistent", arch.Name)
+		}
+		for _, v := range []float64{td.Retiring, td.FrontendBound, td.BadSpeculation, td.BackendBound, td.BackendMemory, td.BackendCore} {
+			if v < 0 || v > 1 {
+				t.Errorf("%s: fraction %f out of range", arch.Name, v)
+			}
+		}
+	}
+}
+
+func TestGatherHeavyRunIsCoreBound(t *testing.T) {
+	// §IV-F: with a substitution matrix the execution is predominantly
+	// CPU (core) bound because of gathers.
+	r := measuredRun(t, isa.Get(isa.Skylake), 320, 1000)
+	td := r.TopDown()
+	if td.BackendCore <= td.BackendMemory {
+		t.Errorf("gather-heavy run should be core bound: %s", td)
+	}
+	if td.BackendMemory < 0.02 {
+		t.Errorf("memory-bound share %.3f implausibly small", td.BackendMemory)
+	}
+}
+
+func TestGCUPSPositiveAndOrdered(t *testing.T) {
+	r := measuredRun(t, isa.Get(isa.Cascadelake), 200, 500)
+	g1 := r.GCUPS1()
+	if g1 <= 0 {
+		t.Fatal("nonpositive GCUPS")
+	}
+	gN := r.GCUPSAt(r.Arch.Cores)
+	if gN <= g1 {
+		t.Errorf("all-core GCUPS %.2f should exceed single-thread %.2f", gN, g1)
+	}
+}
+
+func TestScalingSubLinearFromDroop(t *testing.T) {
+	// Frequency droop makes raw speedup at all cores sub-linear while
+	// the recalibrated speedup is near-linear — the §IV-E finding.
+	for _, arch := range isa.Evaluated() {
+		r := measuredRun(t, arch, 200, 500)
+		pts := r.Scaling([]int{1, arch.Cores})
+		last := pts[len(pts)-1]
+		if last.SpeedupRaw >= float64(arch.Cores) {
+			t.Errorf("%s: raw speedup %.2f should be sub-linear at %d cores",
+				arch.Name, last.SpeedupRaw, arch.Cores)
+		}
+		if math.Abs(last.SpeedupRecal-float64(arch.Cores)) > 0.01 {
+			t.Errorf("%s: recalibrated speedup %.2f should be ~%d",
+				arch.Name, last.SpeedupRecal, arch.Cores)
+		}
+	}
+}
+
+func TestHyperthreadingAddsThroughput(t *testing.T) {
+	for _, arch := range isa.Evaluated() {
+		r := measuredRun(t, arch, 200, 500)
+		gFull := r.GCUPSAt(arch.Cores)
+		gHT := r.GCUPSAt(arch.Threads())
+		if gHT <= gFull {
+			t.Errorf("%s: HT throughput %.2f should exceed all-core %.2f", arch.Name, gHT, gFull)
+		}
+		if gHT > 2*gFull {
+			t.Errorf("%s: HT gain %.2fx exceeds 2x", arch.Name, gHT/gFull)
+		}
+	}
+}
+
+func TestGCUPSAtClampsThreads(t *testing.T) {
+	r := measuredRun(t, isa.Get(isa.Haswell), 100, 200)
+	if r.GCUPSAt(0) != r.GCUPSAt(1) {
+		t.Error("threads=0 should clamp to 1")
+	}
+	if r.GCUPSAt(10000) != r.GCUPSAt(r.Arch.Threads()) {
+		t.Error("threads beyond HW should clamp")
+	}
+}
+
+func TestFreqDroopVisibleInScaling(t *testing.T) {
+	r := measuredRun(t, isa.Get(isa.Skylake), 150, 300)
+	pts := r.Scaling(DefaultThreadCounts(r.Arch))
+	if pts[0].FreqGHz <= pts[len(pts)-1].FreqGHz {
+		t.Error("frequency should droop as threads increase")
+	}
+}
+
+func TestDefaultThreadCounts(t *testing.T) {
+	a := isa.Get(isa.Haswell) // 8 cores, 16 threads
+	got := DefaultThreadCounts(a)
+	want := []int{1, 2, 4, 8, 16}
+	if len(got) != len(want) {
+		t.Fatalf("counts = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("counts = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestWorkingSetRaisesMemoryShare(t *testing.T) {
+	base := measuredRun(t, isa.Get(isa.Alderlake), 200, 400)
+	small := base
+	small.WorkingSetKB = 16
+	big := base
+	big.WorkingSetKB = 1 << 20 // 1 GB: DRAM resident
+	tdSmall := small.TopDown()
+	tdBig := big.TopDown()
+	if tdBig.BackendMemory <= tdSmall.BackendMemory {
+		t.Errorf("DRAM-resident run should be more memory bound: %.3f vs %.3f",
+			tdBig.BackendMemory, tdSmall.BackendMemory)
+	}
+	if big.Cycles() <= small.Cycles() {
+		t.Error("DRAM-resident run should cost more cycles")
+	}
+}
+
+func TestCyclesMatchesIsaWithinFactor(t *testing.T) {
+	// The perfmodel split must stay close to the flat isa.Cycles sum
+	// when the working set is L1-resident (missFactor 1).
+	r := measuredRun(t, isa.Get(isa.Broadwell), 50, 80)
+	r.WorkingSetKB = 1
+	got := r.Cycles()
+	want := r.Arch.Cycles(r.Tally)
+	if math.Abs(got-want)/want > 1e-9 {
+		t.Errorf("cycles %.0f, isa says %.0f", got, want)
+	}
+}
+
+func TestNilTally(t *testing.T) {
+	r := Run{Arch: isa.Get(isa.Haswell), Cells: 100}
+	if r.Cycles() != 0 {
+		t.Error("nil tally should cost nothing")
+	}
+	if r.GCUPS1() != 0 {
+		t.Error("nil tally GCUPS should be 0")
+	}
+}
+
+func TestTopDownStringFormat(t *testing.T) {
+	r := measuredRun(t, isa.Get(isa.Skylake), 64, 64)
+	s := r.TopDown().String()
+	if len(s) == 0 {
+		t.Error("empty top-down string")
+	}
+}
+
+func TestBottleneck(t *testing.T) {
+	arch := isa.Get(isa.Skylake)
+	mk := func(op vek.Op, n uint64) Run {
+		var tal vek.Tally
+		tal.Add(op, vek.W256, n)
+		return Run{Arch: arch, Tally: &tal, Cells: 1, WorkingSetKB: 1}
+	}
+	if got := mk(vek.OpShuffle, 1000).Bottleneck(); got != "p5" {
+		t.Errorf("shuffle mix bottleneck = %q, want p5", got)
+	}
+	if got := mk(vek.OpAddSat16, 1000).Bottleneck(); got != "alu" {
+		t.Errorf("alu mix bottleneck = %q, want alu", got)
+	}
+	if got := mk(vek.OpGather32, 1000).Bottleneck(); got != "load" {
+		t.Errorf("gather mix bottleneck = %q, want load", got)
+	}
+	if got := mk(vek.OpStore, 1000).Bottleneck(); got != "store" {
+		t.Errorf("store mix bottleneck = %q, want store", got)
+	}
+	// A DRAM working set turns a balanced mix memory bound.
+	var tal vek.Tally
+	tal.Add(vek.OpLoad, vek.W256, 1000)
+	tal.Add(vek.OpAddSat16, vek.W256, 1100)
+	r := Run{Arch: arch, Tally: &tal, Cells: 1, WorkingSetKB: 1}
+	if got := r.Bottleneck(); got != "alu" {
+		t.Errorf("L1 mix = %q, want alu", got)
+	}
+	r.WorkingSetKB = 1 << 20
+	if got := r.Bottleneck(); got != "load" {
+		t.Errorf("DRAM mix = %q, want load", got)
+	}
+	if (Run{Arch: arch}).Bottleneck() != "issue" {
+		t.Error("nil tally should report issue")
+	}
+}

@@ -1,0 +1,124 @@
+// Package profile renders Vtune-style microarchitecture reports from
+// the performance model: per-run top-down pipeline-slot breakdowns and
+// the slot-efficiency comparisons of Fig. 12. It is the reproduction's
+// stand-in for the Intel Vtune profiler runs of §IV-F.
+package profile
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"swvec/internal/perfmodel"
+)
+
+// Report is one analyzed kernel execution.
+type Report struct {
+	// Name labels the scenario (e.g. "with substitution matrix").
+	Name string
+	// Arch is the architecture name.
+	Arch string
+	// Breakdown is the pipeline-slot analysis.
+	Breakdown perfmodel.TopDown
+	// CyclesPerCell is modeled core cycles per DP cell.
+	CyclesPerCell float64
+	// GCUPS1 is the modeled single-thread throughput.
+	GCUPS1 float64
+}
+
+// Analyze produces a report from a run.
+func Analyze(name string, r perfmodel.Run) Report {
+	rep := Report{
+		Name:      name,
+		Arch:      r.Arch.Name,
+		Breakdown: r.TopDown(),
+		GCUPS1:    r.GCUPS1(),
+	}
+	if r.Cells > 0 {
+		rep.CyclesPerCell = r.Cycles() / float64(r.Cells)
+	}
+	return rep
+}
+
+// CPUBound reports whether the execution is predominantly limited by
+// core resources rather than memory — the paper's §IV-F finding for
+// substitution-matrix scenarios.
+func (r Report) CPUBound() bool {
+	return r.Breakdown.BackendCore > r.Breakdown.BackendMemory
+}
+
+// SlotEfficiency is the fraction of pipeline slots doing useful work,
+// the quantity Fig. 12(b)/(c) plot per thread count.
+func (r Report) SlotEfficiency() float64 { return r.Breakdown.Utilization() }
+
+// bar renders a proportional ASCII bar.
+func bar(frac float64, width int) string {
+	n := int(frac*float64(width) + 0.5)
+	if n < 0 {
+		n = 0
+	}
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("#", n) + strings.Repeat(".", width-n)
+}
+
+// Render writes the report in a Vtune-like layout.
+func (r Report) Render(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "-- %s on %s --\n", r.Name, r.Arch)
+	fmt.Fprintf(&b, "cycles/cell %.3f   modeled GCUPS(1T) %.2f\n", r.CyclesPerCell, r.GCUPS1)
+	td := r.Breakdown
+	rows := []struct {
+		label string
+		frac  float64
+	}{
+		{"retiring", td.Retiring},
+		{"front-end bound", td.FrontendBound},
+		{"bad speculation", td.BadSpeculation},
+		{"back-end bound", td.BackendBound},
+		{"  memory bound", td.BackendMemory},
+		{"  core bound", td.BackendCore},
+	}
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-17s %5.1f%%  |%s|\n", row.label, 100*row.frac, bar(row.frac, 40))
+	}
+	if r.CPUBound() {
+		b.WriteString("verdict: CPU (core) bound\n")
+	} else {
+		b.WriteString("verdict: memory bound\n")
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// HTEfficiencyPoint is one Fig. 12(b)/(c) sample: pipeline-slot
+// efficiency at a given thread count.
+type HTEfficiencyPoint struct {
+	Threads    int
+	Efficiency float64
+}
+
+// HTEfficiencySeries models how pipeline-slot efficiency changes with
+// thread count: with two threads per core the second thread fills a
+// fraction of the idle slots (the effect §IV-F observed under
+// hyperthreading).
+func HTEfficiencySeries(r perfmodel.Run, threadCounts []int) []HTEfficiencyPoint {
+	base := r.TopDown()
+	out := make([]HTEfficiencyPoint, 0, len(threadCounts))
+	for _, t := range threadCounts {
+		eff := base.Utilization()
+		if t > r.Arch.Cores {
+			// Fraction of cores running two threads.
+			htFrac := float64(t-r.Arch.Cores) / float64(r.Arch.Cores)
+			idle := 1 - eff
+			eff = eff + htFrac*r.Arch.HTEfficiency*idle
+		}
+		if eff > 1 {
+			eff = 1
+		}
+		out = append(out, HTEfficiencyPoint{Threads: t, Efficiency: eff})
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+
+	"swvec/internal/aln"
+	"swvec/internal/core"
+	"swvec/internal/isa"
+	"swvec/internal/perfmodel"
+	"swvec/internal/seqio"
+	"swvec/internal/submat"
+	"swvec/internal/vek"
+)
+
+func sampleRun(t *testing.T, arch *isa.Arch, withMatrix bool) perfmodel.Run {
+	t.Helper()
+	g := seqio.NewGenerator(111)
+	alpha := submat.Blosum62().Alphabet()
+	q := g.Protein("q", 256).Encode(alpha)
+	d := g.Protein("d", 800).Encode(alpha)
+	mat := submat.Blosum62()
+	if !withMatrix {
+		mat = submat.MatchMismatch(alpha, 2, -1)
+	}
+	mch, tal := vek.NewMachine()
+	if _, _, err := core.AlignPair16(mch, q, d, mat, core.PairOptions{Gaps: aln.DefaultGaps()}); err != nil {
+		t.Fatal(err)
+	}
+	return perfmodel.Run{Arch: arch, Tally: tal, Cells: int64(len(q) * len(d)), WorkingSetKB: 12}
+}
+
+func TestAnalyzeAndRender(t *testing.T) {
+	rep := Analyze("with substitution matrix", sampleRun(t, isa.Get(isa.Skylake), true))
+	if rep.CyclesPerCell <= 0 || rep.GCUPS1 <= 0 {
+		t.Fatalf("bad report: %+v", rep)
+	}
+	var b strings.Builder
+	if err := rep.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"retiring", "back-end bound", "memory bound", "core bound", "verdict"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestSubstMatrixRunIsCPUBound(t *testing.T) {
+	// §IV-F: the gather-based substitution-matrix kernel is core
+	// bound on the modeled machines.
+	rep := Analyze("submat", sampleRun(t, isa.Get(isa.Skylake), true))
+	if !rep.CPUBound() {
+		t.Errorf("expected CPU-bound verdict: %s", rep.Breakdown)
+	}
+}
+
+func TestMemoryShareWithinPaperRange(t *testing.T) {
+	// §IV-F: at least ~8% of slots memory-bound in both scenarios,
+	// up to ~18% without the substitution matrix.
+	withM := Analyze("with", sampleRun(t, isa.Get(isa.Skylake), true))
+	without := Analyze("without", sampleRun(t, isa.Get(isa.Skylake), false))
+	if without.Breakdown.BackendMemory <= withM.Breakdown.BackendMemory {
+		t.Errorf("memory share without submat (%.3f) should exceed with (%.3f)",
+			without.Breakdown.BackendMemory, withM.Breakdown.BackendMemory)
+	}
+}
+
+func TestHTEfficiencySeries(t *testing.T) {
+	r := sampleRun(t, isa.Get(isa.Cascadelake), true)
+	counts := perfmodel.DefaultThreadCounts(r.Arch)
+	pts := HTEfficiencySeries(r, counts)
+	if len(pts) != len(counts) {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Efficiency is flat up to the core count, then rises under HT.
+	var atCores, atHT float64
+	for _, p := range pts {
+		if p.Efficiency < 0 || p.Efficiency > 1 {
+			t.Fatalf("efficiency %f out of range", p.Efficiency)
+		}
+		if p.Threads == r.Arch.Cores {
+			atCores = p.Efficiency
+		}
+		if p.Threads == r.Arch.Threads() {
+			atHT = p.Efficiency
+		}
+	}
+	if atHT <= atCores {
+		t.Errorf("HT efficiency %.3f should exceed all-core %.3f", atHT, atCores)
+	}
+}
+
+func TestBarClamps(t *testing.T) {
+	if bar(-1, 10) != ".........." {
+		t.Error("negative fraction should render empty bar")
+	}
+	if bar(2, 10) != "##########" {
+		t.Error("overflow fraction should render full bar")
+	}
+}

@@ -1,0 +1,282 @@
+package sched
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"swvec/internal/aln"
+	"swvec/internal/core"
+	"swvec/internal/seqio"
+	"swvec/internal/submat"
+	"swvec/internal/vek"
+)
+
+// MultiResult is the outcome of a batched multi-query search
+// (Scenario 2).
+type MultiResult struct {
+	// Scores[qi][si] is the score of query qi against sequence si.
+	Scores [][]int32
+	// Cells counts real DP cells across all query/sequence pairs.
+	Cells   int64
+	Elapsed time.Duration
+	Rescued int
+	Tally   *vek.Tally
+}
+
+// GCUPS returns the measured throughput.
+func (r *MultiResult) GCUPS() float64 {
+	s := r.Elapsed.Seconds()
+	if s <= 0 {
+		return 0
+	}
+	return float64(r.Cells) / s / 1e9
+}
+
+// MultiSearch aligns every query against every database sequence
+// (Scenario 2: the centralized server accumulating queries before
+// computing). The work unit is a (query, batch) pair, so a batch's
+// transposed layout and score scratch are reused across queries — the
+// data-reuse advantage the paper credits for the scenario's
+// efficiency.
+func MultiSearch(queries [][]uint8, db []seqio.Sequence, mat *submat.Matrix, opt Options) (*MultiResult, error) {
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("sched: no queries")
+	}
+	for i, q := range queries {
+		if len(q) == 0 {
+			return nil, fmt.Errorf("sched: query %d is empty", i)
+		}
+	}
+	if len(db) == 0 {
+		return nil, fmt.Errorf("sched: empty database")
+	}
+	if err := opt.Gaps.Validate(); err != nil {
+		return nil, err
+	}
+	alpha := mat.Alphabet()
+	batches := seqio.BuildBatches(db, alpha, seqio.BatchOptions{SortByLength: opt.SortByLength})
+	tables := submat.NewCodeTables(mat)
+
+	res := &MultiResult{Scores: make([][]int32, len(queries))}
+	for qi := range res.Scores {
+		res.Scores[qi] = make([]int32, len(db))
+		res.Cells += seqio.BatchedCells(batches, len(queries[qi]))
+	}
+
+	// The work unit is a whole batch: every query runs against it in
+	// one AlignBatch8Multi call, so the transposed layout and the
+	// per-code score scratch are computed once per batch and reused
+	// across all queries — the accumulation benefit §IV-G measures.
+	nw := opt.threads()
+	if nw > len(batches) {
+		nw = len(batches)
+	}
+	if nw < 1 {
+		nw = 1
+	}
+	work := make(chan *seqio.Batch, nw)
+	var mu sync.Mutex
+	var firstErr error
+	var rescued int
+	merged := &vek.Tally{}
+	var wg sync.WaitGroup
+
+	start := time.Now()
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mch := vek.Bare
+			var tal *vek.Tally
+			if opt.Instrument {
+				mch, tal = vek.NewMachine()
+			}
+			for batch := range work {
+				brs, err := core.AlignBatch8Multi(mch, queries, tables, batch,
+					core.BatchOptions{Gaps: opt.Gaps, BlockCols: opt.BlockCols})
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					continue
+				}
+				for qi := range queries {
+					for lane := 0; lane < batch.Count; lane++ {
+						si := batch.Index[lane]
+						score := brs[qi].Scores[lane]
+						wasRescued := false
+						if brs[qi].Saturated[lane] {
+							d := db[si].Encode(alpha)
+							pr, _, err := core.AlignPair16(mch, queries[qi], d, mat, core.PairOptions{Gaps: opt.Gaps})
+							if err == nil {
+								score = pr.Score
+								wasRescued = true
+							}
+						}
+						mu.Lock()
+						res.Scores[qi][si] = score
+						if wasRescued {
+							rescued++
+						}
+						mu.Unlock()
+					}
+				}
+			}
+			if tal != nil {
+				mu.Lock()
+				merged.Merge(tal)
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, b := range batches {
+		work <- b
+	}
+	close(work)
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	res.Rescued = rescued
+	if opt.Instrument {
+		res.Tally = merged
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return res, nil
+}
+
+// PairHit is one (query, database) alignment of the subroutine
+// scenario.
+type PairHit struct {
+	Query, Seq int
+	Score      int32
+	// Alignment is present when Options requested traceback.
+	Alignment *aln.Alignment
+}
+
+// SubroutineResult is the outcome of a small-set search (Scenario 3).
+type SubroutineResult struct {
+	Hits    []PairHit
+	Cells   int64
+	Elapsed time.Duration
+	Tally   *vek.Tally
+}
+
+// GCUPS returns the measured throughput.
+func (r *SubroutineResult) GCUPS() float64 {
+	s := r.Elapsed.Seconds()
+	if s <= 0 {
+		return 0
+	}
+	return float64(r.Cells) / s / 1e9
+}
+
+// Subroutine aligns small query and database sets pairwise (Scenario
+// 3: SW as a library subroutine, SSW style): every pair runs the
+// adaptive 8/16-bit pair kernel, optionally with traceback, across the
+// worker pool. The working set fits in the highest cache level and is
+// reused heavily.
+func Subroutine(queries [][]uint8, db []seqio.Sequence, mat *submat.Matrix, traceback bool, opt Options) (*SubroutineResult, error) {
+	if len(queries) == 0 || len(db) == 0 {
+		return nil, fmt.Errorf("sched: empty input")
+	}
+	if err := opt.Gaps.Validate(); err != nil {
+		return nil, err
+	}
+	alpha := mat.Alphabet()
+	encoded := make([][]uint8, len(db))
+	for i := range db {
+		encoded[i] = db[i].Encode(alpha)
+		if len(encoded[i]) == 0 {
+			return nil, fmt.Errorf("sched: database sequence %d is empty", i)
+		}
+	}
+
+	res := &SubroutineResult{Hits: make([]PairHit, 0, len(queries)*len(db))}
+	for _, q := range queries {
+		for i := range encoded {
+			res.Cells += int64(len(q)) * int64(len(encoded[i]))
+			_ = i
+		}
+	}
+
+	type job struct{ qi, si int }
+	nw := opt.threads()
+	if nw > len(queries)*len(db) {
+		nw = len(queries) * len(db)
+	}
+	if nw < 1 {
+		nw = 1
+	}
+	work := make(chan job, nw)
+	hits := make([]PairHit, len(queries)*len(db))
+	var mu sync.Mutex
+	var firstErr error
+	merged := &vek.Tally{}
+	var wg sync.WaitGroup
+
+	start := time.Now()
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mch := vek.Bare
+			var tal *vek.Tally
+			if opt.Instrument {
+				mch, tal = vek.NewMachine()
+			}
+			for jb := range work {
+				q := queries[jb.qi]
+				d := encoded[jb.si]
+				popt := core.PairOptions{Gaps: opt.Gaps, Traceback: traceback}
+				r, tb, err := core.AlignPairAdaptive(mch, q, d, mat, popt)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					continue
+				}
+				hit := PairHit{Query: jb.qi, Seq: jb.si, Score: r.Score}
+				if tb != nil {
+					a, err := tb.Walk(r.EndQ, r.EndD, r.Score)
+					if err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						continue
+					}
+					hit.Alignment = a
+				}
+				hits[jb.qi*len(encoded)+jb.si] = hit
+			}
+			if tal != nil {
+				mu.Lock()
+				merged.Merge(tal)
+				mu.Unlock()
+			}
+		}()
+	}
+	for qi := range queries {
+		for si := range encoded {
+			work <- job{qi: qi, si: si}
+		}
+	}
+	close(work)
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	res.Hits = hits
+	if opt.Instrument {
+		res.Tally = merged
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return res, nil
+}

@@ -1,0 +1,239 @@
+// Package sched runs Smith-Waterman searches across goroutine worker
+// pools and implements the paper's three usage scenarios (§II-C,
+// §IV-G): single query versus a streamed database, batched queries on
+// a centralized server, and SW as a small-scale subroutine. Workers
+// carry their own vector-machine tallies, which are merged for the
+// performance model.
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"swvec/internal/aln"
+	"swvec/internal/core"
+	"swvec/internal/seqio"
+	"swvec/internal/submat"
+	"swvec/internal/vek"
+)
+
+// Options configures a database search.
+type Options struct {
+	// Gaps is the gap model (affine by default).
+	Gaps aln.Gaps
+	// Threads is the worker count; 0 uses GOMAXPROCS.
+	Threads int
+	// BlockCols is passed to the batch engine (0 = unblocked).
+	BlockCols int
+	// SortByLength batches similar-length sequences together.
+	SortByLength bool
+	// Instrument merges per-worker operation tallies into the result
+	// for the performance model. Slightly slows the real kernels.
+	Instrument bool
+}
+
+func (o *Options) threads() int {
+	if o.Threads > 0 {
+		return o.Threads
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Hit is one database sequence's result.
+type Hit struct {
+	// SeqIndex is the sequence's position in the database slice.
+	SeqIndex int
+	Score    int32
+	// Rescued marks scores recovered by the 16-bit kernel after 8-bit
+	// saturation.
+	Rescued bool
+}
+
+// Result is the outcome of a search.
+type Result struct {
+	// Hits holds one entry per database sequence, in database order.
+	Hits []Hit
+	// Cells is the number of real DP cells (padding excluded).
+	Cells int64
+	// Elapsed is the wall-clock alignment time (batch preprocessing,
+	// which the paper performs offline, is excluded).
+	Elapsed time.Duration
+	// Rescued counts 8-bit saturations escalated to 16 bits.
+	Rescued int
+	// Tally is the merged operation tally when Options.Instrument is
+	// set, else nil.
+	Tally *vek.Tally
+}
+
+// GCUPS returns the measured wall-clock throughput in giga cell
+// updates per second.
+func (r *Result) GCUPS() float64 {
+	s := r.Elapsed.Seconds()
+	if s <= 0 {
+		return 0
+	}
+	return float64(r.Cells) / s / 1e9
+}
+
+// TopHits returns the n best hits, ties broken by database order.
+func (r *Result) TopHits(n int) []Hit {
+	hits := make([]Hit, len(r.Hits))
+	copy(hits, r.Hits)
+	sort.SliceStable(hits, func(a, b int) bool { return hits[a].Score > hits[b].Score })
+	if n > len(hits) {
+		n = len(hits)
+	}
+	return hits[:n]
+}
+
+// Search aligns one query against every database sequence (Scenario
+// 1) with the staged variable-bitwidth pipeline: the database streams
+// through the 8-bit batch engine across the worker pool; sequences
+// whose scores saturate are regrouped into fresh batches and rescored
+// by the 16-bit batch engine; anything still saturated (scores beyond
+// 32767) finishes on the 32-bit pair kernel. Every stage stays
+// vectorized — the production shape of variable 8/16-bit width.
+func Search(query []uint8, db []seqio.Sequence, mat *submat.Matrix, opt Options) (*Result, error) {
+	if len(query) == 0 {
+		return nil, fmt.Errorf("sched: empty query")
+	}
+	if len(db) == 0 {
+		return nil, fmt.Errorf("sched: empty database")
+	}
+	if err := opt.Gaps.Validate(); err != nil {
+		return nil, err
+	}
+	alpha := mat.Alphabet()
+	batches := seqio.BuildBatches(db, alpha, seqio.BatchOptions{SortByLength: opt.SortByLength})
+	tables := submat.NewCodeTables(mat)
+
+	res := &Result{Hits: make([]Hit, len(db))}
+	for i := range res.Hits {
+		res.Hits[i].SeqIndex = i
+	}
+	res.Cells = seqio.BatchedCells(batches, len(query))
+
+	var mu sync.Mutex
+	var firstErr error
+	merged := &vek.Tally{}
+	setErr := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+
+	// runStage streams batches through one engine across the pool and
+	// returns the database indices of saturated lanes.
+	runStage := func(stage []*seqio.Batch, align func(vek.Machine, *seqio.Batch) (core.BatchResult, error), markRescued bool) []int {
+		nw := opt.threads()
+		if nw > len(stage) {
+			nw = len(stage)
+		}
+		if nw < 1 {
+			nw = 1
+		}
+		work := make(chan *seqio.Batch, nw)
+		var saturated []int
+		var wg sync.WaitGroup
+		for w := 0; w < nw; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				mch := vek.Bare
+				var tal *vek.Tally
+				if opt.Instrument {
+					mch, tal = vek.NewMachine()
+				}
+				for batch := range work {
+					br, err := align(mch, batch)
+					if err != nil {
+						setErr(err)
+						continue
+					}
+					mu.Lock()
+					for lane := 0; lane < batch.Count; lane++ {
+						si := batch.Index[lane]
+						res.Hits[si].Score = br.Scores[lane]
+						res.Hits[si].Rescued = markRescued
+						if br.Saturated[lane] {
+							saturated = append(saturated, si)
+						}
+					}
+					mu.Unlock()
+				}
+				if tal != nil {
+					mu.Lock()
+					merged.Merge(tal)
+					mu.Unlock()
+				}
+			}()
+		}
+		for _, b := range stage {
+			work <- b
+		}
+		close(work)
+		wg.Wait()
+		return saturated
+	}
+
+	start := time.Now()
+	// Stage 1: 8-bit batch engine over the whole database.
+	sat8 := runStage(batches, func(mch vek.Machine, b *seqio.Batch) (core.BatchResult, error) {
+		return core.AlignBatch8(mch, query, tables, b, core.BatchOptions{Gaps: opt.Gaps, BlockCols: opt.BlockCols})
+	}, false)
+
+	// Stage 2: regroup the saturated sequences and rescore at 16 bits.
+	var sat16 []int
+	if len(sat8) > 0 && firstErr == nil {
+		sub := make([]seqio.Sequence, len(sat8))
+		for k, si := range sat8 {
+			sub[k] = db[si]
+		}
+		subBatches := seqio.BuildBatches(sub, alpha, seqio.BatchOptions{SortByLength: opt.SortByLength})
+		// Remap sub-batch indices back to database indices.
+		for _, b := range subBatches {
+			for lane := 0; lane < b.Count; lane++ {
+				b.Index[lane] = sat8[b.Index[lane]]
+			}
+		}
+		sat16 = runStage(subBatches, func(mch vek.Machine, b *seqio.Batch) (core.BatchResult, error) {
+			return core.AlignBatch16(mch, query, tables, b, core.BatchOptions{Gaps: opt.Gaps})
+		}, true)
+		res.Rescued = len(sat8)
+	}
+
+	// Stage 3: the 32-bit pair kernel for anything beyond int16.
+	if len(sat16) > 0 && firstErr == nil {
+		mch := vek.Bare
+		var tal *vek.Tally
+		if opt.Instrument {
+			mch, tal = vek.NewMachine()
+		}
+		for _, si := range sat16 {
+			d := db[si].Encode(alpha)
+			pr, err := core.AlignPair32(mch, query, d, mat, core.PairOptions{Gaps: opt.Gaps})
+			if err != nil {
+				setErr(err)
+				break
+			}
+			res.Hits[si].Score = pr.Score
+			res.Hits[si].Rescued = true
+		}
+		if tal != nil {
+			merged.Merge(tal)
+		}
+	}
+	res.Elapsed = time.Since(start)
+	if opt.Instrument {
+		res.Tally = merged
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return res, nil
+}

@@ -1,0 +1,113 @@
+package seqio
+
+import (
+	"sort"
+
+	"swvec/internal/alphabet"
+)
+
+// BatchLanes is the number of sequences per database batch: one lane
+// per int8 element of a 256-bit register, as in §III-C ("batches
+// containing 32 transposed sequences, i.e., 32 for the number of lanes
+// in AVX2 when using 8-bit integers").
+const BatchLanes = 32
+
+// A Batch holds up to 32 database sequences in transposed residue-code
+// layout: T[j*32+lane] is residue j of the lane-th sequence, so one
+// vector load fetches residue j of all 32 sequences at once ("each
+// adjacent transposed residue represents a residue from a different
+// sequence"). Lanes past a sequence's end, and lanes of a short batch,
+// are padded with the alphabet sentinel code, whose strongly negative
+// substitution scores keep padding out of every local alignment.
+type Batch struct {
+	// Count is the number of real sequences (1..32).
+	Count int
+	// MaxLen is the longest member length; T has MaxLen*32 entries.
+	MaxLen int
+	// Lens holds each lane's true sequence length (0 for padding lanes).
+	Lens [BatchLanes]int
+	// Index holds each lane's position in the source database slice
+	// (-1 for padding lanes).
+	Index [BatchLanes]int
+	// T is the transposed residue-code matrix.
+	T []uint8
+}
+
+// ResidueColumn returns the 32 residue codes at position j, one per
+// lane. The slice aliases the batch.
+func (b *Batch) ResidueColumn(j int) []uint8 {
+	return b.T[j*BatchLanes : (j+1)*BatchLanes]
+}
+
+// Cells returns the total number of DP cells a query of length qlen
+// induces against the real sequences of the batch (padding excluded).
+func (b *Batch) Cells(qlen int) int64 {
+	var total int64
+	for lane := 0; lane < b.Count; lane++ {
+		total += int64(qlen) * int64(b.Lens[lane])
+	}
+	return total
+}
+
+// BatchOptions controls database batching.
+type BatchOptions struct {
+	// SortByLength groups sequences of similar length into the same
+	// batch, shrinking the padded tail each batch must process. This
+	// is the main offline tuning knob for the batch layout.
+	SortByLength bool
+}
+
+// BuildBatches reorganizes the database into transposed batches. This
+// is the "done once, offline" preprocessing step of §III-C. The
+// returned batches reference sequence positions in seqs via Index.
+func BuildBatches(seqs []Sequence, alpha *alphabet.Alphabet, opts BatchOptions) []*Batch {
+	order := make([]int, len(seqs))
+	for i := range order {
+		order[i] = i
+	}
+	if opts.SortByLength {
+		sort.SliceStable(order, func(a, b int) bool {
+			return seqs[order[a]].Len() < seqs[order[b]].Len()
+		})
+	}
+	var batches []*Batch
+	for start := 0; start < len(order); start += BatchLanes {
+		end := start + BatchLanes
+		if end > len(order) {
+			end = len(order)
+		}
+		members := order[start:end]
+		b := &Batch{Count: len(members)}
+		for lane := range b.Index {
+			b.Index[lane] = -1
+		}
+		for lane, si := range members {
+			b.Index[lane] = si
+			b.Lens[lane] = seqs[si].Len()
+			if seqs[si].Len() > b.MaxLen {
+				b.MaxLen = seqs[si].Len()
+			}
+		}
+		b.T = make([]uint8, b.MaxLen*BatchLanes)
+		for i := range b.T {
+			b.T[i] = alphabet.Sentinel
+		}
+		for lane, si := range members {
+			enc := seqs[si].Encode(alpha)
+			for j, code := range enc {
+				b.T[j*BatchLanes+lane] = code
+			}
+		}
+		batches = append(batches, b)
+	}
+	return batches
+}
+
+// BatchedCells sums Cells over all batches for a query length.
+func BatchedCells(batches []*Batch, qlen int) int64 {
+	var total int64
+	for _, b := range batches {
+		total += b.Cells(qlen)
+	}
+	return total
+}

@@ -1,0 +1,100 @@
+// Package seqio provides FASTA input/output, a deterministic synthetic
+// protein database generator calibrated to UniProtKB/Swiss-Prot
+// statistics, and the offline database batching (32 transposed
+// sequences per batch) described in §III-C of the paper.
+package seqio
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+
+	"swvec/internal/alphabet"
+)
+
+// Sequence is a named residue sequence.
+type Sequence struct {
+	// ID is the FASTA identifier (text after '>' up to the first space).
+	ID string
+	// Desc is the remainder of the FASTA header line, if any.
+	Desc string
+	// Residues holds the raw ASCII residue letters.
+	Residues []byte
+}
+
+// Len returns the sequence length in residues.
+func (s Sequence) Len() int { return len(s.Residues) }
+
+// Encode returns the residue codes of the sequence under alpha.
+func (s Sequence) Encode(alpha *alphabet.Alphabet) []uint8 {
+	return alpha.Encode(s.Residues)
+}
+
+// ReadFasta parses all FASTA records from r.
+func ReadFasta(r io.Reader) ([]Sequence, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var out []Sequence
+	var cur *Sequence
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		if raw[0] == '>' {
+			out = append(out, Sequence{})
+			cur = &out[len(out)-1]
+			header := string(raw[1:])
+			if sp := bytes.IndexByte([]byte(header), ' '); sp >= 0 {
+				cur.ID = header[:sp]
+				cur.Desc = header[sp+1:]
+			} else {
+				cur.ID = header
+			}
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("seqio: line %d: sequence data before first header", line)
+		}
+		cur.Residues = append(cur.Residues, raw...)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("seqio: reading fasta: %v", err)
+	}
+	return out, nil
+}
+
+// WriteFasta writes the sequences to w in FASTA format with 60-column
+// sequence lines.
+func WriteFasta(w io.Writer, seqs []Sequence) error {
+	bw := bufio.NewWriter(w)
+	for i := range seqs {
+		s := &seqs[i]
+		if s.Desc != "" {
+			fmt.Fprintf(bw, ">%s %s\n", s.ID, s.Desc)
+		} else {
+			fmt.Fprintf(bw, ">%s\n", s.ID)
+		}
+		for off := 0; off < len(s.Residues); off += 60 {
+			end := off + 60
+			if end > len(s.Residues) {
+				end = len(s.Residues)
+			}
+			bw.Write(s.Residues[off:end])
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// TotalResidues sums the lengths of all sequences.
+func TotalResidues(seqs []Sequence) int64 {
+	var n int64
+	for i := range seqs {
+		n += int64(seqs[i].Len())
+	}
+	return n
+}

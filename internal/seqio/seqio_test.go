@@ -1,0 +1,278 @@
+package seqio
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"swvec/internal/alphabet"
+)
+
+func TestReadFastaBasic(t *testing.T) {
+	src := `>sp|P1|TEST first protein
+MKVLAW
+GQ
+>P2
+ACDE
+`
+	seqs, err := ReadFasta(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 2 {
+		t.Fatalf("got %d records, want 2", len(seqs))
+	}
+	if seqs[0].ID != "sp|P1|TEST" || seqs[0].Desc != "first protein" {
+		t.Errorf("header parse wrong: %q %q", seqs[0].ID, seqs[0].Desc)
+	}
+	if string(seqs[0].Residues) != "MKVLAWGQ" {
+		t.Errorf("residues = %q", seqs[0].Residues)
+	}
+	if seqs[1].ID != "P2" || seqs[1].Desc != "" || string(seqs[1].Residues) != "ACDE" {
+		t.Errorf("second record wrong: %+v", seqs[1])
+	}
+}
+
+func TestReadFastaRejectsLeadingData(t *testing.T) {
+	if _, err := ReadFasta(strings.NewReader("ACDE\n>x\nMK")); err == nil {
+		t.Fatal("data before header accepted")
+	}
+}
+
+func TestReadFastaEmpty(t *testing.T) {
+	seqs, err := ReadFasta(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 0 {
+		t.Fatalf("got %d records, want 0", len(seqs))
+	}
+}
+
+func TestFastaRoundTrip(t *testing.T) {
+	g := NewGenerator(7)
+	orig := g.Database(20)
+	orig[3].Desc = "with description"
+	var buf bytes.Buffer
+	if err := WriteFasta(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFasta(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(orig) {
+		t.Fatalf("got %d records, want %d", len(back), len(orig))
+	}
+	for i := range orig {
+		if back[i].ID != orig[i].ID || !bytes.Equal(back[i].Residues, orig[i].Residues) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+	if back[3].Desc != "with description" {
+		t.Errorf("desc lost: %q", back[3].Desc)
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	a := NewGenerator(42).Database(10)
+	b := NewGenerator(42).Database(10)
+	for i := range a {
+		if !bytes.Equal(a[i].Residues, b[i].Residues) {
+			t.Fatalf("sequence %d differs between identically seeded generators", i)
+		}
+	}
+	c := NewGenerator(43).Database(10)
+	same := true
+	for i := range a {
+		if !bytes.Equal(a[i].Residues, c[i].Residues) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical databases")
+	}
+}
+
+func TestGeneratorComposition(t *testing.T) {
+	g := NewGenerator(1)
+	seq := g.Protein("big", 200000)
+	counts := map[byte]int{}
+	for _, r := range seq.Residues {
+		counts[r]++
+	}
+	// Leucine is the most common residue (~9.7%); tryptophan the
+	// rarest (~1.1%). Check the generated frequencies within 20%
+	// relative tolerance.
+	checks := map[byte]float64{'L': 9.66, 'W': 1.08, 'A': 8.25}
+	for letter, pct := range checks {
+		got := 100 * float64(counts[letter]) / float64(seq.Len())
+		if math.Abs(got-pct)/pct > 0.2 {
+			t.Errorf("residue %c frequency %.2f%%, want ~%.2f%%", letter, got, pct)
+		}
+	}
+	if err := alphabet.ProteinAlphabet().Validate(seq.Residues); err != nil {
+		t.Errorf("generated sequence invalid: %v", err)
+	}
+}
+
+func TestGeneratorLengths(t *testing.T) {
+	g := NewGenerator(2)
+	db := g.Database(2000)
+	var sum int64
+	for i := range db {
+		n := db[i].Len()
+		if n < g.MinLen || n > g.MaxLen {
+			t.Fatalf("length %d outside [%d,%d]", n, g.MinLen, g.MaxLen)
+		}
+		sum += int64(n)
+	}
+	mean := float64(sum) / float64(len(db))
+	if mean < 250 || mean > 480 {
+		t.Errorf("mean length %.0f, want ~360", mean)
+	}
+}
+
+func TestRelatedPreservesHomology(t *testing.T) {
+	g := NewGenerator(3)
+	src := g.Protein("src", 500)
+	rel := g.Related(src, "rel", 0.1, 0.02)
+	if rel.Len() < 400 || rel.Len() > 600 {
+		t.Errorf("related length %d drifted too far from 500", rel.Len())
+	}
+	// Count identical positions over the common prefix region as a
+	// crude homology check: with 10% substitutions and 2% indels the
+	// leading region should still be largely identical.
+	n := 50
+	same := 0
+	for i := 0; i < n; i++ {
+		if rel.Residues[i] == src.Residues[i] {
+			same++
+		}
+	}
+	if same < n/2 {
+		t.Errorf("only %d/%d identities in prefix; mutation too aggressive", same, n)
+	}
+}
+
+func TestStandardQueries(t *testing.T) {
+	qs := StandardQueries(11)
+	if len(qs) != 10 {
+		t.Fatalf("got %d queries, want 10", len(qs))
+	}
+	for i, q := range qs {
+		if q.Len() != StandardQueryLengths[i] {
+			t.Errorf("query %d length = %d, want %d", i, q.Len(), StandardQueryLengths[i])
+		}
+	}
+}
+
+func TestTotalResidues(t *testing.T) {
+	seqs := []Sequence{{Residues: []byte("AB")}, {Residues: []byte("CDE")}}
+	if got := TotalResidues(seqs); got != 5 {
+		t.Fatalf("total = %d, want 5", got)
+	}
+}
+
+func TestBuildBatchesLayout(t *testing.T) {
+	alpha := alphabet.ProteinAlphabet()
+	seqs := []Sequence{
+		{ID: "a", Residues: []byte("MK")},
+		{ID: "b", Residues: []byte("WYV")},
+	}
+	batches := BuildBatches(seqs, alpha, BatchOptions{})
+	if len(batches) != 1 {
+		t.Fatalf("got %d batches, want 1", len(batches))
+	}
+	b := batches[0]
+	if b.Count != 2 || b.MaxLen != 3 {
+		t.Fatalf("count/maxlen = %d/%d, want 2/3", b.Count, b.MaxLen)
+	}
+	col0 := b.ResidueColumn(0)
+	if col0[0] != alpha.Index('M') || col0[1] != alpha.Index('W') {
+		t.Errorf("column 0 = %v", col0[:2])
+	}
+	if col0[2] != alphabet.Sentinel {
+		t.Errorf("padding lane not sentinel: %d", col0[2])
+	}
+	// Sequence "a" ends at j=2: its lane must be sentinel there.
+	col2 := b.ResidueColumn(2)
+	if col2[0] != alphabet.Sentinel {
+		t.Errorf("past-end residue not sentinel: %d", col2[0])
+	}
+	if col2[1] != alpha.Index('V') {
+		t.Errorf("col2 lane1 = %d, want V", col2[1])
+	}
+}
+
+func TestBuildBatchesTransposeProperty(t *testing.T) {
+	alpha := alphabet.ProteinAlphabet()
+	g := NewGenerator(5)
+	seqs := g.Database(70)
+	batches := BuildBatches(seqs, alpha, BatchOptions{})
+	f := func(rawBatch, rawLane, rawPos uint16) bool {
+		b := batches[int(rawBatch)%len(batches)]
+		lane := int(rawLane) % BatchLanes
+		if b.Index[lane] < 0 {
+			return true
+		}
+		seq := seqs[b.Index[lane]]
+		j := int(rawPos) % b.MaxLen
+		got := b.T[j*BatchLanes+lane]
+		if j < seq.Len() {
+			return got == alpha.Index(seq.Residues[j])
+		}
+		return got == alphabet.Sentinel
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildBatchesSortByLength(t *testing.T) {
+	alpha := alphabet.ProteinAlphabet()
+	g := NewGenerator(6)
+	seqs := g.Database(128)
+	sorted := BuildBatches(seqs, alpha, BatchOptions{SortByLength: true})
+	unsorted := BuildBatches(seqs, alpha, BatchOptions{})
+	// Sorting by length cannot increase the padded area.
+	var padSorted, padUnsorted int64
+	for _, b := range sorted {
+		padSorted += int64(b.MaxLen)*int64(BatchLanes) - b.Cells(1)
+	}
+	for _, b := range unsorted {
+		padUnsorted += int64(b.MaxLen)*int64(BatchLanes) - b.Cells(1)
+	}
+	if padSorted > padUnsorted {
+		t.Errorf("sorted padding %d > unsorted %d", padSorted, padUnsorted)
+	}
+	// Every source sequence must appear exactly once.
+	seen := map[int]bool{}
+	for _, b := range sorted {
+		for lane := 0; lane < BatchLanes; lane++ {
+			if b.Index[lane] >= 0 {
+				if seen[b.Index[lane]] {
+					t.Fatalf("sequence %d batched twice", b.Index[lane])
+				}
+				seen[b.Index[lane]] = true
+			}
+		}
+	}
+	if len(seen) != len(seqs) {
+		t.Fatalf("%d sequences batched, want %d", len(seen), len(seqs))
+	}
+}
+
+func TestBatchCells(t *testing.T) {
+	alpha := alphabet.ProteinAlphabet()
+	seqs := []Sequence{
+		{ID: "a", Residues: []byte("MK")},
+		{ID: "b", Residues: []byte("WYV")},
+	}
+	batches := BuildBatches(seqs, alpha, BatchOptions{})
+	if got := BatchedCells(batches, 10); got != 50 {
+		t.Fatalf("cells = %d, want 50", got)
+	}
+}

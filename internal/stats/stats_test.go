@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMeanStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("mean = %f, want 5", m)
+	}
+	if s := Std(xs); math.Abs(s-2) > 1e-9 {
+		t.Errorf("std = %f, want 2", s)
+	}
+	if Mean(nil) != 0 || Std(nil) != 0 || Std([]float64{1}) != 0 {
+		t.Error("empty/singleton cases wrong")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 4, 16}); math.Abs(g-4) > 1e-9 {
+		t.Errorf("geomean = %f, want 4", g)
+	}
+	if GeoMean([]float64{1, -1}) != 0 {
+		t.Error("negative input should yield 0")
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("empty input should yield 0")
+	}
+}
+
+func TestFormatGCUPS(t *testing.T) {
+	cases := map[float64]string{
+		123.4: "123",
+		12.34: "12.3",
+		1.234: "1.23",
+	}
+	for v, want := range cases {
+		if got := FormatGCUPS(v); got != want {
+			t.Errorf("FormatGCUPS(%f) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{
+		Title:   "Fig X",
+		Headers: []string{"arch", "gcups"},
+		Note:    "higher is better",
+	}
+	tb.AddRow("Skylake", 12.5)
+	tb.AddRow("Haswell", 3.25)
+	var b strings.Builder
+	if err := tb.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"== Fig X ==", "arch", "Skylake", "12.5", "3.25", "note: higher is better"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableRenderCSV(t *testing.T) {
+	tb := &Table{Headers: []string{"a", "b"}}
+	tb.AddRow("x,y", `quo"te`)
+	tb.AddRow(7, 1.5)
+	var b strings.Builder
+	if err := tb.RenderCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if lines[0] != "a,b" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != `"x,y","quo""te"` {
+		t.Errorf("quoted row = %q", lines[1])
+	}
+	if lines[2] != "7,1.50" {
+		t.Errorf("numeric row = %q", lines[2])
+	}
+}
+
+func TestAddRowMixedTypes(t *testing.T) {
+	tb := &Table{Headers: []string{"a", "b", "c"}}
+	tb.AddRow(1, "two", 3.0)
+	if len(tb.Rows) != 1 || tb.Rows[0][0] != "1" || tb.Rows[0][1] != "two" {
+		t.Fatalf("row = %v", tb.Rows)
+	}
+}

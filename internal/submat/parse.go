@@ -1,0 +1,106 @@
+package submat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"swvec/internal/alphabet"
+)
+
+// Parse reads a substitution matrix in the NCBI text format:
+//
+//	# optional comment lines
+//	   A  R  N  D ...
+//	A  4 -1 -2 -2 ...
+//	R -1  5  0 -2 ...
+//
+// The column header defines the residue order; each data line starts
+// with its residue letter. Residues are mapped onto alpha's codes;
+// letters unknown to alpha are rejected. Missing residue pairs keep
+// the SentinelScore.
+func Parse(r io.Reader, name string, alpha *alphabet.Alphabet) (*Matrix, error) {
+	sc := bufio.NewScanner(r)
+	var header []uint8
+	n := alpha.Size()
+	table := make([]int8, n*n)
+	for i := range table {
+		table[i] = SentinelScore
+	}
+	seenRows := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if header == nil {
+			header = make([]uint8, 0, len(fields))
+			for _, f := range fields {
+				if len(f) != 1 {
+					return nil, fmt.Errorf("submat: header field %q is not a single residue letter", f)
+				}
+				code := alpha.Index(f[0])
+				if code == alphabet.Sentinel && f[0] != '*' {
+					return nil, fmt.Errorf("submat: header residue %q not in alphabet", f)
+				}
+				header = append(header, code)
+			}
+			continue
+		}
+		if len(fields) != len(header)+1 {
+			return nil, fmt.Errorf("submat: row %q has %d scores, want %d", fields[0], len(fields)-1, len(header))
+		}
+		if len(fields[0]) != 1 {
+			return nil, fmt.Errorf("submat: row label %q is not a single residue letter", fields[0])
+		}
+		q := alpha.Index(fields[0][0])
+		if q == alphabet.Sentinel && fields[0][0] != '*' {
+			return nil, fmt.Errorf("submat: row residue %q not in alphabet", fields[0])
+		}
+		for k, f := range fields[1:] {
+			v, err := strconv.ParseInt(f, 10, 8)
+			if err != nil {
+				return nil, fmt.Errorf("submat: bad score %q in row %q: %v", f, fields[0], err)
+			}
+			c := header[k]
+			if int(q) < n && int(c) < n {
+				table[int(q)*n+int(c)] = int8(v)
+			}
+		}
+		seenRows++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("submat: reading matrix: %v", err)
+	}
+	if header == nil || seenRows == 0 {
+		return nil, fmt.Errorf("submat: no matrix data found")
+	}
+	return New(name, alpha, n, table)
+}
+
+// Format writes the matrix in the NCBI text format over the real
+// residues of its alphabet (sentinel rows are omitted).
+func Format(w io.Writer, m *Matrix) error {
+	alpha := m.Alphabet()
+	n := alpha.Size()
+	var b strings.Builder
+	b.WriteString("# ")
+	b.WriteString(m.Name())
+	b.WriteString("\n  ")
+	for c := 0; c < n; c++ {
+		fmt.Fprintf(&b, " %2c", alpha.Letter(uint8(c)))
+	}
+	b.WriteByte('\n')
+	for q := 0; q < n; q++ {
+		fmt.Fprintf(&b, "%c ", alpha.Letter(uint8(q)))
+		for c := 0; c < n; c++ {
+			fmt.Fprintf(&b, " %2d", m.Score(uint8(q), uint8(c)))
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,167 @@
+package submat
+
+import (
+	"swvec/internal/vek"
+)
+
+// Profile8 is the runtime query profile of §III-C: for every query
+// position it holds the 32-wide substitution-matrix row of that
+// position's residue, prepared as a pair of shuffle tables so the
+// 8-bit kernels can score 32 database residues with two vpshufb
+// issues and a blend instead of a (nonexistent) 8-bit gather.
+//
+// For query position i, Lo(i) carries row bytes 0..15 duplicated into
+// both 128-bit halves and Hi(i) carries bytes 16..31 likewise; see
+// ScoreBatch in internal/core for the lookup sequence.
+type Profile8 struct {
+	query []uint8
+	// rows is the flattened profile: rows[i*W+c] = Score(query[i], c).
+	rows []int8
+	// lo and hi are the prepared shuffle tables, one pair per query
+	// position.
+	lo []vek.I8x32
+	hi []vek.I8x32
+}
+
+// NewProfile8 builds the 8-bit query profile for the encoded query.
+func NewProfile8(m *Matrix, query []uint8) *Profile8 {
+	p := &Profile8{
+		query: query,
+		rows:  make([]int8, len(query)*W),
+		lo:    make([]vek.I8x32, len(query)),
+		hi:    make([]vek.I8x32, len(query)),
+	}
+	for i, q := range query {
+		row := m.Row(q)
+		copy(p.rows[i*W:(i+1)*W], row)
+		var lo, hi vek.I8x32
+		for k := 0; k < 16; k++ {
+			lo[k] = row[k]
+			lo[16+k] = row[k]
+			hi[k] = row[16+k]
+			hi[16+k] = row[16+k]
+		}
+		p.lo[i] = lo
+		p.hi[i] = hi
+	}
+	return p
+}
+
+// Len returns the query length.
+func (p *Profile8) Len() int { return len(p.query) }
+
+// Query returns the encoded query the profile was built from. The
+// slice aliases the profile; callers must not modify it.
+func (p *Profile8) Query() []uint8 { return p.query }
+
+// Row returns the 32-wide score row for query position i. The slice
+// aliases the profile.
+func (p *Profile8) Row(i int) []int8 { return p.rows[i*W : (i+1)*W] }
+
+// Score returns the profile score at query position i against residue
+// code r.
+func (p *Profile8) Score(i int, r uint8) int8 { return p.rows[i*W+int(r)] }
+
+// Lo returns the low-half shuffle table for query position i.
+func (p *Profile8) Lo(i int) vek.I8x32 { return p.lo[i] }
+
+// Hi returns the high-half shuffle table for query position i.
+func (p *Profile8) Hi(i int) vek.I8x32 { return p.hi[i] }
+
+// LookupScores computes, with vector instructions, the 32 scores of
+// query position i against the 32 residue codes in idx: the lane-wise
+// equivalent of Score(i, idx[lane]). It issues the two-shuffle/blend
+// sequence the paper uses in place of an 8-bit gather: codes 0..15
+// select from the low table, codes 16..31 from the high table, and a
+// compare on bit 4 of the code steers the blend.
+func (p *Profile8) LookupScores(mch vek.Machine, i int, idx vek.I8x32) vek.I8x32 {
+	fifteen := mch.Splat8(15)
+	// maskHi lanes are 0xFF where the code is >= 16.
+	maskHi := mch.CmpGt8(idx, fifteen)
+	low4 := mch.And8(idx, fifteen)
+	fromLo := mch.Shuffle8(p.lo[i], low4)
+	fromHi := mch.Shuffle8(p.hi[i], low4)
+	return mch.Blend8(fromLo, fromHi, maskHi)
+}
+
+// GatherIndices builds the flattened-matrix gather indices for the
+// 16/32-bit path: idx[lane] = int32(q)*W + int32(r[lane]) addresses
+// Matrix.Flat32. q is the query residue code shared by all lanes.
+func GatherIndices(mch vek.Machine, q uint8, r vek.I32x8) vek.I32x8 {
+	base := mch.Splat32(int32(q) * W)
+	return mch.Add32(base, r)
+}
+
+// CodeTables holds, for every residue code, the pair of 16-byte
+// shuffle tables covering that code's 32-wide matrix row. The batch
+// engine uses them to turn a column of 32 database residue codes into
+// 32 substitution scores with two shuffles and a blend ("interleaving
+// data coming from the substitution matrix").
+type CodeTables struct {
+	lo [W]vek.I8x32
+	hi [W]vek.I8x32
+}
+
+// NewCodeTables prepares the shuffle tables for every residue code of
+// the matrix, including sentinel rows.
+func NewCodeTables(m *Matrix) *CodeTables {
+	t := &CodeTables{}
+	for c := 0; c < W; c++ {
+		row := m.Row(uint8(c))
+		var lo, hi vek.I8x32
+		for k := 0; k < 16; k++ {
+			lo[k] = row[k]
+			lo[16+k] = row[k]
+			hi[k] = row[16+k]
+			hi[16+k] = row[16+k]
+		}
+		t.lo[c] = lo
+		t.hi[c] = hi
+	}
+	return t
+}
+
+// LookupScores computes the 32 scores of query residue code c against
+// the 32 residue codes in idx, with the same two-shuffle/blend
+// sequence as Profile8.LookupScores.
+func (t *CodeTables) LookupScores(mch vek.Machine, c uint8, idx vek.I8x32) vek.I8x32 {
+	fifteen := mch.Splat8(15)
+	maskHi := mch.CmpGt8(idx, fifteen)
+	low4 := mch.And8(idx, fifteen)
+	fromLo := mch.Shuffle8(t.lo[c], low4)
+	fromHi := mch.Shuffle8(t.hi[c], low4)
+	return mch.Blend8(fromLo, fromHi, maskHi)
+}
+
+// Profile16 is the widened query profile used when the 8-bit kernels
+// escalate after saturation: the same row layout, stored as int16.
+type Profile16 struct {
+	query []uint8
+	rows  []int16
+}
+
+// NewProfile16 builds the 16-bit query profile for the encoded query.
+func NewProfile16(m *Matrix, query []uint8) *Profile16 {
+	p := &Profile16{
+		query: query,
+		rows:  make([]int16, len(query)*W),
+	}
+	for i, q := range query {
+		row := m.Row(q)
+		for c := 0; c < W; c++ {
+			p.rows[i*W+c] = int16(row[c])
+		}
+	}
+	return p
+}
+
+// Len returns the query length.
+func (p *Profile16) Len() int { return len(p.query) }
+
+// Row returns the 32-wide int16 score row for query position i. The
+// slice aliases the profile.
+func (p *Profile16) Row(i int) []int16 { return p.rows[i*W : (i+1)*W] }
+
+// Score returns the profile score at query position i against residue
+// code r.
+func (p *Profile16) Score(i int, r uint8) int16 { return p.rows[i*W+int(r)] }

@@ -1,0 +1,253 @@
+// Package submat provides protein and DNA substitution matrices in the
+// reorganized 32-wide layout described in §III-C of the paper: every
+// row holds 32 int8 scores (one 256-bit register), rows and columns are
+// indexed by the alphabet's residue codes, and the rows/columns beyond
+// the real residues are sentinel entries with a strongly negative
+// score. This layout lets the kernels read a full matrix row with a
+// single vector load and address the flattened matrix with 32-bit
+// gathers without any bounds logic.
+package submat
+
+import (
+	"fmt"
+
+	"swvec/internal/alphabet"
+)
+
+// W is the padded row width (= alphabet.Width = 32 int8 scores,
+// exactly one 256-bit register).
+const W = alphabet.Width
+
+// SentinelScore is the score assigned to any pairing that involves a
+// padding/sentinel code. It is negative enough that sentinels never
+// join a local alignment, but far from the int8 minimum so that
+// saturating arithmetic cannot wrap it into usable territory.
+const SentinelScore = -16
+
+// Matrix is a substitution matrix in the reorganized layout.
+type Matrix struct {
+	name  string
+	alpha *alphabet.Alphabet
+	// scores is row-major: scores[q*W+r] is the score for aligning
+	// query residue code q against database residue code r.
+	scores [W * W]int8
+	// flat32 is the widened copy used by the vector gather path.
+	flat32 [W * W]int32
+	maxSc  int8
+	minSc  int8
+}
+
+// New builds a Matrix from a square score table over the first n
+// residue codes of alpha. Entries outside the table are filled with
+// SentinelScore. table must be n×n, row-major.
+func New(name string, alpha *alphabet.Alphabet, n int, table []int8) (*Matrix, error) {
+	if n <= 0 || n > W {
+		return nil, fmt.Errorf("submat: residue count %d out of range (1..%d)", n, W)
+	}
+	if len(table) != n*n {
+		return nil, fmt.Errorf("submat: table has %d entries, want %d", len(table), n*n)
+	}
+	m := &Matrix{name: name, alpha: alpha}
+	for i := range m.scores {
+		m.scores[i] = SentinelScore
+	}
+	m.maxSc, m.minSc = table[0], table[0]
+	for q := 0; q < n; q++ {
+		for r := 0; r < n; r++ {
+			s := table[q*n+r]
+			m.scores[q*W+r] = s
+			if s > m.maxSc {
+				m.maxSc = s
+			}
+			if s < m.minSc {
+				m.minSc = s
+			}
+		}
+	}
+	for i, s := range m.scores {
+		m.flat32[i] = int32(s)
+	}
+	return m, nil
+}
+
+// MatchMismatch builds the fixed-score matrix used by the paper's
+// "without substitution matrix" configurations (Fig. 9): match on
+// identical residues, mismatch otherwise, over all real residues of
+// alpha.
+func MatchMismatch(alpha *alphabet.Alphabet, match, mismatch int8) *Matrix {
+	n := alpha.Size()
+	table := make([]int8, n*n)
+	for q := 0; q < n; q++ {
+		for r := 0; r < n; r++ {
+			if q == r {
+				table[q*n+r] = match
+			} else {
+				table[q*n+r] = mismatch
+			}
+		}
+	}
+	m, err := New(fmt.Sprintf("match%d/mismatch%d", match, mismatch), alpha, n, table)
+	if err != nil {
+		// n and table are constructed consistently above.
+		panic(err)
+	}
+	return m
+}
+
+// FixedScores reports whether the matrix is a uniform match/mismatch
+// matrix over its real residues, returning the two scores. Kernels use
+// this to replace table lookups with a compare-and-blend (the Fig. 9
+// "without substitution matrix" fast path).
+func (m *Matrix) FixedScores() (match, mismatch int8, ok bool) {
+	n := m.alpha.Size()
+	if n < 2 {
+		return 0, 0, false
+	}
+	match = m.Score(0, 0)
+	mismatch = m.Score(0, 1)
+	for q := 0; q < n; q++ {
+		for r := 0; r < n; r++ {
+			want := mismatch
+			if q == r {
+				want = match
+			}
+			if m.Score(uint8(q), uint8(r)) != want {
+				return 0, 0, false
+			}
+		}
+	}
+	return match, mismatch, true
+}
+
+// Name returns the matrix name, e.g. "BLOSUM62".
+func (m *Matrix) Name() string { return m.name }
+
+// Alphabet returns the alphabet the matrix is indexed by.
+func (m *Matrix) Alphabet() *alphabet.Alphabet { return m.alpha }
+
+// Score returns the score for query residue code q against database
+// residue code r. Any code in [0, W) is valid, including sentinels.
+func (m *Matrix) Score(q, r uint8) int8 { return m.scores[int(q)*W+int(r)] }
+
+// Row returns the 32-wide row for query residue code q. The returned
+// slice aliases the matrix; callers must not modify it.
+func (m *Matrix) Row(q uint8) []int8 { return m.scores[int(q)*W : int(q)*W+W] }
+
+// Flat32 returns the widened row-major matrix for the 32-bit gather
+// path: Flat32()[q*32+r] == int32(Score(q, r)). The slice aliases the
+// matrix; callers must not modify it.
+func (m *Matrix) Flat32() []int32 { return m.flat32[:] }
+
+// Max returns the largest score in the real residue block.
+func (m *Matrix) Max() int8 { return m.maxSc }
+
+// Min returns the smallest score in the real residue block (excluding
+// sentinel padding).
+func (m *Matrix) Min() int8 { return m.minSc }
+
+// blosum62 is the standard NCBI BLOSUM62 table over the 24 residue
+// order ARNDCQEGHILKMFPSTWYVBZX* (Henikoff & Henikoff 1992). The
+// paper's protein experiments use BLOSUM-family scoring.
+var blosum62Table = []int8{
+	// A   R   N   D   C   Q   E   G   H   I   L   K   M   F   P   S   T   W   Y   V   B   Z   X   *
+	4, -1, -2, -2, 0, -1, -1, 0, -2, -1, -1, -1, -1, -2, -1, 1, 0, -3, -2, 0, -2, -1, 0, -4,
+	-1, 5, 0, -2, -3, 1, 0, -2, 0, -3, -2, 2, -1, -3, -2, -1, -1, -3, -2, -3, -1, 0, -1, -4,
+	-2, 0, 6, 1, -3, 0, 0, 0, 1, -3, -3, 0, -2, -3, -2, 1, 0, -4, -2, -3, 3, 0, -1, -4,
+	-2, -2, 1, 6, -3, 0, 2, -1, -1, -3, -4, -1, -3, -3, -1, 0, -1, -4, -3, -3, 4, 1, -1, -4,
+	0, -3, -3, -3, 9, -3, -4, -3, -3, -1, -1, -3, -1, -2, -3, -1, -1, -2, -2, -1, -3, -3, -2, -4,
+	-1, 1, 0, 0, -3, 5, 2, -2, 0, -3, -2, 1, 0, -3, -1, 0, -1, -2, -1, -2, 0, 3, -1, -4,
+	-1, 0, 0, 2, -4, 2, 5, -2, 0, -3, -3, 1, -2, -3, -1, 0, -1, -3, -2, -2, 1, 4, -1, -4,
+	0, -2, 0, -1, -3, -2, -2, 6, -2, -4, -4, -2, -3, -3, -2, 0, -2, -2, -3, -3, -1, -2, -1, -4,
+	-2, 0, 1, -1, -3, 0, 0, -2, 8, -3, -3, -1, -2, -1, -2, -1, -2, -2, 2, -3, 0, 0, -1, -4,
+	-1, -3, -3, -3, -1, -3, -3, -4, -3, 4, 2, -3, 1, 0, -3, -2, -1, -3, -1, 3, -3, -3, -1, -4,
+	-1, -2, -3, -4, -1, -2, -3, -4, -3, 2, 4, -2, 2, 0, -3, -2, -1, -2, -1, 1, -4, -3, -1, -4,
+	-1, 2, 0, -1, -3, 1, 1, -2, -1, -3, -2, 5, -1, -3, -1, 0, -1, -3, -2, -2, 0, 1, -1, -4,
+	-1, -1, -2, -3, -1, 0, -2, -3, -2, 1, 2, -1, 5, 0, -2, -1, -1, -1, -1, 1, -3, -1, -1, -4,
+	-2, -3, -3, -3, -2, -3, -3, -3, -1, 0, 0, -3, 0, 6, -4, -2, -2, 1, 3, -1, -3, -3, -1, -4,
+	-1, -2, -2, -1, -3, -1, -1, -2, -2, -3, -3, -1, -2, -4, 7, -1, -1, -4, -3, -2, -2, -1, -2, -4,
+	1, -1, 1, 0, -1, 0, 0, 0, -1, -2, -2, 0, -1, -2, -1, 4, 1, -3, -2, -2, 0, 0, 0, -4,
+	0, -1, 0, -1, -1, -1, -1, -2, -2, -1, -1, -1, -1, -2, -1, 1, 5, -2, -2, 0, -1, -1, 0, -4,
+	-3, -3, -4, -4, -2, -2, -3, -2, -2, -3, -2, -3, -1, 1, -4, -3, -2, 11, 2, -3, -4, -3, -2, -4,
+	-2, -2, -2, -3, -2, -1, -2, -3, 2, -1, -1, -2, -1, 3, -3, -2, -2, 2, 7, -1, -3, -2, -1, -4,
+	0, -3, -3, -3, -1, -2, -2, -3, -3, 3, 1, -2, 1, -1, -2, -2, 0, -3, -1, 4, -3, -2, -1, -4,
+	-2, -1, 3, 4, -3, 0, 1, -1, 0, -3, -4, 0, -3, -3, -2, 0, -1, -4, -3, -3, 4, 1, -1, -4,
+	-1, 0, 0, 1, -3, 3, 4, -2, 0, -3, -3, 1, -1, -3, -1, 0, -1, -3, -2, -2, 1, 4, -1, -4,
+	0, -1, -1, -1, -2, -1, -1, -1, -1, -1, -1, -1, -1, -1, -2, 0, 0, -2, -1, -1, -1, -1, -1, -4,
+	-4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, 1,
+}
+
+var blosum62 = mustBuildBlosum62()
+
+func mustBuildBlosum62() *Matrix {
+	alpha := alphabet.ProteinAlphabet()
+	// The protein alphabet orders residues ARNDCQEGHILKMFPSTWYV BZX
+	// then U, O, J, '*'. The BLOSUM62 table covers the first 23 codes
+	// plus '*'. Expand it onto the full alphabet: U scores as C, O as
+	// K, J as the min of I and L (NCBI convention).
+	n := alpha.Size()
+	table := make([]int8, n*n)
+	// src maps an alphabet code to its row in blosum62Table.
+	src := make([]int, n)
+	order := "ARNDCQEGHILKMFPSTWYVBZX"
+	pos := map[byte]int{}
+	for i := 0; i < len(order); i++ {
+		pos[order[i]] = i
+	}
+	for code := 0; code < n; code++ {
+		letter := alpha.Letters()[code]
+		switch letter {
+		case 'U':
+			src[code] = pos['C']
+		case 'O':
+			src[code] = pos['K']
+		case 'J':
+			src[code] = pos['L'] // min(I, L) == L scores for BLOSUM62
+		case '*':
+			src[code] = 23
+		default:
+			src[code] = pos[letter]
+		}
+	}
+	for q := 0; q < n; q++ {
+		for r := 0; r < n; r++ {
+			table[q*n+r] = blosum62Table[src[q]*24+src[r]]
+		}
+	}
+	m, err := New("BLOSUM62", alpha, n, table)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Blosum62 returns the shared BLOSUM62 matrix in reorganized layout.
+func Blosum62() *Matrix { return blosum62 }
+
+var dnaDefault = buildDNADefault()
+
+// DNADefault returns the shared simple DNA matrix (match +2, mismatch
+// -3, N scores 0 against everything) commonly used for nucleotide SW.
+func DNADefault() *Matrix { return dnaDefault }
+
+func buildDNADefault() *Matrix {
+	alpha := alphabet.DNAAlphabet()
+	n := alpha.Size()
+	table := make([]int8, n*n)
+	for q := 0; q < n; q++ {
+		for r := 0; r < n; r++ {
+			switch {
+			case q == 4 || r == 4: // N
+				table[q*n+r] = 0
+			case q == r:
+				table[q*n+r] = 2
+			default:
+				table[q*n+r] = -3
+			}
+		}
+	}
+	m, err := New("DNA+2/-3", alpha, n, table)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}

@@ -1,0 +1,271 @@
+package submat
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"swvec/internal/alphabet"
+	"swvec/internal/vek"
+)
+
+func TestBlosum62KnownScores(t *testing.T) {
+	m := Blosum62()
+	a := alphabet.ProteinAlphabet()
+	cases := []struct {
+		q, r byte
+		want int8
+	}{
+		{'A', 'A', 4}, {'W', 'W', 11}, {'C', 'C', 9},
+		{'A', 'R', -1}, {'R', 'A', -1},
+		{'W', 'G', -2}, {'P', 'F', -4},
+		{'I', 'V', 3}, {'E', 'Z', 4}, {'N', 'B', 3},
+		{'X', 'X', -1}, {'*', '*', 1}, {'A', '*', -4},
+		{'U', 'C', 9}, // U scores as C
+		{'O', 'K', 5}, // O scores as K
+		{'J', 'L', 4}, // J scores as L
+	}
+	for _, c := range cases {
+		got := m.Score(a.Index(c.q), a.Index(c.r))
+		if got != c.want {
+			t.Errorf("Score(%c,%c) = %d, want %d", c.q, c.r, got, c.want)
+		}
+	}
+}
+
+func TestBlosum62Symmetric(t *testing.T) {
+	m := Blosum62()
+	n := m.Alphabet().Size()
+	for q := 0; q < n; q++ {
+		for r := 0; r < n; r++ {
+			if m.Score(uint8(q), uint8(r)) != m.Score(uint8(r), uint8(q)) {
+				t.Fatalf("asymmetric at (%d,%d)", q, r)
+			}
+		}
+	}
+}
+
+func TestBlosum62MaxMin(t *testing.T) {
+	m := Blosum62()
+	if m.Max() != 11 {
+		t.Errorf("max = %d, want 11 (W/W)", m.Max())
+	}
+	if m.Min() != -4 {
+		t.Errorf("min = %d, want -4", m.Min())
+	}
+}
+
+func TestSentinelRowsArePenalized(t *testing.T) {
+	m := Blosum62()
+	a := m.Alphabet()
+	if got := m.Score(alphabet.Sentinel, a.Index('A')); got != SentinelScore {
+		t.Errorf("sentinel row score = %d, want %d", got, SentinelScore)
+	}
+	if got := m.Score(a.Index('A'), alphabet.Sentinel); got != SentinelScore {
+		t.Errorf("sentinel col score = %d, want %d", got, SentinelScore)
+	}
+}
+
+func TestFlat32MatchesScoreProperty(t *testing.T) {
+	m := Blosum62()
+	flat := m.Flat32()
+	f := func(q, r uint8) bool {
+		q &= 31
+		r &= 31
+		return flat[int(q)*W+int(r)] == int32(m.Score(q, r))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRowAliasesScores(t *testing.T) {
+	m := Blosum62()
+	a := m.Alphabet()
+	q := a.Index('K')
+	row := m.Row(q)
+	if len(row) != W {
+		t.Fatalf("row width = %d, want %d", len(row), W)
+	}
+	for r := 0; r < W; r++ {
+		if row[r] != m.Score(q, uint8(r)) {
+			t.Fatalf("row[%d] = %d, want %d", r, row[r], m.Score(q, uint8(r)))
+		}
+	}
+}
+
+func TestMatchMismatch(t *testing.T) {
+	m := MatchMismatch(alphabet.ProteinAlphabet(), 2, -1)
+	a := m.Alphabet()
+	if got := m.Score(a.Index('A'), a.Index('A')); got != 2 {
+		t.Errorf("match = %d, want 2", got)
+	}
+	if got := m.Score(a.Index('A'), a.Index('W')); got != -1 {
+		t.Errorf("mismatch = %d, want -1", got)
+	}
+	if m.Max() != 2 || m.Min() != -1 {
+		t.Errorf("max/min = %d/%d, want 2/-1", m.Max(), m.Min())
+	}
+}
+
+func TestDNADefault(t *testing.T) {
+	m := DNADefault()
+	a := m.Alphabet()
+	if got := m.Score(a.Index('A'), a.Index('A')); got != 2 {
+		t.Errorf("A/A = %d, want 2", got)
+	}
+	if got := m.Score(a.Index('A'), a.Index('G')); got != -3 {
+		t.Errorf("A/G = %d, want -3", got)
+	}
+	if got := m.Score(a.Index('N'), a.Index('G')); got != 0 {
+		t.Errorf("N/G = %d, want 0", got)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	a := alphabet.ProteinAlphabet()
+	if _, err := New("bad", a, 0, nil); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := New("bad", a, 40, make([]int8, 1600)); err == nil {
+		t.Error("n>32 accepted")
+	}
+	if _, err := New("bad", a, 3, make([]int8, 8)); err == nil {
+		t.Error("wrong table size accepted")
+	}
+}
+
+func TestProfile8MatchesMatrix(t *testing.T) {
+	m := Blosum62()
+	a := m.Alphabet()
+	query := a.EncodeString("MKVLAWGQ")
+	p := NewProfile8(m, query)
+	if p.Len() != len(query) {
+		t.Fatalf("len = %d, want %d", p.Len(), len(query))
+	}
+	for i, q := range query {
+		for r := 0; r < W; r++ {
+			if p.Score(i, uint8(r)) != m.Score(q, uint8(r)) {
+				t.Fatalf("profile(%d,%d) = %d, want %d", i, r, p.Score(i, uint8(r)), m.Score(q, uint8(r)))
+			}
+		}
+	}
+}
+
+func TestProfile8LookupScoresProperty(t *testing.T) {
+	m := Blosum62()
+	a := m.Alphabet()
+	query := a.EncodeString("ACDEFGHIKLMNPQRSTVWY")
+	p := NewProfile8(m, query)
+	f := func(rawIdx [32]uint8, pos uint8) bool {
+		i := int(pos) % p.Len()
+		var idx vek.I8x32
+		for l := range idx {
+			idx[l] = int8(rawIdx[l] & 31)
+		}
+		got := p.LookupScores(vek.Bare, i, idx)
+		for l := range got {
+			if got[l] != p.Score(i, uint8(idx[l])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGatherIndices(t *testing.T) {
+	m := Blosum62()
+	a := m.Alphabet()
+	q := a.Index('W')
+	r := vek.I32x8{0, 1, 2, 3, 4, 5, 6, 7}
+	idx := GatherIndices(vek.Bare, q, r)
+	flat := m.Flat32()
+	got := vek.Bare.Gather32(flat, idx)
+	for l := 0; l < 8; l++ {
+		if got[l] != int32(m.Score(q, uint8(r[l]))) {
+			t.Fatalf("gather lane %d = %d, want %d", l, got[l], m.Score(q, uint8(r[l])))
+		}
+	}
+}
+
+func TestProfile16MatchesMatrix(t *testing.T) {
+	m := Blosum62()
+	a := m.Alphabet()
+	query := a.EncodeString("WYVKR")
+	p := NewProfile16(m, query)
+	for i, q := range query {
+		row := p.Row(i)
+		for r := 0; r < W; r++ {
+			if row[r] != int16(m.Score(q, uint8(r))) || p.Score(i, uint8(r)) != int16(m.Score(q, uint8(r))) {
+				t.Fatalf("profile16(%d,%d) wrong", i, r)
+			}
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	m := Blosum62()
+	var b strings.Builder
+	if err := Format(&b, m); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := Parse(strings.NewReader(b.String()), "BLOSUM62-rt", m.Alphabet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := m.Alphabet().Size()
+	for q := 0; q < n; q++ {
+		for r := 0; r < n; r++ {
+			if parsed.Score(uint8(q), uint8(r)) != m.Score(uint8(q), uint8(r)) {
+				t.Fatalf("round trip mismatch at (%d,%d): %d vs %d",
+					q, r, parsed.Score(uint8(q), uint8(r)), m.Score(uint8(q), uint8(r)))
+			}
+		}
+	}
+}
+
+func TestParseSmallMatrix(t *testing.T) {
+	src := `# tiny DNA matrix
+   A  C  G  T
+A  5 -4 -4 -4
+C -4  5 -4 -4
+G -4 -4  5 -4
+T -4 -4 -4  5
+`
+	m, err := Parse(strings.NewReader(src), "tiny", alphabet.DNAAlphabet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := m.Alphabet()
+	if got := m.Score(a.Index('A'), a.Index('A')); got != 5 {
+		t.Errorf("A/A = %d, want 5", got)
+	}
+	if got := m.Score(a.Index('A'), a.Index('T')); got != -4 {
+		t.Errorf("A/T = %d, want -4", got)
+	}
+	// N was not in the file: keeps sentinel.
+	if got := m.Score(a.Index('N'), a.Index('A')); got != SentinelScore {
+		t.Errorf("N/A = %d, want sentinel %d", got, SentinelScore)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	a := alphabet.DNAAlphabet()
+	cases := []string{
+		"",                        // empty
+		"A C\nA 1",                // row too short
+		"   A  C\nAB 1 2",         // multi-letter row label
+		"   A  C\nA 1 x",          // non-numeric score
+		"   AB C\nA 1 2",          // multi-letter header
+		"   A  Q\nA 1 2\nQ 1 2",   // residue not in DNA alphabet
+		"   A  C\nA 999 1\nC 1 1", // score overflows int8
+	}
+	for _, src := range cases {
+		if _, err := Parse(strings.NewReader(src), "bad", a); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}

@@ -1,0 +1,208 @@
+// Package tuner implements the evolutionary hyperparameter
+// optimization of §III-E / §IV-D: a randomly initialized population of
+// parameter assignments evolves by mutation and crossover, each
+// generation is evaluated against a fitness function (kernel runtime,
+// modeled or measured), and the best individual is selected at the
+// end. As the paper notes, the method is not guaranteed to find the
+// optimum and its outcome depends on the datasets used — it is a
+// search heuristic, not a solver.
+//
+// The paper tunes GCC compiler hyperparameters. This reproduction
+// tunes the simulator's kernel hyperparameters (scalar-fallback
+// threshold, tail padding, batch block size, layout choices) through
+// the same algorithm; Params exposes the registry.
+package tuner
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Param is one tunable hyperparameter with a discrete value domain —
+// the analogue of one GCC --param with its allowable set of values.
+type Param struct {
+	Name   string
+	Values []int
+}
+
+// Config is an assignment of a value to every parameter, by name.
+type Config map[string]int
+
+// clone copies a config.
+func (c Config) clone() Config {
+	out := make(Config, len(c))
+	for k, v := range c {
+		out[k] = v
+	}
+	return out
+}
+
+// Fitness evaluates a configuration; lower is better (runtime).
+type Fitness func(Config) float64
+
+// Options controls the evolutionary search.
+type Options struct {
+	// Population is the number of individuals per generation.
+	Population int
+	// Generations is the number of evolution rounds.
+	Generations int
+	// MutationRate is the per-gene mutation probability.
+	MutationRate float64
+	// Elite individuals survive unchanged into the next generation.
+	Elite int
+	// Seed makes the search reproducible.
+	Seed int64
+}
+
+// DefaultOptions mirrors the scale of the paper's search.
+func DefaultOptions() Options {
+	return Options{Population: 16, Generations: 12, MutationRate: 0.25, Elite: 2, Seed: 1}
+}
+
+func (o *Options) normalize() {
+	if o.Population < 4 {
+		o.Population = 4
+	}
+	if o.Generations < 1 {
+		o.Generations = 1
+	}
+	if o.MutationRate <= 0 || o.MutationRate > 1 {
+		o.MutationRate = 0.25
+	}
+	if o.Elite < 1 {
+		o.Elite = 1
+	}
+	if o.Elite > o.Population/2 {
+		o.Elite = o.Population / 2
+	}
+}
+
+// Result is the outcome of a tuning run.
+type Result struct {
+	// Best is the fittest configuration found.
+	Best Config
+	// BestFitness is its fitness value.
+	BestFitness float64
+	// BaselineFitness is the fitness of the default configuration
+	// (first value of every parameter domain).
+	BaselineFitness float64
+	// History records the best fitness after each generation.
+	History []float64
+	// Evaluations counts fitness calls.
+	Evaluations int
+}
+
+// Improvement returns the fractional gain over the baseline
+// (0.10 = 10% faster).
+func (r *Result) Improvement() float64 {
+	if r.BaselineFitness <= 0 {
+		return 0
+	}
+	return 1 - r.BestFitness/r.BaselineFitness
+}
+
+type individual struct {
+	cfg Config
+	fit float64
+}
+
+// Optimize runs the evolutionary search over the parameter registry.
+func Optimize(params []Param, fit Fitness, opt Options) (*Result, error) {
+	if len(params) == 0 {
+		return nil, fmt.Errorf("tuner: no parameters to tune")
+	}
+	for _, p := range params {
+		if len(p.Values) == 0 {
+			return nil, fmt.Errorf("tuner: parameter %q has an empty domain", p.Name)
+		}
+	}
+	opt.normalize()
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	res := &Result{}
+	defaultCfg := make(Config, len(params))
+	for _, p := range params {
+		defaultCfg[p.Name] = p.Values[0]
+	}
+	res.BaselineFitness = fit(defaultCfg)
+	res.Evaluations++
+
+	randomCfg := func() Config {
+		cfg := make(Config, len(params))
+		for _, p := range params {
+			cfg[p.Name] = p.Values[rng.Intn(len(p.Values))]
+		}
+		return cfg
+	}
+	mutate := func(cfg Config) {
+		for _, p := range params {
+			if rng.Float64() < opt.MutationRate {
+				cfg[p.Name] = p.Values[rng.Intn(len(p.Values))]
+			}
+		}
+	}
+	crossover := func(a, b Config) Config {
+		child := make(Config, len(params))
+		for _, p := range params {
+			if rng.Intn(2) == 0 {
+				child[p.Name] = a[p.Name]
+			} else {
+				child[p.Name] = b[p.Name]
+			}
+		}
+		return child
+	}
+
+	pop := make([]individual, opt.Population)
+	// Seed the population with the default configuration plus random
+	// individuals, so the search can only improve on the baseline.
+	pop[0] = individual{cfg: defaultCfg.clone(), fit: res.BaselineFitness}
+	for i := 1; i < opt.Population; i++ {
+		cfg := randomCfg()
+		pop[i] = individual{cfg: cfg, fit: fit(cfg)}
+		res.Evaluations++
+	}
+
+	for gen := 0; gen < opt.Generations; gen++ {
+		sort.SliceStable(pop, func(a, b int) bool { return pop[a].fit < pop[b].fit })
+		res.History = append(res.History, pop[0].fit)
+		next := make([]individual, 0, opt.Population)
+		next = append(next, pop[:opt.Elite]...)
+		for len(next) < opt.Population {
+			// Tournament selection of two parents from the top half.
+			half := opt.Population / 2
+			a := pop[rng.Intn(half)]
+			b := pop[rng.Intn(half)]
+			child := crossover(a.cfg, b.cfg)
+			mutate(child)
+			next = append(next, individual{cfg: child, fit: fit(child)})
+			res.Evaluations++
+		}
+		pop = next
+	}
+	sort.SliceStable(pop, func(a, b int) bool { return pop[a].fit < pop[b].fit })
+	res.Best = pop[0].cfg
+	res.BestFitness = pop[0].fit
+	res.History = append(res.History, pop[0].fit)
+	return res, nil
+}
+
+// KernelParams is the tunable registry of this reproduction's
+// "compiler": the kernel and layout knobs that play the role of GCC's
+// hyperparameters for the simulated machine. The first value of every
+// domain is the hand-tuned default.
+// The first value of every domain is the untuned default — the
+// analogue of compiling with plain -O3: scalar tails, eager per-vector
+// reductions, unblocked batches, unsorted batching. The search
+// discovers the paper's optimizations (padding, deferred maxima,
+// length-sorted batches) where they pay off.
+func KernelParams() []Param {
+	return []Param{
+		{Name: "scalar_threshold", Values: []int{8, 1, 2, 4, 12, 16}},
+		{Name: "scalar_tail", Values: []int{1, 0}},
+		{Name: "block_cols", Values: []int{0, 16, 32, 64, 128, 256, 512}},
+		{Name: "sort_by_length", Values: []int{0, 1}},
+		{Name: "eager_max", Values: []int{1, 0}},
+	}
+}

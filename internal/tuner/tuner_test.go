@@ -1,0 +1,144 @@
+package tuner
+
+import (
+	"testing"
+)
+
+// quadratic fitness with known optimum at x=7, y=3.
+func quad(cfg Config) float64 {
+	dx := float64(cfg["x"] - 7)
+	dy := float64(cfg["y"] - 3)
+	return 10 + dx*dx + dy*dy
+}
+
+func quadParams() []Param {
+	xs := make([]int, 16)
+	ys := make([]int, 16)
+	for i := range xs {
+		xs[i] = i
+		ys[i] = i
+	}
+	return []Param{{Name: "x", Values: xs}, {Name: "y", Values: ys}}
+}
+
+func TestOptimizeFindsNearOptimum(t *testing.T) {
+	opt := DefaultOptions()
+	opt.Generations = 25
+	opt.Population = 20
+	res, err := Optimize(quadParams(), quad, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestFitness > 12 {
+		t.Errorf("best fitness %.1f, expected near 10 (found x=%d y=%d)",
+			res.BestFitness, res.Best["x"], res.Best["y"])
+	}
+}
+
+func TestOptimizeNeverWorseThanBaseline(t *testing.T) {
+	// The default config is seeded into the population, so the result
+	// can only match or beat it.
+	res, err := Optimize(quadParams(), quad, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestFitness > res.BaselineFitness {
+		t.Errorf("best %.2f worse than baseline %.2f", res.BestFitness, res.BaselineFitness)
+	}
+	if res.Improvement() < 0 {
+		t.Errorf("negative improvement %.3f", res.Improvement())
+	}
+}
+
+func TestOptimizeDeterministicInSeed(t *testing.T) {
+	opt := DefaultOptions()
+	a, err := Optimize(quadParams(), quad, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Optimize(quadParams(), quad, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BestFitness != b.BestFitness || a.Evaluations != b.Evaluations {
+		t.Error("same seed produced different runs")
+	}
+	opt.Seed = 99
+	c, err := Optimize(quadParams(), quad, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different seeds explore differently (fitness may coincide, but
+	// histories rarely do on a 256-point space).
+	same := len(a.History) == len(c.History)
+	if same {
+		for i := range a.History {
+			if a.History[i] != c.History[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Log("warning: different seeds matched exactly; acceptable but unusual")
+	}
+}
+
+func TestHistoryMonotoneNonIncreasing(t *testing.T) {
+	res, err := Optimize(quadParams(), quad, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.History); i++ {
+		if res.History[i] > res.History[i-1] {
+			t.Fatalf("best fitness regressed at generation %d: %v", i, res.History)
+		}
+	}
+}
+
+func TestOptimizeValidation(t *testing.T) {
+	if _, err := Optimize(nil, quad, DefaultOptions()); err == nil {
+		t.Error("empty registry accepted")
+	}
+	if _, err := Optimize([]Param{{Name: "x"}}, quad, DefaultOptions()); err == nil {
+		t.Error("empty domain accepted")
+	}
+}
+
+func TestOptionsNormalization(t *testing.T) {
+	opt := Options{Population: 1, Generations: 0, MutationRate: -2, Elite: 50}
+	res, err := Optimize(quadParams(), quad, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations < 4 {
+		t.Errorf("normalization failed: %d evaluations", res.Evaluations)
+	}
+}
+
+func TestKernelParamsRegistry(t *testing.T) {
+	params := KernelParams()
+	if len(params) < 4 {
+		t.Fatalf("registry too small: %d", len(params))
+	}
+	seen := map[string]bool{}
+	for _, p := range params {
+		if seen[p.Name] {
+			t.Errorf("duplicate parameter %q", p.Name)
+		}
+		seen[p.Name] = true
+		if len(p.Values) == 0 {
+			t.Errorf("parameter %q has empty domain", p.Name)
+		}
+	}
+	if !seen["block_cols"] {
+		t.Error("registry must include the batch block size (§IV-I)")
+	}
+}
+
+func TestImprovementZeroBaselineSafe(t *testing.T) {
+	r := &Result{BaselineFitness: 0, BestFitness: 1}
+	if r.Improvement() != 0 {
+		t.Error("zero baseline should yield 0 improvement")
+	}
+}

@@ -1,0 +1,281 @@
+package vek
+
+// I16x16 is a 256-bit register holding 16 signed 16-bit lanes, used by
+// the 16-bit kernels (16 cells per instruction) and as the escalation
+// target when 8-bit scores saturate.
+type I16x16 [16]int16
+
+// Splat16 broadcasts x to all 16 lanes (vpbroadcastw).
+func (m Machine) Splat16(x int16) I16x16 {
+	m.T.inc256(OpBroadcast)
+	var v I16x16
+	for i := range v {
+		v[i] = x
+	}
+	return v
+}
+
+// Zero16 returns the all-zero register (free zeroing idiom).
+func (m Machine) Zero16() I16x16 { return I16x16{} }
+
+// Load16 loads the first 16 elements of s (vmovdqu).
+func (m Machine) Load16(s []int16) I16x16 {
+	m.T.inc256(OpLoad)
+	var v I16x16
+	copy(v[:], s[:16])
+	return v
+}
+
+// Load16Partial loads min(len(s), 16) elements, zero-filling the rest.
+func (m Machine) Load16Partial(s []int16) I16x16 {
+	m.T.inc256(OpLoad)
+	m.T.inc256(OpLogic)
+	var v I16x16
+	n := len(s)
+	if n > 16 {
+		n = 16
+	}
+	for i := 0; i < n; i++ {
+		v[i] = s[i]
+	}
+	return v
+}
+
+// Store16 stores v into the first 16 elements of dst.
+func (m Machine) Store16(dst []int16, v I16x16) {
+	m.T.inc256(OpStore)
+	copy(dst[:16], v[:])
+}
+
+// Store16Partial stores the first min(len(dst), 16) lanes of v.
+func (m Machine) Store16Partial(dst []int16, v I16x16) {
+	m.T.inc256(OpStore)
+	m.T.inc256(OpLogic)
+	n := len(dst)
+	if n > 16 {
+		n = 16
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = v[i]
+	}
+}
+
+// AddSat16 returns a+b with signed saturation (vpaddsw).
+func (m Machine) AddSat16(a, b I16x16) I16x16 {
+	m.T.inc256(OpAddSat16)
+	var v I16x16
+	for i := range v {
+		v[i] = clamp16(int32(a[i]) + int32(b[i]))
+	}
+	return v
+}
+
+// SubSat16 returns a-b with signed saturation (vpsubsw).
+func (m Machine) SubSat16(a, b I16x16) I16x16 {
+	m.T.inc256(OpSubSat16)
+	var v I16x16
+	for i := range v {
+		v[i] = clamp16(int32(a[i]) - int32(b[i]))
+	}
+	return v
+}
+
+// Max16 returns the lane-wise signed maximum (vpmaxsw).
+func (m Machine) Max16(a, b I16x16) I16x16 {
+	m.T.inc256(OpMax16)
+	var v I16x16
+	for i := range v {
+		if a[i] > b[i] {
+			v[i] = a[i]
+		} else {
+			v[i] = b[i]
+		}
+	}
+	return v
+}
+
+// Min16 returns the lane-wise signed minimum (vpminsw).
+func (m Machine) Min16(a, b I16x16) I16x16 {
+	m.T.inc256(OpMin16)
+	var v I16x16
+	for i := range v {
+		if a[i] < b[i] {
+			v[i] = a[i]
+		} else {
+			v[i] = b[i]
+		}
+	}
+	return v
+}
+
+// CmpGt16 returns -1 in lanes where a>b, else 0 (vpcmpgtw).
+func (m Machine) CmpGt16(a, b I16x16) I16x16 {
+	m.T.inc256(OpCmpGt16)
+	var v I16x16
+	for i := range v {
+		if a[i] > b[i] {
+			v[i] = -1
+		}
+	}
+	return v
+}
+
+// CmpEq16 returns -1 in lanes where a==b, else 0 (vpcmpeqw).
+func (m Machine) CmpEq16(a, b I16x16) I16x16 {
+	m.T.inc256(OpCmpEq8) // same port/latency class as the byte compare
+	var v I16x16
+	for i := range v {
+		if a[i] == b[i] {
+			v[i] = -1
+		}
+	}
+	return v
+}
+
+// And16 returns the bitwise AND (vpand).
+func (m Machine) And16(a, b I16x16) I16x16 {
+	m.T.inc256(OpLogic)
+	var v I16x16
+	for i := range v {
+		v[i] = a[i] & b[i]
+	}
+	return v
+}
+
+// Or16 returns the bitwise OR (vpor).
+func (m Machine) Or16(a, b I16x16) I16x16 {
+	m.T.inc256(OpLogic)
+	var v I16x16
+	for i := range v {
+		v[i] = a[i] | b[i]
+	}
+	return v
+}
+
+// AndNot16 returns a &^ b, i.e. a AND NOT b (vpandn with swapped
+// operands).
+func (m Machine) AndNot16(a, b I16x16) I16x16 {
+	m.T.inc256(OpLogic)
+	var v I16x16
+	for i := range v {
+		v[i] = a[i] &^ b[i]
+	}
+	return v
+}
+
+// Blend16 selects b where the mask lane is negative, else a. The
+// hardware form is vpblendvb with a widened mask.
+func (m Machine) Blend16(a, b, mask I16x16) I16x16 {
+	m.T.inc256(OpBlend)
+	var v I16x16
+	for i := range v {
+		if mask[i] < 0 {
+			v[i] = b[i]
+		} else {
+			v[i] = a[i]
+		}
+	}
+	return v
+}
+
+// MoveMask16 packs the sign bit of every 16-bit lane into a 16-bit
+// mask. Hardware uses vpacksswb+vpmovmskb; charged as one movemask
+// plus one unpack.
+func (m Machine) MoveMask16(a I16x16) uint32 {
+	m.T.inc256(OpMoveMask)
+	m.T.inc256(OpUnpack)
+	var mask uint32
+	for i := range a {
+		if a[i] < 0 {
+			mask |= 1 << uint(i)
+		}
+	}
+	return mask
+}
+
+// ReduceMax16 returns the maximum lane value (shuffle+max ladder).
+func (m Machine) ReduceMax16(a I16x16) int16 {
+	m.T.inc256(OpReduce)
+	best := a[0]
+	for _, x := range a[1:] {
+		if x > best {
+			best = x
+		}
+	}
+	return best
+}
+
+// ShiftLanesRight16 shifts the register right by n 16-bit lanes
+// (toward lane 0), inserting zeros at the top. Shifts by an even lane
+// count are 32-bit aligned and lower to a single vpermd (charged as a
+// permute); odd shifts need the vperm2i128+vpalignr pair.
+func (m Machine) ShiftLanesRight16(a I16x16, n int) I16x16 {
+	if n%2 == 0 {
+		m.T.inc256(OpPermute)
+	} else {
+		m.T.inc256(OpLaneShift)
+	}
+	var v I16x16
+	if n < 0 || n >= 16 {
+		return v
+	}
+	copy(v[:16-n], a[n:])
+	return v
+}
+
+// ShiftLanesLeft16 shifts the register left by n 16-bit lanes (away
+// from lane 0), inserting zeros at lane 0. Even shifts lower to a
+// single vpermd; see ShiftLanesRight16.
+func (m Machine) ShiftLanesLeft16(a I16x16, n int) I16x16 {
+	if n%2 == 0 {
+		m.T.inc256(OpPermute)
+	} else {
+		m.T.inc256(OpLaneShift)
+	}
+	var v I16x16
+	if n < 0 || n >= 16 {
+		return v
+	}
+	copy(v[n:], a[:16-n])
+	return v
+}
+
+// Insert16 returns a with lane i set to x (vpinsrw).
+func (m Machine) Insert16(a I16x16, i int, x int16) I16x16 {
+	m.T.inc256(OpUnpack)
+	a[i] = x
+	return a
+}
+
+// Extract16 returns lane i of a (vpextrw).
+func (m Machine) Extract16(a I16x16, i int) int16 {
+	m.T.inc256(OpUnpack)
+	return a[i]
+}
+
+// Widen8To16 sign-extends the low or high 16 lanes of an 8-bit
+// register into a 16-bit register (vpmovsxbw). half 0 selects lanes
+// 0..15, half 1 selects lanes 16..31.
+func (m Machine) Widen8To16(a I8x32, half int) I16x16 {
+	m.T.inc256(OpUnpack)
+	var v I16x16
+	base := half * 16
+	for i := 0; i < 16; i++ {
+		v[i] = int16(a[base+i])
+	}
+	return v
+}
+
+// Narrow16To8 packs two 16-bit registers into one 8-bit register with
+// signed saturation (vpacksswb followed by a fixup permute; charged as
+// unpack+permute). lo fills lanes 0..15, hi fills lanes 16..31.
+func (m Machine) Narrow16To8(lo, hi I16x16) I8x32 {
+	m.T.inc256(OpUnpack)
+	m.T.inc256(OpPermute)
+	var v I8x32
+	for i := 0; i < 16; i++ {
+		v[i] = clamp8(int32(lo[i]))
+		v[16+i] = clamp8(int32(hi[i]))
+	}
+	return v
+}

@@ -1,0 +1,249 @@
+package vek
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddSat16Property(t *testing.T) {
+	f := func(a, b I16x16) bool {
+		v := Bare.AddSat16(a, b)
+		for i := range v {
+			s := int32(a[i]) + int32(b[i])
+			if s > 32767 {
+				s = 32767
+			}
+			if s < -32768 {
+				s = -32768
+			}
+			if int32(v[i]) != s {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubSat16Property(t *testing.T) {
+	f := func(a, b I16x16) bool {
+		v := Bare.SubSat16(a, b)
+		for i := range v {
+			s := int32(a[i]) - int32(b[i])
+			if s > 32767 {
+				s = 32767
+			}
+			if s < -32768 {
+				s = -32768
+			}
+			if int32(v[i]) != s {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxMin16Property(t *testing.T) {
+	f := func(a, b I16x16) bool {
+		mx := Bare.Max16(a, b)
+		mn := Bare.Min16(a, b)
+		for i := range mx {
+			wantMax, wantMin := a[i], a[i]
+			if b[i] > a[i] {
+				wantMax = b[i]
+			}
+			if b[i] < a[i] {
+				wantMin = b[i]
+			}
+			if mx[i] != wantMax || mn[i] != wantMin {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCmpBlend16Property(t *testing.T) {
+	f := func(a, b I16x16) bool {
+		mask := Bare.CmpGt16(b, a)
+		return Bare.Blend16(a, b, mask) == Bare.Max16(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReduceMax16Property(t *testing.T) {
+	f := func(a I16x16) bool {
+		got := Bare.ReduceMax16(a)
+		best := a[0]
+		for _, x := range a[1:] {
+			if x > best {
+				best = x
+			}
+		}
+		return got == best
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShiftLanes16(t *testing.T) {
+	var a I16x16
+	for i := range a {
+		a[i] = int16(i + 100)
+	}
+	r := Bare.ShiftLanesRight16(a, 2)
+	if r[0] != 102 || r[13] != 115 || r[14] != 0 || r[15] != 0 {
+		t.Fatalf("right shift wrong: %v", r)
+	}
+	l := Bare.ShiftLanesLeft16(a, 2)
+	if l[0] != 0 || l[1] != 0 || l[2] != 100 || l[15] != 113 {
+		t.Fatalf("left shift wrong: %v", l)
+	}
+}
+
+func TestMoveMask16(t *testing.T) {
+	var a I16x16
+	a[0] = -1
+	a[15] = -32768
+	got := Bare.MoveMask16(a)
+	want := uint32(1) | uint32(1)<<15
+	if got != want {
+		t.Fatalf("movemask16 = %#x, want %#x", got, want)
+	}
+}
+
+func TestWiden8To16(t *testing.T) {
+	var a I8x32
+	for i := range a {
+		a[i] = int8(i - 16)
+	}
+	lo := Bare.Widen8To16(a, 0)
+	hi := Bare.Widen8To16(a, 1)
+	for i := 0; i < 16; i++ {
+		if lo[i] != int16(a[i]) {
+			t.Fatalf("lo lane %d = %d, want %d", i, lo[i], a[i])
+		}
+		if hi[i] != int16(a[16+i]) {
+			t.Fatalf("hi lane %d = %d, want %d", i, hi[i], a[16+i])
+		}
+	}
+}
+
+func TestNarrow16To8Saturates(t *testing.T) {
+	lo := Bare.Splat16(300)
+	hi := Bare.Splat16(-300)
+	v := Bare.Narrow16To8(lo, hi)
+	for i := 0; i < 16; i++ {
+		if v[i] != 127 {
+			t.Fatalf("lane %d = %d, want 127", i, v[i])
+		}
+		if v[16+i] != -128 {
+			t.Fatalf("lane %d = %d, want -128", 16+i, v[16+i])
+		}
+	}
+}
+
+func TestWidenNarrowRoundTripProperty(t *testing.T) {
+	f := func(a I8x32) bool {
+		lo := Bare.Widen8To16(a, 0)
+		hi := Bare.Widen8To16(a, 1)
+		return Bare.Narrow16To8(lo, hi) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLoadStore16Partial(t *testing.T) {
+	src := []int16{10, 20}
+	v := Bare.Load16Partial(src)
+	if v[0] != 10 || v[1] != 20 || v[2] != 0 {
+		t.Fatalf("partial load wrong: %v", v)
+	}
+	dst := make([]int16, 2)
+	Bare.Store16Partial(dst, Bare.Splat16(-3))
+	if dst[0] != -3 || dst[1] != -3 {
+		t.Fatalf("partial store wrong: %v", dst)
+	}
+}
+
+func TestInsertExtract16(t *testing.T) {
+	v := Bare.Zero16()
+	v = Bare.Insert16(v, 7, 321)
+	if got := Bare.Extract16(v, 7); got != 321 {
+		t.Fatalf("extract = %d, want 321", got)
+	}
+}
+
+func TestLoadStore16Full(t *testing.T) {
+	src := make([]int16, 20)
+	for i := range src {
+		src[i] = int16(i * 5)
+	}
+	v := Bare.Load16(src)
+	for i := 0; i < 16; i++ {
+		if v[i] != src[i] {
+			t.Fatalf("lane %d = %d", i, v[i])
+		}
+	}
+	dst := make([]int16, 16)
+	Bare.Store16(dst, v)
+	for i := range dst {
+		if dst[i] != src[i] {
+			t.Fatalf("store lane %d wrong", i)
+		}
+	}
+}
+
+func TestCmpEq16(t *testing.T) {
+	a := I16x16{0: 100, 5: -7}
+	b := I16x16{0: 100, 5: 7}
+	v := Bare.CmpEq16(a, b)
+	if v[0] != -1 || v[5] != 0 || v[1] != -1 {
+		t.Fatalf("cmpeq16 wrong: %v", v)
+	}
+}
+
+func TestLogic16Property(t *testing.T) {
+	f := func(a, b I16x16) bool {
+		and := Bare.And16(a, b)
+		or := Bare.Or16(a, b)
+		andn := Bare.AndNot16(a, b)
+		for i := range a {
+			if and[i] != a[i]&b[i] || or[i] != a[i]|b[i] || andn[i] != a[i]&^b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShift16CostLowering(t *testing.T) {
+	// Even (32-bit aligned) shifts lower to a single permute; odd
+	// shifts need the two-uop lane-shift sequence.
+	m, tal := NewMachine()
+	a := m.Splat16(1)
+	m.ShiftLanesLeft16(a, 2)
+	if tal.N256[OpPermute] != 1 || tal.N256[OpLaneShift] != 0 {
+		t.Fatalf("even shift should charge a permute: %+v", tal.N256)
+	}
+	m.ShiftLanesRight16(a, 1)
+	if tal.N256[OpLaneShift] != 1 {
+		t.Fatalf("odd shift should charge a lane shift")
+	}
+}

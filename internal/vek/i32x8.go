@@ -1,0 +1,225 @@
+package vek
+
+// I32x8 is a 256-bit register holding 8 signed 32-bit lanes. The
+// kernels use it for gather indices and for the 32-bit scoring path
+// used with very long sequences.
+type I32x8 [8]int32
+
+// Splat32 broadcasts x to all 8 lanes (vpbroadcastd).
+func (m Machine) Splat32(x int32) I32x8 {
+	m.T.inc256(OpBroadcast)
+	var v I32x8
+	for i := range v {
+		v[i] = x
+	}
+	return v
+}
+
+// Zero32 returns the all-zero register (free zeroing idiom).
+func (m Machine) Zero32() I32x8 { return I32x8{} }
+
+// Load32 loads the first 8 elements of s (vmovdqu).
+func (m Machine) Load32(s []int32) I32x8 {
+	m.T.inc256(OpLoad)
+	var v I32x8
+	copy(v[:], s[:8])
+	return v
+}
+
+// Load32Partial loads min(len(s), 8) elements, zero-filling the rest.
+func (m Machine) Load32Partial(s []int32) I32x8 {
+	m.T.inc256(OpLoad)
+	m.T.inc256(OpLogic)
+	var v I32x8
+	n := len(s)
+	if n > 8 {
+		n = 8
+	}
+	for i := 0; i < n; i++ {
+		v[i] = s[i]
+	}
+	return v
+}
+
+// Store32 stores v into the first 8 elements of dst.
+func (m Machine) Store32(dst []int32, v I32x8) {
+	m.T.inc256(OpStore)
+	copy(dst[:8], v[:])
+}
+
+// Store32Partial stores the first min(len(dst), 8) lanes of v.
+func (m Machine) Store32Partial(dst []int32, v I32x8) {
+	m.T.inc256(OpStore)
+	m.T.inc256(OpLogic)
+	n := len(dst)
+	if n > 8 {
+		n = 8
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = v[i]
+	}
+}
+
+// Add32 returns a+b with modular wraparound (vpaddd). The 32-bit path
+// does not saturate; scores that overflow int32 are out of scope for
+// biological sequence lengths.
+func (m Machine) Add32(a, b I32x8) I32x8 {
+	m.T.inc256(OpAdd32)
+	var v I32x8
+	for i := range v {
+		v[i] = a[i] + b[i]
+	}
+	return v
+}
+
+// Sub32 returns a-b with modular wraparound (vpsubd).
+func (m Machine) Sub32(a, b I32x8) I32x8 {
+	m.T.inc256(OpSub32)
+	var v I32x8
+	for i := range v {
+		v[i] = a[i] - b[i]
+	}
+	return v
+}
+
+// Max32 returns the lane-wise signed maximum (vpmaxsd).
+func (m Machine) Max32(a, b I32x8) I32x8 {
+	m.T.inc256(OpMax32)
+	var v I32x8
+	for i := range v {
+		if a[i] > b[i] {
+			v[i] = a[i]
+		} else {
+			v[i] = b[i]
+		}
+	}
+	return v
+}
+
+// CmpGt32 returns -1 in lanes where a>b, else 0 (vpcmpgtd).
+func (m Machine) CmpGt32(a, b I32x8) I32x8 {
+	m.T.inc256(OpCmpGt8) // same port/latency class as the byte compare
+	var v I32x8
+	for i := range v {
+		if a[i] > b[i] {
+			v[i] = -1
+		}
+	}
+	return v
+}
+
+// Blend32 selects b where the mask lane is negative, else a
+// (vblendvps on integer data).
+func (m Machine) Blend32(a, b, mask I32x8) I32x8 {
+	m.T.inc256(OpBlend)
+	var v I32x8
+	for i := range v {
+		if mask[i] < 0 {
+			v[i] = b[i]
+		} else {
+			v[i] = a[i]
+		}
+	}
+	return v
+}
+
+// ReduceMax32 returns the maximum lane value (shuffle+max ladder).
+func (m Machine) ReduceMax32(a I32x8) int32 {
+	m.T.inc256(OpReduce)
+	best := a[0]
+	for _, x := range a[1:] {
+		if x > best {
+			best = x
+		}
+	}
+	return best
+}
+
+// ShiftLanesRight32 shifts the register right by n 32-bit lanes
+// (toward lane 0), inserting zeros at the top.
+func (m Machine) ShiftLanesRight32(a I32x8, n int) I32x8 {
+	// 32-bit lane shifts are a single vpermd/valignd.
+	m.T.inc256(OpPermute)
+	var v I32x8
+	if n < 0 || n >= 8 {
+		return v
+	}
+	copy(v[:8-n], a[n:])
+	return v
+}
+
+// ShiftLanesLeft32 shifts the register left by n 32-bit lanes (away
+// from lane 0), inserting zeros at lane 0.
+func (m Machine) ShiftLanesLeft32(a I32x8, n int) I32x8 {
+	// 32-bit lane shifts are a single vpermd/valignd.
+	m.T.inc256(OpPermute)
+	var v I32x8
+	if n < 0 || n >= 8 {
+		return v
+	}
+	copy(v[n:], a[:8-n])
+	return v
+}
+
+// Permute32 performs the AVX2 vpermd cross-lane permute: lane i of the
+// result is a[idx[i]&7].
+func (m Machine) Permute32(a I32x8, idx I32x8) I32x8 {
+	m.T.inc256(OpPermute)
+	var v I32x8
+	for i := range v {
+		v[i] = a[idx[i]&7]
+	}
+	return v
+}
+
+// Gather32 performs vpgatherdd: lane i of the result is
+// table[idx[i]]. Indices must be in range; an out-of-range index is a
+// kernel bug and panics. Gather is the paper's access path into the
+// reorganized substitution matrix for 16- and 32-bit scoring.
+func (m Machine) Gather32(table []int32, idx I32x8) I32x8 {
+	m.T.inc256(OpGather32)
+	var v I32x8
+	for i := range v {
+		v[i] = table[idx[i]]
+	}
+	return v
+}
+
+// GatherMasked32 gathers table[idx[i]] only in lanes where mask is
+// negative; other lanes keep src. This models the masked vpgatherdd
+// form used for diagonal edges.
+func (m Machine) GatherMasked32(src I32x8, table []int32, idx, mask I32x8) I32x8 {
+	m.T.inc256(OpGather32)
+	v := src
+	for i := range v {
+		if mask[i] < 0 {
+			v[i] = table[idx[i]]
+		}
+	}
+	return v
+}
+
+// Widen16To32 sign-extends the low or high 8 lanes of a 16-bit
+// register (vpmovsxwd). half 0 selects lanes 0..7, half 1 lanes 8..15.
+func (m Machine) Widen16To32(a I16x16, half int) I32x8 {
+	m.T.inc256(OpUnpack)
+	var v I32x8
+	base := half * 8
+	for i := 0; i < 8; i++ {
+		v[i] = int32(a[base+i])
+	}
+	return v
+}
+
+// Narrow32To16 packs two 32-bit registers into one 16-bit register
+// with signed saturation (vpackssdw + fixup permute).
+func (m Machine) Narrow32To16(lo, hi I32x8) I16x16 {
+	m.T.inc256(OpUnpack)
+	m.T.inc256(OpPermute)
+	var v I16x16
+	for i := 0; i < 8; i++ {
+		v[i] = clamp16(lo[i])
+		v[8+i] = clamp16(hi[i])
+	}
+	return v
+}

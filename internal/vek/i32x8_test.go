@@ -1,0 +1,162 @@
+package vek
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAdd32Property(t *testing.T) {
+	f := func(a, b I32x8) bool {
+		add := Bare.Add32(a, b)
+		sub := Bare.Sub32(a, b)
+		for i := range a {
+			if add[i] != a[i]+b[i] || sub[i] != a[i]-b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMax32Property(t *testing.T) {
+	f := func(a, b I32x8) bool {
+		mx := Bare.Max32(a, b)
+		for i := range mx {
+			want := a[i]
+			if b[i] > a[i] {
+				want = b[i]
+			}
+			if mx[i] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCmpBlend32(t *testing.T) {
+	a := I32x8{1, 5, 3, 9, 0, -2, 7, 7}
+	b := I32x8{2, 4, 3, 10, -1, -1, 7, 8}
+	mask := Bare.CmpGt32(b, a)
+	got := Bare.Blend32(a, b, mask)
+	if got != Bare.Max32(a, b) {
+		t.Fatalf("blend-by-cmp != max: %v", got)
+	}
+}
+
+func TestReduceMax32(t *testing.T) {
+	a := I32x8{-5, 100, 3, 99, -200, 100, 0, 1}
+	if got := Bare.ReduceMax32(a); got != 100 {
+		t.Fatalf("reduce = %d, want 100", got)
+	}
+}
+
+func TestGather32(t *testing.T) {
+	table := make([]int32, 64)
+	for i := range table {
+		table[i] = int32(i * 10)
+	}
+	idx := I32x8{0, 5, 63, 1, 2, 33, 10, 7}
+	got := Bare.Gather32(table, idx)
+	for i, j := range idx {
+		if got[i] != table[j] {
+			t.Fatalf("lane %d = %d, want %d", i, got[i], table[j])
+		}
+	}
+}
+
+func TestGather32OutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range gather index")
+		}
+	}()
+	table := make([]int32, 4)
+	Bare.Gather32(table, I32x8{0, 1, 2, 4, 0, 0, 0, 0})
+}
+
+func TestGatherMasked32(t *testing.T) {
+	table := []int32{100, 200, 300}
+	src := Bare.Splat32(-9)
+	idx := I32x8{0, 1, 2, 0, 1, 2, 0, 1}
+	var mask I32x8
+	mask[0] = -1
+	mask[2] = -1
+	got := Bare.GatherMasked32(src, table, idx, mask)
+	want := I32x8{100, -9, 300, -9, -9, -9, -9, -9}
+	if got != want {
+		t.Fatalf("masked gather = %v, want %v", got, want)
+	}
+}
+
+func TestPermute32(t *testing.T) {
+	a := I32x8{10, 11, 12, 13, 14, 15, 16, 17}
+	idx := I32x8{7, 6, 5, 4, 3, 2, 1, 0}
+	got := Bare.Permute32(a, idx)
+	want := I32x8{17, 16, 15, 14, 13, 12, 11, 10}
+	if got != want {
+		t.Fatalf("permute = %v, want %v", got, want)
+	}
+	// Index wraps modulo 8 as vpermd only reads 3 bits.
+	got = Bare.Permute32(a, I32x8{8, 9, 10, 11, 12, 13, 14, 15})
+	if got != a {
+		t.Fatalf("wrapped permute = %v, want %v", got, a)
+	}
+}
+
+func TestShiftLanes32(t *testing.T) {
+	a := I32x8{1, 2, 3, 4, 5, 6, 7, 8}
+	r := Bare.ShiftLanesRight32(a, 1)
+	if r != (I32x8{2, 3, 4, 5, 6, 7, 8, 0}) {
+		t.Fatalf("right shift = %v", r)
+	}
+	l := Bare.ShiftLanesLeft32(a, 1)
+	if l != (I32x8{0, 1, 2, 3, 4, 5, 6, 7}) {
+		t.Fatalf("left shift = %v", l)
+	}
+}
+
+func TestWiden16To32AndBack(t *testing.T) {
+	var a I16x16
+	for i := range a {
+		a[i] = int16(i*1000 - 8000)
+	}
+	lo := Bare.Widen16To32(a, 0)
+	hi := Bare.Widen16To32(a, 1)
+	back := Bare.Narrow32To16(lo, hi)
+	if back != a {
+		t.Fatalf("round trip = %v, want %v", back, a)
+	}
+}
+
+func TestNarrow32To16Saturates(t *testing.T) {
+	lo := Bare.Splat32(1 << 20)
+	hi := Bare.Splat32(-(1 << 20))
+	v := Bare.Narrow32To16(lo, hi)
+	for i := 0; i < 8; i++ {
+		if v[i] != 32767 {
+			t.Fatalf("lane %d = %d, want 32767", i, v[i])
+		}
+		if v[8+i] != -32768 {
+			t.Fatalf("lane %d = %d, want -32768", 8+i, v[8+i])
+		}
+	}
+}
+
+func TestLoadStore32Partial(t *testing.T) {
+	v := Bare.Load32Partial([]int32{5})
+	if v[0] != 5 || v[1] != 0 {
+		t.Fatalf("partial load wrong: %v", v)
+	}
+	dst := make([]int32, 1)
+	Bare.Store32Partial(dst, Bare.Splat32(11))
+	if dst[0] != 11 {
+		t.Fatalf("partial store wrong: %v", dst)
+	}
+}

@@ -1,0 +1,279 @@
+package vek
+
+// I8x32 is a 256-bit register holding 32 signed 8-bit lanes, the
+// workhorse type of the 8-bit Smith-Waterman kernels (32 cells per
+// instruction). Lane 0 is the lowest-addressed byte, matching x86
+// little-endian register order.
+type I8x32 [32]int8
+
+// Splat8 broadcasts x to all 32 lanes (vpbroadcastb).
+func (m Machine) Splat8(x int8) I8x32 {
+	m.T.inc256(OpBroadcast)
+	var v I8x32
+	for i := range v {
+		v[i] = x
+	}
+	return v
+}
+
+// Zero8 returns the all-zero register. x86 zeroing idioms are free
+// (handled at rename), so no issue is charged.
+func (m Machine) Zero8() I8x32 { return I8x32{} }
+
+// Load8 loads the first 32 elements of s (vmovdqu).
+func (m Machine) Load8(s []int8) I8x32 {
+	m.T.inc256(OpLoad)
+	var v I8x32
+	copy(v[:], s[:32])
+	return v
+}
+
+// Load8Partial loads min(len(s), 32) elements, zero-filling the rest.
+// It models the masked-load sequence used at diagonal edges and is
+// charged as one load plus one logic op for the mask.
+func (m Machine) Load8Partial(s []int8) I8x32 {
+	m.T.inc256(OpLoad)
+	m.T.inc256(OpLogic)
+	var v I8x32
+	n := len(s)
+	if n > 32 {
+		n = 32
+	}
+	for i := 0; i < n; i++ {
+		v[i] = s[i]
+	}
+	return v
+}
+
+// Store8 stores v into the first 32 elements of dst.
+func (m Machine) Store8(dst []int8, v I8x32) {
+	m.T.inc256(OpStore)
+	copy(dst[:32], v[:])
+}
+
+// Store8Partial stores the first min(len(dst), 32) lanes of v.
+func (m Machine) Store8Partial(dst []int8, v I8x32) {
+	m.T.inc256(OpStore)
+	m.T.inc256(OpLogic)
+	n := len(dst)
+	if n > 32 {
+		n = 32
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = v[i]
+	}
+}
+
+// AddSat8 returns a+b with signed saturation (vpaddsb).
+func (m Machine) AddSat8(a, b I8x32) I8x32 {
+	m.T.inc256(OpAddSat8)
+	var v I8x32
+	for i := range v {
+		v[i] = clamp8(int32(a[i]) + int32(b[i]))
+	}
+	return v
+}
+
+// SubSat8 returns a-b with signed saturation (vpsubsb).
+func (m Machine) SubSat8(a, b I8x32) I8x32 {
+	m.T.inc256(OpSubSat8)
+	var v I8x32
+	for i := range v {
+		v[i] = clamp8(int32(a[i]) - int32(b[i]))
+	}
+	return v
+}
+
+// Max8 returns the lane-wise signed maximum (vpmaxsb).
+func (m Machine) Max8(a, b I8x32) I8x32 {
+	m.T.inc256(OpMax8)
+	var v I8x32
+	for i := range v {
+		if a[i] > b[i] {
+			v[i] = a[i]
+		} else {
+			v[i] = b[i]
+		}
+	}
+	return v
+}
+
+// Min8 returns the lane-wise signed minimum (vpminsb).
+func (m Machine) Min8(a, b I8x32) I8x32 {
+	m.T.inc256(OpMin8)
+	var v I8x32
+	for i := range v {
+		if a[i] < b[i] {
+			v[i] = a[i]
+		} else {
+			v[i] = b[i]
+		}
+	}
+	return v
+}
+
+// CmpGt8 returns 0xFF in lanes where a>b, else 0 (vpcmpgtb).
+func (m Machine) CmpGt8(a, b I8x32) I8x32 {
+	m.T.inc256(OpCmpGt8)
+	var v I8x32
+	for i := range v {
+		if a[i] > b[i] {
+			v[i] = -1
+		}
+	}
+	return v
+}
+
+// CmpEq8 returns 0xFF in lanes where a==b, else 0 (vpcmpeqb).
+func (m Machine) CmpEq8(a, b I8x32) I8x32 {
+	m.T.inc256(OpCmpEq8)
+	var v I8x32
+	for i := range v {
+		if a[i] == b[i] {
+			v[i] = -1
+		}
+	}
+	return v
+}
+
+// Blend8 selects b where the mask lane's high bit is set, else a
+// (vpblendvb).
+func (m Machine) Blend8(a, b, mask I8x32) I8x32 {
+	m.T.inc256(OpBlend)
+	var v I8x32
+	for i := range v {
+		if mask[i] < 0 {
+			v[i] = b[i]
+		} else {
+			v[i] = a[i]
+		}
+	}
+	return v
+}
+
+// And8 returns the bitwise AND (vpand).
+func (m Machine) And8(a, b I8x32) I8x32 {
+	m.T.inc256(OpLogic)
+	var v I8x32
+	for i := range v {
+		v[i] = a[i] & b[i]
+	}
+	return v
+}
+
+// Or8 returns the bitwise OR (vpor).
+func (m Machine) Or8(a, b I8x32) I8x32 {
+	m.T.inc256(OpLogic)
+	var v I8x32
+	for i := range v {
+		v[i] = a[i] | b[i]
+	}
+	return v
+}
+
+// Xor8 returns the bitwise XOR (vpxor).
+func (m Machine) Xor8(a, b I8x32) I8x32 {
+	m.T.inc256(OpLogic)
+	var v I8x32
+	for i := range v {
+		v[i] = a[i] ^ b[i]
+	}
+	return v
+}
+
+// MoveMask8 packs the high bit of every lane into a 32-bit mask
+// (vpmovmskb). Bit i corresponds to lane i.
+func (m Machine) MoveMask8(a I8x32) uint32 {
+	m.T.inc256(OpMoveMask)
+	var mask uint32
+	for i := range a {
+		if a[i] < 0 {
+			mask |= 1 << uint(i)
+		}
+	}
+	return mask
+}
+
+// ReduceMax8 returns the maximum lane value. In hardware this is a
+// log2(32)=5-step shuffle+max ladder; it is charged as one OpReduce
+// which the cost model expands.
+func (m Machine) ReduceMax8(a I8x32) int8 {
+	m.T.inc256(OpReduce)
+	best := a[0]
+	for _, x := range a[1:] {
+		if x > best {
+			best = x
+		}
+	}
+	return best
+}
+
+// Shuffle8 performs the AVX2 vpshufb in-lane byte shuffle: each
+// 128-bit half of the register is shuffled independently, indices are
+// taken modulo 16 within the half, and an index byte with its high bit
+// set yields zero. This quirk is load-bearing for the database-batch
+// scoring path, which must confine lookup tables to 16-byte halves
+// exactly as the paper's kernel does.
+func (m Machine) Shuffle8(table, idx I8x32) I8x32 {
+	m.T.inc256(OpShuffle)
+	var v I8x32
+	for half := 0; half < 2; half++ {
+		base := half * 16
+		for i := 0; i < 16; i++ {
+			j := idx[base+i]
+			if j < 0 {
+				v[base+i] = 0
+			} else {
+				v[base+i] = table[base+int(j&0x0F)]
+			}
+		}
+	}
+	return v
+}
+
+// ShiftLanesRight8 shifts the whole 256-bit register right by n byte
+// lanes (toward lane 0), inserting zeros at the top. On AVX2 a
+// cross-half byte shift is a vperm2i128+vpalignr pair, modeled by the
+// OpLaneShift class.
+func (m Machine) ShiftLanesRight8(a I8x32, n int) I8x32 {
+	if n%4 == 0 {
+		m.T.inc256(OpPermute) // 32-bit aligned: single vpermd
+	} else {
+		m.T.inc256(OpLaneShift)
+	}
+	var v I8x32
+	if n < 0 || n >= 32 {
+		return v
+	}
+	copy(v[:32-n], a[n:])
+	return v
+}
+
+// ShiftLanesLeft8 shifts the register left by n byte lanes (away from
+// lane 0), inserting zeros at lane 0.
+func (m Machine) ShiftLanesLeft8(a I8x32, n int) I8x32 {
+	if n%4 == 0 {
+		m.T.inc256(OpPermute) // 32-bit aligned: single vpermd
+	} else {
+		m.T.inc256(OpLaneShift)
+	}
+	var v I8x32
+	if n < 0 || n >= 32 {
+		return v
+	}
+	copy(v[n:], a[:32-n])
+	return v
+}
+
+// Insert8 returns a with lane i set to x (vpinsrb + lane juggling).
+func (m Machine) Insert8(a I8x32, i int, x int8) I8x32 {
+	m.T.inc256(OpUnpack)
+	a[i] = x
+	return a
+}
+
+// Extract8 returns lane i of a (vpextrb).
+func (m Machine) Extract8(a I8x32, i int) int8 {
+	m.T.inc256(OpUnpack)
+	return a[i]
+}

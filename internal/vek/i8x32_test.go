@@ -1,0 +1,441 @@
+package vek
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSplat8(t *testing.T) {
+	m, tal := NewMachine()
+	v := m.Splat8(-7)
+	for i, x := range v {
+		if x != -7 {
+			t.Fatalf("lane %d = %d, want -7", i, x)
+		}
+	}
+	if tal.N256[OpBroadcast] != 1 {
+		t.Fatalf("broadcast count = %d, want 1", tal.N256[OpBroadcast])
+	}
+}
+
+func TestAddSat8Saturates(t *testing.T) {
+	m := Bare
+	a := m.Splat8(120)
+	b := m.Splat8(100)
+	v := m.AddSat8(a, b)
+	for i, x := range v {
+		if x != 127 {
+			t.Fatalf("lane %d = %d, want 127", i, x)
+		}
+	}
+	v = m.SubSat8(m.Splat8(-120), m.Splat8(100))
+	for i, x := range v {
+		if x != -128 {
+			t.Fatalf("lane %d = %d, want -128", i, x)
+		}
+	}
+}
+
+func TestAddSat8Property(t *testing.T) {
+	f := func(a, b I8x32) bool {
+		v := Bare.AddSat8(a, b)
+		for i := range v {
+			s := int32(a[i]) + int32(b[i])
+			if s > 127 {
+				s = 127
+			}
+			if s < -128 {
+				s = -128
+			}
+			if int32(v[i]) != s {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubSat8Property(t *testing.T) {
+	f := func(a, b I8x32) bool {
+		v := Bare.SubSat8(a, b)
+		for i := range v {
+			s := int32(a[i]) - int32(b[i])
+			if s > 127 {
+				s = 127
+			}
+			if s < -128 {
+				s = -128
+			}
+			if int32(v[i]) != s {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxMin8Property(t *testing.T) {
+	f := func(a, b I8x32) bool {
+		mx := Bare.Max8(a, b)
+		mn := Bare.Min8(a, b)
+		for i := range mx {
+			wantMax, wantMin := a[i], a[i]
+			if b[i] > a[i] {
+				wantMax = b[i]
+			}
+			if b[i] < a[i] {
+				wantMin = b[i]
+			}
+			if mx[i] != wantMax || mn[i] != wantMin {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCmpBlend8Property(t *testing.T) {
+	// max(a,b) must equal blend(a, b, cmpgt(b, a)).
+	f := func(a, b I8x32) bool {
+		mask := Bare.CmpGt8(b, a)
+		blended := Bare.Blend8(a, b, mask)
+		mx := Bare.Max8(a, b)
+		return blended == mx
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCmpEq8(t *testing.T) {
+	a := I8x32{0: 5, 3: -2}
+	b := I8x32{0: 5, 3: 2}
+	v := Bare.CmpEq8(a, b)
+	if v[0] != -1 {
+		t.Errorf("lane 0 = %d, want -1", v[0])
+	}
+	if v[3] != 0 {
+		t.Errorf("lane 3 = %d, want 0", v[3])
+	}
+	// Untouched lanes are both zero, hence equal.
+	if v[1] != -1 {
+		t.Errorf("lane 1 = %d, want -1", v[1])
+	}
+}
+
+func TestLogic8Property(t *testing.T) {
+	f := func(a, b I8x32) bool {
+		and := Bare.And8(a, b)
+		or := Bare.Or8(a, b)
+		xor := Bare.Xor8(a, b)
+		for i := range a {
+			if and[i] != a[i]&b[i] || or[i] != a[i]|b[i] || xor[i] != a[i]^b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMoveMask8(t *testing.T) {
+	var a I8x32
+	a[0] = -1
+	a[31] = -128
+	a[5] = 127 // positive: not in mask
+	got := Bare.MoveMask8(a)
+	want := uint32(1) | uint32(1)<<31
+	if got != want {
+		t.Fatalf("movemask = %#x, want %#x", got, want)
+	}
+}
+
+func TestReduceMax8Property(t *testing.T) {
+	f := func(a I8x32) bool {
+		got := Bare.ReduceMax8(a)
+		best := a[0]
+		for _, x := range a[1:] {
+			if x > best {
+				best = x
+			}
+		}
+		return got == best
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShuffle8InLaneSemantics(t *testing.T) {
+	// vpshufb must not cross the 128-bit boundary: an index of 0 in the
+	// high half selects table[16], not table[0].
+	var table I8x32
+	for i := range table {
+		table[i] = int8(i)
+	}
+	var idx I8x32
+	// idx all zeros: low half lanes get table[0]=0, high half table[16]=16.
+	got := Bare.Shuffle8(table, idx)
+	for i := 0; i < 16; i++ {
+		if got[i] != 0 {
+			t.Fatalf("low lane %d = %d, want 0", i, got[i])
+		}
+	}
+	for i := 16; i < 32; i++ {
+		if got[i] != 16 {
+			t.Fatalf("high lane %d = %d, want 16", i, got[i])
+		}
+	}
+}
+
+func TestShuffle8HighBitZeroes(t *testing.T) {
+	table := Bare.Splat8(42)
+	var idx I8x32
+	for i := range idx {
+		idx[i] = -1 // high bit set: zero the output lane
+	}
+	got := Bare.Shuffle8(table, idx)
+	if got != (I8x32{}) {
+		t.Fatalf("expected all-zero result, got %v", got)
+	}
+}
+
+func TestShuffle8Property(t *testing.T) {
+	f := func(table, idx I8x32) bool {
+		got := Bare.Shuffle8(table, idx)
+		for half := 0; half < 2; half++ {
+			base := half * 16
+			for i := 0; i < 16; i++ {
+				j := idx[base+i]
+				var want int8
+				if j >= 0 {
+					want = table[base+int(j&0x0F)]
+				}
+				if got[base+i] != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShiftLanes8(t *testing.T) {
+	var a I8x32
+	for i := range a {
+		a[i] = int8(i + 1)
+	}
+	r := Bare.ShiftLanesRight8(a, 3)
+	for i := 0; i < 29; i++ {
+		if r[i] != a[i+3] {
+			t.Fatalf("right shift lane %d = %d, want %d", i, r[i], a[i+3])
+		}
+	}
+	for i := 29; i < 32; i++ {
+		if r[i] != 0 {
+			t.Fatalf("right shift lane %d = %d, want 0", i, r[i])
+		}
+	}
+	l := Bare.ShiftLanesLeft8(a, 3)
+	for i := 0; i < 3; i++ {
+		if l[i] != 0 {
+			t.Fatalf("left shift lane %d = %d, want 0", i, l[i])
+		}
+	}
+	for i := 3; i < 32; i++ {
+		if l[i] != a[i-3] {
+			t.Fatalf("left shift lane %d = %d, want %d", i, l[i], a[i-3])
+		}
+	}
+}
+
+func TestShiftLanes8RoundTripProperty(t *testing.T) {
+	// Shifting left then right by the same amount zeroes the top lanes
+	// and keeps the rest.
+	f := func(a I8x32) bool {
+		const n = 5
+		rt := Bare.ShiftLanesRight8(Bare.ShiftLanesLeft8(a, n), n)
+		for i := 0; i < 32-n; i++ {
+			if rt[i] != a[i] {
+				return false
+			}
+		}
+		for i := 32 - n; i < 32; i++ {
+			if rt[i] != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShiftLanes8OutOfRange(t *testing.T) {
+	a := Bare.Splat8(9)
+	if Bare.ShiftLanesRight8(a, 32) != (I8x32{}) {
+		t.Error("shift by 32 should produce zero register")
+	}
+	if Bare.ShiftLanesLeft8(a, -1) != (I8x32{}) {
+		t.Error("negative shift should produce zero register")
+	}
+}
+
+func TestLoadStore8Partial(t *testing.T) {
+	src := []int8{1, 2, 3}
+	v := Bare.Load8Partial(src)
+	if v[0] != 1 || v[1] != 2 || v[2] != 3 || v[3] != 0 || v[31] != 0 {
+		t.Fatalf("partial load wrong: %v", v)
+	}
+	dst := make([]int8, 3)
+	Bare.Store8Partial(dst, Bare.Splat8(7))
+	for _, x := range dst {
+		if x != 7 {
+			t.Fatalf("partial store wrong: %v", dst)
+		}
+	}
+}
+
+func TestInsertExtract8(t *testing.T) {
+	v := Bare.Splat8(1)
+	v = Bare.Insert8(v, 13, -5)
+	if got := Bare.Extract8(v, 13); got != -5 {
+		t.Fatalf("extract = %d, want -5", got)
+	}
+	if got := Bare.Extract8(v, 12); got != 1 {
+		t.Fatalf("extract = %d, want 1", got)
+	}
+}
+
+func TestTallyCounts(t *testing.T) {
+	m, tal := NewMachine()
+	a := m.Splat8(1)
+	b := m.Splat8(2)
+	_ = m.AddSat8(a, b)
+	_ = m.AddSat8(a, b)
+	_ = m.Max8(a, b)
+	if tal.N256[OpAddSat8] != 2 {
+		t.Errorf("addsat8 = %d, want 2", tal.N256[OpAddSat8])
+	}
+	if tal.N256[OpMax8] != 1 {
+		t.Errorf("max8 = %d, want 1", tal.N256[OpMax8])
+	}
+	if tal.N256[OpBroadcast] != 2 {
+		t.Errorf("broadcast = %d, want 2", tal.N256[OpBroadcast])
+	}
+	if tal.Total() != 5 {
+		t.Errorf("total = %d, want 5", tal.Total())
+	}
+}
+
+func TestTallyMergeReset(t *testing.T) {
+	var a, b Tally
+	a.N256[OpLoad] = 3
+	b.N256[OpLoad] = 4
+	b.N512[OpStore] = 2
+	a.Merge(&b)
+	if a.N256[OpLoad] != 7 || a.N512[OpStore] != 2 {
+		t.Fatalf("merge wrong: %+v", a)
+	}
+	a.Reset()
+	if a.Total() != 0 {
+		t.Fatalf("reset did not zero: %+v", a)
+	}
+}
+
+func TestTallyNilSafe(t *testing.T) {
+	var tal *Tally
+	tal.Add(OpLoad, W256, 5)
+	tal.Merge(&Tally{})
+	tal.Reset()
+	if tal.Total() != 0 {
+		t.Fatal("nil tally total should be 0")
+	}
+	// Ops on a machine with nil tally must still compute.
+	v := Bare.AddSat8(Bare.Splat8(3), Bare.Splat8(4))
+	if v[0] != 7 {
+		t.Fatalf("bare machine compute wrong: %d", v[0])
+	}
+}
+
+func TestVectorTotalExcludesScalar(t *testing.T) {
+	var tal Tally
+	tal.Add(OpScalar, W256, 10)
+	tal.Add(OpAddSat8, W256, 3)
+	if tal.VectorTotal() != 3 {
+		t.Fatalf("vector total = %d, want 3", tal.VectorTotal())
+	}
+	if tal.Total() != 13 {
+		t.Fatalf("total = %d, want 13", tal.Total())
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpAddSat8.String() != "addsat8" {
+		t.Errorf("OpAddSat8 name = %q", OpAddSat8.String())
+	}
+	if Op(200).String() != "op?" {
+		t.Errorf("unknown op name = %q", Op(200).String())
+	}
+	for i := 0; i < NumOps; i++ {
+		if Op(i).String() == "" {
+			t.Errorf("op %d has empty name", i)
+		}
+	}
+}
+
+func TestLoadStore8Full(t *testing.T) {
+	src := make([]int8, 40)
+	for i := range src {
+		src[i] = int8(i - 20)
+	}
+	v := Bare.Load8(src)
+	for i := 0; i < 32; i++ {
+		if v[i] != src[i] {
+			t.Fatalf("lane %d wrong", i)
+		}
+	}
+	dst := make([]int8, 32)
+	Bare.Store8(dst, v)
+	for i := range dst {
+		if dst[i] != src[i] {
+			t.Fatalf("store lane %d wrong", i)
+		}
+	}
+	if Bare.Zero8() != (I8x32{}) {
+		t.Error("Zero8 not zero")
+	}
+	if Bare.Zero32() != (I32x8{}) {
+		t.Error("Zero32 not zero")
+	}
+	if Bare.Zero16() != (I16x16{}) {
+		t.Error("Zero16 not zero")
+	}
+}
+
+func TestLoadStore32Full(t *testing.T) {
+	src := []int32{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	v := Bare.Load32(src)
+	dst := make([]int32, 8)
+	Bare.Store32(dst, v)
+	for i := 0; i < 8; i++ {
+		if dst[i] != src[i] {
+			t.Fatalf("lane %d wrong", i)
+		}
+	}
+}

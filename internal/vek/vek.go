@@ -1,0 +1,270 @@
+// Package vek is a software vector machine that stands in for the
+// AVX2/AVX512 intrinsics used by the paper. It provides 256-bit and
+// 512-bit integer register types with the operation vocabulary the
+// Smith-Waterman kernels need — saturating arithmetic, max/min,
+// compares, blends, in-lane byte shuffles (vpshufb semantics),
+// cross-lane permutes, whole-register lane shifts, and 32-bit gathers —
+// together with per-opcode issue counters.
+//
+// Every operation is a method on a Machine value. A Machine optionally
+// carries a *Tally; when present, each operation increments the tally
+// entry for its opcode class. The tallies feed the architecture cost
+// model in internal/isa, which converts issue counts into modeled
+// cycles for the architectures the paper evaluates.
+//
+// The operation semantics deliberately mirror the x86 instructions they
+// model, including their quirks: Shuffle8 shuffles within 128-bit
+// halves only (as vpshufb does on AVX2), saturating adds clamp at the
+// int8/int16 bounds, and blends select by the high bit of the mask
+// byte. Kernels written against this package therefore have the same
+// structure (and the same per-cell instruction mix) as the paper's
+// intrinsics kernels.
+package vek
+
+// Op identifies an opcode class for cost accounting. Each class maps
+// to one architectural instruction (or short fixed sequence, noted per
+// constant) on the machines the paper models.
+type Op uint8
+
+const (
+	// OpLoad is an aligned or unaligned 256-bit vector load.
+	OpLoad Op = iota
+	// OpStore is a 256-bit vector store.
+	OpStore
+	// OpBroadcast is a vpbroadcastb/w/d register splat.
+	OpBroadcast
+	// OpAddSat8 is vpaddsb: saturating int8 add.
+	OpAddSat8
+	// OpSubSat8 is vpsubsb: saturating int8 subtract.
+	OpSubSat8
+	// OpAddSat16 is vpaddsw.
+	OpAddSat16
+	// OpSubSat16 is vpsubsw.
+	OpSubSat16
+	// OpAdd32 is vpaddd (modular).
+	OpAdd32
+	// OpSub32 is vpsubd (modular).
+	OpSub32
+	// OpMax8 is vpmaxsb.
+	OpMax8
+	// OpMax16 is vpmaxsw.
+	OpMax16
+	// OpMax32 is vpmaxsd.
+	OpMax32
+	// OpMin8 is vpminsb.
+	OpMin8
+	// OpMin16 is vpminsw.
+	OpMin16
+	// OpCmpGt8 is vpcmpgtb.
+	OpCmpGt8
+	// OpCmpGt16 is vpcmpgtw.
+	OpCmpGt16
+	// OpCmpEq8 is vpcmpeqb.
+	OpCmpEq8
+	// OpBlend is vpblendvb: byte blend by mask high bit.
+	OpBlend
+	// OpLogic covers vpand/vpor/vpxor.
+	OpLogic
+	// OpShuffle is vpshufb: in-lane byte shuffle.
+	OpShuffle
+	// OpPermute is a cross-lane permute (vpermd / vperm2i128).
+	OpPermute
+	// OpLaneShift is a whole-register byte shift; on AVX2 this is the
+	// vperm2i128+vpalignr pair, so the cost model charges ~2 uops.
+	OpLaneShift
+	// OpGather32 is vpgatherdd: eight 32-bit loads indexed by a vector.
+	OpGather32
+	// OpMoveMask is vpmovmskb.
+	OpMoveMask
+	// OpReduce is a horizontal max reduction (log2(lanes) shuffle+max
+	// pairs); the cost model expands it accordingly.
+	OpReduce
+	// OpUnpack covers pack/unpack/convert ops (vpacksswb, vpmovsxbw...).
+	OpUnpack
+	// OpScalar is one scalar ALU op executed on the fallback path for
+	// short diagonal segments.
+	OpScalar
+	// OpScalarLoad is a scalar load on the fallback path.
+	OpScalarLoad
+	// OpScalarStore is a scalar store on the fallback path.
+	OpScalarStore
+
+	// NumOps is the number of opcode classes.
+	NumOps int = iota
+)
+
+var opNames = [NumOps]string{
+	OpLoad:        "load",
+	OpStore:       "store",
+	OpBroadcast:   "broadcast",
+	OpAddSat8:     "addsat8",
+	OpSubSat8:     "subsat8",
+	OpAddSat16:    "addsat16",
+	OpSubSat16:    "subsat16",
+	OpAdd32:       "add32",
+	OpSub32:       "sub32",
+	OpMax8:        "max8",
+	OpMax16:       "max16",
+	OpMax32:       "max32",
+	OpMin8:        "min8",
+	OpMin16:       "min16",
+	OpCmpGt8:      "cmpgt8",
+	OpCmpGt16:     "cmpgt16",
+	OpCmpEq8:      "cmpeq8",
+	OpBlend:       "blend",
+	OpLogic:       "logic",
+	OpShuffle:     "shuffle",
+	OpPermute:     "permute",
+	OpLaneShift:   "laneshift",
+	OpGather32:    "gather32",
+	OpMoveMask:    "movemask",
+	OpReduce:      "reduce",
+	OpUnpack:      "unpack",
+	OpScalar:      "scalar",
+	OpScalarLoad:  "scalarload",
+	OpScalarStore: "scalarstore",
+}
+
+// String returns the mnemonic-style name of the opcode class.
+func (op Op) String() string {
+	if int(op) < NumOps {
+		return opNames[op]
+	}
+	return "op?"
+}
+
+// Width identifies the vector register width in bits.
+type Width uint16
+
+const (
+	// W256 models AVX2 256-bit registers.
+	W256 Width = 256
+	// W512 models AVX-512 512-bit registers.
+	W512 Width = 512
+)
+
+// A Tally accumulates operation issue counts, separated by register
+// width. Tallies are not safe for concurrent use; give each worker its
+// own and Merge afterwards.
+type Tally struct {
+	// N256 and N512 count issues of each opcode class at 256-bit and
+	// 512-bit width respectively.
+	N256 [NumOps]uint64
+	N512 [NumOps]uint64
+}
+
+// inc256 records one 256-bit issue of op. A nil tally is a no-op so
+// kernels can run uninstrumented at full speed.
+func (t *Tally) inc256(op Op) {
+	if t != nil {
+		t.N256[op]++
+	}
+}
+
+// inc512 records one 512-bit issue of op.
+func (t *Tally) inc512(op Op) {
+	if t != nil {
+		t.N512[op]++
+	}
+}
+
+// Add records n issues of op at the given width. It is exported for
+// code (such as scalar fallback loops) that accounts for work in bulk.
+func (t *Tally) Add(op Op, w Width, n uint64) {
+	if t == nil {
+		return
+	}
+	if w == W512 {
+		t.N512[op] += n
+	} else {
+		t.N256[op] += n
+	}
+}
+
+// Merge adds other's counts into t.
+func (t *Tally) Merge(other *Tally) {
+	if t == nil || other == nil {
+		return
+	}
+	for i := 0; i < NumOps; i++ {
+		t.N256[i] += other.N256[i]
+		t.N512[i] += other.N512[i]
+	}
+}
+
+// Reset zeroes all counters.
+func (t *Tally) Reset() {
+	if t == nil {
+		return
+	}
+	t.N256 = [NumOps]uint64{}
+	t.N512 = [NumOps]uint64{}
+}
+
+// Total returns the total number of issues across both widths.
+func (t *Tally) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	var sum uint64
+	for i := 0; i < NumOps; i++ {
+		sum += t.N256[i] + t.N512[i]
+	}
+	return sum
+}
+
+// VectorTotal returns the number of vector (non-scalar) issues.
+func (t *Tally) VectorTotal() uint64 {
+	if t == nil {
+		return 0
+	}
+	var sum uint64
+	for i := 0; i < NumOps; i++ {
+		op := Op(i)
+		if op == OpScalar || op == OpScalarLoad || op == OpScalarStore {
+			continue
+		}
+		sum += t.N256[i] + t.N512[i]
+	}
+	return sum
+}
+
+// A Machine issues vector operations and charges them to its Tally.
+// The zero Machine is valid and uncounted. Machine is a small value;
+// pass it by value.
+type Machine struct {
+	// T receives issue counts; nil disables counting.
+	T *Tally
+}
+
+// Bare is an uncounted machine for tests and callers that do not need
+// cost accounting.
+var Bare = Machine{}
+
+// NewMachine returns a machine charging to a fresh tally.
+func NewMachine() (Machine, *Tally) {
+	t := &Tally{}
+	return Machine{T: t}, t
+}
+
+// clamp8 saturates a 32-bit intermediate to the int8 range.
+func clamp8(x int32) int8 {
+	if x > 127 {
+		return 127
+	}
+	if x < -128 {
+		return -128
+	}
+	return int8(x)
+}
+
+// clamp16 saturates a 32-bit intermediate to the int16 range.
+func clamp16(x int32) int16 {
+	if x > 32767 {
+		return 32767
+	}
+	if x < -32768 {
+		return -32768
+	}
+	return int16(x)
+}

@@ -1,0 +1,205 @@
+package vek
+
+// 512-bit register types model AVX-512. They are composed of two
+// 256-bit halves but each operation is charged as a single 512-bit
+// issue: the cost model applies AVX-512 port widths and license-based
+// frequency reduction separately (see internal/isa), which is how the
+// paper's Fig. 6 finding — AVX-512 does not deliver 2× — emerges.
+
+// I8x64 is a 512-bit register with 64 signed 8-bit lanes.
+type I8x64 struct {
+	// Lo holds lanes 0..31, Hi lanes 32..63.
+	Lo, Hi I8x32
+}
+
+// I16x32 is a 512-bit register with 32 signed 16-bit lanes.
+type I16x32 struct {
+	// Lo holds lanes 0..15, Hi lanes 16..31.
+	Lo, Hi I16x16
+}
+
+// Splat8W broadcasts x to all 64 lanes.
+func (m Machine) Splat8W(x int8) I8x64 {
+	m.T.inc512(OpBroadcast)
+	h := Bare.Splat8(x)
+	return I8x64{Lo: h, Hi: h}
+}
+
+// Zero8W returns the all-zero 512-bit register.
+func (m Machine) Zero8W() I8x64 { return I8x64{} }
+
+// Load8WPartial loads min(len(s), 64) elements, zero-filling the rest.
+func (m Machine) Load8WPartial(s []int8) I8x64 {
+	m.T.inc512(OpLoad)
+	var v I8x64
+	n := len(s)
+	if n > 64 {
+		n = 64
+	}
+	for i := 0; i < n; i++ {
+		if i < 32 {
+			v.Lo[i] = s[i]
+		} else {
+			v.Hi[i-32] = s[i]
+		}
+	}
+	return v
+}
+
+// Store8WPartial stores the first min(len(dst), 64) lanes of v.
+func (m Machine) Store8WPartial(dst []int8, v I8x64) {
+	m.T.inc512(OpStore)
+	n := len(dst)
+	if n > 64 {
+		n = 64
+	}
+	for i := 0; i < n; i++ {
+		if i < 32 {
+			dst[i] = v.Lo[i]
+		} else {
+			dst[i] = v.Hi[i-32]
+		}
+	}
+}
+
+// AddSat8W returns a+b with signed saturation across all 64 lanes.
+func (m Machine) AddSat8W(a, b I8x64) I8x64 {
+	m.T.inc512(OpAddSat8)
+	return I8x64{Lo: Bare.AddSat8(a.Lo, b.Lo), Hi: Bare.AddSat8(a.Hi, b.Hi)}
+}
+
+// SubSat8W returns a-b with signed saturation.
+func (m Machine) SubSat8W(a, b I8x64) I8x64 {
+	m.T.inc512(OpSubSat8)
+	return I8x64{Lo: Bare.SubSat8(a.Lo, b.Lo), Hi: Bare.SubSat8(a.Hi, b.Hi)}
+}
+
+// Max8W returns the lane-wise signed maximum.
+func (m Machine) Max8W(a, b I8x64) I8x64 {
+	m.T.inc512(OpMax8)
+	return I8x64{Lo: Bare.Max8(a.Lo, b.Lo), Hi: Bare.Max8(a.Hi, b.Hi)}
+}
+
+// ReduceMax8W returns the maximum lane value.
+func (m Machine) ReduceMax8W(a I8x64) int8 {
+	m.T.inc512(OpReduce)
+	lo := Bare.ReduceMax8(a.Lo)
+	hi := Bare.ReduceMax8(a.Hi)
+	if lo > hi {
+		return lo
+	}
+	return hi
+}
+
+// ShiftLanesLeft8W shifts left by n byte lanes, zero-filling lane 0.
+// AVX-512 performs this with valignd/vpermb; one issue.
+func (m Machine) ShiftLanesLeft8W(a I8x64, n int) I8x64 {
+	m.T.inc512(OpLaneShift)
+	var flat [64]int8
+	copy(flat[:32], a.Lo[:])
+	copy(flat[32:], a.Hi[:])
+	var out [64]int8
+	if n >= 0 && n < 64 {
+		copy(out[n:], flat[:64-n])
+	}
+	var v I8x64
+	copy(v.Lo[:], out[:32])
+	copy(v.Hi[:], out[32:])
+	return v
+}
+
+// Splat16W broadcasts x to all 32 lanes.
+func (m Machine) Splat16W(x int16) I16x32 {
+	m.T.inc512(OpBroadcast)
+	h := Bare.Splat16(x)
+	return I16x32{Lo: h, Hi: h}
+}
+
+// Zero16W returns the all-zero 512-bit register.
+func (m Machine) Zero16W() I16x32 { return I16x32{} }
+
+// Load16WPartial loads min(len(s), 32) elements, zero-filling the rest.
+func (m Machine) Load16WPartial(s []int16) I16x32 {
+	m.T.inc512(OpLoad)
+	var v I16x32
+	n := len(s)
+	if n > 32 {
+		n = 32
+	}
+	for i := 0; i < n; i++ {
+		if i < 16 {
+			v.Lo[i] = s[i]
+		} else {
+			v.Hi[i-16] = s[i]
+		}
+	}
+	return v
+}
+
+// Store16WPartial stores the first min(len(dst), 32) lanes of v.
+func (m Machine) Store16WPartial(dst []int16, v I16x32) {
+	m.T.inc512(OpStore)
+	n := len(dst)
+	if n > 32 {
+		n = 32
+	}
+	for i := 0; i < n; i++ {
+		if i < 16 {
+			dst[i] = v.Lo[i]
+		} else {
+			dst[i] = v.Hi[i-16]
+		}
+	}
+}
+
+// AddSat16W returns a+b with signed saturation.
+func (m Machine) AddSat16W(a, b I16x32) I16x32 {
+	m.T.inc512(OpAddSat16)
+	return I16x32{Lo: Bare.AddSat16(a.Lo, b.Lo), Hi: Bare.AddSat16(a.Hi, b.Hi)}
+}
+
+// SubSat16W returns a-b with signed saturation.
+func (m Machine) SubSat16W(a, b I16x32) I16x32 {
+	m.T.inc512(OpSubSat16)
+	return I16x32{Lo: Bare.SubSat16(a.Lo, b.Lo), Hi: Bare.SubSat16(a.Hi, b.Hi)}
+}
+
+// Max16W returns the lane-wise signed maximum.
+func (m Machine) Max16W(a, b I16x32) I16x32 {
+	m.T.inc512(OpMax16)
+	return I16x32{Lo: Bare.Max16(a.Lo, b.Lo), Hi: Bare.Max16(a.Hi, b.Hi)}
+}
+
+// ReduceMax16W returns the maximum lane value.
+func (m Machine) ReduceMax16W(a I16x32) int16 {
+	m.T.inc512(OpReduce)
+	lo := Bare.ReduceMax16(a.Lo)
+	hi := Bare.ReduceMax16(a.Hi)
+	if lo > hi {
+		return lo
+	}
+	return hi
+}
+
+// ShiftLanesLeft16W shifts left by n 16-bit lanes, zero-filling lane 0.
+func (m Machine) ShiftLanesLeft16W(a I16x32, n int) I16x32 {
+	m.T.inc512(OpLaneShift)
+	var flat [32]int16
+	copy(flat[:16], a.Lo[:])
+	copy(flat[16:], a.Hi[:])
+	var out [32]int16
+	if n >= 0 && n < 32 {
+		copy(out[n:], flat[:32-n])
+	}
+	var v I16x32
+	copy(v.Lo[:], out[:16])
+	copy(v.Hi[:], out[16:])
+	return v
+}
+
+// Gather32W performs a 16-lane vpgatherdd into two I32x8 halves,
+// charged as one 512-bit gather.
+func (m Machine) Gather32W(table []int32, idxLo, idxHi I32x8) (I32x8, I32x8) {
+	m.T.inc512(OpGather32)
+	return Bare.Gather32(table, idxLo), Bare.Gather32(table, idxHi)
+}

@@ -1,0 +1,202 @@
+package vek
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSplat8W(t *testing.T) {
+	m, tal := NewMachine()
+	v := m.Splat8W(-3)
+	for i := 0; i < 32; i++ {
+		if v.Lo[i] != -3 || v.Hi[i] != -3 {
+			t.Fatalf("lane %d wrong", i)
+		}
+	}
+	if tal.N512[OpBroadcast] != 1 || tal.N256[OpBroadcast] != 0 {
+		t.Fatalf("512 broadcast should charge the 512 tally: %+v", tal)
+	}
+}
+
+func TestAddSat8WMatchesHalves(t *testing.T) {
+	f := func(aLo, aHi, bLo, bHi I8x32) bool {
+		a := I8x64{Lo: aLo, Hi: aHi}
+		b := I8x64{Lo: bLo, Hi: bHi}
+		got := Bare.AddSat8W(a, b)
+		return got.Lo == Bare.AddSat8(aLo, bLo) && got.Hi == Bare.AddSat8(aHi, bHi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMax8WAndReduce(t *testing.T) {
+	f := func(aLo, aHi I8x32) bool {
+		a := I8x64{Lo: aLo, Hi: aHi}
+		got := Bare.ReduceMax8W(a)
+		best := aLo[0]
+		for _, x := range aLo[1:] {
+			if x > best {
+				best = x
+			}
+		}
+		for _, x := range aHi {
+			if x > best {
+				best = x
+			}
+		}
+		return got == best
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShiftLanesLeft8WCrossesHalves(t *testing.T) {
+	var a I8x64
+	for i := 0; i < 32; i++ {
+		a.Lo[i] = int8(i)
+		a.Hi[i] = int8(32 + i)
+	}
+	v := Bare.ShiftLanesLeft8W(a, 1)
+	if v.Lo[0] != 0 {
+		t.Fatalf("lane 0 = %d, want 0", v.Lo[0])
+	}
+	if v.Lo[1] != 0 { // old lane 0 held value 0
+		t.Fatalf("lane 1 = %d, want 0", v.Lo[1])
+	}
+	// Lane 32 (Hi[0]) must receive old lane 31 (Lo[31] == 31).
+	if v.Hi[0] != 31 {
+		t.Fatalf("lane 32 = %d, want 31 (cross-half carry)", v.Hi[0])
+	}
+	if v.Hi[31] != 62 {
+		t.Fatalf("lane 63 = %d, want 62", v.Hi[31])
+	}
+}
+
+func TestLoadStore8WPartial(t *testing.T) {
+	src := make([]int8, 40)
+	for i := range src {
+		src[i] = int8(i + 1)
+	}
+	v := Bare.Load8WPartial(src)
+	if v.Lo[0] != 1 || v.Hi[7] != 40 || v.Hi[8] != 0 {
+		t.Fatalf("partial 512 load wrong: %+v", v)
+	}
+	dst := make([]int8, 40)
+	Bare.Store8WPartial(dst, v)
+	for i := range dst {
+		if dst[i] != src[i] {
+			t.Fatalf("partial 512 store lane %d = %d, want %d", i, dst[i], src[i])
+		}
+	}
+}
+
+func TestAddSat16WMatchesHalves(t *testing.T) {
+	f := func(aLo, aHi, bLo, bHi I16x16) bool {
+		a := I16x32{Lo: aLo, Hi: aHi}
+		b := I16x32{Lo: bLo, Hi: bHi}
+		got := Bare.AddSat16W(a, b)
+		sub := Bare.SubSat16W(a, b)
+		mx := Bare.Max16W(a, b)
+		return got.Lo == Bare.AddSat16(aLo, bLo) && got.Hi == Bare.AddSat16(aHi, bHi) &&
+			sub.Lo == Bare.SubSat16(aLo, bLo) && sub.Hi == Bare.SubSat16(aHi, bHi) &&
+			mx.Lo == Bare.Max16(aLo, bLo) && mx.Hi == Bare.Max16(aHi, bHi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReduceMax16W(t *testing.T) {
+	var a I16x32
+	a.Lo[3] = 500
+	a.Hi[9] = 501
+	if got := Bare.ReduceMax16W(a); got != 501 {
+		t.Fatalf("reduce = %d, want 501", got)
+	}
+}
+
+func TestShiftLanesLeft16WCrossesHalves(t *testing.T) {
+	var a I16x32
+	for i := 0; i < 16; i++ {
+		a.Lo[i] = int16(i)
+		a.Hi[i] = int16(16 + i)
+	}
+	v := Bare.ShiftLanesLeft16W(a, 1)
+	if v.Lo[0] != 0 {
+		t.Fatalf("lane 0 = %d, want 0", v.Lo[0])
+	}
+	if v.Hi[0] != 15 {
+		t.Fatalf("lane 16 = %d, want 15 (cross-half carry)", v.Hi[0])
+	}
+	if v.Hi[15] != 30 {
+		t.Fatalf("lane 31 = %d, want 30", v.Hi[15])
+	}
+}
+
+func TestLoadStore16WPartial(t *testing.T) {
+	src := make([]int16, 20)
+	for i := range src {
+		src[i] = int16(i * 3)
+	}
+	v := Bare.Load16WPartial(src)
+	if v.Lo[0] != 0 || v.Hi[3] != 57 || v.Hi[4] != 0 {
+		t.Fatalf("partial 512 load wrong: %+v", v)
+	}
+	dst := make([]int16, 20)
+	Bare.Store16WPartial(dst, v)
+	for i := range dst {
+		if dst[i] != src[i] {
+			t.Fatalf("partial 512 store lane %d wrong", i)
+		}
+	}
+}
+
+func TestGather32W(t *testing.T) {
+	m, tal := NewMachine()
+	table := make([]int32, 16)
+	for i := range table {
+		table[i] = int32(i * 7)
+	}
+	idxLo := I32x8{0, 1, 2, 3, 4, 5, 6, 7}
+	idxHi := I32x8{15, 14, 13, 12, 11, 10, 9, 8}
+	lo, hi := m.Gather32W(table, idxLo, idxHi)
+	for i := 0; i < 8; i++ {
+		if lo[i] != table[idxLo[i]] || hi[i] != table[idxHi[i]] {
+			t.Fatalf("gather lane %d wrong", i)
+		}
+	}
+	if tal.N512[OpGather32] != 1 {
+		t.Fatalf("512 gather count = %d, want 1", tal.N512[OpGather32])
+	}
+}
+
+func TestSubMax8WMatchHalves(t *testing.T) {
+	f := func(aLo, aHi, bLo, bHi I8x32) bool {
+		a := I8x64{Lo: aLo, Hi: aHi}
+		b := I8x64{Lo: bLo, Hi: bHi}
+		sub := Bare.SubSat8W(a, b)
+		mx := Bare.Max8W(a, b)
+		return sub.Lo == Bare.SubSat8(aLo, bLo) && sub.Hi == Bare.SubSat8(aHi, bHi) &&
+			mx.Lo == Bare.Max8(aLo, bLo) && mx.Hi == Bare.Max8(aHi, bHi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZeroAndSplatW(t *testing.T) {
+	if Bare.Zero8W() != (I8x64{}) {
+		t.Error("Zero8W not zero")
+	}
+	if Bare.Zero16W() != (I16x32{}) {
+		t.Error("Zero16W not zero")
+	}
+	v := Bare.Splat16W(-9)
+	for i := 0; i < 16; i++ {
+		if v.Lo[i] != -9 || v.Hi[i] != -9 {
+			t.Fatal("Splat16W wrong")
+		}
+	}
+}

@@ -1,0 +1,266 @@
+// Package swvec is a vectorized Smith-Waterman sequence-alignment
+// library reproducing "Further Optimizations and Analysis of
+// Smith-Waterman with Vector Extensions" (IPDPS 2024). The alignment
+// kernels run on an emulated, instruction-counting vector machine that
+// mirrors AVX2/AVX-512, implementing the paper's wavefront kernel with
+// diagonal memory indexing, the reorganized substitution matrix with
+// gather and query-profile scoring, an interleaved 32-sequence batch
+// engine, variable 8/16-bit width, optional traceback, and the
+// Parasail-style diag/scan/striped comparison kernels.
+//
+// Quick start:
+//
+//	al, err := swvec.New(swvec.WithGaps(11, 1))
+//	if err != nil { ... }
+//	alignment, err := al.Align([]byte("MKVLAW"), []byte("MKVLNW"))
+//	fmt.Println(alignment.Score, alignment.CigarString())
+package swvec
+
+import (
+	"fmt"
+	"io"
+
+	"swvec/internal/aln"
+	"swvec/internal/alphabet"
+	"swvec/internal/core"
+	"swvec/internal/sched"
+	"swvec/internal/seqio"
+	"swvec/internal/submat"
+	"swvec/internal/vek"
+)
+
+// Re-exported domain types. They are aliases of the internal
+// implementations so values flow between the public API and the
+// low-level packages without copying.
+type (
+	// Gaps holds affine gap penalties as positive costs; a gap of
+	// length k costs Open + (k-1)*Extend.
+	Gaps = aln.Gaps
+	// Alignment is a local alignment with coordinates and CIGAR.
+	Alignment = aln.Alignment
+	// CigarOp is one run-length-encoded traceback operation.
+	CigarOp = aln.CigarOp
+	// ScoreResult is a score-only alignment outcome.
+	ScoreResult = aln.ScoreResult
+	// Sequence is a named residue sequence.
+	Sequence = seqio.Sequence
+	// Matrix is a substitution matrix in the reorganized 32-wide
+	// layout.
+	Matrix = submat.Matrix
+	// SearchResult is the outcome of a database search.
+	SearchResult = sched.Result
+	// MultiSearchResult is the outcome of a batched multi-query
+	// search.
+	MultiSearchResult = sched.MultiResult
+	// Hit is one database sequence's search outcome.
+	Hit = sched.Hit
+)
+
+// DefaultGaps returns the protein defaults (open 11, extend 1).
+func DefaultGaps() Gaps { return aln.DefaultGaps() }
+
+// Blosum62 returns the BLOSUM62 substitution matrix.
+func Blosum62() *Matrix { return submat.Blosum62() }
+
+// DNAMatrix returns the default DNA matrix (+2/-3, N neutral).
+func DNAMatrix() *Matrix { return submat.DNADefault() }
+
+// MatchMismatch returns a fixed-score protein matrix; kernels use the
+// gather-free compare-and-blend fast path with it.
+func MatchMismatch(match, mismatch int8) *Matrix {
+	return submat.MatchMismatch(alphabet.ProteinAlphabet(), match, mismatch)
+}
+
+// ParseMatrix reads an NCBI-format substitution matrix for the protein
+// alphabet.
+func ParseMatrix(r io.Reader, name string) (*Matrix, error) {
+	return submat.Parse(r, name, alphabet.ProteinAlphabet())
+}
+
+// ReadFasta parses FASTA records.
+func ReadFasta(r io.Reader) ([]Sequence, error) { return seqio.ReadFasta(r) }
+
+// WriteFasta writes FASTA records with 60-column wrapping.
+func WriteFasta(w io.Writer, seqs []Sequence) error { return seqio.WriteFasta(w, seqs) }
+
+// GenerateDatabase produces a deterministic synthetic protein database
+// with Swiss-Prot-like length and composition statistics.
+func GenerateDatabase(seed int64, count int) []Sequence {
+	return seqio.NewGenerator(seed).Database(count)
+}
+
+// GenerateQueries produces the evaluation's standard 10-protein query
+// set (lengths 35..5000).
+func GenerateQueries(seed int64) []Sequence { return seqio.StandardQueries(seed) }
+
+// Aligner is the configured entry point for alignments and searches.
+// It is safe for concurrent use.
+type Aligner struct {
+	mat     *submat.Matrix
+	gaps    Gaps
+	threads int
+	block   int
+	sortLen bool
+}
+
+// Option configures an Aligner.
+type Option func(*Aligner) error
+
+// WithMatrix selects the substitution matrix (default BLOSUM62).
+func WithMatrix(m *Matrix) Option {
+	return func(a *Aligner) error {
+		if m == nil {
+			return fmt.Errorf("swvec: nil matrix")
+		}
+		a.mat = m
+		return nil
+	}
+}
+
+// WithGaps sets affine gap penalties (positive costs).
+func WithGaps(open, extend int32) Option {
+	return func(a *Aligner) error {
+		a.gaps = Gaps{Open: open, Extend: extend}
+		return a.gaps.Validate()
+	}
+}
+
+// WithLinearGap selects the linear gap model with per-residue cost
+// ext; the kernels switch to their reduced variants.
+func WithLinearGap(ext int32) Option {
+	return func(a *Aligner) error {
+		a.gaps = aln.Linear(ext)
+		return a.gaps.Validate()
+	}
+}
+
+// WithThreads sets the worker count for searches (default
+// GOMAXPROCS).
+func WithThreads(n int) Option {
+	return func(a *Aligner) error {
+		if n < 0 {
+			return fmt.Errorf("swvec: negative thread count %d", n)
+		}
+		a.threads = n
+		return nil
+	}
+}
+
+// WithBatchBlock sets the batch engine's column block size (the cache
+// tuning knob; 0 = unblocked).
+func WithBatchBlock(cols int) Option {
+	return func(a *Aligner) error {
+		if cols < 0 {
+			return fmt.Errorf("swvec: negative block size %d", cols)
+		}
+		a.block = cols
+		return nil
+	}
+}
+
+// WithLengthSortedBatches groups similar-length database sequences
+// into the same batch, reducing padding work.
+func WithLengthSortedBatches() Option {
+	return func(a *Aligner) error {
+		a.sortLen = true
+		return nil
+	}
+}
+
+// New returns an Aligner with BLOSUM62 and default protein gaps,
+// modified by the options.
+func New(opts ...Option) (*Aligner, error) {
+	a := &Aligner{mat: submat.Blosum62(), gaps: aln.DefaultGaps()}
+	for _, opt := range opts {
+		if err := opt(a); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+// encode validates and encodes a raw residue sequence.
+func (a *Aligner) encode(seq []byte) ([]uint8, error) {
+	if len(seq) == 0 {
+		return nil, fmt.Errorf("swvec: empty sequence")
+	}
+	alpha := a.mat.Alphabet()
+	if err := alpha.Validate(seq); err != nil {
+		return nil, err
+	}
+	return alpha.Encode(seq), nil
+}
+
+// Score computes the optimal local alignment score of query against
+// target using the adaptive 8/16-bit pair kernel.
+func (a *Aligner) Score(query, target []byte) (int32, error) {
+	q, err := a.encode(query)
+	if err != nil {
+		return 0, err
+	}
+	d, err := a.encode(target)
+	if err != nil {
+		return 0, err
+	}
+	res, _, err := core.AlignPairAdaptive(vek.Bare, q, d, a.mat, core.PairOptions{Gaps: a.gaps})
+	if err != nil {
+		return 0, err
+	}
+	return res.Score, nil
+}
+
+// Align computes the optimal local alignment with full traceback.
+func (a *Aligner) Align(query, target []byte) (*Alignment, error) {
+	q, err := a.encode(query)
+	if err != nil {
+		return nil, err
+	}
+	d, err := a.encode(target)
+	if err != nil {
+		return nil, err
+	}
+	res, tb, err := core.AlignPair16(vek.Bare, q, d, a.mat, core.PairOptions{Gaps: a.gaps, Traceback: true})
+	if err != nil {
+		return nil, err
+	}
+	return tb.Walk(res.EndQ, res.EndD, res.Score)
+}
+
+// Search aligns query against every database sequence with the
+// high-throughput batch engine, rescuing 8-bit saturations at 16 bits.
+func (a *Aligner) Search(query []byte, db []Sequence) (*SearchResult, error) {
+	q, err := a.encode(query)
+	if err != nil {
+		return nil, err
+	}
+	return sched.Search(q, db, a.mat, a.schedOptions())
+}
+
+// SearchAll aligns every query against every database sequence
+// (the centralized-server scenario).
+func (a *Aligner) SearchAll(queries [][]byte, db []Sequence) (*MultiSearchResult, error) {
+	encoded := make([][]uint8, len(queries))
+	for i, q := range queries {
+		e, err := a.encode(q)
+		if err != nil {
+			return nil, fmt.Errorf("query %d: %w", i, err)
+		}
+		encoded[i] = e
+	}
+	return sched.MultiSearch(encoded, db, a.mat, a.schedOptions())
+}
+
+// Matrix returns the aligner's substitution matrix.
+func (a *Aligner) Matrix() *Matrix { return a.mat }
+
+// Gaps returns the aligner's gap model.
+func (a *Aligner) Gaps() Gaps { return a.gaps }
+
+func (a *Aligner) schedOptions() sched.Options {
+	return sched.Options{
+		Gaps:         a.gaps,
+		Threads:      a.threads,
+		BlockCols:    a.block,
+		SortByLength: a.sortLen,
+	}
+}

@@ -1,0 +1,225 @@
+package swvec
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	al, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := al.Align([]byte("MKVLAWGQHE"), []byte("MKVLAWGQHE"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CigarString() != "10M" {
+		t.Errorf("cigar = %q", a.CigarString())
+	}
+	if a.Score <= 0 {
+		t.Errorf("score = %d", a.Score)
+	}
+	sc, err := al.Score([]byte("MKVLAWGQHE"), []byte("MKVLAWGQHE"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc != a.Score {
+		t.Errorf("Score %d != Align score %d", sc, a.Score)
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	if _, err := New(WithGaps(0, 0)); err == nil {
+		t.Error("zero gaps accepted")
+	}
+	if _, err := New(WithMatrix(nil)); err == nil {
+		t.Error("nil matrix accepted")
+	}
+	if _, err := New(WithThreads(-1)); err == nil {
+		t.Error("negative threads accepted")
+	}
+	if _, err := New(WithBatchBlock(-5)); err == nil {
+		t.Error("negative block accepted")
+	}
+}
+
+func TestScoreRejectsInvalidResidues(t *testing.T) {
+	al, _ := New()
+	if _, err := al.Score([]byte("MK1LAW"), []byte("MKVLAW")); err == nil {
+		t.Error("digit residue accepted")
+	}
+	if _, err := al.Score(nil, []byte("MKVLAW")); err == nil {
+		t.Error("empty query accepted")
+	}
+}
+
+func TestSearchEndToEnd(t *testing.T) {
+	al, err := New(WithThreads(4), WithLengthSortedBatches())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := GenerateDatabase(7, 50)
+	res, err := al.Search([]byte(string(db[17].Residues)), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := res.TopHits(1)
+	if top[0].SeqIndex != 17 {
+		t.Errorf("self-search should rank sequence 17 first, got %d", top[0].SeqIndex)
+	}
+	if res.GCUPS() <= 0 {
+		t.Error("no throughput recorded")
+	}
+}
+
+func TestSearchAllEndToEnd(t *testing.T) {
+	al, err := New(WithThreads(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := GenerateDatabase(8, 40)
+	queries := [][]byte{db[3].Residues, db[30].Residues}
+	res, err := al.SearchAll(queries, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each query's best hit must be itself.
+	for qi := range queries {
+		self := []int{3, 30}[qi]
+		best, bestIdx := int32(-1), -1
+		for si, sc := range res.Scores[qi] {
+			if sc > best {
+				best, bestIdx = sc, si
+			}
+		}
+		if bestIdx != self {
+			t.Errorf("query %d: best hit %d, want %d", qi, bestIdx, self)
+		}
+	}
+}
+
+func TestLinearGapOption(t *testing.T) {
+	al, err := New(WithLinearGap(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !al.Gaps().IsLinear() {
+		t.Error("linear gap option did not apply")
+	}
+	if _, err := al.Score([]byte("ACDEFG"), []byte("ACDEFG")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatchMismatchMatrixOption(t *testing.T) {
+	al, err := New(WithMatrix(MatchMismatch(2, -1)), WithGaps(3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := al.Score([]byte("ACDEF"), []byte("ACDEF"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc != 10 {
+		t.Errorf("score = %d, want 10", sc)
+	}
+}
+
+func TestDNAAlignment(t *testing.T) {
+	al, err := New(WithMatrix(DNAMatrix()), WithGaps(5, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := al.Score([]byte("ACGTACGT"), []byte("ACGTACGT"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc != 16 {
+		t.Errorf("DNA self-score = %d, want 16", sc)
+	}
+}
+
+func TestParseMatrixRoundTrip(t *testing.T) {
+	src := "   A  C\nA  5 -4\nC -4  5\n"
+	m, err := ParseMatrix(strings.NewReader(src), "custom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	al, err := New(WithMatrix(m), WithGaps(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := al.Score([]byte("ACAC"), []byte("ACAC"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc != 20 {
+		t.Errorf("score = %d, want 20", sc)
+	}
+}
+
+func TestFastaHelpers(t *testing.T) {
+	db := GenerateDatabase(9, 5)
+	var buf bytes.Buffer
+	if err := WriteFasta(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFasta(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 5 {
+		t.Fatalf("round trip lost records: %d", len(back))
+	}
+}
+
+func TestGenerateQueries(t *testing.T) {
+	qs := GenerateQueries(1)
+	if len(qs) != 10 {
+		t.Fatalf("queries = %d, want 10", len(qs))
+	}
+}
+
+func TestAlignRescoresViaSpans(t *testing.T) {
+	al, _ := New()
+	db := GenerateDatabase(10, 2)
+	a, err := al.Align(db[0].Residues[:80], db[0].Residues)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.QuerySpan() != a.EndQ-a.BegQ+1 {
+		t.Errorf("query span %d inconsistent with [%d,%d]", a.QuerySpan(), a.BegQ, a.EndQ)
+	}
+	if a.DatabaseSpan() != a.EndD-a.BegD+1 {
+		t.Errorf("database span %d inconsistent with [%d,%d]", a.DatabaseSpan(), a.BegD, a.EndD)
+	}
+}
+
+func TestScoreRescues16BitSaturation(t *testing.T) {
+	// Two identical 3000-residue tryptophan runs score 33000, beyond
+	// int16: Score must fall back to the exact scalar kernel.
+	al, _ := New()
+	w := make([]byte, 3000)
+	for i := range w {
+		w[i] = 'W'
+	}
+	sc, err := al.Score(w, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc != 33000 {
+		t.Fatalf("score = %d, want 33000", sc)
+	}
+}
+
+func TestAlignerAccessors(t *testing.T) {
+	al, _ := New()
+	if al.Matrix() != Blosum62() {
+		t.Error("default matrix should be BLOSUM62")
+	}
+	if al.Gaps() != DefaultGaps() {
+		t.Error("default gaps mismatch")
+	}
+}
