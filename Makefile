@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all verify vet race bench ci
+
+all: verify
+
+# Tier-1 gate: everything compiles and every test passes.
+verify:
+	$(GO) build ./...
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-enabled pass over the concurrent packages (the streaming search
+# pipeline, the batch stream, the kernels it shares scratch with, and
+# the public API). -short skips the long 32-bit escalation alignment.
+race:
+	$(GO) test -race -short ./internal/sched ./internal/seqio ./internal/core .
+
+# Figure + kernel benchmarks with allocation reporting.
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' .
+
+ci: verify vet race

@@ -392,3 +392,54 @@ func BenchmarkSearchEndToEnd(b *testing.B) {
 	}
 	b.SetBytes(cells)
 }
+
+// BenchmarkKernelBatch8Scratch is the steady-state allocation check
+// for the 8-bit batch engine: with a warm per-worker scratch arena the
+// per-batch allocation count must be zero.
+func BenchmarkKernelBatch8Scratch(b *testing.B) {
+	mat := submat.Blosum62()
+	tables := submat.NewCodeTables(mat)
+	g := seqio.NewGenerator(6)
+	db := g.Database(32)
+	batch := seqio.BuildBatches(db, mat.Alphabet(), seqio.BatchOptions{SortByLength: true})[0]
+	q := g.Protein("q", 320).Encode(mat.Alphabet())
+	b.SetBytes(batch.Cells(len(q)))
+	opt := core.BatchOptions{Gaps: aln.DefaultGaps(), Scratch: core.NewScratch()}
+	if _, err := core.AlignBatch8(vek.Bare, q, tables, batch, opt); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.AlignBatch8(vek.Bare, q, tables, batch, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSearchPipeline measures the streaming search on the
+// standard 2000-sequence database (the tentpole's GCUPS acceptance
+// workload). MB/s is cell updates per second / 1e6; allocs/op shows
+// the whole-pipeline allocation budget, which no longer scales with
+// per-batch work.
+func BenchmarkSearchPipeline(b *testing.B) {
+	al, err := New(WithLengthSortedBatches())
+	if err != nil {
+		b.Fatal(err)
+	}
+	db := GenerateDatabase(1, 2000)
+	query := db[10].Residues
+	if len(query) > 200 {
+		query = query[:200]
+	}
+	b.ReportAllocs()
+	var cells int64
+	for i := 0; i < b.N; i++ {
+		res, err := al.Search(query, db)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cells = res.Cells
+	}
+	b.SetBytes(cells)
+}

@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		fig   = flag.String("fig", "all", "figure to regenerate: 6..14, det, port, mem, or all")
+		fig   = flag.String("fig", "all", "figure to regenerate: 6..14, det, port, mem, pipe, or all")
 		quick = flag.Bool("quick", false, "small workloads for fast runs")
 		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		seed  = flag.Int64("seed", 42, "workload seed")
@@ -61,6 +61,8 @@ func main() {
 			tables = append(tables, figures.Portability(cfg))
 		case "mem", "memory":
 			tables = append(tables, figures.MemoryAnalysis(cfg))
+		case "pipe", "pipeline":
+			tables = append(tables, figures.PipelineReport(cfg))
 		default:
 			fmt.Fprintf(os.Stderr, "swbench: unknown figure %q\n", id)
 			os.Exit(2)
@@ -75,6 +77,7 @@ func main() {
 		run("det")
 		run("port")
 		run("mem")
+		run("pipe")
 	default:
 		for _, id := range strings.Split(*fig, ",") {
 			run(strings.TrimSpace(id))

@@ -112,6 +112,21 @@ func (a *Alphabet) Encode(seq []byte) []uint8 {
 	return out
 }
 
+// EncodeTo encodes seq into dst, growing dst only when its capacity is
+// insufficient, and returns the encoded slice (always len(seq)
+// entries). Workers on the search hot path use it to reuse one encode
+// buffer across sequences.
+func (a *Alphabet) EncodeTo(dst []uint8, seq []byte) []uint8 {
+	if cap(dst) < len(seq) {
+		dst = make([]uint8, len(seq))
+	}
+	dst = dst[:len(seq)]
+	for i, b := range seq {
+		dst[i] = a.enc[b]
+	}
+	return dst
+}
+
 // EncodeString is Encode for a string input.
 func (a *Alphabet) EncodeString(seq string) []uint8 {
 	out := make([]uint8, len(seq))

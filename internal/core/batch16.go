@@ -31,7 +31,11 @@ func AlignBatch16(mch vek.Machine, query []uint8, tables *submat.CodeTables, bat
 		return res, fmt.Errorf("core: empty batch")
 	}
 	m, n := len(query), batch.MaxLen
-	t8 := codesAsInt8(batch.T)
+	s := opt.Scratch
+	if s == nil {
+		s = &Scratch{}
+	}
+	t8 := s.codes(batch.T)
 
 	openV := mch.Splat16(int16(clampI32(opt.Gaps.Open, 32767)))
 	extV := mch.Splat16(int16(clampI32(opt.Gaps.Extend, 32767)))
@@ -40,20 +44,15 @@ func AlignBatch16(mch vek.Machine, query []uint8, tables *submat.CodeTables, bat
 	linear := opt.Gaps.IsLinear()
 
 	// Column state: two 16-lane halves per batch column, stride 32.
-	hRow := make([]int16, n*lanes8)
-	fRow := make([]int16, n*lanes8)
-	if !linear {
-		for i := range fRow {
-			fRow[i] = negInf16
-		}
-	}
+	hRow, fRow := s.rows16(n, linear)
 	type carry struct{ e, hLeft, hDiag vek.I16x16 }
 	mch.T.Add(vek.OpScalarStore, vek.W256, uint64(2*n))
 
 	var vMax [2]vek.I16x16
 
 	for i := 0; i < m; i++ {
-		c := &[2]carry{{e: negV}, {e: negV}}
+		var c [2]carry
+		c[0].e, c[1].e = negV, negV
 		for j := 0; j < n; j++ {
 			off := j * lanes8
 			// One shuffle lookup yields all 32 int8 scores; widen per

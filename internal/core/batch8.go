@@ -31,6 +31,9 @@ type BatchOptions struct {
 	// per-lane maxima. On this ALU-bound engine the reduction cost is
 	// not hidden, which is exactly the paper's argument for deferring.
 	EagerMax bool
+	// Scratch supplies reusable working buffers owned by the calling
+	// worker; nil allocates per call. See Scratch.
+	Scratch *Scratch
 }
 
 // BatchResult carries per-lane outcomes of one batch alignment.
@@ -59,17 +62,19 @@ type batchScratch struct {
 	cols  int
 }
 
-func newBatchScratch(cols int, queries ...[]uint8) *batchScratch {
-	s := &batchScratch{cols: cols}
+// prepare resets the scratch for a new (batch, query set) pair with
+// the given block width, keeping the allocated score rows for reuse.
+func (s *batchScratch) prepare(cols int, queries ...[]uint8) {
+	s.cols = cols
 	for c := range s.built {
 		s.built[c] = -1
+		s.count[c] = 0
 	}
 	for _, q := range queries {
 		for _, c := range q {
 			s.count[c]++
 		}
 	}
-	return s
 }
 
 // row returns the score row of code c for the block starting at column
@@ -83,9 +88,10 @@ func (s *batchScratch) row(mch vek.Machine, tables *submat.CodeTables, t8 []int8
 	if s.built[c] == blockID {
 		return s.rows[c]
 	}
-	if s.rows[c] == nil {
+	if cap(s.rows[c]) < s.cols*lanes8 {
 		s.rows[c] = make([]int8, s.cols*lanes8)
 	}
+	s.rows[c] = s.rows[c][:s.cols*lanes8]
 	row := s.rows[c]
 	for j := 0; j < cols; j++ {
 		idx := mch.Load8(t8[(j0+j)*lanes8:])
@@ -125,24 +131,25 @@ func AlignBatch8(mch vek.Machine, query []uint8, tables *submat.CodeTables, batc
 	if opt.Gaps.Open > 127 {
 		return res, fmt.Errorf("core: gap open %d exceeds the 8-bit range", opt.Gaps.Open)
 	}
-	t8 := codesAsInt8(batch.T)
-	if opt.Gaps.IsLinear() {
-		alignBatch8Linear(mch, query, tables, batch, t8, &opt, &res)
-	} else {
-		alignBatch8Affine(mch, query, tables, batch, t8, &opt, &res)
+	s := opt.Scratch
+	if s == nil {
+		s = &Scratch{}
 	}
-	return res, nil
-}
-
-func alignBatch8Affine(mch vek.Machine, query []uint8, tables *submat.CodeTables, batch *seqio.Batch, t8 []int8, opt *BatchOptions, res *BatchResult) {
+	t8 := s.codes(batch.T)
 	n := batch.MaxLen
 	block := opt.BlockCols
 	if block <= 0 || block > n {
 		block = n
 	}
-	scratch := newBatchScratch(block, query)
-	st := newBatchState(n)
-	runBatch8Affine(mch, query, tables, batch, t8, opt, scratch, st, res)
+	s.score.prepare(block, query)
+	linear := opt.Gaps.IsLinear()
+	s.state.ensure(mch, n, !linear)
+	if linear {
+		runBatch8Linear(mch, query, tables, batch, t8, &opt, s, &res)
+	} else {
+		runBatch8Affine(mch, query, tables, batch, t8, &opt, s, &res)
+	}
+	return res, nil
 }
 
 // batchState holds the reusable column-state buffers of the batch
@@ -153,12 +160,27 @@ type batchState struct {
 	hRow, fRow []int8
 }
 
-func newBatchState(n int) *batchState {
-	st := &batchState{hRow: make([]int8, n*lanes8), fRow: make([]int8, n*lanes8)}
-	for i := range st.fRow {
-		st.fRow[i] = negInf8
+// ensure sizes the state for a batch of MaxLen n and initializes it
+// for a fresh query (H zeroed, F at -inf for the affine model),
+// reusing the buffers whenever their capacity suffices.
+func (st *batchState) ensure(mch vek.Machine, n int, affine bool) {
+	need := n * lanes8
+	if cap(st.hRow) < need {
+		st.hRow = make([]int8, need)
+		st.fRow = make([]int8, need)
+	} else {
+		st.hRow = st.hRow[:need]
+		st.fRow = st.fRow[:need]
+		for i := range st.hRow {
+			st.hRow[i] = 0
+		}
 	}
-	return st
+	if affine {
+		for i := range st.fRow {
+			st.fRow[i] = negInf8
+		}
+	}
+	mch.T.Add(vek.OpScalarStore, vek.W256, uint64(n))
 }
 
 // reset prepares the state for a fresh query.
@@ -174,19 +196,18 @@ func (st *batchState) reset(mch vek.Machine, affine bool) {
 	mch.T.Add(vek.OpScalarStore, vek.W256, uint64(len(st.hRow)/lanes8))
 }
 
-func runBatch8Affine(mch vek.Machine, query []uint8, tables *submat.CodeTables, batch *seqio.Batch, t8 []int8, opt *BatchOptions, scratch *batchScratch, st *batchState, res *BatchResult) {
+func runBatch8Affine(mch vek.Machine, query []uint8, tables *submat.CodeTables, batch *seqio.Batch, t8 []int8, opt *BatchOptions, s *Scratch, res *BatchResult) {
 	m, n := len(query), batch.MaxLen
+	scratch := &s.score
 	block := scratch.cols
 	openV := mch.Splat8(int8(clampI32(opt.Gaps.Open, 127)))
 	extV := mch.Splat8(int8(clampI32(opt.Gaps.Extend, 127)))
 	zeroV := mch.Zero8()
 	negV := mch.Splat8(negInf8)
 
-	hRow, fRow := st.hRow, st.fRow
+	hRow, fRow := s.state.hRow, s.state.fRow
 	// Per-row carries across block boundaries.
-	eCarry := make([]vek.I8x32, m)
-	hLeftCarry := make([]vek.I8x32, m)
-	hDiagCarry := make([]vek.I8x32, m)
+	eCarry, hLeftCarry, hDiagCarry := s.carryBufs(m)
 	for i := range eCarry {
 		eCarry[i] = negV
 	}
@@ -251,26 +272,15 @@ func runBatch8Affine(mch vek.Machine, query []uint8, tables *submat.CodeTables, 
 	finishBatch(mch, batch, vMax, res)
 }
 
-func alignBatch8Linear(mch vek.Machine, query []uint8, tables *submat.CodeTables, batch *seqio.Batch, t8 []int8, opt *BatchOptions, res *BatchResult) {
-	n := batch.MaxLen
-	block := opt.BlockCols
-	if block <= 0 || block > n {
-		block = n
-	}
-	scratch := newBatchScratch(block, query)
-	st := newBatchState(n)
-	runBatch8Linear(mch, query, tables, batch, t8, opt, scratch, st, res)
-}
-
-func runBatch8Linear(mch vek.Machine, query []uint8, tables *submat.CodeTables, batch *seqio.Batch, t8 []int8, opt *BatchOptions, scratch *batchScratch, st *batchState, res *BatchResult) {
+func runBatch8Linear(mch vek.Machine, query []uint8, tables *submat.CodeTables, batch *seqio.Batch, t8 []int8, opt *BatchOptions, s *Scratch, res *BatchResult) {
 	m, n := len(query), batch.MaxLen
+	scratch := &s.score
 	block := scratch.cols
 	extV := mch.Splat8(int8(clampI32(opt.Gaps.Extend, 127)))
 	zeroV := mch.Zero8()
 
-	hRow := st.hRow
-	hLeftCarry := make([]vek.I8x32, m)
-	hDiagCarry := make([]vek.I8x32, m)
+	hRow := s.state.hRow
+	_, hLeftCarry, hDiagCarry := s.carryBufs(m)
 	mch.T.Add(vek.OpScalarStore, vek.W256, uint64(m))
 
 	vMax := zeroV
@@ -337,37 +347,41 @@ func AlignBatch8Multi(mch vek.Machine, queries [][]uint8, tables *submat.CodeTab
 	if opt.Gaps.Open > 127 {
 		return nil, fmt.Errorf("core: gap open %d exceeds the 8-bit range", opt.Gaps.Open)
 	}
-	t8 := codesAsInt8(batch.T)
+	s := opt.Scratch
+	if s == nil {
+		s = &Scratch{}
+	}
+	t8 := s.codes(batch.T)
 	out := make([]BatchResult, len(queries))
 	n := batch.MaxLen
+	affine := !opt.Gaps.IsLinear()
+	run := func(q []uint8, res *BatchResult) {
+		if affine {
+			runBatch8Affine(mch, q, tables, batch, t8, &opt, s, res)
+		} else {
+			runBatch8Linear(mch, q, tables, batch, t8, &opt, s, res)
+		}
+	}
 	if opt.BlockCols > 0 && opt.BlockCols < n {
-		// Blocked traversal invalidates the scratch per block, so only
-		// the t8 conversion and the state buffers are shared.
-		st := newBatchState(n)
+		// Blocked traversal invalidates the score scratch per block, so
+		// only the t8 conversion and the state buffers are shared.
+		s.state.ensure(mch, n, affine)
 		for qi, q := range queries {
-			scratch := newBatchScratch(opt.BlockCols, q)
+			s.score.prepare(opt.BlockCols, q)
 			if qi > 0 {
-				st.reset(mch, !opt.Gaps.IsLinear())
+				s.state.reset(mch, affine)
 			}
-			if opt.Gaps.IsLinear() {
-				runBatch8Linear(mch, q, tables, batch, t8, &opt, scratch, st, &out[qi])
-			} else {
-				runBatch8Affine(mch, q, tables, batch, t8, &opt, scratch, st, &out[qi])
-			}
+			run(q, &out[qi])
 		}
 		return out, nil
 	}
-	scratch := newBatchScratch(n, queries...)
-	st := newBatchState(n)
+	s.score.prepare(n, queries...)
+	s.state.ensure(mch, n, affine)
 	for qi, q := range queries {
 		if qi > 0 {
-			st.reset(mch, !opt.Gaps.IsLinear())
+			s.state.reset(mch, affine)
 		}
-		if opt.Gaps.IsLinear() {
-			runBatch8Linear(mch, q, tables, batch, t8, &opt, scratch, st, &out[qi])
-		} else {
-			runBatch8Affine(mch, q, tables, batch, t8, &opt, scratch, st, &out[qi])
-		}
+		run(q, &out[qi])
 	}
 	return out, nil
 }

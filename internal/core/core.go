@@ -55,6 +55,10 @@ type PairOptions struct {
 	// after every vector instead of deferring per-lane maxima to the
 	// end of the alignment.
 	EagerMax bool
+	// Scratch supplies reusable working buffers owned by the calling
+	// worker (currently used by the 32-bit kernel, the search
+	// pipeline's final escalation tier); nil allocates per call.
+	Scratch *Scratch
 }
 
 // DefaultScalarThreshold is the segment length below which the kernels

@@ -25,23 +25,24 @@ func AlignPair32(mch vek.Machine, q, dseq []uint8, mat *submat.Matrix, opt PairO
 	}
 	m, n := len(q), len(dseq)
 	slack := lanes32 + 2
-	mk := func(fill int32) []int32 {
-		b := make([]int32, m+2+slack)
-		if fill != 0 {
-			for i := range b {
-				b[i] = fill
-			}
-		}
-		return b
+	var local pair32Scratch
+	ps := &local
+	if opt.Scratch != nil {
+		ps = &opt.Scratch.pair32
 	}
-	hPrev2, hPrev, hCur := mk(0), mk(0), mk(0)
-	ePrev, eCur := mk(negInf32), mk(negInf32)
-	fPrev, fCur := mk(negInf32), mk(negInf32)
-	qMul := make([]int32, m+slack)
+	size := m + 2 + slack
+	hPrev2 := buf32(&ps.h[0], size, 0)
+	hPrev := buf32(&ps.h[1], size, 0)
+	hCur := buf32(&ps.h[2], size, 0)
+	ePrev := buf32(&ps.e[0], size, negInf32)
+	eCur := buf32(&ps.e[1], size, negInf32)
+	fPrev := buf32(&ps.f[0], size, negInf32)
+	fCur := buf32(&ps.f[1], size, negInf32)
+	qMul := buf32(&ps.qMul, m+slack, 0)
 	for i, c := range q {
 		qMul[i] = int32(c) * submat.W
 	}
-	dRev := make([]int32, n+slack)
+	dRev := buf32(&ps.dRev, n+slack, 0)
 	for t := 0; t < n; t++ {
 		dRev[t] = int32(dseq[n-1-t])
 	}

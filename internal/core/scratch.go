@@ -1,0 +1,117 @@
+package core
+
+import (
+	"swvec/internal/vek"
+)
+
+// A Scratch holds the reusable working buffers of the batch engines
+// and the 32-bit pair kernel: the transposed-residue int8 conversion,
+// the DP column state, the per-row block carries, the §III-C per-code
+// score rows, and the 32-bit kernel's diagonal buffers. One Scratch
+// belongs to one worker goroutine — it is not safe for concurrent use —
+// and threading it through BatchOptions.Scratch / PairOptions.Scratch
+// makes the steady-state search hot path allocation-free: every buffer
+// grows to the largest size seen and is then reused verbatim.
+//
+// A nil Scratch keeps the allocate-per-call behavior, so the zero
+// options remain valid.
+type Scratch struct {
+	// t8 holds the batch's transposed residue matrix as int8 lanes.
+	t8 []int8
+	// state is the 8-bit engine's column state (H and F rows).
+	state batchState
+	// score is the per-code substitution score cache of §III-C.
+	score batchScratch
+	// eCarry/hLeftCarry/hDiagCarry are the 8-bit engine's per-query-row
+	// carries across column blocks.
+	eCarry, hLeftCarry, hDiagCarry []vek.I8x32
+	// hRow16/fRow16 are the 16-bit batch engine's column state.
+	hRow16, fRow16 []int16
+	// pair32 holds the 32-bit pair kernel's diagonal buffers.
+	pair32 pair32Scratch
+}
+
+// NewScratch returns an empty scratch whose buffers grow on first use
+// and are retained across calls.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// codes reinterprets the batch's residue codes (0..31) as int8 lanes,
+// reusing the scratch buffer. A nil scratch allocates.
+func (s *Scratch) codes(t []uint8) []int8 {
+	if s == nil {
+		return codesAsInt8(t)
+	}
+	if cap(s.t8) < len(t) {
+		s.t8 = make([]int8, len(t))
+	}
+	s.t8 = s.t8[:len(t)]
+	for i, c := range t {
+		s.t8[i] = int8(c)
+	}
+	return s.t8
+}
+
+// carryBufs returns the three per-query-row carry buffers for a query
+// of length m, with the H carries zeroed; the caller initializes the E
+// carries to its -inf value.
+func (s *Scratch) carryBufs(m int) (e, left, diag []vek.I8x32) {
+	if cap(s.eCarry) < m {
+		s.eCarry = make([]vek.I8x32, m)
+		s.hLeftCarry = make([]vek.I8x32, m)
+		s.hDiagCarry = make([]vek.I8x32, m)
+	}
+	e = s.eCarry[:m]
+	left = s.hLeftCarry[:m]
+	diag = s.hDiagCarry[:m]
+	var zero vek.I8x32
+	for i := 0; i < m; i++ {
+		left[i] = zero
+		diag[i] = zero
+	}
+	return e, left, diag
+}
+
+// rows16 returns the 16-bit engine's column-state rows for a batch of
+// MaxLen n, zero-initialized (H) and -inf-initialized (F, affine only).
+func (s *Scratch) rows16(n int, linear bool) (h, f []int16) {
+	need := n * lanes8
+	if cap(s.hRow16) < need {
+		s.hRow16 = make([]int16, need)
+		s.fRow16 = make([]int16, need)
+	} else {
+		s.hRow16 = s.hRow16[:need]
+		s.fRow16 = s.fRow16[:need]
+		for i := range s.hRow16 {
+			s.hRow16[i] = 0
+		}
+	}
+	if !linear {
+		for i := range s.fRow16 {
+			s.fRow16[i] = negInf16
+		}
+	}
+	return s.hRow16, s.fRow16
+}
+
+// pair32Scratch bundles the 32-bit pair kernel's rolling diagonal
+// buffers and index vectors so the stage-3 rescue loop reuses them.
+type pair32Scratch struct {
+	h    [3][]int32
+	e, f [2][]int32
+	qMul []int32
+	dRev []int32
+}
+
+// buf32 returns *p resized to n entries, every entry set to fill.
+func buf32(p *[]int32, n int, fill int32) []int32 {
+	b := *p
+	if cap(b) < n {
+		b = make([]int32, n)
+	}
+	b = b[:n]
+	for i := range b {
+		b[i] = fill
+	}
+	*p = b
+	return b
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"testing"
+
+	"swvec/internal/aln"
+	"swvec/internal/seqio"
+	"swvec/internal/submat"
+	"swvec/internal/vek"
+)
+
+// scratchWorkload builds a few batches of assorted shapes plus queries
+// of different lengths, so a shared scratch is exercised across
+// growing and shrinking buffer demands.
+func scratchWorkload(t *testing.T) ([]*seqio.Batch, [][]uint8, *submat.Matrix, *submat.CodeTables) {
+	t.Helper()
+	mat := submat.Blosum62()
+	g := seqio.NewGenerator(31)
+	db := g.Database(80)
+	batches := seqio.BuildBatches(db, mat.Alphabet(), seqio.BatchOptions{})
+	queries := [][]uint8{
+		g.Protein("q0", 200).Encode(mat.Alphabet()),
+		g.Protein("q1", 37).Encode(mat.Alphabet()),
+		g.Protein("q2", 350).Encode(mat.Alphabet()),
+	}
+	return batches, queries, mat, submat.NewCodeTables(mat)
+}
+
+func TestAlignBatch8ScratchReuse(t *testing.T) {
+	batches, queries, _, tables := scratchWorkload(t)
+	for _, opt := range []BatchOptions{
+		{Gaps: aln.DefaultGaps()},
+		{Gaps: aln.DefaultGaps(), BlockCols: 64},
+		{Gaps: aln.Linear(2)},
+	} {
+		shared := NewScratch()
+		for _, q := range queries {
+			for bi, b := range batches {
+				fresh, err := AlignBatch8(vek.Bare, q, tables, b, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				withScratch := opt
+				withScratch.Scratch = shared
+				got, err := AlignBatch8(vek.Bare, q, tables, b, withScratch)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != fresh {
+					t.Fatalf("opt %+v batch %d qlen %d: scratch reuse changed result", opt, bi, len(q))
+				}
+			}
+		}
+	}
+}
+
+func TestAlignBatch16ScratchReuse(t *testing.T) {
+	batches, queries, _, tables := scratchWorkload(t)
+	for _, gaps := range []aln.Gaps{aln.DefaultGaps(), aln.Linear(2)} {
+		shared := NewScratch()
+		for _, q := range queries {
+			for bi, b := range batches {
+				fresh, err := AlignBatch16(vek.Bare, q, tables, b, BatchOptions{Gaps: gaps})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := AlignBatch16(vek.Bare, q, tables, b, BatchOptions{Gaps: gaps, Scratch: shared})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != fresh {
+					t.Fatalf("gaps %+v batch %d qlen %d: scratch reuse changed result", gaps, bi, len(q))
+				}
+			}
+		}
+	}
+}
+
+func TestAlignPair32ScratchReuse(t *testing.T) {
+	mat := submat.Blosum62()
+	g := seqio.NewGenerator(32)
+	pairs := [][2][]uint8{
+		{g.Protein("a", 120).Encode(mat.Alphabet()), g.Protein("b", 400).Encode(mat.Alphabet())},
+		{g.Protein("c", 33).Encode(mat.Alphabet()), g.Protein("d", 61).Encode(mat.Alphabet())},
+		{g.Protein("e", 250).Encode(mat.Alphabet()), g.Protein("f", 90).Encode(mat.Alphabet())},
+	}
+	shared := NewScratch()
+	for i, p := range pairs {
+		fresh, err := AlignPair32(vek.Bare, p[0], p[1], mat, PairOptions{Gaps: aln.DefaultGaps()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := AlignPair32(vek.Bare, p[0], p[1], mat, PairOptions{Gaps: aln.DefaultGaps(), Scratch: shared})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Score != fresh.Score {
+			t.Fatalf("pair %d: scratch score %d != fresh %d", i, got.Score, fresh.Score)
+		}
+	}
+}
+
+func TestAlignBatch8MultiScratchReuse(t *testing.T) {
+	batches, queries, _, tables := scratchWorkload(t)
+	for _, opt := range []BatchOptions{
+		{Gaps: aln.DefaultGaps()},
+		{Gaps: aln.DefaultGaps(), BlockCols: 48},
+	} {
+		shared := NewScratch()
+		for bi, b := range batches {
+			fresh, err := AlignBatch8Multi(vek.Bare, queries, tables, b, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			withScratch := opt
+			withScratch.Scratch = shared
+			got, err := AlignBatch8Multi(vek.Bare, queries, tables, b, withScratch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for qi := range fresh {
+				if got[qi] != fresh[qi] {
+					t.Fatalf("opt %+v batch %d query %d: scratch reuse changed result", opt, bi, qi)
+				}
+			}
+		}
+	}
+}
+
+// TestAlignBatch8ScratchZeroAlloc verifies the tentpole acceptance
+// criterion at the kernel level: once the scratch is warm, the 8-bit
+// batch engine performs zero heap allocations per call.
+func TestAlignBatch8ScratchZeroAlloc(t *testing.T) {
+	batches, queries, _, tables := scratchWorkload(t)
+	scratch := NewScratch()
+	opt := BatchOptions{Gaps: aln.DefaultGaps(), Scratch: scratch}
+	warm := func() {
+		for _, q := range queries {
+			for _, b := range batches {
+				if _, err := AlignBatch8(vek.Bare, q, tables, b, opt); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	warm()
+	allocs := testing.AllocsPerRun(3, warm)
+	if allocs != 0 {
+		t.Fatalf("warm AlignBatch8 allocates %.1f times per sweep, want 0", allocs)
+	}
+}

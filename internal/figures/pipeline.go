@@ -1,0 +1,55 @@
+package figures
+
+import (
+	"fmt"
+	"runtime"
+
+	"swvec/internal/sched"
+	"swvec/internal/seqio"
+	"swvec/internal/stats"
+)
+
+// PipelineReport characterizes the streaming search pipeline on the
+// host clock (not the architecture model): wall GCUPS of the emulated
+// machine and the heap-allocation budget per transposed batch, at one
+// worker and at GOMAXPROCS. With the per-worker scratch arenas the
+// allocation column stays flat as the database grows — the steady
+// state recycles every batch buffer and DP row.
+func PipelineReport(cfg Config) *stats.Table {
+	w := newWorkload(cfg)
+	t := &stats.Table{
+		Title:   "Streaming search pipeline: wall-clock throughput and allocation budget",
+		Headers: []string{"threads", "sorted", "gcups_wall", "allocs_per_batch", "rescued"},
+		Note: fmt.Sprintf("emulated machine on the host clock; %d sequences in %d batches, query %d residues",
+			len(w.db), (len(w.db)+seqio.BatchLanes-1)/seqio.BatchLanes, len(w.encQ[len(w.encQ)-1])),
+	}
+	query := w.encQ[len(w.encQ)-1]
+	nbatches := (len(w.db) + seqio.BatchLanes - 1) / seqio.BatchLanes
+	threadSet := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		threadSet = append(threadSet, n)
+	}
+	for _, nw := range threadSet {
+		for _, sorted := range []bool{false, true} {
+			opt := sched.Options{Gaps: w.gaps, Threads: nw, SortByLength: sorted}
+			// Warm-up run so one-time allocations (code tables, hit
+			// slices sized to the database) don't pollute the delta.
+			if _, err := sched.Search(query, w.db, w.mat, opt); err != nil {
+				panic(fmt.Sprintf("figures: pipeline warm-up: %v", err))
+			}
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			res, err := sched.Search(query, w.db, w.mat, opt)
+			if err != nil {
+				panic(fmt.Sprintf("figures: pipeline search: %v", err))
+			}
+			runtime.ReadMemStats(&after)
+			perBatch := float64(after.Mallocs-before.Mallocs) / float64(nbatches)
+			t.AddRow(nw, sorted,
+				fmt.Sprintf("%.3f", res.GCUPS()),
+				fmt.Sprintf("%.1f", perBatch),
+				res.Rescued)
+		}
+	}
+	return t
+}

@@ -38,7 +38,9 @@ func (r *MultiResult) GCUPS() float64 {
 // computing). The work unit is a (query, batch) pair, so a batch's
 // transposed layout and score scratch are reused across queries — the
 // data-reuse advantage the paper credits for the scenario's
-// efficiency.
+// efficiency. Each (query, sequence) cell of the score matrix belongs
+// to exactly one batch, so workers write scores without a lock; only
+// error capture and tally merging synchronize.
 func MultiSearch(queries [][]uint8, db []seqio.Sequence, mat *submat.Matrix, opt Options) (*MultiResult, error) {
 	if len(queries) == 0 {
 		return nil, fmt.Errorf("sched: no queries")
@@ -92,9 +94,12 @@ func MultiSearch(queries [][]uint8, db []seqio.Sequence, mat *submat.Matrix, opt
 			if opt.Instrument {
 				mch, tal = vek.NewMachine()
 			}
+			scratch := core.NewScratch()
+			var enc []uint8
+			localRescued := 0
 			for batch := range work {
 				brs, err := core.AlignBatch8Multi(mch, queries, tables, batch,
-					core.BatchOptions{Gaps: opt.Gaps, BlockCols: opt.BlockCols})
+					core.BatchOptions{Gaps: opt.Gaps, BlockCols: opt.BlockCols, Scratch: scratch})
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {
@@ -107,29 +112,24 @@ func MultiSearch(queries [][]uint8, db []seqio.Sequence, mat *submat.Matrix, opt
 					for lane := 0; lane < batch.Count; lane++ {
 						si := batch.Index[lane]
 						score := brs[qi].Scores[lane]
-						wasRescued := false
 						if brs[qi].Saturated[lane] {
-							d := db[si].Encode(alpha)
-							pr, _, err := core.AlignPair16(mch, queries[qi], d, mat, core.PairOptions{Gaps: opt.Gaps})
+							enc = alpha.EncodeTo(enc, db[si].Residues)
+							pr, _, err := core.AlignPair16(mch, queries[qi], enc, mat, core.PairOptions{Gaps: opt.Gaps})
 							if err == nil {
 								score = pr.Score
-								wasRescued = true
+								localRescued++
 							}
 						}
-						mu.Lock()
 						res.Scores[qi][si] = score
-						if wasRescued {
-							rescued++
-						}
-						mu.Unlock()
 					}
 				}
 			}
+			mu.Lock()
+			rescued += localRescued
 			if tal != nil {
-				mu.Lock()
 				merged.Merge(tal)
-				mu.Unlock()
 			}
+			mu.Unlock()
 		}()
 	}
 	for _, b := range batches {

@@ -4,16 +4,21 @@
 // a centralized server, and SW as a small-scale subroutine. Workers
 // carry their own vector-machine tallies, which are merged for the
 // performance model.
+//
+// Scenario 1 runs as a streaming pipeline: a producer transposes
+// database batches on demand, one shared worker pool drains the 8-bit,
+// 16-bit, and 32-bit stages concurrently, and saturated lanes are
+// regrouped and rescued in flight instead of behind global barriers.
 package sched
 
 import (
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 	"time"
 
 	"swvec/internal/aln"
+	"swvec/internal/alphabet"
 	"swvec/internal/core"
 	"swvec/internal/seqio"
 	"swvec/internal/submat"
@@ -33,6 +38,11 @@ type Options struct {
 	// Instrument merges per-worker operation tallies into the result
 	// for the performance model. Slightly slows the real kernels.
 	Instrument bool
+	// PipelineDepth is the number of batches buffered between the
+	// streaming producer and the worker pool (0 = twice the worker
+	// count). Deeper queues smooth uneven batch costs at the price of
+	// more transposed batches in flight.
+	PipelineDepth int
 }
 
 func (o *Options) threads() int {
@@ -40,6 +50,13 @@ func (o *Options) threads() int {
 		return o.Threads
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+func (o *Options) depth(nw int) int {
+	if o.PipelineDepth > 0 {
+		return o.PipelineDepth
+	}
+	return 2 * nw
 }
 
 // Hit is one database sequence's result.
@@ -56,10 +73,13 @@ type Hit struct {
 type Result struct {
 	// Hits holds one entry per database sequence, in database order.
 	Hits []Hit
-	// Cells is the number of real DP cells (padding excluded).
+	// Cells is the number of real DP cells across every stage the
+	// pipeline ran — 8-bit, 16-bit rescue, and 32-bit escalation —
+	// with padding excluded, so GCUPS reflects the actual work.
 	Cells int64
-	// Elapsed is the wall-clock alignment time (batch preprocessing,
-	// which the paper performs offline, is excluded).
+	// Elapsed is the wall-clock alignment time (batch preprocessing
+	// streams inside the pipeline; the eager offline variant the paper
+	// measures separately is BuildBatches).
 	Elapsed time.Duration
 	// Rescued counts 8-bit saturations escalated to 16 bits.
 	Rescued int
@@ -78,24 +98,28 @@ func (r *Result) GCUPS() float64 {
 	return float64(r.Cells) / s / 1e9
 }
 
-// TopHits returns the n best hits, ties broken by database order.
-func (r *Result) TopHits(n int) []Hit {
-	hits := make([]Hit, len(r.Hits))
-	copy(hits, r.Hits)
-	sort.SliceStable(hits, func(a, b int) bool { return hits[a].Score > hits[b].Score })
-	if n > len(hits) {
-		n = len(hits)
-	}
-	return hits[:n]
-}
-
-// Search aligns one query against every database sequence (Scenario
-// 1) with the staged variable-bitwidth pipeline: the database streams
-// through the 8-bit batch engine across the worker pool; sequences
-// whose scores saturate are regrouped into fresh batches and rescored
-// by the 16-bit batch engine; anything still saturated (scores beyond
-// 32767) finishes on the 32-bit pair kernel. Every stage stays
-// vectorized — the production shape of variable 8/16-bit width.
+// Search aligns one query against every database sequence (Scenario 1)
+// with the staged variable-bitwidth pipeline, restructured as a single
+// streaming dataflow:
+//
+//	producer ──work8──▶ ┌─────────────┐ ──▶ Hits (direct writes)
+//	                    │             │
+//	     sat8 ◀─────────│ worker pool │
+//	      │             │  (shared by │
+//	grouper ──work16──▶ │ all stages) │ ──▶ Hits
+//	     sat16 ◀────────│             │
+//	      │             │             │
+//	dispatch ──work32─▶ └─────────────┘ ──▶ Hits
+//
+// The producer transposes 32-lane batches on demand (a large database
+// never materializes all batches at once) and recycles batch buffers
+// returned by the workers. Sequences whose 8-bit scores saturate are
+// regrouped into fresh 16-bit batches and rescored by the same worker
+// pool while the 8-bit stage is still streaming; anything beyond int16
+// finishes on the 32-bit pair kernel, also on the pool. Every database
+// index is written by exactly one lane per stage and each cross-stage
+// handoff flows through a channel, so Hits needs no lock: the channel
+// edges order the 8-bit write of an index before its rescue rewrite.
 func Search(query []uint8, db []seqio.Sequence, mat *submat.Matrix, opt Options) (*Result, error) {
 	if len(query) == 0 {
 		return nil, fmt.Errorf("sched: empty query")
@@ -106,134 +130,294 @@ func Search(query []uint8, db []seqio.Sequence, mat *submat.Matrix, opt Options)
 	if err := opt.Gaps.Validate(); err != nil {
 		return nil, err
 	}
-	alpha := mat.Alphabet()
-	batches := seqio.BuildBatches(db, alpha, seqio.BatchOptions{SortByLength: opt.SortByLength})
-	tables := submat.NewCodeTables(mat)
 
 	res := &Result{Hits: make([]Hit, len(db))}
 	for i := range res.Hits {
 		res.Hits[i].SeqIndex = i
 	}
-	res.Cells = seqio.BatchedCells(batches, len(query))
 
-	var mu sync.Mutex
-	var firstErr error
-	merged := &vek.Tally{}
-	setErr := func(err error) {
-		mu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		mu.Unlock()
+	nbatches := (len(db) + seqio.BatchLanes - 1) / seqio.BatchLanes
+	nw := opt.threads()
+	if nw > nbatches {
+		nw = nbatches
 	}
+	if nw < 1 {
+		nw = 1
+	}
+	depth := opt.depth(nw)
 
-	// runStage streams batches through one engine across the pool and
-	// returns the database indices of saturated lanes.
-	runStage := func(stage []*seqio.Batch, align func(vek.Machine, *seqio.Batch) (core.BatchResult, error), markRescued bool) []int {
-		nw := opt.threads()
-		if nw > len(stage) {
-			nw = len(stage)
-		}
-		if nw < 1 {
-			nw = 1
-		}
-		work := make(chan *seqio.Batch, nw)
-		var saturated []int
-		var wg sync.WaitGroup
-		for w := 0; w < nw; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				mch := vek.Bare
-				var tal *vek.Tally
-				if opt.Instrument {
-					mch, tal = vek.NewMachine()
-				}
-				for batch := range work {
-					br, err := align(mch, batch)
-					if err != nil {
-						setErr(err)
-						continue
-					}
-					mu.Lock()
-					for lane := 0; lane < batch.Count; lane++ {
-						si := batch.Index[lane]
-						res.Hits[si].Score = br.Scores[lane]
-						res.Hits[si].Rescued = markRescued
-						if br.Saturated[lane] {
-							saturated = append(saturated, si)
-						}
-					}
-					mu.Unlock()
-				}
-				if tal != nil {
-					mu.Lock()
-					merged.Merge(tal)
-					mu.Unlock()
-				}
-			}()
-		}
-		for _, b := range stage {
-			work <- b
-		}
-		close(work)
-		wg.Wait()
-		return saturated
+	alpha := mat.Alphabet()
+	p := &pipeline{
+		query:  query,
+		db:     db,
+		alpha:  alpha,
+		mat:    mat,
+		tables: submat.NewCodeTables(mat),
+		opt:    &opt,
+		res:    res,
+		stream: seqio.NewBatchStream(db, alpha, seqio.BatchOptions{SortByLength: opt.SortByLength}),
+		work8:  make(chan *seqio.Batch, depth),
+		sat8:   make(chan int, depth),
+		work16: make(chan *seqio.Batch, depth),
+		sat16:  make(chan int, depth),
+		work32: make(chan int, depth),
+		tally:  &vek.Tally{},
 	}
 
 	start := time.Now()
-	// Stage 1: 8-bit batch engine over the whole database.
-	sat8 := runStage(batches, func(mch vek.Machine, b *seqio.Batch) (core.BatchResult, error) {
-		return core.AlignBatch8(mch, query, tables, b, core.BatchOptions{Gaps: opt.Gaps, BlockCols: opt.BlockCols})
-	}, false)
-
-	// Stage 2: regroup the saturated sequences and rescore at 16 bits.
-	var sat16 []int
-	if len(sat8) > 0 && firstErr == nil {
-		sub := make([]seqio.Sequence, len(sat8))
-		for k, si := range sat8 {
-			sub[k] = db[si]
-		}
-		subBatches := seqio.BuildBatches(sub, alpha, seqio.BatchOptions{SortByLength: opt.SortByLength})
-		// Remap sub-batch indices back to database indices.
-		for _, b := range subBatches {
-			for lane := 0; lane < b.Count; lane++ {
-				b.Index[lane] = sat8[b.Index[lane]]
-			}
-		}
-		sat16 = runStage(subBatches, func(mch vek.Machine, b *seqio.Batch) (core.BatchResult, error) {
-			return core.AlignBatch16(mch, query, tables, b, core.BatchOptions{Gaps: opt.Gaps})
-		}, true)
-		res.Rescued = len(sat8)
+	go p.produce()
+	go p.groupRescues()
+	go p.dispatch32()
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.worker()
+		}()
 	}
-
-	// Stage 3: the 32-bit pair kernel for anything beyond int16.
-	if len(sat16) > 0 && firstErr == nil {
-		mch := vek.Bare
-		var tal *vek.Tally
-		if opt.Instrument {
-			mch, tal = vek.NewMachine()
-		}
-		for _, si := range sat16 {
-			d := db[si].Encode(alpha)
-			pr, err := core.AlignPair32(mch, query, d, mat, core.PairOptions{Gaps: opt.Gaps})
-			if err != nil {
-				setErr(err)
-				break
-			}
-			res.Hits[si].Score = pr.Score
-			res.Hits[si].Rescued = true
-		}
-		if tal != nil {
-			merged.Merge(tal)
-		}
-	}
+	wg.Wait()
 	res.Elapsed = time.Since(start)
+	res.Rescued = p.rescued
 	if opt.Instrument {
-		res.Tally = merged
+		res.Tally = p.tally
 	}
-	if firstErr != nil {
-		return nil, firstErr
+	if p.err != nil {
+		return nil, p.err
 	}
 	return res, nil
+}
+
+// pipeline carries the streaming search dataflow state. The three
+// coordinator goroutines (produce, groupRescues, dispatch32) feed one
+// shared worker pool; see Search for the shape.
+type pipeline struct {
+	query  []uint8
+	db     []seqio.Sequence
+	alpha  *alphabet.Alphabet
+	mat    *submat.Matrix
+	tables *submat.CodeTables
+	opt    *Options
+	res    *Result
+	stream *seqio.BatchStream
+
+	// work8/work16/work32 carry stage jobs to the pool; sat8/sat16
+	// carry saturated database indices to the next stage's feeder.
+	work8  chan *seqio.Batch
+	sat8   chan int
+	work16 chan *seqio.Batch
+	sat16  chan int
+	work32 chan int
+
+	// wg8/wg16 count outstanding stage-1/stage-2 jobs so the feeders
+	// know when no further saturations can arrive.
+	wg8, wg16 sync.WaitGroup
+
+	// rescued is written only by groupRescues, which finishes before
+	// any worker can exit, so Search reads it without a lock.
+	rescued int
+
+	mu    sync.Mutex
+	err   error
+	tally *vek.Tally
+}
+
+// produce streams transposed batches into the 8-bit stage, then closes
+// the saturation channel once every stage-1 job has fully retired (all
+// wg8.Add calls precede the close of work8, so the Wait is safe).
+func (p *pipeline) produce() {
+	for b := p.stream.Next(); b != nil; b = p.stream.Next() {
+		p.wg8.Add(1)
+		p.work8 <- b
+	}
+	close(p.work8)
+	p.wg8.Wait()
+	close(p.sat8)
+}
+
+// groupRescues regroups saturated 8-bit lanes into fresh 16-bit
+// batches in flight. It keeps finished rescue batches in a local queue
+// and never blocks on work16 while sat8 is open: the worker pool both
+// produces saturations and consumes rescue batches, so an unbuffered
+// handoff here could deadlock the pool against itself.
+func (p *pipeline) groupRescues() {
+	group := make([]int, 0, seqio.BatchLanes)
+	var pending []*seqio.Batch
+	in := p.sat8
+	for in != nil || len(pending) > 0 {
+		var out chan *seqio.Batch
+		var head *seqio.Batch
+		if len(pending) > 0 {
+			out = p.work16
+			head = pending[0]
+		}
+		select {
+		case si, ok := <-in:
+			if !ok {
+				in = nil
+				if len(group) > 0 {
+					pending = append(pending, p.rescueBatch(group))
+					group = group[:0]
+				}
+				continue
+			}
+			group = append(group, si)
+			if len(group) == seqio.BatchLanes {
+				pending = append(pending, p.rescueBatch(group))
+				group = group[:0]
+			}
+		case out <- head:
+			pending[0] = nil
+			pending = pending[1:]
+		}
+	}
+	close(p.work16)
+	p.wg16.Wait()
+	close(p.sat16)
+}
+
+func (p *pipeline) rescueBatch(members []int) *seqio.Batch {
+	p.rescued += len(members)
+	p.wg16.Add(1)
+	return seqio.MakeBatch(p.db, members, p.alpha)
+}
+
+// dispatch32 forwards 16-bit saturations to the 32-bit stage through a
+// local queue, for the same no-blocking reason as groupRescues.
+func (p *pipeline) dispatch32() {
+	var pending []int
+	in := p.sat16
+	for in != nil || len(pending) > 0 {
+		var out chan int
+		var head int
+		if len(pending) > 0 {
+			out = p.work32
+			head = pending[0]
+		}
+		select {
+		case si, ok := <-in:
+			if !ok {
+				in = nil
+				continue
+			}
+			pending = append(pending, si)
+		case out <- head:
+			pending = pending[1:]
+		}
+	}
+	close(p.work32)
+}
+
+// worker drains all three stages until every channel is closed. Each
+// worker owns its vector machine, tally, scratch arena, and encode
+// buffer; per-worker cell counts and tallies merge once at exit.
+func (p *pipeline) worker() {
+	mch := vek.Bare
+	var tal *vek.Tally
+	if p.opt.Instrument {
+		mch, tal = vek.NewMachine()
+	}
+	scratch := core.NewScratch()
+	var cells int64
+	var enc []uint8
+	w8, w16, w32 := p.work8, p.work16, p.work32
+	for w8 != nil || w16 != nil || w32 != nil {
+		select {
+		case b, ok := <-w8:
+			if !ok {
+				w8 = nil
+				continue
+			}
+			cells += p.run8(mch, scratch, b)
+			p.wg8.Done()
+		case b, ok := <-w16:
+			if !ok {
+				w16 = nil
+				continue
+			}
+			cells += p.run16(mch, scratch, b)
+			p.wg16.Done()
+		case si, ok := <-w32:
+			if !ok {
+				w32 = nil
+				continue
+			}
+			var n int64
+			enc, n = p.run32(mch, scratch, si, enc)
+			cells += n
+		}
+	}
+	p.mu.Lock()
+	p.res.Cells += cells
+	if tal != nil {
+		p.tally.Merge(tal)
+	}
+	p.mu.Unlock()
+}
+
+// run8 is stage 1: align the batch at 8 bits, write each lane's hit
+// (each database index is owned by exactly one lane), hand saturated
+// lanes to the rescue queue, and recycle the batch buffer.
+func (p *pipeline) run8(mch vek.Machine, s *core.Scratch, b *seqio.Batch) int64 {
+	br, err := core.AlignBatch8(mch, p.query, p.tables, b,
+		core.BatchOptions{Gaps: p.opt.Gaps, BlockCols: p.opt.BlockCols, Scratch: s})
+	if err != nil {
+		p.fail(err)
+		p.stream.Recycle(b)
+		return 0
+	}
+	cells := b.Cells(len(p.query))
+	for lane := 0; lane < b.Count; lane++ {
+		si := b.Index[lane]
+		p.res.Hits[si].Score = br.Scores[lane]
+		if br.Saturated[lane] {
+			p.sat8 <- si
+		}
+	}
+	p.stream.Recycle(b)
+	return cells
+}
+
+// run16 is the in-flight rescue: rescore a regrouped batch at 16 bits
+// and forward anything still saturated to the 32-bit stage.
+func (p *pipeline) run16(mch vek.Machine, s *core.Scratch, b *seqio.Batch) int64 {
+	br, err := core.AlignBatch16(mch, p.query, p.tables, b,
+		core.BatchOptions{Gaps: p.opt.Gaps, Scratch: s})
+	if err != nil {
+		p.fail(err)
+		return 0
+	}
+	cells := b.Cells(len(p.query))
+	for lane := 0; lane < b.Count; lane++ {
+		si := b.Index[lane]
+		p.res.Hits[si].Score = br.Scores[lane]
+		p.res.Hits[si].Rescued = true
+		if br.Saturated[lane] {
+			p.sat16 <- si
+		}
+	}
+	return cells
+}
+
+// run32 is the final escalation tier: one 32-bit pair alignment per
+// still-saturated sequence, parallel across the pool.
+func (p *pipeline) run32(mch vek.Machine, s *core.Scratch, si int, enc []uint8) ([]uint8, int64) {
+	enc = p.alpha.EncodeTo(enc, p.db[si].Residues)
+	pr, err := core.AlignPair32(mch, p.query, enc, p.mat,
+		core.PairOptions{Gaps: p.opt.Gaps, Scratch: s})
+	if err != nil {
+		p.fail(err)
+		return enc, 0
+	}
+	p.res.Hits[si].Score = pr.Score
+	p.res.Hits[si].Rescued = true
+	return enc, int64(len(p.query)) * int64(len(enc))
+}
+
+func (p *pipeline) fail(err error) {
+	p.mu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.mu.Unlock()
 }

@@ -1,0 +1,67 @@
+package sched
+
+import "sort"
+
+// TopHits returns the n best hits, ranked by score with ties broken by
+// database order (lower SeqIndex first), matching a stable
+// score-descending sort of Hits. It selects with a bounded min-heap in
+// O(len(Hits)·log n) and copies only the selected hits, instead of
+// copying and fully sorting the hit list. n larger than the hit count
+// is clamped; n <= 0 yields an empty slice.
+func (r *Result) TopHits(n int) []Hit {
+	if n > len(r.Hits) {
+		n = len(r.Hits)
+	}
+	if n <= 0 {
+		return []Hit{}
+	}
+	// worse reports whether a ranks strictly below b. SeqIndex values
+	// are unique, so this is a strict total order.
+	worse := func(a, b Hit) bool {
+		if a.Score != b.Score {
+			return a.Score < b.Score
+		}
+		return a.SeqIndex > b.SeqIndex
+	}
+	// Min-heap of the best n seen so far, worst at the root.
+	heap := make([]Hit, 0, n)
+	siftUp := func(i int) {
+		for i > 0 {
+			parent := (i - 1) / 2
+			if !worse(heap[i], heap[parent]) {
+				return
+			}
+			heap[i], heap[parent] = heap[parent], heap[i]
+			i = parent
+		}
+	}
+	siftDown := func(i int) {
+		for {
+			l, rt, worst := 2*i+1, 2*i+2, i
+			if l < len(heap) && worse(heap[l], heap[worst]) {
+				worst = l
+			}
+			if rt < len(heap) && worse(heap[rt], heap[worst]) {
+				worst = rt
+			}
+			if worst == i {
+				return
+			}
+			heap[i], heap[worst] = heap[worst], heap[i]
+			i = worst
+		}
+	}
+	for _, h := range r.Hits {
+		if len(heap) < n {
+			heap = append(heap, h)
+			siftUp(len(heap) - 1)
+			continue
+		}
+		if worse(heap[0], h) {
+			heap[0] = h
+			siftDown(0)
+		}
+	}
+	sort.Slice(heap, func(a, b int) bool { return worse(heap[b], heap[a]) })
+	return heap
+}

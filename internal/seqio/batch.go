@@ -1,8 +1,6 @@
 package seqio
 
 import (
-	"sort"
-
 	"swvec/internal/alphabet"
 )
 
@@ -57,47 +55,14 @@ type BatchOptions struct {
 	SortByLength bool
 }
 
-// BuildBatches reorganizes the database into transposed batches. This
-// is the "done once, offline" preprocessing step of §III-C. The
-// returned batches reference sequence positions in seqs via Index.
+// BuildBatches reorganizes the entire database into transposed batches
+// eagerly. It is the materialized form of BatchStream, kept for tests,
+// tools, and workloads small enough to hold every batch at once; the
+// search pipeline streams instead.
 func BuildBatches(seqs []Sequence, alpha *alphabet.Alphabet, opts BatchOptions) []*Batch {
-	order := make([]int, len(seqs))
-	for i := range order {
-		order[i] = i
-	}
-	if opts.SortByLength {
-		sort.SliceStable(order, func(a, b int) bool {
-			return seqs[order[a]].Len() < seqs[order[b]].Len()
-		})
-	}
+	s := NewBatchStream(seqs, alpha, opts)
 	var batches []*Batch
-	for start := 0; start < len(order); start += BatchLanes {
-		end := start + BatchLanes
-		if end > len(order) {
-			end = len(order)
-		}
-		members := order[start:end]
-		b := &Batch{Count: len(members)}
-		for lane := range b.Index {
-			b.Index[lane] = -1
-		}
-		for lane, si := range members {
-			b.Index[lane] = si
-			b.Lens[lane] = seqs[si].Len()
-			if seqs[si].Len() > b.MaxLen {
-				b.MaxLen = seqs[si].Len()
-			}
-		}
-		b.T = make([]uint8, b.MaxLen*BatchLanes)
-		for i := range b.T {
-			b.T[i] = alphabet.Sentinel
-		}
-		for lane, si := range members {
-			enc := seqs[si].Encode(alpha)
-			for j, code := range enc {
-				b.T[j*BatchLanes+lane] = code
-			}
-		}
+	for b := s.Next(); b != nil; b = s.Next() {
 		batches = append(batches, b)
 	}
 	return batches

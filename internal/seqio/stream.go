@@ -1,0 +1,135 @@
+package seqio
+
+import (
+	"sort"
+	"sync"
+
+	"swvec/internal/alphabet"
+)
+
+// A BatchStream produces transposed batches on demand, so a database
+// search never materializes every batch at once: the §III-C
+// preprocessing happens incrementally, one batch ahead of the kernels.
+// Length-sorted mode sorts an index permutation of the database, not a
+// copy of the sequences, and streams batches from that sorted index.
+//
+// Next must be called from a single goroutine (the pipeline producer);
+// Recycle is safe to call concurrently from consumers, which lets the
+// worker pool hand exhausted batch buffers back for reuse and keeps the
+// steady-state batch path allocation-free.
+type BatchStream struct {
+	seqs  []Sequence
+	order []int
+	alpha *alphabet.Alphabet
+	pos   int
+
+	mu   sync.Mutex
+	free []*Batch
+}
+
+// NewBatchStream prepares a stream over seqs. With SortByLength set it
+// sorts only an index permutation (stable, ascending length) and
+// streams batches in that order.
+func NewBatchStream(seqs []Sequence, alpha *alphabet.Alphabet, opts BatchOptions) *BatchStream {
+	order := make([]int, len(seqs))
+	for i := range order {
+		order[i] = i
+	}
+	if opts.SortByLength {
+		sort.SliceStable(order, func(a, b int) bool {
+			return seqs[order[a]].Len() < seqs[order[b]].Len()
+		})
+	}
+	return &BatchStream{seqs: seqs, order: order, alpha: alpha}
+}
+
+// Remaining returns the number of batches the stream has yet to
+// produce.
+func (s *BatchStream) Remaining() int {
+	return (len(s.order) - s.pos + BatchLanes - 1) / BatchLanes
+}
+
+// Next returns the next transposed batch, or nil when the database is
+// exhausted. The caller owns the batch until it passes it to Recycle.
+func (s *BatchStream) Next() *Batch {
+	if s.pos >= len(s.order) {
+		return nil
+	}
+	end := s.pos + BatchLanes
+	if end > len(s.order) {
+		end = len(s.order)
+	}
+	members := s.order[s.pos:end]
+	s.pos = end
+	b := s.take()
+	fillBatch(b, s.seqs, members, s.alpha)
+	return b
+}
+
+// take pops a recycled batch or allocates a fresh one.
+func (s *BatchStream) take() *Batch {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n := len(s.free); n > 0 {
+		b := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return b
+	}
+	return &Batch{}
+}
+
+// Recycle hands a batch buffer back to the stream for reuse. The
+// caller must not touch the batch afterwards.
+func (s *BatchStream) Recycle(b *Batch) {
+	if b == nil {
+		return
+	}
+	s.mu.Lock()
+	s.free = append(s.free, b)
+	s.mu.Unlock()
+}
+
+// MakeBatch builds one transposed batch whose lanes are the database
+// positions listed in members (at most BatchLanes entries). The rescue
+// stage of the streaming search pipeline uses it to regroup saturated
+// lanes in flight without copying sequences.
+func MakeBatch(seqs []Sequence, members []int, alpha *alphabet.Alphabet) *Batch {
+	b := &Batch{}
+	fillBatch(b, seqs, members, alpha)
+	return b
+}
+
+// fillBatch (re)initializes b to hold the sequences at positions
+// members of seqs, reusing b's transposed buffer when its capacity
+// suffices. Residues are encoded directly into the transposed layout.
+func fillBatch(b *Batch, seqs []Sequence, members []int, alpha *alphabet.Alphabet) {
+	b.Count = len(members)
+	b.MaxLen = 0
+	for lane := range b.Index {
+		b.Index[lane] = -1
+		b.Lens[lane] = 0
+	}
+	for lane, si := range members {
+		b.Index[lane] = si
+		b.Lens[lane] = seqs[si].Len()
+		if seqs[si].Len() > b.MaxLen {
+			b.MaxLen = seqs[si].Len()
+		}
+	}
+	need := b.MaxLen * BatchLanes
+	if cap(b.T) < need {
+		b.T = make([]uint8, need)
+	} else {
+		b.T = b.T[:need]
+	}
+	for i := range b.T {
+		b.T[i] = alphabet.Sentinel
+	}
+	for lane, si := range members {
+		res := seqs[si].Residues
+		for j := 0; j < len(res); j++ {
+			b.T[j*BatchLanes+lane] = alpha.Index(res[j])
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package seqio
+
+import (
+	"reflect"
+	"testing"
+
+	"swvec/internal/alphabet"
+)
+
+func collectStream(s *BatchStream) []*Batch {
+	var out []*Batch
+	for b := s.Next(); b != nil; b = s.Next() {
+		out = append(out, b)
+	}
+	return out
+}
+
+func TestBatchStreamMatchesBuildBatches(t *testing.T) {
+	alpha := alphabet.ProteinAlphabet()
+	g := NewGenerator(21)
+	db := g.Database(77)
+	for _, sorted := range []bool{false, true} {
+		opts := BatchOptions{SortByLength: sorted}
+		want := BuildBatches(db, alpha, opts)
+		got := collectStream(NewBatchStream(db, alpha, opts))
+		if len(got) != len(want) {
+			t.Fatalf("sorted=%v: %d batches, want %d", sorted, len(got), len(want))
+		}
+		for i := range want {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Fatalf("sorted=%v: batch %d differs", sorted, i)
+			}
+		}
+	}
+}
+
+func TestBatchStreamRemaining(t *testing.T) {
+	alpha := alphabet.ProteinAlphabet()
+	g := NewGenerator(22)
+	db := g.Database(BatchLanes*2 + 5)
+	s := NewBatchStream(db, alpha, BatchOptions{})
+	if s.Remaining() != 3 {
+		t.Fatalf("remaining = %d, want 3", s.Remaining())
+	}
+	s.Next()
+	if s.Remaining() != 2 {
+		t.Fatalf("after one batch remaining = %d, want 2", s.Remaining())
+	}
+	collectStream(s)
+	if s.Remaining() != 0 {
+		t.Fatalf("exhausted stream remaining = %d", s.Remaining())
+	}
+	if s.Next() != nil {
+		t.Fatal("exhausted stream returned a batch")
+	}
+}
+
+// TestBatchStreamRecycleAcrossSizes forces multiple batches through
+// one recycled buffer with shrinking MaxLen: the transposed slice must
+// be reused (no fresh allocation) yet shrink correctly, carrying no
+// stale lanes from the larger predecessor.
+func TestBatchStreamRecycleAcrossSizes(t *testing.T) {
+	alpha := alphabet.ProteinAlphabet()
+	g := NewGenerator(24)
+	db := make([]Sequence, 0, BatchLanes*3)
+	for i := 0; i < BatchLanes; i++ {
+		db = append(db, g.Protein("long", 200))
+	}
+	for i := 0; i < BatchLanes; i++ {
+		db = append(db, g.Protein("mid", 80))
+	}
+	for i := 0; i < BatchLanes; i++ {
+		db = append(db, g.Protein("short", 15))
+	}
+	want := BuildBatches(db, alpha, BatchOptions{})
+	s := NewBatchStream(db, alpha, BatchOptions{})
+	var prev *Batch
+	for i := 0; ; i++ {
+		b := s.Next()
+		if b == nil {
+			if i != len(want) {
+				t.Fatalf("stream produced %d batches, want %d", i, len(want))
+			}
+			break
+		}
+		if prev != nil && b != prev {
+			t.Fatalf("batch %d did not reuse the recycled batch", i)
+		}
+		if !reflect.DeepEqual(b, want[i]) {
+			t.Fatalf("recycled batch %d differs (maxlen %d vs %d, tlen %d vs %d)",
+				i, b.MaxLen, want[i].MaxLen, len(b.T), len(want[i].T))
+		}
+		prev = b
+		s.Recycle(b)
+	}
+}
+
+func TestMakeBatchSubset(t *testing.T) {
+	alpha := alphabet.ProteinAlphabet()
+	g := NewGenerator(25)
+	db := g.Database(50)
+	members := []int{3, 17, 42}
+	b := MakeBatch(db, members, alpha)
+	if b.Count != len(members) {
+		t.Fatalf("count = %d", b.Count)
+	}
+	for lane, si := range members {
+		if b.Index[lane] != si {
+			t.Fatalf("lane %d index = %d, want %d", lane, b.Index[lane], si)
+		}
+		if b.Lens[lane] != db[si].Len() {
+			t.Fatalf("lane %d len = %d, want %d", lane, b.Lens[lane], db[si].Len())
+		}
+		enc := db[si].Encode(alpha)
+		for j, code := range enc {
+			if b.T[j*BatchLanes+lane] != code {
+				t.Fatalf("lane %d residue %d = %d, want %d", lane, j, b.T[j*BatchLanes+lane], code)
+			}
+		}
+	}
+	for lane := len(members); lane < BatchLanes; lane++ {
+		if b.Index[lane] != -1 || b.Lens[lane] != 0 {
+			t.Fatalf("padding lane %d not cleared", lane)
+		}
+	}
+}

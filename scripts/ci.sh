@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 verification, static checks, and the
+# race-enabled pass over the concurrent packages. Mirrors `make ci`
+# for environments without make.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build =="
+go build ./...
+
+echo "== test =="
+go test ./...
+
+echo "== vet =="
+go vet ./...
+
+echo "== race =="
+go test -race -short ./internal/sched ./internal/seqio ./internal/core .
+
+echo "ci: all checks passed"

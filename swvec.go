@@ -101,6 +101,7 @@ type Aligner struct {
 	threads int
 	block   int
 	sortLen bool
+	depth   int
 }
 
 // Option configures an Aligner.
@@ -159,10 +160,26 @@ func WithBatchBlock(cols int) Option {
 }
 
 // WithLengthSortedBatches groups similar-length database sequences
-// into the same batch, reducing padding work.
+// into the same batch, reducing padding work. The search pipeline
+// streams the batches from a sorted index permutation; the database
+// itself is never copied or reordered.
 func WithLengthSortedBatches() Option {
 	return func(a *Aligner) error {
 		a.sortLen = true
+		return nil
+	}
+}
+
+// WithPipelineDepth sets how many transposed batches may be buffered
+// between the streaming batch producer and the search worker pool
+// (default: twice the worker count). Deeper pipelines smooth uneven
+// batch costs at the price of more batches in flight.
+func WithPipelineDepth(n int) Option {
+	return func(a *Aligner) error {
+		if n < 0 {
+			return fmt.Errorf("swvec: negative pipeline depth %d", n)
+		}
+		a.depth = n
 		return nil
 	}
 }
@@ -227,7 +244,9 @@ func (a *Aligner) Align(query, target []byte) (*Alignment, error) {
 }
 
 // Search aligns query against every database sequence with the
-// high-throughput batch engine, rescuing 8-bit saturations at 16 bits.
+// high-throughput streaming batch pipeline: batches are transposed on
+// demand, the 8-bit, 16-bit, and 32-bit stages overlap on one worker
+// pool, and saturated lanes are rescued in flight.
 func (a *Aligner) Search(query []byte, db []Sequence) (*SearchResult, error) {
 	q, err := a.encode(query)
 	if err != nil {
@@ -258,9 +277,10 @@ func (a *Aligner) Gaps() Gaps { return a.gaps }
 
 func (a *Aligner) schedOptions() sched.Options {
 	return sched.Options{
-		Gaps:         a.gaps,
-		Threads:      a.threads,
-		BlockCols:    a.block,
-		SortByLength: a.sortLen,
+		Gaps:          a.gaps,
+		Threads:       a.threads,
+		BlockCols:     a.block,
+		SortByLength:  a.sortLen,
+		PipelineDepth: a.depth,
 	}
 }
