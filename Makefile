@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all verify vet race bench ci
+.PHONY: all verify fmt vet race fuzz bench ci
 
 all: verify
 
@@ -8,6 +8,10 @@ all: verify
 verify:
 	$(GO) build ./...
 	$(GO) test ./...
+
+# Formatting gate: fails if any file needs gofmt.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -18,8 +22,13 @@ vet:
 race:
 	$(GO) test -race -short ./internal/sched ./internal/seqio ./internal/core .
 
+# Differential fuzz smoke: every width instantiation of the generic
+# kernel against the scalar baseline for a few seconds.
+fuzz:
+	$(GO) test -fuzz=FuzzAlignWidths -fuzztime=10s -run FuzzAlignWidths ./internal/core
+
 # Figure + kernel benchmarks with allocation reporting.
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
 
-ci: verify vet race
+ci: fmt verify vet race fuzz

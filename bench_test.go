@@ -394,26 +394,34 @@ func BenchmarkSearchEndToEnd(b *testing.B) {
 }
 
 // BenchmarkKernelBatch8Scratch is the steady-state allocation check
-// for the 8-bit batch engine: with a warm per-worker scratch arena the
-// per-batch allocation count must be zero.
+// for the 8-bit batch engine at both vector widths: with a warm
+// per-worker scratch arena the per-batch allocation count must be
+// zero, whether the generic kernel runs 32 or 64 lanes.
 func BenchmarkKernelBatch8Scratch(b *testing.B) {
 	mat := submat.Blosum62()
 	tables := submat.NewCodeTables(mat)
-	g := seqio.NewGenerator(6)
-	db := g.Database(32)
-	batch := seqio.BuildBatches(db, mat.Alphabet(), seqio.BatchOptions{SortByLength: true})[0]
-	q := g.Protein("q", 320).Encode(mat.Alphabet())
-	b.SetBytes(batch.Cells(len(q)))
-	opt := core.BatchOptions{Gaps: aln.DefaultGaps(), Scratch: core.NewScratch()}
-	if _, err := core.AlignBatch8(vek.Bare, q, tables, batch, opt); err != nil {
-		b.Fatal(err)
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := core.AlignBatch8(vek.Bare, q, tables, batch, opt); err != nil {
-			b.Fatal(err)
-		}
+	for _, bw := range []struct {
+		name  string
+		lanes int
+	}{{"256", seqio.BatchLanes}, {"512", seqio.MaxBatchLanes}} {
+		b.Run(bw.name, func(b *testing.B) {
+			g := seqio.NewGenerator(6)
+			db := g.Database(bw.lanes)
+			batch := seqio.BuildBatches(db, mat.Alphabet(), seqio.BatchOptions{SortByLength: true, Lanes: bw.lanes})[0]
+			q := g.Protein("q", 320).Encode(mat.Alphabet())
+			b.SetBytes(batch.Cells(len(q)))
+			opt := core.BatchOptions{Gaps: aln.DefaultGaps(), Scratch: core.NewScratch()}
+			if _, err := core.AlignBatch8(vek.Bare, q, tables, batch, opt); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.AlignBatch8(vek.Bare, q, tables, batch, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

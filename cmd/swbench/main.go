@@ -28,10 +28,24 @@ func main() {
 		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		seed  = flag.Int64("seed", 42, "workload seed")
 		db    = flag.Int("db", 0, "database size override (sequences)")
+		width = flag.String("width", "auto", "search-pipeline vector width: 256, 512, or auto")
 	)
 	flag.Parse()
 
-	cfg := figures.Config{Quick: *quick, Seed: *seed, DBSize: *db}
+	var bits int
+	switch *width {
+	case "auto":
+		bits = 0
+	case "256":
+		bits = 256
+	case "512":
+		bits = 512
+	default:
+		fmt.Fprintf(os.Stderr, "swbench: unknown width %q (want 256, 512, or auto)\n", *width)
+		os.Exit(2)
+	}
+
+	cfg := figures.Config{Quick: *quick, Seed: *seed, DBSize: *db, Width: bits}
 	var tables []*stats.Table
 	run := func(id string) {
 		switch id {

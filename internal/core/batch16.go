@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"swvec/internal/seqio"
 	"swvec/internal/submat"
 	"swvec/internal/vek"
@@ -10,91 +8,19 @@ import (
 
 // AlignBatch16 is the 16-bit interleaved batch engine: the same
 // one-sequence-per-lane structure as AlignBatch8 at 16-bit precision
-// (two I16x16 halves per 32-lane batch column). It is the staged
-// rescue tier for database search — sequences whose 8-bit scores
-// saturate are regrouped into batches and rescored here, keeping the
-// rescue throughput-oriented instead of falling back to per-pair
-// kernels (the production pattern of SWIPE-style engines).
+// (two widened registers per batch column). It is the staged rescue
+// tier for database search — sequences whose 8-bit scores saturate are
+// regrouped into batches and rescored here, keeping the rescue
+// throughput-oriented instead of falling back to per-pair kernels (the
+// production pattern of SWIPE-style engines). A 32-lane batch runs on
+// the 256-bit engine, a 64-lane batch on the 512-bit one.
 //
 // Substitution scores come from the same shuffle tables as the 8-bit
 // engine, widened per column; scores saturate at 32767 (flagged for
 // the 32-bit pair kernel).
 func AlignBatch16(mch vek.Machine, query []uint8, tables *submat.CodeTables, batch *seqio.Batch, opt BatchOptions) (BatchResult, error) {
-	var res BatchResult
-	if err := opt.Gaps.Validate(); err != nil {
-		return res, err
+	if batch.Stride() == seqio.MaxBatchLanes {
+		return alignBatch[vek.I16x32, int16](be16x32{}, mch, query, tables, batch, opt)
 	}
-	if len(query) == 0 {
-		return res, fmt.Errorf("core: empty query")
-	}
-	if batch.MaxLen == 0 || batch.Count == 0 {
-		return res, fmt.Errorf("core: empty batch")
-	}
-	m, n := len(query), batch.MaxLen
-	s := opt.Scratch
-	if s == nil {
-		s = &Scratch{}
-	}
-	t8 := s.codes(batch.T)
-
-	openV := mch.Splat16(int16(clampI32(opt.Gaps.Open, 32767)))
-	extV := mch.Splat16(int16(clampI32(opt.Gaps.Extend, 32767)))
-	zeroV := mch.Zero16()
-	negV := mch.Splat16(negInf16)
-	linear := opt.Gaps.IsLinear()
-
-	// Column state: two 16-lane halves per batch column, stride 32.
-	hRow, fRow := s.rows16(n, linear)
-	type carry struct{ e, hLeft, hDiag vek.I16x16 }
-	mch.T.Add(vek.OpScalarStore, vek.W256, uint64(2*n))
-
-	var vMax [2]vek.I16x16
-
-	for i := 0; i < m; i++ {
-		var c [2]carry
-		c[0].e, c[1].e = negV, negV
-		for j := 0; j < n; j++ {
-			off := j * lanes8
-			// One shuffle lookup yields all 32 int8 scores; widen per
-			// half.
-			idx := mch.Load8(t8[off:])
-			s8 := tables.LookupScores(mch, query[i], idx)
-			for half := 0; half < 2; half++ {
-				score := mch.Widen8To16(s8, half)
-				hOff := off + half*16
-				hUp := mch.Load16(hRow[hOff:])
-				var h vek.I16x16
-				if linear {
-					h = mch.AddSat16(c[half].hDiag, score)
-					h = mch.Max16(h, zeroV)
-					h = mch.Max16(h, mch.SubSat16(c[half].hLeft, extV))
-					h = mch.Max16(h, mch.SubSat16(hUp, extV))
-				} else {
-					fIn := mch.Load16(fRow[hOff:])
-					f := mch.Max16(mch.SubSat16(fIn, extV), mch.SubSat16(hUp, openV))
-					c[half].e = mch.Max16(mch.SubSat16(c[half].e, extV), mch.SubSat16(c[half].hLeft, openV))
-					h = mch.AddSat16(c[half].hDiag, score)
-					h = mch.Max16(h, zeroV)
-					h = mch.Max16(h, c[half].e)
-					h = mch.Max16(h, f)
-					mch.Store16(fRow[hOff:], f)
-				}
-				mch.Store16(hRow[hOff:], h)
-				vMax[half] = mch.Max16(vMax[half], h)
-				c[half].hDiag = hUp
-				c[half].hLeft = h
-			}
-		}
-	}
-	mch.T.Add(vek.OpReduce, vek.W256, 2)
-	mch.T.Add(vek.OpScalar, vek.W256, lanes8)
-	for lane := 0; lane < batch.Count; lane++ {
-		half, l := lane/16, lane%16
-		v := int32(vMax[half][l])
-		res.Scores[lane] = v
-		if v >= int32(sat16) {
-			res.Saturated[lane] = true
-		}
-	}
-	return res, nil
+	return alignBatch[vek.I16x16, int16](be16x16{}, mch, query, tables, batch, opt)
 }

@@ -16,7 +16,7 @@ const lanes8 = seqio.BatchLanes
 // fall below -Open in a valid run, so the int8 floor is a safe -inf.
 const negInf8 = int8(-128)
 
-// BatchOptions configures the 8-bit interleaved batch engine.
+// BatchOptions configures the interleaved batch engines.
 type BatchOptions struct {
 	// Gaps is the gap model; Open == Extend selects the reduced
 	// linear-gap path.
@@ -36,290 +36,38 @@ type BatchOptions struct {
 	Scratch *Scratch
 }
 
-// BatchResult carries per-lane outcomes of one batch alignment.
+// BatchResult carries per-lane outcomes of one batch alignment. Only
+// the first Batch.Stride() lanes are meaningful.
 type BatchResult struct {
 	// Scores holds each lane's best local alignment score. Lanes
 	// beyond Batch.Count are zero.
-	Scores [lanes8]int32
-	// Saturated marks lanes whose 8-bit score hit the ceiling; the
-	// score is then a lower bound and the caller reruns the lane with
-	// the 16-bit pair kernel (the variable 8/16-bit width scheme).
-	Saturated [lanes8]bool
+	Scores [seqio.MaxBatchLanes]int32
+	// Saturated marks lanes whose score hit the engine's ceiling; the
+	// score is then a lower bound and the caller reruns the lane at
+	// the next wider bit width (the variable 8/16-bit width scheme).
+	Saturated [seqio.MaxBatchLanes]bool
 }
 
-// batchScratch caches the per-code score rows of the current block:
-// "for every batch we compute the score once and store it in a scratch
-// buffer" (§III-C). rows[c] is non-nil once code c has been scored for
-// the block identified by built[c]. Codes that occur only once in the
-// query skip the scratch: building a row costs more than one inline
-// shuffle lookup per column, so single-use codes are scored inline
-// (one of the cache-dependent tuning choices §III-C alludes to).
-type batchScratch struct {
-	rows  [submat.W][]int8
-	built [submat.W]int
-	// count[c] is the number of query rows using code c.
-	count [submat.W]int
-	cols  int
-}
-
-// prepare resets the scratch for a new (batch, query set) pair with
-// the given block width, keeping the allocated score rows for reuse.
-func (s *batchScratch) prepare(cols int, queries ...[]uint8) {
-	s.cols = cols
-	for c := range s.built {
-		s.built[c] = -1
-		s.count[c] = 0
-	}
-	for _, q := range queries {
-		for _, c := range q {
-			s.count[c]++
-		}
-	}
-}
-
-// row returns the score row of code c for the block starting at column
-// j0 (block id), computing it with shuffle lookups if needed, or nil
-// when the kernel should score the row inline. t8 is the batch's
-// transposed residue matrix as int8 lanes.
-func (s *batchScratch) row(mch vek.Machine, tables *submat.CodeTables, t8 []int8, c uint8, blockID, j0, cols int) []int8 {
-	if s.count[c] < 2 {
-		return nil
-	}
-	if s.built[c] == blockID {
-		return s.rows[c]
-	}
-	if cap(s.rows[c]) < s.cols*lanes8 {
-		s.rows[c] = make([]int8, s.cols*lanes8)
-	}
-	s.rows[c] = s.rows[c][:s.cols*lanes8]
-	row := s.rows[c]
-	for j := 0; j < cols; j++ {
-		idx := mch.Load8(t8[(j0+j)*lanes8:])
-		scores := tables.LookupScores(mch, c, idx)
-		mch.Store8(row[j*lanes8:], scores)
-	}
-	s.built[c] = blockID
-	return row
-}
-
-// codesAsInt8 reinterprets residue codes (0..31) as int8 lanes.
-func codesAsInt8(codes []uint8) []int8 {
-	out := make([]int8, len(codes))
-	for i, c := range codes {
-		out[i] = int8(c)
-	}
-	return out
-}
-
-// AlignBatch8 aligns the encoded query against all 32 sequences of the
+// AlignBatch8 aligns the encoded query against all sequences of the
 // transposed batch simultaneously: lane l computes the DP matrix of
 // sequence l (the interleaving of Fig. 1(b)), while substitution
 // scores come from the shared shuffle-scored scratch buffer. This is
 // the paper's high-throughput 8-bit path: roughly half a vector
 // instruction per DP cell, no gathers, and per-lane deferred maxima.
+// A 32-lane batch runs on the 256-bit engine, a 64-lane batch on the
+// 512-bit one.
 func AlignBatch8(mch vek.Machine, query []uint8, tables *submat.CodeTables, batch *seqio.Batch, opt BatchOptions) (BatchResult, error) {
 	var res BatchResult
-	if err := opt.Gaps.Validate(); err != nil {
+	if err := checkBatch([][]uint8{query}, batch, &opt); err != nil {
 		return res, err
-	}
-	if len(query) == 0 {
-		return res, fmt.Errorf("core: empty query")
-	}
-	if batch.MaxLen == 0 || batch.Count == 0 {
-		return res, fmt.Errorf("core: empty batch")
 	}
 	if opt.Gaps.Open > 127 {
 		return res, fmt.Errorf("core: gap open %d exceeds the 8-bit range", opt.Gaps.Open)
 	}
-	s := opt.Scratch
-	if s == nil {
-		s = &Scratch{}
+	if batch.Stride() == seqio.MaxBatchLanes {
+		return alignBatch[vek.I8x64, int8](be8x64{}, mch, query, tables, batch, opt)
 	}
-	t8 := s.codes(batch.T)
-	n := batch.MaxLen
-	block := opt.BlockCols
-	if block <= 0 || block > n {
-		block = n
-	}
-	s.score.prepare(block, query)
-	linear := opt.Gaps.IsLinear()
-	s.state.ensure(mch, n, !linear)
-	if linear {
-		runBatch8Linear(mch, query, tables, batch, t8, &opt, s, &res)
-	} else {
-		runBatch8Affine(mch, query, tables, batch, t8, &opt, s, &res)
-	}
-	return res, nil
-}
-
-// batchState holds the reusable column-state buffers of the batch
-// engine; the multi-query path recycles one state across queries.
-type batchState struct {
-	// hRow[j]/fRow[j] hold H(i-1, j) and F(i-1, j) per lane,
-	// flattened with stride 32.
-	hRow, fRow []int8
-}
-
-// ensure sizes the state for a batch of MaxLen n and initializes it
-// for a fresh query (H zeroed, F at -inf for the affine model),
-// reusing the buffers whenever their capacity suffices.
-func (st *batchState) ensure(mch vek.Machine, n int, affine bool) {
-	need := n * lanes8
-	if cap(st.hRow) < need {
-		st.hRow = make([]int8, need)
-		st.fRow = make([]int8, need)
-	} else {
-		st.hRow = st.hRow[:need]
-		st.fRow = st.fRow[:need]
-		for i := range st.hRow {
-			st.hRow[i] = 0
-		}
-	}
-	if affine {
-		for i := range st.fRow {
-			st.fRow[i] = negInf8
-		}
-	}
-	mch.T.Add(vek.OpScalarStore, vek.W256, uint64(n))
-}
-
-// reset prepares the state for a fresh query.
-func (st *batchState) reset(mch vek.Machine, affine bool) {
-	for i := range st.hRow {
-		st.hRow[i] = 0
-	}
-	if affine {
-		for i := range st.fRow {
-			st.fRow[i] = negInf8
-		}
-	}
-	mch.T.Add(vek.OpScalarStore, vek.W256, uint64(len(st.hRow)/lanes8))
-}
-
-func runBatch8Affine(mch vek.Machine, query []uint8, tables *submat.CodeTables, batch *seqio.Batch, t8 []int8, opt *BatchOptions, s *Scratch, res *BatchResult) {
-	m, n := len(query), batch.MaxLen
-	scratch := &s.score
-	block := scratch.cols
-	openV := mch.Splat8(int8(clampI32(opt.Gaps.Open, 127)))
-	extV := mch.Splat8(int8(clampI32(opt.Gaps.Extend, 127)))
-	zeroV := mch.Zero8()
-	negV := mch.Splat8(negInf8)
-
-	hRow, fRow := s.state.hRow, s.state.fRow
-	// Per-row carries across block boundaries.
-	eCarry, hLeftCarry, hDiagCarry := s.carryBufs(m)
-	for i := range eCarry {
-		eCarry[i] = negV
-	}
-	mch.T.Add(vek.OpScalarStore, vek.W256, uint64(m))
-
-	vMax := zeroV
-	var eagerBest int8
-
-	blockID := 0
-	for j0 := 0; j0 < n; j0 += block {
-		cols := block
-		if j0+cols > n {
-			cols = n - j0
-		}
-		for i := 0; i < m; i++ {
-			sRow := scratch.row(mch, tables, t8, query[i], blockID, j0, cols)
-			e := eCarry[i]
-			hLeft := hLeftCarry[i]
-			hDiag := hDiagCarry[i]
-			for j := 0; j < cols; j++ {
-				off := (j0 + j) * lanes8
-				var score vek.I8x32
-				if sRow != nil {
-					score = mch.Load8(sRow[j*lanes8:])
-				} else {
-					idx := mch.Load8(t8[off:])
-					score = tables.LookupScores(mch, query[i], idx)
-				}
-				hUp := mch.Load8(hRow[off:])
-				fIn := mch.Load8(fRow[off:])
-				f := mch.Max8(mch.SubSat8(fIn, extV), mch.SubSat8(hUp, openV))
-				e = mch.Max8(mch.SubSat8(e, extV), mch.SubSat8(hLeft, openV))
-				h := mch.AddSat8(hDiag, score)
-				h = mch.Max8(h, zeroV)
-				h = mch.Max8(h, e)
-				h = mch.Max8(h, f)
-				mch.Store8(hRow[off:], h)
-				mch.Store8(fRow[off:], f)
-				if opt.EagerMax {
-					if v := mch.ReduceMax8(h); v > eagerBest {
-						eagerBest = v
-					}
-					mch.T.Add(vek.OpScalar, vek.W256, 1)
-				} else {
-					vMax = mch.Max8(vMax, h)
-				}
-				hDiag = hUp
-				hLeft = h
-			}
-			eCarry[i] = e
-			hLeftCarry[i] = hLeft
-			hDiagCarry[i] = hDiag
-		}
-		blockID++
-	}
-	if opt.EagerMax {
-		// Fold the eager scalar best back into lane 0 so finishBatch
-		// reports it; eager mode is an ablation used for aggregate
-		// cost measurement, not per-lane scoring.
-		vMax[0] = eagerBest
-	}
-	finishBatch(mch, batch, vMax, res)
-}
-
-func runBatch8Linear(mch vek.Machine, query []uint8, tables *submat.CodeTables, batch *seqio.Batch, t8 []int8, opt *BatchOptions, s *Scratch, res *BatchResult) {
-	m, n := len(query), batch.MaxLen
-	scratch := &s.score
-	block := scratch.cols
-	extV := mch.Splat8(int8(clampI32(opt.Gaps.Extend, 127)))
-	zeroV := mch.Zero8()
-
-	hRow := s.state.hRow
-	_, hLeftCarry, hDiagCarry := s.carryBufs(m)
-	mch.T.Add(vek.OpScalarStore, vek.W256, uint64(m))
-
-	vMax := zeroV
-
-	blockID := 0
-	for j0 := 0; j0 < n; j0 += block {
-		cols := block
-		if j0+cols > n {
-			cols = n - j0
-		}
-		for i := 0; i < m; i++ {
-			sRow := scratch.row(mch, tables, t8, query[i], blockID, j0, cols)
-			hLeft := hLeftCarry[i]
-			hDiag := hDiagCarry[i]
-			for j := 0; j < cols; j++ {
-				off := (j0 + j) * lanes8
-				var score vek.I8x32
-				if sRow != nil {
-					score = mch.Load8(sRow[j*lanes8:])
-				} else {
-					idx := mch.Load8(t8[off:])
-					score = tables.LookupScores(mch, query[i], idx)
-				}
-				hUp := mch.Load8(hRow[off:])
-				h := mch.AddSat8(hDiag, score)
-				h = mch.Max8(h, zeroV)
-				h = mch.Max8(h, mch.SubSat8(hLeft, extV))
-				h = mch.Max8(h, mch.SubSat8(hUp, extV))
-				mch.Store8(hRow[off:], h)
-				vMax = mch.Max8(vMax, h)
-				hDiag = hUp
-				hLeft = h
-			}
-			hLeftCarry[i] = hLeft
-			hDiagCarry[i] = hDiag
-		}
-		blockID++
-	}
-	finishBatch(mch, batch, vMax, res)
+	return alignBatch[vek.I8x32, int8](be8x32{}, mch, query, tables, batch, opt)
 }
 
 // AlignBatch8Multi aligns several queries against the same batch,
@@ -330,23 +78,24 @@ func runBatch8Linear(mch vek.Machine, query []uint8, tables *submat.CodeTables, 
 // on the query. With the whole-row traversal (BlockCols == 0) a code's
 // scores are computed once for the entire query set.
 func AlignBatch8Multi(mch vek.Machine, queries [][]uint8, tables *submat.CodeTables, batch *seqio.Batch, opt BatchOptions) ([]BatchResult, error) {
-	if err := opt.Gaps.Validate(); err != nil {
-		return nil, err
-	}
 	if len(queries) == 0 {
 		return nil, fmt.Errorf("core: no queries")
 	}
-	for i, q := range queries {
-		if len(q) == 0 {
-			return nil, fmt.Errorf("core: query %d is empty", i)
-		}
-	}
-	if batch.MaxLen == 0 || batch.Count == 0 {
-		return nil, fmt.Errorf("core: empty batch")
+	if err := checkBatch(queries, batch, &opt); err != nil {
+		return nil, err
 	}
 	if opt.Gaps.Open > 127 {
 		return nil, fmt.Errorf("core: gap open %d exceeds the 8-bit range", opt.Gaps.Open)
 	}
+	if batch.Stride() == seqio.MaxBatchLanes {
+		return alignBatchMulti[vek.I8x64, int8](be8x64{}, mch, queries, tables, batch, opt)
+	}
+	return alignBatchMulti[vek.I8x32, int8](be8x32{}, mch, queries, tables, batch, opt)
+}
+
+// alignBatchMulti runs the shared-batch multi-query traversal on one
+// engine instantiation.
+func alignBatchMulti[V any, E vek.Elem, En batchEngine[V, E]](eng En, mch vek.Machine, queries [][]uint8, tables *submat.CodeTables, batch *seqio.Batch, opt BatchOptions) ([]BatchResult, error) {
 	s := opt.Scratch
 	if s == nil {
 		s = &Scratch{}
@@ -354,49 +103,18 @@ func AlignBatch8Multi(mch vek.Machine, queries [][]uint8, tables *submat.CodeTab
 	t8 := s.codes(batch.T)
 	out := make([]BatchResult, len(queries))
 	n := batch.MaxLen
-	affine := !opt.Gaps.IsLinear()
-	run := func(q []uint8, res *BatchResult) {
-		if affine {
-			runBatch8Affine(mch, q, tables, batch, t8, &opt, s, res)
-		} else {
-			runBatch8Linear(mch, q, tables, batch, t8, &opt, s, res)
-		}
-	}
 	if opt.BlockCols > 0 && opt.BlockCols < n {
 		// Blocked traversal invalidates the score scratch per block, so
 		// only the t8 conversion and the state buffers are shared.
-		s.state.ensure(mch, n, affine)
 		for qi, q := range queries {
 			s.score.prepare(opt.BlockCols, q)
-			if qi > 0 {
-				s.state.reset(mch, affine)
-			}
-			run(q, &out[qi])
+			runBatch(eng, mch, q, tables, batch, t8, &opt, s, &out[qi])
 		}
 		return out, nil
 	}
 	s.score.prepare(n, queries...)
-	s.state.ensure(mch, n, affine)
 	for qi, q := range queries {
-		if qi > 0 {
-			s.state.reset(mch, affine)
-		}
-		run(q, &out[qi])
+		runBatch(eng, mch, q, tables, batch, t8, &opt, s, &out[qi])
 	}
 	return out, nil
-}
-
-// finishBatch extracts per-lane maxima and saturation flags.
-func finishBatch(mch vek.Machine, batch *seqio.Batch, vMax vek.I8x32, res *BatchResult) {
-	// One horizontal pass over the lane maxima — the deferred
-	// reduction of §III-D, amortized over the entire batch.
-	mch.T.Add(vek.OpReduce, vek.W256, 1)
-	mch.T.Add(vek.OpScalar, vek.W256, lanes8)
-	for lane := 0; lane < batch.Count; lane++ {
-		v := int32(vMax[lane])
-		res.Scores[lane] = v
-		if v >= int32(sat8) {
-			res.Saturated[lane] = true
-		}
-	}
 }

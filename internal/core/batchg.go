@@ -1,0 +1,410 @@
+package core
+
+import (
+	"fmt"
+
+	"swvec/internal/seqio"
+	"swvec/internal/submat"
+	"swvec/internal/vek"
+)
+
+// This file is the single batch-kernel implementation: the interleaved
+// one-sequence-per-lane engine of §III-C (Fig. 1(b)), generic over a
+// batch engine. The 8-bit engines run one register per batch column;
+// the 16-bit engines run two (the widened halves/quarters of the same
+// column), so the 256-bit 8-bit, 256-bit 16-bit, 512-bit 8-bit and
+// 512-bit 16-bit builds all share this code. AlignBatch8/AlignBatch16
+// dispatch on the batch's lane stride.
+
+// A batchEngine extends the generic lane engine with the batch-shaped
+// operations: shuffle-table scoring of a transposed residue column and
+// typed access to the Scratch's row/carry buffers (which live in core,
+// out of vek's reach).
+type batchEngine[V any, E vek.Elem] interface {
+	vek.Engine[V, E]
+	// BLanes is the number of sequences per batch column: Width()/8,
+	// the stride of the transposed layout.
+	BLanes() int
+	// Parts is the number of vector registers covering one batch
+	// column: 1 for the 8-bit engines, 2 for the widened 16-bit ones.
+	Parts() int
+	// LookupColumn scores one transposed residue column (BLanes int8
+	// codes) against query residue code c with the two-shuffle/blend
+	// lookup, widened per part. The second return is meaningful only
+	// when Parts() == 2.
+	LookupColumn(m vek.Machine, t *submat.CodeTables, c uint8, codes []int8) (V, V)
+	// CachedColumn loads one column of the §III-C per-code score cache
+	// (raw int8 scores), widened per part.
+	CachedColumn(m vek.Machine, row []int8) (V, V)
+	// BuildScoreColumn computes the raw int8 scores of code c for one
+	// column into dst — the cache-row builder.
+	BuildScoreColumn(m vek.Machine, t *submat.CodeTables, c uint8, codes []int8, dst []int8)
+	// BatchRows returns the H and F column-state rows (n columns at
+	// the batch stride) from the scratch, initialized for a fresh
+	// query, charging the row reset.
+	BatchRows(m vek.Machine, s *Scratch, n int, affine bool) (h, f []E)
+	// BatchCarries returns the per-query-row E/H-left/H-diag carry
+	// buffers (m rows at the batch stride) with the H carries zeroed.
+	// Carries model register spills at block boundaries: uncharged.
+	BatchCarries(s *Scratch, m int) (e, left, diag []E)
+}
+
+// batchScratch caches the per-code score rows of the current block:
+// "for every batch we compute the score once and store it in a scratch
+// buffer" (§III-C). rows[c] is non-nil once code c has been scored for
+// the block identified by built[c]. Codes that occur only once in the
+// query skip the scratch: building a row costs more than one inline
+// shuffle lookup per column, so single-use codes are scored inline
+// (one of the cache-dependent tuning choices §III-C alludes to).
+type batchScratch struct {
+	rows  [submat.W][]int8
+	built [submat.W]int
+	// count[c] is the number of query rows using code c.
+	count [submat.W]int
+	cols  int
+}
+
+// prepare resets the scratch for a new (batch, query set) pair with
+// the given block width, keeping the allocated score rows for reuse.
+func (s *batchScratch) prepare(cols int, queries ...[]uint8) {
+	s.cols = cols
+	for c := range s.built {
+		s.built[c] = -1
+		s.count[c] = 0
+	}
+	for _, q := range queries {
+		for _, c := range q {
+			s.count[c]++
+		}
+	}
+}
+
+// checkBatch validates the inputs shared by the batch entry points.
+func checkBatch(queries [][]uint8, batch *seqio.Batch, opt *BatchOptions) error {
+	if err := opt.Gaps.Validate(); err != nil {
+		return err
+	}
+	for i, q := range queries {
+		if len(q) == 0 {
+			if len(queries) == 1 {
+				return fmt.Errorf("core: empty query")
+			}
+			return fmt.Errorf("core: query %d is empty", i)
+		}
+	}
+	if batch.MaxLen == 0 || batch.Count == 0 {
+		return fmt.Errorf("core: empty batch")
+	}
+	switch batch.Stride() {
+	case seqio.BatchLanes, seqio.MaxBatchLanes:
+	default:
+		return fmt.Errorf("core: unsupported batch stride %d", batch.Stride())
+	}
+	return nil
+}
+
+// alignBatch runs one query through the generic engine: score-cache
+// preparation, column-blocked traversal, per-lane deferred maxima.
+func alignBatch[V any, E vek.Elem, En batchEngine[V, E]](eng En, mch vek.Machine, query []uint8, tables *submat.CodeTables, batch *seqio.Batch, opt BatchOptions) (BatchResult, error) {
+	var res BatchResult
+	if err := checkBatch([][]uint8{query}, batch, &opt); err != nil {
+		return res, err
+	}
+	s := opt.Scratch
+	if s == nil {
+		s = &Scratch{}
+	}
+	t8 := s.codes(batch.T)
+	n := batch.MaxLen
+	block := opt.BlockCols
+	if block <= 0 || block > n {
+		block = n
+	}
+	s.score.prepare(block, query)
+	runBatch(eng, mch, query, tables, batch, t8, &opt, s, &res)
+	return res, nil
+}
+
+// runBatch is the traversal: for every column block and every query
+// row, stream the batch columns through the DP recurrence, one vector
+// register per column part. Substitution scores come from the shared
+// per-code cache when the row's code repeats in the query, or from an
+// inline shuffle lookup otherwise.
+func runBatch[V any, E vek.Elem, En batchEngine[V, E]](eng En, mch vek.Machine, query []uint8, tables *submat.CodeTables, batch *seqio.Batch, t8 []int8, opt *BatchOptions, s *Scratch, res *BatchResult) {
+	m, n := len(query), batch.MaxLen
+	blanes := eng.BLanes()
+	lanes := eng.Lanes()
+	parts := eng.Parts()
+	affine := !opt.Gaps.IsLinear()
+	scratch := &s.score
+	block := scratch.cols
+
+	extV := eng.Splat(mch, eng.Clamp(opt.Gaps.Extend))
+	zeroV := eng.Zero(mch)
+	var openV V
+	if affine {
+		openV = eng.Splat(mch, eng.Clamp(opt.Gaps.Open))
+		eng.Splat(mch, eng.NegInf()) // negV broadcast for the E carries
+	}
+
+	hRow, fRow := eng.BatchRows(mch, s, n, affine)
+	eCarry, hLeftCarry, hDiagCarry := eng.BatchCarries(s, m)
+	if affine {
+		neg := eng.NegInf()
+		for i := range eCarry {
+			eCarry[i] = neg
+		}
+	}
+	mch.T.Add(vek.OpScalarStore, vek.W256, uint64(m))
+
+	var vMax [2]V
+	vMax[0], vMax[1] = zeroV, zeroV
+	var eagerBest int32
+
+	// Per-part carry registers, reloaded from the spill buffers at
+	// block boundaries (uncharged, like register save/restore).
+	type carry struct{ e, hLeft, hDiag V }
+	var cr [2]carry
+
+	blockID := 0
+	for j0 := 0; j0 < n; j0 += block {
+		cols := block
+		if j0+cols > n {
+			cols = n - j0
+		}
+		for i := 0; i < m; i++ {
+			c := query[i]
+			sRow := scoreRow(eng, mch, scratch, tables, t8, c, blockID, j0, cols)
+			base := i * blanes
+			for p := 0; p < parts; p++ {
+				off := base + p*lanes
+				cr[p].e = eng.Load(vek.Bare, eCarry[off:])
+				cr[p].hLeft = eng.Load(vek.Bare, hLeftCarry[off:])
+				cr[p].hDiag = eng.Load(vek.Bare, hDiagCarry[off:])
+			}
+			for j := 0; j < cols; j++ {
+				off := (j0 + j) * blanes
+				var s0, s1 V
+				if sRow != nil {
+					s0, s1 = eng.CachedColumn(mch, sRow[j*blanes:])
+				} else {
+					s0, s1 = eng.LookupColumn(mch, tables, c, t8[off:])
+				}
+				for p := 0; p < parts; p++ {
+					score := s0
+					if p == 1 {
+						score = s1
+					}
+					hOff := off + p*lanes
+					hUp := eng.Load(mch, hRow[hOff:])
+					var h V
+					if affine {
+						fIn := eng.Load(mch, fRow[hOff:])
+						f := eng.Max(mch, eng.SubSat(mch, fIn, extV), eng.SubSat(mch, hUp, openV))
+						cr[p].e = eng.Max(mch, eng.SubSat(mch, cr[p].e, extV), eng.SubSat(mch, cr[p].hLeft, openV))
+						h = eng.AddSat(mch, cr[p].hDiag, score)
+						h = eng.Max(mch, h, zeroV)
+						h = eng.Max(mch, h, cr[p].e)
+						h = eng.Max(mch, h, f)
+						eng.Store(mch, fRow[hOff:], f)
+					} else {
+						h = eng.AddSat(mch, cr[p].hDiag, score)
+						h = eng.Max(mch, h, zeroV)
+						h = eng.Max(mch, h, eng.SubSat(mch, cr[p].hLeft, extV))
+						h = eng.Max(mch, h, eng.SubSat(mch, hUp, extV))
+					}
+					eng.Store(mch, hRow[hOff:], h)
+					if opt.EagerMax {
+						if v := int32(eng.ReduceMax(mch, h)); v > eagerBest {
+							eagerBest = v
+						}
+						mch.T.Add(vek.OpScalar, vek.W256, 1)
+					} else {
+						vMax[p] = eng.Max(mch, vMax[p], h)
+					}
+					cr[p].hDiag = hUp
+					cr[p].hLeft = h
+				}
+			}
+			for p := 0; p < parts; p++ {
+				off := base + p*lanes
+				eng.Store(vek.Bare, eCarry[off:], cr[p].e)
+				eng.Store(vek.Bare, hLeftCarry[off:], cr[p].hLeft)
+				eng.Store(vek.Bare, hDiagCarry[off:], cr[p].hDiag)
+			}
+		}
+		blockID++
+	}
+
+	// One horizontal pass over the lane maxima — the deferred
+	// reduction of §III-D, amortized over the entire batch.
+	mch.T.Add(vek.OpReduce, eng.Width(), uint64(parts))
+	mch.T.Add(vek.OpScalar, vek.W256, uint64(blanes))
+	ceil := eng.SatCeil()
+	for lane := 0; lane < batch.Count; lane++ {
+		v := int32(eng.Lane(vMax[lane/lanes], lane%lanes))
+		res.Scores[lane] = v
+		if v >= ceil {
+			res.Saturated[lane] = true
+		}
+	}
+	if opt.EagerMax {
+		// Fold the eager scalar best back into lane 0; eager mode is an
+		// ablation used for aggregate cost measurement, not per-lane
+		// scoring.
+		res.Scores[0] = eagerBest
+		res.Saturated[0] = eagerBest >= ceil
+	}
+}
+
+// scoreRow returns the cached score row of code c for the block
+// starting at column j0 (block id), building it with shuffle lookups
+// if needed, or nil when the kernel should score the row inline (a
+// code used once per query costs less inline than cached — §III-C).
+func scoreRow[V any, E vek.Elem, En batchEngine[V, E]](eng En, mch vek.Machine, s *batchScratch, tables *submat.CodeTables, t8 []int8, c uint8, blockID, j0, cols int) []int8 {
+	if s.count[c] < 2 {
+		return nil
+	}
+	if s.built[c] == blockID {
+		return s.rows[c]
+	}
+	blanes := eng.BLanes()
+	need := s.cols * blanes
+	if cap(s.rows[c]) < need {
+		s.rows[c] = make([]int8, need)
+	}
+	s.rows[c] = s.rows[c][:need]
+	row := s.rows[c]
+	for j := 0; j < cols; j++ {
+		eng.BuildScoreColumn(mch, tables, c, t8[(j0+j)*blanes:], row[j*blanes:])
+	}
+	s.built[c] = blockID
+	return row
+}
+
+// be8x32 is the 256-bit 8-bit batch engine: one I8x32 per column.
+type be8x32 struct{ vek.E8x32 }
+
+func (be8x32) BLanes() int { return seqio.BatchLanes }
+func (be8x32) Parts() int  { return 1 }
+
+func (be8x32) LookupColumn(m vek.Machine, t *submat.CodeTables, c uint8, codes []int8) (vek.I8x32, vek.I8x32) {
+	idx := m.Load8(codes)
+	return t.LookupScores(m, c, idx), vek.I8x32{}
+}
+
+func (be8x32) CachedColumn(m vek.Machine, row []int8) (vek.I8x32, vek.I8x32) {
+	return m.Load8(row), vek.I8x32{}
+}
+
+func (be8x32) BuildScoreColumn(m vek.Machine, t *submat.CodeTables, c uint8, codes []int8, dst []int8) {
+	idx := m.Load8(codes)
+	m.Store8(dst, t.LookupScores(m, c, idx))
+}
+
+func (e be8x32) BatchRows(m vek.Machine, s *Scratch, n int, affine bool) (h, f []int8) {
+	h, f = rowBufsE(&s.hRow8, &s.fRow8, n, e.BLanes(), affine, negInf8)
+	m.T.Add(vek.OpScalarStore, vek.W256, uint64(n))
+	return h, f
+}
+
+func (e be8x32) BatchCarries(s *Scratch, m int) (ec, left, diag []int8) {
+	return carryBufsE(&s.carryE8, &s.carryL8, &s.carryD8, m, e.BLanes())
+}
+
+// be16x16 is the 256-bit 16-bit batch engine: two I16x16 halves per
+// 32-lane column, widened from the shared 8-bit shuffle lookup.
+type be16x16 struct{ vek.E16x16 }
+
+func (be16x16) BLanes() int { return seqio.BatchLanes }
+func (be16x16) Parts() int  { return 2 }
+
+func (be16x16) LookupColumn(m vek.Machine, t *submat.CodeTables, c uint8, codes []int8) (vek.I16x16, vek.I16x16) {
+	idx := m.Load8(codes)
+	s8 := t.LookupScores(m, c, idx)
+	return m.Widen8To16(s8, 0), m.Widen8To16(s8, 1)
+}
+
+func (be16x16) CachedColumn(m vek.Machine, row []int8) (vek.I16x16, vek.I16x16) {
+	s8 := m.Load8(row)
+	return m.Widen8To16(s8, 0), m.Widen8To16(s8, 1)
+}
+
+func (be16x16) BuildScoreColumn(m vek.Machine, t *submat.CodeTables, c uint8, codes []int8, dst []int8) {
+	idx := m.Load8(codes)
+	m.Store8(dst, t.LookupScores(m, c, idx))
+}
+
+func (e be16x16) BatchRows(m vek.Machine, s *Scratch, n int, affine bool) (h, f []int16) {
+	h, f = rowBufsE(&s.hRow16, &s.fRow16, n, e.BLanes(), affine, negInf16)
+	m.T.Add(vek.OpScalarStore, vek.W256, uint64(2*n))
+	return h, f
+}
+
+func (e be16x16) BatchCarries(s *Scratch, m int) (ec, left, diag []int16) {
+	return carryBufsE(&s.carryE16, &s.carryL16, &s.carryD16, m, e.BLanes())
+}
+
+// be8x64 is the 512-bit 8-bit batch engine: one I8x64 per 64-lane
+// column.
+type be8x64 struct{ vek.E8x64 }
+
+func (be8x64) BLanes() int { return seqio.MaxBatchLanes }
+func (be8x64) Parts() int  { return 1 }
+
+func (be8x64) LookupColumn(m vek.Machine, t *submat.CodeTables, c uint8, codes []int8) (vek.I8x64, vek.I8x64) {
+	idx := m.Load8W(codes)
+	return t.LookupScoresW(m, c, idx), vek.I8x64{}
+}
+
+func (be8x64) CachedColumn(m vek.Machine, row []int8) (vek.I8x64, vek.I8x64) {
+	return m.Load8W(row), vek.I8x64{}
+}
+
+func (be8x64) BuildScoreColumn(m vek.Machine, t *submat.CodeTables, c uint8, codes []int8, dst []int8) {
+	idx := m.Load8W(codes)
+	m.Store8W(dst, t.LookupScoresW(m, c, idx))
+}
+
+func (e be8x64) BatchRows(m vek.Machine, s *Scratch, n int, affine bool) (h, f []int8) {
+	h, f = rowBufsE(&s.hRow8, &s.fRow8, n, e.BLanes(), affine, negInf8)
+	m.T.Add(vek.OpScalarStore, vek.W256, uint64(n))
+	return h, f
+}
+
+func (e be8x64) BatchCarries(s *Scratch, m int) (ec, left, diag []int8) {
+	return carryBufsE(&s.carryE8, &s.carryL8, &s.carryD8, m, e.BLanes())
+}
+
+// be16x32 is the 512-bit 16-bit batch engine: two I16x32 halves per
+// 64-lane column.
+type be16x32 struct{ vek.E16x32 }
+
+func (be16x32) BLanes() int { return seqio.MaxBatchLanes }
+func (be16x32) Parts() int  { return 2 }
+
+func (be16x32) LookupColumn(m vek.Machine, t *submat.CodeTables, c uint8, codes []int8) (vek.I16x32, vek.I16x32) {
+	idx := m.Load8W(codes)
+	s8 := t.LookupScoresW(m, c, idx)
+	return m.Widen8To16W(s8, 0), m.Widen8To16W(s8, 1)
+}
+
+func (be16x32) CachedColumn(m vek.Machine, row []int8) (vek.I16x32, vek.I16x32) {
+	s8 := m.Load8W(row)
+	return m.Widen8To16W(s8, 0), m.Widen8To16W(s8, 1)
+}
+
+func (be16x32) BuildScoreColumn(m vek.Machine, t *submat.CodeTables, c uint8, codes []int8, dst []int8) {
+	idx := m.Load8W(codes)
+	m.Store8W(dst, t.LookupScoresW(m, c, idx))
+}
+
+func (e be16x32) BatchRows(m vek.Machine, s *Scratch, n int, affine bool) (h, f []int16) {
+	h, f = rowBufsE(&s.hRow16, &s.fRow16, n, e.BLanes(), affine, negInf16)
+	m.T.Add(vek.OpScalarStore, vek.W256, uint64(2*n))
+	return h, f
+}
+
+func (e be16x32) BatchCarries(s *Scratch, m int) (ec, left, diag []int16) {
+	return carryBufsE(&s.carryE16, &s.carryL16, &s.carryD16, m, e.BLanes())
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"testing"
+
+	"swvec/internal/aln"
+	"swvec/internal/baselines"
+	"swvec/internal/seqio"
+	"swvec/internal/submat"
+	"swvec/internal/vek"
+)
+
+// fuzzCodes maps arbitrary fuzz bytes onto valid residue codes for the
+// alphabet, bounded to keep each alignment cheap.
+func fuzzCodes(raw []byte, size int, maxLen int) []uint8 {
+	if len(raw) > maxLen {
+		raw = raw[:maxLen]
+	}
+	out := make([]uint8, len(raw))
+	for i, b := range raw {
+		out[i] = uint8(int(b) % size)
+	}
+	return out
+}
+
+// FuzzAlignWidths differentially checks every width instantiation of
+// the generic pair kernel — 8x32, 8x64, 16x16, 16x32, 32x8, affine and
+// linear, fixed-score and substitution-matrix — against the scalar
+// baseline, plus both batch-engine strides on a single-lane batch.
+// Saturating engines (8-bit at 127, 16-bit at 32767) must either match
+// exactly or report saturation with the true score at or above their
+// ceiling.
+func FuzzAlignWidths(f *testing.F) {
+	// Saturation-edge seeds: long self-similar inputs drive 8-bit
+	// scores past 127; short gappy ones exercise the scalar tails.
+	f.Add([]byte("MKVLAWMKVLAWMKVLAW"), []byte("MKVLAWMKVLNW"), byte(11), byte(1), false)
+	f.Add([]byte("AAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA"),
+		[]byte("AAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA"), byte(1), byte(1), true)
+	f.Add([]byte("WWWWWWWWWWWWWWWWWWWWWWWWWWWWWWWWWWWW"),
+		[]byte("WWWWWWWWWWWWWWWWWWWWWWWWWWWWWWWWWWWW"), byte(0), byte(0), false)
+	f.Add([]byte("ACDEFGHIKLMNPQRSTVWY"), []byte("YWVTSRQPNMLKIHGFEDCA"), byte(19), byte(4), false)
+	f.Add([]byte("M"), []byte("M"), byte(5), byte(2), true)
+
+	bl62 := submat.Blosum62()
+	fixed := submat.MatchMismatch(bl62.Alphabet(), 2, -1)
+
+	f.Fuzz(func(t *testing.T, qraw, draw []byte, openB, extB byte, useFixed bool) {
+		mat := bl62
+		if useFixed {
+			mat = fixed
+		}
+		size := mat.Alphabet().Size()
+		q := fuzzCodes(qraw, size, 300)
+		d := fuzzCodes(draw, size, 300)
+		if len(q) == 0 || len(d) == 0 {
+			t.Skip()
+		}
+		ext := 1 + int32(extB)%15
+		open := ext + int32(openB)%20
+		gaps := aln.Gaps{Open: open, Extend: ext}
+
+		checkPairWidths(t, q, d, mat, gaps)
+		checkPairWidths(t, q, d, mat, aln.Linear(ext))
+		checkBatchStrides(t, q, d, mat, gaps)
+	})
+}
+
+// checkPairWidths runs one (query, database, matrix, gaps) case
+// through all five pair instantiations and compares against the scalar
+// oracle.
+func checkPairWidths(t *testing.T, q, d []uint8, mat *submat.Matrix, gaps aln.Gaps) {
+	t.Helper()
+	var want aln.ScoreResult
+	if gaps.IsLinear() {
+		want = baselines.ScalarLinear(q, d, mat, gaps.Extend)
+	} else {
+		want = baselines.ScalarAffine(q, d, mat, gaps)
+	}
+	opt := PairOptions{Gaps: gaps}
+
+	// Exact engines: 16x16, 16x32, 32x8 (scores stay far below their
+	// ceilings at these input sizes).
+	r16, _, err := AlignPair16(vek.Bare, q, d, mat, opt)
+	if err != nil {
+		t.Fatalf("pair16: %v", err)
+	}
+	if r16.Score != want.Score {
+		t.Fatalf("pair16 (16x16) score %d != scalar %d (gaps %+v, qlen %d, dlen %d)",
+			r16.Score, want.Score, gaps, len(q), len(d))
+	}
+	r16w, err := AlignPair16W(vek.Bare, q, d, mat, opt)
+	if err != nil {
+		t.Fatalf("pair16w: %v", err)
+	}
+	if r16w.Score != want.Score {
+		t.Fatalf("pair16w (16x32) score %d != scalar %d (gaps %+v, qlen %d, dlen %d)",
+			r16w.Score, want.Score, gaps, len(q), len(d))
+	}
+	r32, err := AlignPair32(vek.Bare, q, d, mat, opt)
+	if err != nil {
+		t.Fatalf("pair32: %v", err)
+	}
+	if r32.Score != want.Score {
+		t.Fatalf("pair32 (32x8) score %d != scalar %d (gaps %+v, qlen %d, dlen %d)",
+			r32.Score, want.Score, gaps, len(q), len(d))
+	}
+
+	// Saturating 8-bit engines at both widths: exact below the ceiling,
+	// else flagged with the true score at or above it.
+	check8 := func(name string, res aln.ScoreResult) {
+		t.Helper()
+		if res.Saturated {
+			if want.Score < 127 {
+				t.Fatalf("%s saturated but scalar score %d is below 127", name, want.Score)
+			}
+			return
+		}
+		if res.Score != want.Score {
+			t.Fatalf("%s score %d != scalar %d (gaps %+v, qlen %d, dlen %d)",
+				name, res.Score, want.Score, gaps, len(q), len(d))
+		}
+	}
+	r8, err := AlignPair8(vek.Bare, q, d, mat, opt)
+	if err != nil {
+		t.Fatalf("pair8: %v", err)
+	}
+	check8("pair8 (8x32)", r8)
+	r8w, err := AlignPair8W(vek.Bare, q, d, mat, opt)
+	if err != nil {
+		t.Fatalf("pair8w: %v", err)
+	}
+	check8("pair8w (8x64)", r8w)
+}
+
+// checkBatchStrides aligns d as a single-lane batch at both strides
+// (8- and 16-bit engines) and compares lane 0 against the scalar
+// oracle under the same saturation contract.
+func checkBatchStrides(t *testing.T, q, d []uint8, mat *submat.Matrix, gaps aln.Gaps) {
+	t.Helper()
+	want := baselines.ScalarAffine(q, d, mat, gaps)
+	alpha := mat.Alphabet()
+	letters := make([]byte, len(d))
+	for i, c := range d {
+		letters[i] = alpha.Letter(c)
+	}
+	db := []seqio.Sequence{{ID: "fuzz", Residues: letters}}
+	tables := submat.NewCodeTables(mat)
+	for _, lanes := range []int{seqio.BatchLanes, seqio.MaxBatchLanes} {
+		b := seqio.MakeBatch(db, []int{0}, alpha, lanes)
+		r8, err := AlignBatch8(vek.Bare, q, tables, b, BatchOptions{Gaps: gaps})
+		if err != nil {
+			t.Fatalf("batch8 lanes=%d: %v", lanes, err)
+		}
+		if r8.Saturated[0] {
+			if want.Score < 127 {
+				t.Fatalf("batch8 lanes=%d saturated but scalar score %d is below 127", lanes, want.Score)
+			}
+		} else if r8.Scores[0] != want.Score {
+			t.Fatalf("batch8 lanes=%d score %d != scalar %d (gaps %+v)", lanes, r8.Scores[0], want.Score, gaps)
+		}
+		r16, err := AlignBatch16(vek.Bare, q, tables, b, BatchOptions{Gaps: gaps})
+		if err != nil {
+			t.Fatalf("batch16 lanes=%d: %v", lanes, err)
+		}
+		if r16.Saturated[0] {
+			if want.Score < 32767 {
+				t.Fatalf("batch16 lanes=%d saturated but scalar score %d is below 32767", lanes, want.Score)
+			}
+		} else if r16.Scores[0] != want.Score {
+			t.Fatalf("batch16 lanes=%d score %d != scalar %d (gaps %+v)", lanes, r16.Scores[0], want.Score, gaps)
+		}
+	}
+}

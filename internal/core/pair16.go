@@ -14,7 +14,9 @@ const lanes16 = 16
 // vectorization (16 cells per instruction), substitution scores fetched
 // by 32-bit gathers into the reorganized flat matrix, diagonal-indexed
 // rolling buffers, zero-padded or scalar tails for short segments, and
-// the deferred per-lane maximum of §III-D.
+// the deferred per-lane maximum of §III-D. It instantiates the generic
+// lane engine at 16 bits x 16 lanes; Open == Extend selects the
+// reduced linear-gap variant (Fig. 7).
 //
 // When opt.Traceback is set the returned TraceMatrix holds one
 // direction byte per cell in diagonal-linearized storage and the
@@ -22,510 +24,12 @@ const lanes16 = 16
 // unless opt.TrackPosition is set, EndQ/EndD are -1 (the deferred
 // maximum intentionally discards positions until the final reduction).
 func AlignPair16(mch vek.Machine, q, dseq []uint8, mat *submat.Matrix, opt PairOptions) (aln.ScoreResult, *TraceMatrix, error) {
-	res := aln.ScoreResult{EndQ: -1, EndD: -1}
 	if err := checkPair(q, dseq, &opt); err != nil {
-		return res, nil, err
+		return aln.ScoreResult{EndQ: -1, EndD: -1}, nil, err
 	}
+	var bufs pairBufs[int16]
 	if opt.Gaps.IsLinear() {
-		return alignPair16Linear(mch, q, dseq, mat, opt)
+		return alignPairLinear[vek.I16x16, int16](vek.E16x16{}, mch, q, dseq, mat, opt, &bufs)
 	}
-	return alignPair16Affine(mch, q, dseq, mat, opt)
-}
-
-// pairState16 bundles the rolling diagonal buffers and score-lookup
-// tables shared by the 256-bit and scalar paths.
-type pairState16 struct {
-	m, n int
-	// hPrev2/hPrev/hCur are H along diagonals d-2, d-1, d; slot i is
-	// row i (1-based), slot 0 and slot d are boundary guards.
-	hPrev2, hPrev, hCur []int16
-	ePrev, eCur         []int16
-	fPrev, fCur         []int16
-	// qMul[i] = 32*code(q[i]) and dRev[t] = code(dseq[n-1-t]) widened,
-	// so that a diagonal's gather indices come from two consecutive
-	// loads (§III-A: the memory order matches the fill order).
-	qMul []int32
-	dRev []int32
-	flat []int32
-	// fixed selects the match/mismatch fast path (Fig. 9's "without
-	// substitution matrix" configuration): scores come from a
-	// compare-and-blend on the residue codes below instead of gathers.
-	fixed       bool
-	matchVec    vek.I16x16
-	mismatchVec vek.I16x16
-	q16         []int16
-	dRev16      []int16
-}
-
-// scoreVec computes the 16 substitution scores for rows r..r+15 of
-// diagonal d, via gather (general matrix) or compare-and-blend (fixed
-// scores).
-func (st *pairState16) scoreVec(mch vek.Machine, d, r int) vek.I16x16 {
-	t0 := st.n - d + r
-	if st.fixed {
-		qv := mch.Load16(st.q16[r-1:])
-		dv := mch.Load16(st.dRev16[t0:])
-		eq := mch.CmpEq16(qv, dv)
-		return mch.Blend16(st.mismatchVec, st.matchVec, eq)
-	}
-	iq0 := mch.Load32(st.qMul[r-1:])
-	iq1 := mch.Load32(st.qMul[r+7:])
-	id0 := mch.Load32(st.dRev[t0:])
-	id1 := mch.Load32(st.dRev[t0+8:])
-	g0 := mch.Gather32(st.flat, mch.Add32(iq0, id0))
-	g1 := mch.Gather32(st.flat, mch.Add32(iq1, id1))
-	return mch.Narrow32To16(g0, g1)
-}
-
-// scoreVecPartial is scoreVec for a zero-padded tail of valid lanes.
-func (st *pairState16) scoreVecPartial(mch vek.Machine, d, r, valid int) vek.I16x16 {
-	t0 := st.n - d + r
-	if st.fixed {
-		qv := mch.Load16Partial(clip16(st.q16, r-1, valid))
-		dv := mch.Load16Partial(clip16(st.dRev16, t0, valid))
-		eq := mch.CmpEq16(qv, dv)
-		return mch.Blend16(st.mismatchVec, st.matchVec, eq)
-	}
-	iq0 := mch.Load32Partial(clip32(st.qMul, r-1, valid))
-	iq1 := mch.Load32Partial(clip32(st.qMul, r+7, valid-8))
-	id0 := mch.Load32Partial(clip32(st.dRev, t0, valid))
-	id1 := mch.Load32Partial(clip32(st.dRev, t0+8, valid-8))
-	g0 := mch.Gather32(st.flat, mch.Add32(iq0, id0))
-	g1 := mch.Gather32(st.flat, mch.Add32(iq1, id1))
-	return mch.Narrow32To16(g0, g1)
-}
-
-// clip16 is clip32 for int16 slices.
-func clip16(s []int16, off, want int) []int16 {
-	if want < 0 {
-		want = 0
-	}
-	if off >= len(s) {
-		return nil
-	}
-	end := off + want
-	if end > len(s) {
-		end = len(s)
-	}
-	return s[off:end]
-}
-
-func newPairState16(mch vek.Machine, q, dseq []uint8, mat *submat.Matrix) *pairState16 {
-	return newPairState16Lanes(mch, q, dseq, mat, lanes16)
-}
-
-func newPairState16Lanes(mch vek.Machine, q, dseq []uint8, mat *submat.Matrix, lanes int) *pairState16 {
-	m, n := len(q), len(dseq)
-	slack := lanes + 2
-	st := &pairState16{m: m, n: n, flat: mat.Flat32()}
-	mk := func(fill int16) []int16 {
-		b := make([]int16, m+2+slack)
-		if fill != 0 {
-			for i := range b {
-				b[i] = fill
-			}
-		}
-		return b
-	}
-	st.hPrev2, st.hPrev, st.hCur = mk(0), mk(0), mk(0)
-	st.ePrev, st.eCur = mk(negInf16), mk(negInf16)
-	st.fPrev, st.fCur = mk(negInf16), mk(negInf16)
-	st.qMul = make([]int32, m+slack)
-	for i, c := range q {
-		st.qMul[i] = int32(c) * submat.W
-	}
-	st.dRev = make([]int32, n+slack)
-	for t := 0; t < n; t++ {
-		st.dRev[t] = int32(dseq[n-1-t])
-	}
-	if match, mismatch, ok := mat.FixedScores(); ok && allRealCodes(q, mat) && allRealCodes(dseq, mat) {
-		st.fixed = true
-		st.matchVec = mch.Splat16(int16(match))
-		st.mismatchVec = mch.Splat16(int16(mismatch))
-		st.q16 = make([]int16, m+slack)
-		for i, c := range q {
-			st.q16[i] = int16(c)
-		}
-		st.dRev16 = make([]int16, n+slack)
-		for t := 0; t < n; t++ {
-			st.dRev16[t] = int16(dseq[n-1-t])
-		}
-	}
-	// One-time profile/index preparation, charged as scalar work.
-	mch.T.Add(vek.OpScalarStore, vek.W256, uint64(m+n))
-	return st
-}
-
-// allRealCodes reports whether every residue code is a real residue of
-// the matrix's alphabet (the compare fast path must not treat two
-// sentinels as a match).
-func allRealCodes(seq []uint8, mat *submat.Matrix) bool {
-	size := uint8(mat.Alphabet().Size())
-	for _, c := range seq {
-		if c >= size {
-			return false
-		}
-	}
-	return true
-}
-
-// rotate advances the rolling buffers by one diagonal and plants the
-// boundary guards for diagonal d (just computed): H(0,d)=H(d,0)=0 and
-// E/F boundaries at -inf.
-func (st *pairState16) rotate(mch vek.Machine, d int) {
-	st.hCur[0] = 0
-	st.eCur[0] = negInf16
-	st.fCur[0] = negInf16
-	if d <= st.m {
-		st.hCur[d] = 0
-		st.eCur[d] = negInf16
-		st.fCur[d] = negInf16
-	}
-	mch.T.Add(vek.OpScalarStore, vek.W256, 6)
-	st.hPrev2, st.hPrev, st.hCur = st.hPrev, st.hCur, st.hPrev2
-	st.ePrev, st.eCur = st.eCur, st.ePrev
-	st.fPrev, st.fCur = st.fCur, st.fPrev
-}
-
-// tracker accumulates the best score, optionally with its position.
-type tracker struct {
-	needPos bool
-	best    int32
-	endQ    int
-	endD    int
-	// vMax is the deferred per-lane maximum used when positions are
-	// not needed.
-	vMax vek.I16x16
-	// bestV broadcasts best for the position-tracking compare.
-	bestV vek.I16x16
-}
-
-func newTracker(mch vek.Machine, needPos bool) *tracker {
-	return &tracker{needPos: needPos, endQ: -1, endD: -1, vMax: mch.Zero16(), bestV: mch.Zero16()}
-}
-
-// updateVector folds a full vector of fresh H values for rows
-// r..r+15 of diagonal d.
-func (t *tracker) updateVector(mch vek.Machine, h vek.I16x16, r, d int) {
-	if !t.needPos {
-		t.vMax = mch.Max16(t.vMax, h)
-		return
-	}
-	gt := mch.CmpGt16(h, t.bestV)
-	if mch.MoveMask16(gt) == 0 {
-		return
-	}
-	// Rare path: some lane beats the current best; find it scalar-ly.
-	for l := 0; l < lanes16; l++ {
-		if int32(h[l]) > t.best {
-			t.best = int32(h[l])
-			row := r + l
-			t.endQ = row - 1
-			t.endD = d - row - 1
-		}
-	}
-	mch.T.Add(vek.OpScalar, vek.W256, lanes16)
-	t.bestV = mch.Splat16(int16(clampI32(t.best, 32767)))
-}
-
-// updateScalar folds one scalar cell value.
-func (t *tracker) updateScalar(h int32, i, d int) {
-	if h > t.best {
-		t.best = h
-		if t.needPos {
-			t.endQ = i - 1
-			t.endD = d - i - 1
-		}
-	}
-}
-
-// finish reduces the deferred maxima and fills the result.
-func (t *tracker) finish(mch vek.Machine, res *aln.ScoreResult, ceiling int32) {
-	if !t.needPos {
-		if v := int32(mch.ReduceMax16(t.vMax)); v > t.best {
-			t.best = v
-		}
-	}
-	res.Score = t.best
-	res.EndQ, res.EndD = t.endQ, t.endD
-	if t.best >= ceiling {
-		res.Saturated = true
-	}
-	if t.best == 0 {
-		res.EndQ, res.EndD = -1, -1
-	}
-}
-
-func clampI32(v, hi int32) int32 {
-	if v > hi {
-		return hi
-	}
-	return v
-}
-
-// eagerReduce is the §III-D ablation: reduce every vector immediately
-// instead of keeping per-lane maxima.
-func eagerReduce(mch vek.Machine, t *tracker, h vek.I16x16) {
-	v := int32(mch.ReduceMax16(h))
-	mch.T.Add(vek.OpScalar, vek.W256, 1)
-	if v > t.best {
-		t.best = v
-	}
-}
-
-func alignPair16Affine(mch vek.Machine, q, dseq []uint8, mat *submat.Matrix, opt PairOptions) (aln.ScoreResult, *TraceMatrix, error) {
-	res := aln.ScoreResult{EndQ: -1, EndD: -1}
-	m, n := len(q), len(dseq)
-	st := newPairState16(mch, q, dseq, mat)
-	var tb *TraceMatrix
-	if opt.Traceback {
-		tb = newTraceMatrix(m, n)
-	}
-	trk := newTracker(mch, opt.Traceback || opt.TrackPosition)
-	open16 := int16(clampI32(opt.Gaps.Open, 32767))
-	ext16 := int16(clampI32(opt.Gaps.Extend, 32767))
-	openV := mch.Splat16(open16)
-	extV := mch.Splat16(ext16)
-	zeroV := mch.Zero16()
-	oneV := mch.Splat16(tbDiag)
-	twoV := mch.Splat16(tbLeft)
-	threeV := mch.Splat16(tbUp)
-	fourV := mch.Splat16(tbEExtend)
-	eightV := mch.Splat16(tbFExtend)
-	thr := opt.scalarThreshold(lanes16)
-
-	for d := 2; d <= m+n; d++ {
-		lo, hi := diagBounds(d, m, n)
-		segLen := hi - lo + 1
-		var tbDiagSlice []int8
-		if tb != nil {
-			tbDiagSlice = tb.diagSlice(d)
-		}
-		if segLen < thr {
-			for i := lo; i <= hi; i++ {
-				st.scalarCellAffine(mch, q, dseq, mat, &opt, trk, tbDiagSlice, d, i, lo)
-			}
-			st.rotate(mch, d)
-			continue
-		}
-		r := lo
-		for ; r+lanes16 <= hi+1; r += lanes16 {
-			score := st.scoreVec(mch, d, r)
-
-			up := mch.Load16(st.hPrev[r-1:])
-			left := mch.Load16(st.hPrev[r:])
-			diagv := mch.Load16(st.hPrev2[r-1:])
-			eIn := mch.Load16(st.ePrev[r:])
-			fIn := mch.Load16(st.fPrev[r-1:])
-
-			eExtPart := mch.SubSat16(eIn, extV)
-			eOpenPart := mch.SubSat16(left, openV)
-			e := mch.Max16(eExtPart, eOpenPart)
-			fExtPart := mch.SubSat16(fIn, extV)
-			fOpenPart := mch.SubSat16(up, openV)
-			f := mch.Max16(fExtPart, fOpenPart)
-
-			h0 := mch.AddSat16(diagv, score)
-			h := mch.Max16(h0, zeroV)
-			h = mch.Max16(h, e)
-			h = mch.Max16(h, f)
-
-			mch.Store16(st.hCur[r:], h)
-			mch.Store16(st.eCur[r:], e)
-			mch.Store16(st.fCur[r:], f)
-			if opt.RowMajorLayout {
-				// Ablation: a row-major layout turns the three diagonal
-				// stores and five diagonal loads into strided scalar
-				// traffic (Fig. 2 comparison).
-				mch.T.Add(vek.OpScalarLoad, vek.W256, 5*lanes16)
-				mch.T.Add(vek.OpScalarStore, vek.W256, 3*lanes16)
-			}
-
-			if opt.EagerMax {
-				eagerReduce(mch, trk, h)
-			} else {
-				trk.updateVector(mch, h, r, d)
-			}
-
-			if tb != nil {
-				eExt := mch.CmpGt16(eExtPart, eOpenPart)
-				fExt := mch.CmpGt16(fExtPart, fOpenPart)
-				dir := dirEncode(mch, h, h0, e, zeroV, oneV, twoV, threeV)
-				dir = mch.Or16(dir, mch.And16(eExt, fourV))
-				dir = mch.Or16(dir, mch.And16(fExt, eightV))
-				packed := mch.Narrow16To8(dir, zeroV)
-				mch.Store8Partial(tbDiagSlice[r-lo:r-lo+lanes16], packed)
-			}
-		}
-		if tail := hi - r + 1; tail > 0 {
-			if opt.ScalarTail {
-				for i := r; i <= hi; i++ {
-					st.scalarCellAffine(mch, q, dseq, mat, &opt, trk, tbDiagSlice, d, i, lo)
-				}
-			} else {
-				st.paddedTailAffine(mch, &opt, trk, tbDiagSlice, d, r, hi, lo, openV, extV)
-			}
-		}
-		st.rotate(mch, d)
-	}
-	trk.finish(mch, &res, int32(sat16))
-	return res, tb, nil
-}
-
-// scalarCellAffine computes one cell with scalar instructions,
-// matching the vector path bit for bit (including saturation).
-func (st *pairState16) scalarCellAffine(mch vek.Machine, q, dseq []uint8, mat *submat.Matrix, opt *PairOptions, trk *tracker, tbSlice []int8, d, i, lo int) {
-	j := d - i
-	sc := int32(mat.Score(q[i-1], dseq[j-1]))
-	eExtPart := satSub16(int32(st.ePrev[i]), opt.Gaps.Extend)
-	eOpenPart := satSub16(int32(st.hPrev[i]), opt.Gaps.Open)
-	e := maxI32(eExtPart, eOpenPart)
-	fExtPart := satSub16(int32(st.fPrev[i-1]), opt.Gaps.Extend)
-	fOpenPart := satSub16(int32(st.hPrev[i-1]), opt.Gaps.Open)
-	f := maxI32(fExtPart, fOpenPart)
-	h0 := satAdd16(int32(st.hPrev2[i-1]), sc)
-	h := maxI32(maxI32(h0, 0), maxI32(e, f))
-	st.hCur[i] = int16(h)
-	st.eCur[i] = int16(e)
-	st.fCur[i] = int16(f)
-	trk.updateScalar(h, i, d)
-	mch.T.Add(vek.OpScalar, vek.W256, 10)
-	mch.T.Add(vek.OpScalarLoad, vek.W256, 6)
-	mch.T.Add(vek.OpScalarStore, vek.W256, 3)
-	if tbSlice != nil {
-		var dir uint8
-		switch {
-		case h == 0:
-			dir = tbStop
-		case h == h0:
-			dir = tbDiag
-		case h == e:
-			dir = tbLeft
-		default:
-			dir = tbUp
-		}
-		if eExtPart > eOpenPart {
-			dir |= tbEExtend
-		}
-		if fExtPart > fOpenPart {
-			dir |= tbFExtend
-		}
-		tbSlice[i-lo] = int8(dir)
-		mch.T.Add(vek.OpScalarStore, vek.W256, 1)
-	}
-}
-
-// paddedTailAffine processes the final partial vector of a diagonal
-// with zero padding (§III-B, Fig. 3): partial loads bring in the valid
-// lanes, padded lanes compute garbage that the partial stores and the
-// masked maximum discard.
-func (st *pairState16) paddedTailAffine(mch vek.Machine, opt *PairOptions, trk *tracker, tbSlice []int8, d, r, hi, lo int, openV, extV vek.I16x16) {
-	valid := hi - r + 1
-	score := st.scoreVecPartial(mch, d, r, valid)
-
-	up := mch.Load16Partial(st.hPrev[r-1 : r-1+valid])
-	left := mch.Load16Partial(st.hPrev[r : r+valid])
-	diagv := mch.Load16Partial(st.hPrev2[r-1 : r-1+valid])
-	// E/F padded lanes must read -inf, not zero, so they cannot win
-	// the max; load full vectors (the buffers have slack) and rely on
-	// the partial stores to drop the padded lanes.
-	eIn := mch.Load16(st.ePrev[r:])
-	fIn := mch.Load16(st.fPrev[r-1:])
-
-	eExtPart := mch.SubSat16(eIn, extV)
-	eOpenPart := mch.SubSat16(left, openV)
-	e := mch.Max16(eExtPart, eOpenPart)
-	fExtPart := mch.SubSat16(fIn, extV)
-	fOpenPart := mch.SubSat16(up, openV)
-	f := mch.Max16(fExtPart, fOpenPart)
-
-	zeroV := mch.Zero16()
-	h0 := mch.AddSat16(diagv, score)
-	h := mch.Max16(h0, zeroV)
-	h = mch.Max16(h, e)
-	h = mch.Max16(h, f)
-	// Mask padded lanes to zero before folding into the maximum.
-	hMasked := h
-	for l := valid; l < lanes16; l++ {
-		hMasked[l] = 0
-	}
-	mch.T.Add(vek.OpLogic, vek.W256, 1) // the lane mask
-
-	mch.Store16Partial(st.hCur[r:r+valid], h)
-	mch.Store16Partial(st.eCur[r:r+valid], e)
-	mch.Store16Partial(st.fCur[r:r+valid], f)
-
-	if opt.EagerMax {
-		eagerReduce(mch, trk, hMasked)
-	} else {
-		trk.updateVector(mch, hMasked, r, d)
-	}
-	if tbSlice != nil {
-		oneV := mch.Splat16(tbDiag)
-		twoV := mch.Splat16(tbLeft)
-		threeV := mch.Splat16(tbUp)
-		eExt := mch.CmpGt16(eExtPart, eOpenPart)
-		fExt := mch.CmpGt16(fExtPart, fOpenPart)
-		dir := dirEncode(mch, h, h0, e, zeroV, oneV, twoV, threeV)
-		dir = mch.Or16(dir, mch.And16(eExt, mch.Splat16(tbEExtend)))
-		dir = mch.Or16(dir, mch.And16(fExt, mch.Splat16(tbFExtend)))
-		packed := mch.Narrow16To8(dir, zeroV)
-		mch.Store8Partial(tbSlice[r-lo:r-lo+valid], packed)
-	}
-}
-
-// dirEncode builds the 2-bit direction codes from the cell values
-// with mask arithmetic only — compares, ANDs and ORs — because
-// vpblendvb costs two port-5 uops on the older architectures and the
-// direction encode must stay hidden under the kernel's load/gather
-// bottleneck (the Fig. 8 "traceback is free" effect). Priority is
-// diag > left > up, with H==0 overriding everything to "stop"; "up"
-// needs no compare because H always equals one of its four sources.
-func dirEncode(mch vek.Machine, h, h0, e, zeroV, oneV, twoV, threeV vek.I16x16) vek.I16x16 {
-	maskD := mch.CmpEq16(h, h0)
-	maskE := mch.CmpEq16(h, e)
-	maskZ := mch.CmpEq16(h, zeroV)
-	dM := mch.And16(maskD, oneV)
-	dE := mch.And16(mch.AndNot16(maskE, maskD), twoV)
-	dF := mch.AndNot16(threeV, mch.Or16(maskD, maskE))
-	dir := mch.Or16(mch.Or16(dM, dE), dF)
-	return mch.AndNot16(dir, maskZ)
-}
-
-// clip32 returns s[off : off+want] clipped to at most want (>=0)
-// elements, for the partial-load tails.
-func clip32(s []int32, off, want int) []int32 {
-	if want < 0 {
-		want = 0
-	}
-	if off >= len(s) {
-		return nil
-	}
-	end := off + want
-	if end > len(s) {
-		end = len(s)
-	}
-	return s[off:end]
-}
-
-func satAdd16(a, b int32) int32 {
-	v := a + b
-	if v > 32767 {
-		return 32767
-	}
-	if v < -32768 {
-		return -32768
-	}
-	return v
-}
-
-func satSub16(a, b int32) int32 {
-	return satAdd16(a, -b)
-}
-
-func maxI32(a, b int32) int32 {
-	if a > b {
-		return a
-	}
-	return b
+	return alignPairAffine[vek.I16x16, int16](vek.E16x16{}, mch, q, dseq, mat, opt, &bufs)
 }

@@ -11,127 +11,23 @@ const lanes16w = 32
 
 // AlignPair16W is the AVX-512 build of the wavefront kernel: identical
 // structure to AlignPair16 but 32 16-bit lanes per issue, wide gathers
-// and wide saturating arithmetic. It exists for the Fig. 6 comparison:
-// half the instruction count per cell, but the architecture models
-// apply AVX-512 frequency licenses and port costs, so the end-to-end
-// speedup stays well under 2x (score-only; traceback uses the 256-bit
-// kernel).
+// and wide saturating arithmetic — the same generic engine instantiated
+// at I16x32. It exists for the Fig. 6 comparison: half the instruction
+// count per cell, but the architecture models apply AVX-512 frequency
+// licenses and port costs, so the end-to-end speedup stays well under
+// 2x (score-only; traceback uses the 256-bit kernel).
 func AlignPair16W(mch vek.Machine, q, dseq []uint8, mat *submat.Matrix, opt PairOptions) (aln.ScoreResult, error) {
-	res := aln.ScoreResult{EndQ: -1, EndD: -1}
 	if err := checkPair(q, dseq, &opt); err != nil {
-		return res, err
+		return aln.ScoreResult{EndQ: -1, EndD: -1}, err
 	}
-	m, n := len(q), len(dseq)
-	st := newPairState16Lanes(mch, q, dseq, mat, lanes16w)
-	trk := newTracker(mch, false)
-	open16 := int16(clampI32(opt.Gaps.Open, 32767))
-	ext16 := int16(clampI32(opt.Gaps.Extend, 32767))
-	openV := mch.Splat16W(open16)
-	extV := mch.Splat16W(ext16)
-	zeroV := mch.Zero16W()
-	vMax := zeroV
-	thr := opt.scalarThreshold(lanes16w)
-
-	for d := 2; d <= m+n; d++ {
-		lo, hi := diagBounds(d, m, n)
-		if hi-lo+1 < thr {
-			for i := lo; i <= hi; i++ {
-				st.scalarCellAffine(mch, q, dseq, mat, &opt, trk, nil, d, i, lo)
-			}
-			st.rotate(mch, d)
-			continue
-		}
-		r := lo
-		for ; r+lanes16w <= hi+1; r += lanes16w {
-			t0 := n - d + r
-			// Four 8-lane index loads per 16 lanes; two wide gathers
-			// cover all 32 lanes.
-			iqA := mch.Load32(st.qMul[r-1:])
-			iqB := mch.Load32(st.qMul[r+7:])
-			iqC := mch.Load32(st.qMul[r+15:])
-			iqD := mch.Load32(st.qMul[r+23:])
-			idA := mch.Load32(st.dRev[t0:])
-			idB := mch.Load32(st.dRev[t0+8:])
-			idC := mch.Load32(st.dRev[t0+16:])
-			idD := mch.Load32(st.dRev[t0+24:])
-			gA, gB := mch.Gather32W(st.flat, mch.Add32(iqA, idA), mch.Add32(iqB, idB))
-			gC, gD := mch.Gather32W(st.flat, mch.Add32(iqC, idC), mch.Add32(iqD, idD))
-			score := vek.I16x32{Lo: mch.Narrow32To16(gA, gB), Hi: mch.Narrow32To16(gC, gD)}
-
-			up := mch.Load16WPartial(st.hPrev[r-1 : r-1+lanes16w])
-			left := mch.Load16WPartial(st.hPrev[r : r+lanes16w])
-			diagv := mch.Load16WPartial(st.hPrev2[r-1 : r-1+lanes16w])
-			eIn := mch.Load16WPartial(st.ePrev[r : r+lanes16w])
-			fIn := mch.Load16WPartial(st.fPrev[r-1 : r-1+lanes16w])
-
-			e := mch.Max16W(mch.SubSat16W(eIn, extV), mch.SubSat16W(left, openV))
-			f := mch.Max16W(mch.SubSat16W(fIn, extV), mch.SubSat16W(up, openV))
-			h := mch.AddSat16W(diagv, score)
-			h = mch.Max16W(h, zeroV)
-			h = mch.Max16W(h, e)
-			h = mch.Max16W(h, f)
-
-			mch.Store16WPartial(st.hCur[r:r+lanes16w], h)
-			mch.Store16WPartial(st.eCur[r:r+lanes16w], e)
-			mch.Store16WPartial(st.fCur[r:r+lanes16w], f)
-			vMax = mch.Max16W(vMax, h)
-		}
-		if valid := hi - r + 1; valid > 0 {
-			// AVX-512 has native lane masking, so the tail is a single
-			// masked step rather than a scalar loop.
-			t0 := n - d + r
-			iqA := mch.Load32Partial(clip32(st.qMul, r-1, valid))
-			iqB := mch.Load32Partial(clip32(st.qMul, r+7, valid-8))
-			iqC := mch.Load32Partial(clip32(st.qMul, r+15, valid-16))
-			iqD := mch.Load32Partial(clip32(st.qMul, r+23, valid-24))
-			idA := mch.Load32Partial(clip32(st.dRev, t0, valid))
-			idB := mch.Load32Partial(clip32(st.dRev, t0+8, valid-8))
-			idC := mch.Load32Partial(clip32(st.dRev, t0+16, valid-16))
-			idD := mch.Load32Partial(clip32(st.dRev, t0+24, valid-24))
-			gA, gB := mch.Gather32W(st.flat, mch.Add32(iqA, idA), mch.Add32(iqB, idB))
-			gC, gD := mch.Gather32W(st.flat, mch.Add32(iqC, idC), mch.Add32(iqD, idD))
-			score := vek.I16x32{Lo: mch.Narrow32To16(gA, gB), Hi: mch.Narrow32To16(gC, gD)}
-
-			up := mch.Load16WPartial(st.hPrev[r-1 : r-1+valid])
-			left := mch.Load16WPartial(st.hPrev[r : r+valid])
-			diagv := mch.Load16WPartial(st.hPrev2[r-1 : r-1+valid])
-			eIn := mch.Load16WPartial(st.ePrev[r : r+lanes16w])
-			fIn := mch.Load16WPartial(st.fPrev[r-1 : r-1+lanes16w])
-
-			e := mch.Max16W(mch.SubSat16W(eIn, extV), mch.SubSat16W(left, openV))
-			f := mch.Max16W(mch.SubSat16W(fIn, extV), mch.SubSat16W(up, openV))
-			h := mch.AddSat16W(diagv, score)
-			h = mch.Max16W(h, zeroV)
-			h = mch.Max16W(h, e)
-			h = mch.Max16W(h, f)
-
-			mch.Store16WPartial(st.hCur[r:r+valid], h)
-			mch.Store16WPartial(st.eCur[r:r+valid], e)
-			mch.Store16WPartial(st.fCur[r:r+valid], f)
-			// Mask the padded lanes before folding into the maximum.
-			hMasked := h
-			for l := valid; l < lanes16w; l++ {
-				if l < 16 {
-					hMasked.Lo[l] = 0
-				} else {
-					hMasked.Hi[l-16] = 0
-				}
-			}
-			mch.T.Add(vek.OpLogic, vek.W512, 1)
-			vMax = mch.Max16W(vMax, hMasked)
-		}
-		st.rotate(mch, d)
-	}
-	best := int32(mch.ReduceMax16W(vMax))
-	if trk.best > best {
-		best = trk.best
-	}
-	res.Score = best
-	if best >= int32(sat16) {
-		res.Saturated = true
-	}
-	if best == 0 {
-		res.EndQ, res.EndD = -1, -1
-	}
-	return res, nil
+	// Score-only wide build: always the affine kernel with padded
+	// tails, no traceback or position tracking.
+	opt.Traceback = false
+	opt.TrackPosition = false
+	opt.EagerMax = false
+	opt.RowMajorLayout = false
+	opt.ScalarTail = false
+	var bufs pairBufs[int16]
+	res, _, err := alignPairAffine[vek.I16x32, int16](vek.E16x32{}, mch, q, dseq, mat, opt, &bufs)
+	return res, err
 }

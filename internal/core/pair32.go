@@ -17,136 +17,25 @@ const negInf32 = int32(-1 << 29)
 // saturation for any biologically plausible score, substitution scores
 // gathered directly (the 32-bit case of §III-C, no narrowing needed).
 // It is the final escalation tier when 16-bit scores saturate, so the
-// whole adaptive chain stays vectorized.
+// whole adaptive chain stays vectorized. opt.Scratch, when set,
+// supplies the working buffers so the search pipeline's escalation
+// path does not allocate.
 func AlignPair32(mch vek.Machine, q, dseq []uint8, mat *submat.Matrix, opt PairOptions) (aln.ScoreResult, error) {
-	res := aln.ScoreResult{EndQ: -1, EndD: -1}
 	if err := checkPair(q, dseq, &opt); err != nil {
-		return res, err
+		return aln.ScoreResult{EndQ: -1, EndD: -1}, err
 	}
-	m, n := len(q), len(dseq)
-	slack := lanes32 + 2
-	var local pair32Scratch
-	ps := &local
+	// Score-only tier: traceback, position tracking and the 16-bit
+	// ablation knobs do not apply; tails always use the padded vector.
+	opt.Traceback = false
+	opt.TrackPosition = false
+	opt.EagerMax = false
+	opt.RowMajorLayout = false
+	opt.ScalarTail = false
+	var local pairBufs[int32]
+	bufs := &local
 	if opt.Scratch != nil {
-		ps = &opt.Scratch.pair32
+		bufs = &opt.Scratch.pair32
 	}
-	size := m + 2 + slack
-	hPrev2 := buf32(&ps.h[0], size, 0)
-	hPrev := buf32(&ps.h[1], size, 0)
-	hCur := buf32(&ps.h[2], size, 0)
-	ePrev := buf32(&ps.e[0], size, negInf32)
-	eCur := buf32(&ps.e[1], size, negInf32)
-	fPrev := buf32(&ps.f[0], size, negInf32)
-	fCur := buf32(&ps.f[1], size, negInf32)
-	qMul := buf32(&ps.qMul, m+slack, 0)
-	for i, c := range q {
-		qMul[i] = int32(c) * submat.W
-	}
-	dRev := buf32(&ps.dRev, n+slack, 0)
-	for t := 0; t < n; t++ {
-		dRev[t] = int32(dseq[n-1-t])
-	}
-	flat := mat.Flat32()
-	mch.T.Add(vek.OpScalarStore, vek.W256, uint64(m+n))
-
-	openV := mch.Splat32(opt.Gaps.Open)
-	extV := mch.Splat32(opt.Gaps.Extend)
-	zeroV := mch.Zero32()
-	vMax := zeroV
-	var best int32
-	thr := opt.scalarThreshold(lanes32)
-
-	for d := 2; d <= m+n; d++ {
-		lo, hi := diagBounds(d, m, n)
-		if hi-lo+1 < thr {
-			for i := lo; i <= hi; i++ {
-				j := d - i
-				sc := int32(mat.Score(q[i-1], dseq[j-1]))
-				e := maxI32(ePrev[i]-opt.Gaps.Extend, hPrev[i]-opt.Gaps.Open)
-				f := maxI32(fPrev[i-1]-opt.Gaps.Extend, hPrev[i-1]-opt.Gaps.Open)
-				h := maxI32(maxI32(hPrev2[i-1]+sc, 0), maxI32(e, f))
-				hCur[i], eCur[i], fCur[i] = h, e, f
-				if h > best {
-					best = h
-				}
-				mch.T.Add(vek.OpScalar, vek.W256, 10)
-				mch.T.Add(vek.OpScalarLoad, vek.W256, 6)
-				mch.T.Add(vek.OpScalarStore, vek.W256, 3)
-			}
-			rotate32(mch, d, m, hCur, eCur, fCur)
-			hPrev2, hPrev, hCur = hPrev, hCur, hPrev2
-			ePrev, eCur = eCur, ePrev
-			fPrev, fCur = fCur, fPrev
-			continue
-		}
-		r := lo
-		for ; r+lanes32 <= hi+1; r += lanes32 {
-			t0 := n - d + r
-			iq := mch.Load32(qMul[r-1:])
-			id := mch.Load32(dRev[t0:])
-			score := mch.Gather32(flat, mch.Add32(iq, id))
-
-			up := mch.Load32(hPrev[r-1:])
-			left := mch.Load32(hPrev[r:])
-			diagv := mch.Load32(hPrev2[r-1:])
-			eIn := mch.Load32(ePrev[r:])
-			fIn := mch.Load32(fPrev[r-1:])
-
-			e := mch.Max32(mch.Sub32(eIn, extV), mch.Sub32(left, openV))
-			f := mch.Max32(mch.Sub32(fIn, extV), mch.Sub32(up, openV))
-			h := mch.Add32(diagv, score)
-			h = mch.Max32(h, zeroV)
-			h = mch.Max32(h, e)
-			h = mch.Max32(h, f)
-			mch.Store32(hCur[r:], h)
-			mch.Store32(eCur[r:], e)
-			mch.Store32(fCur[r:], f)
-			vMax = mch.Max32(vMax, h)
-		}
-		if valid := hi - r + 1; valid > 0 {
-			t0 := n - d + r
-			iq := mch.Load32Partial(clip32(qMul, r-1, valid))
-			id := mch.Load32Partial(clip32(dRev, t0, valid))
-			score := mch.Gather32(flat, mch.Add32(iq, id))
-			up := mch.Load32Partial(hPrev[r-1 : r-1+valid])
-			left := mch.Load32Partial(hPrev[r : r+valid])
-			diagv := mch.Load32Partial(hPrev2[r-1 : r-1+valid])
-			eIn := mch.Load32(ePrev[r:])
-			fIn := mch.Load32(fPrev[r-1:])
-			e := mch.Max32(mch.Sub32(eIn, extV), mch.Sub32(left, openV))
-			f := mch.Max32(mch.Sub32(fIn, extV), mch.Sub32(up, openV))
-			h := mch.Add32(diagv, score)
-			h = mch.Max32(h, zeroV)
-			h = mch.Max32(h, e)
-			h = mch.Max32(h, f)
-			mch.Store32Partial(hCur[r:r+valid], h)
-			mch.Store32Partial(eCur[r:r+valid], e)
-			mch.Store32Partial(fCur[r:r+valid], f)
-			hMasked := h
-			for l := valid; l < lanes32; l++ {
-				hMasked[l] = 0
-			}
-			mch.T.Add(vek.OpLogic, vek.W256, 1)
-			vMax = mch.Max32(vMax, hMasked)
-		}
-		rotate32(mch, d, m, hCur, eCur, fCur)
-		hPrev2, hPrev, hCur = hPrev, hCur, hPrev2
-		ePrev, eCur = eCur, ePrev
-		fPrev, fCur = fCur, fPrev
-	}
-	if v := mch.ReduceMax32(vMax); v > best {
-		best = v
-	}
-	res.Score = best
-	return res, nil
-}
-
-func rotate32(mch vek.Machine, d, m int, hCur, eCur, fCur []int32) {
-	hCur[0] = 0
-	eCur[0], fCur[0] = negInf32, negInf32
-	if d <= m {
-		hCur[d] = 0
-		eCur[d], fCur[d] = negInf32, negInf32
-	}
-	mch.T.Add(vek.OpScalarStore, vek.W256, 6)
+	res, _, err := alignPairAffine[vek.I32x8, int32](vek.E32x8{}, mch, q, dseq, mat, opt, bufs)
+	return res, err
 }

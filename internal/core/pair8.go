@@ -6,6 +6,24 @@ import (
 	"swvec/internal/vek"
 )
 
+// pair8Opt normalizes options for the score-only 8-bit pair kernels:
+// traceback and position tracking live in the 16-bit kernel, the gap
+// penalties must fit the byte range, and the ablation knobs that only
+// the 16-bit kernel models are cleared.
+func pair8Opt(opt PairOptions) PairOptions {
+	if opt.Gaps.Open > 127 {
+		opt.Gaps.Open = 127
+	}
+	if opt.Gaps.Extend > 127 {
+		opt.Gaps.Extend = 127
+	}
+	opt.Traceback = false
+	opt.TrackPosition = false
+	opt.EagerMax = false
+	opt.RowMajorLayout = false
+	return opt
+}
+
 // AlignPair8 aligns one pair with the 8-bit wavefront kernel: 32 cells
 // per instruction, affine gaps, deferred per-lane maxima, score-only.
 // Scores saturate at 127; callers check Saturated and escalate to
@@ -18,185 +36,35 @@ import (
 // problem §III-C describes, and the reason the 8-bit database-search
 // path uses the batch engine (AlignBatch8) instead.
 func AlignPair8(mch vek.Machine, q, dseq []uint8, mat *submat.Matrix, opt PairOptions) (aln.ScoreResult, error) {
-	res := aln.ScoreResult{EndQ: -1, EndD: -1}
 	if err := checkPair(q, dseq, &opt); err != nil {
-		return res, err
+		return aln.ScoreResult{EndQ: -1, EndD: -1}, err
 	}
-	if opt.Gaps.Open > 127 {
-		opt.Gaps.Open = 127
-	}
-	m, n := len(q), len(dseq)
-	match, mismatch, fixed := mat.FixedScores()
-	if fixed {
-		// The compare-and-blend path needs real residue codes: a
-		// sentinel matching a sentinel must not score as a match.
-		size := uint8(mat.Alphabet().Size())
-		for _, c := range q {
-			if c >= size {
-				fixed = false
-				break
-			}
-		}
-		for _, c := range dseq {
-			if c >= size {
-				fixed = false
-				break
-			}
-		}
-	}
-
-	slack := lanes8 + 2
-	mk := func(fill int8) []int8 {
-		b := make([]int8, m+2+slack)
-		if fill != 0 {
-			for i := range b {
-				b[i] = fill
-			}
-		}
-		return b
-	}
-	hPrev2, hPrev, hCur := mk(0), mk(0), mk(0)
-	ePrev, eCur := mk(negInf8), mk(negInf8)
-	fPrev, fCur := mk(negInf8), mk(negInf8)
-	// q8[i-1] and dRev8[t] hold residue codes as int8 for the
-	// compare path; prof supplies the general path.
-	q8 := make([]int8, m+slack)
-	for i, c := range q {
-		q8[i] = int8(c)
-	}
-	dRev8 := make([]int8, n+slack)
-	for t := 0; t < n; t++ {
-		dRev8[t] = int8(dseq[n-1-t])
-	}
-	var prof *submat.Profile8
-	if !fixed {
-		prof = submat.NewProfile8(mat, q)
-	}
-	mch.T.Add(vek.OpScalarStore, vek.W256, uint64(m+n))
-
-	openV := mch.Splat8(int8(clampI32(opt.Gaps.Open, 127)))
-	extV := mch.Splat8(int8(clampI32(opt.Gaps.Extend, 127)))
-	zeroV := mch.Zero8()
-	matchV := mch.Splat8(match)
-	mismatchV := mch.Splat8(mismatch)
-	vMax := zeroV
-	var scalarBest int32
-	scoreBuf := make([]int8, lanes8)
-	thr := opt.scalarThreshold(lanes8)
-
-	for d := 2; d <= m+n; d++ {
-		lo, hi := diagBounds(d, m, n)
-		if hi-lo+1 < thr {
-			for i := lo; i <= hi; i++ {
-				scalarBest = scalarCell8(mch, q, dseq, mat, &opt, scalarBest,
-					hPrev2, hPrev, hCur, ePrev, eCur, fPrev, fCur, d, i)
-			}
-			rotate8(mch, d, m, hCur, eCur, fCur)
-			hPrev2, hPrev, hCur = hPrev, hCur, hPrev2
-			ePrev, eCur = eCur, ePrev
-			fPrev, fCur = fCur, fPrev
-			continue
-		}
-		r := lo
-		for ; r+lanes8 <= hi+1; r += lanes8 {
-			var score vek.I8x32
-			if fixed {
-				t0 := n - d + r
-				qv := mch.Load8(q8[r-1:])
-				dv := mch.Load8(dRev8[t0:])
-				eq := mch.CmpEq8(qv, dv)
-				score = mch.Blend8(mismatchV, matchV, eq)
-			} else {
-				// No 8-bit gather exists: assemble the 32 scores with
-				// scalar profile lookups.
-				for l := 0; l < lanes8; l++ {
-					i := r + l
-					scoreBuf[l] = prof.Score(i-1, dseq[d-i-1])
-				}
-				mch.T.Add(vek.OpScalarLoad, vek.W256, lanes8)
-				mch.T.Add(vek.OpScalarStore, vek.W256, lanes8)
-				score = mch.Load8(scoreBuf)
-			}
-
-			up := mch.Load8(hPrev[r-1:])
-			left := mch.Load8(hPrev[r:])
-			diagv := mch.Load8(hPrev2[r-1:])
-			eIn := mch.Load8(ePrev[r:])
-			fIn := mch.Load8(fPrev[r-1:])
-
-			e := mch.Max8(mch.SubSat8(eIn, extV), mch.SubSat8(left, openV))
-			f := mch.Max8(mch.SubSat8(fIn, extV), mch.SubSat8(up, openV))
-			h := mch.AddSat8(diagv, score)
-			h = mch.Max8(h, zeroV)
-			h = mch.Max8(h, e)
-			h = mch.Max8(h, f)
-
-			mch.Store8(hCur[r:], h)
-			mch.Store8(eCur[r:], e)
-			mch.Store8(fCur[r:], f)
-			vMax = mch.Max8(vMax, h)
-		}
-		for i := r; i <= hi; i++ {
-			scalarBest = scalarCell8(mch, q, dseq, mat, &opt, scalarBest,
-				hPrev2, hPrev, hCur, ePrev, eCur, fPrev, fCur, d, i)
-		}
-		rotate8(mch, d, m, hCur, eCur, fCur)
-		hPrev2, hPrev, hCur = hPrev, hCur, hPrev2
-		ePrev, eCur = eCur, ePrev
-		fPrev, fCur = fCur, fPrev
-	}
-	best := int32(mch.ReduceMax8(vMax))
-	if scalarBest > best {
-		best = scalarBest
-	}
-	res.Score = best
-	if best >= int32(sat8) {
-		res.Saturated = true
-	}
-	return res, nil
+	opt = pair8Opt(opt)
+	// The scalar fallback handles partial tails: at 8 bits the padded
+	// tail would spend its masking ops on at most a few lanes' worth
+	// of useful work per short diagonal.
+	opt.ScalarTail = true
+	var bufs pairBufs[int8]
+	res, _, err := alignPairAffine[vek.I8x32, int8](vek.E8x32{}, mch, q, dseq, mat, opt, &bufs)
+	return res, err
 }
 
-func rotate8(mch vek.Machine, d, m int, hCur, eCur, fCur []int8) {
-	hCur[0] = 0
-	eCur[0], fCur[0] = negInf8, negInf8
-	if d <= m {
-		hCur[d] = 0
-		eCur[d], fCur[d] = negInf8, negInf8
+// AlignPair8W is the AVX-512 build of the 8-bit wavefront kernel: the
+// same generic engine instantiated at 64 lanes. Like AlignPair16W it
+// exists for the 256- vs 512-bit comparison; saturation behavior is
+// identical to AlignPair8.
+func AlignPair8W(mch vek.Machine, q, dseq []uint8, mat *submat.Matrix, opt PairOptions) (aln.ScoreResult, error) {
+	if err := checkPair(q, dseq, &opt); err != nil {
+		return aln.ScoreResult{EndQ: -1, EndD: -1}, err
 	}
-	mch.T.Add(vek.OpScalarStore, vek.W256, 6)
+	opt = pair8Opt(opt)
+	// At 64 lanes the padded tail wins back far more work than the
+	// scalar fallback, so the wide build keeps it.
+	opt.ScalarTail = false
+	var bufs pairBufs[int8]
+	res, _, err := alignPairAffine[vek.I8x64, int8](vek.E8x64{}, mch, q, dseq, mat, opt, &bufs)
+	return res, err
 }
-
-func scalarCell8(mch vek.Machine, q, dseq []uint8, mat *submat.Matrix, opt *PairOptions, best int32,
-	hPrev2, hPrev, hCur, ePrev, eCur, fPrev, fCur []int8, d, i int) int32 {
-	j := d - i
-	sc := int32(mat.Score(q[i-1], dseq[j-1]))
-	e := maxI32(satSub8(int32(ePrev[i]), opt.Gaps.Extend), satSub8(int32(hPrev[i]), opt.Gaps.Open))
-	f := maxI32(satSub8(int32(fPrev[i-1]), opt.Gaps.Extend), satSub8(int32(hPrev[i-1]), opt.Gaps.Open))
-	h := maxI32(maxI32(satAdd8(int32(hPrev2[i-1]), sc), 0), maxI32(e, f))
-	hCur[i] = int8(h)
-	eCur[i] = int8(e)
-	fCur[i] = int8(f)
-	mch.T.Add(vek.OpScalar, vek.W256, 10)
-	mch.T.Add(vek.OpScalarLoad, vek.W256, 6)
-	mch.T.Add(vek.OpScalarStore, vek.W256, 3)
-	if h > best {
-		return h
-	}
-	return best
-}
-
-func satAdd8(a, b int32) int32 {
-	v := a + b
-	if v > 127 {
-		return 127
-	}
-	if v < -128 {
-		return -128
-	}
-	return v
-}
-
-func satSub8(a, b int32) int32 { return satAdd8(a, -b) }
 
 // AlignPairAdaptive is the variable-bitwidth driver: run the cheap
 // 8-bit kernel first and escalate to 16 bits only when the score

@@ -1,0 +1,691 @@
+package core
+
+import (
+	"swvec/internal/aln"
+	"swvec/internal/submat"
+	"swvec/internal/vek"
+)
+
+// This file is the single pair-kernel implementation. The per-width
+// entry points (AlignPair8, AlignPair16, AlignPair16W, AlignPair32,
+// AlignPair8W) are thin instantiations of the two generic variants
+// below — affine and linear gap models — over a vek.Engine, so every
+// kernel optimization lands once and every engine (256- or 512-bit)
+// picks it up.
+//
+// Charging discipline: the generic code issues exactly the op sequence
+// the hand-written kernels issued, at the engine's width. The one
+// deliberate deviation is that the traceback direction constants are
+// only broadcast when a traceback is requested.
+
+// pairBufs owns the reusable buffers of one pair-kernel instantiation.
+// A zero value is ready to use; embedding one in Scratch makes the
+// kernel allocation-free on warm calls.
+type pairBufs[E vek.Elem] struct {
+	h          [3][]E
+	e, f       [2][]E
+	qMul, dRev []int32
+	qE, dRevE  []E
+	scoreBuf   []E
+}
+
+// bufE returns *p resized to n elements, reusing capacity, with every
+// element set to fill.
+func bufE[E vek.Elem](p *[]E, n int, fill E) []E {
+	b := *p
+	if cap(b) < n {
+		b = make([]E, n)
+	} else {
+		b = b[:n]
+	}
+	for i := range b {
+		b[i] = fill
+	}
+	*p = b
+	return b
+}
+
+// clipE returns s[off : off+want] clipped to at most want (>=0)
+// elements, for the partial-load tails.
+func clipE[E vek.Elem](s []E, off, want int) []E {
+	if want < 0 {
+		want = 0
+	}
+	if off >= len(s) {
+		return nil
+	}
+	end := off + want
+	if end > len(s) {
+		end = len(s)
+	}
+	return s[off:end]
+}
+
+// pairState bundles the rolling diagonal buffers and score-lookup
+// tables shared by the vector and scalar paths of one instantiation.
+type pairState[V any, E vek.Elem] struct {
+	m, n int
+	// hPrev2/hPrev/hCur are H along diagonals d-2, d-1, d; slot i is
+	// row i (1-based), slot 0 and slot d are boundary guards.
+	hPrev2, hPrev, hCur []E
+	ePrev, eCur         []E
+	fPrev, fCur         []E
+	// qMul[i] = 32*code(q[i]) and dRev[t] = code(dseq[n-1-t]) widened,
+	// so that a diagonal's gather indices come from two consecutive
+	// loads (§III-A: the memory order matches the fill order).
+	qMul []int32
+	dRev []int32
+	flat []int32
+	// fixed selects the match/mismatch fast path (Fig. 9's "without
+	// substitution matrix" configuration): scores come from a
+	// compare-and-blend on the residue codes below instead of gathers
+	// or profile lookups.
+	fixed       bool
+	matchVec    V
+	mismatchVec V
+	qE          []E
+	dRevE       []E
+	// prof and scoreBuf serve the 8-bit general path: no 8-bit gather
+	// exists, so scores are assembled lane by lane from the profile.
+	prof     *submat.Profile8
+	scoreBuf []E
+	dseq     []uint8
+}
+
+// initPairState prepares st for one alignment, reusing bufs.
+func initPairState[V any, E vek.Elem, En vek.Engine[V, E]](eng En, mch vek.Machine, st *pairState[V, E], q, dseq []uint8, mat *submat.Matrix, bufs *pairBufs[E]) {
+	m, n := len(q), len(dseq)
+	lanes := eng.Lanes()
+	slack := lanes + 2
+	size := m + 2 + slack
+	st.m, st.n = m, n
+	st.dseq = dseq
+	st.hPrev2 = bufE(&bufs.h[0], size, 0)
+	st.hPrev = bufE(&bufs.h[1], size, 0)
+	st.hCur = bufE(&bufs.h[2], size, 0)
+	neg := eng.NegInf()
+	st.ePrev = bufE(&bufs.e[0], size, neg)
+	st.eCur = bufE(&bufs.e[1], size, neg)
+	st.fPrev = bufE(&bufs.f[0], size, neg)
+	st.fCur = bufE(&bufs.f[1], size, neg)
+	if eng.HasGather() {
+		st.flat = mat.Flat32()
+		st.qMul = buf32(&bufs.qMul, m+slack, 0)
+		for i, c := range q {
+			st.qMul[i] = int32(c) * submat.W
+		}
+		st.dRev = buf32(&bufs.dRev, n+slack, 0)
+		for t := 0; t < n; t++ {
+			st.dRev[t] = int32(dseq[n-1-t])
+		}
+	}
+	st.fixed = false
+	if eng.SupportsFixed() {
+		if match, mismatch, ok := mat.FixedScores(); ok && allRealCodes(q, mat) && allRealCodes(dseq, mat) {
+			st.fixed = true
+			st.matchVec = eng.Splat(mch, eng.Clamp(int32(match)))
+			st.mismatchVec = eng.Splat(mch, eng.Clamp(int32(mismatch)))
+			st.qE = bufE(&bufs.qE, m+slack, 0)
+			for i, c := range q {
+				st.qE[i] = E(c)
+			}
+			st.dRevE = bufE(&bufs.dRevE, n+slack, 0)
+			for t := 0; t < n; t++ {
+				st.dRevE[t] = E(dseq[n-1-t])
+			}
+		}
+	}
+	if !eng.HasGather() && !st.fixed {
+		st.prof = submat.NewProfile8(mat, q)
+		st.scoreBuf = bufE(&bufs.scoreBuf, lanes, 0)
+	}
+	// One-time profile/index preparation, charged as scalar work.
+	mch.T.Add(vek.OpScalarStore, vek.W256, uint64(m+n))
+}
+
+// allRealCodes reports whether every residue code is a real residue of
+// the matrix's alphabet (the compare fast path must not treat two
+// sentinels as a match).
+func allRealCodes(seq []uint8, mat *submat.Matrix) bool {
+	size := uint8(mat.Alphabet().Size())
+	for _, c := range seq {
+		if c >= size {
+			return false
+		}
+	}
+	return true
+}
+
+// scoreVec computes the lane-count substitution scores for rows
+// r..r+lanes-1 of diagonal d: compare-and-blend for fixed scores,
+// gathers into the reorganized flat matrix for the 16/32-bit general
+// path, and lane-by-lane profile assembly for the 8-bit general path
+// (no 8-bit gather exists on any modeled architecture — §III-C).
+func scoreVec[V any, E vek.Elem, En vek.Engine[V, E]](eng En, mch vek.Machine, st *pairState[V, E], d, r int) V {
+	t0 := st.n - d + r
+	if st.fixed {
+		qv := eng.Load(mch, st.qE[r-1:])
+		dv := eng.Load(mch, st.dRevE[t0:])
+		eq := eng.CmpEq(mch, qv, dv)
+		return eng.Blend(mch, st.mismatchVec, st.matchVec, eq)
+	}
+	if eng.HasGather() {
+		return eng.GatherScores(mch, st.flat, st.qMul, st.dRev, r-1, t0)
+	}
+	lanes := eng.Lanes()
+	for l := 0; l < lanes; l++ {
+		i := r + l
+		st.scoreBuf[l] = E(st.prof.Score(i-1, st.dseq[d-i-1]))
+	}
+	mch.T.Add(vek.OpScalarLoad, vek.W256, uint64(lanes))
+	mch.T.Add(vek.OpScalarStore, vek.W256, uint64(lanes))
+	return eng.Load(mch, st.scoreBuf)
+}
+
+// scoreVecPartial is scoreVec for a zero-padded tail of valid lanes.
+func scoreVecPartial[V any, E vek.Elem, En vek.Engine[V, E]](eng En, mch vek.Machine, st *pairState[V, E], d, r, valid int) V {
+	t0 := st.n - d + r
+	if st.fixed {
+		qv := eng.LoadPartial(mch, clipE(st.qE, r-1, valid))
+		dv := eng.LoadPartial(mch, clipE(st.dRevE, t0, valid))
+		eq := eng.CmpEq(mch, qv, dv)
+		return eng.Blend(mch, st.mismatchVec, st.matchVec, eq)
+	}
+	if eng.HasGather() {
+		return eng.GatherScoresPartial(mch, st.flat, st.qMul, st.dRev, r-1, t0, valid)
+	}
+	for l := 0; l < valid; l++ {
+		i := r + l
+		st.scoreBuf[l] = E(st.prof.Score(i-1, st.dseq[d-i-1]))
+	}
+	mch.T.Add(vek.OpScalarLoad, vek.W256, uint64(valid))
+	mch.T.Add(vek.OpScalarStore, vek.W256, uint64(valid))
+	return eng.LoadPartial(mch, st.scoreBuf[:valid])
+}
+
+// rotate advances the rolling buffers by one diagonal and plants the
+// boundary guards for diagonal d (just computed): H(0,d)=H(d,0)=0 and
+// E/F boundaries at -inf.
+func rotatePair[V any, E vek.Elem, En vek.Engine[V, E]](eng En, mch vek.Machine, st *pairState[V, E], d int) {
+	neg := eng.NegInf()
+	st.hCur[0] = 0
+	st.eCur[0] = neg
+	st.fCur[0] = neg
+	if d <= st.m {
+		st.hCur[d] = 0
+		st.eCur[d] = neg
+		st.fCur[d] = neg
+	}
+	mch.T.Add(vek.OpScalarStore, vek.W256, 6)
+	st.hPrev2, st.hPrev, st.hCur = st.hPrev, st.hCur, st.hPrev2
+	st.ePrev, st.eCur = st.eCur, st.ePrev
+	st.fPrev, st.fCur = st.fCur, st.fPrev
+}
+
+// tracker accumulates the best score, optionally with its position.
+type tracker[V any, E vek.Elem] struct {
+	needPos bool
+	best    int32
+	endQ    int
+	endD    int
+	// vMax is the deferred per-lane maximum used when positions are
+	// not needed.
+	vMax V
+	// bestV broadcasts best for the position-tracking compare.
+	bestV V
+}
+
+func newTracker[V any, E vek.Elem, En vek.Engine[V, E]](eng En, mch vek.Machine, needPos bool) tracker[V, E] {
+	return tracker[V, E]{needPos: needPos, endQ: -1, endD: -1, vMax: eng.Zero(mch), bestV: eng.Zero(mch)}
+}
+
+// trkUpdateVector folds a full vector of fresh H values for rows
+// r..r+lanes-1 of diagonal d.
+func trkUpdateVector[V any, E vek.Elem, En vek.Engine[V, E]](eng En, mch vek.Machine, t *tracker[V, E], h V, r, d int) {
+	if !t.needPos {
+		t.vMax = eng.Max(mch, t.vMax, h)
+		return
+	}
+	gt := eng.CmpGt(mch, h, t.bestV)
+	if eng.MoveMask(mch, gt) == 0 {
+		return
+	}
+	// Rare path: some lane beats the current best; find it scalar-ly.
+	lanes := eng.Lanes()
+	for l := 0; l < lanes; l++ {
+		if v := int32(eng.Lane(h, l)); v > t.best {
+			t.best = v
+			row := r + l
+			t.endQ = row - 1
+			t.endD = d - row - 1
+		}
+	}
+	mch.T.Add(vek.OpScalar, vek.W256, uint64(lanes))
+	t.bestV = eng.Splat(mch, eng.Clamp(t.best))
+}
+
+// trkUpdateScalar folds one scalar cell value.
+func (t *tracker[V, E]) updateScalar(h int32, i, d int) {
+	if h > t.best {
+		t.best = h
+		if t.needPos {
+			t.endQ = i - 1
+			t.endD = d - i - 1
+		}
+	}
+}
+
+// trkFinish reduces the deferred maxima and fills the result.
+func trkFinish[V any, E vek.Elem, En vek.Engine[V, E]](eng En, mch vek.Machine, t *tracker[V, E], res *aln.ScoreResult) {
+	if !t.needPos {
+		if v := int32(eng.ReduceMax(mch, t.vMax)); v > t.best {
+			t.best = v
+		}
+	}
+	res.Score = t.best
+	res.EndQ, res.EndD = t.endQ, t.endD
+	if t.best >= eng.SatCeil() {
+		res.Saturated = true
+	}
+	if t.best == 0 {
+		res.EndQ, res.EndD = -1, -1
+	}
+}
+
+func clampI32(v, hi int32) int32 {
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// eagerReduce is the §III-D ablation: reduce every vector immediately
+// instead of keeping per-lane maxima.
+func eagerReduce[V any, E vek.Elem, En vek.Engine[V, E]](eng En, mch vek.Machine, t *tracker[V, E], h V) {
+	v := int32(eng.ReduceMax(mch, h))
+	mch.T.Add(vek.OpScalar, vek.W256, 1)
+	if v > t.best {
+		t.best = v
+	}
+}
+
+// alignPairAffine is the generic affine-gap wavefront kernel:
+// anti-diagonal vectorization, diagonal-indexed rolling buffers,
+// zero-padded or scalar tails for short segments, and the deferred
+// per-lane maximum of §III-D.
+func alignPairAffine[V any, E vek.Elem, En vek.Engine[V, E]](eng En, mch vek.Machine, q, dseq []uint8, mat *submat.Matrix, opt PairOptions, bufs *pairBufs[E]) (aln.ScoreResult, *TraceMatrix, error) {
+	res := aln.ScoreResult{EndQ: -1, EndD: -1}
+	m, n := len(q), len(dseq)
+	var st pairState[V, E]
+	initPairState(eng, mch, &st, q, dseq, mat, bufs)
+	var tb *TraceMatrix
+	if opt.Traceback {
+		tb = newTraceMatrix(m, n)
+	}
+	trk := newTracker[V, E](eng, mch, opt.Traceback || opt.TrackPosition)
+	lanes := eng.Lanes()
+	openV := eng.Splat(mch, eng.Clamp(opt.Gaps.Open))
+	extV := eng.Splat(mch, eng.Clamp(opt.Gaps.Extend))
+	zeroV := eng.Zero(mch)
+	var oneV, twoV, threeV, fourV, eightV V
+	if tb != nil {
+		oneV = eng.Splat(mch, E(tbDiag))
+		twoV = eng.Splat(mch, E(tbLeft))
+		threeV = eng.Splat(mch, E(tbUp))
+		fourV = eng.Splat(mch, E(tbEExtend))
+		eightV = eng.Splat(mch, E(tbFExtend))
+	}
+	thr := opt.scalarThreshold(lanes)
+
+	for d := 2; d <= m+n; d++ {
+		lo, hi := diagBounds(d, m, n)
+		segLen := hi - lo + 1
+		var tbDiagSlice []int8
+		if tb != nil {
+			tbDiagSlice = tb.diagSlice(d)
+		}
+		if segLen < thr {
+			for i := lo; i <= hi; i++ {
+				scalarCellAffine(eng, mch, &st, q, dseq, mat, &opt, &trk, tbDiagSlice, d, i, lo)
+			}
+			rotatePair(eng, mch, &st, d)
+			continue
+		}
+		r := lo
+		for ; r+lanes <= hi+1; r += lanes {
+			score := scoreVec(eng, mch, &st, d, r)
+
+			up := eng.Load(mch, st.hPrev[r-1:])
+			left := eng.Load(mch, st.hPrev[r:])
+			diagv := eng.Load(mch, st.hPrev2[r-1:])
+			eIn := eng.Load(mch, st.ePrev[r:])
+			fIn := eng.Load(mch, st.fPrev[r-1:])
+
+			eExtPart := eng.SubSat(mch, eIn, extV)
+			eOpenPart := eng.SubSat(mch, left, openV)
+			e := eng.Max(mch, eExtPart, eOpenPart)
+			fExtPart := eng.SubSat(mch, fIn, extV)
+			fOpenPart := eng.SubSat(mch, up, openV)
+			f := eng.Max(mch, fExtPart, fOpenPart)
+
+			h0 := eng.AddSat(mch, diagv, score)
+			h := eng.Max(mch, h0, zeroV)
+			h = eng.Max(mch, h, e)
+			h = eng.Max(mch, h, f)
+
+			eng.Store(mch, st.hCur[r:], h)
+			eng.Store(mch, st.eCur[r:], e)
+			eng.Store(mch, st.fCur[r:], f)
+			if opt.RowMajorLayout {
+				// Ablation: a row-major layout turns the three diagonal
+				// stores and five diagonal loads into strided scalar
+				// traffic (Fig. 2 comparison).
+				mch.T.Add(vek.OpScalarLoad, vek.W256, uint64(5*lanes))
+				mch.T.Add(vek.OpScalarStore, vek.W256, uint64(3*lanes))
+			}
+
+			if opt.EagerMax {
+				eagerReduce(eng, mch, &trk, h)
+			} else {
+				trkUpdateVector(eng, mch, &trk, h, r, d)
+			}
+
+			if tb != nil {
+				eExt := eng.CmpGt(mch, eExtPart, eOpenPart)
+				fExt := eng.CmpGt(mch, fExtPart, fOpenPart)
+				dir := dirEncode(eng, mch, h, h0, e, zeroV, oneV, twoV, threeV)
+				dir = eng.Or(mch, dir, eng.And(mch, eExt, fourV))
+				dir = eng.Or(mch, dir, eng.And(mch, fExt, eightV))
+				eng.StoreDirs(mch, tbDiagSlice[r-lo:r-lo+lanes], dir)
+			}
+		}
+		if tail := hi - r + 1; tail > 0 {
+			if opt.ScalarTail {
+				for i := r; i <= hi; i++ {
+					scalarCellAffine(eng, mch, &st, q, dseq, mat, &opt, &trk, tbDiagSlice, d, i, lo)
+				}
+			} else {
+				paddedTailAffine(eng, mch, &st, &opt, &trk, tbDiagSlice, d, r, hi, lo, openV, extV)
+			}
+		}
+		rotatePair(eng, mch, &st, d)
+	}
+	trkFinish(eng, mch, &trk, &res)
+	return res, tb, nil
+}
+
+// scalarCellAffine computes one cell with scalar instructions,
+// matching the vector path bit for bit (including saturation).
+func scalarCellAffine[V any, E vek.Elem, En vek.Engine[V, E]](eng En, mch vek.Machine, st *pairState[V, E], q, dseq []uint8, mat *submat.Matrix, opt *PairOptions, trk *tracker[V, E], tbSlice []int8, d, i, lo int) {
+	j := d - i
+	sc := int32(mat.Score(q[i-1], dseq[j-1]))
+	eExtPart := eng.SatSub(int32(st.ePrev[i]), opt.Gaps.Extend)
+	eOpenPart := eng.SatSub(int32(st.hPrev[i]), opt.Gaps.Open)
+	e := maxI32(eExtPart, eOpenPart)
+	fExtPart := eng.SatSub(int32(st.fPrev[i-1]), opt.Gaps.Extend)
+	fOpenPart := eng.SatSub(int32(st.hPrev[i-1]), opt.Gaps.Open)
+	f := maxI32(fExtPart, fOpenPart)
+	h0 := eng.SatAdd(int32(st.hPrev2[i-1]), sc)
+	h := maxI32(maxI32(h0, 0), maxI32(e, f))
+	st.hCur[i] = E(h)
+	st.eCur[i] = E(e)
+	st.fCur[i] = E(f)
+	trk.updateScalar(h, i, d)
+	mch.T.Add(vek.OpScalar, vek.W256, 10)
+	mch.T.Add(vek.OpScalarLoad, vek.W256, 6)
+	mch.T.Add(vek.OpScalarStore, vek.W256, 3)
+	if tbSlice != nil {
+		var dir uint8
+		switch {
+		case h == 0:
+			dir = tbStop
+		case h == h0:
+			dir = tbDiag
+		case h == e:
+			dir = tbLeft
+		default:
+			dir = tbUp
+		}
+		if eExtPart > eOpenPart {
+			dir |= tbEExtend
+		}
+		if fExtPart > fOpenPart {
+			dir |= tbFExtend
+		}
+		tbSlice[i-lo] = int8(dir)
+		mch.T.Add(vek.OpScalarStore, vek.W256, 1)
+	}
+}
+
+// paddedTailAffine processes the final partial vector of a diagonal
+// with zero padding (§III-B, Fig. 3): partial loads bring in the valid
+// lanes, padded lanes compute garbage that the partial stores and the
+// masked maximum discard.
+func paddedTailAffine[V any, E vek.Elem, En vek.Engine[V, E]](eng En, mch vek.Machine, st *pairState[V, E], opt *PairOptions, trk *tracker[V, E], tbSlice []int8, d, r, hi, lo int, openV, extV V) {
+	valid := hi - r + 1
+	score := scoreVecPartial(eng, mch, st, d, r, valid)
+
+	up := eng.LoadPartial(mch, st.hPrev[r-1:r-1+valid])
+	left := eng.LoadPartial(mch, st.hPrev[r:r+valid])
+	diagv := eng.LoadPartial(mch, st.hPrev2[r-1:r-1+valid])
+	// E/F padded lanes must read -inf, not zero, so they cannot win
+	// the max; load full vectors (the buffers have slack) and rely on
+	// the partial stores to drop the padded lanes.
+	eIn := eng.Load(mch, st.ePrev[r:])
+	fIn := eng.Load(mch, st.fPrev[r-1:])
+
+	eExtPart := eng.SubSat(mch, eIn, extV)
+	eOpenPart := eng.SubSat(mch, left, openV)
+	e := eng.Max(mch, eExtPart, eOpenPart)
+	fExtPart := eng.SubSat(mch, fIn, extV)
+	fOpenPart := eng.SubSat(mch, up, openV)
+	f := eng.Max(mch, fExtPart, fOpenPart)
+
+	zeroV := eng.Zero(mch)
+	h0 := eng.AddSat(mch, diagv, score)
+	h := eng.Max(mch, h0, zeroV)
+	h = eng.Max(mch, h, e)
+	h = eng.Max(mch, h, f)
+	// Mask padded lanes to zero before folding into the maximum.
+	hMasked := eng.MaskTail(mch, h, valid)
+
+	eng.StorePartial(mch, st.hCur[r:r+valid], h)
+	eng.StorePartial(mch, st.eCur[r:r+valid], e)
+	eng.StorePartial(mch, st.fCur[r:r+valid], f)
+
+	if opt.EagerMax {
+		eagerReduce(eng, mch, trk, hMasked)
+	} else {
+		trkUpdateVector(eng, mch, trk, hMasked, r, d)
+	}
+	if tbSlice != nil {
+		oneV := eng.Splat(mch, E(tbDiag))
+		twoV := eng.Splat(mch, E(tbLeft))
+		threeV := eng.Splat(mch, E(tbUp))
+		eExt := eng.CmpGt(mch, eExtPart, eOpenPart)
+		fExt := eng.CmpGt(mch, fExtPart, fOpenPart)
+		dir := dirEncode(eng, mch, h, h0, e, zeroV, oneV, twoV, threeV)
+		dir = eng.Or(mch, dir, eng.And(mch, eExt, eng.Splat(mch, E(tbEExtend))))
+		dir = eng.Or(mch, dir, eng.And(mch, fExt, eng.Splat(mch, E(tbFExtend))))
+		eng.StoreDirs(mch, tbSlice[r-lo:r-lo+valid], dir)
+	}
+}
+
+// alignPairLinear is the reduced kernel for the linear gap model
+// (Fig. 7's "without affine gap penalty" configuration): no E/F gap
+// state is kept, every gap step pays the flat extension cost, saving
+// two buffer loads, two stores and four arithmetic ops per vector.
+func alignPairLinear[V any, E vek.Elem, En vek.Engine[V, E]](eng En, mch vek.Machine, q, dseq []uint8, mat *submat.Matrix, opt PairOptions, bufs *pairBufs[E]) (aln.ScoreResult, *TraceMatrix, error) {
+	res := aln.ScoreResult{EndQ: -1, EndD: -1}
+	m, n := len(q), len(dseq)
+	var st pairState[V, E]
+	initPairState(eng, mch, &st, q, dseq, mat, bufs)
+	var tb *TraceMatrix
+	if opt.Traceback {
+		tb = newTraceMatrix(m, n)
+	}
+	trk := newTracker[V, E](eng, mch, opt.Traceback || opt.TrackPosition)
+	lanes := eng.Lanes()
+	extV := eng.Splat(mch, eng.Clamp(opt.Gaps.Extend))
+	zeroV := eng.Zero(mch)
+	var oneV, twoV, threeV V
+	if tb != nil {
+		oneV = eng.Splat(mch, E(tbDiag))
+		twoV = eng.Splat(mch, E(tbLeft))
+		threeV = eng.Splat(mch, E(tbUp))
+	}
+	thr := opt.scalarThreshold(lanes)
+
+	for d := 2; d <= m+n; d++ {
+		lo, hi := diagBounds(d, m, n)
+		var tbDiagSlice []int8
+		if tb != nil {
+			tbDiagSlice = tb.diagSlice(d)
+		}
+		if hi-lo+1 < thr {
+			for i := lo; i <= hi; i++ {
+				scalarCellLinear(eng, mch, &st, q, dseq, mat, &opt, &trk, tbDiagSlice, d, i, lo)
+			}
+			rotatePair(eng, mch, &st, d)
+			continue
+		}
+		r := lo
+		for ; r+lanes <= hi+1; r += lanes {
+			// The general-matrix path always gathers here: the linear
+			// kernel keeps the full-vector body independent of the
+			// fixed-score fast path (the tails do use it).
+			var score V
+			if !st.fixed && eng.HasGather() {
+				score = eng.GatherScores(mch, st.flat, st.qMul, st.dRev, r-1, st.n-d+r)
+			} else {
+				score = scoreVec(eng, mch, &st, d, r)
+			}
+
+			up := eng.Load(mch, st.hPrev[r-1:])
+			left := eng.Load(mch, st.hPrev[r:])
+			diagv := eng.Load(mch, st.hPrev2[r-1:])
+
+			e := eng.SubSat(mch, left, extV)
+			f := eng.SubSat(mch, up, extV)
+			h0 := eng.AddSat(mch, diagv, score)
+			h := eng.Max(mch, h0, zeroV)
+			h = eng.Max(mch, h, e)
+			h = eng.Max(mch, h, f)
+			eng.Store(mch, st.hCur[r:], h)
+			if opt.RowMajorLayout {
+				mch.T.Add(vek.OpScalarLoad, vek.W256, uint64(3*lanes))
+				mch.T.Add(vek.OpScalarStore, vek.W256, uint64(lanes))
+			}
+
+			if opt.EagerMax {
+				eagerReduce(eng, mch, &trk, h)
+			} else {
+				trkUpdateVector(eng, mch, &trk, h, r, d)
+			}
+
+			if tb != nil {
+				dir := dirEncode(eng, mch, h, h0, e, zeroV, oneV, twoV, threeV)
+				eng.StoreDirs(mch, tbDiagSlice[r-lo:r-lo+lanes], dir)
+			}
+		}
+		if tail := hi - r + 1; tail > 0 {
+			if opt.ScalarTail {
+				for i := r; i <= hi; i++ {
+					scalarCellLinear(eng, mch, &st, q, dseq, mat, &opt, &trk, tbDiagSlice, d, i, lo)
+				}
+			} else {
+				paddedTailLinear(eng, mch, &st, &opt, &trk, tbDiagSlice, d, r, hi, lo, extV)
+			}
+		}
+		rotatePair(eng, mch, &st, d)
+	}
+	trkFinish(eng, mch, &trk, &res)
+	return res, tb, nil
+}
+
+// paddedTailLinear processes the final partial vector of a diagonal
+// with zero padding (§III-B) under the linear gap model.
+func paddedTailLinear[V any, E vek.Elem, En vek.Engine[V, E]](eng En, mch vek.Machine, st *pairState[V, E], opt *PairOptions, trk *tracker[V, E], tbSlice []int8, d, r, hi, lo int, extV V) {
+	valid := hi - r + 1
+	score := scoreVecPartial(eng, mch, st, d, r, valid)
+	up := eng.LoadPartial(mch, st.hPrev[r-1:r-1+valid])
+	left := eng.LoadPartial(mch, st.hPrev[r:r+valid])
+	diagv := eng.LoadPartial(mch, st.hPrev2[r-1:r-1+valid])
+	zeroV := eng.Zero(mch)
+	e := eng.SubSat(mch, left, extV)
+	f := eng.SubSat(mch, up, extV)
+	h0 := eng.AddSat(mch, diagv, score)
+	h := eng.Max(mch, h0, zeroV)
+	h = eng.Max(mch, h, e)
+	h = eng.Max(mch, h, f)
+	eng.StorePartial(mch, st.hCur[r:r+valid], h)
+	hMasked := eng.MaskTail(mch, h, valid)
+	if opt.EagerMax {
+		eagerReduce(eng, mch, trk, hMasked)
+	} else {
+		trkUpdateVector(eng, mch, trk, hMasked, r, d)
+	}
+	if tbSlice != nil {
+		oneV := eng.Splat(mch, E(tbDiag))
+		twoV := eng.Splat(mch, E(tbLeft))
+		threeV := eng.Splat(mch, E(tbUp))
+		dir := dirEncode(eng, mch, h, h0, e, zeroV, oneV, twoV, threeV)
+		eng.StoreDirs(mch, tbSlice[r-lo:r-lo+valid], dir)
+	}
+}
+
+// scalarCellLinear computes one linear-gap cell with scalar
+// instructions.
+func scalarCellLinear[V any, E vek.Elem, En vek.Engine[V, E]](eng En, mch vek.Machine, st *pairState[V, E], q, dseq []uint8, mat *submat.Matrix, opt *PairOptions, trk *tracker[V, E], tbSlice []int8, d, i, lo int) {
+	j := d - i
+	sc := int32(mat.Score(q[i-1], dseq[j-1]))
+	e := eng.SatSub(int32(st.hPrev[i]), opt.Gaps.Extend)
+	f := eng.SatSub(int32(st.hPrev[i-1]), opt.Gaps.Extend)
+	h0 := eng.SatAdd(int32(st.hPrev2[i-1]), sc)
+	h := maxI32(maxI32(h0, 0), maxI32(e, f))
+	st.hCur[i] = E(h)
+	trk.updateScalar(h, i, d)
+	mch.T.Add(vek.OpScalar, vek.W256, 6)
+	mch.T.Add(vek.OpScalarLoad, vek.W256, 4)
+	mch.T.Add(vek.OpScalarStore, vek.W256, 1)
+	if tbSlice != nil {
+		var dir uint8
+		switch {
+		case h == 0:
+			dir = tbStop
+		case h == h0:
+			dir = tbDiag
+		case h == e:
+			dir = tbLeft
+		default:
+			dir = tbUp
+		}
+		tbSlice[i-lo] = int8(dir)
+		mch.T.Add(vek.OpScalarStore, vek.W256, 1)
+	}
+}
+
+// dirEncode builds the 2-bit direction codes from the cell values
+// with mask arithmetic only — compares, ANDs and ORs — because
+// vpblendvb costs two port-5 uops on the older architectures and the
+// direction encode must stay hidden under the kernel's load/gather
+// bottleneck (the Fig. 8 "traceback is free" effect). Priority is
+// diag > left > up, with H==0 overriding everything to "stop"; "up"
+// needs no compare because H always equals one of its four sources.
+func dirEncode[V any, E vek.Elem, En vek.Engine[V, E]](eng En, mch vek.Machine, h, h0, e, zeroV, oneV, twoV, threeV V) V {
+	maskD := eng.CmpEq(mch, h, h0)
+	maskE := eng.CmpEq(mch, h, e)
+	maskZ := eng.CmpEq(mch, h, zeroV)
+	dM := eng.And(mch, maskD, oneV)
+	dE := eng.And(mch, eng.AndNot(mch, maskE, maskD), twoV)
+	dF := eng.AndNot(mch, threeV, eng.Or(mch, maskD, maskE))
+	dir := eng.Or(mch, eng.Or(mch, dM, dE), dF)
+	return eng.AndNot(mch, dir, maskZ)
+}
+
+func maxI32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}

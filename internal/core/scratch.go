@@ -1,34 +1,37 @@
 package core
 
-import (
-	"swvec/internal/vek"
-)
-
 // A Scratch holds the reusable working buffers of the batch engines
-// and the 32-bit pair kernel: the transposed-residue int8 conversion,
-// the DP column state, the per-row block carries, the §III-C per-code
-// score rows, and the 32-bit kernel's diagonal buffers. One Scratch
-// belongs to one worker goroutine — it is not safe for concurrent use —
-// and threading it through BatchOptions.Scratch / PairOptions.Scratch
-// makes the steady-state search hot path allocation-free: every buffer
-// grows to the largest size seen and is then reused verbatim.
+// and the pair kernels' escalation tier: the transposed-residue int8
+// conversion, the DP column state, the per-row block carries, the
+// §III-C per-code score rows, and the 32-bit pair kernel's diagonal
+// buffers. One Scratch belongs to one worker goroutine — it is not
+// safe for concurrent use — and threading it through
+// BatchOptions.Scratch / PairOptions.Scratch makes the steady-state
+// search hot path allocation-free: every buffer grows to the largest
+// size seen and is then reused verbatim. The batch buffers are sized
+// by the batch's actual lane count, so one Scratch serves both the
+// 256-bit (32-lane) and 512-bit (64-lane) engines.
 //
 // A nil Scratch keeps the allocate-per-call behavior, so the zero
 // options remain valid.
 type Scratch struct {
 	// t8 holds the batch's transposed residue matrix as int8 lanes.
 	t8 []int8
-	// state is the 8-bit engine's column state (H and F rows).
-	state batchState
 	// score is the per-code substitution score cache of §III-C.
 	score batchScratch
-	// eCarry/hLeftCarry/hDiagCarry are the 8-bit engine's per-query-row
-	// carries across column blocks.
-	eCarry, hLeftCarry, hDiagCarry []vek.I8x32
-	// hRow16/fRow16 are the 16-bit batch engine's column state.
+	// hRow8/fRow8 are the 8-bit batch engines' column state (H and F
+	// rows, flattened with the batch's lane stride).
+	hRow8, fRow8 []int8
+	// hRow16/fRow16 are the 16-bit batch engines' column state.
 	hRow16, fRow16 []int16
+	// carryE8/carryL8/carryD8 are the 8-bit engines' per-query-row
+	// carries across column blocks (E, H-left, H-diagonal), flattened
+	// with the batch's lane stride.
+	carryE8, carryL8, carryD8 []int8
+	// carryE16/carryL16/carryD16 are the 16-bit engines' carries.
+	carryE16, carryL16, carryD16 []int16
 	// pair32 holds the 32-bit pair kernel's diagonal buffers.
-	pair32 pair32Scratch
+	pair32 pairBufs[int32]
 }
 
 // NewScratch returns an empty scratch whose buffers grow on first use
@@ -51,55 +54,62 @@ func (s *Scratch) codes(t []uint8) []int8 {
 	return s.t8
 }
 
-// carryBufs returns the three per-query-row carry buffers for a query
-// of length m, with the H carries zeroed; the caller initializes the E
-// carries to its -inf value.
-func (s *Scratch) carryBufs(m int) (e, left, diag []vek.I8x32) {
-	if cap(s.eCarry) < m {
-		s.eCarry = make([]vek.I8x32, m)
-		s.hLeftCarry = make([]vek.I8x32, m)
-		s.hDiagCarry = make([]vek.I8x32, m)
+// growE returns *p resized to n entries without initializing them,
+// reusing capacity.
+func growE[E any](p *[]E, n int) []E {
+	b := *p
+	if cap(b) < n {
+		b = make([]E, n)
+	} else {
+		b = b[:n]
 	}
-	e = s.eCarry[:m]
-	left = s.hLeftCarry[:m]
-	diag = s.hDiagCarry[:m]
-	var zero vek.I8x32
-	for i := 0; i < m; i++ {
+	*p = b
+	return b
+}
+
+// carryBufsE returns three per-query-row carry buffers of m rows with
+// the given lane stride, with the H carries zeroed; the caller
+// initializes the E carries to its -inf value. The carries model
+// register spills at block boundaries, so their traffic is uncharged.
+func carryBufsE[E any](pe, pl, pd *[]E, m, stride int) (e, left, diag []E) {
+	need := m * stride
+	e = growE(pe, need)
+	left = growE(pl, need)
+	diag = growE(pd, need)
+	var zero E
+	for i := 0; i < need; i++ {
 		left[i] = zero
 		diag[i] = zero
 	}
 	return e, left, diag
 }
 
-// rows16 returns the 16-bit engine's column-state rows for a batch of
-// MaxLen n, zero-initialized (H) and -inf-initialized (F, affine only).
-func (s *Scratch) rows16(n int, linear bool) (h, f []int16) {
-	need := n * lanes8
-	if cap(s.hRow16) < need {
-		s.hRow16 = make([]int16, need)
-		s.fRow16 = make([]int16, need)
-	} else {
-		s.hRow16 = s.hRow16[:need]
-		s.fRow16 = s.fRow16[:need]
-		for i := range s.hRow16 {
-			s.hRow16[i] = 0
+// rowBufsE returns the H/F column-state rows for a batch of MaxLen n
+// with the given lane stride, zero-initialized (H) and filled with
+// negInf (F, affine only).
+func rowBufsE[E any](ph, pf *[]E, n, stride int, affine bool, negInf E) (h, f []E) {
+	need := n * stride
+	h = growE(ph, need)
+	f = growE(pf, need)
+	var zero E
+	for i := range h {
+		h[i] = zero
+	}
+	if affine {
+		for i := range f {
+			f[i] = negInf
 		}
 	}
-	if !linear {
-		for i := range s.fRow16 {
-			s.fRow16[i] = negInf16
-		}
-	}
-	return s.hRow16, s.fRow16
+	return h, f
 }
 
-// pair32Scratch bundles the 32-bit pair kernel's rolling diagonal
-// buffers and index vectors so the stage-3 rescue loop reuses them.
-type pair32Scratch struct {
-	h    [3][]int32
-	e, f [2][]int32
-	qMul []int32
-	dRev []int32
+// codesAsInt8 reinterprets residue codes (0..31) as int8 lanes.
+func codesAsInt8(codes []uint8) []int8 {
+	out := make([]int8, len(codes))
+	for i, c := range codes {
+		out[i] = int8(c)
+	}
+	return out
 }
 
 // buf32 returns *p resized to n entries, every entry set to fill.

@@ -91,10 +91,10 @@ func Fig10Tuning(cfg Config) *stats.Table {
 		}
 		cells := int64(len(q)) * int64(len(w.target))
 		// Batch-engine component with the layout knobs.
-		talB, cellsB, _ := w.searchTally(q, tc["block_cols"], tc["sort_by_length"] == 1, w.gaps)
+		talB, cellsB, _ := w.searchTally(q, tc["block_cols"], tc["sort_by_length"] == 1, w.gaps, 256)
 		tal.Merge(talB)
 		cells += cellsB
-		m := measured{tally: tal, cells: cells, wsKB: w.batchWorkingSetKB(tc["block_cols"])}
+		m := measured{tally: tal, cells: cells, wsKB: w.batchWorkingSetKB(tc["block_cols"], seqio.BatchLanes)}
 		cache[k] = m
 		return m
 	}

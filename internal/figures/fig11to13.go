@@ -10,6 +10,7 @@ import (
 	"swvec/internal/perfmodel"
 	"swvec/internal/profile"
 	"swvec/internal/sched"
+	"swvec/internal/seqio"
 	"swvec/internal/stats"
 	"swvec/internal/submat"
 	"swvec/internal/vek"
@@ -114,7 +115,7 @@ func Fig13Scenarios(cfg Config) *stats.Table {
 	w := newWorkload(cfg)
 	arch := isa.Get(isa.Skylake)
 	threads := runtime.GOMAXPROCS(0)
-	opt := sched.Options{Gaps: w.gaps, Threads: threads, Instrument: true}
+	opt := sched.Options{Gaps: w.gaps, Threads: threads, Instrument: true, Width: cfg.Width}
 	t := &stats.Table{
 		Title:   "Fig 13: usage scenarios (measured on host + modeled Skylake, all threads)",
 		Headers: []string{"scenario", "cells", "host_ms", "host_GCUPS", "modeled_GCUPS_1T"},
@@ -127,7 +128,7 @@ func Fig13Scenarios(cfg Config) *stats.Table {
 	if err != nil {
 		panic(err)
 	}
-	r1 := pairRunWS(arch, s1.Tally, s1.Cells, w.batchWorkingSetKB(0))
+	r1 := pairRunWS(arch, s1.Tally, s1.Cells, w.batchWorkingSetKB(0, seqio.BatchLanes))
 	t.AddRow("S1 single query vs DB", s1.Cells, fmt.Sprintf("%.1f", float64(s1.Elapsed.Microseconds())/1000), s1.GCUPS(), r1.GCUPS1())
 
 	// Scenario 2: batch of queries vs database (centralized server).
@@ -137,7 +138,7 @@ func Fig13Scenarios(cfg Config) *stats.Table {
 	if err != nil {
 		panic(err)
 	}
-	r2 := pairRunWS(arch, s2.Tally, s2.Cells, w.batchWorkingSetKB(0))
+	r2 := pairRunWS(arch, s2.Tally, s2.Cells, w.batchWorkingSetKB(0, seqio.BatchLanes))
 	t.AddRow("S2 batched queries vs DB", s2.Cells, fmt.Sprintf("%.1f", float64(s2.Elapsed.Microseconds())/1000), s2.GCUPS(), r2.GCUPS1())
 
 	// Scenario 3: small queries vs small database (subroutine).

@@ -5,6 +5,7 @@ import (
 
 	"swvec/internal/baselines"
 	"swvec/internal/isa"
+	"swvec/internal/seqio"
 	"swvec/internal/stats"
 	"swvec/internal/vek"
 )
@@ -44,8 +45,8 @@ func Fig14VsParasail(cfg Config) (*stats.Table, Headline) {
 	measures := make([]meas, len(w.encQ))
 	for qi, q := range w.encQ {
 		var m meas
-		m.ours, m.cells, _ = w.searchTally(q, 0, true, w.gaps)
-		m.wsOurs = w.batchWorkingSetKB(0)
+		m.ours, m.cells, _ = w.searchTally(q, 0, true, w.gaps, 256)
+		m.wsOurs = w.batchWorkingSetKB(0, seqio.BatchLanes)
 
 		mchD, talD := vek.NewMachine()
 		mchS, talS := vek.NewMachine()

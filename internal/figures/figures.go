@@ -31,6 +31,11 @@ type Config struct {
 	// PairTargetLen is the database-sequence length used by the
 	// pairwise figures (6, 8, 9).
 	PairTargetLen int
+	// Width is the vector register width for the search-pipeline
+	// figures: 256, 512, or 0 to auto-resolve from the native
+	// architecture model (see sched.Options.Width). Fig. 6 always runs
+	// both widths regardless.
+	Width int
 	// Quick shrinks everything for fast benchmark iterations.
 	Quick bool
 }
@@ -42,7 +47,9 @@ func (c Config) normalized() Config {
 	}
 	if c.Quick {
 		if c.DBSize == 0 {
-			c.DBSize = 32
+			// One full 64-lane batch: the Fig. 6 width comparison stays
+			// meaningful even at quick scale.
+			c.DBSize = 64
 		}
 		if len(c.QueryLens) == 0 {
 			c.QueryLens = []int{35, 110, 320}
@@ -118,11 +125,13 @@ func pairRunWS(arch *isa.Arch, tal *vek.Tally, cells int64, wsKB float64) perfmo
 }
 
 // searchTally runs the full 8-bit batch search (with 16-bit rescue)
-// single-threaded and instrumented, returning the merged tally, the
-// cell count, and the rescue count.
-func (w *workload) searchTally(query []uint8, blockCols int, sortLen bool, gaps aln.Gaps) (*vek.Tally, int64, int) {
+// single-threaded and instrumented at the given vector width (256 or
+// 512), returning the merged tally, the cell count, and the rescue
+// count. Both widths route through the same generic lane engine; only
+// the instantiation differs.
+func (w *workload) searchTally(query []uint8, blockCols int, sortLen bool, gaps aln.Gaps, width int) (*vek.Tally, int64, int) {
 	mch, tal := vek.NewMachine()
-	batches := seqio.BuildBatches(w.db, w.mat.Alphabet(), seqio.BatchOptions{SortByLength: sortLen})
+	batches := seqio.BuildBatches(w.db, w.mat.Alphabet(), seqio.BatchOptions{SortByLength: sortLen, Lanes: width / 8})
 	cells := seqio.BatchedCells(batches, len(query))
 	rescued := 0
 	for _, b := range batches {
@@ -133,7 +142,12 @@ func (w *workload) searchTally(query []uint8, blockCols int, sortLen bool, gaps 
 		for lane := 0; lane < b.Count; lane++ {
 			if br.Saturated[lane] {
 				d := w.db[b.Index[lane]].Encode(w.mat.Alphabet())
-				if _, _, err := core.AlignPair16(mch, query, d, w.mat, core.PairOptions{Gaps: gaps}); err != nil {
+				if width == 512 {
+					_, err = core.AlignPair16W(mch, query, d, w.mat, core.PairOptions{Gaps: gaps})
+				} else {
+					_, _, err = core.AlignPair16(mch, query, d, w.mat, core.PairOptions{Gaps: gaps})
+				}
+				if err != nil {
 					panic(fmt.Sprintf("figures: rescue: %v", err))
 				}
 				rescued++
@@ -145,18 +159,19 @@ func (w *workload) searchTally(query []uint8, blockCols int, sortLen bool, gaps 
 
 // searchRun wraps searchTally for the model.
 func (w *workload) searchRun(arch *isa.Arch, query []uint8, blockCols int, sortLen bool) perfmodel.Run {
-	tal, cells, _ := w.searchTally(query, blockCols, sortLen, w.gaps)
+	tal, cells, _ := w.searchTally(query, blockCols, sortLen, w.gaps, 256)
 	return perfmodel.Run{
 		Arch:         arch,
 		Tally:        tal,
 		Cells:        cells,
-		WorkingSetKB: w.batchWorkingSetKB(blockCols),
+		WorkingSetKB: w.batchWorkingSetKB(blockCols, seqio.BatchLanes),
 	}
 }
 
 // batchWorkingSetKB estimates the batch engine's resident footprint:
-// the H/F rows plus the per-code score scratch over the block width.
-func (w *workload) batchWorkingSetKB(blockCols int) float64 {
+// the H/F rows plus the per-code score scratch over the block width,
+// scaled by the batch lane stride (32 or 64).
+func (w *workload) batchWorkingSetKB(blockCols, lanes int) float64 {
 	maxLen := 0
 	for i := range w.db {
 		if w.db[i].Len() > maxLen {
@@ -168,6 +183,6 @@ func (w *workload) batchWorkingSetKB(blockCols int) float64 {
 		cols = blockCols
 	}
 	// 2 state rows over the full length + ~21 distinct residue-code
-	// scratch rows over the block, all 32 lanes of int8.
-	return (2*float64(maxLen) + 21*float64(cols)) * 32 / 1024
+	// scratch rows over the block, one int8 per lane.
+	return (2*float64(maxLen) + 21*float64(cols)) * float64(lanes) / 1024
 }

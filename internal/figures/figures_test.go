@@ -20,17 +20,25 @@ func parseX(t *testing.T, s string) float64 {
 
 func TestFig06Shape(t *testing.T) {
 	tb := Fig06AVX2vsAVX512(quick)
-	if len(tb.Rows) != len(quick.QueryLens) {
-		t.Fatalf("rows = %d", len(tb.Rows))
+	if len(tb.Rows) != len(quick.QueryLens)+1 {
+		t.Fatalf("rows = %d, want %d (queries + streaming search)", len(tb.Rows), len(quick.QueryLens)+1)
 	}
 	// The Fig. 6 finding: AVX512 lands well below the naive 2x — on
 	// small queries it can even lose to AVX2 (downclocking plus masked
-	// tails), and it never approaches doubling.
+	// tails), and it never approaches doubling. The streaming-search
+	// row runs the whole pipeline at 512 bits: there the ALU-bound
+	// batch engine sits exactly where port fusion eats the width, and
+	// a database that doesn't fill the 64-lane batches adds padding, so
+	// 512 may lose outright — but must neither collapse nor win big.
 	for _, row := range tb.Rows {
+		lo, hi := 0.8, 2.0
+		if strings.HasPrefix(row[0], "search(") {
+			lo, hi = 0.45, 1.2
+		}
 		for _, col := range []int{3, 6} {
 			sp := parseX(t, row[col])
-			if sp <= 0.8 || sp >= 2.0 {
-				t.Errorf("AVX512 speedup %.2f outside (0.8, 2): row %v", sp, row)
+			if sp <= lo || sp >= hi {
+				t.Errorf("AVX512 speedup %.2f outside (%.2f, %.2f): row %v", sp, lo, hi, row)
 			}
 		}
 	}

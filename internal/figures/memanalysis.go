@@ -29,7 +29,7 @@ func MemoryAnalysis(cfg Config) *stats.Table {
 	q := w.encQ[len(w.encQ)/2]
 	// One tally serves all rows: the block size's modeled effect is the
 	// working set it induces (op counts barely change).
-	tal, cells, _ := w.searchTally(q, 0, true, w.gaps)
+	tal, cells, _ := w.searchTally(q, 0, true, w.gaps, 256)
 
 	rows := []struct {
 		label string

@@ -17,21 +17,25 @@ import (
 // state recycles every batch buffer and DP row.
 func PipelineReport(cfg Config) *stats.Table {
 	w := newWorkload(cfg)
+	lanes := seqio.BatchLanes
+	if cfg.Width == 512 {
+		lanes = seqio.MaxBatchLanes
+	}
 	t := &stats.Table{
 		Title:   "Streaming search pipeline: wall-clock throughput and allocation budget",
 		Headers: []string{"threads", "sorted", "gcups_wall", "allocs_per_batch", "rescued"},
-		Note: fmt.Sprintf("emulated machine on the host clock; %d sequences in %d batches, query %d residues",
-			len(w.db), (len(w.db)+seqio.BatchLanes-1)/seqio.BatchLanes, len(w.encQ[len(w.encQ)-1])),
+		Note: fmt.Sprintf("emulated machine on the host clock; %d sequences in %d %d-lane batches, query %d residues",
+			len(w.db), (len(w.db)+lanes-1)/lanes, lanes, len(w.encQ[len(w.encQ)-1])),
 	}
 	query := w.encQ[len(w.encQ)-1]
-	nbatches := (len(w.db) + seqio.BatchLanes - 1) / seqio.BatchLanes
+	nbatches := (len(w.db) + lanes - 1) / lanes
 	threadSet := []int{1}
 	if n := runtime.GOMAXPROCS(0); n > 1 {
 		threadSet = append(threadSet, n)
 	}
 	for _, nw := range threadSet {
 		for _, sorted := range []bool{false, true} {
-			opt := sched.Options{Gaps: w.gaps, Threads: nw, SortByLength: sorted}
+			opt := sched.Options{Gaps: w.gaps, Threads: nw, SortByLength: sorted, Width: cfg.Width}
 			// Warm-up run so one-time allocations (code tables, hit
 			// slices sized to the database) don't pollute the delta.
 			if _, err := sched.Search(query, w.db, w.mat, opt); err != nil {

@@ -3,6 +3,7 @@ package figures
 import (
 	"swvec/internal/core"
 	"swvec/internal/isa"
+	"swvec/internal/seqio"
 	"swvec/internal/stats"
 	"swvec/internal/vek"
 )
@@ -23,7 +24,7 @@ func Portability(cfg Config) *stats.Table {
 	q := w.encQ[len(w.encQ)/2]
 
 	// Measure once; reprice per architecture.
-	talBatch, cellsBatch, _ := w.searchTally(q, 0, true, w.gaps)
+	talBatch, cellsBatch, _ := w.searchTally(q, 0, true, w.gaps, 256)
 	m256, tal256 := vek.NewMachine()
 	if _, _, err := core.AlignPair16(m256, q, w.target, w.mat, core.PairOptions{Gaps: w.gaps}); err != nil {
 		panic(err)
@@ -37,7 +38,7 @@ func Portability(cfg Config) *stats.Table {
 		if arch.HasAVX512 {
 			width = "AVX512"
 		}
-		gBatch := pairRunWS(arch, talBatch, cellsBatch, w.batchWorkingSetKB(0)).GCUPS1()
+		gBatch := pairRunWS(arch, talBatch, cellsBatch, w.batchWorkingSetKB(0, seqio.BatchLanes)).GCUPS1()
 		g256 := pairRun(arch, tal256, len(q), len(w.target)).GCUPS1()
 		g512 := pairRun(arch, tal512, len(q), len(w.target)).GCUPS1()
 		penalty := "native"

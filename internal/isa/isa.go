@@ -251,6 +251,21 @@ func buildArchs() [NumArchs]*Arch {
 // Get returns the shared model for id.
 func Get(id ID) *Arch { return archs[id] }
 
+// native is the architecture whose vector capabilities the process
+// pretends to run on; width auto-resolution (sched.Options.Width == 0)
+// consults it. The default is Alderlake — the paper's local machine —
+// which has no AVX-512, so auto resolves to 256-bit unless a caller
+// opts into a 512-capable model via SetNative.
+var native = archs[Alderlake]
+
+// Native returns the architecture model used for capability detection.
+func Native() *Arch { return native }
+
+// SetNative selects the architecture model used for capability
+// detection. It is not synchronized; call it during setup, before
+// starting searches.
+func SetNative(id ID) { native = archs[id] }
+
 // All returns every modeled architecture in paper order.
 func All() []*Arch {
 	return []*Arch{archs[Haswell], archs[Broadwell], archs[Skylake], archs[Cascadelake], archs[Alderlake]}

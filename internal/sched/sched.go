@@ -20,6 +20,7 @@ import (
 	"swvec/internal/aln"
 	"swvec/internal/alphabet"
 	"swvec/internal/core"
+	"swvec/internal/isa"
 	"swvec/internal/seqio"
 	"swvec/internal/submat"
 	"swvec/internal/vek"
@@ -43,6 +44,26 @@ type Options struct {
 	// count). Deeper queues smooth uneven batch costs at the price of
 	// more transposed batches in flight.
 	PipelineDepth int
+	// Width is the vector register width of the batch engines in bits:
+	// 256 (32-lane batches), 512 (64-lane batches), or 0 to resolve
+	// from the native architecture model (512 when
+	// isa.Native().HasAVX512, else 256). Every stage of the pipeline —
+	// 8-bit stream, 16-bit rescue — runs at the resolved width.
+	Width int
+}
+
+// width resolves Options.Width to a concrete register width.
+func (o *Options) width() (int, error) {
+	switch o.Width {
+	case 0:
+		if isa.Native().HasAVX512 {
+			return 512, nil
+		}
+		return 256, nil
+	case 256, 512:
+		return o.Width, nil
+	}
+	return 0, fmt.Errorf("sched: unsupported vector width %d (want 0, 256, or 512)", o.Width)
 }
 
 func (o *Options) threads() int {
@@ -111,7 +132,8 @@ func (r *Result) GCUPS() float64 {
 //	      │             │             │
 //	dispatch ──work32─▶ └─────────────┘ ──▶ Hits
 //
-// The producer transposes 32-lane batches on demand (a large database
+// The producer transposes batches on demand at the resolved vector
+// width — 32 lanes for 256-bit, 64 for 512-bit (a large database
 // never materializes all batches at once) and recycles batch buffers
 // returned by the workers. Sequences whose 8-bit scores saturate are
 // regrouped into fresh 16-bit batches and rescored by the same worker
@@ -130,13 +152,18 @@ func Search(query []uint8, db []seqio.Sequence, mat *submat.Matrix, opt Options)
 	if err := opt.Gaps.Validate(); err != nil {
 		return nil, err
 	}
+	width, err := opt.width()
+	if err != nil {
+		return nil, err
+	}
+	lanes := width / 8
 
 	res := &Result{Hits: make([]Hit, len(db))}
 	for i := range res.Hits {
 		res.Hits[i].SeqIndex = i
 	}
 
-	nbatches := (len(db) + seqio.BatchLanes - 1) / seqio.BatchLanes
+	nbatches := (len(db) + lanes - 1) / lanes
 	nw := opt.threads()
 	if nw > nbatches {
 		nw = nbatches
@@ -155,7 +182,8 @@ func Search(query []uint8, db []seqio.Sequence, mat *submat.Matrix, opt Options)
 		tables: submat.NewCodeTables(mat),
 		opt:    &opt,
 		res:    res,
-		stream: seqio.NewBatchStream(db, alpha, seqio.BatchOptions{SortByLength: opt.SortByLength}),
+		lanes:  lanes,
+		stream: seqio.NewBatchStream(db, alpha, seqio.BatchOptions{SortByLength: opt.SortByLength, Lanes: lanes}),
 		work8:  make(chan *seqio.Batch, depth),
 		sat8:   make(chan int, depth),
 		work16: make(chan *seqio.Batch, depth),
@@ -199,6 +227,7 @@ type pipeline struct {
 	tables *submat.CodeTables
 	opt    *Options
 	res    *Result
+	lanes  int
 	stream *seqio.BatchStream
 
 	// work8/work16/work32 carry stage jobs to the pool; sat8/sat16
@@ -241,7 +270,7 @@ func (p *pipeline) produce() {
 // produces saturations and consumes rescue batches, so an unbuffered
 // handoff here could deadlock the pool against itself.
 func (p *pipeline) groupRescues() {
-	group := make([]int, 0, seqio.BatchLanes)
+	group := make([]int, 0, p.lanes)
 	var pending []*seqio.Batch
 	in := p.sat8
 	for in != nil || len(pending) > 0 {
@@ -262,7 +291,7 @@ func (p *pipeline) groupRescues() {
 				continue
 			}
 			group = append(group, si)
-			if len(group) == seqio.BatchLanes {
+			if len(group) == p.lanes {
 				pending = append(pending, p.rescueBatch(group))
 				group = group[:0]
 			}
@@ -279,7 +308,7 @@ func (p *pipeline) groupRescues() {
 func (p *pipeline) rescueBatch(members []int) *seqio.Batch {
 	p.rescued += len(members)
 	p.wg16.Add(1)
-	return seqio.MakeBatch(p.db, members, p.alpha)
+	return seqio.MakeBatch(p.db, members, p.alpha, p.lanes)
 }
 
 // dispatch32 forwards 16-bit saturations to the 32-bit stage through a

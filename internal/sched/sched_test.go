@@ -103,6 +103,40 @@ func TestSearchSortByLengthInvariance(t *testing.T) {
 	}
 }
 
+// TestSearchWidthInvariance is the width-parity acceptance check: the
+// 512-bit pipeline (64-lane batches, wide rescue engines) must produce
+// exactly the scores of the 256-bit pipeline, including on a workload
+// that forces 16-bit rescues through the wide engines.
+func TestSearchWidthInvariance(t *testing.T) {
+	g := seqio.NewGenerator(113)
+	db := g.Database(100)
+	query := g.Protein("q", 500)
+	db = append(db, g.Related(query, "homolog", 0.03, 0.01))
+	qEnc := query.Encode(protAlpha)
+	ref, err := Search(qEnc, db, b62, Options{Gaps: aln.DefaultGaps(), Threads: 3, Width: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := Search(qEnc, db, b62, Options{Gaps: aln.DefaultGaps(), Threads: 3, Width: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Rescued == 0 || wide.Rescued == 0 {
+		t.Fatalf("expected rescues at both widths (256: %d, 512: %d)", ref.Rescued, wide.Rescued)
+	}
+	for i := range ref.Hits {
+		if wide.Hits[i].Score != ref.Hits[i].Score {
+			t.Fatalf("seq %d: width 512 score %d != width 256 score %d", i, wide.Hits[i].Score, ref.Hits[i].Score)
+		}
+	}
+	if wide.Cells != ref.Cells {
+		t.Errorf("real-cell accounting differs across widths: %d vs %d", wide.Cells, ref.Cells)
+	}
+	if _, err := Search(qEnc, db, b62, Options{Gaps: aln.DefaultGaps(), Width: 300}); err == nil {
+		t.Error("invalid width accepted")
+	}
+}
+
 func TestSearchInstrumentation(t *testing.T) {
 	g := seqio.NewGenerator(105)
 	db := g.Database(32)

@@ -10,31 +10,50 @@ import (
 // in AVX2 when using 8-bit integers").
 const BatchLanes = 32
 
-// A Batch holds up to 32 database sequences in transposed residue-code
-// layout: T[j*32+lane] is residue j of the lane-th sequence, so one
-// vector load fetches residue j of all 32 sequences at once ("each
-// adjacent transposed residue represents a residue from a different
-// sequence"). Lanes past a sequence's end, and lanes of a short batch,
-// are padded with the alphabet sentinel code, whose strongly negative
-// substitution scores keep padding out of every local alignment.
+// MaxBatchLanes is the widest batch any engine consumes: one lane per
+// int8 element of a 512-bit register.
+const MaxBatchLanes = 64
+
+// A Batch holds up to Stride() database sequences in transposed
+// residue-code layout: T[j*Stride()+lane] is residue j of the lane-th
+// sequence, so one vector load fetches residue j of all lanes at once
+// ("each adjacent transposed residue represents a residue from a
+// different sequence"). Lanes past a sequence's end, and lanes of a
+// short batch, are padded with the alphabet sentinel code, whose
+// strongly negative substitution scores keep padding out of every
+// local alignment.
 type Batch struct {
-	// Count is the number of real sequences (1..32).
+	// Count is the number of real sequences (1..Stride()).
 	Count int
-	// MaxLen is the longest member length; T has MaxLen*32 entries.
+	// MaxLen is the longest member length; T has MaxLen*Stride()
+	// entries.
 	MaxLen int
+	// Lanes is the transposed stride — 32 for the 256-bit engines, 64
+	// for the 512-bit ones. Zero means the legacy 32-lane layout.
+	Lanes int
 	// Lens holds each lane's true sequence length (0 for padding lanes).
-	Lens [BatchLanes]int
+	Lens [MaxBatchLanes]int
 	// Index holds each lane's position in the source database slice
 	// (-1 for padding lanes).
-	Index [BatchLanes]int
+	Index [MaxBatchLanes]int
 	// T is the transposed residue-code matrix.
 	T []uint8
 }
 
-// ResidueColumn returns the 32 residue codes at position j, one per
-// lane. The slice aliases the batch.
+// Stride returns the batch's lane stride, defaulting to BatchLanes for
+// zero-value batches.
+func (b *Batch) Stride() int {
+	if b.Lanes == 0 {
+		return BatchLanes
+	}
+	return b.Lanes
+}
+
+// ResidueColumn returns the residue codes at position j, one per lane.
+// The slice aliases the batch.
 func (b *Batch) ResidueColumn(j int) []uint8 {
-	return b.T[j*BatchLanes : (j+1)*BatchLanes]
+	stride := b.Stride()
+	return b.T[j*stride : (j+1)*stride]
 }
 
 // Cells returns the total number of DP cells a query of length qlen
@@ -53,6 +72,10 @@ type BatchOptions struct {
 	// batch, shrinking the padded tail each batch must process. This
 	// is the main offline tuning knob for the batch layout.
 	SortByLength bool
+	// Lanes is the batch lane stride: BatchLanes (the default when
+	// zero) for the 256-bit engines, MaxBatchLanes for the 512-bit
+	// ones.
+	Lanes int
 }
 
 // BuildBatches reorganizes the entire database into transposed batches

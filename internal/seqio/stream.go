@@ -21,6 +21,7 @@ type BatchStream struct {
 	seqs  []Sequence
 	order []int
 	alpha *alphabet.Alphabet
+	lanes int
 	pos   int
 
 	mu   sync.Mutex
@@ -40,13 +41,17 @@ func NewBatchStream(seqs []Sequence, alpha *alphabet.Alphabet, opts BatchOptions
 			return seqs[order[a]].Len() < seqs[order[b]].Len()
 		})
 	}
-	return &BatchStream{seqs: seqs, order: order, alpha: alpha}
+	lanes := opts.Lanes
+	if lanes <= 0 {
+		lanes = BatchLanes
+	}
+	return &BatchStream{seqs: seqs, order: order, alpha: alpha, lanes: lanes}
 }
 
 // Remaining returns the number of batches the stream has yet to
 // produce.
 func (s *BatchStream) Remaining() int {
-	return (len(s.order) - s.pos + BatchLanes - 1) / BatchLanes
+	return (len(s.order) - s.pos + s.lanes - 1) / s.lanes
 }
 
 // Next returns the next transposed batch, or nil when the database is
@@ -55,14 +60,14 @@ func (s *BatchStream) Next() *Batch {
 	if s.pos >= len(s.order) {
 		return nil
 	}
-	end := s.pos + BatchLanes
+	end := s.pos + s.lanes
 	if end > len(s.order) {
 		end = len(s.order)
 	}
 	members := s.order[s.pos:end]
 	s.pos = end
 	b := s.take()
-	fillBatch(b, s.seqs, members, s.alpha)
+	fillBatch(b, s.seqs, members, s.alpha, s.lanes)
 	return b
 }
 
@@ -90,22 +95,27 @@ func (s *BatchStream) Recycle(b *Batch) {
 	s.mu.Unlock()
 }
 
-// MakeBatch builds one transposed batch whose lanes are the database
-// positions listed in members (at most BatchLanes entries). The rescue
-// stage of the streaming search pipeline uses it to regroup saturated
-// lanes in flight without copying sequences.
-func MakeBatch(seqs []Sequence, members []int, alpha *alphabet.Alphabet) *Batch {
+// MakeBatch builds one transposed batch of the given lane stride whose
+// lanes are the database positions listed in members (at most lanes
+// entries; lanes <= 0 selects BatchLanes). The rescue stage of the
+// streaming search pipeline uses it to regroup saturated lanes in
+// flight without copying sequences.
+func MakeBatch(seqs []Sequence, members []int, alpha *alphabet.Alphabet, lanes int) *Batch {
+	if lanes <= 0 {
+		lanes = BatchLanes
+	}
 	b := &Batch{}
-	fillBatch(b, seqs, members, alpha)
+	fillBatch(b, seqs, members, alpha, lanes)
 	return b
 }
 
 // fillBatch (re)initializes b to hold the sequences at positions
 // members of seqs, reusing b's transposed buffer when its capacity
 // suffices. Residues are encoded directly into the transposed layout.
-func fillBatch(b *Batch, seqs []Sequence, members []int, alpha *alphabet.Alphabet) {
+func fillBatch(b *Batch, seqs []Sequence, members []int, alpha *alphabet.Alphabet, lanes int) {
 	b.Count = len(members)
 	b.MaxLen = 0
+	b.Lanes = lanes
 	for lane := range b.Index {
 		b.Index[lane] = -1
 		b.Lens[lane] = 0
@@ -117,7 +127,7 @@ func fillBatch(b *Batch, seqs []Sequence, members []int, alpha *alphabet.Alphabe
 			b.MaxLen = seqs[si].Len()
 		}
 	}
-	need := b.MaxLen * BatchLanes
+	need := b.MaxLen * lanes
 	if cap(b.T) < need {
 		b.T = make([]uint8, need)
 	} else {
@@ -129,7 +139,7 @@ func fillBatch(b *Batch, seqs []Sequence, members []int, alpha *alphabet.Alphabe
 	for lane, si := range members {
 		res := seqs[si].Residues
 		for j := 0; j < len(res); j++ {
-			b.T[j*BatchLanes+lane] = alpha.Index(res[j])
+			b.T[j*lanes+lane] = alpha.Index(res[j])
 		}
 	}
 }

@@ -100,7 +100,7 @@ func TestMakeBatchSubset(t *testing.T) {
 	g := NewGenerator(25)
 	db := g.Database(50)
 	members := []int{3, 17, 42}
-	b := MakeBatch(db, members, alpha)
+	b := MakeBatch(db, members, alpha, 0)
 	if b.Count != len(members) {
 		t.Fatalf("count = %d", b.Count)
 	}
@@ -122,5 +122,48 @@ func TestMakeBatchSubset(t *testing.T) {
 		if b.Index[lane] != -1 || b.Lens[lane] != 0 {
 			t.Fatalf("padding lane %d not cleared", lane)
 		}
+	}
+}
+
+// TestBatchStreamWideLanes checks the 64-lane (512-bit) stride: batch
+// count halves, the transposed layout uses the wide stride, and every
+// residue lands at T[j*64+lane].
+func TestBatchStreamWideLanes(t *testing.T) {
+	alpha := alphabet.ProteinAlphabet()
+	g := NewGenerator(26)
+	db := g.Database(MaxBatchLanes + 7)
+	s := NewBatchStream(db, alpha, BatchOptions{Lanes: MaxBatchLanes})
+	if s.Remaining() != 2 {
+		t.Fatalf("remaining = %d, want 2", s.Remaining())
+	}
+	batches := collectStream(s)
+	if len(batches) != 2 {
+		t.Fatalf("batches = %d, want 2", len(batches))
+	}
+	for bi, b := range batches {
+		if b.Stride() != MaxBatchLanes {
+			t.Fatalf("batch %d stride = %d, want %d", bi, b.Stride(), MaxBatchLanes)
+		}
+		if len(b.T) != b.MaxLen*MaxBatchLanes {
+			t.Fatalf("batch %d T size = %d, want %d", bi, len(b.T), b.MaxLen*MaxBatchLanes)
+		}
+		for lane := 0; lane < b.Count; lane++ {
+			si := b.Index[lane]
+			enc := db[si].Encode(alpha)
+			for j, code := range enc {
+				if b.T[j*MaxBatchLanes+lane] != code {
+					t.Fatalf("batch %d lane %d residue %d = %d, want %d",
+						bi, lane, j, b.T[j*MaxBatchLanes+lane], code)
+				}
+			}
+			for j := len(enc); j < b.MaxLen; j++ {
+				if b.T[j*MaxBatchLanes+lane] != alphabet.Sentinel {
+					t.Fatalf("batch %d lane %d tail residue %d not sentinel", bi, lane, j)
+				}
+			}
+		}
+	}
+	if batches[0].Count != MaxBatchLanes || batches[1].Count != 7 {
+		t.Fatalf("counts = %d,%d want %d,7", batches[0].Count, batches[1].Count, MaxBatchLanes)
 	}
 }

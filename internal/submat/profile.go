@@ -133,6 +133,21 @@ func (t *CodeTables) LookupScores(mch vek.Machine, c uint8, idx vek.I8x32) vek.I
 	return mch.Blend8(fromLo, fromHi, maskHi)
 }
 
+// LookupScoresW is the 512-bit form of LookupScores: the 64 scores of
+// query residue code c against the 64 residue codes in idx, using the
+// same two-shuffle/blend sequence widened to zmm registers (the 16-byte
+// tables are broadcast across all four 128-bit quarters).
+func (t *CodeTables) LookupScoresW(mch vek.Machine, c uint8, idx vek.I8x64) vek.I8x64 {
+	loW := vek.I8x64{Lo: t.lo[c], Hi: t.lo[c]}
+	hiW := vek.I8x64{Lo: t.hi[c], Hi: t.hi[c]}
+	fifteen := mch.Splat8W(15)
+	maskHi := mch.CmpGt8W(idx, fifteen)
+	low4 := mch.And8W(idx, fifteen)
+	fromLo := mch.Shuffle8W(loW, low4)
+	fromHi := mch.Shuffle8W(hiW, low4)
+	return mch.Blend8W(fromLo, fromHi, maskHi)
+}
+
 // Profile16 is the widened query profile used when the 8-bit kernels
 // escalate after saturation: the same row layout, stored as int16.
 type Profile16 struct {

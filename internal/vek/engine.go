@@ -1,0 +1,434 @@
+package vek
+
+import "math"
+
+// Elem is the set of element types the wavefront kernels run over.
+type Elem interface {
+	~int8 | ~int16 | ~int32
+}
+
+// Engine is the lane-engine abstraction: everything a wavefront kernel
+// needs from one register width, expressed over the vector type V and
+// its element type E. The five instantiations (E8x32, E16x16, E32x8,
+// E8x64, E16x32) let internal/core keep a single generic pair kernel
+// and a single generic batch kernel instead of one hand-copied kernel
+// per width.
+//
+// Every method that takes a Machine charges exactly the ops the
+// hand-written kernels charged, at the engine's width, so swapping a
+// per-width kernel for its generic instantiation is tally-neutral.
+type Engine[V any, E Elem] interface {
+	// Lanes is the number of E elements in V.
+	Lanes() int
+	// Width is the register width charged to the tally.
+	Width() Width
+	// HasGather reports whether the engine scores via the gathered
+	// substitution-matrix path (16- and 32-bit engines); 8-bit engines
+	// score through a query profile instead.
+	HasGather() bool
+	// SupportsFixed reports whether the engine has a compare/blend
+	// fast path for fixed match/mismatch matrices.
+	SupportsFixed() bool
+	// NegInf is the kernel's "minus infinity": low enough that gap
+	// extensions cannot underflow into plausible scores.
+	NegInf() E
+	// SatCeil is the score at which this element width saturates.
+	SatCeil() int32
+	// Clamp converts x to E, clamping to the representable range.
+	Clamp(x int32) E
+	// Lane reads lane i of v. Register lane reads are free.
+	Lane(v V, i int) E
+	// SatAdd and SatSub perform E-width saturating scalar arithmetic
+	// in int32 (plain arithmetic for the 32-bit engine).
+	SatAdd(a, b int32) int32
+	SatSub(a, b int32) int32
+
+	Splat(m Machine, x E) V
+	Zero(m Machine) V
+	Load(m Machine, s []E) V
+	LoadPartial(m Machine, s []E) V
+	Store(m Machine, dst []E, v V)
+	StorePartial(m Machine, dst []E, v V)
+	AddSat(m Machine, a, b V) V
+	SubSat(m Machine, a, b V) V
+	Max(m Machine, a, b V) V
+	CmpGt(m Machine, a, b V) V
+	CmpEq(m Machine, a, b V) V
+	Blend(m Machine, a, b, mask V) V
+	And(m Machine, a, b V) V
+	AndNot(m Machine, a, b V) V
+	Or(m Machine, a, b V) V
+	MoveMask(m Machine, v V) uint64
+	ReduceMax(m Machine, v V) E
+	// MaskTail zeroes lanes >= valid, charged as one logic op: the
+	// masked-tail blend at diagonal edges.
+	MaskTail(m Machine, v V, valid int) V
+	// GatherScores loads lane-count substitution scores from the
+	// flattened matrix: flat[qMul[qOff+l]+dRev[dOff+l]] per lane l.
+	// Engines with HasGather()==false panic.
+	GatherScores(m Machine, flat, qMul, dRev []int32, qOff, dOff int) V
+	// GatherScoresPartial is GatherScores for a diagonal edge with
+	// only valid lanes in range; out-of-range lanes gather index 0
+	// and must be masked by the caller.
+	GatherScoresPartial(m Machine, flat, qMul, dRev []int32, qOff, dOff, valid int) V
+	// StoreDirs packs traceback directions into bytes and stores one
+	// byte per lane. Only the 256-bit engines support traceback.
+	StoreDirs(m Machine, dst []int8, dir V)
+}
+
+// clipSpan bounds s[off:off+want] to the slice, returning nil when the
+// window starts past the end. A negative want yields an empty window.
+func clipSpan[E Elem](s []E, off, want int) []E {
+	if want < 0 {
+		want = 0
+	}
+	if off >= len(s) {
+		return nil
+	}
+	end := off + want
+	if end > len(s) {
+		end = len(s)
+	}
+	return s[off:end]
+}
+
+func clampRange(x, lo, hi int32) int32 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// E8x32 is the 256-bit 8-bit engine (32 lanes).
+type E8x32 struct{}
+
+func (E8x32) Lanes() int               { return 32 }
+func (E8x32) Width() Width             { return W256 }
+func (E8x32) HasGather() bool          { return false }
+func (E8x32) SupportsFixed() bool      { return true }
+func (E8x32) NegInf() int8             { return -128 }
+func (E8x32) SatCeil() int32           { return 127 }
+func (E8x32) Clamp(x int32) int8       { return int8(clampRange(x, -128, 127)) }
+func (E8x32) Lane(v I8x32, i int) int8 { return v[i] }
+func (E8x32) SatAdd(a, b int32) int32  { return clampRange(a+b, -128, 127) }
+func (E8x32) SatSub(a, b int32) int32  { return clampRange(a-b, -128, 127) }
+
+func (E8x32) Splat(m Machine, x int8) I8x32               { return m.Splat8(x) }
+func (E8x32) Zero(m Machine) I8x32                        { return m.Zero8() }
+func (E8x32) Load(m Machine, s []int8) I8x32              { return m.Load8(s) }
+func (E8x32) LoadPartial(m Machine, s []int8) I8x32       { return m.Load8Partial(s) }
+func (E8x32) Store(m Machine, dst []int8, v I8x32)        { m.Store8(dst, v) }
+func (E8x32) StorePartial(m Machine, dst []int8, v I8x32) { m.Store8Partial(dst, v) }
+func (E8x32) AddSat(m Machine, a, b I8x32) I8x32          { return m.AddSat8(a, b) }
+func (E8x32) SubSat(m Machine, a, b I8x32) I8x32          { return m.SubSat8(a, b) }
+func (E8x32) Max(m Machine, a, b I8x32) I8x32             { return m.Max8(a, b) }
+func (E8x32) CmpGt(m Machine, a, b I8x32) I8x32           { return m.CmpGt8(a, b) }
+func (E8x32) CmpEq(m Machine, a, b I8x32) I8x32           { return m.CmpEq8(a, b) }
+func (E8x32) Blend(m Machine, a, b, mask I8x32) I8x32     { return m.Blend8(a, b, mask) }
+func (E8x32) And(m Machine, a, b I8x32) I8x32             { return m.And8(a, b) }
+func (E8x32) AndNot(m Machine, a, b I8x32) I8x32          { return m.AndNot8(a, b) }
+func (E8x32) Or(m Machine, a, b I8x32) I8x32              { return m.Or8(a, b) }
+func (E8x32) MoveMask(m Machine, v I8x32) uint64          { return uint64(m.MoveMask8(v)) }
+func (E8x32) ReduceMax(m Machine, v I8x32) int8           { return m.ReduceMax8(v) }
+
+func (E8x32) MaskTail(m Machine, v I8x32, valid int) I8x32 {
+	m.T.Add(OpLogic, W256, 1)
+	for i := valid; i < 32; i++ {
+		v[i] = 0
+	}
+	return v
+}
+
+func (E8x32) GatherScores(m Machine, flat, qMul, dRev []int32, qOff, dOff int) I8x32 {
+	panic("vek: 8-bit engines score via query profile, not gather")
+}
+
+func (E8x32) GatherScoresPartial(m Machine, flat, qMul, dRev []int32, qOff, dOff, valid int) I8x32 {
+	panic("vek: 8-bit engines score via query profile, not gather")
+}
+
+func (E8x32) StoreDirs(m Machine, dst []int8, dir I8x32) {
+	m.Store8Partial(dst, dir)
+}
+
+// E16x16 is the 256-bit 16-bit engine (16 lanes).
+type E16x16 struct{}
+
+func (E16x16) Lanes() int                 { return 16 }
+func (E16x16) Width() Width               { return W256 }
+func (E16x16) HasGather() bool            { return true }
+func (E16x16) SupportsFixed() bool        { return true }
+func (E16x16) NegInf() int16              { return -30000 }
+func (E16x16) SatCeil() int32             { return 32767 }
+func (E16x16) Clamp(x int32) int16        { return int16(clampRange(x, -32768, 32767)) }
+func (E16x16) Lane(v I16x16, i int) int16 { return v[i] }
+func (E16x16) SatAdd(a, b int32) int32    { return clampRange(a+b, -32768, 32767) }
+func (E16x16) SatSub(a, b int32) int32    { return clampRange(a-b, -32768, 32767) }
+
+func (E16x16) Splat(m Machine, x int16) I16x16               { return m.Splat16(x) }
+func (E16x16) Zero(m Machine) I16x16                         { return m.Zero16() }
+func (E16x16) Load(m Machine, s []int16) I16x16              { return m.Load16(s) }
+func (E16x16) LoadPartial(m Machine, s []int16) I16x16       { return m.Load16Partial(s) }
+func (E16x16) Store(m Machine, dst []int16, v I16x16)        { m.Store16(dst, v) }
+func (E16x16) StorePartial(m Machine, dst []int16, v I16x16) { m.Store16Partial(dst, v) }
+func (E16x16) AddSat(m Machine, a, b I16x16) I16x16          { return m.AddSat16(a, b) }
+func (E16x16) SubSat(m Machine, a, b I16x16) I16x16          { return m.SubSat16(a, b) }
+func (E16x16) Max(m Machine, a, b I16x16) I16x16             { return m.Max16(a, b) }
+func (E16x16) CmpGt(m Machine, a, b I16x16) I16x16           { return m.CmpGt16(a, b) }
+func (E16x16) CmpEq(m Machine, a, b I16x16) I16x16           { return m.CmpEq16(a, b) }
+func (E16x16) Blend(m Machine, a, b, mask I16x16) I16x16     { return m.Blend16(a, b, mask) }
+func (E16x16) And(m Machine, a, b I16x16) I16x16             { return m.And16(a, b) }
+func (E16x16) AndNot(m Machine, a, b I16x16) I16x16          { return m.AndNot16(a, b) }
+func (E16x16) Or(m Machine, a, b I16x16) I16x16              { return m.Or16(a, b) }
+func (E16x16) MoveMask(m Machine, v I16x16) uint64           { return uint64(m.MoveMask16(v)) }
+func (E16x16) ReduceMax(m Machine, v I16x16) int16           { return m.ReduceMax16(v) }
+
+func (E16x16) MaskTail(m Machine, v I16x16, valid int) I16x16 {
+	m.T.Add(OpLogic, W256, 1)
+	for i := valid; i < 16; i++ {
+		v[i] = 0
+	}
+	return v
+}
+
+func (E16x16) GatherScores(m Machine, flat, qMul, dRev []int32, qOff, dOff int) I16x16 {
+	iq0 := m.Load32(qMul[qOff:])
+	iq1 := m.Load32(qMul[qOff+8:])
+	id0 := m.Load32(dRev[dOff:])
+	id1 := m.Load32(dRev[dOff+8:])
+	g0 := m.Gather32(flat, m.Add32(iq0, id0))
+	g1 := m.Gather32(flat, m.Add32(iq1, id1))
+	return m.Narrow32To16(g0, g1)
+}
+
+func (E16x16) GatherScoresPartial(m Machine, flat, qMul, dRev []int32, qOff, dOff, valid int) I16x16 {
+	iq0 := m.Load32Partial(clipSpan(qMul, qOff, valid))
+	iq1 := m.Load32Partial(clipSpan(qMul, qOff+8, valid-8))
+	id0 := m.Load32Partial(clipSpan(dRev, dOff, valid))
+	id1 := m.Load32Partial(clipSpan(dRev, dOff+8, valid-8))
+	g0 := m.Gather32(flat, m.Add32(iq0, id0))
+	g1 := m.Gather32(flat, m.Add32(iq1, id1))
+	return m.Narrow32To16(g0, g1)
+}
+
+func (E16x16) StoreDirs(m Machine, dst []int8, dir I16x16) {
+	packed := m.Narrow16To8(dir, I16x16{})
+	m.Store8Partial(dst, packed)
+}
+
+// E32x8 is the 256-bit 32-bit engine (8 lanes). The 32-bit path never
+// saturates for biological sequence lengths, so its "saturating"
+// arithmetic is plain modular arithmetic, exactly like the hand-written
+// 32-bit kernel.
+type E32x8 struct{}
+
+func (E32x8) Lanes() int                { return 8 }
+func (E32x8) Width() Width              { return W256 }
+func (E32x8) HasGather() bool           { return true }
+func (E32x8) SupportsFixed() bool       { return false }
+func (E32x8) NegInf() int32             { return -1 << 29 }
+func (E32x8) SatCeil() int32            { return math.MaxInt32 }
+func (E32x8) Clamp(x int32) int32       { return x }
+func (E32x8) Lane(v I32x8, i int) int32 { return v[i] }
+func (E32x8) SatAdd(a, b int32) int32   { return a + b }
+func (E32x8) SatSub(a, b int32) int32   { return a - b }
+
+func (E32x8) Splat(m Machine, x int32) I32x8               { return m.Splat32(x) }
+func (E32x8) Zero(m Machine) I32x8                         { return m.Zero32() }
+func (E32x8) Load(m Machine, s []int32) I32x8              { return m.Load32(s) }
+func (E32x8) LoadPartial(m Machine, s []int32) I32x8       { return m.Load32Partial(s) }
+func (E32x8) Store(m Machine, dst []int32, v I32x8)        { m.Store32(dst, v) }
+func (E32x8) StorePartial(m Machine, dst []int32, v I32x8) { m.Store32Partial(dst, v) }
+func (E32x8) AddSat(m Machine, a, b I32x8) I32x8           { return m.Add32(a, b) }
+func (E32x8) SubSat(m Machine, a, b I32x8) I32x8           { return m.Sub32(a, b) }
+func (E32x8) Max(m Machine, a, b I32x8) I32x8              { return m.Max32(a, b) }
+func (E32x8) CmpGt(m Machine, a, b I32x8) I32x8            { return m.CmpGt32(a, b) }
+func (E32x8) CmpEq(m Machine, a, b I32x8) I32x8            { return m.CmpEq32(a, b) }
+func (E32x8) Blend(m Machine, a, b, mask I32x8) I32x8      { return m.Blend32(a, b, mask) }
+func (E32x8) And(m Machine, a, b I32x8) I32x8              { return m.And32(a, b) }
+func (E32x8) AndNot(m Machine, a, b I32x8) I32x8           { return m.AndNot32(a, b) }
+func (E32x8) Or(m Machine, a, b I32x8) I32x8               { return m.Or32(a, b) }
+func (E32x8) MoveMask(m Machine, v I32x8) uint64           { return uint64(m.MoveMask32(v)) }
+func (E32x8) ReduceMax(m Machine, v I32x8) int32           { return m.ReduceMax32(v) }
+
+func (E32x8) MaskTail(m Machine, v I32x8, valid int) I32x8 {
+	m.T.Add(OpLogic, W256, 1)
+	for i := valid; i < 8; i++ {
+		v[i] = 0
+	}
+	return v
+}
+
+func (E32x8) GatherScores(m Machine, flat, qMul, dRev []int32, qOff, dOff int) I32x8 {
+	iq := m.Load32(qMul[qOff:])
+	id := m.Load32(dRev[dOff:])
+	return m.Gather32(flat, m.Add32(iq, id))
+}
+
+func (E32x8) GatherScoresPartial(m Machine, flat, qMul, dRev []int32, qOff, dOff, valid int) I32x8 {
+	iq := m.Load32Partial(clipSpan(qMul, qOff, valid))
+	id := m.Load32Partial(clipSpan(dRev, dOff, valid))
+	return m.Gather32(flat, m.Add32(iq, id))
+}
+
+func (E32x8) StoreDirs(m Machine, dst []int8, dir I32x8) {
+	panic("vek: traceback is only supported by the 16-bit 256-bit engine")
+}
+
+// E8x64 is the 512-bit 8-bit engine (64 lanes).
+type E8x64 struct{}
+
+func (E8x64) Lanes() int          { return 64 }
+func (E8x64) Width() Width        { return W512 }
+func (E8x64) HasGather() bool     { return false }
+func (E8x64) SupportsFixed() bool { return true }
+func (E8x64) NegInf() int8        { return -128 }
+func (E8x64) SatCeil() int32      { return 127 }
+func (E8x64) Clamp(x int32) int8  { return int8(clampRange(x, -128, 127)) }
+
+func (E8x64) Lane(v I8x64, i int) int8 {
+	if i < 32 {
+		return v.Lo[i]
+	}
+	return v.Hi[i-32]
+}
+
+func (E8x64) SatAdd(a, b int32) int32 { return clampRange(a+b, -128, 127) }
+func (E8x64) SatSub(a, b int32) int32 { return clampRange(a-b, -128, 127) }
+
+func (E8x64) Splat(m Machine, x int8) I8x64               { return m.Splat8W(x) }
+func (E8x64) Zero(m Machine) I8x64                        { return m.Zero8W() }
+func (E8x64) Load(m Machine, s []int8) I8x64              { return m.Load8W(s) }
+func (E8x64) LoadPartial(m Machine, s []int8) I8x64       { return m.Load8WPartial(s) }
+func (E8x64) Store(m Machine, dst []int8, v I8x64)        { m.Store8W(dst, v) }
+func (E8x64) StorePartial(m Machine, dst []int8, v I8x64) { m.Store8WPartial(dst, v) }
+func (E8x64) AddSat(m Machine, a, b I8x64) I8x64          { return m.AddSat8W(a, b) }
+func (E8x64) SubSat(m Machine, a, b I8x64) I8x64          { return m.SubSat8W(a, b) }
+func (E8x64) Max(m Machine, a, b I8x64) I8x64             { return m.Max8W(a, b) }
+func (E8x64) CmpGt(m Machine, a, b I8x64) I8x64           { return m.CmpGt8W(a, b) }
+func (E8x64) CmpEq(m Machine, a, b I8x64) I8x64           { return m.CmpEq8W(a, b) }
+func (E8x64) Blend(m Machine, a, b, mask I8x64) I8x64     { return m.Blend8W(a, b, mask) }
+func (E8x64) And(m Machine, a, b I8x64) I8x64             { return m.And8W(a, b) }
+func (E8x64) AndNot(m Machine, a, b I8x64) I8x64          { return m.AndNot8W(a, b) }
+func (E8x64) Or(m Machine, a, b I8x64) I8x64              { return m.Or8W(a, b) }
+func (E8x64) MoveMask(m Machine, v I8x64) uint64          { return m.MoveMask8W(v) }
+func (E8x64) ReduceMax(m Machine, v I8x64) int8           { return m.ReduceMax8W(v) }
+
+func (E8x64) MaskTail(m Machine, v I8x64, valid int) I8x64 {
+	m.T.Add(OpLogic, W512, 1)
+	for i := valid; i < 64; i++ {
+		if i < 32 {
+			v.Lo[i] = 0
+		} else {
+			v.Hi[i-32] = 0
+		}
+	}
+	return v
+}
+
+func (E8x64) GatherScores(m Machine, flat, qMul, dRev []int32, qOff, dOff int) I8x64 {
+	panic("vek: 8-bit engines score via query profile, not gather")
+}
+
+func (E8x64) GatherScoresPartial(m Machine, flat, qMul, dRev []int32, qOff, dOff, valid int) I8x64 {
+	panic("vek: 8-bit engines score via query profile, not gather")
+}
+
+func (E8x64) StoreDirs(m Machine, dst []int8, dir I8x64) {
+	panic("vek: traceback is only supported by the 16-bit 256-bit engine")
+}
+
+// E16x32 is the 512-bit 16-bit engine (32 lanes).
+type E16x32 struct{}
+
+func (E16x32) Lanes() int          { return 32 }
+func (E16x32) Width() Width        { return W512 }
+func (E16x32) HasGather() bool     { return true }
+func (E16x32) SupportsFixed() bool { return true }
+func (E16x32) NegInf() int16       { return -30000 }
+func (E16x32) SatCeil() int32      { return 32767 }
+func (E16x32) Clamp(x int32) int16 { return int16(clampRange(x, -32768, 32767)) }
+
+func (E16x32) Lane(v I16x32, i int) int16 {
+	if i < 16 {
+		return v.Lo[i]
+	}
+	return v.Hi[i-16]
+}
+
+func (E16x32) SatAdd(a, b int32) int32 { return clampRange(a+b, -32768, 32767) }
+func (E16x32) SatSub(a, b int32) int32 { return clampRange(a-b, -32768, 32767) }
+
+func (E16x32) Splat(m Machine, x int16) I16x32               { return m.Splat16W(x) }
+func (E16x32) Zero(m Machine) I16x32                         { return m.Zero16W() }
+func (E16x32) Load(m Machine, s []int16) I16x32              { return m.Load16W(s) }
+func (E16x32) LoadPartial(m Machine, s []int16) I16x32       { return m.Load16WPartial(s) }
+func (E16x32) Store(m Machine, dst []int16, v I16x32)        { m.Store16W(dst, v) }
+func (E16x32) StorePartial(m Machine, dst []int16, v I16x32) { m.Store16WPartial(dst, v) }
+func (E16x32) AddSat(m Machine, a, b I16x32) I16x32          { return m.AddSat16W(a, b) }
+func (E16x32) SubSat(m Machine, a, b I16x32) I16x32          { return m.SubSat16W(a, b) }
+func (E16x32) Max(m Machine, a, b I16x32) I16x32             { return m.Max16W(a, b) }
+func (E16x32) CmpGt(m Machine, a, b I16x32) I16x32           { return m.CmpGt16W(a, b) }
+func (E16x32) CmpEq(m Machine, a, b I16x32) I16x32           { return m.CmpEq16W(a, b) }
+func (E16x32) Blend(m Machine, a, b, mask I16x32) I16x32     { return m.Blend16W(a, b, mask) }
+func (E16x32) And(m Machine, a, b I16x32) I16x32             { return m.And16W(a, b) }
+func (E16x32) AndNot(m Machine, a, b I16x32) I16x32          { return m.AndNot16W(a, b) }
+func (E16x32) Or(m Machine, a, b I16x32) I16x32              { return m.Or16W(a, b) }
+func (E16x32) MoveMask(m Machine, v I16x32) uint64           { return m.MoveMask16W(v) }
+func (E16x32) ReduceMax(m Machine, v I16x32) int16           { return m.ReduceMax16W(v) }
+
+func (E16x32) MaskTail(m Machine, v I16x32, valid int) I16x32 {
+	m.T.Add(OpLogic, W512, 1)
+	for i := valid; i < 32; i++ {
+		if i < 16 {
+			v.Lo[i] = 0
+		} else {
+			v.Hi[i-16] = 0
+		}
+	}
+	return v
+}
+
+func (E16x32) GatherScores(m Machine, flat, qMul, dRev []int32, qOff, dOff int) I16x32 {
+	qA := m.Load32(qMul[qOff:])
+	qB := m.Load32(qMul[qOff+8:])
+	qC := m.Load32(qMul[qOff+16:])
+	qD := m.Load32(qMul[qOff+24:])
+	dA := m.Load32(dRev[dOff:])
+	dB := m.Load32(dRev[dOff+8:])
+	dC := m.Load32(dRev[dOff+16:])
+	dD := m.Load32(dRev[dOff+24:])
+	gA, gB := m.Gather32W(flat, m.Add32(qA, dA), m.Add32(qB, dB))
+	gC, gD := m.Gather32W(flat, m.Add32(qC, dC), m.Add32(qD, dD))
+	return I16x32{Lo: m.Narrow32To16(gA, gB), Hi: m.Narrow32To16(gC, gD)}
+}
+
+func (E16x32) GatherScoresPartial(m Machine, flat, qMul, dRev []int32, qOff, dOff, valid int) I16x32 {
+	qA := m.Load32Partial(clipSpan(qMul, qOff, valid))
+	qB := m.Load32Partial(clipSpan(qMul, qOff+8, valid-8))
+	qC := m.Load32Partial(clipSpan(qMul, qOff+16, valid-16))
+	qD := m.Load32Partial(clipSpan(qMul, qOff+24, valid-24))
+	dA := m.Load32Partial(clipSpan(dRev, dOff, valid))
+	dB := m.Load32Partial(clipSpan(dRev, dOff+8, valid-8))
+	dC := m.Load32Partial(clipSpan(dRev, dOff+16, valid-16))
+	dD := m.Load32Partial(clipSpan(dRev, dOff+24, valid-24))
+	gA, gB := m.Gather32W(flat, m.Add32(qA, dA), m.Add32(qB, dB))
+	gC, gD := m.Gather32W(flat, m.Add32(qC, dC), m.Add32(qD, dD))
+	return I16x32{Lo: m.Narrow32To16(gA, gB), Hi: m.Narrow32To16(gC, gD)}
+}
+
+func (E16x32) StoreDirs(m Machine, dst []int8, dir I16x32) {
+	panic("vek: traceback is only supported by the 16-bit 256-bit engine")
+}
+
+// Compile-time checks that every engine satisfies the interface.
+var (
+	_ Engine[I8x32, int8]   = E8x32{}
+	_ Engine[I16x16, int16] = E16x16{}
+	_ Engine[I32x8, int32]  = E32x8{}
+	_ Engine[I8x64, int8]   = E8x64{}
+	_ Engine[I16x32, int16] = E16x32{}
+)

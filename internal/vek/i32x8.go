@@ -108,6 +108,61 @@ func (m Machine) CmpGt32(a, b I32x8) I32x8 {
 	return v
 }
 
+// CmpEq32 returns -1 in lanes where a==b, else 0 (vpcmpeqd).
+func (m Machine) CmpEq32(a, b I32x8) I32x8 {
+	m.T.inc256(OpCmpEq8) // same port/latency class as the byte compare
+	var v I32x8
+	for i := range v {
+		if a[i] == b[i] {
+			v[i] = -1
+		}
+	}
+	return v
+}
+
+// And32 returns the bitwise AND (vpand).
+func (m Machine) And32(a, b I32x8) I32x8 {
+	m.T.inc256(OpLogic)
+	var v I32x8
+	for i := range v {
+		v[i] = a[i] & b[i]
+	}
+	return v
+}
+
+// Or32 returns the bitwise OR (vpor).
+func (m Machine) Or32(a, b I32x8) I32x8 {
+	m.T.inc256(OpLogic)
+	var v I32x8
+	for i := range v {
+		v[i] = a[i] | b[i]
+	}
+	return v
+}
+
+// AndNot32 returns a &^ b (vpandn with swapped operands).
+func (m Machine) AndNot32(a, b I32x8) I32x8 {
+	m.T.inc256(OpLogic)
+	var v I32x8
+	for i := range v {
+		v[i] = a[i] &^ b[i]
+	}
+	return v
+}
+
+// MoveMask32 packs the sign bit of every lane into an 8-bit mask
+// (vmovmskps on integer data). Bit i corresponds to lane i.
+func (m Machine) MoveMask32(a I32x8) uint32 {
+	m.T.inc256(OpMoveMask)
+	var mask uint32
+	for i := range a {
+		if a[i] < 0 {
+			mask |= 1 << uint(i)
+		}
+	}
+	return mask
+}
+
 // Blend32 selects b where the mask lane is negative, else a
 // (vblendvps on integer data).
 func (m Machine) Blend32(a, b, mask I32x8) I32x8 {

@@ -171,6 +171,17 @@ func (m Machine) Or8(a, b I8x32) I8x32 {
 	return v
 }
 
+// AndNot8 returns a &^ b, i.e. a AND (NOT b) (vpandn with swapped
+// operands, same logic port).
+func (m Machine) AndNot8(a, b I8x32) I8x32 {
+	m.T.inc256(OpLogic)
+	var v I8x32
+	for i := range v {
+		v[i] = a[i] &^ b[i]
+	}
+	return v
+}
+
 // Xor8 returns the bitwise XOR (vpxor).
 func (m Machine) Xor8(a, b I8x32) I8x32 {
 	m.T.inc256(OpLogic)

@@ -203,3 +203,144 @@ func (m Machine) Gather32W(table []int32, idxLo, idxHi I32x8) (I32x8, I32x8) {
 	m.T.inc512(OpGather32)
 	return Bare.Gather32(table, idxLo), Bare.Gather32(table, idxHi)
 }
+
+// Load8W loads the first 64 elements of s (vmovdqu8).
+func (m Machine) Load8W(s []int8) I8x64 {
+	m.T.inc512(OpLoad)
+	return I8x64{Lo: Bare.Load8(s[:32]), Hi: Bare.Load8(s[32:64])}
+}
+
+// Store8W stores v into the first 64 elements of dst.
+func (m Machine) Store8W(dst []int8, v I8x64) {
+	m.T.inc512(OpStore)
+	Bare.Store8(dst[:32], v.Lo)
+	Bare.Store8(dst[32:64], v.Hi)
+}
+
+// CmpGt8W returns -1 in lanes where a>b, else 0. AVX-512 compares
+// produce mask registers; the emulation keeps the AVX2-style full-width
+// mask vector, charged as one 512-bit compare.
+func (m Machine) CmpGt8W(a, b I8x64) I8x64 {
+	m.T.inc512(OpCmpGt8)
+	return I8x64{Lo: Bare.CmpGt8(a.Lo, b.Lo), Hi: Bare.CmpGt8(a.Hi, b.Hi)}
+}
+
+// CmpEq8W returns -1 in lanes where a==b, else 0.
+func (m Machine) CmpEq8W(a, b I8x64) I8x64 {
+	m.T.inc512(OpCmpEq8)
+	return I8x64{Lo: Bare.CmpEq8(a.Lo, b.Lo), Hi: Bare.CmpEq8(a.Hi, b.Hi)}
+}
+
+// Blend8W selects b where the mask lane is negative, else a.
+func (m Machine) Blend8W(a, b, mask I8x64) I8x64 {
+	m.T.inc512(OpBlend)
+	return I8x64{Lo: Bare.Blend8(a.Lo, b.Lo, mask.Lo), Hi: Bare.Blend8(a.Hi, b.Hi, mask.Hi)}
+}
+
+// And8W returns the bitwise AND.
+func (m Machine) And8W(a, b I8x64) I8x64 {
+	m.T.inc512(OpLogic)
+	return I8x64{Lo: Bare.And8(a.Lo, b.Lo), Hi: Bare.And8(a.Hi, b.Hi)}
+}
+
+// Or8W returns the bitwise OR.
+func (m Machine) Or8W(a, b I8x64) I8x64 {
+	m.T.inc512(OpLogic)
+	return I8x64{Lo: Bare.Or8(a.Lo, b.Lo), Hi: Bare.Or8(a.Hi, b.Hi)}
+}
+
+// AndNot8W returns a &^ b.
+func (m Machine) AndNot8W(a, b I8x64) I8x64 {
+	m.T.inc512(OpLogic)
+	return I8x64{Lo: Bare.AndNot8(a.Lo, b.Lo), Hi: Bare.AndNot8(a.Hi, b.Hi)}
+}
+
+// MoveMask8W packs the sign bit of all 64 lanes into a 64-bit mask.
+func (m Machine) MoveMask8W(a I8x64) uint64 {
+	m.T.inc512(OpMoveMask)
+	return uint64(Bare.MoveMask8(a.Lo)) | uint64(Bare.MoveMask8(a.Hi))<<32
+}
+
+// Shuffle8W performs the in-lane byte shuffle on each 128-bit quarter
+// independently (vpshufb zmm semantics), charged as one 512-bit issue.
+func (m Machine) Shuffle8W(table, idx I8x64) I8x64 {
+	m.T.inc512(OpShuffle)
+	return I8x64{Lo: Bare.Shuffle8(table.Lo, idx.Lo), Hi: Bare.Shuffle8(table.Hi, idx.Hi)}
+}
+
+// Load16W loads the first 32 elements of s (vmovdqu16).
+func (m Machine) Load16W(s []int16) I16x32 {
+	m.T.inc512(OpLoad)
+	return I16x32{Lo: Bare.Load16(s[:16]), Hi: Bare.Load16(s[16:32])}
+}
+
+// Store16W stores v into the first 32 elements of dst.
+func (m Machine) Store16W(dst []int16, v I16x32) {
+	m.T.inc512(OpStore)
+	Bare.Store16(dst[:16], v.Lo)
+	Bare.Store16(dst[16:32], v.Hi)
+}
+
+// CmpGt16W returns -1 in lanes where a>b, else 0.
+func (m Machine) CmpGt16W(a, b I16x32) I16x32 {
+	m.T.inc512(OpCmpGt16)
+	return I16x32{Lo: Bare.CmpGt16(a.Lo, b.Lo), Hi: Bare.CmpGt16(a.Hi, b.Hi)}
+}
+
+// CmpEq16W returns -1 in lanes where a==b, else 0.
+func (m Machine) CmpEq16W(a, b I16x32) I16x32 {
+	m.T.inc512(OpCmpEq8) // same port/latency class as the byte compare
+	return I16x32{Lo: Bare.CmpEq16(a.Lo, b.Lo), Hi: Bare.CmpEq16(a.Hi, b.Hi)}
+}
+
+// Blend16W selects b where the mask lane is negative, else a.
+func (m Machine) Blend16W(a, b, mask I16x32) I16x32 {
+	m.T.inc512(OpBlend)
+	return I16x32{Lo: Bare.Blend16(a.Lo, b.Lo, mask.Lo), Hi: Bare.Blend16(a.Hi, b.Hi, mask.Hi)}
+}
+
+// And16W returns the bitwise AND.
+func (m Machine) And16W(a, b I16x32) I16x32 {
+	m.T.inc512(OpLogic)
+	return I16x32{Lo: Bare.And16(a.Lo, b.Lo), Hi: Bare.And16(a.Hi, b.Hi)}
+}
+
+// Or16W returns the bitwise OR.
+func (m Machine) Or16W(a, b I16x32) I16x32 {
+	m.T.inc512(OpLogic)
+	return I16x32{Lo: Bare.Or16(a.Lo, b.Lo), Hi: Bare.Or16(a.Hi, b.Hi)}
+}
+
+// AndNot16W returns a &^ b.
+func (m Machine) AndNot16W(a, b I16x32) I16x32 {
+	m.T.inc512(OpLogic)
+	return I16x32{Lo: Bare.AndNot16(a.Lo, b.Lo), Hi: Bare.AndNot16(a.Hi, b.Hi)}
+}
+
+// MoveMask16W packs the sign bit of all 32 lanes into a 32-bit mask,
+// charged like its 256-bit counterpart (movemask + unpack).
+func (m Machine) MoveMask16W(a I16x32) uint64 {
+	m.T.inc512(OpMoveMask)
+	m.T.inc512(OpUnpack)
+	var mask uint64
+	for i := 0; i < 16; i++ {
+		if a.Lo[i] < 0 {
+			mask |= 1 << uint(i)
+		}
+		if a.Hi[i] < 0 {
+			mask |= 1 << uint(16+i)
+		}
+	}
+	return mask
+}
+
+// Widen8To16W sign-extends the low (half 0) or high (half 1) 32 byte
+// lanes of a into a full 16-bit register (vpmovsxbw zmm).
+func (m Machine) Widen8To16W(a I8x64, half int) I16x32 {
+	m.T.inc512(OpUnpack)
+	src := a.Lo
+	if half == 1 {
+		src = a.Hi
+	}
+	return I16x32{Lo: Bare.Widen8To16(src, 0), Hi: Bare.Widen8To16(src, 1)}
+}

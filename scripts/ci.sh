@@ -5,6 +5,14 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
 echo "== build =="
 go build ./...
 
@@ -16,5 +24,8 @@ go vet ./...
 
 echo "== race =="
 go test -race -short ./internal/sched ./internal/seqio ./internal/core .
+
+echo "== fuzz smoke =="
+go test -fuzz=FuzzAlignWidths -fuzztime=10s -run FuzzAlignWidths ./internal/core
 
 echo "ci: all checks passed"

@@ -102,6 +102,7 @@ type Aligner struct {
 	block   int
 	sortLen bool
 	depth   int
+	width   int
 }
 
 // Option configures an Aligner.
@@ -181,6 +182,22 @@ func WithPipelineDepth(n int) Option {
 		}
 		a.depth = n
 		return nil
+	}
+}
+
+// WithVectorWidth selects the vector register width of the search
+// pipeline's batch engines: 256 (32-lane batches), 512 (64-lane
+// batches), or 0 to auto-detect from the native architecture model.
+// Every search stage — 8-bit stream and 16-bit rescue — runs at the
+// selected width through the same generic kernels.
+func WithVectorWidth(bits int) Option {
+	return func(a *Aligner) error {
+		switch bits {
+		case 0, 256, 512:
+			a.width = bits
+			return nil
+		}
+		return fmt.Errorf("swvec: unsupported vector width %d (want 0, 256, or 512)", bits)
 	}
 }
 
@@ -282,5 +299,6 @@ func (a *Aligner) schedOptions() sched.Options {
 		BlockCols:     a.block,
 		SortByLength:  a.sortLen,
 		PipelineDepth: a.depth,
+		Width:         a.width,
 	}
 }
