@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all verify fmt vet race fuzz bench ci
+.PHONY: all verify fmt vet portable race fuzz bench bench-smoke ci
 
 all: verify
 
@@ -15,6 +15,11 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+	$(GO) vet ./cmd/...
+
+# Portability gate: everything must build without cgo.
+portable:
+	CGO_ENABLED=0 $(GO) build ./...
 
 # Race-enabled pass over the concurrent packages (the streaming search
 # pipeline, the batch stream, the kernels it shares scratch with, and
@@ -31,4 +36,10 @@ fuzz:
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
 
-ci: fmt verify vet race fuzz
+# One-iteration search benchmarks streamed into BENCH_ci.json — the CI
+# perf-trajectory artifact.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkSearch' -benchtime 1x -json . > BENCH_ci.json
+	@grep -q '"Action":"pass"' BENCH_ci.json || { echo "bench smoke failed"; exit 1; }
+
+ci: fmt verify vet portable race fuzz bench-smoke

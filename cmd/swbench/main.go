@@ -8,6 +8,7 @@
 //	swbench -fig 14         # one figure
 //	swbench -quick          # small workloads
 //	swbench -csv            # CSV instead of aligned tables
+//	swbench -stats          # append the cumulative pipeline counters
 package main
 
 import (
@@ -18,17 +19,19 @@ import (
 	"strings"
 
 	"swvec/internal/figures"
+	"swvec/internal/metrics"
 	"swvec/internal/stats"
 )
 
 func main() {
 	var (
-		fig   = flag.String("fig", "all", "figure to regenerate: 6..14, det, port, mem, pipe, or all")
-		quick = flag.Bool("quick", false, "small workloads for fast runs")
-		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		seed  = flag.Int64("seed", 42, "workload seed")
-		db    = flag.Int("db", 0, "database size override (sequences)")
-		width = flag.String("width", "auto", "search-pipeline vector width: 256, 512, or auto")
+		fig       = flag.String("fig", "all", "figure to regenerate: 6..14, det, port, mem, pipe, or all")
+		quick     = flag.Bool("quick", false, "small workloads for fast runs")
+		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		seed      = flag.Int64("seed", 42, "workload seed")
+		db        = flag.Int("db", 0, "database size override (sequences)")
+		width     = flag.String("width", "auto", "search-pipeline vector width: 256, 512, or auto")
+		pipeStats = flag.Bool("stats", false, "print the cumulative per-stage pipeline counters after the run")
 	)
 	flag.Parse()
 
@@ -106,6 +109,14 @@ func main() {
 			err = t.Render(os.Stdout)
 		}
 		if err != nil {
+			fmt.Fprintf(os.Stderr, "swbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if *pipeStats {
+		fmt.Println("\n# pipeline counters (cumulative across the run)")
+		if err := metrics.Global.Snapshot().WriteText(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "swbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -5,19 +5,40 @@
 // Accumulating queries before computing is the efficiency lever the
 // paper highlights for this scenario.
 //
+// The server is hardened for unattended operation: per-request compute
+// deadlines, a max-connections semaphore, idle-connection timeouts,
+// graceful shutdown on SIGINT/SIGTERM that flushes the pending
+// accumulation window, structured per-batch log lines, and an opt-in
+// admin port serving /debug/vars (including the swvec.search pipeline
+// counters) and pprof.
+//
 // Server:  swserver -listen :7979 -db db.fasta [-batch 8] [-window 50ms]
+//
+//	[-request-timeout 30s] [-max-conns 256] [-idle-timeout 2m]
+//	[-admin 127.0.0.1:7980]
+//
 // Client:  swserver -connect localhost:7979 -query q.fasta [-top 5]
+//
+//	[-timeout 30s]
 package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
+	"errors"
+	"expvar"
 	"flag"
 	"fmt"
+	"log"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
 	"sort"
 	"sync"
+	"syscall"
 	"time"
 
 	"swvec"
@@ -45,23 +66,34 @@ type response struct {
 
 func main() {
 	var (
-		listen  = flag.String("listen", "", "serve on this address (server mode)")
-		connect = flag.String("connect", "", "connect to this address (client mode)")
-		dbPath  = flag.String("db", "", "database FASTA (server mode)")
-		genDB   = flag.Int("gen-db", 0, "serve a synthetic database of this size instead of -db")
-		batch   = flag.Int("batch", 8, "queries to accumulate before computing")
-		window  = flag.Duration("window", 50*time.Millisecond, "maximum accumulation delay")
-		query   = flag.String("query", "", "query FASTA (client mode; all records are submitted)")
-		top     = flag.Int("top", 5, "hits per query (client mode)")
-		threads = flag.Int("threads", 0, "worker threads (server mode)")
+		listen     = flag.String("listen", "", "serve on this address (server mode)")
+		connect    = flag.String("connect", "", "connect to this address (client mode)")
+		dbPath     = flag.String("db", "", "database FASTA (server mode)")
+		genDB      = flag.Int("gen-db", 0, "serve a synthetic database of this size instead of -db")
+		batch      = flag.Int("batch", 8, "queries to accumulate before computing")
+		window     = flag.Duration("window", 50*time.Millisecond, "maximum accumulation delay")
+		query      = flag.String("query", "", "query FASTA (client mode; all records are submitted)")
+		top        = flag.Int("top", 5, "hits per query (client mode)")
+		threads    = flag.Int("threads", 0, "worker threads (server mode)")
+		reqTimeout = flag.Duration("request-timeout", 30*time.Second, "per-batch compute deadline (0 disables)")
+		maxConns   = flag.Int("max-conns", 256, "maximum concurrent client connections")
+		idle       = flag.Duration("idle-timeout", 2*time.Minute, "per-connection read deadline (0 disables)")
+		admin      = flag.String("admin", "", "opt-in admin address serving /debug/vars and pprof")
+		timeout    = flag.Duration("timeout", 30*time.Second, "client-mode dial and I/O deadline (0 disables)")
 	)
 	flag.Parse()
 
 	switch {
 	case *listen != "":
-		runServer(*listen, *dbPath, *genDB, *batch, *window, *threads)
+		runServer(*listen, *dbPath, *genDB, *threads, *admin, serverConfig{
+			batchSize:  *batch,
+			window:     *window,
+			reqTimeout: *reqTimeout,
+			maxConns:   *maxConns,
+			idle:       *idle,
+		})
 	case *connect != "":
-		runClient(*connect, *query, *top)
+		os.Exit(runClient(*connect, *query, *top, *timeout))
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -74,7 +106,342 @@ type pending struct {
 	reply chan response
 }
 
-func runServer(addr, dbPath string, genDB, batchSize int, window time.Duration, threads int) {
+// serverConfig bundles the hardening knobs.
+type serverConfig struct {
+	batchSize  int
+	window     time.Duration
+	reqTimeout time.Duration // per-batch compute deadline, 0 = none
+	maxConns   int
+	idle       time.Duration // per-connection read deadline, 0 = none
+}
+
+// server accumulates client queries into batches and aligns them. Its
+// shutdown protocol is: close the listener, expire every connection's
+// read deadline so scanners stop accepting new requests, wait for the
+// readers to retire, then close the queue — the batcher drains
+// whatever the accumulation window was holding (the flush), replies
+// flow back, and the connection writers finish.
+type server struct {
+	al  *swvec.Aligner
+	db  []swvec.Sequence
+	cfg serverConfig
+
+	queue       chan pending
+	ln          net.Listener
+	closed      chan struct{} // closed when Shutdown begins
+	batcherDone chan struct{}
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+
+	readWG sync.WaitGroup // connection read loops (may still enqueue)
+	connWG sync.WaitGroup // whole connection handlers (incl. replies)
+
+	shutdownOnce sync.Once
+	logf         func(format string, args ...any)
+}
+
+func newServer(al *swvec.Aligner, db []swvec.Sequence, ln net.Listener, cfg serverConfig) *server {
+	if cfg.batchSize < 1 {
+		cfg.batchSize = 1
+	}
+	if cfg.maxConns < 1 {
+		cfg.maxConns = 1
+	}
+	return &server{
+		al:          al,
+		db:          db,
+		ln:          ln,
+		cfg:         cfg,
+		queue:       make(chan pending, 4*cfg.batchSize),
+		closed:      make(chan struct{}),
+		batcherDone: make(chan struct{}),
+		conns:       map[net.Conn]struct{}{},
+		logf:        log.Printf,
+	}
+}
+
+// serve accepts connections on the server's listener until Shutdown
+// closes it. The max-conns semaphore applies backpressure: when full,
+// accepted connections wait before being served.
+func (s *server) serve() {
+	ln := s.ln
+	go s.batcher()
+	sem := make(chan struct{}, s.cfg.maxConns)
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			s.logf("level=warn event=accept_error err=%q", err)
+			continue
+		}
+		select {
+		case sem <- struct{}{}:
+		case <-s.closed:
+			conn.Close()
+			return
+		}
+		s.track(conn, true)
+		s.readWG.Add(1)
+		s.connWG.Add(1)
+		go func() {
+			defer func() {
+				s.track(conn, false)
+				s.connWG.Done()
+				<-sem
+			}()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *server) track(conn net.Conn, add bool) {
+	s.mu.Lock()
+	if add {
+		s.conns[conn] = struct{}{}
+	} else {
+		delete(s.conns, conn)
+	}
+	s.mu.Unlock()
+}
+
+func (s *server) isShutdown() bool {
+	select {
+	case <-s.closed:
+		return true
+	default:
+		return false
+	}
+}
+
+// expireReads sets every live connection's read deadline to now so
+// blocked scanners return. Shutdown re-applies it periodically to
+// close the race with a handler that extended its idle deadline
+// between the flag check and the first expiry.
+func (s *server) expireReads() {
+	now := time.Now()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.SetReadDeadline(now)
+	}
+	s.mu.Unlock()
+}
+
+// Shutdown runs the graceful stop: no new connections, no new
+// requests, flush the pending accumulation window, deliver every
+// reply. ctx bounds the wait; on expiry the remaining work is
+// abandoned. Idempotent.
+func (s *server) Shutdown(ctx context.Context) {
+	s.shutdownOnce.Do(func() {
+		close(s.closed)
+		s.ln.Close()
+
+		readsDone := make(chan struct{})
+		go func() {
+			s.readWG.Wait()
+			close(readsDone)
+		}()
+		tick := time.NewTicker(50 * time.Millisecond)
+		defer tick.Stop()
+		s.expireReads()
+	waitReads:
+		for {
+			select {
+			case <-readsDone:
+				break waitReads
+			case <-tick.C:
+				s.expireReads()
+			case <-ctx.Done():
+				return
+			}
+		}
+
+		// No reader can enqueue anymore: closing the queue makes the
+		// batcher process whatever the window was still accumulating
+		// and exit — the flush.
+		close(s.queue)
+		select {
+		case <-s.batcherDone:
+		case <-ctx.Done():
+			return
+		}
+
+		handlersDone := make(chan struct{})
+		go func() {
+			s.connWG.Wait()
+			close(handlersDone)
+		}()
+		select {
+		case <-handlersDone:
+		case <-ctx.Done():
+		}
+	})
+}
+
+// batcher accumulates requests and runs the multi-query engine once
+// per batch — the scenario-2 design. A closed queue breaks the fill
+// immediately, so shutdown flushes the pending window instead of
+// waiting it out.
+func (s *server) batcher() {
+	defer close(s.batcherDone)
+	for {
+		first, ok := <-s.queue
+		if !ok {
+			return
+		}
+		batch := []pending{first}
+		timer := time.NewTimer(s.cfg.window)
+	fill:
+		for len(batch) < s.cfg.batchSize {
+			select {
+			case p, ok := <-s.queue:
+				if !ok {
+					break fill
+				}
+				batch = append(batch, p)
+			case <-timer.C:
+				break fill
+			}
+		}
+		timer.Stop()
+		s.process(batch)
+	}
+}
+
+// process aligns one accumulated batch under the per-request deadline
+// and answers every query, including per-request errors when the
+// compute is cut short.
+func (s *server) process(batch []pending) {
+	queries := make([][]byte, len(batch))
+	for i, p := range batch {
+		queries[i] = []byte(p.req.Residues)
+	}
+	ctx := context.Background()
+	if s.cfg.reqTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.reqTimeout)
+		defer cancel()
+	}
+	res, err := s.al.SearchAllContext(ctx, queries, s.db)
+	if err != nil {
+		s.logf("level=error event=batch queries=%d queue_len=%d err=%q",
+			len(batch), len(s.queue), err)
+		for _, p := range batch {
+			p.reply <- response{ID: p.req.ID, Error: err.Error()}
+		}
+		return
+	}
+	s.logf("level=info event=batch queries=%d cells=%d elapsed_ms=%.1f gcups=%.3f rescued=%d queue_len=%d",
+		len(batch), res.Cells, float64(res.Elapsed.Microseconds())/1000, res.GCUPS(),
+		res.Rescued, len(s.queue))
+	for qi, p := range batch {
+		n := p.req.Top
+		if n <= 0 {
+			n = 5
+		}
+		idx := make([]int, len(s.db))
+		for i := range idx {
+			idx[i] = i
+		}
+		scores := res.Scores[qi]
+		sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+		if n > len(idx) {
+			n = len(idx)
+		}
+		hits := make([]hit, n)
+		for i := 0; i < n; i++ {
+			hits[i] = hit{SeqID: s.db[idx[i]].ID, Score: scores[idx[i]]}
+		}
+		p.reply <- response{ID: p.req.ID, Hits: hits}
+	}
+}
+
+// serveConn reads newline-delimited JSON requests until the client
+// disconnects, the idle deadline expires, or shutdown expires the read
+// deadline, then waits for every outstanding reply before closing.
+func (s *server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	enc := json.NewEncoder(conn)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	readsDone := false
+	for {
+		if s.isShutdown() {
+			break
+		} else if s.cfg.idle > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.cfg.idle))
+		}
+		if !sc.Scan() {
+			break
+		}
+		var req request
+		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
+			mu.Lock()
+			enc.Encode(response{Error: fmt.Sprintf("bad request: %v", err)})
+			mu.Unlock()
+			continue
+		}
+		reply := make(chan response, 1)
+		select {
+		case s.queue <- pending{req: req, reply: reply}:
+		case <-s.closed:
+			// Shutdown already began; the queue may close at any
+			// moment, so refuse instead of racing the close.
+			mu.Lock()
+			enc.Encode(response{ID: req.ID, Error: "server shutting down"})
+			mu.Unlock()
+			s.readWG.Done()
+			readsDone = true
+			break
+		}
+		if readsDone {
+			break
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp := <-reply
+			mu.Lock()
+			conn.SetWriteDeadline(time.Now().Add(30 * time.Second))
+			enc.Encode(resp)
+			mu.Unlock()
+		}()
+	}
+	if !readsDone {
+		s.readWG.Done()
+	}
+	wg.Wait()
+}
+
+// startAdmin serves /debug/vars (expvar, including the swvec.search
+// pipeline counters) and pprof on the opt-in admin address.
+func startAdmin(addr string, logf func(string, ...any)) {
+	swvec.PublishMetrics()
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		logf("level=info event=admin_listen addr=%s", addr)
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			logf("level=error event=admin_error err=%q", err)
+		}
+	}()
+}
+
+func runServer(addr, dbPath string, genDB, threads int, admin string, cfg serverConfig) {
 	var db []swvec.Sequence
 	if genDB > 0 {
 		db = swvec.GenerateDatabase(42, genDB)
@@ -97,119 +464,47 @@ func runServer(addr, dbPath string, genDB, batchSize int, window time.Duration, 
 	if err != nil {
 		fatal("%v", err)
 	}
-
-	queue := make(chan pending, 4*batchSize)
-	go batcher(al, db, queue, batchSize, window)
+	if admin != "" {
+		startAdmin(admin, log.Printf)
+	}
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		fatal("%v", err)
 	}
-	fmt.Printf("swserver: %d sequences loaded, accumulating up to %d queries per batch on %s\n",
-		len(db), batchSize, addr)
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "swserver: accept: %v\n", err)
-			continue
-		}
-		go serveConn(conn, queue)
-	}
+	srv := newServer(al, db, ln, cfg)
+	log.Printf("level=info event=listen addr=%s db_seqs=%d batch=%d window=%s max_conns=%d request_timeout=%s",
+		ln.Addr(), len(db), cfg.batchSize, cfg.window, cfg.maxConns, cfg.reqTimeout)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		sig := <-sigCh
+		log.Printf("level=info event=shutdown signal=%s", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	srv.serve()
+	// serve returns once Shutdown has closed the listener, but the
+	// flush and the reply writers are still in flight on the signal
+	// goroutine. Calling Shutdown again blocks until the first call
+	// completes (sync.Once semantics), so the process cannot exit —
+	// tearing down the connections — before every reply is written.
+	waitCtx, waitCancel := context.WithTimeout(context.Background(), 35*time.Second)
+	srv.Shutdown(waitCtx)
+	waitCancel()
+	stats := swvec.GlobalStats()
+	log.Printf("level=info event=exit searches=%d cells=%d rescued=%d",
+		stats.Searches, stats.Cells(), stats.Saturated8)
 }
 
-// batcher accumulates requests and runs the multi-query engine once
-// per batch — the scenario-2 design.
-func batcher(al *swvec.Aligner, db []swvec.Sequence, queue <-chan pending, batchSize int, window time.Duration) {
-	for {
-		first, ok := <-queue
-		if !ok {
-			return
-		}
-		batch := []pending{first}
-		timer := time.NewTimer(window)
-	fill:
-		for len(batch) < batchSize {
-			select {
-			case p, ok := <-queue:
-				if !ok {
-					break fill
-				}
-				batch = append(batch, p)
-			case <-timer.C:
-				break fill
-			}
-		}
-		timer.Stop()
-		process(al, db, batch)
-	}
-}
-
-func process(al *swvec.Aligner, db []swvec.Sequence, batch []pending) {
-	queries := make([][]byte, len(batch))
-	for i, p := range batch {
-		queries[i] = []byte(p.req.Residues)
-	}
-	res, err := al.SearchAll(queries, db)
-	if err != nil {
-		for _, p := range batch {
-			p.reply <- response{ID: p.req.ID, Error: err.Error()}
-		}
-		return
-	}
-	fmt.Printf("swserver: batch of %d queries, %d cells, %.1f ms (%.3f GCUPS)\n",
-		len(batch), res.Cells, float64(res.Elapsed.Microseconds())/1000, res.GCUPS())
-	for qi, p := range batch {
-		n := p.req.Top
-		if n <= 0 {
-			n = 5
-		}
-		idx := make([]int, len(db))
-		for i := range idx {
-			idx[i] = i
-		}
-		scores := res.Scores[qi]
-		sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
-		if n > len(idx) {
-			n = len(idx)
-		}
-		hits := make([]hit, n)
-		for i := 0; i < n; i++ {
-			hits[i] = hit{SeqID: db[idx[i]].ID, Score: scores[idx[i]]}
-		}
-		p.reply <- response{ID: p.req.ID, Hits: hits}
-	}
-}
-
-func serveConn(conn net.Conn, queue chan<- pending) {
-	defer conn.Close()
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 1<<20), 1<<24)
-	enc := json.NewEncoder(conn)
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for sc.Scan() {
-		var req request
-		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
-			mu.Lock()
-			enc.Encode(response{Error: fmt.Sprintf("bad request: %v", err)})
-			mu.Unlock()
-			continue
-		}
-		reply := make(chan response, 1)
-		queue <- pending{req: req, reply: reply}
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			resp := <-reply
-			mu.Lock()
-			enc.Encode(resp)
-			mu.Unlock()
-		}()
-	}
-	wg.Wait()
-}
-
-func runClient(addr, queryPath string, top int) {
+// runClient submits every query record and prints one line per
+// response. Connection, deadline, and per-request failures are
+// reported in each request's Error field instead of aborting the whole
+// run; the exit code is 1 if any request failed.
+func runClient(addr, queryPath string, top int, timeout time.Duration) int {
 	if queryPath == "" {
 		fatal("client mode needs -query")
 	}
@@ -222,24 +517,64 @@ func runClient(addr, queryPath string, top int) {
 	if rerr != nil {
 		fatal("%v", rerr)
 	}
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		fatal("%v", err)
+
+	results := make(map[string]response, len(queries))
+	fail := func(id, format string, args ...any) {
+		results[id] = response{ID: id, Error: fmt.Sprintf(format, args...)}
 	}
-	defer conn.Close()
-	enc := json.NewEncoder(conn)
-	for i := range queries {
-		if err := enc.Encode(request{ID: queries[i].ID, Residues: string(queries[i].Residues), Top: top}); err != nil {
-			fatal("send: %v", err)
+
+	var conn net.Conn
+	if timeout > 0 {
+		conn, err = net.DialTimeout("tcp", addr, timeout)
+	} else {
+		conn, err = net.Dial("tcp", addr)
+	}
+	sent := 0
+	if err != nil {
+		for i := range queries {
+			fail(queries[i].ID, "connect: %v", err)
+		}
+	} else {
+		defer conn.Close()
+		enc := json.NewEncoder(conn)
+		for i := range queries {
+			if timeout > 0 {
+				conn.SetWriteDeadline(time.Now().Add(timeout))
+			}
+			if err := enc.Encode(request{ID: queries[i].ID, Residues: string(queries[i].Residues), Top: top}); err != nil {
+				fail(queries[i].ID, "send: %v", err)
+				continue
+			}
+			sent++
+		}
+		dec := json.NewDecoder(bufio.NewReader(conn))
+		for i := 0; i < sent; i++ {
+			if timeout > 0 {
+				conn.SetReadDeadline(time.Now().Add(timeout))
+			}
+			var resp response
+			if err := dec.Decode(&resp); err != nil {
+				// The stream is dead: every sent-but-unanswered query
+				// gets the error.
+				for _, q := range queries {
+					if _, done := results[q.ID]; !done {
+						fail(q.ID, "recv: %v", err)
+					}
+				}
+				break
+			}
+			results[resp.ID] = resp
 		}
 	}
-	dec := json.NewDecoder(bufio.NewReader(conn))
-	for range queries {
-		var resp response
-		if err := dec.Decode(&resp); err != nil {
-			fatal("recv: %v", err)
+
+	exit := 0
+	for i := range queries {
+		resp, ok := results[queries[i].ID]
+		if !ok {
+			resp = response{ID: queries[i].ID, Error: "no response received"}
 		}
 		if resp.Error != "" {
+			exit = 1
 			fmt.Printf("%s: error: %s\n", resp.ID, resp.Error)
 			continue
 		}
@@ -248,6 +583,7 @@ func runClient(addr, queryPath string, top int) {
 			fmt.Printf("  %2d. score %5d  %s\n", rank+1, h.Score, h.SeqID)
 		}
 	}
+	return exit
 }
 
 func fatal(format string, args ...interface{}) {

@@ -2,44 +2,48 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"net"
+	"strings"
 	"testing"
 	"time"
 
 	"swvec"
 )
 
-// startTestServer wires the batcher + connection handler on an
+// startTestServer wires a full server (batcher + accept loop) on an
 // ephemeral port, mirroring runServer without the fatal-exit paths.
-func startTestServer(t *testing.T, db []swvec.Sequence, batchSize int, window time.Duration) string {
+func startTestServer(t *testing.T, db []swvec.Sequence, batchSize int, window time.Duration) (*server, string) {
 	t.Helper()
 	al, err := swvec.New(swvec.WithThreads(2))
 	if err != nil {
 		t.Fatal(err)
 	}
-	queue := make(chan pending, 4*batchSize)
-	go batcher(al, db, queue, batchSize, window)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { ln.Close() })
-	go func() {
-		for {
-			conn, err := ln.Accept()
-			if err != nil {
-				return
-			}
-			go serveConn(conn, queue)
-		}
-	}()
-	return ln.Addr().String()
+	srv := newServer(al, db, ln, serverConfig{
+		batchSize:  batchSize,
+		window:     window,
+		reqTimeout: 30 * time.Second,
+		maxConns:   16,
+		idle:       time.Minute,
+	})
+	srv.logf = t.Logf
+	go srv.serve()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return srv, ln.Addr().String()
 }
 
 func TestServerEndToEnd(t *testing.T) {
 	db := swvec.GenerateDatabase(42, 48)
-	addr := startTestServer(t, db, 4, 30*time.Millisecond)
+	_, addr := startTestServer(t, db, 4, 30*time.Millisecond)
 
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
@@ -51,7 +55,7 @@ func TestServerEndToEnd(t *testing.T) {
 	// entries; their top hit must be the source sequence.
 	sources := []int{5, 17, 33}
 	enc := json.NewEncoder(conn)
-	for i, si := range sources {
+	for _, si := range sources {
 		frag := db[si].Residues
 		if len(frag) > 120 {
 			frag = frag[:120]
@@ -59,7 +63,6 @@ func TestServerEndToEnd(t *testing.T) {
 		if err := enc.Encode(request{ID: db[si].ID, Residues: string(frag), Top: 3}); err != nil {
 			t.Fatal(err)
 		}
-		_ = i
 	}
 
 	dec := json.NewDecoder(bufio.NewReader(conn))
@@ -87,7 +90,7 @@ func TestServerEndToEnd(t *testing.T) {
 
 func TestServerRejectsBadRequest(t *testing.T) {
 	db := swvec.GenerateDatabase(43, 8)
-	addr := startTestServer(t, db, 2, 20*time.Millisecond)
+	_, addr := startTestServer(t, db, 2, 20*time.Millisecond)
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		t.Fatal(err)
@@ -107,7 +110,7 @@ func TestServerRejectsBadRequest(t *testing.T) {
 
 func TestServerRejectsInvalidResidues(t *testing.T) {
 	db := swvec.GenerateDatabase(44, 8)
-	addr := startTestServer(t, db, 2, 20*time.Millisecond)
+	_, addr := startTestServer(t, db, 2, 20*time.Millisecond)
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		t.Fatal(err)
@@ -123,5 +126,115 @@ func TestServerRejectsInvalidResidues(t *testing.T) {
 	}
 	if resp.Error == "" {
 		t.Fatal("invalid residues should produce an error response")
+	}
+}
+
+// TestServerGracefulShutdown parks queries inside a long accumulation
+// window (batch size far above the submitted count, 30s window) and
+// then shuts the server down: the shutdown must flush the pending
+// window — every parked query gets its real response — rather than
+// dropping it or waiting out the timer.
+func TestServerGracefulShutdown(t *testing.T) {
+	db := swvec.GenerateDatabase(45, 32)
+	srv, addr := startTestServer(t, db, 16, 30*time.Second)
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	sources := []int{3, 9}
+	enc := json.NewEncoder(conn)
+	for _, si := range sources {
+		frag := db[si].Residues
+		if len(frag) > 100 {
+			frag = frag[:100]
+		}
+		if err := enc.Encode(request{ID: db[si].ID, Residues: string(frag), Top: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Give the requests time to land in the accumulation window, then
+	// trigger the graceful stop.
+	time.Sleep(100 * time.Millisecond)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	got := map[string]response{}
+	for range sources {
+		var resp response
+		if err := dec.Decode(&resp); err != nil {
+			t.Fatalf("flush did not deliver all replies: %v", err)
+		}
+		got[resp.ID] = resp
+	}
+	for _, si := range sources {
+		resp, ok := got[db[si].ID]
+		if !ok {
+			t.Fatalf("no flushed response for %s", db[si].ID)
+		}
+		if resp.Error != "" {
+			t.Fatalf("%s: %s", resp.ID, resp.Error)
+		}
+		if len(resp.Hits) == 0 || resp.Hits[0].SeqID != db[si].ID {
+			t.Fatalf("%s: top hit %+v, want self", resp.ID, resp.Hits)
+		}
+	}
+
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+		t.Fatal("Shutdown did not return")
+	}
+
+	// A post-shutdown connection must be refused.
+	if c, err := net.DialTimeout("tcp", addr, time.Second); err == nil {
+		c.Close()
+		t.Fatal("listener still accepting after shutdown")
+	}
+}
+
+// TestServerShutdownRefusesNewRequests covers the race window where a
+// request arrives while shutdown is in progress: it must get an
+// explicit error response, not hang or panic on the closing queue.
+func TestServerShutdownRefusesNewRequests(t *testing.T) {
+	db := swvec.GenerateDatabase(46, 16)
+	srv, addr := startTestServer(t, db, 4, 20*time.Millisecond)
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	srv.Shutdown(ctx)
+
+	// The connection predates shutdown, so the write may still land in
+	// the scanner before its deadline fires; either a "shutting down"
+	// error response or a closed connection is acceptable — a hang or
+	// panic is not.
+	enc := json.NewEncoder(conn)
+	frag := db[0].Residues[:40]
+	if err := enc.Encode(request{ID: "late", Residues: string(frag)}); err != nil {
+		return // connection already torn down: fine
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	var resp response
+	if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&resp); err != nil {
+		return // closed without response: fine
+	}
+	if resp.Error == "" || !strings.Contains(resp.Error, "shutting down") {
+		t.Fatalf("late request got %+v, want shutting-down error", resp)
 	}
 }

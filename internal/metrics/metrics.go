@@ -1,0 +1,200 @@
+// Package metrics provides low-overhead atomic counters for the
+// search pipeline. A search accumulates into a private Counters value
+// (one atomic add per batch, never per cell), snapshots it into the
+// immutable Snapshot that rides on the result, and merges the snapshot
+// into the process-wide Global aggregate, which can be published as an
+// expvar for /debug/vars scraping.
+//
+// The split between Counters (live, atomic) and Snapshot (plain
+// int64s) keeps the hot path free of locks and the observed values
+// internally consistent: a Snapshot is only taken after every writer
+// has quiesced, so its cell totals always sum and its stage counts
+// never run ahead of the producer.
+package metrics
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counters is the live, concurrently-written tally of one search (or,
+// for Global, of every search in the process). All fields are atomics;
+// the zero value is ready to use.
+type Counters struct {
+	// Searches and Canceled count completed pipeline runs and how many
+	// of them ended early on a context cancellation or deadline.
+	Searches atomic.Int64
+	Canceled atomic.Int64
+
+	// BatchesProduced counts transposed batches emitted by the
+	// producer; Batches8 and Batches16 count batches actually aligned
+	// by the 8-bit stream and the 16-bit rescue stage (on a canceled
+	// run workers drain without aligning, so Batches8 may trail
+	// BatchesProduced); Pairs32 counts 32-bit escalation alignments.
+	BatchesProduced atomic.Int64
+	Batches8        atomic.Int64
+	Batches16       atomic.Int64
+	Pairs32         atomic.Int64
+
+	// Cells8/Cells16/Cells32 are real DP cells per stage width,
+	// padding excluded. Their sum is the search's total cell count.
+	Cells8  atomic.Int64
+	Cells16 atomic.Int64
+	Cells32 atomic.Int64
+
+	// Saturated8 counts lanes whose 8-bit score saturated (and were
+	// handed to the rescue stage); Saturated16 counts lanes that also
+	// overflowed int16 and escalated to the 32-bit pair kernel.
+	Saturated8  atomic.Int64
+	Saturated16 atomic.Int64
+
+	// QueueHighWater is the deepest the 8-bit work queue ever got — a
+	// direct read on whether the producer or the workers are the
+	// bottleneck for the configured pipeline depth.
+	QueueHighWater atomic.Int64
+
+	// ProduceNanos is wall time spent transposing batches in the
+	// producer; Stage8/16/32Nanos are the summed per-worker wall times
+	// inside each alignment stage (they overlap in real time, so they
+	// measure work, not latency).
+	ProduceNanos atomic.Int64
+	Stage8Nanos  atomic.Int64
+	Stage16Nanos atomic.Int64
+	Stage32Nanos atomic.Int64
+}
+
+// ObserveQueueDepth raises QueueHighWater to depth if it is a new
+// maximum.
+func (c *Counters) ObserveQueueDepth(depth int) {
+	d := int64(depth)
+	for {
+		cur := c.QueueHighWater.Load()
+		if d <= cur || c.QueueHighWater.CompareAndSwap(cur, d) {
+			return
+		}
+	}
+}
+
+// Snapshot returns a point-in-time copy. It is only guaranteed to be
+// internally consistent once every writer has quiesced (the pipeline
+// snapshots after its worker pool has fully drained).
+func (c *Counters) Snapshot() Snapshot {
+	return Snapshot{
+		Searches:        c.Searches.Load(),
+		Canceled:        c.Canceled.Load(),
+		BatchesProduced: c.BatchesProduced.Load(),
+		Batches8:        c.Batches8.Load(),
+		Batches16:       c.Batches16.Load(),
+		Pairs32:         c.Pairs32.Load(),
+		Cells8:          c.Cells8.Load(),
+		Cells16:         c.Cells16.Load(),
+		Cells32:         c.Cells32.Load(),
+		Saturated8:      c.Saturated8.Load(),
+		Saturated16:     c.Saturated16.Load(),
+		QueueHighWater:  c.QueueHighWater.Load(),
+		ProduceNanos:    c.ProduceNanos.Load(),
+		Stage8Nanos:     c.Stage8Nanos.Load(),
+		Stage16Nanos:    c.Stage16Nanos.Load(),
+		Stage32Nanos:    c.Stage32Nanos.Load(),
+	}
+}
+
+// Add merges a finished search's snapshot into the aggregate. Counters
+// sum; QueueHighWater takes the maximum.
+func (c *Counters) Add(s Snapshot) {
+	c.Searches.Add(s.Searches)
+	c.Canceled.Add(s.Canceled)
+	c.BatchesProduced.Add(s.BatchesProduced)
+	c.Batches8.Add(s.Batches8)
+	c.Batches16.Add(s.Batches16)
+	c.Pairs32.Add(s.Pairs32)
+	c.Cells8.Add(s.Cells8)
+	c.Cells16.Add(s.Cells16)
+	c.Cells32.Add(s.Cells32)
+	c.Saturated8.Add(s.Saturated8)
+	c.Saturated16.Add(s.Saturated16)
+	c.ObserveQueueDepth(int(s.QueueHighWater))
+	c.ProduceNanos.Add(s.ProduceNanos)
+	c.Stage8Nanos.Add(s.Stage8Nanos)
+	c.Stage16Nanos.Add(s.Stage16Nanos)
+	c.Stage32Nanos.Add(s.Stage32Nanos)
+}
+
+// Snapshot is an immutable copy of Counters. JSON tags match the
+// /debug/vars expvar output.
+type Snapshot struct {
+	Searches        int64 `json:"searches"`
+	Canceled        int64 `json:"canceled"`
+	BatchesProduced int64 `json:"batches_produced"`
+	Batches8        int64 `json:"batches_8"`
+	Batches16       int64 `json:"batches_16"`
+	Pairs32         int64 `json:"pairs_32"`
+	Cells8          int64 `json:"cells_8"`
+	Cells16         int64 `json:"cells_16"`
+	Cells32         int64 `json:"cells_32"`
+	Saturated8      int64 `json:"saturated_8"`
+	Saturated16     int64 `json:"saturated_16"`
+	QueueHighWater  int64 `json:"queue_high_water"`
+	ProduceNanos    int64 `json:"produce_nanos"`
+	Stage8Nanos     int64 `json:"stage8_nanos"`
+	Stage16Nanos    int64 `json:"stage16_nanos"`
+	Stage32Nanos    int64 `json:"stage32_nanos"`
+}
+
+// Cells is the total real DP cell count across every stage width.
+func (s Snapshot) Cells() int64 { return s.Cells8 + s.Cells16 + s.Cells32 }
+
+// ProduceTime is the wall time the producer spent transposing batches.
+func (s Snapshot) ProduceTime() time.Duration { return time.Duration(s.ProduceNanos) }
+
+// Stage8Time is the summed per-worker wall time in the 8-bit stage.
+func (s Snapshot) Stage8Time() time.Duration { return time.Duration(s.Stage8Nanos) }
+
+// Stage16Time is the summed per-worker wall time in the 16-bit rescue.
+func (s Snapshot) Stage16Time() time.Duration { return time.Duration(s.Stage16Nanos) }
+
+// Stage32Time is the summed per-worker wall time in the 32-bit
+// escalation.
+func (s Snapshot) Stage32Time() time.Duration { return time.Duration(s.Stage32Nanos) }
+
+// WriteText renders the snapshot as aligned human-readable lines (the
+// `swbench -stats` output).
+func (s Snapshot) WriteText(w io.Writer) error {
+	_, err := fmt.Fprintf(w, ""+
+		"searches         %d (%d canceled)\n"+
+		"batches          produced %d, aligned8 %d, rescue16 %d, pairs32 %d\n"+
+		"cells            8-bit %d, 16-bit %d, 32-bit %d (total %d)\n"+
+		"saturated lanes  8-bit %d, 16-bit %d\n"+
+		"queue high-water %d batches\n"+
+		"stage time       produce %v, 8-bit %v, 16-bit %v, 32-bit %v\n",
+		s.Searches, s.Canceled,
+		s.BatchesProduced, s.Batches8, s.Batches16, s.Pairs32,
+		s.Cells8, s.Cells16, s.Cells32, s.Cells(),
+		s.Saturated8, s.Saturated16,
+		s.QueueHighWater,
+		s.ProduceTime().Round(time.Microsecond), s.Stage8Time().Round(time.Microsecond),
+		s.Stage16Time().Round(time.Microsecond), s.Stage32Time().Round(time.Microsecond))
+	return err
+}
+
+// Global aggregates every search run by the process. The search
+// entry points merge each finished search's snapshot into it.
+var Global Counters
+
+var publishOnce sync.Once
+
+// Publish registers the Global aggregate as the "swvec.search" expvar,
+// so binaries that serve /debug/vars (e.g. swserver's admin port)
+// expose the pipeline counters. Idempotent; safe to call from multiple
+// components.
+func Publish() {
+	publishOnce.Do(func() {
+		expvar.Publish("swvec.search", expvar.Func(func() any {
+			return Global.Snapshot()
+		}))
+	})
+}

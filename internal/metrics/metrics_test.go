@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"encoding/json"
+	"expvar"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	var c Counters
+	c.Searches.Add(2)
+	c.BatchesProduced.Add(10)
+	c.Batches8.Add(9)
+	c.Batches16.Add(3)
+	c.Pairs32.Add(1)
+	c.Cells8.Add(100)
+	c.Cells16.Add(30)
+	c.Cells32.Add(7)
+	c.Saturated8.Add(12)
+	c.Saturated16.Add(1)
+	c.ObserveQueueDepth(4)
+	c.Stage8Nanos.Add(500)
+
+	s := c.Snapshot()
+	if s.Cells() != 137 {
+		t.Fatalf("Cells() = %d, want 137", s.Cells())
+	}
+	if s.BatchesProduced != 10 || s.Batches8 != 9 || s.QueueHighWater != 4 {
+		t.Fatalf("snapshot fields wrong: %+v", s)
+	}
+	if s.Stage8Time().Nanoseconds() != 500 {
+		t.Fatalf("Stage8Time = %v", s.Stage8Time())
+	}
+}
+
+func TestObserveQueueDepthIsMax(t *testing.T) {
+	var c Counters
+	var wg sync.WaitGroup
+	for d := 1; d <= 64; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			c.ObserveQueueDepth(d)
+		}(d)
+	}
+	wg.Wait()
+	if got := c.QueueHighWater.Load(); got != 64 {
+		t.Fatalf("high water = %d, want 64", got)
+	}
+	c.ObserveQueueDepth(3)
+	if got := c.QueueHighWater.Load(); got != 64 {
+		t.Fatalf("high water regressed to %d", got)
+	}
+}
+
+func TestAddMergesSumsAndMax(t *testing.T) {
+	var agg Counters
+	agg.Add(Snapshot{Searches: 1, Cells8: 10, QueueHighWater: 5, Saturated8: 2})
+	agg.Add(Snapshot{Searches: 1, Canceled: 1, Cells8: 20, Cells16: 4, QueueHighWater: 3})
+	s := agg.Snapshot()
+	if s.Searches != 2 || s.Canceled != 1 {
+		t.Fatalf("searches/canceled = %d/%d", s.Searches, s.Canceled)
+	}
+	if s.Cells8 != 30 || s.Cells16 != 4 || s.Saturated8 != 2 {
+		t.Fatalf("cells/saturated wrong: %+v", s)
+	}
+	if s.QueueHighWater != 5 {
+		t.Fatalf("high water = %d, want max 5", s.QueueHighWater)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	s := Snapshot{Searches: 1, BatchesProduced: 7, Cells8: 100, QueueHighWater: 2}
+	var sb strings.Builder
+	if err := s.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"searches", "produced 7", "8-bit 100", "queue high-water 2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("WriteText output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPublishIdempotentAndJSON(t *testing.T) {
+	Publish()
+	Publish() // second call must not panic on duplicate expvar name
+
+	v := expvar.Get("swvec.search")
+	if v == nil {
+		t.Fatal("swvec.search expvar not registered")
+	}
+	Global.Add(Snapshot{Searches: 1, Cells8: 42})
+	var got Snapshot
+	if err := json.Unmarshal([]byte(v.String()), &got); err != nil {
+		t.Fatalf("expvar output is not snapshot JSON: %v", err)
+	}
+	if got.Searches < 1 || got.Cells8 < 42 {
+		t.Fatalf("expvar snapshot missing merged totals: %+v", got)
+	}
+}

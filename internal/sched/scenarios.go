@@ -1,12 +1,14 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
 
 	"swvec/internal/aln"
 	"swvec/internal/core"
+	"swvec/internal/metrics"
 	"swvec/internal/seqio"
 	"swvec/internal/submat"
 	"swvec/internal/vek"
@@ -17,11 +19,15 @@ import (
 type MultiResult struct {
 	// Scores[qi][si] is the score of query qi against sequence si.
 	Scores [][]int32
-	// Cells counts real DP cells across all query/sequence pairs.
+	// Cells counts real DP cells across all query/sequence pairs,
+	// including the 16-bit rescue passes.
 	Cells   int64
 	Elapsed time.Duration
 	Rescued int
-	Tally   *vek.Tally
+	// Stats is the per-stage counter snapshot for this search, taken
+	// after the worker pool has drained.
+	Stats metrics.Snapshot
+	Tally *vek.Tally
 }
 
 // GCUPS returns the measured throughput.
@@ -42,6 +48,16 @@ func (r *MultiResult) GCUPS() float64 {
 // to exactly one batch, so workers write scores without a lock; only
 // error capture and tally merging synchronize.
 func MultiSearch(queries [][]uint8, db []seqio.Sequence, mat *submat.Matrix, opt Options) (*MultiResult, error) {
+	return MultiSearchContext(context.Background(), queries, db, mat, opt)
+}
+
+// MultiSearchContext is MultiSearch with cancellation: when ctx is
+// canceled or its deadline passes, workers drain the remaining batches
+// without aligning them and the call returns the partial MultiResult
+// (unprocessed scores are zero) together with an error wrapping
+// ctx.Err(). The centralized server uses it to bound per-batch compute
+// with a request deadline.
+func MultiSearchContext(ctx context.Context, queries [][]uint8, db []seqio.Sequence, mat *submat.Matrix, opt Options) (*MultiResult, error) {
 	if len(queries) == 0 {
 		return nil, fmt.Errorf("sched: no queries")
 	}
@@ -63,7 +79,6 @@ func MultiSearch(queries [][]uint8, db []seqio.Sequence, mat *submat.Matrix, opt
 	res := &MultiResult{Scores: make([][]int32, len(queries))}
 	for qi := range res.Scores {
 		res.Scores[qi] = make([]int32, len(db))
-		res.Cells += seqio.BatchedCells(batches, len(queries[qi]))
 	}
 
 	// The work unit is a whole batch: every query runs against it in
@@ -80,7 +95,8 @@ func MultiSearch(queries [][]uint8, db []seqio.Sequence, mat *submat.Matrix, opt
 	work := make(chan *seqio.Batch, nw)
 	var mu sync.Mutex
 	var firstErr error
-	var rescued int
+	met := &metrics.Counters{}
+	met.BatchesProduced.Add(int64(len(batches)))
 	merged := &vek.Tally{}
 	var wg sync.WaitGroup
 
@@ -96,8 +112,13 @@ func MultiSearch(queries [][]uint8, db []seqio.Sequence, mat *submat.Matrix, opt
 			}
 			scratch := core.NewScratch()
 			var enc []uint8
-			localRescued := 0
 			for batch := range work {
+				// Cancellation point: drain remaining batches without
+				// aligning so close(work) still unblocks the sender.
+				if ctx.Err() != nil {
+					continue
+				}
+				t8 := time.Now()
 				brs, err := core.AlignBatch8Multi(mch, queries, tables, batch,
 					core.BatchOptions{Gaps: opt.Gaps, BlockCols: opt.BlockCols, Scratch: scratch})
 				if err != nil {
@@ -108,28 +129,33 @@ func MultiSearch(queries [][]uint8, db []seqio.Sequence, mat *submat.Matrix, opt
 					mu.Unlock()
 					continue
 				}
+				met.Batches8.Add(1)
+				met.Stage8Nanos.Add(int64(time.Since(t8)))
 				for qi := range queries {
+					met.Cells8.Add(batch.Cells(len(queries[qi])))
 					for lane := 0; lane < batch.Count; lane++ {
 						si := batch.Index[lane]
 						score := brs[qi].Scores[lane]
-						if brs[qi].Saturated[lane] {
+						if brs[qi].Saturated[lane] && ctx.Err() == nil {
+							t16 := time.Now()
 							enc = alpha.EncodeTo(enc, db[si].Residues)
 							pr, _, err := core.AlignPair16(mch, queries[qi], enc, mat, core.PairOptions{Gaps: opt.Gaps})
 							if err == nil {
 								score = pr.Score
-								localRescued++
+								met.Saturated8.Add(1)
+								met.Cells16.Add(int64(len(queries[qi])) * int64(len(enc)))
 							}
+							met.Stage16Nanos.Add(int64(time.Since(t16)))
 						}
 						res.Scores[qi][si] = score
 					}
 				}
 			}
-			mu.Lock()
-			rescued += localRescued
 			if tal != nil {
+				mu.Lock()
 				merged.Merge(tal)
+				mu.Unlock()
 			}
-			mu.Unlock()
 		}()
 	}
 	for _, b := range batches {
@@ -138,12 +164,26 @@ func MultiSearch(queries [][]uint8, db []seqio.Sequence, mat *submat.Matrix, opt
 	close(work)
 	wg.Wait()
 	res.Elapsed = time.Since(start)
-	res.Rescued = rescued
+
+	met.Searches.Add(1)
+	cancelErr := ctx.Err()
+	if cancelErr != nil {
+		met.Canceled.Add(1)
+	}
+	snap := met.Snapshot()
+	res.Stats = snap
+	res.Cells = snap.Cells()
+	res.Rescued = int(snap.Saturated8)
 	if opt.Instrument {
 		res.Tally = merged
 	}
+	metrics.Global.Add(snap)
 	if firstErr != nil {
 		return nil, firstErr
+	}
+	if cancelErr != nil {
+		return res, fmt.Errorf("sched: multi-search interrupted after %d/%d batches: %w",
+			snap.Batches8, len(batches), cancelErr)
 	}
 	return res, nil
 }

@@ -12,6 +12,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -21,6 +22,7 @@ import (
 	"swvec/internal/alphabet"
 	"swvec/internal/core"
 	"swvec/internal/isa"
+	"swvec/internal/metrics"
 	"swvec/internal/seqio"
 	"swvec/internal/submat"
 	"swvec/internal/vek"
@@ -104,6 +106,12 @@ type Result struct {
 	Elapsed time.Duration
 	// Rescued counts 8-bit saturations escalated to 16 bits.
 	Rescued int
+	// Stats is the per-stage counter snapshot for this search: batches
+	// produced and aligned, cells by width, saturations, the work-queue
+	// high-water mark, and per-stage wall times. It is taken after the
+	// worker pool has fully drained, so it is internally consistent
+	// even when the search was canceled mid-stream.
+	Stats metrics.Snapshot
 	// Tally is the merged operation tally when Options.Instrument is
 	// set, else nil.
 	Tally *vek.Tally
@@ -143,6 +151,19 @@ func (r *Result) GCUPS() float64 {
 // handoff flows through a channel, so Hits needs no lock: the channel
 // edges order the 8-bit write of an index before its rescue rewrite.
 func Search(query []uint8, db []seqio.Sequence, mat *submat.Matrix, opt Options) (*Result, error) {
+	return SearchContext(context.Background(), query, db, mat, opt)
+}
+
+// SearchContext is Search with cancellation: when ctx is canceled or
+// its deadline passes, the batch producer stops, in-flight batches
+// drain without aligning, and the call returns the partial Result
+// together with an error wrapping ctx.Err(). In the partial Result,
+// hits whose stage completed before the cancel hold real scores;
+// sequences the 8-bit stream never reached are zero, and saturated
+// lanes whose rescue was cut short keep the capped 8-bit score with
+// Rescued left false. Result.Stats is always a consistent snapshot of
+// how far each stage got. No goroutines outlive the call.
+func SearchContext(ctx context.Context, query []uint8, db []seqio.Sequence, mat *submat.Matrix, opt Options) (*Result, error) {
 	if len(query) == 0 {
 		return nil, fmt.Errorf("sched: empty query")
 	}
@@ -175,6 +196,7 @@ func Search(query []uint8, db []seqio.Sequence, mat *submat.Matrix, opt Options)
 
 	alpha := mat.Alphabet()
 	p := &pipeline{
+		ctx:    ctx,
 		query:  query,
 		db:     db,
 		alpha:  alpha,
@@ -189,6 +211,7 @@ func Search(query []uint8, db []seqio.Sequence, mat *submat.Matrix, opt Options)
 		work16: make(chan *seqio.Batch, depth),
 		sat16:  make(chan int, depth),
 		work32: make(chan int, depth),
+		met:    &metrics.Counters{},
 		tally:  &vek.Tally{},
 	}
 
@@ -206,12 +229,29 @@ func Search(query []uint8, db []seqio.Sequence, mat *submat.Matrix, opt Options)
 	}
 	wg.Wait()
 	res.Elapsed = time.Since(start)
-	res.Rescued = p.rescued
+
+	// All writers have quiesced: snapshot once, derive the aggregate
+	// fields from it so Result and Result.Stats can never disagree,
+	// and fold the search into the process-wide totals.
+	p.met.Searches.Add(1)
+	cancelErr := ctx.Err()
+	if cancelErr != nil {
+		p.met.Canceled.Add(1)
+	}
+	snap := p.met.Snapshot()
+	res.Stats = snap
+	res.Cells = snap.Cells()
+	res.Rescued = int(snap.Saturated8)
 	if opt.Instrument {
 		res.Tally = p.tally
 	}
+	metrics.Global.Add(snap)
 	if p.err != nil {
 		return nil, p.err
+	}
+	if cancelErr != nil {
+		return res, fmt.Errorf("sched: search interrupted after %d/%d batches: %w",
+			snap.Batches8, (len(db)+lanes-1)/lanes, cancelErr)
 	}
 	return res, nil
 }
@@ -220,6 +260,10 @@ func Search(query []uint8, db []seqio.Sequence, mat *submat.Matrix, opt Options)
 // coordinator goroutines (produce, groupRescues, dispatch32) feed one
 // shared worker pool; see Search for the shape.
 type pipeline struct {
+	// ctx cancels the dataflow: the producer stops emitting, and the
+	// stage runners short-circuit into drain mode, so every channel
+	// still closes in the usual order and no goroutine leaks.
+	ctx    context.Context
 	query  []uint8
 	db     []seqio.Sequence
 	alpha  *alphabet.Alphabet
@@ -242,9 +286,9 @@ type pipeline struct {
 	// know when no further saturations can arrive.
 	wg8, wg16 sync.WaitGroup
 
-	// rescued is written only by groupRescues, which finishes before
-	// any worker can exit, so Search reads it without a lock.
-	rescued int
+	// met tallies the per-stage counters (one atomic add per batch);
+	// Search snapshots it into Result.Stats after the pool drains.
+	met *metrics.Counters
 
 	mu    sync.Mutex
 	err   error
@@ -254,10 +298,29 @@ type pipeline struct {
 // produce streams transposed batches into the 8-bit stage, then closes
 // the saturation channel once every stage-1 job has fully retired (all
 // wg8.Add calls precede the close of work8, so the Wait is safe).
+// Cancellation point 1: on ctx.Done the producer stops transposing —
+// no further batches enter the pipeline, which bounds how much drain
+// work the already-queued jobs represent.
 func (p *pipeline) produce() {
-	for b := p.stream.Next(); b != nil; b = p.stream.Next() {
+	for {
+		if p.ctx.Err() != nil {
+			break
+		}
+		t0 := time.Now()
+		b := p.stream.Next()
+		p.met.ProduceNanos.Add(int64(time.Since(t0)))
+		if b == nil {
+			break
+		}
 		p.wg8.Add(1)
-		p.work8 <- b
+		select {
+		case p.work8 <- b:
+			p.met.BatchesProduced.Add(1)
+			p.met.ObserveQueueDepth(len(p.work8))
+		case <-p.ctx.Done():
+			p.wg8.Done()
+			p.stream.Recycle(b)
+		}
 	}
 	close(p.work8)
 	p.wg8.Wait()
@@ -306,7 +369,6 @@ func (p *pipeline) groupRescues() {
 }
 
 func (p *pipeline) rescueBatch(members []int) *seqio.Batch {
-	p.rescued += len(members)
 	p.wg16.Add(1)
 	return seqio.MakeBatch(p.db, members, p.alpha, p.lanes)
 }
@@ -339,7 +401,12 @@ func (p *pipeline) dispatch32() {
 
 // worker drains all three stages until every channel is closed. Each
 // worker owns its vector machine, tally, scratch arena, and encode
-// buffer; per-worker cell counts and tallies merge once at exit.
+// buffer; tallies merge once at exit. Cell counts flow through the
+// per-batch atomic stage counters, so they stay consistent with
+// Result.Stats even on a canceled run. After a cancel the workers keep
+// receiving — the stage runners just drop into drain mode — which lets
+// the producer and feeders retire their waitgroups and close every
+// channel in the normal order.
 func (p *pipeline) worker() {
 	mch := vek.Bare
 	var tal *vek.Tally
@@ -347,7 +414,6 @@ func (p *pipeline) worker() {
 		mch, tal = vek.NewMachine()
 	}
 	scratch := core.NewScratch()
-	var cells int64
 	var enc []uint8
 	w8, w16, w32 := p.work8, p.work16, p.work32
 	for w8 != nil || w16 != nil || w32 != nil {
@@ -357,90 +423,112 @@ func (p *pipeline) worker() {
 				w8 = nil
 				continue
 			}
-			cells += p.run8(mch, scratch, b)
+			p.run8(mch, scratch, b)
 			p.wg8.Done()
 		case b, ok := <-w16:
 			if !ok {
 				w16 = nil
 				continue
 			}
-			cells += p.run16(mch, scratch, b)
+			p.run16(mch, scratch, b)
 			p.wg16.Done()
 		case si, ok := <-w32:
 			if !ok {
 				w32 = nil
 				continue
 			}
-			var n int64
-			enc, n = p.run32(mch, scratch, si, enc)
-			cells += n
+			enc = p.run32(mch, scratch, si, enc)
 		}
 	}
-	p.mu.Lock()
-	p.res.Cells += cells
 	if tal != nil {
+		p.mu.Lock()
 		p.tally.Merge(tal)
+		p.mu.Unlock()
 	}
-	p.mu.Unlock()
 }
 
 // run8 is stage 1: align the batch at 8 bits, write each lane's hit
 // (each database index is owned by exactly one lane), hand saturated
 // lanes to the rescue queue, and recycle the batch buffer.
-func (p *pipeline) run8(mch vek.Machine, s *core.Scratch, b *seqio.Batch) int64 {
+// Cancellation point 2: after a cancel the batch is recycled
+// unaligned, and its lanes never enter the rescue queue.
+func (p *pipeline) run8(mch vek.Machine, s *core.Scratch, b *seqio.Batch) {
+	if p.ctx.Err() != nil {
+		p.stream.Recycle(b)
+		return
+	}
+	start := time.Now()
 	br, err := core.AlignBatch8(mch, p.query, p.tables, b,
 		core.BatchOptions{Gaps: p.opt.Gaps, BlockCols: p.opt.BlockCols, Scratch: s})
 	if err != nil {
 		p.fail(err)
 		p.stream.Recycle(b)
-		return 0
+		return
 	}
-	cells := b.Cells(len(p.query))
+	p.met.Batches8.Add(1)
+	p.met.Cells8.Add(b.Cells(len(p.query)))
 	for lane := 0; lane < b.Count; lane++ {
 		si := b.Index[lane]
 		p.res.Hits[si].Score = br.Scores[lane]
 		if br.Saturated[lane] {
+			p.met.Saturated8.Add(1)
 			p.sat8 <- si
 		}
 	}
 	p.stream.Recycle(b)
-	return cells
+	p.met.Stage8Nanos.Add(int64(time.Since(start)))
 }
 
 // run16 is the in-flight rescue: rescore a regrouped batch at 16 bits
 // and forward anything still saturated to the 32-bit stage.
-func (p *pipeline) run16(mch vek.Machine, s *core.Scratch, b *seqio.Batch) int64 {
+// Cancellation point 3: a canceled rescue is dropped — the affected
+// hits keep their capped 8-bit score and Rescued stays false.
+func (p *pipeline) run16(mch vek.Machine, s *core.Scratch, b *seqio.Batch) {
+	if p.ctx.Err() != nil {
+		return
+	}
+	start := time.Now()
 	br, err := core.AlignBatch16(mch, p.query, p.tables, b,
 		core.BatchOptions{Gaps: p.opt.Gaps, Scratch: s})
 	if err != nil {
 		p.fail(err)
-		return 0
+		return
 	}
-	cells := b.Cells(len(p.query))
+	p.met.Batches16.Add(1)
+	p.met.Cells16.Add(b.Cells(len(p.query)))
 	for lane := 0; lane < b.Count; lane++ {
 		si := b.Index[lane]
 		p.res.Hits[si].Score = br.Scores[lane]
 		p.res.Hits[si].Rescued = true
 		if br.Saturated[lane] {
+			p.met.Saturated16.Add(1)
 			p.sat16 <- si
 		}
 	}
-	return cells
+	p.met.Stage16Nanos.Add(int64(time.Since(start)))
 }
 
 // run32 is the final escalation tier: one 32-bit pair alignment per
-// still-saturated sequence, parallel across the pool.
-func (p *pipeline) run32(mch vek.Machine, s *core.Scratch, si int, enc []uint8) ([]uint8, int64) {
+// still-saturated sequence, parallel across the pool. Cancellation
+// point 4: canceled escalations are skipped the same way.
+func (p *pipeline) run32(mch vek.Machine, s *core.Scratch, si int, enc []uint8) []uint8 {
+	if p.ctx.Err() != nil {
+		return enc
+	}
+	start := time.Now()
 	enc = p.alpha.EncodeTo(enc, p.db[si].Residues)
 	pr, err := core.AlignPair32(mch, p.query, enc, p.mat,
 		core.PairOptions{Gaps: p.opt.Gaps, Scratch: s})
 	if err != nil {
 		p.fail(err)
-		return enc, 0
+		return enc
 	}
+	p.met.Pairs32.Add(1)
+	p.met.Cells32.Add(int64(len(p.query)) * int64(len(enc)))
 	p.res.Hits[si].Score = pr.Score
 	p.res.Hits[si].Rescued = true
-	return enc, int64(len(p.query)) * int64(len(enc))
+	p.met.Stage32Nanos.Add(int64(time.Since(start)))
+	return enc
 }
 
 func (p *pipeline) fail(err error) {

@@ -22,10 +22,22 @@ go test ./...
 echo "== vet =="
 go vet ./...
 
+echo "== vet (cmd) =="
+go vet ./cmd/...
+
+echo "== portability build (CGO_ENABLED=0) =="
+CGO_ENABLED=0 go build ./...
+
 echo "== race =="
 go test -race -short ./internal/sched ./internal/seqio ./internal/core .
 
 echo "== fuzz smoke =="
 go test -fuzz=FuzzAlignWidths -fuzztime=10s -run FuzzAlignWidths ./internal/core
+
+echo "== bench smoke =="
+# One iteration of every search benchmark, streamed as test2json into
+# BENCH_ci.json so CI runs accumulate a perf trajectory over time.
+go test -run '^$' -bench 'BenchmarkSearch' -benchtime 1x -json . > BENCH_ci.json
+grep -q '"Action":"pass"' BENCH_ci.json || { echo "bench smoke failed" >&2; exit 1; }
 
 echo "ci: all checks passed"

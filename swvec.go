@@ -17,12 +17,14 @@
 package swvec
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"swvec/internal/aln"
 	"swvec/internal/alphabet"
 	"swvec/internal/core"
+	"swvec/internal/metrics"
 	"swvec/internal/sched"
 	"swvec/internal/seqio"
 	"swvec/internal/submat"
@@ -54,7 +56,20 @@ type (
 	MultiSearchResult = sched.MultiResult
 	// Hit is one database sequence's search outcome.
 	Hit = sched.Hit
+	// SearchStats is the per-stage counter snapshot attached to search
+	// results (batches, cells by width, saturations, queue high-water
+	// mark, per-stage wall times).
+	SearchStats = metrics.Snapshot
 )
+
+// PublishMetrics registers the process-wide search counters as the
+// "swvec.search" expvar, for binaries that serve /debug/vars.
+// Idempotent.
+func PublishMetrics() { metrics.Publish() }
+
+// GlobalStats returns a snapshot of the process-wide search counters
+// accumulated across every search run so far.
+func GlobalStats() SearchStats { return metrics.Global.Snapshot() }
 
 // DefaultGaps returns the protein defaults (open 11, extend 1).
 func DefaultGaps() Gaps { return aln.DefaultGaps() }
@@ -265,16 +280,32 @@ func (a *Aligner) Align(query, target []byte) (*Alignment, error) {
 // demand, the 8-bit, 16-bit, and 32-bit stages overlap on one worker
 // pool, and saturated lanes are rescued in flight.
 func (a *Aligner) Search(query []byte, db []Sequence) (*SearchResult, error) {
+	return a.SearchContext(context.Background(), query, db)
+}
+
+// SearchContext is Search with cancellation: when ctx is canceled or
+// times out, the pipeline stops producing batches, drains its workers,
+// and returns the partial SearchResult together with an error wrapping
+// ctx.Err(). Result.Stats always holds a consistent per-stage
+// snapshot; no goroutines outlive the call.
+func (a *Aligner) SearchContext(ctx context.Context, query []byte, db []Sequence) (*SearchResult, error) {
 	q, err := a.encode(query)
 	if err != nil {
 		return nil, err
 	}
-	return sched.Search(q, db, a.mat, a.schedOptions())
+	return sched.SearchContext(ctx, q, db, a.mat, a.schedOptions())
 }
 
 // SearchAll aligns every query against every database sequence
 // (the centralized-server scenario).
 func (a *Aligner) SearchAll(queries [][]byte, db []Sequence) (*MultiSearchResult, error) {
+	return a.SearchAllContext(context.Background(), queries, db)
+}
+
+// SearchAllContext is SearchAll with cancellation: on ctx cancellation
+// or deadline the remaining batches drain unprocessed and the partial
+// MultiSearchResult returns together with an error wrapping ctx.Err().
+func (a *Aligner) SearchAllContext(ctx context.Context, queries [][]byte, db []Sequence) (*MultiSearchResult, error) {
 	encoded := make([][]uint8, len(queries))
 	for i, q := range queries {
 		e, err := a.encode(q)
@@ -283,7 +314,7 @@ func (a *Aligner) SearchAll(queries [][]byte, db []Sequence) (*MultiSearchResult
 		}
 		encoded[i] = e
 	}
-	return sched.MultiSearch(encoded, db, a.mat, a.schedOptions())
+	return sched.MultiSearchContext(ctx, encoded, db, a.mat, a.schedOptions())
 }
 
 // Matrix returns the aligner's substitution matrix.

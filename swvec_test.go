@@ -2,6 +2,8 @@ package swvec
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -222,4 +224,64 @@ func TestAlignerAccessors(t *testing.T) {
 	if al.Gaps() != DefaultGaps() {
 		t.Error("default gaps mismatch")
 	}
+}
+
+func TestSearchContextPublicAPI(t *testing.T) {
+	al, err := New(WithThreads(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := GenerateDatabase(7, 40)
+	query := db[3].Residues[:80]
+
+	// Uncanceled context: identical to Search, with a populated Stats
+	// snapshot on the result.
+	res, err := al.SearchContext(context.Background(), query, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Cells() != res.Cells || res.Cells == 0 {
+		t.Fatalf("Stats cells %d vs result cells %d", res.Stats.Cells(), res.Cells)
+	}
+	if res.Stats.BatchesProduced == 0 || res.Stats.Batches8 == 0 {
+		t.Fatalf("missing batch counters: %+v", res.Stats)
+	}
+
+	// Pre-canceled context: partial result plus the ctx error.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err = al.SearchContext(ctx, query, db)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil || len(res.Hits) != len(db) {
+		t.Fatal("canceled search must return the partial result")
+	}
+
+	// SearchAllContext honors deadlines the same way.
+	mres, err := al.SearchAllContext(ctx, [][]byte{query}, db)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("SearchAllContext err = %v, want context.Canceled", err)
+	}
+	if mres == nil || len(mres.Scores) != 1 {
+		t.Fatal("canceled multi-search must return the partial result")
+	}
+}
+
+func TestGlobalStatsAccumulate(t *testing.T) {
+	al, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := GenerateDatabase(8, 16)
+	before := GlobalStats()
+	if _, err := al.Search(db[0].Residues[:60], db); err != nil {
+		t.Fatal(err)
+	}
+	after := GlobalStats()
+	if after.Searches <= before.Searches || after.Cells() <= before.Cells() {
+		t.Fatalf("global counters did not advance: before %+v after %+v", before, after)
+	}
+	PublishMetrics()
+	PublishMetrics() // idempotent
 }
