@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all verify fmt vet portable race fuzz bench bench-smoke ci
+.PHONY: all verify fmt vet lint portable race fuzz bench bench-smoke ci
 
 all: verify
 
@@ -17,15 +17,20 @@ vet:
 	$(GO) vet ./...
 	$(GO) vet ./cmd/...
 
+# Repo-specific invariants: hot-path allocations, lane-width
+# derivation, scheduler goroutine/channel lifecycle, metrics atomicity
+# (see DESIGN.md §11).
+lint:
+	$(GO) run ./cmd/swlint ./...
+
 # Portability gate: everything must build without cgo.
 portable:
 	CGO_ENABLED=0 $(GO) build ./...
 
-# Race-enabled pass over the concurrent packages (the streaming search
-# pipeline, the batch stream, the kernels it shares scratch with, and
-# the public API). -short skips the long 32-bit escalation alignment.
+# Race-enabled pass over every package. -short skips the long 32-bit
+# escalation alignment and the whole-module analysis reload.
 race:
-	$(GO) test -race -short ./internal/sched ./internal/seqio ./internal/core .
+	$(GO) test -race -short ./...
 
 # Differential fuzz smoke: every width instantiation of the generic
 # kernel against the scalar baseline for a few seconds.
@@ -42,4 +47,4 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkSearch' -benchtime 1x -json . > BENCH_ci.json
 	@grep -q '"Action":"pass"' BENCH_ci.json || { echo "bench smoke failed"; exit 1; }
 
-ci: fmt verify vet portable race fuzz bench-smoke
+ci: fmt verify vet lint portable race fuzz bench-smoke

@@ -1,0 +1,100 @@
+// Command swlint runs the swvec static-analysis suite: repo-specific
+// invariant checkers for the hot-path allocation discipline, lane-width
+// derivation, scheduler goroutine/channel lifecycle, and metrics
+// atomicity. It exits non-zero when any unsuppressed finding remains.
+//
+// Usage:
+//
+//	swlint [-json report.json] [packages]
+//
+// Packages default to ./..., resolved from the current directory.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"swvec/internal/analysis"
+)
+
+// report is the JSON artifact schema. Suppressed findings are included
+// so CI can track the suppression trajectory, not just the pass/fail
+// bit.
+type report struct {
+	Tool      string                `json:"tool"`
+	Analyzers []string              `json:"analyzers"`
+	Active    int                   `json:"active"`
+	Suppress  int                   `json:"suppressed"`
+	Findings  []analysis.Diagnostic `json:"findings"`
+}
+
+func main() {
+	jsonPath := flag.String("json", "", "write a JSON report (all findings, suppressed included) to this file")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: swlint [-json report.json] [packages]\n\nAnalyzers:\n")
+		for _, a := range analysis.All() {
+			fmt.Fprintf(flag.CommandLine.Output(), "\n%s: %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swlint:", err)
+		os.Exit(2)
+	}
+	analyzers := analysis.All()
+	diags, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swlint:", err)
+		os.Exit(2)
+	}
+
+	active := 0
+	for _, d := range diags {
+		if d.Suppressed {
+			continue
+		}
+		active++
+		fmt.Printf("%s: [%s] %s\n", d.Position, d.Analyzer, d.Message)
+	}
+
+	if *jsonPath != "" {
+		names := make([]string, 0, len(analyzers))
+		for _, a := range analyzers {
+			names = append(names, a.Name)
+		}
+		r := report{
+			Tool:      "swlint",
+			Analyzers: names,
+			Active:    active,
+			Suppress:  len(diags) - active,
+			Findings:  diags,
+		}
+		if r.Findings == nil {
+			r.Findings = []analysis.Diagnostic{}
+		}
+		buf, err := json.MarshalIndent(r, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "swlint:", err)
+			os.Exit(2)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "swlint:", err)
+			os.Exit(2)
+		}
+	}
+
+	if active > 0 {
+		fmt.Fprintf(os.Stderr, "swlint: %d finding(s)\n", active)
+		os.Exit(1)
+	}
+}

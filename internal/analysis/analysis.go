@@ -1,0 +1,298 @@
+// Package analysis is swlint's analyzer framework: a deliberately
+// small, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis surface (Analyzer, Pass, diagnostics)
+// built on the standard library's go/parser + go/types. The repo
+// vendors no third-party modules, so the framework loads packages
+// itself (see load.go) and runs each analyzer over fully type-checked
+// syntax.
+//
+// Findings can be silenced in place with a suppression comment:
+//
+//	//swlint:ignore <analyzer|all> <reason>
+//
+// placed either on the flagged line or on the line directly above it.
+// The reason is mandatory; a bare //swlint:ignore is itself reported.
+// Suppressed findings are not dropped — they are marked and carried in
+// the JSON report so CI can track the suppression trajectory over
+// time.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //swlint:ignore comments.
+	Name string
+	// Doc is the one-paragraph description printed by swlint -help.
+	Doc string
+	// Run inspects one package and reports findings via pass.Reportf.
+	Run func(*Pass) error
+}
+
+// All returns the full swlint suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{HotPathAlloc, LaneWidth, ChanDiscipline, AtomicStats}
+}
+
+// A Pass is one (analyzer, package) unit of work: the type-checked
+// syntax of a single package plus the report sink.
+type Pass struct {
+	Analyzer *Analyzer
+	// Path is the package's import path (fixture paths in tests).
+	Path      string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, suppressed or not. Position is the
+// rendered "file:line:col" form used by both the text and JSON
+// outputs.
+type Diagnostic struct {
+	Analyzer   string         `json:"analyzer"`
+	Pos        token.Position `json:"-"`
+	Position   string         `json:"position"`
+	Message    string         `json:"message"`
+	Suppressed bool           `json:"suppressed"`
+	// Reason is the justification text of the matching
+	// //swlint:ignore comment.
+	Reason string `json:"reason,omitempty"`
+}
+
+// Run executes every analyzer over every package, applies suppression
+// comments, and returns all diagnostics (suppressed ones included)
+// sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	sup := suppressions{}
+	for _, pkg := range pkgs {
+		bad := collectSuppressions(pkg, sup)
+		diags = append(diags, bad...)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Path:      pkg.Path,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				report:    func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	for i := range diags {
+		d := &diags[i]
+		if s := sup.match(d); s != nil {
+			d.Suppressed = true
+			d.Reason = s.reason
+		}
+		d.Position = fmt.Sprintf("%s:%d:%d", d.Pos.Filename, d.Pos.Line, d.Pos.Column)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// ignorePrefix is the suppression comment marker.
+const ignorePrefix = "//swlint:ignore"
+
+// A suppression is one parsed //swlint:ignore comment. It covers
+// findings of the named analyzer (or every analyzer, for "all") on its
+// own line and on the following line.
+type suppression struct {
+	analyzer string
+	reason   string
+}
+
+// suppressions maps file name -> line -> parsed comments on that line.
+type suppressions map[string]map[int][]suppression
+
+// match returns the suppression covering d, if any.
+func (s suppressions) match(d *Diagnostic) *suppression {
+	lines := s[d.Pos.Filename]
+	if lines == nil {
+		return nil
+	}
+	for _, ln := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		for i := range lines[ln] {
+			c := &lines[ln][i]
+			if c.analyzer == "all" || c.analyzer == d.Analyzer {
+				return c
+			}
+		}
+	}
+	return nil
+}
+
+// collectSuppressions parses every //swlint:ignore comment in the
+// package into sup. Malformed ones (no analyzer, or no reason) are
+// returned as diagnostics themselves so they cannot silently rot.
+func collectSuppressions(pkg *Package, sup suppressions) []Diagnostic {
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Analyzer: "swlint",
+						Pos:      pos,
+						Message:  "malformed suppression: want //swlint:ignore <analyzer|all> <reason>",
+					})
+					continue
+				}
+				byLine := sup[pos.Filename]
+				if byLine == nil {
+					byLine = map[int][]suppression{}
+					sup[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], suppression{
+					analyzer: fields[0],
+					reason:   strings.Join(fields[1:], " "),
+				})
+			}
+		}
+	}
+	return bad
+}
+
+// ---- shared syntax/type helpers used by several analyzers ----
+
+// funcDecls maps every package-level function and method object to its
+// declaration.
+func funcDecls(pass *Pass) map[*types.Func]*ast.FuncDecl {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				decls[obj] = fd
+			}
+		}
+	}
+	return decls
+}
+
+// callee resolves the statically-called function or method of call,
+// unwrapping parens and generic instantiation indices. Returns nil for
+// builtins, conversions, and calls through function values.
+func callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(call.Fun)
+	for {
+		switch x := fun.(type) {
+		case *ast.IndexExpr:
+			fun = ast.Unparen(x.X)
+			continue
+		case *ast.IndexListExpr:
+			fun = ast.Unparen(x.X)
+			continue
+		}
+		break
+	}
+	switch x := fun.(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[x].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[x.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// isBuiltin reports whether call invokes the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// pkgPathIs reports whether path is exactly want or ends in "/"+want,
+// so analyzers scope to e.g. "internal/sched" both in the real module
+// and in test fixtures.
+func pkgPathIs(path, want string) bool {
+	return path == want || strings.HasSuffix(path, "/"+want)
+}
+
+// namedOf unwraps pointers and aliases down to the *types.Named type,
+// or nil.
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := types.Unalias(t).(*types.Named)
+	return n
+}
+
+// isWaitGroup reports whether t is sync.WaitGroup or *sync.WaitGroup.
+func isWaitGroup(t types.Type) bool {
+	n := namedOf(t)
+	return n != nil && n.Obj().Pkg() != nil &&
+		n.Obj().Pkg().Path() == "sync" && n.Obj().Name() == "WaitGroup"
+}
+
+// selectionObj resolves the object a send/close/Add/Done target
+// expression refers to: a plain identifier's var, or the field of a
+// selector like p.work8. Returns nil for anything else (map entries,
+// slice elements, function results).
+func selectionObj(info *types.Info, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.ObjectOf(x)
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[x]; ok {
+			return sel.Obj()
+		}
+		// Package-qualified identifier (pkg.Var).
+		return info.ObjectOf(x.Sel)
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHotPathAlloc(t *testing.T) {
+	runFixture(t, HotPathAlloc, "hp")
+}
+
+func TestLaneWidth(t *testing.T) {
+	runFixture(t, LaneWidth, "fix/internal/core")
+}
+
+// TestLaneWidthOutOfScope proves the analyzer ignores packages outside
+// internal/core and internal/sched: the same seeded source reported
+// nothing when loaded under a neutral import path.
+func TestLaneWidthOutOfScope(t *testing.T) {
+	pkgs := loadFixtures(t, "lanewidth", "fix/internal/core")
+	pkgs[0].Path = "fix/other"
+	diags, err := Run(pkgs, []*Analyzer{LaneWidth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("out-of-scope package reported: %s: %s", d.Position, d.Message)
+	}
+}
+
+func TestChanDiscipline(t *testing.T) {
+	runFixture(t, ChanDiscipline, "fix/internal/sched")
+}
+
+func TestAtomicStats(t *testing.T) {
+	runFixture(t, AtomicStats, "fix/internal/metrics", "fix/consumer")
+}
+
+// TestMalformedSuppressions checks that broken //swlint:ignore comments
+// are themselves diagnostics, even with no analyzer enabled.
+func TestMalformedSuppressions(t *testing.T) {
+	pkgs := loadFixtures(t, "suppression", "sup")
+	diags, err := Run(pkgs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %+v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if d.Analyzer != "swlint" || !strings.Contains(d.Message, "malformed suppression") {
+			t.Errorf("unexpected diagnostic: %+v", d)
+		}
+		if d.Suppressed {
+			t.Errorf("malformed suppression must not suppress itself: %+v", d)
+		}
+	}
+}
+
+// TestLoadRealTree runs the loader and the full suite over this
+// repository's own packages: the gate CI enforces. The tree must be
+// clean of unsuppressed findings, and every suppression carries a
+// reason.
+func TestLoadRealTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	pkgs, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages, expected the full module", len(pkgs))
+	}
+	diags, err := Run(pkgs, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if d.Suppressed {
+			if d.Reason == "" {
+				t.Errorf("suppressed finding without reason: %s: %s", d.Position, d.Message)
+			}
+			continue
+		}
+		t.Errorf("unsuppressed finding: %s: [%s] %s", d.Position, d.Analyzer, d.Message)
+	}
+}

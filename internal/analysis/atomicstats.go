@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicStats enforces the metrics.Counters access discipline: the
+// pipeline's per-stage tallies are written concurrently by every
+// worker, so a single plain read or write would be a data race that
+// only shows up as silently wrong Stats.
+var AtomicStats = &Analyzer{
+	Name: "atomicstats",
+	Doc: `require atomic access to metrics.Counters fields
+
+Inside internal/metrics, every field of Counters must be declared
+with a sync/atomic type. Everywhere, a Counters field may only be
+touched as the receiver of an atomic method (c.Cells8.Add(n)) or
+through &field passed to a sync/atomic function; raw reads, writes,
+and copies are flagged. Consistent reads come from
+Counters.Snapshot(), never from the live fields.`,
+	Run: runAtomicStats,
+}
+
+func runAtomicStats(pass *Pass) error {
+	if pkgPathIs(pass.Path, "internal/metrics") {
+		checkCountersDecl(pass)
+	}
+	checkCountersUses(pass)
+	return nil
+}
+
+// checkCountersDecl verifies every field of the Counters struct is
+// declared with a sync/atomic type.
+func checkCountersDecl(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || ts.Name.Name != "Counters" {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					t := pass.TypesInfo.TypeOf(field.Type)
+					if isAtomicType(t) {
+						continue
+					}
+					for _, name := range field.Names {
+						pass.Reportf(name.Pos(),
+							"field %s of metrics.Counters must use a sync/atomic type; plain fields race under the worker pool", name.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// checkCountersUses flags any Counters field access that is not an
+// atomic method call or an &field argument to a sync/atomic function.
+func checkCountersUses(pass *Pass) {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		parents := parentMap(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			selection, ok := info.Selections[sel]
+			if !ok || selection.Kind() != types.FieldVal {
+				return true
+			}
+			if !isCountersType(selection.Recv()) {
+				return true
+			}
+			if atomicFieldAccessOK(info, parents, sel) {
+				return true
+			}
+			pass.Reportf(sel.Sel.Pos(),
+				"metrics.Counters field %s accessed without sync/atomic; use its atomic methods or read a Snapshot()", sel.Sel.Name)
+			return true
+		})
+	}
+}
+
+// atomicFieldAccessOK reports whether the field selector is used in
+// one of the two sanctioned shapes:
+//
+//	c.Field.Add(1)                  // method of a sync/atomic type
+//	atomic.AddInt64(&c.Field, 1)    // address passed to sync/atomic
+func atomicFieldAccessOK(info *types.Info, parents map[ast.Node]ast.Node, sel *ast.SelectorExpr) bool {
+	switch parent := parents[sel].(type) {
+	case *ast.SelectorExpr:
+		// c.Field must be the receiver, and the selected method must
+		// come from sync/atomic.
+		if parent.X != sel {
+			return false
+		}
+		if m, ok := info.Uses[parent.Sel].(*types.Func); ok {
+			return isAtomicPkg(m.Pkg())
+		}
+	case *ast.UnaryExpr:
+		// &c.Field as an argument to a sync/atomic function.
+		call, ok := parents[parent].(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		if f := callee(info, call); f != nil {
+			return isAtomicPkg(f.Pkg())
+		}
+	}
+	return false
+}
+
+// parentMap records each node's parent within one file.
+func parentMap(f *ast.File) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// isCountersType reports whether t (possibly a pointer) is the
+// Counters struct of an internal/metrics package.
+func isCountersType(t types.Type) bool {
+	n := namedOf(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Name() == "Counters" && pkgPathIs(n.Obj().Pkg().Path(), "internal/metrics")
+}
+
+// isAtomicType reports whether t is a named type from sync/atomic.
+func isAtomicType(t types.Type) bool {
+	n := namedOf(t)
+	return n != nil && isAtomicPkg(n.Obj().Pkg())
+}
+
+func isAtomicPkg(p *types.Package) bool {
+	return p != nil && p.Path() == "sync/atomic"
+}

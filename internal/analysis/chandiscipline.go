@@ -1,0 +1,253 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ChanDiscipline enforces the scheduler package's goroutine and
+// channel lifecycle rules, the leak class the cancellable pipeline
+// guards against: every goroutine must announce its completion through
+// a sync.WaitGroup, and every channel the package creates and sends on
+// must be closed in exactly one place.
+var ChanDiscipline = &Analyzer{
+	Name: "chandiscipline",
+	Doc: `enforce goroutine/channel lifecycle rules in internal/sched
+
+Every go statement must start the launched body with
+"defer wg.Done()" on a sync.WaitGroup, so no pipeline goroutine can
+outlive its Wait. Every WaitGroup with an Add must have a matching
+Done and Wait (and vice versa). Every channel created with make(chan)
+in the package and sent on must be closed in exactly one place — the
+producer — and never in two.`,
+	Run: runChanDiscipline,
+}
+
+func runChanDiscipline(pass *Pass) error {
+	if !pkgPathIs(pass.Path, "internal/sched") {
+		return nil
+	}
+	decls := funcDecls(pass)
+	checkGoStmts(pass, decls)
+	checkWaitGroups(pass)
+	checkChannelCloses(pass)
+	return nil
+}
+
+// checkGoStmts verifies that every launched goroutine's body begins
+// with a deferred WaitGroup Done, whether the body is a function
+// literal or a package-local function/method launched by name.
+func checkGoStmts(pass *Pass, decls map[*types.Func]*ast.FuncDecl) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body := goBody(pass, decls, g.Call)
+			if body == nil {
+				pass.Reportf(g.Pos(), "goroutine target is not a package-local function; cannot verify it is WaitGroup-tracked")
+				return true
+			}
+			if !startsWithDeferDone(pass, body) {
+				pass.Reportf(g.Pos(), "goroutine must begin with `defer wg.Done()` on a sync.WaitGroup so it cannot leak past Wait")
+			}
+			return true
+		})
+	}
+}
+
+// goBody resolves the body of the function a go statement launches.
+func goBody(pass *Pass, decls map[*types.Func]*ast.FuncDecl, call *ast.CallExpr) *ast.BlockStmt {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return lit.Body
+	}
+	if f := callee(pass.TypesInfo, call); f != nil && f.Pkg() == pass.Pkg {
+		if fd := decls[f]; fd != nil {
+			return fd.Body
+		}
+	}
+	return nil
+}
+
+// startsWithDeferDone reports whether the first statement of body is
+// `defer x.Done()` with x a sync.WaitGroup.
+func startsWithDeferDone(pass *Pass, body *ast.BlockStmt) bool {
+	if body == nil || len(body.List) == 0 {
+		return false
+	}
+	d, ok := body.List[0].(*ast.DeferStmt)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(d.Call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	return isWaitGroup(pass.TypesInfo.TypeOf(sel.X))
+}
+
+// wgUse tracks which of Add/Done/Wait a WaitGroup object has in the
+// package, with the first position seen for reporting.
+type wgUse struct {
+	add, done, wait bool
+	pos             token.Pos
+}
+
+// checkWaitGroups cross-checks every WaitGroup var or field: an Add
+// without a Done (or Wait) is a leak; a Done without an Add panics.
+func checkWaitGroups(pass *Pass) {
+	uses := map[types.Object]*wgUse{}
+	var order []types.Object
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			method := sel.Sel.Name
+			if method != "Add" && method != "Done" && method != "Wait" {
+				return true
+			}
+			if !isWaitGroup(pass.TypesInfo.TypeOf(sel.X)) {
+				return true
+			}
+			obj := selectionObj(pass.TypesInfo, sel.X)
+			if obj == nil {
+				return true
+			}
+			u := uses[obj]
+			if u == nil {
+				u = &wgUse{pos: call.Pos()}
+				uses[obj] = u
+				order = append(order, obj)
+			}
+			switch method {
+			case "Add":
+				u.add = true
+			case "Done":
+				u.done = true
+			case "Wait":
+				u.wait = true
+			}
+			return true
+		})
+	}
+	for _, obj := range order {
+		u := uses[obj]
+		switch {
+		case u.add && !u.done:
+			pass.Reportf(u.pos, "WaitGroup %s has Add but no Done in this package: the counter can never drain", obj.Name())
+		case u.done && !u.add:
+			pass.Reportf(u.pos, "WaitGroup %s has Done but no Add in this package: Done without Add panics", obj.Name())
+		case u.add && !u.wait:
+			pass.Reportf(u.pos, "WaitGroup %s is Added to but never Waited on: goroutines it tracks can leak", obj.Name())
+		}
+	}
+}
+
+// chanUse tracks ownership (a make(chan) assignment), sends, and
+// close sites for one channel var or field.
+type chanUse struct {
+	owned    bool
+	sendPos  token.Pos
+	sends    int
+	closePos []token.Pos
+}
+
+// checkChannelCloses enforces the producer-close discipline: a channel
+// the package creates and sends on must be closed exactly once.
+// Aliases (locals assigned from another channel expression, the
+// select-arm idiom) are not owners and are exempt.
+func checkChannelCloses(pass *Pass) {
+	info := pass.TypesInfo
+	uses := map[types.Object]*chanUse{}
+	var order []types.Object
+	get := func(obj types.Object) *chanUse {
+		u := uses[obj]
+		if u == nil {
+			u = &chanUse{}
+			uses[obj] = u
+			order = append(order, obj)
+		}
+		return u
+	}
+	isMakeChan := func(e ast.Expr) bool {
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok || !isBuiltin(info, call, "make") {
+			return false
+		}
+		_, isChan := info.TypeOf(call).Underlying().(*types.Chan)
+		return isChan
+	}
+	chanObj := func(e ast.Expr) types.Object {
+		obj := selectionObj(info, e)
+		if obj == nil {
+			return nil
+		}
+		if _, ok := obj.Type().Underlying().(*types.Chan); !ok {
+			return nil
+		}
+		return obj
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					if i >= len(n.Rhs) {
+						break
+					}
+					if !isMakeChan(n.Rhs[i]) {
+						continue
+					}
+					if obj := chanObj(lhs); obj != nil {
+						get(obj).owned = true
+					}
+				}
+			case *ast.KeyValueExpr:
+				// Composite-literal field init: work8: make(chan ..., n).
+				if key, ok := n.Key.(*ast.Ident); ok && isMakeChan(n.Value) {
+					if obj, ok := info.Uses[key].(*types.Var); ok {
+						if _, isChan := obj.Type().Underlying().(*types.Chan); isChan {
+							get(obj).owned = true
+						}
+					}
+				}
+			case *ast.SendStmt:
+				if obj := chanObj(n.Chan); obj != nil {
+					u := get(obj)
+					if u.sends == 0 {
+						u.sendPos = n.Pos()
+					}
+					u.sends++
+				}
+			case *ast.CallExpr:
+				if isBuiltin(info, n, "close") && len(n.Args) == 1 {
+					if obj := chanObj(n.Args[0]); obj != nil {
+						get(obj).closePos = append(get(obj).closePos, n.Pos())
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	for _, obj := range order {
+		u := uses[obj]
+		if len(u.closePos) > 1 {
+			for _, pos := range u.closePos[1:] {
+				pass.Reportf(pos, "channel %s is closed in more than one place; exactly one producer must own the close", obj.Name())
+			}
+		}
+		if u.owned && u.sends > 0 && len(u.closePos) == 0 {
+			pass.Reportf(u.sendPos, "channel %s is created and sent on here but never closed; receivers ranging over it will leak", obj.Name())
+		}
+	}
+}

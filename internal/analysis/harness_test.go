@@ -1,0 +1,193 @@
+package analysis
+
+// The fixture harness: analyzer tests load small synthetic packages
+// from testdata/<analyzer>/src/<importpath>/ and check reported
+// diagnostics against expectation comments in the fixture source, in
+// the style of golang.org/x/tools/go/analysis/analysistest:
+//
+//	code() // want "regexp matching an active finding's message"
+//	code() // wantsup "regexp matching a suppressed finding's message"
+//
+// Every diagnostic must match a want on its line and every want must
+// be matched, so the fixtures prove both that violations are caught
+// and that the surrounding clean code stays silent.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// stdExportData lazily resolves export-data files for the standard
+// library packages fixtures may import, via the same `go list -export`
+// mechanism the real loader uses.
+var (
+	stdOnce    sync.Once
+	stdExports map[string]string
+	stdErr     error
+)
+
+func stdExportData(t *testing.T) map[string]string {
+	t.Helper()
+	stdOnce.Do(func() {
+		entries, err := goList(".", []string{"fmt", "sync", "sync/atomic"})
+		if err != nil {
+			stdErr = err
+			return
+		}
+		stdExports = map[string]string{}
+		for _, e := range entries {
+			if e.Export != "" {
+				stdExports[e.ImportPath] = e.Export
+			}
+		}
+	})
+	if stdErr != nil {
+		t.Fatalf("resolving std export data: %v", stdErr)
+	}
+	return stdExports
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// loadFixtures parses and type-checks fixture packages in the given
+// order, so later fixtures can import earlier ones by import path.
+func loadFixtures(t *testing.T, analyzer string, paths ...string) []*Package {
+	t.Helper()
+	std := exportImporter(token.NewFileSet(), stdExportData(t))
+	local := map[string]*types.Package{}
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if p, ok := local[path]; ok {
+			return p, nil
+		}
+		return std.Import(path)
+	})
+	fset := token.NewFileSet()
+	var pkgs []*Package
+	for _, path := range paths {
+		dir := filepath.Join("testdata", analyzer, "src", filepath.FromSlash(path))
+		names, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("reading fixture dir %s: %v", dir, err)
+		}
+		var files []*ast.File
+		for _, de := range names {
+			if de.IsDir() || !strings.HasSuffix(de.Name(), ".go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(dir, de.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				t.Fatalf("parsing fixture: %v", err)
+			}
+			files = append(files, f)
+		}
+		if len(files) == 0 {
+			t.Fatalf("fixture dir %s has no .go files", dir)
+		}
+		info := newInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(path, fset, files, info)
+		if err != nil {
+			t.Fatalf("type-checking fixture %s: %v", path, err)
+		}
+		local[path] = tpkg
+		pkgs = append(pkgs, &Package{
+			Path:  path,
+			Name:  tpkg.Name(),
+			Fset:  fset,
+			Files: files,
+			Types: tpkg,
+			Info:  info,
+		})
+	}
+	return pkgs
+}
+
+// want is one expectation comment.
+type want struct {
+	re         *regexp.Regexp
+	suppressed bool
+	matched    bool
+}
+
+var wantRe = regexp.MustCompile(`//\s*want(sup)? "([^"]*)"`)
+
+// collectWants extracts the want/wantsup comments of every fixture
+// file, keyed by file and line.
+func collectWants(t *testing.T, pkgs []*Package) map[string]map[int][]*want {
+	t.Helper()
+	wants := map[string]map[int][]*want{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+						re, err := regexp.Compile(m[2])
+						if err != nil {
+							t.Fatalf("bad want regexp %q: %v", m[2], err)
+						}
+						pos := pkg.Fset.Position(c.Pos())
+						byLine := wants[pos.Filename]
+						if byLine == nil {
+							byLine = map[int][]*want{}
+							wants[pos.Filename] = byLine
+						}
+						byLine[pos.Line] = append(byLine[pos.Line], &want{re: re, suppressed: m[1] == "sup"})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// runFixture loads the analyzer's fixture packages, runs the analyzer,
+// and cross-checks diagnostics against the want comments.
+func runFixture(t *testing.T, a *Analyzer, paths ...string) {
+	t.Helper()
+	pkgs := loadFixtures(t, a.Name, paths...)
+	diags, err := Run(pkgs, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	wants := collectWants(t, pkgs)
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants[d.Pos.Filename][d.Pos.Line] {
+			if !w.matched && w.suppressed == d.Suppressed && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s (suppressed=%v): %s", d.Position, d.Suppressed, d.Message)
+		}
+	}
+	var missed []string
+	for file, byLine := range wants {
+		for line, ws := range byLine {
+			for _, w := range ws {
+				if !w.matched {
+					missed = append(missed, fmt.Sprintf("%s:%d: no diagnostic matched %q (suppressed=%v)", file, line, w.re, w.suppressed))
+				}
+			}
+		}
+	}
+	sort.Strings(missed)
+	for _, m := range missed {
+		t.Error(m)
+	}
+}

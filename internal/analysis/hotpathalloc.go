@@ -1,0 +1,277 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// hotpathMarker is the annotation that marks a function (or every
+// method of a type) as part of the allocation-free hot path.
+const hotpathMarker = "//sw:hotpath"
+
+// HotPathAlloc flags heap-escaping constructs inside hot-path
+// functions. A function is hot when its declaration carries a
+// //sw:hotpath comment, when its receiver's type declaration carries
+// one, or when it is statically reachable, within its package, from a
+// hot function — so annotating the generic kernel entry (e.g.
+// core.runBatch) covers every helper it calls.
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc: `flag allocating constructs in //sw:hotpath functions
+
+The diagonal kernels must stay allocation-free on warm calls
+(PAPER.md §III-B/III-D): one heap allocation per batch column would
+dominate the cell updates it feeds. This analyzer flags append, make,
+new, map operations, closures, fmt calls, string concatenation, and
+implicit interface conversions (boxing) inside hot functions.
+Amortized grow-once arena allocations are expected to carry a
+//swlint:ignore hotpathalloc comment explaining the amortization.`,
+	Run: runHotPathAlloc,
+}
+
+func runHotPathAlloc(pass *Pass) error {
+	decls := funcDecls(pass)
+
+	// Annotated functions and types.
+	hotType := map[*types.TypeName]bool{}
+	var roots []*types.Func
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			switch d := d.(type) {
+			case *ast.FuncDecl:
+				if hasMarker(d.Doc) {
+					if obj, ok := pass.TypesInfo.Defs[d.Name].(*types.Func); ok {
+						roots = append(roots, obj)
+					}
+				}
+			case *ast.GenDecl:
+				if d.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					if hasMarker(d.Doc) || hasMarker(ts.Doc) || hasMarker(ts.Comment) {
+						if tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName); ok {
+							hotType[tn] = true
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Methods of annotated types are roots too.
+	for obj := range decls {
+		sig, ok := obj.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			continue
+		}
+		if n := namedOf(sig.Recv().Type()); n != nil && hotType[n.Obj()] {
+			roots = append(roots, obj)
+		}
+	}
+
+	// Intra-package static call graph.
+	calls := map[*types.Func][]*types.Func{}
+	for obj, fd := range decls {
+		if fd.Body == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if f := callee(pass.TypesInfo, call); f != nil && f.Pkg() == pass.Pkg {
+				calls[obj] = append(calls[obj], f)
+			}
+			return true
+		})
+	}
+
+	// Reachability closure from the roots.
+	hot := map[*types.Func]bool{}
+	queue := append([]*types.Func(nil), roots...)
+	for len(queue) > 0 {
+		f := queue[0]
+		queue = queue[1:]
+		if hot[f] {
+			continue
+		}
+		hot[f] = true
+		queue = append(queue, calls[f]...)
+	}
+
+	// Deterministic order: walk declarations file by file.
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok || !hot[obj] {
+				continue
+			}
+			checkHotBody(pass, fd)
+		}
+	}
+	return nil
+}
+
+// hasMarker reports whether any comment line is the //sw:hotpath
+// annotation.
+func hasMarker(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		t := strings.TrimSpace(c.Text)
+		if t == hotpathMarker || strings.HasPrefix(t, hotpathMarker+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkHotBody flags the allocating constructs inside one hot
+// function.
+func checkHotBody(pass *Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	info := pass.TypesInfo
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkHotCall(pass, name, n)
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure literal in hot path %s (captured variables escape to the heap)", name)
+		case *ast.CompositeLit:
+			switch info.TypeOf(n).Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(n.Pos(), "map literal allocates in hot path %s", name)
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "slice literal allocates in hot path %s", name)
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if t := info.TypeOf(n); t != nil && isStringType(t) {
+					pass.Reportf(n.Pos(), "string concatenation allocates in hot path %s", name)
+				}
+			}
+		case *ast.IndexExpr:
+			if _, ok := info.TypeOf(n.X).Underlying().(*types.Map); ok {
+				pass.Reportf(n.Pos(), "map access in hot path %s", name)
+			}
+		case *ast.RangeStmt:
+			if _, ok := info.TypeOf(n.X).Underlying().(*types.Map); ok {
+				pass.Reportf(n.Pos(), "map iteration in hot path %s", name)
+			}
+		}
+		return true
+	})
+}
+
+// checkHotCall flags one call expression inside hot function name:
+// allocating builtins, fmt calls, explicit conversions to interface
+// types, and arguments implicitly boxed into interface parameters.
+func checkHotCall(pass *Pass, name string, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	for _, b := range []string{"append", "make", "new"} {
+		if isBuiltin(info, call, b) {
+			pass.Reportf(call.Pos(), "%s allocates in hot path %s", b, name)
+			return
+		}
+	}
+	if isBuiltin(info, call, "delete") {
+		pass.Reportf(call.Pos(), "map delete in hot path %s", name)
+		return
+	}
+	// panic(x) boxes x into its any parameter, but a panicking path has
+	// already left the hot path; don't flag it.
+	if isBuiltin(info, call, "panic") {
+		return
+	}
+
+	// Explicit conversion: T(x) where T is an interface type.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if isBoxingInterface(tv.Type) && len(call.Args) == 1 {
+			if at, ok := info.Types[call.Args[0]]; ok && !at.IsNil() && !isInterfaceLike(at.Type) {
+				pass.Reportf(call.Pos(), "conversion to interface boxes on the heap in hot path %s", name)
+			}
+		}
+		return
+	}
+
+	if f := callee(info, call); f != nil && f.Pkg() != nil && f.Pkg().Path() == "fmt" {
+		pass.Reportf(call.Pos(), "fmt.%s call in hot path %s (variadic interface args allocate)", f.Name(), name)
+		return
+	}
+
+	// Implicit boxing: concrete argument passed to an interface
+	// parameter.
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok || call.Ellipsis != token.NoPos {
+		return
+	}
+	np := sig.Params().Len()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			st, ok := sig.Params().At(np - 1).Type().(*types.Slice)
+			if !ok {
+				continue
+			}
+			pt = st.Elem()
+		case i < np:
+			pt = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		if !isBoxingInterface(pt) {
+			continue
+		}
+		at, ok := info.Types[arg]
+		if !ok || at.IsNil() || isInterfaceLike(at.Type) {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "argument boxed into interface parameter in hot path %s", name)
+	}
+}
+
+// isBoxingInterface reports whether converting a concrete value to t
+// heap-boxes it: t is a real interface type, not a type parameter
+// (whose underlying is its constraint interface but which is always
+// instantiated concretely).
+func isBoxingInterface(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if _, ok := types.Unalias(t).(*types.TypeParam); ok {
+		return false
+	}
+	return types.IsInterface(t)
+}
+
+// isInterfaceLike reports whether t already carries interface (or
+// type-parameter) representation, so passing it to an interface
+// parameter does not allocate a new box.
+func isInterfaceLike(t types.Type) bool {
+	if t == nil {
+		return true
+	}
+	if _, ok := types.Unalias(t).(*types.TypeParam); ok {
+		return true
+	}
+	return types.IsInterface(t)
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

@@ -1,0 +1,23 @@
+// Package consumer is the atomicstats fixture's cross-package half:
+// the usage rule applies wherever Counters travels, not just inside
+// the metrics package.
+package consumer
+
+import (
+	"sync/atomic"
+
+	"fix/internal/metrics"
+)
+
+func tally(c *metrics.Counters) int64 {
+	c.Searches.Add(1)
+	n := c.Searches.Load()
+	n += atomic.LoadInt64(&c.Plain)
+	n += c.Plain // want "accessed without sync/atomic"
+	return n
+}
+
+func snapshotted(c *metrics.Counters) int64 {
+	//swlint:ignore atomicstats single-threaded test helper, no concurrent writers
+	return c.Plain // wantsup "accessed without sync/atomic"
+}

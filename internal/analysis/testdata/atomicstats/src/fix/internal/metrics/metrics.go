@@ -1,0 +1,23 @@
+// Package metrics is the atomicstats fixture's Counters declaration:
+// atomic fields are the rule, one plain field is seeded to prove the
+// declaration check fires.
+package metrics
+
+import "sync/atomic"
+
+type Counters struct {
+	Searches atomic.Int64
+	Cells    atomic.Int64
+	Plain    int64 // want "must use a sync/atomic type"
+}
+
+// Bump uses the two sanctioned access shapes.
+func (c *Counters) Bump() {
+	c.Searches.Add(1)
+	atomic.AddInt64(&c.Plain, 1)
+}
+
+// Reset races: a raw write to a counter field.
+func (c *Counters) Reset() {
+	c.Plain = 0 // want "accessed without sync/atomic"
+}

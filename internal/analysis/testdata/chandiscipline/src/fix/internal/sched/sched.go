@@ -1,0 +1,95 @@
+// Package sched is the chandiscipline fixture: goroutine launches with
+// and without WaitGroup tracking, unbalanced WaitGroups, and channels
+// that violate the producer-close discipline.
+package sched
+
+import "sync"
+
+// pool is the compliant shape: every goroutine starts with a deferred
+// Done, the owned channel is closed exactly once by its producer.
+type pool struct {
+	wg   sync.WaitGroup
+	work chan int
+}
+
+func newPool() *pool {
+	return &pool{work: make(chan int, 4)}
+}
+
+func (p *pool) run() {
+	p.wg.Add(2)
+	go p.produce()
+	go func() {
+		defer p.wg.Done()
+		for range p.work {
+		}
+	}()
+	p.wg.Wait()
+}
+
+func (p *pool) produce() {
+	defer p.wg.Done()
+	p.work <- 1
+	close(p.work)
+}
+
+func untracked() {
+	go func() {}() // want "goroutine must begin with"
+}
+
+func untrackedNamed() {
+	go namedBody() // want "goroutine must begin with"
+}
+
+func namedBody() {}
+
+func opaque(fn func()) {
+	go fn() // want "goroutine target is not a package-local function"
+}
+
+var leakWG sync.WaitGroup
+
+func leak() {
+	leakWG.Add(1) // want "has Add but no Done"
+	leakWG.Wait()
+}
+
+var orphanWG sync.WaitGroup
+
+func orphan() {
+	orphanWG.Done() // want "has Done but no Add"
+}
+
+var noWaitWG sync.WaitGroup
+
+func noWait() {
+	noWaitWG.Add(1) // want "Added to but never Waited on"
+	go noWaitBody()
+}
+
+func noWaitBody() {
+	defer noWaitWG.Done()
+}
+
+func doubleClose() {
+	ch := make(chan int)
+	close(ch)
+	close(ch) // want "closed in more than one place"
+}
+
+func neverClosed() {
+	out := make(chan int, 1)
+	out <- 1 // want "never closed"
+}
+
+// alias sends on a channel it does not own: the select-arm idiom.
+// Exempt from the close rule.
+func alias(src chan int) {
+	out := src
+	out <- 1
+}
+
+func suppressedLaunch() {
+	//swlint:ignore chandiscipline process-lifetime monitor, reaped at exit
+	go func() {}() // wantsup "goroutine must begin with"
+}

@@ -1,0 +1,86 @@
+// Package hp is the hotpathalloc fixture: seeded allocations inside
+// annotated functions, reachable helpers, annotated types, plus clean
+// and suppressed cases that must stay silent or tracked.
+package hp
+
+import "fmt"
+
+type frobber interface{ frob() }
+
+type widget struct{ n int }
+
+func (widget) frob() {}
+
+// sink is an interface-taking helper for the boxing cases.
+func sink(v any) { _ = v }
+
+//sw:hotpath
+func kernel(xs []int, m map[int]int, w widget) int {
+	buf := make([]int, 8)        // want "make allocates in hot path kernel"
+	xs = append(xs, 1)           // want "append allocates in hot path kernel"
+	p := new(int)                // want "new allocates in hot path kernel"
+	lit := []int{1, 2}           // want "slice literal allocates in hot path kernel"
+	ml := map[int]int{}          // want "map literal allocates in hot path kernel"
+	f := func() int { return 1 } // want "closure literal in hot path kernel"
+	v := m[3]                    // want "map access in hot path kernel"
+	delete(m, 3)                 // want "map delete in hot path kernel"
+	for k := range m {           // want "map iteration in hot path kernel"
+		v += k
+	}
+	fmt.Println(v)   // want "fmt.Println call in hot path kernel"
+	sink(w)          // want "argument boxed into interface parameter in hot path kernel"
+	fr := frobber(w) // want "conversion to interface boxes on the heap in hot path kernel"
+	fr.frob()
+	return len(buf) + len(xs) + *p + len(lit) + len(ml) + f() + helper(v)
+}
+
+// helper is hot by reachability from kernel, not by annotation.
+func helper(n int) int {
+	s := make([]int, n) // want "make allocates in hot path helper"
+	return len(s)
+}
+
+//sw:hotpath
+func concat(a, b string) string {
+	return a + b // want "string concatenation allocates in hot path concat"
+}
+
+//sw:hotpath
+func amortized(p *[]int, n int) []int {
+	if cap(*p) < n {
+		//swlint:ignore hotpathalloc grow-once arena, warm calls reuse capacity
+		*p = make([]int, n) // wantsup "make allocates in hot path amortized"
+	}
+	return (*p)[:n]
+}
+
+// engine's methods are hot because the type is annotated: dispatch
+// through a type-parameter constraint is invisible to the static call
+// graph, so engine-like types carry the marker themselves.
+//
+//sw:hotpath
+type engine struct{}
+
+func (engine) step(n int) []int8 {
+	return make([]int8, n) // want "make allocates in hot path step"
+}
+
+// cold is unannotated and unreachable from any hot root: its
+// allocations are fine.
+func cold() []int {
+	out := make([]int, 4)
+	out = append(out, 5)
+	var anybox any = out
+	_ = anybox
+	return out
+}
+
+// failfast panics are off the hot path even though panic's parameter
+// is an interface.
+//
+//sw:hotpath
+func failfast(ok bool) {
+	if !ok {
+		panic("hp: invariant broken")
+	}
+}

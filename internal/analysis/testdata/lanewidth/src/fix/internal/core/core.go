@@ -1,0 +1,58 @@
+// Package core is the lanewidth fixture: hard-coded 32/64 lane
+// strides in the positions the analyzer guards, next to the derived
+// forms that must stay silent.
+package core
+
+// batchLanes stands in for the seqio lane constants: deriving widths
+// from it is the sanctioned form.
+const batchLanes = 32
+
+type batch struct {
+	lanes  int
+	maxLen int
+}
+
+func alloc(lanes int) []int8 {
+	return make([]int8, 4*lanes)
+}
+
+func seedParam() {
+	alloc(64) // want "hard-coded lane stride passed as parameter lanes"
+	alloc(batchLanes)
+}
+
+func seedAssign() int {
+	stride := 32 // want "hard-coded lane stride assigned to stride"
+	nlanes := batchLanes
+	return stride + nlanes
+}
+
+func seedVarDecl() int {
+	var lanes = 64 // want "hard-coded lane stride assigned to lanes"
+	return lanes
+}
+
+func seedMake(n int) []int16 {
+	return make([]int16, n*32) // want "hard-coded 32/64 in scratch-buffer sizing"
+}
+
+func seedField() batch {
+	return batch{
+		lanes:  64, // want "hard-coded lane stride for field lanes"
+		maxLen: 64,
+	}
+}
+
+func derived(b *batch) []int8 {
+	// Widths that come from constants, fields, or parameters are the
+	// sanctioned forms and stay silent.
+	buf := make([]int8, b.maxLen*b.lanes)
+	other := make([]int8, b.maxLen*batchLanes)
+	return append(buf, other...)
+}
+
+func suppressed() int {
+	//swlint:ignore lanewidth fixture models a frozen on-disk layout
+	stride := 64 // wantsup "hard-coded lane stride assigned to stride"
+	return stride
+}

@@ -1,0 +1,9 @@
+// Package sup holds malformed suppression comments: a bare marker and
+// one with an analyzer but no reason. Both must be reported.
+package sup
+
+//swlint:ignore
+func bare() {}
+
+//swlint:ignore hotpathalloc
+func noReason() {}

@@ -130,6 +130,8 @@ func alignBatch[V any, E vek.Elem, En batchEngine[V, E]](eng En, mch vek.Machine
 // register per column part. Substitution scores come from the shared
 // per-code cache when the row's code repeats in the query, or from an
 // inline shuffle lookup otherwise.
+//
+//sw:hotpath
 func runBatch[V any, E vek.Elem, En batchEngine[V, E]](eng En, mch vek.Machine, query []uint8, tables *submat.CodeTables, batch *seqio.Batch, t8 []int8, opt *BatchOptions, s *Scratch, res *BatchResult) {
 	m, n := len(query), batch.MaxLen
 	blanes := eng.BLanes()
@@ -271,6 +273,7 @@ func scoreRow[V any, E vek.Elem, En batchEngine[V, E]](eng En, mch vek.Machine, 
 	blanes := eng.BLanes()
 	need := s.cols * blanes
 	if cap(s.rows[c]) < need {
+		//swlint:ignore hotpathalloc grow-once score-cache row, reused for every later block and batch
 		s.rows[c] = make([]int8, need)
 	}
 	s.rows[c] = s.rows[c][:need]
@@ -283,6 +286,8 @@ func scoreRow[V any, E vek.Elem, En batchEngine[V, E]](eng En, mch vek.Machine, 
 }
 
 // be8x32 is the 256-bit 8-bit batch engine: one I8x32 per column.
+//
+//sw:hotpath
 type be8x32 struct{ vek.E8x32 }
 
 func (be8x32) BLanes() int { return seqio.BatchLanes }
@@ -314,6 +319,8 @@ func (e be8x32) BatchCarries(s *Scratch, m int) (ec, left, diag []int8) {
 
 // be16x16 is the 256-bit 16-bit batch engine: two I16x16 halves per
 // 32-lane column, widened from the shared 8-bit shuffle lookup.
+//
+//sw:hotpath
 type be16x16 struct{ vek.E16x16 }
 
 func (be16x16) BLanes() int { return seqio.BatchLanes }
@@ -347,6 +354,8 @@ func (e be16x16) BatchCarries(s *Scratch, m int) (ec, left, diag []int16) {
 
 // be8x64 is the 512-bit 8-bit batch engine: one I8x64 per 64-lane
 // column.
+//
+//sw:hotpath
 type be8x64 struct{ vek.E8x64 }
 
 func (be8x64) BLanes() int { return seqio.MaxBatchLanes }
@@ -378,6 +387,8 @@ func (e be8x64) BatchCarries(s *Scratch, m int) (ec, left, diag []int8) {
 
 // be16x32 is the 512-bit 16-bit batch engine: two I16x32 halves per
 // 64-lane column.
+//
+//sw:hotpath
 type be16x32 struct{ vek.E16x32 }
 
 func (be16x32) BLanes() int { return seqio.MaxBatchLanes }

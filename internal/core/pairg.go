@@ -34,6 +34,7 @@ type pairBufs[E vek.Elem] struct {
 func bufE[E vek.Elem](p *[]E, n int, fill E) []E {
 	b := *p
 	if cap(b) < n {
+		//swlint:ignore hotpathalloc grow-once diagonal buffer, warm calls reuse capacity
 		b = make([]E, n)
 	} else {
 		b = b[:n]
@@ -313,6 +314,8 @@ func eagerReduce[V any, E vek.Elem, En vek.Engine[V, E]](eng En, mch vek.Machine
 // anti-diagonal vectorization, diagonal-indexed rolling buffers,
 // zero-padded or scalar tails for short segments, and the deferred
 // per-lane maximum of §III-D.
+//
+//sw:hotpath
 func alignPairAffine[V any, E vek.Elem, En vek.Engine[V, E]](eng En, mch vek.Machine, q, dseq []uint8, mat *submat.Matrix, opt PairOptions, bufs *pairBufs[E]) (aln.ScoreResult, *TraceMatrix, error) {
 	res := aln.ScoreResult{EndQ: -1, EndD: -1}
 	m, n := len(q), len(dseq)
@@ -515,6 +518,8 @@ func paddedTailAffine[V any, E vek.Elem, En vek.Engine[V, E]](eng En, mch vek.Ma
 // (Fig. 7's "without affine gap penalty" configuration): no E/F gap
 // state is kept, every gap step pays the flat extension cost, saving
 // two buffer loads, two stores and four arithmetic ops per vector.
+//
+//sw:hotpath
 func alignPairLinear[V any, E vek.Elem, En vek.Engine[V, E]](eng En, mch vek.Machine, q, dseq []uint8, mat *submat.Matrix, opt PairOptions, bufs *pairBufs[E]) (aln.ScoreResult, *TraceMatrix, error) {
 	res := aln.ScoreResult{EndQ: -1, EndD: -1}
 	m, n := len(q), len(dseq)

@@ -59,6 +59,7 @@ func (s *Scratch) codes(t []uint8) []int8 {
 func growE[E any](p *[]E, n int) []E {
 	b := *p
 	if cap(b) < n {
+		//swlint:ignore hotpathalloc grow-once scratch arena, warm calls reuse capacity
 		b = make([]E, n)
 	} else {
 		b = b[:n]
@@ -116,6 +117,7 @@ func codesAsInt8(codes []uint8) []int8 {
 func buf32(p *[]int32, n int, fill int32) []int32 {
 	b := *p
 	if cap(b) < n {
+		//swlint:ignore hotpathalloc grow-once index buffer, warm calls reuse capacity
 		b = make([]int32, n)
 	}
 	b = b[:n]

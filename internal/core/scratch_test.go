@@ -163,6 +163,40 @@ func TestAlignBatch8ScratchZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestAlignBatch16ScratchZeroAlloc is the 16-bit rescue stage's side
+// of the same invariant: swlint's hotpathalloc analyzer proves the
+// kernels issue no allocating constructs statically, and this proves
+// it dynamically at both lane strides.
+func TestAlignBatch16ScratchZeroAlloc(t *testing.T) {
+	mat := submat.Blosum62()
+	tables := submat.NewCodeTables(mat)
+	g := seqio.NewGenerator(35)
+	db := g.Database(2 * seqio.MaxBatchLanes)
+	queries := [][]uint8{
+		g.Protein("q0", 200).Encode(mat.Alphabet()),
+		g.Protein("q1", 37).Encode(mat.Alphabet()),
+	}
+	for _, lanes := range []int{seqio.BatchLanes, seqio.MaxBatchLanes} {
+		batches := seqio.BuildBatches(db, mat.Alphabet(), seqio.BatchOptions{Lanes: lanes})
+		scratch := NewScratch()
+		opt := BatchOptions{Gaps: aln.DefaultGaps(), Scratch: scratch}
+		warm := func() {
+			for _, q := range queries {
+				for _, b := range batches {
+					if _, err := AlignBatch16(vek.Bare, q, tables, b, opt); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		warm()
+		allocs := testing.AllocsPerRun(3, warm)
+		if allocs != 0 {
+			t.Fatalf("lanes=%d: warm AlignBatch16 allocates %.1f times per sweep, want 0", lanes, allocs)
+		}
+	}
+}
+
 // TestScratchAcrossWidths is the regression test for the per-width row
 // buffer sizing: one shared scratch serving interleaved 32-lane and
 // 64-lane batches (8- and 16-bit engines) must produce the same result

@@ -39,6 +39,7 @@ type TraceMatrix struct {
 // newTraceMatrix allocates the diagonal-linearized traceback store for
 // an m x n problem.
 func newTraceMatrix(m, n int) *TraceMatrix {
+	//swlint:ignore hotpathalloc traceback store is per-request by design; Fig. 8 charges its memory cost explicitly
 	t := &TraceMatrix{m: m, n: n, off: make([]int, m+n-1)}
 	total := 0
 	for d := 2; d <= m+n; d++ {
@@ -48,6 +49,7 @@ func newTraceMatrix(m, n int) *TraceMatrix {
 			total += hi - lo + 1
 		}
 	}
+	//swlint:ignore hotpathalloc traceback store is per-request by design; Fig. 8 charges its memory cost explicitly
 	t.codes = make([]int8, total)
 	return t
 }

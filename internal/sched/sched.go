@@ -216,6 +216,7 @@ func SearchContext(ctx context.Context, query []uint8, db []seqio.Sequence, mat 
 	}
 
 	start := time.Now()
+	p.cwg.Add(3)
 	go p.produce()
 	go p.groupRescues()
 	go p.dispatch32()
@@ -228,6 +229,7 @@ func SearchContext(ctx context.Context, query []uint8, db []seqio.Sequence, mat 
 		}()
 	}
 	wg.Wait()
+	p.cwg.Wait()
 	res.Elapsed = time.Since(start)
 
 	// All writers have quiesced: snapshot once, derive the aggregate
@@ -286,6 +288,13 @@ type pipeline struct {
 	// know when no further saturations can arrive.
 	wg8, wg16 sync.WaitGroup
 
+	// cwg tracks the three coordinator goroutines (produce,
+	// groupRescues, dispatch32) so Search provably outlives them.
+	// Workers draining the closed channels already implies the
+	// coordinators have finished their sends, but not that the
+	// goroutines themselves have exited.
+	cwg sync.WaitGroup
+
 	// met tallies the per-stage counters (one atomic add per batch);
 	// Search snapshots it into Result.Stats after the pool drains.
 	met *metrics.Counters
@@ -302,6 +311,7 @@ type pipeline struct {
 // no further batches enter the pipeline, which bounds how much drain
 // work the already-queued jobs represent.
 func (p *pipeline) produce() {
+	defer p.cwg.Done()
 	for {
 		if p.ctx.Err() != nil {
 			break
@@ -333,6 +343,7 @@ func (p *pipeline) produce() {
 // produces saturations and consumes rescue batches, so an unbuffered
 // handoff here could deadlock the pool against itself.
 func (p *pipeline) groupRescues() {
+	defer p.cwg.Done()
 	group := make([]int, 0, p.lanes)
 	var pending []*seqio.Batch
 	in := p.sat8
@@ -376,6 +387,7 @@ func (p *pipeline) rescueBatch(members []int) *seqio.Batch {
 // dispatch32 forwards 16-bit saturations to the 32-bit stage through a
 // local queue, for the same no-blocking reason as groupRescues.
 func (p *pipeline) dispatch32() {
+	defer p.cwg.Done()
 	var pending []int
 	in := p.sat16
 	for in != nil || len(pending) > 0 {
@@ -452,6 +464,8 @@ func (p *pipeline) worker() {
 // lanes to the rescue queue, and recycle the batch buffer.
 // Cancellation point 2: after a cancel the batch is recycled
 // unaligned, and its lanes never enter the rescue queue.
+//
+//sw:hotpath
 func (p *pipeline) run8(mch vek.Machine, s *core.Scratch, b *seqio.Batch) {
 	if p.ctx.Err() != nil {
 		p.stream.Recycle(b)
@@ -483,6 +497,8 @@ func (p *pipeline) run8(mch vek.Machine, s *core.Scratch, b *seqio.Batch) {
 // and forward anything still saturated to the 32-bit stage.
 // Cancellation point 3: a canceled rescue is dropped — the affected
 // hits keep their capped 8-bit score and Rescued stays false.
+//
+//sw:hotpath
 func (p *pipeline) run16(mch vek.Machine, s *core.Scratch, b *seqio.Batch) {
 	if p.ctx.Err() != nil {
 		return
@@ -511,6 +527,8 @@ func (p *pipeline) run16(mch vek.Machine, s *core.Scratch, b *seqio.Batch) {
 // run32 is the final escalation tier: one 32-bit pair alignment per
 // still-saturated sequence, parallel across the pool. Cancellation
 // point 4: canceled escalations are skipped the same way.
+//
+//sw:hotpath
 func (p *pipeline) run32(mch vek.Machine, s *core.Scratch, si int, enc []uint8) []uint8 {
 	if p.ctx.Err() != nil {
 		return enc

@@ -103,6 +103,8 @@ func clampRange(x, lo, hi int32) int32 {
 }
 
 // E8x32 is the 256-bit 8-bit engine (32 lanes).
+//
+//sw:hotpath
 type E8x32 struct{}
 
 func (E8x32) Lanes() int               { return 32 }
@@ -155,6 +157,8 @@ func (E8x32) StoreDirs(m Machine, dst []int8, dir I8x32) {
 }
 
 // E16x16 is the 256-bit 16-bit engine (16 lanes).
+//
+//sw:hotpath
 type E16x16 struct{}
 
 func (E16x16) Lanes() int                 { return 16 }
@@ -223,6 +227,8 @@ func (E16x16) StoreDirs(m Machine, dst []int8, dir I16x16) {
 // saturates for biological sequence lengths, so its "saturating"
 // arithmetic is plain modular arithmetic, exactly like the hand-written
 // 32-bit kernel.
+//
+//sw:hotpath
 type E32x8 struct{}
 
 func (E32x8) Lanes() int                { return 8 }
@@ -279,6 +285,8 @@ func (E32x8) StoreDirs(m Machine, dst []int8, dir I32x8) {
 }
 
 // E8x64 is the 512-bit 8-bit engine (64 lanes).
+//
+//sw:hotpath
 type E8x64 struct{}
 
 func (E8x64) Lanes() int          { return 64 }
@@ -342,6 +350,8 @@ func (E8x64) StoreDirs(m Machine, dst []int8, dir I8x64) {
 }
 
 // E16x32 is the 512-bit 16-bit engine (32 lanes).
+//
+//sw:hotpath
 type E16x32 struct{}
 
 func (E16x32) Lanes() int          { return 32 }

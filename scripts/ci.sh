@@ -25,11 +25,17 @@ go vet ./...
 echo "== vet (cmd) =="
 go vet ./cmd/...
 
+echo "== swlint =="
+# Repo-specific invariant suite (DESIGN.md §11). The JSON report keeps
+# every finding, suppressed included, so CI runs accumulate the
+# suppression trajectory alongside the perf one.
+go run ./cmd/swlint -json SWLINT_ci.json ./...
+
 echo "== portability build (CGO_ENABLED=0) =="
 CGO_ENABLED=0 go build ./...
 
 echo "== race =="
-go test -race -short ./internal/sched ./internal/seqio ./internal/core .
+go test -race -short ./...
 
 echo "== fuzz smoke =="
 go test -fuzz=FuzzAlignWidths -fuzztime=10s -run FuzzAlignWidths ./internal/core
