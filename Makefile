@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all verify fmt vet lint portable race fuzz bench bench-smoke ci
+.PHONY: all verify fmt vet lint portable race chaos fuzz bench bench-smoke ci
 
 all: verify
 
@@ -32,10 +32,18 @@ portable:
 race:
 	$(GO) test -race -short ./...
 
+# Chaos pass: the failpoint build compiles in the fault-injection
+# sites, and the chaos suites force kernel panics, transient faults,
+# and breaker trips under the race detector (DESIGN.md §12).
+chaos:
+	$(GO) test -race -short -tags failpoint ./...
+
 # Differential fuzz smoke: every width instantiation of the generic
-# kernel against the scalar baseline for a few seconds.
+# kernel against the scalar baseline, and the lenient FASTA decoder
+# against arbitrary input, for a few seconds each.
 fuzz:
 	$(GO) test -fuzz=FuzzAlignWidths -fuzztime=10s -run FuzzAlignWidths ./internal/core
+	$(GO) test -fuzz=FuzzFASTADecode -fuzztime=10s -run FuzzFASTADecode ./internal/seqio
 
 # Figure + kernel benchmarks with allocation reporting.
 bench:
@@ -47,4 +55,4 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkSearch' -benchtime 1x -json . > BENCH_ci.json
 	@grep -q '"Action":"pass"' BENCH_ci.json || { echo "bench smoke failed"; exit 1; }
 
-ci: fmt verify vet lint portable race fuzz bench-smoke
+ci: fmt verify vet lint portable race chaos fuzz bench-smoke

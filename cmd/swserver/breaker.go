@@ -1,0 +1,111 @@
+package main
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is a consecutive-failure circuit breaker guarding the batch
+// compute path. It exists so a persistently failing dependency (a
+// poisoned database region, an injected fault storm, a compute layer
+// that panics on every batch) degrades into fast, explicit rejections
+// instead of a queue full of requests each burning a full compute
+// deadline before failing.
+//
+// States: closed (normal), open (rejecting until the cooldown passes),
+// half-open (one probe batch in flight decides whether to close or
+// reopen).
+type breaker struct {
+	threshold int           // consecutive failures that trip it
+	cooldown  time.Duration // open -> half-open delay
+	now       func() time.Time
+
+	mu       sync.Mutex
+	state    int
+	failures int
+	openedAt time.Time
+	probing  bool // half-open: the single probe is in flight
+}
+
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// rejecting is the cheap admission-side check: true while the breaker
+// is open and still cooling down, or half-open with the probe already
+// taken. Requests refused here never reach the queue.
+func (b *breaker) rejecting() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		return b.now().Sub(b.openedAt) < b.cooldown
+	case breakerHalfOpen:
+		return b.probing
+	}
+	return false
+}
+
+// allow reports whether a batch may run. An open breaker past its
+// cooldown transitions to half-open and admits exactly one probe;
+// everything else waits for the probe's verdict.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// onSuccess reports a completed batch; a half-open probe's success
+// closes the breaker.
+func (b *breaker) onSuccess() {
+	b.mu.Lock()
+	b.state = breakerClosed
+	b.failures = 0
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// onFailure reports a failed batch and returns true when this failure
+// tripped the breaker open (from closed after threshold consecutive
+// failures, or a failed half-open probe).
+func (b *breaker) onFailure() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		b.state = breakerOpen
+		b.openedAt = b.now()
+		b.probing = false
+		return true
+	case breakerClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = b.now()
+			return true
+		}
+	}
+	return false
+}

@@ -12,10 +12,20 @@
 // admin port serving /debug/vars (including the swvec.search pipeline
 // counters) and pprof.
 //
+// It also protects itself against overload and a failing compute layer
+// (DESIGN.md §12): requests beyond the body or sequence size limits are
+// refused with structured errors, a full queue sheds new requests
+// immediately (429-style) instead of stalling the connection, repeated
+// batch failures trip a circuit breaker that fast-rejects until a
+// cooldown probe succeeds, and sustained queue pressure switches
+// batches to a reduced-capacity degraded aligner. Every protective
+// action is counted in the swvec.search expvar counters.
+//
 // Server:  swserver -listen :7979 -db db.fasta [-batch 8] [-window 50ms]
 //
 //	[-request-timeout 30s] [-max-conns 256] [-idle-timeout 2m]
-//	[-admin 127.0.0.1:7980]
+//	[-max-seq 100000] [-max-body 8388608] [-breaker-failures 3]
+//	[-breaker-cooldown 5s] [-admin 127.0.0.1:7980]
 //
 // Client:  swserver -connect localhost:7979 -query q.fasta [-top 5]
 //
@@ -36,12 +46,15 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"sort"
 	"sync"
 	"syscall"
 	"time"
 
 	"swvec"
+	"swvec/internal/failpoint"
+	"swvec/internal/metrics"
 )
 
 // request is one submitted query.
@@ -62,7 +75,22 @@ type response struct {
 	ID    string `json:"id"`
 	Hits  []hit  `json:"hits"`
 	Error string `json:"error,omitempty"`
+	// Code classifies the error so clients can react mechanically
+	// (retry with backoff on overloaded/unavailable, fix the request on
+	// bad_request/too_large, give up on internal).
+	Code string `json:"code,omitempty"`
 }
+
+// Machine-readable error codes, in the spirit of the matching HTTP
+// statuses (400, 413, 429, 503, 500).
+const (
+	codeBadRequest  = "bad_request"
+	codeTooLarge    = "too_large"
+	codeOverloaded  = "overloaded"
+	codeUnavailable = "unavailable"
+	codeShutdown    = "shutting_down"
+	codeInternal    = "internal"
+)
 
 func main() {
 	var (
@@ -78,6 +106,10 @@ func main() {
 		reqTimeout = flag.Duration("request-timeout", 30*time.Second, "per-batch compute deadline (0 disables)")
 		maxConns   = flag.Int("max-conns", 256, "maximum concurrent client connections")
 		idle       = flag.Duration("idle-timeout", 2*time.Minute, "per-connection read deadline (0 disables)")
+		maxSeq     = flag.Int("max-seq", 100000, "maximum query residues per request (0 disables)")
+		maxBody    = flag.Int("max-body", 8<<20, "maximum request line size in bytes")
+		brkFails   = flag.Int("breaker-failures", 3, "consecutive batch failures that open the circuit breaker")
+		brkCool    = flag.Duration("breaker-cooldown", 5*time.Second, "circuit-breaker open duration before a probe batch")
 		admin      = flag.String("admin", "", "opt-in admin address serving /debug/vars and pprof")
 		timeout    = flag.Duration("timeout", 30*time.Second, "client-mode dial and I/O deadline (0 disables)")
 	)
@@ -86,11 +118,16 @@ func main() {
 	switch {
 	case *listen != "":
 		runServer(*listen, *dbPath, *genDB, *threads, *admin, serverConfig{
-			batchSize:  *batch,
-			window:     *window,
-			reqTimeout: *reqTimeout,
-			maxConns:   *maxConns,
-			idle:       *idle,
+			batchSize:     *batch,
+			window:        *window,
+			reqTimeout:    *reqTimeout,
+			maxConns:      *maxConns,
+			idle:          *idle,
+			maxSeq:        *maxSeq,
+			maxBody:       *maxBody,
+			breakFails:    *brkFails,
+			breakCooldown: *brkCool,
+			threads:       *threads,
 		})
 	case *connect != "":
 		os.Exit(runClient(*connect, *query, *top, *timeout))
@@ -108,11 +145,16 @@ type pending struct {
 
 // serverConfig bundles the hardening knobs.
 type serverConfig struct {
-	batchSize  int
-	window     time.Duration
-	reqTimeout time.Duration // per-batch compute deadline, 0 = none
-	maxConns   int
-	idle       time.Duration // per-connection read deadline, 0 = none
+	batchSize     int
+	window        time.Duration
+	reqTimeout    time.Duration // per-batch compute deadline, 0 = none
+	maxConns      int
+	idle          time.Duration // per-connection read deadline, 0 = none
+	maxSeq        int           // max residues per query, 0 = none
+	maxBody       int           // max request line bytes, 0 = default
+	breakFails    int           // breaker threshold, 0 = default
+	breakCooldown time.Duration // breaker cooldown, 0 = default
+	threads       int           // worker threads, informs the degraded aligner
 }
 
 // server accumulates client queries into batches and aligns them. Its
@@ -122,9 +164,15 @@ type serverConfig struct {
 // whatever the accumulation window was holding (the flush), replies
 // flow back, and the connection writers finish.
 type server struct {
-	al  *swvec.Aligner
-	db  []swvec.Sequence
-	cfg serverConfig
+	al *swvec.Aligner
+	// alDeg is the reduced-capacity aligner batches fall back to under
+	// queue pressure: fewer threads and a depth-1, 256-bit pipeline cap
+	// the compute layer's memory and CPU footprint so the server keeps
+	// absorbing and shedding load instead of thrashing.
+	alDeg *swvec.Aligner
+	brk   *breaker
+	db    []swvec.Sequence
+	cfg   serverConfig
 
 	queue       chan pending
 	ln          net.Listener
@@ -148,8 +196,23 @@ func newServer(al *swvec.Aligner, db []swvec.Sequence, ln net.Listener, cfg serv
 	if cfg.maxConns < 1 {
 		cfg.maxConns = 1
 	}
+	if cfg.maxBody <= 0 {
+		cfg.maxBody = 8 << 20
+	}
+	if cfg.breakFails <= 0 {
+		cfg.breakFails = 3
+	}
+	if cfg.breakCooldown <= 0 {
+		cfg.breakCooldown = 5 * time.Second
+	}
+	alDeg := newDegradedAligner(cfg.threads)
+	if alDeg == nil {
+		alDeg = al
+	}
 	return &server{
 		al:          al,
+		alDeg:       alDeg,
+		brk:         newBreaker(cfg.breakFails, cfg.breakCooldown),
 		db:          db,
 		ln:          ln,
 		cfg:         cfg,
@@ -159,6 +222,31 @@ func newServer(al *swvec.Aligner, db []swvec.Sequence, ln net.Listener, cfg serv
 		conns:       map[net.Conn]struct{}{},
 		logf:        log.Printf,
 	}
+}
+
+// newDegradedAligner builds the degraded-mode aligner: half the
+// configured threads (at least one), a depth-1 pipeline, and the
+// 256-bit width. Scores are identical to the primary aligner's — only
+// throughput and footprint shrink.
+func newDegradedAligner(threads int) *swvec.Aligner {
+	n := threads
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	n /= 2
+	if n < 1 {
+		n = 1
+	}
+	al, err := swvec.New(
+		swvec.WithThreads(n),
+		swvec.WithPipelineDepth(1),
+		swvec.WithVectorWidth(256),
+		swvec.WithLengthSortedBatches(),
+	)
+	if err != nil {
+		return nil
+	}
+	return al
 }
 
 // serve accepts connections on the server's listener until Shutdown
@@ -317,8 +405,18 @@ func (s *server) batcher() {
 
 // process aligns one accumulated batch under the per-request deadline
 // and answers every query, including per-request errors when the
-// compute is cut short.
+// compute is cut short. It is also where the overload protections bind
+// to the compute layer: an open circuit breaker refuses the batch
+// outright, queue pressure switches to the degraded aligner, and the
+// batch's outcome feeds the breaker.
 func (s *server) process(batch []pending) {
+	if !s.brk.allow() {
+		metrics.Global.BreakerRejected.Add(int64(len(batch)))
+		for _, p := range batch {
+			p.reply <- response{ID: p.req.ID, Error: "service unavailable: circuit breaker open", Code: codeUnavailable}
+		}
+		return
+	}
 	queries := make([][]byte, len(batch))
 	for i, p := range batch {
 		queries[i] = []byte(p.req.Residues)
@@ -329,18 +427,33 @@ func (s *server) process(batch []pending) {
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.reqTimeout)
 		defer cancel()
 	}
-	res, err := s.al.SearchAllContext(ctx, queries, s.db)
+	al := s.al
+	degraded := false
+	if q := len(s.queue); q >= 3*cap(s.queue)/4 {
+		// Sustained pressure: the queue is still three-quarters full
+		// after accumulation. Cap the compute footprint so connection
+		// handling and shedding stay responsive.
+		al, degraded = s.alDeg, true
+		metrics.Global.Degraded.Add(1)
+		s.logf("level=warn event=degraded queue_len=%d queue_cap=%d", q, cap(s.queue))
+	}
+	res, err := searchBatch(ctx, al, queries, s.db)
 	if err != nil {
+		if s.brk.onFailure() {
+			metrics.Global.BreakerTrips.Add(1)
+			s.logf("level=warn event=breaker_open failures=%d cooldown=%s", s.cfg.breakFails, s.cfg.breakCooldown)
+		}
 		s.logf("level=error event=batch queries=%d queue_len=%d err=%q",
 			len(batch), len(s.queue), err)
 		for _, p := range batch {
-			p.reply <- response{ID: p.req.ID, Error: err.Error()}
+			p.reply <- response{ID: p.req.ID, Error: err.Error(), Code: codeInternal}
 		}
 		return
 	}
-	s.logf("level=info event=batch queries=%d cells=%d elapsed_ms=%.1f gcups=%.3f rescued=%d queue_len=%d",
+	s.brk.onSuccess()
+	s.logf("level=info event=batch queries=%d cells=%d elapsed_ms=%.1f gcups=%.3f rescued=%d quarantined=%d degraded=%t queue_len=%d",
 		len(batch), res.Cells, float64(res.Elapsed.Microseconds())/1000, res.GCUPS(),
-		res.Rescued, len(s.queue))
+		res.Rescued, len(res.Quarantined), degraded, len(s.queue))
 	for qi, p := range batch {
 		n := p.req.Top
 		if n <= 0 {
@@ -363,16 +476,38 @@ func (s *server) process(batch []pending) {
 	}
 }
 
+// searchBatch is the breaker-guarded compute call, with a fault
+// injection site for the chaos suite.
+func searchBatch(ctx context.Context, al *swvec.Aligner, queries [][]byte, db []swvec.Sequence) (*swvec.MultiSearchResult, error) {
+	if err := failpoint.Inject("swserver/search"); err != nil {
+		return nil, err
+	}
+	return al.SearchAllContext(ctx, queries, db)
+}
+
 // serveConn reads newline-delimited JSON requests until the client
 // disconnects, the idle deadline expires, or shutdown expires the read
 // deadline, then waits for every outstanding reply before closing.
+// Admission control happens here, before a request can occupy a queue
+// slot: oversized or invalid requests are refused with structured
+// errors, an open circuit breaker fast-rejects, and a full queue sheds
+// the request immediately instead of stalling the connection.
 func (s *server) serveConn(conn net.Conn) {
 	defer conn.Close()
+	initial := 64 << 10
+	if initial > s.cfg.maxBody {
+		initial = s.cfg.maxBody
+	}
 	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	sc.Buffer(make([]byte, initial), s.cfg.maxBody)
 	enc := json.NewEncoder(conn)
 	var mu sync.Mutex
 	var wg sync.WaitGroup
+	respond := func(resp response) {
+		mu.Lock()
+		enc.Encode(resp)
+		mu.Unlock()
+	}
 	readsDone := false
 	for {
 		if s.isShutdown() {
@@ -381,13 +516,38 @@ func (s *server) serveConn(conn net.Conn) {
 			conn.SetReadDeadline(time.Now().Add(s.cfg.idle))
 		}
 		if !sc.Scan() {
+			if errors.Is(sc.Err(), bufio.ErrTooLong) {
+				// The scanner cannot resynchronize mid-line, so report
+				// the limit and drop the connection.
+				metrics.Global.Oversized.Add(1)
+				respond(response{Error: fmt.Sprintf("request exceeds %d-byte line limit", s.cfg.maxBody), Code: codeTooLarge})
+			}
 			break
 		}
 		var req request
 		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
-			mu.Lock()
-			enc.Encode(response{Error: fmt.Sprintf("bad request: %v", err)})
-			mu.Unlock()
+			respond(response{Error: fmt.Sprintf("bad request: %v", err), Code: codeBadRequest})
+			continue
+		}
+		if err := failpoint.Inject("swserver/request"); err != nil {
+			respond(response{ID: req.ID, Error: err.Error(), Code: codeInternal})
+			continue
+		}
+		if s.cfg.maxSeq > 0 && len(req.Residues) > s.cfg.maxSeq {
+			metrics.Global.Oversized.Add(1)
+			respond(response{ID: req.ID, Error: fmt.Sprintf("query has %d residues, limit is %d", len(req.Residues), s.cfg.maxSeq), Code: codeTooLarge})
+			continue
+		}
+		if err := s.al.ValidateSequence([]byte(req.Residues)); err != nil {
+			// Reject at admission so one bad query cannot poison the
+			// batch it would have joined.
+			metrics.Global.Malformed.Add(1)
+			respond(response{ID: req.ID, Error: err.Error(), Code: codeBadRequest})
+			continue
+		}
+		if s.brk.rejecting() {
+			metrics.Global.BreakerRejected.Add(1)
+			respond(response{ID: req.ID, Error: "service unavailable: circuit breaker open", Code: codeUnavailable})
 			continue
 		}
 		reply := make(chan response, 1)
@@ -396,12 +556,16 @@ func (s *server) serveConn(conn net.Conn) {
 		case <-s.closed:
 			// Shutdown already began; the queue may close at any
 			// moment, so refuse instead of racing the close.
-			mu.Lock()
-			enc.Encode(response{ID: req.ID, Error: "server shutting down"})
-			mu.Unlock()
+			respond(response{ID: req.ID, Error: "server shutting down", Code: codeShutdown})
 			s.readWG.Done()
 			readsDone = true
-			break
+		default:
+			// Queue full: shed now rather than block the read loop
+			// behind compute that is already saturated.
+			metrics.Global.Shed.Add(1)
+			s.logf("level=warn event=shed queue_len=%d", len(s.queue))
+			respond(response{ID: req.ID, Error: "server overloaded: request queue full", Code: codeOverloaded})
+			continue
 		}
 		if readsDone {
 			break
@@ -453,12 +617,18 @@ func runServer(addr, dbPath string, genDB, threads int, admin string, cfg server
 		if err != nil {
 			fatal("%v", err)
 		}
-		var rerr error
-		db, rerr = swvec.ReadFasta(f)
+		seqs, rep, rerr := swvec.DecodeFasta(f, swvec.DecodeOptions{})
 		f.Close()
 		if rerr != nil {
 			fatal("%v", rerr)
 		}
+		if len(rep.Skipped) > 0 {
+			metrics.Global.Malformed.Add(int64(rep.Malformed))
+			metrics.Global.Oversized.Add(int64(rep.Oversized))
+			log.Printf("level=warn event=db_skipped records=%d malformed=%d oversized=%d",
+				len(rep.Skipped), rep.Malformed, rep.Oversized)
+		}
+		db = seqs
 	}
 	al, err := swvec.New(swvec.WithThreads(threads), swvec.WithLengthSortedBatches())
 	if err != nil {

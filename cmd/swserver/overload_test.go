@@ -1,0 +1,287 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"testing"
+	"time"
+
+	"swvec"
+)
+
+// startServerWithConfig is startTestServer with the overload knobs
+// exposed.
+func startServerWithConfig(t *testing.T, db []swvec.Sequence, cfg serverConfig) (*server, string) {
+	t.Helper()
+	al, err := swvec.New(swvec.WithThreads(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(al, db, ln, cfg)
+	srv.logf = t.Logf
+	go srv.serve()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return srv, ln.Addr().String()
+}
+
+// testClient is a sequential request/response JSON client.
+type testClient struct {
+	t    *testing.T
+	conn net.Conn
+	enc  *json.Encoder
+	dec  *json.Decoder
+}
+
+func dialTest(t *testing.T, addr string) *testClient {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &testClient{t: t, conn: conn, enc: json.NewEncoder(conn), dec: json.NewDecoder(conn)}
+}
+
+func (c *testClient) roundTrip(req request) response {
+	c.t.Helper()
+	if err := c.enc.Encode(req); err != nil {
+		c.t.Fatal(err)
+	}
+	c.conn.SetReadDeadline(time.Now().Add(15 * time.Second))
+	var resp response
+	if err := c.dec.Decode(&resp); err != nil {
+		c.t.Fatal(err)
+	}
+	return resp
+}
+
+// TestBreakerStateMachine walks the circuit breaker through every
+// transition with a fake clock.
+func TestBreakerStateMachine(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := newBreaker(2, time.Second)
+	b.now = func() time.Time { return now }
+
+	if !b.allow() || b.rejecting() {
+		t.Fatal("new breaker must be closed")
+	}
+	if b.onFailure() {
+		t.Fatal("first failure must not trip a threshold-2 breaker")
+	}
+	if !b.onFailure() {
+		t.Fatal("second consecutive failure must trip")
+	}
+	if b.allow() {
+		t.Fatal("open breaker admitted a batch")
+	}
+	if !b.rejecting() {
+		t.Fatal("open breaker not fast-rejecting at admission")
+	}
+
+	now = now.Add(2 * time.Second)
+	if b.rejecting() {
+		t.Fatal("cooled-down breaker still fast-rejecting")
+	}
+	if !b.allow() {
+		t.Fatal("cooled-down breaker refused the probe")
+	}
+	if b.allow() {
+		t.Fatal("second batch admitted while the probe is in flight")
+	}
+	if !b.rejecting() {
+		t.Fatal("half-open breaker with probe in flight must fast-reject")
+	}
+	if !b.onFailure() {
+		t.Fatal("failed probe must re-trip")
+	}
+	if b.allow() {
+		t.Fatal("re-opened breaker admitted a batch")
+	}
+
+	now = now.Add(2 * time.Second)
+	if !b.allow() {
+		t.Fatal("second probe refused after cooldown")
+	}
+	b.onSuccess()
+	if !b.allow() || b.rejecting() {
+		t.Fatal("probe success must close the breaker")
+	}
+	if b.onFailure() {
+		t.Fatal("failure streak must have been reset by the success")
+	}
+}
+
+// TestServerShedsWhenQueueFull drives serveConn over a pipe against a
+// server whose queue is already at capacity (no batcher draining it):
+// the request must be refused immediately with the overloaded code,
+// not block the read loop.
+func TestServerShedsWhenQueueFull(t *testing.T) {
+	al, err := swvec.New(swvec.WithThreads(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := swvec.GenerateDatabase(50, 4)
+	srv := newServer(al, db, nil, serverConfig{batchSize: 1})
+	srv.logf = t.Logf
+	for i := 0; i < cap(srv.queue); i++ {
+		srv.queue <- pending{req: request{ID: "parked"}, reply: make(chan response, 1)}
+	}
+	shedBefore := swvec.GlobalStats().Shed
+
+	client, serverSide := net.Pipe()
+	defer client.Close()
+	srv.readWG.Add(1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.serveConn(serverSide)
+	}()
+
+	if err := json.NewEncoder(client).Encode(request{ID: "shed-me", Residues: "MKVLAW"}); err != nil {
+		t.Fatal(err)
+	}
+	var resp response
+	if err := json.NewDecoder(client).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Code != codeOverloaded {
+		t.Fatalf("response = %+v, want code %q", resp, codeOverloaded)
+	}
+	if got := swvec.GlobalStats().Shed; got != shedBefore+1 {
+		t.Errorf("Shed counter went %d -> %d, want +1", shedBefore, got)
+	}
+	client.Close()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("serveConn did not return after the client hung up")
+	}
+}
+
+// TestServerRejectsOversizedSequence: a query past -max-seq gets a
+// structured too_large refusal and never reaches the compute queue.
+func TestServerRejectsOversizedSequence(t *testing.T) {
+	db := swvec.GenerateDatabase(51, 8)
+	_, addr := startServerWithConfig(t, db, serverConfig{
+		batchSize: 2, window: 20 * time.Millisecond, reqTimeout: 30 * time.Second,
+		maxConns: 4, idle: time.Minute, maxSeq: 50,
+	})
+	c := dialTest(t, addr)
+
+	big := make([]byte, 100)
+	for i := range big {
+		big[i] = 'M'
+	}
+	resp := c.roundTrip(request{ID: "big", Residues: string(big)})
+	if resp.Code != codeTooLarge || resp.Error == "" {
+		t.Fatalf("oversized query got %+v, want code %q", resp, codeTooLarge)
+	}
+
+	// The connection stays usable and an in-limit query still works.
+	frag := db[0].Residues
+	if len(frag) > 50 {
+		frag = frag[:50]
+	}
+	resp = c.roundTrip(request{ID: "ok", Residues: string(frag), Top: 1})
+	if resp.Error != "" || len(resp.Hits) == 0 {
+		t.Fatalf("in-limit query got %+v", resp)
+	}
+}
+
+// TestServerBodyLimit: a request line past -max-body gets a too_large
+// refusal and the connection is dropped (the scanner cannot recover
+// mid-line).
+func TestServerBodyLimit(t *testing.T) {
+	db := swvec.GenerateDatabase(52, 8)
+	_, addr := startServerWithConfig(t, db, serverConfig{
+		batchSize: 2, window: 20 * time.Millisecond, reqTimeout: 30 * time.Second,
+		maxConns: 4, idle: time.Minute, maxBody: 4096,
+	})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	line := make([]byte, 8192)
+	for i := range line {
+		line[i] = 'x'
+	}
+	line[len(line)-1] = '\n'
+	// The server may close mid-write once the limit trips; the refusal
+	// is still queued for us, so a write error here is fine.
+	conn.Write(line)
+
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	var resp response
+	if err := json.NewDecoder(conn).Decode(&resp); err != nil {
+		t.Fatalf("no structured refusal before close: %v", err)
+	}
+	if resp.Code != codeTooLarge {
+		t.Fatalf("response = %+v, want code %q", resp, codeTooLarge)
+	}
+}
+
+// TestServerRejectsInvalidResiduesCode upgrades the existing invalid
+// residue check: the refusal must carry the bad_request code and must
+// not poison other queries batched in the same window.
+func TestServerRejectsInvalidResiduesCode(t *testing.T) {
+	db := swvec.GenerateDatabase(53, 8)
+	_, addr := startServerWithConfig(t, db, serverConfig{
+		batchSize: 2, window: 20 * time.Millisecond, reqTimeout: 30 * time.Second,
+		maxConns: 4, idle: time.Minute,
+	})
+	c := dialTest(t, addr)
+	resp := c.roundTrip(request{ID: "bad", Residues: "MK1VLAW"})
+	if resp.Code != codeBadRequest {
+		t.Fatalf("invalid residues got %+v, want code %q", resp, codeBadRequest)
+	}
+	frag := db[1].Residues[:40]
+	resp = c.roundTrip(request{ID: "good", Residues: string(frag), Top: 1})
+	if resp.Error != "" || len(resp.Hits) == 0 {
+		t.Fatalf("valid query after a rejected one got %+v", resp)
+	}
+}
+
+// TestServerDegradedModeUnderPressure calls process directly with the
+// queue held at three quarters full: the batch must run on the
+// degraded aligner (counted) and still answer correctly.
+func TestServerDegradedModeUnderPressure(t *testing.T) {
+	al, err := swvec.New(swvec.WithThreads(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := swvec.GenerateDatabase(54, 16)
+	srv := newServer(al, db, nil, serverConfig{batchSize: 1, reqTimeout: 30 * time.Second})
+	srv.logf = t.Logf
+	for i := 0; i < 3*cap(srv.queue)/4; i++ {
+		srv.queue <- pending{req: request{ID: "parked"}, reply: make(chan response, 1)}
+	}
+	before := swvec.GlobalStats().Degraded
+
+	frag := db[2].Residues
+	if len(frag) > 60 {
+		frag = frag[:60]
+	}
+	reply := make(chan response, 1)
+	srv.process([]pending{{req: request{ID: "q", Residues: string(frag), Top: 1}, reply: reply}})
+	resp := <-reply
+	if resp.Error != "" {
+		t.Fatalf("degraded batch failed: %+v", resp)
+	}
+	if len(resp.Hits) == 0 || resp.Hits[0].SeqID != db[2].ID {
+		t.Fatalf("degraded batch hits = %+v, want self top hit", resp.Hits)
+	}
+	if got := swvec.GlobalStats().Degraded; got != before+1 {
+		t.Errorf("Degraded counter went %d -> %d, want +1", before, got)
+	}
+}

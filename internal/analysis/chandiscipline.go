@@ -17,10 +17,13 @@ var ChanDiscipline = &Analyzer{
 
 Every go statement must start the launched body with
 "defer wg.Done()" on a sync.WaitGroup, so no pipeline goroutine can
-outlive its Wait. Every WaitGroup with an Add must have a matching
-Done and Wait (and vice versa). Every channel created with make(chan)
-in the package and sent on must be closed in exactly one place — the
-producer — and never in two.`,
+outlive its Wait, and must install a deferred recover guard (a
+deferred function literal or package-local function that calls
+recover directly), so a panic in a stage worker fails the search
+instead of crashing the process. Every WaitGroup with an Add must
+have a matching Done and Wait (and vice versa). Every channel created
+with make(chan) in the package and sent on must be closed in exactly
+one place — the producer — and never in two.`,
 	Run: runChanDiscipline,
 }
 
@@ -52,6 +55,9 @@ func checkGoStmts(pass *Pass, decls map[*types.Func]*ast.FuncDecl) {
 			}
 			if !startsWithDeferDone(pass, body) {
 				pass.Reportf(g.Pos(), "goroutine must begin with `defer wg.Done()` on a sync.WaitGroup so it cannot leak past Wait")
+			}
+			if !hasRecoverGuard(pass, decls, body) {
+				pass.Reportf(g.Pos(), "goroutine has no deferred recover guard; a panic inside it crashes the process instead of failing the search")
 			}
 			return true
 		})
@@ -86,6 +92,67 @@ func startsWithDeferDone(pass *Pass, body *ast.BlockStmt) bool {
 		return false
 	}
 	return isWaitGroup(pass.TypesInfo.TypeOf(sel.X))
+}
+
+// hasRecoverGuard reports whether body installs a deferred recover
+// guard anywhere: a defer whose target recovers. Defers inside nested
+// function literals do not count — they guard that closure's frame,
+// not the goroutine's.
+func hasRecoverGuard(pass *Pass, decls map[*types.Func]*ast.FuncDecl, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			if deferRecovers(pass, decls, n.Call) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// deferRecovers reports whether a deferred call recovers: a function
+// literal calling recover directly, or a package-local function or
+// method whose body does.
+func deferRecovers(pass *Pass, decls map[*types.Func]*ast.FuncDecl, call *ast.CallExpr) bool {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return callsRecover(pass, lit.Body)
+	}
+	if f := callee(pass.TypesInfo, call); f != nil && f.Pkg() == pass.Pkg {
+		if fd := decls[f]; fd != nil {
+			return callsRecover(pass, fd.Body)
+		}
+	}
+	return false
+}
+
+// callsRecover reports whether body calls the recover builtin
+// directly — not inside a nested function literal, where it would run
+// in the wrong frame and could not stop an unwinding panic.
+func callsRecover(pass *Pass, body *ast.BlockStmt) bool {
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && isBuiltin(pass.TypesInfo, call, "recover") {
+			found = true
+		}
+		return true
+	})
+	return found
 }
 
 // wgUse tracks which of Add/Done/Wait a WaitGroup object has in the

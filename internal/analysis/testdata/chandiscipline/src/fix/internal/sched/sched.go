@@ -1,12 +1,14 @@
 // Package sched is the chandiscipline fixture: goroutine launches with
-// and without WaitGroup tracking, unbalanced WaitGroups, and channels
-// that violate the producer-close discipline.
+// and without WaitGroup tracking, with and without recover guards,
+// unbalanced WaitGroups, and channels that violate the producer-close
+// discipline.
 package sched
 
 import "sync"
 
 // pool is the compliant shape: every goroutine starts with a deferred
-// Done, the owned channel is closed exactly once by its producer.
+// Done and installs a recover guard, the owned channel is closed
+// exactly once by its producer.
 type pool struct {
 	wg   sync.WaitGroup
 	work chan int
@@ -21,6 +23,7 @@ func (p *pool) run() {
 	go p.produce()
 	go func() {
 		defer p.wg.Done()
+		defer func() { recover() }()
 		for range p.work {
 		}
 	}()
@@ -29,16 +32,42 @@ func (p *pool) run() {
 
 func (p *pool) produce() {
 	defer p.wg.Done()
+	defer p.guard()
 	p.work <- 1
 	close(p.work)
 }
 
+// guard is the method-valued recover guard shape: the rule must follow
+// the deferred call to this package-local method and find the recover.
+func (p *pool) guard() {
+	recover()
+}
+
+var guardWG sync.WaitGroup
+
+// guardedNamed launches a named function whose guard is a deferred
+// package-local free function.
+func guardedNamed() {
+	guardWG.Add(1)
+	go guardedBody()
+	guardWG.Wait()
+}
+
+func guardedBody() {
+	defer guardWG.Done()
+	defer rescue()
+}
+
+func rescue() {
+	recover()
+}
+
 func untracked() {
-	go func() {}() // want "goroutine must begin with"
+	go func() {}() // want "goroutine must begin with" // want "no deferred recover guard"
 }
 
 func untrackedNamed() {
-	go namedBody() // want "goroutine must begin with"
+	go namedBody() // want "goroutine must begin with" // want "no deferred recover guard"
 }
 
 func namedBody() {}
@@ -64,11 +93,31 @@ var noWaitWG sync.WaitGroup
 
 func noWait() {
 	noWaitWG.Add(1) // want "Added to but never Waited on"
-	go noWaitBody()
+	go noWaitBody() // want "no deferred recover guard"
 }
 
 func noWaitBody() {
 	defer noWaitWG.Done()
+}
+
+var nestedWG sync.WaitGroup
+
+// nestedRecover defers a function whose only recover sits inside a
+// nested closure: it runs in the wrong frame, so it is not a guard.
+func nestedRecover() {
+	nestedWG.Add(1)
+	go nestedBody() // want "no deferred recover guard"
+	nestedWG.Wait()
+}
+
+func nestedBody() {
+	defer nestedWG.Done()
+	defer fakeGuard()
+}
+
+func fakeGuard() {
+	f := func() { recover() }
+	_ = f
 }
 
 func doubleClose() {
@@ -91,5 +140,5 @@ func alias(src chan int) {
 
 func suppressedLaunch() {
 	//swlint:ignore chandiscipline process-lifetime monitor, reaped at exit
-	go func() {}() // wantsup "goroutine must begin with"
+	go func() {}() // wantsup "goroutine must begin with" // wantsup "no deferred recover guard"
 }

@@ -1,0 +1,139 @@
+//go:build failpoint
+
+package failpoint
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Enabled reports whether the build carries the failpoint machinery.
+// Tests that pin allocation budgets of the default build can skip when
+// it is set.
+const Enabled = true
+
+// site is one armed injection point.
+type site struct {
+	spec  Spec
+	evals atomic.Int64 // Inject evaluations, for the `after` modifier
+	fires atomic.Int64 // actions fired, for the `first` modifier
+}
+
+var (
+	mu    sync.RWMutex
+	sites = map[string]*site{}
+	rng   = rand.New(rand.NewSource(time.Now().UnixNano()))
+	rngMu sync.Mutex
+)
+
+func init() {
+	if env := os.Getenv("SWVEC_FAILPOINTS"); env != "" {
+		if err := EnableFromEnv(env); err != nil {
+			fmt.Fprintf(os.Stderr, "failpoint: ignoring SWVEC_FAILPOINTS: %v\n", err)
+		}
+	}
+}
+
+// EnableFromEnv arms every name=spec pair in the semicolon-separated
+// list (the SWVEC_FAILPOINTS format).
+func EnableFromEnv(list string) error {
+	for _, pair := range strings.Split(list, ";") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		eq := strings.IndexByte(pair, '=')
+		if eq <= 0 {
+			return fmt.Errorf("failpoint: bad pair %q (want name=spec)", pair)
+		}
+		if err := Enable(pair[:eq], pair[eq+1:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Enable arms the named site with a parsed spec, replacing any
+// previous one and resetting its counters.
+func Enable(name, specStr string) error {
+	spec, err := ParseSpec(specStr)
+	if err != nil {
+		return err
+	}
+	mu.Lock()
+	sites[name] = &site{spec: spec}
+	mu.Unlock()
+	return nil
+}
+
+// Disable disarms the named site.
+func Disable(name string) {
+	mu.Lock()
+	delete(sites, name)
+	mu.Unlock()
+}
+
+// DisableAll disarms every site; chaos tests call it between cases.
+func DisableAll() {
+	mu.Lock()
+	sites = map[string]*site{}
+	mu.Unlock()
+}
+
+// Fired returns how many times the named site has fired its action.
+func Fired(name string) int64 {
+	mu.RLock()
+	s := sites[name]
+	mu.RUnlock()
+	if s == nil {
+		return 0
+	}
+	return s.fires.Load()
+}
+
+// Inject evaluates the named site: it returns an injected error,
+// panics, or sleeps according to the armed spec, or returns nil when
+// the site is disarmed or its trigger does not fire.
+func Inject(name string) error {
+	mu.RLock()
+	s := sites[name]
+	mu.RUnlock()
+	if s == nil || s.spec.Action == ActOff {
+		return nil
+	}
+	n := s.evals.Add(1)
+	if n <= s.spec.After {
+		return nil
+	}
+	if s.spec.Prob < 1 {
+		rngMu.Lock()
+		roll := rng.Float64()
+		rngMu.Unlock()
+		if roll >= s.spec.Prob {
+			return nil
+		}
+	}
+	for {
+		f := s.fires.Load()
+		if s.spec.First > 0 && f >= s.spec.First {
+			return nil
+		}
+		if s.fires.CompareAndSwap(f, f+1) {
+			break
+		}
+	}
+	switch s.spec.Action {
+	case ActError:
+		return &Error{Site: name, Msg: s.spec.Msg, IsTransient: s.spec.Transient}
+	case ActPanic:
+		panic(&Error{Site: name, Msg: s.spec.Msg})
+	case ActDelay:
+		time.Sleep(s.spec.Delay)
+	}
+	return nil
+}

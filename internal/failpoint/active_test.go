@@ -1,0 +1,113 @@
+//go:build failpoint
+
+package failpoint
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestInjectError(t *testing.T) {
+	defer DisableAll()
+	if err := Enable("t/err", "error(boom):transient"); err != nil {
+		t.Fatal(err)
+	}
+	err := Inject("t/err")
+	var fe *Error
+	if !errors.As(err, &fe) {
+		t.Fatalf("Inject = %v, want *Error", err)
+	}
+	if fe.Site != "t/err" || fe.Msg != "boom" || !fe.Transient() {
+		t.Fatalf("unexpected error %+v", fe)
+	}
+	if Fired("t/err") != 1 {
+		t.Fatalf("Fired = %d, want 1", Fired("t/err"))
+	}
+	Disable("t/err")
+	if err := Inject("t/err"); err != nil {
+		t.Fatalf("disabled site still fires: %v", err)
+	}
+}
+
+func TestInjectPanic(t *testing.T) {
+	defer DisableAll()
+	if err := Enable("t/panic", "panic(kernel)"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic")
+		}
+		fe, ok := r.(*Error)
+		if !ok || fe.Msg != "kernel" {
+			t.Fatalf("panicked with %v", r)
+		}
+	}()
+	Inject("t/panic")
+}
+
+func TestInjectFirstAndAfter(t *testing.T) {
+	defer DisableAll()
+	if err := Enable("t/fa", "error(x):after=2:first=3"); err != nil {
+		t.Fatal(err)
+	}
+	var fails int
+	for i := 0; i < 10; i++ {
+		if Inject("t/fa") != nil {
+			fails++
+			if i < 2 {
+				t.Fatalf("fired during the after window (i=%d)", i)
+			}
+		}
+	}
+	if fails != 3 {
+		t.Fatalf("fired %d times, want 3", fails)
+	}
+	if Fired("t/fa") != 3 {
+		t.Fatalf("Fired = %d, want 3", Fired("t/fa"))
+	}
+}
+
+func TestInjectDelay(t *testing.T) {
+	defer DisableAll()
+	if err := Enable("t/delay", "delay(30ms):first=1"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := Inject("t/delay"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("delay slept only %v", d)
+	}
+}
+
+func TestInjectProbabilityZero(t *testing.T) {
+	defer DisableAll()
+	if err := Enable("t/p0", "error(x):p=0"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if Inject("t/p0") != nil {
+			t.Fatal("p=0 fired")
+		}
+	}
+}
+
+func TestEnableFromEnv(t *testing.T) {
+	defer DisableAll()
+	if err := EnableFromEnv("t/a=error(one); t/b=delay(1ms):first=2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Inject("t/a"); err == nil {
+		t.Fatal("t/a not armed")
+	}
+	if err := EnableFromEnv("broken"); err == nil {
+		t.Fatal("bad pair accepted")
+	}
+	if err := EnableFromEnv("t/c=nonsense()"); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+}

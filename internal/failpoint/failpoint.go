@@ -1,0 +1,159 @@
+// Package failpoint is the fault-injection framework behind the
+// pipeline's chaos test suite (DESIGN.md §12). Code under test declares
+// named injection sites:
+//
+//	if err := failpoint.Inject("sched/align8"); err != nil { ... }
+//
+// In the default build (no `failpoint` build tag) Inject is a no-op
+// that the inliner removes, so production binaries carry zero hot-path
+// overhead. Under `go test -tags failpoint` each site consults a
+// registry of armed failures, activated either programmatically
+//
+//	failpoint.Enable("sched/align8", "error(boom):transient:first=2")
+//
+// or through the SWVEC_FAILPOINTS environment variable, a
+// semicolon-separated list of name=spec pairs:
+//
+//	SWVEC_FAILPOINTS='sched/align8=panic(kernel);seqio/fasta-record=error(corrupt):p=0.1'
+//
+// The spec grammar is
+//
+//	spec     := action *( ":" modifier )
+//	action   := "error(" msg ")" | "panic(" msg ")" | "delay(" duration ")" | "off"
+//	modifier := "p=" float | "first=" int | "after=" int | "transient"
+//
+// "p" fires the action with the given probability, "after" skips the
+// first N evaluations, "first" disarms the site after N firings, and
+// "transient" marks injected errors as retryable (they satisfy the
+// Transient() bool interface the scheduler's retry policy looks for).
+package failpoint
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Action is the kind of failure a spec injects.
+type Action int
+
+// The supported failure actions.
+const (
+	// ActOff parses but never fires; it exists so an env var can
+	// explicitly disarm a site another layer armed.
+	ActOff Action = iota
+	// ActError makes Inject return an *Error.
+	ActError
+	// ActPanic makes Inject panic with an *Error value.
+	ActPanic
+	// ActDelay makes Inject sleep for the configured duration.
+	ActDelay
+)
+
+// Spec is one parsed failure specification.
+type Spec struct {
+	Action Action
+	// Msg is the error/panic message for ActError and ActPanic.
+	Msg string
+	// Delay is the sleep duration for ActDelay.
+	Delay time.Duration
+	// Prob fires the action with this probability (1 = always).
+	Prob float64
+	// After skips the first After evaluations of the site.
+	After int64
+	// First disarms the site after it has fired First times
+	// (0 = unlimited).
+	First int64
+	// Transient marks injected errors as retryable.
+	Transient bool
+}
+
+// Error is an injected failure. It reports the site that produced it
+// and whether the scheduler's retry policy should treat it as
+// transient.
+type Error struct {
+	Site        string
+	Msg         string
+	IsTransient bool
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("failpoint %s: %s", e.Site, e.Msg)
+}
+
+// Transient reports whether the injected failure is retryable; the
+// scheduler's backoff policy checks for this method.
+func (e *Error) Transient() bool { return e.IsTransient }
+
+// ParseSpec parses the spec grammar documented on the package.
+func ParseSpec(s string) (Spec, error) {
+	parts := strings.Split(s, ":")
+	spec := Spec{Prob: 1}
+	action := strings.TrimSpace(parts[0])
+	arg := ""
+	if open := strings.IndexByte(action, '('); open >= 0 {
+		if !strings.HasSuffix(action, ")") {
+			return Spec{}, fmt.Errorf("failpoint: unbalanced parens in action %q", action)
+		}
+		arg = action[open+1 : len(action)-1]
+		action = action[:open]
+	}
+	switch action {
+	case "off":
+		spec.Action = ActOff
+	case "error":
+		spec.Action = ActError
+		spec.Msg = arg
+		if spec.Msg == "" {
+			spec.Msg = "injected error"
+		}
+	case "panic":
+		spec.Action = ActPanic
+		spec.Msg = arg
+		if spec.Msg == "" {
+			spec.Msg = "injected panic"
+		}
+	case "delay":
+		spec.Action = ActDelay
+		d, err := time.ParseDuration(arg)
+		if err != nil {
+			return Spec{}, fmt.Errorf("failpoint: bad delay %q: %v", arg, err)
+		}
+		if d < 0 {
+			return Spec{}, fmt.Errorf("failpoint: negative delay %q", arg)
+		}
+		spec.Delay = d
+	default:
+		return Spec{}, fmt.Errorf("failpoint: unknown action %q (want error, panic, delay, or off)", action)
+	}
+	for _, mod := range parts[1:] {
+		mod = strings.TrimSpace(mod)
+		switch {
+		case mod == "transient":
+			spec.Transient = true
+		case strings.HasPrefix(mod, "p="):
+			p, err := strconv.ParseFloat(mod[2:], 64)
+			if err != nil || p < 0 || p > 1 {
+				return Spec{}, fmt.Errorf("failpoint: bad probability %q (want [0,1])", mod)
+			}
+			spec.Prob = p
+		case strings.HasPrefix(mod, "first="):
+			n, err := strconv.ParseInt(mod[len("first="):], 10, 64)
+			if err != nil || n < 0 {
+				return Spec{}, fmt.Errorf("failpoint: bad modifier %q", mod)
+			}
+			spec.First = n
+		case strings.HasPrefix(mod, "after="):
+			n, err := strconv.ParseInt(mod[len("after="):], 10, 64)
+			if err != nil || n < 0 {
+				return Spec{}, fmt.Errorf("failpoint: bad modifier %q", mod)
+			}
+			spec.After = n
+		default:
+			return Spec{}, fmt.Errorf("failpoint: unknown modifier %q", mod)
+		}
+	}
+	return spec, nil
+}

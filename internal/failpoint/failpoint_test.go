@@ -1,0 +1,85 @@
+package failpoint
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Spec
+		bad  bool
+	}{
+		{in: "error(boom)", want: Spec{Action: ActError, Msg: "boom", Prob: 1}},
+		{in: "error()", want: Spec{Action: ActError, Msg: "injected error", Prob: 1}},
+		{in: "panic(kernel)", want: Spec{Action: ActPanic, Msg: "kernel", Prob: 1}},
+		{in: "delay(5ms)", want: Spec{Action: ActDelay, Delay: 5 * time.Millisecond, Prob: 1}},
+		{in: "off", want: Spec{Action: ActOff, Prob: 1}},
+		{in: "error(x):transient", want: Spec{Action: ActError, Msg: "x", Prob: 1, Transient: true}},
+		{in: "error(x):p=0.25", want: Spec{Action: ActError, Msg: "x", Prob: 0.25}},
+		{in: "error(x):first=3:after=2", want: Spec{Action: ActError, Msg: "x", Prob: 1, First: 3, After: 2}},
+		{in: "error(x):transient:p=1:first=1", want: Spec{Action: ActError, Msg: "x", Prob: 1, First: 1, Transient: true}},
+		{in: "explode", bad: true},
+		{in: "error(x", bad: true},
+		{in: "delay(fast)", bad: true},
+		{in: "delay(-1s)", bad: true},
+		{in: "error(x):p=2", bad: true},
+		{in: "error(x):first=-1", bad: true},
+		{in: "error(x):maybe", bad: true},
+	}
+	for _, c := range cases {
+		got, err := ParseSpec(c.in)
+		if c.bad {
+			if err == nil {
+				t.Errorf("ParseSpec(%q) accepted, want error", c.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestErrorTransient(t *testing.T) {
+	e := &Error{Site: "s", Msg: "m", IsTransient: true}
+	if e.Error() != "failpoint s: m" {
+		t.Errorf("Error() = %q", e.Error())
+	}
+	if !e.Transient() {
+		t.Error("Transient() = false, want true")
+	}
+	if (&Error{}).Transient() {
+		t.Error("zero Error is transient")
+	}
+}
+
+// TestInjectDisarmed holds in both builds: an unarmed site never
+// fails. Under the default build this also pins the no-op contract.
+func TestInjectDisarmed(t *testing.T) {
+	if err := Inject("no/such/site"); err != nil {
+		t.Fatalf("disarmed Inject returned %v", err)
+	}
+	if Fired("no/such/site") != 0 {
+		t.Fatal("disarmed site reports firings")
+	}
+}
+
+// TestEnableWithoutTag pins the default build's behavior: Enable
+// reports the missing build tag instead of silently arming nothing.
+func TestEnableWithoutTag(t *testing.T) {
+	if Enabled {
+		t.Skip("failpoint build: Enable is live")
+	}
+	if err := Enable("x", "error(boom)"); err == nil {
+		t.Fatal("Enable without the failpoint tag must error")
+	}
+	if err := Enable("x", "not-a-spec"); err == nil {
+		t.Fatal("Enable must still reject bad specs")
+	}
+}

@@ -1,0 +1,41 @@
+//go:build !failpoint
+
+package failpoint
+
+// Enabled reports whether the build carries the failpoint machinery.
+const Enabled = false
+
+// Inject is a no-op in the default build; the inliner removes the call
+// entirely, so injection sites cost nothing on the hot path.
+func Inject(name string) error { return nil }
+
+// Enable reports an error in the default build: arming a failpoint in
+// a binary compiled without the machinery is a misconfiguration the
+// caller should hear about, not a silent no-op.
+func Enable(name, spec string) error {
+	_, err := ParseSpec(spec)
+	if err != nil {
+		return err
+	}
+	return errNotBuilt
+}
+
+// EnableFromEnv reports an error in the default build; see Enable.
+func EnableFromEnv(list string) error { return errNotBuilt }
+
+// Disable is a no-op in the default build.
+func Disable(name string) {}
+
+// DisableAll is a no-op in the default build.
+func DisableAll() {}
+
+// Fired always reports zero in the default build.
+func Fired(name string) int64 { return 0 }
+
+type notBuiltError struct{}
+
+func (notBuiltError) Error() string {
+	return "failpoint: binary built without the failpoint tag"
+}
+
+var errNotBuilt = notBuiltError{}

@@ -1,0 +1,95 @@
+// Package leakcheck asserts that a test leaves no goroutines behind.
+// The search pipeline's contract is that no goroutine outlives its
+// entry point — even when canceled, crashed, or fault-injected — so
+// every Search/chaos test opens with leakcheck.Check(t).
+package leakcheck
+
+import (
+	"regexp"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// drainWindow is how long the cleanup polls for stragglers before
+// declaring a leak. Goroutines that are shutting down (a worker between
+// its last channel receive and its return) need a moment to exit.
+const drainWindow = 5 * time.Second
+
+// Check snapshots the goroutines running this module's code and
+// registers a cleanup that fails the test if new ones survive past the
+// drain window. Call it first thing in the test; it composes with
+// subtests (each gets its own baseline).
+func Check(t testing.TB) {
+	t.Helper()
+	before := moduleGoroutines()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(drainWindow)
+		var leaked []string
+		for {
+			leaked = diff(moduleGoroutines(), before)
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Errorf("leakcheck: %d goroutine(s) leaked:\n\n%s",
+			len(leaked), strings.Join(leaked, "\n\n"))
+	})
+}
+
+var (
+	// hexAddr scrubs stack-trace pointer arguments and frame offsets so
+	// the same parked goroutine hashes identically across snapshots.
+	hexAddr = regexp.MustCompile(`0x[0-9a-f]+`)
+	// goroutineID scrubs the header and "created by ... in goroutine N"
+	// trailers.
+	goroutineID = regexp.MustCompile(`goroutine \d+`)
+)
+
+// moduleGoroutines returns a multiset of normalized stacks for
+// goroutines executing this module's non-test code. Test-runner
+// goroutines (testing.tRunner frames) are excluded: the leak class
+// under test is pipeline goroutines, which are started with go and
+// carry a "created by swvec/..." frame instead.
+func moduleGoroutines() map[string]int {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	for n == len(buf) {
+		buf = make([]byte, 2*len(buf))
+		n = runtime.Stack(buf, true)
+	}
+	out := map[string]int{}
+	for _, g := range strings.Split(string(buf[:n]), "\n\n") {
+		if !strings.Contains(g, "swvec/") || strings.Contains(g, "testing.tRunner") {
+			continue
+		}
+		out[normalize(g)]++
+	}
+	return out
+}
+
+func normalize(stack string) string {
+	if i := strings.IndexByte(stack, '\n'); i >= 0 {
+		// Drop the "goroutine N [state]:" header — the state of a
+		// dying goroutine flaps between snapshots.
+		stack = stack[i+1:]
+	}
+	stack = hexAddr.ReplaceAllString(stack, "0x?")
+	return goroutineID.ReplaceAllString(stack, "goroutine ?")
+}
+
+// diff returns the stacks whose count grew relative to the baseline.
+func diff(after, before map[string]int) []string {
+	var out []string
+	for stack, n := range after {
+		for i := before[stack]; i < n; i++ {
+			out = append(out, stack)
+		}
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNormalizeScrubsVolatileParts(t *testing.T) {
+	a := "goroutine 7 [chan receive]:\nswvec/internal/sched.(*pipeline).worker(0xc000123400)\n\tsched.go:400 +0x1a4\ncreated by swvec/internal/sched.SearchContext in goroutine 12\n"
+	b := "goroutine 99 [select]:\nswvec/internal/sched.(*pipeline).worker(0xc000feed00)\n\tsched.go:400 +0x1a4\ncreated by swvec/internal/sched.SearchContext in goroutine 31\n"
+	if normalize(a) != normalize(b) {
+		t.Fatalf("same stack normalized differently:\n%q\n%q", normalize(a), normalize(b))
+	}
+}
+
+func TestDiffCountsGrowth(t *testing.T) {
+	before := map[string]int{"s1": 1, "s2": 2}
+	after := map[string]int{"s1": 3, "s2": 2, "s3": 1}
+	got := diff(after, before)
+	if len(got) != 3 {
+		t.Fatalf("diff = %v, want 2×s1 + 1×s3", got)
+	}
+	var s1, s3 int
+	for _, s := range got {
+		switch s {
+		case "s1":
+			s1++
+		case "s3":
+			s3++
+		default:
+			t.Fatalf("unexpected stack %q", s)
+		}
+	}
+	if s1 != 2 || s3 != 1 {
+		t.Fatalf("diff counts s1=%d s3=%d, want 2/1", s1, s3)
+	}
+}
+
+func TestModuleGoroutinesIgnoresTestRunner(t *testing.T) {
+	// This test itself runs swvec test code under testing.tRunner, so
+	// it must not count itself.
+	for stack := range moduleGoroutines() {
+		if strings.Contains(stack, "TestModuleGoroutinesIgnoresTestRunner") {
+			t.Fatalf("test-runner goroutine counted:\n%s", stack)
+		}
+	}
+}
+
+func TestCheckPassesOnCleanTest(t *testing.T) {
+	Check(t)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+	}()
+	<-done
+}

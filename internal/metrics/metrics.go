@@ -65,6 +65,29 @@ type Counters struct {
 	Stage8Nanos  atomic.Int64
 	Stage16Nanos atomic.Int64
 	Stage32Nanos atomic.Int64
+
+	// PanicsRecovered counts kernel panics the stage runners absorbed,
+	// Retries counts transient stage failures retried with backoff, and
+	// Quarantined counts database sequences isolated after a stage
+	// exhausted its retries (DESIGN.md §12).
+	PanicsRecovered atomic.Int64
+	Retries         atomic.Int64
+	Quarantined     atomic.Int64
+
+	// Malformed and Oversized count input records the lenient FASTA
+	// decoder skipped: syntactically broken records and records beyond
+	// the configured sequence-length cap.
+	Malformed atomic.Int64
+	Oversized atomic.Int64
+
+	// Shed, BreakerTrips, BreakerRejected, and Degraded count the
+	// server's overload responses: requests dropped at the admission
+	// gate, circuit-breaker opens, requests refused while it was open,
+	// and entries into degraded (reduced-width) mode.
+	Shed            atomic.Int64
+	BreakerTrips    atomic.Int64
+	BreakerRejected atomic.Int64
+	Degraded        atomic.Int64
 }
 
 // ObserveQueueDepth raises QueueHighWater to depth if it is a new
@@ -100,6 +123,15 @@ func (c *Counters) Snapshot() Snapshot {
 		Stage8Nanos:     c.Stage8Nanos.Load(),
 		Stage16Nanos:    c.Stage16Nanos.Load(),
 		Stage32Nanos:    c.Stage32Nanos.Load(),
+		PanicsRecovered: c.PanicsRecovered.Load(),
+		Retries:         c.Retries.Load(),
+		Quarantined:     c.Quarantined.Load(),
+		Malformed:       c.Malformed.Load(),
+		Oversized:       c.Oversized.Load(),
+		Shed:            c.Shed.Load(),
+		BreakerTrips:    c.BreakerTrips.Load(),
+		BreakerRejected: c.BreakerRejected.Load(),
+		Degraded:        c.Degraded.Load(),
 	}
 }
 
@@ -122,6 +154,15 @@ func (c *Counters) Add(s Snapshot) {
 	c.Stage8Nanos.Add(s.Stage8Nanos)
 	c.Stage16Nanos.Add(s.Stage16Nanos)
 	c.Stage32Nanos.Add(s.Stage32Nanos)
+	c.PanicsRecovered.Add(s.PanicsRecovered)
+	c.Retries.Add(s.Retries)
+	c.Quarantined.Add(s.Quarantined)
+	c.Malformed.Add(s.Malformed)
+	c.Oversized.Add(s.Oversized)
+	c.Shed.Add(s.Shed)
+	c.BreakerTrips.Add(s.BreakerTrips)
+	c.BreakerRejected.Add(s.BreakerRejected)
+	c.Degraded.Add(s.Degraded)
 }
 
 // Snapshot is an immutable copy of Counters. JSON tags match the
@@ -143,6 +184,15 @@ type Snapshot struct {
 	Stage8Nanos     int64 `json:"stage8_nanos"`
 	Stage16Nanos    int64 `json:"stage16_nanos"`
 	Stage32Nanos    int64 `json:"stage32_nanos"`
+	PanicsRecovered int64 `json:"panics_recovered"`
+	Retries         int64 `json:"retries"`
+	Quarantined     int64 `json:"quarantined"`
+	Malformed       int64 `json:"malformed"`
+	Oversized       int64 `json:"oversized"`
+	Shed            int64 `json:"shed"`
+	BreakerTrips    int64 `json:"breaker_trips"`
+	BreakerRejected int64 `json:"breaker_rejected"`
+	Degraded        int64 `json:"degraded"`
 }
 
 // Cells is the total real DP cell count across every stage width.
@@ -170,14 +220,18 @@ func (s Snapshot) WriteText(w io.Writer) error {
 		"cells            8-bit %d, 16-bit %d, 32-bit %d (total %d)\n"+
 		"saturated lanes  8-bit %d, 16-bit %d\n"+
 		"queue high-water %d batches\n"+
-		"stage time       produce %v, 8-bit %v, 16-bit %v, 32-bit %v\n",
+		"stage time       produce %v, 8-bit %v, 16-bit %v, 32-bit %v\n"+
+		"resilience       recovered %d, retried %d, quarantined %d, malformed %d, oversized %d\n"+
+		"overload         shed %d, breaker trips %d / rejected %d, degraded %d\n",
 		s.Searches, s.Canceled,
 		s.BatchesProduced, s.Batches8, s.Batches16, s.Pairs32,
 		s.Cells8, s.Cells16, s.Cells32, s.Cells(),
 		s.Saturated8, s.Saturated16,
 		s.QueueHighWater,
 		s.ProduceTime().Round(time.Microsecond), s.Stage8Time().Round(time.Microsecond),
-		s.Stage16Time().Round(time.Microsecond), s.Stage32Time().Round(time.Microsecond))
+		s.Stage16Time().Round(time.Microsecond), s.Stage32Time().Round(time.Microsecond),
+		s.PanicsRecovered, s.Retries, s.Quarantined, s.Malformed, s.Oversized,
+		s.Shed, s.BreakerTrips, s.BreakerRejected, s.Degraded)
 	return err
 }
 

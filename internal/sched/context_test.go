@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"swvec/internal/aln"
+	"swvec/internal/leakcheck"
 	"swvec/internal/seqio"
 )
 
@@ -61,6 +62,7 @@ func checkStatsConsistent(t *testing.T, res *Result) {
 // an already-canceled context must return immediately with a partial
 // (empty) result, the ctx error, and no leaked goroutines.
 func TestSearchContextPreCanceled(t *testing.T) {
+	leakcheck.Check(t)
 	g := seqio.NewGenerator(301)
 	db := g.Database(200)
 	query := g.Protein("q", 120).Encode(protAlpha)
@@ -90,6 +92,7 @@ func TestSearchContextPreCanceled(t *testing.T) {
 // context.Canceled, a consistent Stats snapshot, and no leaked
 // pipeline goroutines.
 func TestSearchContextCancel(t *testing.T) {
+	leakcheck.Check(t)
 	g := seqio.NewGenerator(302)
 	db := g.Database(1200)
 	query := g.Protein("q", 250).Encode(protAlpha)
@@ -143,6 +146,7 @@ func TestSearchContextCancel(t *testing.T) {
 // TestSearchContextComplete runs an uncanceled ctx search end to end
 // and pins down the Stats snapshot against known workload quantities.
 func TestSearchContextComplete(t *testing.T) {
+	leakcheck.Check(t)
 	db, query := rescueDB(303)
 	opt := Options{Gaps: aln.DefaultGaps(), Threads: 3}
 	width, err := opt.width()
@@ -189,6 +193,7 @@ func TestSearchContextComplete(t *testing.T) {
 // TestMultiSearchContextCancel covers the scenario-2 cancellation path
 // the server's request deadline uses.
 func TestMultiSearchContextCancel(t *testing.T) {
+	leakcheck.Check(t)
 	g := seqio.NewGenerator(304)
 	db := g.Database(400)
 	queries := [][]uint8{
@@ -216,6 +221,7 @@ func TestMultiSearchContextCancel(t *testing.T) {
 
 // TestMultiSearchStats pins the scenario-2 snapshot on a full run.
 func TestMultiSearchStats(t *testing.T) {
+	leakcheck.Check(t)
 	g := seqio.NewGenerator(305)
 	db := g.Database(100)
 	queries := [][]uint8{g.Protein("q", 150).Encode(protAlpha)}

@@ -1,0 +1,7 @@
+//go:build race
+
+package sched
+
+// raceEnabled reports whether the race detector is compiled in; its
+// instrumentation allocates, so zero-alloc assertions skip under it.
+const raceEnabled = true

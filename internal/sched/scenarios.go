@@ -3,11 +3,13 @@ package sched
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
 	"swvec/internal/aln"
 	"swvec/internal/core"
+	"swvec/internal/failpoint"
 	"swvec/internal/metrics"
 	"swvec/internal/seqio"
 	"swvec/internal/submat"
@@ -28,6 +30,11 @@ type MultiResult struct {
 	// after the worker pool has drained.
 	Stats metrics.Snapshot
 	Tally *vek.Tally
+	// Quarantined lists database sequences a stage failed on after
+	// retries, sorted by SeqIndex; their Scores entries are zero (whole
+	// batch failed) or the capped 8-bit score (a rescue failed). A
+	// sequence may appear once per failed stage attempt.
+	Quarantined []Quarantine
 }
 
 // GCUPS returns the measured throughput.
@@ -92,6 +99,12 @@ func MultiSearchContext(ctx context.Context, queries [][]uint8, db []seqio.Seque
 	if nw < 1 {
 		nw = 1
 	}
+	// The internal context lets a worker crash cancel the batch feed so
+	// the send loop below cannot block on dead consumers; the outer ctx
+	// still decides whether the run reports as interrupted.
+	ictx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
 	work := make(chan *seqio.Batch, nw)
 	var mu sync.Mutex
 	var firstErr error
@@ -105,6 +118,7 @@ func MultiSearchContext(ctx context.Context, queries [][]uint8, db []seqio.Seque
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer scenarioGuard(cancel, &mu, &firstErr)
 			mch := vek.Bare
 			var tal *vek.Tally
 			if opt.Instrument {
@@ -115,18 +129,17 @@ func MultiSearchContext(ctx context.Context, queries [][]uint8, db []seqio.Seque
 			for batch := range work {
 				// Cancellation point: drain remaining batches without
 				// aligning so close(work) still unblocks the sender.
-				if ctx.Err() != nil {
+				if ictx.Err() != nil {
 					continue
 				}
 				t8 := time.Now()
-				brs, err := core.AlignBatch8Multi(mch, queries, tables, batch,
-					core.BatchOptions{Gaps: opt.Gaps, BlockCols: opt.BlockCols, Scratch: scratch})
+				brs, err := multiAlign8(ictx, mch, queries, tables, batch, &opt, scratch, met)
 				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
+					// Quarantine just this batch's sequences (for every
+					// query); the rest of the matrix still fills in.
+					for lane := 0; lane < batch.Count; lane++ {
+						quarantineMultiSeq(res, &mu, met, db, "multi8", batch.Index[lane], err)
 					}
-					mu.Unlock()
 					continue
 				}
 				met.Batches8.Add(1)
@@ -136,14 +149,18 @@ func MultiSearchContext(ctx context.Context, queries [][]uint8, db []seqio.Seque
 					for lane := 0; lane < batch.Count; lane++ {
 						si := batch.Index[lane]
 						score := brs[qi].Scores[lane]
-						if brs[qi].Saturated[lane] && ctx.Err() == nil {
+						if brs[qi].Saturated[lane] && ictx.Err() == nil {
 							t16 := time.Now()
 							enc = alpha.EncodeTo(enc, db[si].Residues)
-							pr, _, err := core.AlignPair16(mch, queries[qi], enc, mat, core.PairOptions{Gaps: opt.Gaps})
+							pr, err := multiRescue16(mch, queries[qi], enc, mat, opt.Gaps, met)
 							if err == nil {
 								score = pr.Score
 								met.Saturated8.Add(1)
 								met.Cells16.Add(int64(len(queries[qi])) * int64(len(enc)))
+							} else {
+								// The capped 8-bit score stands in; flag
+								// it as untrustworthy.
+								quarantineMultiSeq(res, &mu, met, db, "multi16", si, err)
 							}
 							met.Stage16Nanos.Add(int64(time.Since(t16)))
 						}
@@ -159,11 +176,17 @@ func MultiSearchContext(ctx context.Context, queries [][]uint8, db []seqio.Seque
 		}()
 	}
 	for _, b := range batches {
-		work <- b
+		select {
+		case work <- b:
+		case <-ictx.Done():
+		}
 	}
 	close(work)
 	wg.Wait()
 	res.Elapsed = time.Since(start)
+	sort.Slice(res.Quarantined, func(i, j int) bool {
+		return res.Quarantined[i].SeqIndex < res.Quarantined[j].SeqIndex
+	})
 
 	met.Searches.Add(1)
 	cancelErr := ctx.Err()
@@ -186,6 +209,93 @@ func MultiSearchContext(ctx context.Context, queries [][]uint8, db []seqio.Seque
 			snap.Batches8, len(batches), cancelErr)
 	}
 	return res, nil
+}
+
+// scenarioGuard is the last-resort recovery for scenario workers: a
+// panic that reaches it escaped the per-batch recovery, which means a
+// scheduler bug rather than a kernel fault. The crash is recorded as
+// the run's error and the feed is canceled so the batch sender cannot
+// block on dead consumers. Installed directly with defer so recover
+// sees the panic.
+func scenarioGuard(cancel context.CancelFunc, mu *sync.Mutex, firstErr *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	mu.Lock()
+	if *firstErr == nil {
+		*firstErr = &panicError{stage: "worker", val: r}
+	}
+	mu.Unlock()
+	cancel()
+}
+
+// quarantineMultiSeq records one sequence a multi-search stage failed
+// on; the rest of the score matrix still fills in.
+func quarantineMultiSeq(res *MultiResult, mu *sync.Mutex, met *metrics.Counters, db []seqio.Sequence, stage string, si int, cause error) {
+	met.Quarantined.Add(1)
+	mu.Lock()
+	res.Quarantined = append(res.Quarantined, Quarantine{
+		SeqIndex: si,
+		ID:       db[si].ID,
+		Stage:    stage,
+		Cause:    cause.Error(),
+	})
+	mu.Unlock()
+}
+
+// multiAlign8 runs one 8-bit multi-query batch with the stage retry
+// policy (see align8): panics surface as errors through the per-attempt
+// recovery, transient errors back off and retry, and the surviving
+// error quarantines the batch.
+func multiAlign8(ctx context.Context, mch vek.Machine, queries [][]uint8, tables *submat.CodeTables, batch *seqio.Batch, opt *Options, scratch *core.Scratch, met *metrics.Counters) ([]core.BatchResult, error) {
+	brs, err := tryMultiAlign8(mch, queries, tables, batch, opt, scratch, met)
+	for attempt := 0; err != nil && transient(err) && attempt < maxStageRetries; attempt++ {
+		if !backoffCtx(ctx, attempt) {
+			break
+		}
+		met.Retries.Add(1)
+		brs, err = tryMultiAlign8(mch, queries, tables, batch, opt, scratch, met)
+	}
+	return brs, err
+}
+
+// tryMultiAlign8 is one guarded multi-query attempt.
+func tryMultiAlign8(mch vek.Machine, queries [][]uint8, tables *submat.CodeTables, batch *seqio.Batch, opt *Options, scratch *core.Scratch, met *metrics.Counters) (brs []core.BatchResult, err error) {
+	defer recoverAttempt("multi8", met, &err)
+	if err = failpoint.Inject("sched/multi8"); err != nil {
+		return nil, err
+	}
+	return core.AlignBatch8Multi(mch, queries, tables, batch,
+		core.BatchOptions{Gaps: opt.Gaps, BlockCols: opt.BlockCols, Scratch: scratch})
+}
+
+// multiRescue16 is one guarded 16-bit rescue of a saturated
+// (query, sequence) pair in the multi-query scenario.
+func multiRescue16(mch vek.Machine, q, enc []uint8, mat *submat.Matrix, gaps aln.Gaps, met *metrics.Counters) (pr aln.ScoreResult, err error) {
+	defer recoverAttempt("multi16", met, &err)
+	pr, _, err = core.AlignPair16(mch, q, enc, mat, core.PairOptions{Gaps: gaps})
+	return pr, err
+}
+
+// alignPairJob runs one subroutine pair with panic recovery so a
+// kernel fault poisons only that pair, not the worker.
+func alignPairJob(mch vek.Machine, q, d []uint8, mat *submat.Matrix, qi, si int, traceback bool, opt *Options) (hit PairHit, err error) {
+	defer recoverAttempt("subroutine", nil, &err)
+	r, tb, aerr := core.AlignPairAdaptive(mch, q, d, mat,
+		core.PairOptions{Gaps: opt.Gaps, Traceback: traceback})
+	if aerr != nil {
+		return hit, aerr
+	}
+	hit = PairHit{Query: qi, Seq: si, Score: r.Score}
+	if tb != nil {
+		a, werr := tb.Walk(r.EndQ, r.EndD, r.Score)
+		if werr != nil {
+			return hit, werr
+		}
+		hit.Alignment = a
+	}
+	return hit, nil
 }
 
 // PairHit is one (query, database) alignment of the subroutine
@@ -251,6 +361,11 @@ func Subroutine(queries [][]uint8, db []seqio.Sequence, mat *submat.Matrix, trac
 	if nw < 1 {
 		nw = 1
 	}
+	// As in MultiSearchContext, a crashed worker cancels the feed so
+	// the send loop cannot block on dead consumers.
+	ictx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
 	work := make(chan job, nw)
 	hits := make([]PairHit, len(queries)*len(db))
 	var mu sync.Mutex
@@ -263,16 +378,17 @@ func Subroutine(queries [][]uint8, db []seqio.Sequence, mat *submat.Matrix, trac
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer scenarioGuard(cancel, &mu, &firstErr)
 			mch := vek.Bare
 			var tal *vek.Tally
 			if opt.Instrument {
 				mch, tal = vek.NewMachine()
 			}
 			for jb := range work {
-				q := queries[jb.qi]
-				d := encoded[jb.si]
-				popt := core.PairOptions{Gaps: opt.Gaps, Traceback: traceback}
-				r, tb, err := core.AlignPairAdaptive(mch, q, d, mat, popt)
+				if ictx.Err() != nil {
+					continue
+				}
+				hit, err := alignPairJob(mch, queries[jb.qi], encoded[jb.si], mat, jb.qi, jb.si, traceback, &opt)
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {
@@ -280,19 +396,6 @@ func Subroutine(queries [][]uint8, db []seqio.Sequence, mat *submat.Matrix, trac
 					}
 					mu.Unlock()
 					continue
-				}
-				hit := PairHit{Query: jb.qi, Seq: jb.si, Score: r.Score}
-				if tb != nil {
-					a, err := tb.Walk(r.EndQ, r.EndD, r.Score)
-					if err != nil {
-						mu.Lock()
-						if firstErr == nil {
-							firstErr = err
-						}
-						mu.Unlock()
-						continue
-					}
-					hit.Alignment = a
 				}
 				hits[jb.qi*len(encoded)+jb.si] = hit
 			}
@@ -305,7 +408,10 @@ func Subroutine(queries [][]uint8, db []seqio.Sequence, mat *submat.Matrix, trac
 	}
 	for qi := range queries {
 		for si := range encoded {
-			work <- job{qi: qi, si: si}
+			select {
+			case work <- job{qi: qi, si: si}:
+			case <-ictx.Done():
+			}
 		}
 	}
 	close(work)

@@ -13,19 +13,32 @@ package sched
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
 	"swvec/internal/aln"
 	"swvec/internal/alphabet"
 	"swvec/internal/core"
+	"swvec/internal/failpoint"
 	"swvec/internal/isa"
 	"swvec/internal/metrics"
 	"swvec/internal/seqio"
 	"swvec/internal/submat"
 	"swvec/internal/vek"
+)
+
+// Retry policy for transient stage failures: a batch gets
+// 1+maxStageRetries attempts, with exponential backoff starting at
+// retryBase and capped at retryMax. The delays are deliberately small —
+// a transient fault here is a resource blip, not a remote call.
+const (
+	maxStageRetries = 2
+	retryBase       = time.Millisecond
+	retryMax        = 50 * time.Millisecond
 )
 
 // Options configures a database search.
@@ -92,6 +105,23 @@ type Hit struct {
 	Rescued bool
 }
 
+// Quarantine is one database sequence the pipeline isolated after an
+// alignment stage failed on its batch — a kernel panic the stage
+// recovered, or an error that survived the transient-retry policy. The
+// rest of the search completes normally; the caller decides whether to
+// rerun the quarantined ids.
+type Quarantine struct {
+	// SeqIndex is the sequence's position in the database slice.
+	SeqIndex int
+	// ID is the sequence's FASTA identifier.
+	ID string
+	// Stage names the pipeline stage that failed: "align8", "align16",
+	// or "align32".
+	Stage string
+	// Cause is the final error after retries were exhausted.
+	Cause string
+}
+
 // Result is the outcome of a search.
 type Result struct {
 	// Hits holds one entry per database sequence, in database order.
@@ -115,6 +145,12 @@ type Result struct {
 	// Tally is the merged operation tally when Options.Instrument is
 	// set, else nil.
 	Tally *vek.Tally
+	// Quarantined lists database sequences whose batch failed an
+	// alignment stage after retries, sorted by SeqIndex. Their Hits
+	// entries hold the last score the pipeline computed for them (zero
+	// if the 8-bit stage never scored them, the capped 8-bit score if a
+	// rescue failed). Empty on a fully healthy run.
+	Quarantined []Quarantine
 }
 
 // GCUPS returns the measured wall-clock throughput in giga cell
@@ -163,6 +199,13 @@ func Search(query []uint8, db []seqio.Sequence, mat *submat.Matrix, opt Options)
 // lanes whose rescue was cut short keep the capped 8-bit score with
 // Rescued left false. Result.Stats is always a consistent snapshot of
 // how far each stage got. No goroutines outlive the call.
+//
+// The pipeline is self-healing (DESIGN.md §12): a kernel panic or
+// alignment error on one batch is recovered inside the stage, retried
+// with bounded backoff when transient, and otherwise quarantines just
+// that batch's sequences into Result.Quarantined while every other
+// sequence completes normally. Only a fault in the pipeline's own
+// machinery (producer, coordinators) fails the whole search.
 func SearchContext(ctx context.Context, query []uint8, db []seqio.Sequence, mat *submat.Matrix, opt Options) (*Result, error) {
 	if len(query) == 0 {
 		return nil, fmt.Errorf("sched: empty query")
@@ -194,25 +237,34 @@ func SearchContext(ctx context.Context, query []uint8, db []seqio.Sequence, mat 
 	}
 	depth := opt.depth(nw)
 
+	// The internal context lets a pipeline crash (a panic the per-batch
+	// recovery could not absorb) cancel the dataflow without the caller
+	// having to; the outer ctx is still what decides whether the run
+	// reports as interrupted.
+	ictx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
 	alpha := mat.Alphabet()
 	p := &pipeline{
-		ctx:    ctx,
-		query:  query,
-		db:     db,
-		alpha:  alpha,
-		mat:    mat,
-		tables: submat.NewCodeTables(mat),
-		opt:    &opt,
-		res:    res,
-		lanes:  lanes,
-		stream: seqio.NewBatchStream(db, alpha, seqio.BatchOptions{SortByLength: opt.SortByLength, Lanes: lanes}),
-		work8:  make(chan *seqio.Batch, depth),
-		sat8:   make(chan int, depth),
-		work16: make(chan *seqio.Batch, depth),
-		sat16:  make(chan int, depth),
-		work32: make(chan int, depth),
-		met:    &metrics.Counters{},
-		tally:  &vek.Tally{},
+		ctx:     ictx,
+		cancel:  cancel,
+		crashed: make(chan struct{}),
+		query:   query,
+		db:      db,
+		alpha:   alpha,
+		mat:     mat,
+		tables:  submat.NewCodeTables(mat),
+		opt:     &opt,
+		res:     res,
+		lanes:   lanes,
+		stream:  seqio.NewBatchStream(db, alpha, seqio.BatchOptions{SortByLength: opt.SortByLength, Lanes: lanes}),
+		work8:   make(chan *seqio.Batch, depth),
+		sat8:    make(chan int, depth),
+		work16:  make(chan *seqio.Batch, depth),
+		sat16:   make(chan int, depth),
+		work32:  make(chan int, depth),
+		met:     &metrics.Counters{},
+		tally:   &vek.Tally{},
 	}
 
 	start := time.Now()
@@ -225,6 +277,7 @@ func SearchContext(ctx context.Context, query []uint8, db []seqio.Sequence, mat 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer p.guard("worker")
 			p.worker()
 		}()
 	}
@@ -244,6 +297,11 @@ func SearchContext(ctx context.Context, query []uint8, db []seqio.Sequence, mat 
 	res.Stats = snap
 	res.Cells = snap.Cells()
 	res.Rescued = int(snap.Saturated8)
+	// Workers append quarantine records in completion order; sort so
+	// the report is deterministic for callers and tests.
+	sort.Slice(res.Quarantined, func(i, j int) bool {
+		return res.Quarantined[i].SeqIndex < res.Quarantined[j].SeqIndex
+	})
 	if opt.Instrument {
 		res.Tally = p.tally
 	}
@@ -264,8 +322,11 @@ func SearchContext(ctx context.Context, query []uint8, db []seqio.Sequence, mat 
 type pipeline struct {
 	// ctx cancels the dataflow: the producer stops emitting, and the
 	// stage runners short-circuit into drain mode, so every channel
-	// still closes in the usual order and no goroutine leaks.
+	// still closes in the usual order and no goroutine leaks. It is the
+	// caller's context wrapped with cancel, so a pipeline crash can
+	// abort the dataflow too.
 	ctx    context.Context
+	cancel context.CancelFunc
 	query  []uint8
 	db     []seqio.Sequence
 	alpha  *alphabet.Alphabet
@@ -299,6 +360,14 @@ type pipeline struct {
 	// Search snapshots it into Result.Stats after the pool drains.
 	met *metrics.Counters
 
+	// crashed is closed (once) when a coordinator or worker dies to a
+	// panic the per-batch recovery could not absorb. Stage sends select
+	// on it so surviving goroutines never block on a dead consumer, and
+	// the close rides with an internal-context cancel that stops the
+	// producer.
+	crashed   chan struct{}
+	crashOnce sync.Once
+
 	mu    sync.Mutex
 	err   error
 	tally *vek.Tally
@@ -312,15 +381,32 @@ type pipeline struct {
 // work the already-queued jobs represent.
 func (p *pipeline) produce() {
 	defer p.cwg.Done()
+	// The close sequence rides in a defer so it still runs when the
+	// producer itself panics: the guard (deferred later, so it runs
+	// first) records the crash and cancels the internal context, the
+	// workers drain the queued batches, and the channels close in the
+	// normal order instead of wedging the pool.
+	defer func() {
+		close(p.work8)
+		p.wg8.Wait()
+		close(p.sat8)
+	}()
+	defer p.guard("produce")
 	for {
 		if p.ctx.Err() != nil {
-			break
+			return
+		}
+		if err := failpoint.Inject("sched/produce"); err != nil {
+			// A producer fault is fatal, not quarantinable: without the
+			// stream there is no work to heal around.
+			p.fail(err)
+			return
 		}
 		t0 := time.Now()
 		b := p.stream.Next()
 		p.met.ProduceNanos.Add(int64(time.Since(t0)))
 		if b == nil {
-			break
+			return
 		}
 		p.wg8.Add(1)
 		select {
@@ -332,9 +418,6 @@ func (p *pipeline) produce() {
 			p.stream.Recycle(b)
 		}
 	}
-	close(p.work8)
-	p.wg8.Wait()
-	close(p.sat8)
 }
 
 // groupRescues regroups saturated 8-bit lanes into fresh 16-bit
@@ -346,6 +429,17 @@ func (p *pipeline) groupRescues() {
 	defer p.cwg.Done()
 	group := make([]int, 0, p.lanes)
 	var pending []*seqio.Batch
+	defer func() {
+		if r := recover(); r != nil {
+			// Undo the Adds for rescue batches never handed to the
+			// pool, or the wg16.Wait below can never drain.
+			p.wg16.Add(-len(pending))
+			p.crash(&panicError{stage: "rescue-grouper", val: r})
+		}
+		close(p.work16)
+		p.wg16.Wait()
+		close(p.sat16)
+	}()
 	in := p.sat8
 	for in != nil || len(pending) > 0 {
 		var out chan *seqio.Batch
@@ -374,20 +468,30 @@ func (p *pipeline) groupRescues() {
 			pending = pending[1:]
 		}
 	}
-	close(p.work16)
-	p.wg16.Wait()
-	close(p.sat16)
 }
 
 func (p *pipeline) rescueBatch(members []int) *seqio.Batch {
+	if err := failpoint.Inject("sched/rescue"); err != nil {
+		// The grouper has no per-batch error path — a failure here is a
+		// pipeline bug by construction — so injected errors exercise
+		// the crash guard like any other coordinator panic.
+		panic(err)
+	}
+	b := seqio.MakeBatch(p.db, members, p.alpha, p.lanes)
+	// Add after MakeBatch so a panic inside it leaves no stray count;
+	// the deferred compensation only covers batches already in pending.
 	p.wg16.Add(1)
-	return seqio.MakeBatch(p.db, members, p.alpha, p.lanes)
+	return b
 }
 
 // dispatch32 forwards 16-bit saturations to the 32-bit stage through a
 // local queue, for the same no-blocking reason as groupRescues.
 func (p *pipeline) dispatch32() {
 	defer p.cwg.Done()
+	defer func() {
+		close(p.work32)
+	}()
+	defer p.guard("dispatch32")
 	var pending []int
 	in := p.sat16
 	for in != nil || len(pending) > 0 {
@@ -408,7 +512,6 @@ func (p *pipeline) dispatch32() {
 			pending = pending[1:]
 		}
 	}
-	close(p.work32)
 }
 
 // worker drains all three stages until every channel is closed. Each
@@ -435,15 +538,13 @@ func (p *pipeline) worker() {
 				w8 = nil
 				continue
 			}
-			p.run8(mch, scratch, b)
-			p.wg8.Done()
+			p.consume8(mch, scratch, b)
 		case b, ok := <-w16:
 			if !ok {
 				w16 = nil
 				continue
 			}
-			p.run16(mch, scratch, b)
-			p.wg16.Done()
+			p.consume16(mch, scratch, b)
 		case si, ok := <-w32:
 			if !ok {
 				w32 = nil
@@ -459,9 +560,26 @@ func (p *pipeline) worker() {
 	}
 }
 
+// consume8 retires one stage-1 job. The Done is deferred so even a
+// panic escaping the stage's own recovery (a scheduler bug, not a
+// kernel fault) balances the stage waitgroup on its way to the worker's
+// crash guard.
+func (p *pipeline) consume8(mch vek.Machine, s *core.Scratch, b *seqio.Batch) {
+	defer p.wg8.Done()
+	p.run8(mch, s, b)
+}
+
+// consume16 retires one rescue job; see consume8.
+func (p *pipeline) consume16(mch vek.Machine, s *core.Scratch, b *seqio.Batch) {
+	defer p.wg16.Done()
+	p.run16(mch, s, b)
+}
+
 // run8 is stage 1: align the batch at 8 bits, write each lane's hit
 // (each database index is owned by exactly one lane), hand saturated
-// lanes to the rescue queue, and recycle the batch buffer.
+// lanes to the rescue queue, and recycle the batch buffer. A stage
+// failure that survives the retry policy quarantines the batch's
+// sequences instead of failing the search.
 // Cancellation point 2: after a cancel the batch is recycled
 // unaligned, and its lanes never enter the rescue queue.
 //
@@ -472,10 +590,9 @@ func (p *pipeline) run8(mch vek.Machine, s *core.Scratch, b *seqio.Batch) {
 		return
 	}
 	start := time.Now()
-	br, err := core.AlignBatch8(mch, p.query, p.tables, b,
-		core.BatchOptions{Gaps: p.opt.Gaps, BlockCols: p.opt.BlockCols, Scratch: s})
+	br, err := p.align8(mch, s, b)
 	if err != nil {
-		p.fail(err)
+		p.quarantineBatch("align8", b, err)
 		p.stream.Recycle(b)
 		return
 	}
@@ -486,15 +603,50 @@ func (p *pipeline) run8(mch vek.Machine, s *core.Scratch, b *seqio.Batch) {
 		p.res.Hits[si].Score = br.Scores[lane]
 		if br.Saturated[lane] {
 			p.met.Saturated8.Add(1)
-			p.sat8 <- si
+			select {
+			case p.sat8 <- si:
+			case <-p.crashed:
+				// The rescue grouper died; dropping the handoff keeps
+				// the pool from blocking on a dead consumer. The search
+				// is already failing through the crash error.
+			}
 		}
 	}
 	p.stream.Recycle(b)
 	p.met.Stage8Nanos.Add(int64(time.Since(start)))
 }
 
+// align8 runs the 8-bit stage with the retry policy: kernel panics
+// surface as errors through the per-attempt recovery, transient errors
+// back off and retry up to maxStageRetries times, and whatever error
+// survives is returned for quarantine.
+func (p *pipeline) align8(mch vek.Machine, s *core.Scratch, b *seqio.Batch) (core.BatchResult, error) {
+	br, err := p.tryAlign8(mch, s, b)
+	for attempt := 0; err != nil && transient(err) && attempt < maxStageRetries; attempt++ {
+		if !backoffCtx(p.ctx, attempt) {
+			break
+		}
+		p.met.Retries.Add(1)
+		br, err = p.tryAlign8(mch, s, b)
+	}
+	return br, err
+}
+
+// tryAlign8 is one guarded 8-bit attempt; recoverTo turns a panicking
+// kernel into an error without unwinding the worker.
+func (p *pipeline) tryAlign8(mch vek.Machine, s *core.Scratch, b *seqio.Batch) (br core.BatchResult, err error) {
+	defer recoverAttempt("align8", p.met, &err)
+	if err = failpoint.Inject("sched/align8"); err != nil {
+		return br, err
+	}
+	return core.AlignBatch8(mch, p.query, p.tables, b,
+		core.BatchOptions{Gaps: p.opt.Gaps, BlockCols: p.opt.BlockCols, Scratch: s})
+}
+
 // run16 is the in-flight rescue: rescore a regrouped batch at 16 bits
-// and forward anything still saturated to the 32-bit stage.
+// and forward anything still saturated to the 32-bit stage. A failed
+// rescue quarantines the batch — the affected hits keep their capped
+// 8-bit score, which the Quarantine records flag as untrustworthy.
 // Cancellation point 3: a canceled rescue is dropped — the affected
 // hits keep their capped 8-bit score and Rescued stays false.
 //
@@ -504,10 +656,9 @@ func (p *pipeline) run16(mch vek.Machine, s *core.Scratch, b *seqio.Batch) {
 		return
 	}
 	start := time.Now()
-	br, err := core.AlignBatch16(mch, p.query, p.tables, b,
-		core.BatchOptions{Gaps: p.opt.Gaps, Scratch: s})
+	br, err := p.align16(mch, s, b)
 	if err != nil {
-		p.fail(err)
+		p.quarantineBatch("align16", b, err)
 		return
 	}
 	p.met.Batches16.Add(1)
@@ -518,10 +669,37 @@ func (p *pipeline) run16(mch vek.Machine, s *core.Scratch, b *seqio.Batch) {
 		p.res.Hits[si].Rescued = true
 		if br.Saturated[lane] {
 			p.met.Saturated16.Add(1)
-			p.sat16 <- si
+			select {
+			case p.sat16 <- si:
+			case <-p.crashed:
+			}
 		}
 	}
 	p.met.Stage16Nanos.Add(int64(time.Since(start)))
+}
+
+// align16 applies the stage retry policy to the 16-bit rescue; see
+// align8.
+func (p *pipeline) align16(mch vek.Machine, s *core.Scratch, b *seqio.Batch) (core.BatchResult, error) {
+	br, err := p.tryAlign16(mch, s, b)
+	for attempt := 0; err != nil && transient(err) && attempt < maxStageRetries; attempt++ {
+		if !backoffCtx(p.ctx, attempt) {
+			break
+		}
+		p.met.Retries.Add(1)
+		br, err = p.tryAlign16(mch, s, b)
+	}
+	return br, err
+}
+
+// tryAlign16 is one guarded 16-bit attempt; see tryAlign8.
+func (p *pipeline) tryAlign16(mch vek.Machine, s *core.Scratch, b *seqio.Batch) (br core.BatchResult, err error) {
+	defer recoverAttempt("align16", p.met, &err)
+	if err = failpoint.Inject("sched/align16"); err != nil {
+		return br, err
+	}
+	return core.AlignBatch16(mch, p.query, p.tables, b,
+		core.BatchOptions{Gaps: p.opt.Gaps, Scratch: s})
 }
 
 // run32 is the final escalation tier: one 32-bit pair alignment per
@@ -535,10 +713,9 @@ func (p *pipeline) run32(mch vek.Machine, s *core.Scratch, si int, enc []uint8) 
 	}
 	start := time.Now()
 	enc = p.alpha.EncodeTo(enc, p.db[si].Residues)
-	pr, err := core.AlignPair32(mch, p.query, enc, p.mat,
-		core.PairOptions{Gaps: p.opt.Gaps, Scratch: s})
+	pr, err := p.align32(mch, s, enc)
 	if err != nil {
-		p.fail(err)
+		p.quarantineSeq("align32", si, err)
 		return enc
 	}
 	p.met.Pairs32.Add(1)
@@ -549,10 +726,137 @@ func (p *pipeline) run32(mch vek.Machine, s *core.Scratch, si int, enc []uint8) 
 	return enc
 }
 
+// align32 applies the stage retry policy to one 32-bit escalation; see
+// align8.
+func (p *pipeline) align32(mch vek.Machine, s *core.Scratch, enc []uint8) (aln.ScoreResult, error) {
+	pr, err := p.tryAlign32(mch, s, enc)
+	for attempt := 0; err != nil && transient(err) && attempt < maxStageRetries; attempt++ {
+		if !backoffCtx(p.ctx, attempt) {
+			break
+		}
+		p.met.Retries.Add(1)
+		pr, err = p.tryAlign32(mch, s, enc)
+	}
+	return pr, err
+}
+
+// tryAlign32 is one guarded 32-bit attempt; see tryAlign8.
+func (p *pipeline) tryAlign32(mch vek.Machine, s *core.Scratch, enc []uint8) (pr aln.ScoreResult, err error) {
+	defer recoverAttempt("align32", p.met, &err)
+	if err = failpoint.Inject("sched/align32"); err != nil {
+		return pr, err
+	}
+	return core.AlignPair32(mch, p.query, enc, p.mat,
+		core.PairOptions{Gaps: p.opt.Gaps, Scratch: s})
+}
+
+// recoverAttempt converts a panic escaping a stage attempt into the
+// attempt's error so the batch can be quarantined instead of crashing
+// the pool. It must be installed directly with defer (not wrapped in a
+// closure) for recover to see the panic. met may be nil for callers
+// that do not keep counters.
+func recoverAttempt(stage string, met *metrics.Counters, err *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	if met != nil {
+		met.PanicsRecovered.Add(1)
+	}
+	*err = &panicError{stage: stage, val: r}
+}
+
+// transient reports whether err is retryable: some layer of its chain
+// exposes Transient() bool and answers true (injected faults marked
+// :transient do; kernel validation errors do not).
+func transient(err error) bool {
+	var t interface{ Transient() bool }
+	//swlint:ignore hotpathalloc only reached after an attempt failed; the healthy path never classifies errors
+	return errors.As(err, &t) && t.Transient()
+}
+
+// backoffCtx sleeps the bounded exponential retry delay for the given
+// attempt. It returns false when ctx is canceled first, in which case
+// the caller gives up on the batch.
+func backoffCtx(ctx context.Context, attempt int) bool {
+	d := retryBase << attempt
+	if d > retryMax {
+		d = retryMax
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// quarantineSeq records one sequence a stage failed on; the search
+// continues without it.
+func (p *pipeline) quarantineSeq(stage string, si int, cause error) {
+	p.met.Quarantined.Add(1)
+	p.mu.Lock()
+	//swlint:ignore hotpathalloc quarantine is the cold path: a stage already failed and exhausted its retries
+	p.res.Quarantined = append(p.res.Quarantined, Quarantine{
+		SeqIndex: si,
+		ID:       p.db[si].ID,
+		Stage:    stage,
+		Cause:    cause.Error(),
+	})
+	p.mu.Unlock()
+}
+
+// quarantineBatch quarantines every member of a failed batch.
+func (p *pipeline) quarantineBatch(stage string, b *seqio.Batch, cause error) {
+	for lane := 0; lane < b.Count; lane++ {
+		p.quarantineSeq(stage, b.Index[lane], cause)
+	}
+}
+
+// guard is the last-resort recovery for the pipeline goroutines: a
+// panic that reaches it escaped the per-batch recovery, which means a
+// scheduler bug rather than a kernel fault. The pipeline cannot heal
+// around a dead coordinator, so the crash fails the search — but
+// cleanly: the error is recorded, the dataflow is canceled, and every
+// goroutine still unwinds through its deferred close sequence instead
+// of deadlocking the pool.
+func (p *pipeline) guard(stage string) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	p.crash(&panicError{stage: stage, val: r})
+}
+
+// crash records a fatal pipeline error, cancels the internal context so
+// the producer stops, and unblocks every stage send waiting on a dead
+// consumer via the crashed channel.
+func (p *pipeline) crash(err error) {
+	p.fail(err)
+	p.crashOnce.Do(func() {
+		p.cancel()
+		close(p.crashed)
+	})
+}
+
 func (p *pipeline) fail(err error) {
 	p.mu.Lock()
 	if p.err == nil {
 		p.err = err
 	}
 	p.mu.Unlock()
+}
+
+// panicError wraps a recovered panic value as an error so it can ride
+// the normal failure paths: quarantine causes for stage panics, the
+// search error for coordinator crashes.
+type panicError struct {
+	stage string
+	val   any
+}
+
+func (e *panicError) Error() string {
+	return fmt.Sprintf("sched: panic in %s: %v", e.stage, e.val)
 }

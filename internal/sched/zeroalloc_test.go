@@ -1,0 +1,79 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"swvec/internal/aln"
+	"swvec/internal/core"
+	"swvec/internal/failpoint"
+	"swvec/internal/metrics"
+	"swvec/internal/seqio"
+	"swvec/internal/submat"
+	"swvec/internal/vek"
+)
+
+// TestSearchZeroAlloc pins the resilience machinery's hot-path cost in
+// the default build at zero: the per-batch 8-bit stage — now wrapped in
+// failpoint hooks, per-attempt panic recovery, and the retry policy —
+// must not allocate on the healthy path. Only the failure paths
+// (quarantine, backoff) may.
+func TestSearchZeroAlloc(t *testing.T) {
+	if failpoint.Enabled {
+		t.Skip("failpoint build adds fault-injection lookups to the hot path")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	g := seqio.NewGenerator(611)
+	// Uniform sequence lengths keep the stream's recycled transpose
+	// buffer at a fixed capacity: variable-length databases legitimately
+	// reallocate it as longer batches stream through, which would mask
+	// the overhead this test is pinning.
+	db := make([]seqio.Sequence, 0, 2048)
+	for i := 0; i < 2048; i++ {
+		db = append(db, g.Protein(fmt.Sprintf("s%d", i), 200))
+	}
+	query := g.Protein("q", 120).Encode(protAlpha)
+	opt := Options{Gaps: aln.DefaultGaps(), Width: 256, Threads: 1}
+	alpha := b62.Alphabet()
+	ictx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	p := &pipeline{
+		ctx:     ictx,
+		cancel:  cancel,
+		crashed: make(chan struct{}),
+		query:   query,
+		db:      db,
+		alpha:   alpha,
+		mat:     b62,
+		tables:  submat.NewCodeTables(b62),
+		opt:     &opt,
+		res:     &Result{Hits: make([]Hit, len(db))},
+		lanes:   32,
+		stream:  seqio.NewBatchStream(db, alpha, seqio.BatchOptions{Lanes: 32}),
+		sat8:    make(chan int, len(db)),
+		met:     &metrics.Counters{},
+	}
+	scratch := core.NewScratch()
+	// Two warm batches prime the stream's recycle pool and the scratch
+	// arena so the measurement sees the steady state.
+	for i := 0; i < 2; i++ {
+		b := p.stream.Next()
+		if b == nil {
+			t.Fatal("stream exhausted during warm-up")
+		}
+		p.run8(vek.Bare, scratch, b)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		b := p.stream.Next()
+		if b == nil {
+			t.Fatal("stream exhausted mid-measurement")
+		}
+		p.run8(vek.Bare, scratch, b)
+	})
+	if allocs != 0 {
+		t.Errorf("run8 allocates %.1f objects per batch on the healthy path", allocs)
+	}
+}

@@ -9,8 +9,10 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"strings"
 
 	"swvec/internal/alphabet"
+	"swvec/internal/failpoint"
 )
 
 // Sequence is a named residue sequence.
@@ -31,13 +33,88 @@ func (s Sequence) Encode(alpha *alphabet.Alphabet) []uint8 {
 	return alpha.Encode(s.Residues)
 }
 
-// ReadFasta parses all FASTA records from r.
-func ReadFasta(r io.Reader) ([]Sequence, error) {
+// DecodeOptions configures DecodeFasta.
+type DecodeOptions struct {
+	// MaxSeqLen caps one record's residue count; longer records are
+	// skipped and reported as oversized (0 = unlimited).
+	MaxSeqLen int
+	// Strict aborts on the first bad record instead of skipping it.
+	Strict bool
+}
+
+// SkippedRecord describes one record the lenient decoder dropped.
+type SkippedRecord struct {
+	// Line is the 1-based input line where the problem was noticed (the
+	// record's header line, or the offending data line when there is no
+	// header to blame).
+	Line int
+	// ID is the record's identifier, "" when none was parsed.
+	ID string
+	// Cause says why the record was dropped.
+	Cause string
+}
+
+// DecodeReport summarizes one DecodeFasta run: a streamed database
+// load or server request can report exactly which records it skipped
+// instead of aborting on the first corrupt one.
+type DecodeReport struct {
+	// Records counts successfully decoded records.
+	Records int
+	// Malformed and Oversized count the skips by class; their sum is
+	// len(Skipped).
+	Malformed int
+	Oversized int
+	// Skipped lists the dropped records in input order.
+	Skipped []SkippedRecord
+}
+
+// DecodeFasta parses FASTA records from r. Malformed records — data
+// before the first header, headers with no identifier, records with no
+// sequence data — and records beyond opt.MaxSeqLen are skipped and
+// reported in the DecodeReport rather than failing the whole stream; a
+// corrupt record in the middle of a large database costs exactly that
+// record. With opt.Strict the first bad record aborts the decode (the
+// historical behavior). The returned error is non-nil only for Strict
+// rejections and reader failures.
+func DecodeFasta(r io.Reader, opt DecodeOptions) ([]Sequence, *DecodeReport, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	rep := &DecodeReport{}
 	var out []Sequence
-	var cur *Sequence
+	var cur Sequence
+	var curLine int
+	have := false // cur holds a record being accumulated
+	bad := false  // current record was rejected; swallow its data lines
 	line := 0
+
+	reject := func(ln int, id, cause string, oversized bool) error {
+		if opt.Strict {
+			return fmt.Errorf("seqio: line %d: %s", ln, cause)
+		}
+		if oversized {
+			rep.Oversized++
+		} else {
+			rep.Malformed++
+		}
+		rep.Skipped = append(rep.Skipped, SkippedRecord{Line: ln, ID: id, Cause: cause})
+		return nil
+	}
+	flush := func() error {
+		if !have {
+			return nil
+		}
+		have = false
+		if err := failpoint.Inject("seqio/fasta-record"); err != nil {
+			return reject(curLine, cur.ID, err.Error(), false)
+		}
+		if len(cur.Residues) == 0 {
+			return reject(curLine, cur.ID, "record has no sequence data", false)
+		}
+		out = append(out, cur)
+		rep.Records++
+		return nil
+	}
+
 	for sc.Scan() {
 		line++
 		raw := bytes.TrimSpace(sc.Bytes())
@@ -45,26 +122,63 @@ func ReadFasta(r io.Reader) ([]Sequence, error) {
 			continue
 		}
 		if raw[0] == '>' {
-			out = append(out, Sequence{})
-			cur = &out[len(out)-1]
+			if err := flush(); err != nil {
+				return nil, rep, err
+			}
+			bad = false
 			header := string(raw[1:])
-			if sp := bytes.IndexByte([]byte(header), ' '); sp >= 0 {
-				cur.ID = header[:sp]
-				cur.Desc = header[sp+1:]
-			} else {
-				cur.ID = header
+			id, desc := header, ""
+			if sp := strings.IndexByte(header, ' '); sp >= 0 {
+				id, desc = header[:sp], header[sp+1:]
+			}
+			if id == "" {
+				bad = true
+				if err := reject(line, "", "header has no identifier", false); err != nil {
+					return nil, rep, err
+				}
+				continue
+			}
+			cur = Sequence{ID: id, Desc: desc}
+			have = true
+			curLine = line
+			continue
+		}
+		if bad {
+			continue
+		}
+		if !have {
+			bad = true
+			if err := reject(line, "", "sequence data before first header", false); err != nil {
+				return nil, rep, err
 			}
 			continue
 		}
-		if cur == nil {
-			return nil, fmt.Errorf("seqio: line %d: sequence data before first header", line)
+		if opt.MaxSeqLen > 0 && len(cur.Residues)+len(raw) > opt.MaxSeqLen {
+			have = false
+			bad = true
+			if err := reject(curLine, cur.ID, fmt.Sprintf("sequence exceeds %d residues", opt.MaxSeqLen), true); err != nil {
+				return nil, rep, err
+			}
+			continue
 		}
 		cur.Residues = append(cur.Residues, raw...)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("seqio: reading fasta: %v", err)
+		return nil, rep, fmt.Errorf("seqio: reading fasta: %v", err)
 	}
-	return out, nil
+	if err := flush(); err != nil {
+		return nil, rep, err
+	}
+	return out, rep, nil
+}
+
+// ReadFasta parses all FASTA records from r, skipping malformed
+// records. It is DecodeFasta with default (lenient, uncapped) options,
+// discarding the report; callers that need the skip details, a length
+// cap, or abort-on-corruption use DecodeFasta directly.
+func ReadFasta(r io.Reader) ([]Sequence, error) {
+	seqs, _, err := DecodeFasta(r, DecodeOptions{})
+	return seqs, err
 }
 
 // WriteFasta writes the sequences to w in FASTA format with 60-column

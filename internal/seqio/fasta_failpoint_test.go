@@ -1,0 +1,33 @@
+//go:build failpoint
+
+package seqio
+
+import (
+	"strings"
+	"testing"
+
+	"swvec/internal/failpoint"
+)
+
+// TestDecodeFastaFailpoint injects a fault at the per-record decode
+// site: the poisoned record is skipped and reported, the rest of the
+// stream decodes normally.
+func TestDecodeFastaFailpoint(t *testing.T) {
+	defer failpoint.DisableAll()
+	if err := failpoint.Enable("seqio/fasta-record", "error(bitrot):first=1"); err != nil {
+		t.Fatal(err)
+	}
+	seqs, rep, err := DecodeFasta(strings.NewReader(">a\nMK\n>b\nACDE\n"), DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 1 || seqs[0].ID != "b" {
+		t.Fatalf("got %+v, want just record b", seqs)
+	}
+	if rep.Malformed != 1 || len(rep.Skipped) != 1 || rep.Skipped[0].ID != "a" {
+		t.Fatalf("report = %+v, want record a skipped", rep)
+	}
+	if !strings.Contains(rep.Skipped[0].Cause, "bitrot") {
+		t.Errorf("cause = %q, want injected message", rep.Skipped[0].Cause)
+	}
+}

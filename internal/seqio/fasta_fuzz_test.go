@@ -1,0 +1,82 @@
+package seqio
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzMaxSeqLen caps record sizes during fuzzing so a giant generated
+// record cannot blow memory; the invariant checks below also verify
+// the cap holds.
+const fuzzMaxSeqLen = 1 << 16
+
+// fastaStable reports whether the decoded records survive a
+// WriteFasta/DecodeFasta round trip byte-for-byte: residues must be
+// free of whitespace (the decoder trims each line) and of '>' (the
+// 60-column writer could park one at a line start).
+func fastaStable(seqs []Sequence) bool {
+	for _, s := range seqs {
+		if bytes.ContainsAny(s.Residues, " \t\r\n\v\f>") {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzFASTADecode drives the lenient decoder with arbitrary input: it
+// must never panic or error, its report must stay consistent with what
+// it returned, and well-formed decodes must round-trip through
+// WriteFasta.
+func FuzzFASTADecode(f *testing.F) {
+	f.Add([]byte(">a desc\nMKVL\n>b\nACDE\n"))
+	f.Add([]byte("garbage before header\n>x\nMK\n"))
+	f.Add([]byte(">\nAC\n> only desc\nGG\n"))
+	f.Add([]byte(">empty\n>next\nWW\n"))
+	f.Add([]byte(">crlf\r\nMK\r\n"))
+	f.Add([]byte("\n\n>ws   \n  MK  \n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		seqs, rep, err := DecodeFasta(bytes.NewReader(data), DecodeOptions{MaxSeqLen: fuzzMaxSeqLen})
+		if err != nil {
+			t.Fatalf("lenient decode errored: %v", err)
+		}
+		if rep.Records != len(seqs) {
+			t.Fatalf("report counts %d records, returned %d", rep.Records, len(seqs))
+		}
+		if rep.Malformed+rep.Oversized != len(rep.Skipped) {
+			t.Fatalf("skip classes don't sum: %+v", rep)
+		}
+		for i, s := range seqs {
+			if s.ID == "" {
+				t.Fatalf("record %d decoded with empty id", i)
+			}
+			if len(s.Residues) == 0 {
+				t.Fatalf("record %d (%s) decoded with no residues", i, s.ID)
+			}
+			if len(s.Residues) > fuzzMaxSeqLen {
+				t.Fatalf("record %d (%s) exceeds cap: %d residues", i, s.ID, len(s.Residues))
+			}
+		}
+		if len(seqs) == 0 || !fastaStable(seqs) {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteFasta(&buf, seqs); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		back, rep2, err := DecodeFasta(&buf, DecodeOptions{})
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if len(rep2.Skipped) != 0 {
+			t.Fatalf("re-decode skipped %+v of our own output", rep2.Skipped)
+		}
+		if len(back) != len(seqs) {
+			t.Fatalf("round trip lost records: %d != %d", len(back), len(seqs))
+		}
+		for i := range seqs {
+			if back[i].ID != seqs[i].ID || !bytes.Equal(back[i].Residues, seqs[i].Residues) {
+				t.Fatalf("round trip changed record %d: %+v != %+v", i, back[i], seqs[i])
+			}
+		}
+	})
+}

@@ -35,9 +35,69 @@ ACDE
 	}
 }
 
-func TestReadFastaRejectsLeadingData(t *testing.T) {
-	if _, err := ReadFasta(strings.NewReader("ACDE\n>x\nMK")); err == nil {
-		t.Fatal("data before header accepted")
+func TestReadFastaSkipsLeadingData(t *testing.T) {
+	seqs, err := ReadFasta(strings.NewReader("ACDE\n>x\nMK"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 1 || seqs[0].ID != "x" {
+		t.Fatalf("got %+v, want just record x", seqs)
+	}
+}
+
+func TestDecodeFastaStrictRejectsLeadingData(t *testing.T) {
+	if _, _, err := DecodeFasta(strings.NewReader("ACDE\n>x\nMK"), DecodeOptions{Strict: true}); err == nil {
+		t.Fatal("strict decode accepted data before header")
+	}
+}
+
+// TestDecodeFastaSkipsCorruptMidFile is the regression test for the
+// lenient decoder: a corrupt record in the middle of a database costs
+// exactly that record, and the report names it.
+func TestDecodeFastaSkipsCorruptMidFile(t *testing.T) {
+	src := ">ok1\nMKVL\n>\nSHOULDSKIP\n>ok2 desc\nACDE\nWYV\n>empty\n>ok3\nGG\n"
+	seqs, rep, err := DecodeFasta(strings.NewReader(src), DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]string, len(seqs))
+	for i, s := range seqs {
+		ids[i] = s.ID
+	}
+	if len(seqs) != 3 || ids[0] != "ok1" || ids[1] != "ok2" || ids[2] != "ok3" {
+		t.Fatalf("decoded ids %v, want [ok1 ok2 ok3]", ids)
+	}
+	if string(seqs[1].Residues) != "ACDEWYV" {
+		t.Errorf("record after corrupt one damaged: %q", seqs[1].Residues)
+	}
+	if rep.Records != 3 || rep.Malformed != 2 || rep.Oversized != 0 {
+		t.Fatalf("report = %+v, want 3 records / 2 malformed", rep)
+	}
+	if len(rep.Skipped) != 2 {
+		t.Fatalf("skipped = %+v", rep.Skipped)
+	}
+	if rep.Skipped[0].Line != 3 || rep.Skipped[0].ID != "" {
+		t.Errorf("first skip = %+v, want line 3 no-id header", rep.Skipped[0])
+	}
+	if rep.Skipped[1].Line != 8 || rep.Skipped[1].ID != "empty" {
+		t.Errorf("second skip = %+v, want line 8 empty record", rep.Skipped[1])
+	}
+}
+
+func TestDecodeFastaMaxSeqLen(t *testing.T) {
+	src := ">big\nMKVLAWGQ\nMKVLAWGQ\n>small\nACDE\n"
+	seqs, rep, err := DecodeFasta(strings.NewReader(src), DecodeOptions{MaxSeqLen: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 1 || seqs[0].ID != "small" {
+		t.Fatalf("got %+v, want just record small", seqs)
+	}
+	if rep.Oversized != 1 || rep.Malformed != 0 {
+		t.Fatalf("report = %+v, want 1 oversized", rep)
+	}
+	if rep.Skipped[0].ID != "big" || rep.Skipped[0].Line != 1 {
+		t.Errorf("skip = %+v, want record big at line 1", rep.Skipped[0])
 	}
 }
 

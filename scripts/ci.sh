@@ -37,8 +37,15 @@ CGO_ENABLED=0 go build ./...
 echo "== race =="
 go test -race -short ./...
 
+echo "== chaos (failpoint build, race) =="
+# The fault-injection build (DESIGN.md §12): chaos suites force kernel
+# panics, transient faults, and breaker trips, and assert quarantine
+# reporting plus zero goroutine leaks under the race detector.
+go test -race -short -tags failpoint ./...
+
 echo "== fuzz smoke =="
 go test -fuzz=FuzzAlignWidths -fuzztime=10s -run FuzzAlignWidths ./internal/core
+go test -fuzz=FuzzFASTADecode -fuzztime=10s -run FuzzFASTADecode ./internal/seqio
 
 echo "== bench smoke =="
 # One iteration of every search benchmark, streamed as test2json into

@@ -60,6 +60,16 @@ type (
 	// results (batches, cells by width, saturations, queue high-water
 	// mark, per-stage wall times).
 	SearchStats = metrics.Snapshot
+	// Quarantine is one database sequence the self-healing search
+	// pipeline isolated after an alignment stage failed on its batch;
+	// see SearchResult.Quarantined.
+	Quarantine = sched.Quarantine
+	// DecodeOptions configures the lenient FASTA decoder.
+	DecodeOptions = seqio.DecodeOptions
+	// DecodeReport summarizes what DecodeFasta skipped.
+	DecodeReport = seqio.DecodeReport
+	// SkippedRecord is one FASTA record the lenient decoder rejected.
+	SkippedRecord = seqio.SkippedRecord
 )
 
 // PublishMetrics registers the process-wide search counters as the
@@ -92,8 +102,18 @@ func ParseMatrix(r io.Reader, name string) (*Matrix, error) {
 	return submat.Parse(r, name, alphabet.ProteinAlphabet())
 }
 
-// ReadFasta parses FASTA records.
+// ReadFasta parses FASTA records leniently: malformed records are
+// skipped. Use DecodeFasta to see what was skipped or to enforce
+// strictness and size limits.
 func ReadFasta(r io.Reader) ([]Sequence, error) { return seqio.ReadFasta(r) }
+
+// DecodeFasta parses FASTA records under the given options. In the
+// default lenient mode malformed or oversized records are skipped,
+// counted, and itemized in the report; with Strict set the first bad
+// record fails the decode.
+func DecodeFasta(r io.Reader, opt DecodeOptions) ([]Sequence, *DecodeReport, error) {
+	return seqio.DecodeFasta(r, opt)
+}
 
 // WriteFasta writes FASTA records with 60-column wrapping.
 func WriteFasta(w io.Writer, seqs []Sequence) error { return seqio.WriteFasta(w, seqs) }
@@ -238,6 +258,15 @@ func (a *Aligner) encode(seq []byte) ([]uint8, error) {
 		return nil, err
 	}
 	return alpha.Encode(seq), nil
+}
+
+// ValidateSequence checks that seq is non-empty and every residue is
+// valid under the aligner's alphabet, without running an alignment.
+// Servers use it to reject a bad request at admission instead of
+// poisoning the batch it would have joined.
+func (a *Aligner) ValidateSequence(seq []byte) error {
+	_, err := a.encode(seq)
+	return err
 }
 
 // Score computes the optimal local alignment score of query against
