@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all verify fmt vet lint portable race chaos fuzz bench bench-smoke ci
+.PHONY: all verify fmt vet lint portable race chaos fuzz bench bench-smoke bench-backends ci
 
 all: verify
 
@@ -43,16 +43,23 @@ chaos:
 # against arbitrary input, for a few seconds each.
 fuzz:
 	$(GO) test -fuzz=FuzzAlignWidths -fuzztime=10s -run FuzzAlignWidths ./internal/core
+	$(GO) test -fuzz=FuzzNativeVsModeled -fuzztime=10s -run FuzzNativeVsModeled ./internal/core
 	$(GO) test -fuzz=FuzzFASTADecode -fuzztime=10s -run FuzzFASTADecode ./internal/seqio
 
 # Figure + kernel benchmarks with allocation reporting.
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
 
-# One-iteration search benchmarks streamed into BENCH_ci.json — the CI
-# perf-trajectory artifact.
+# One-iteration search + backend-comparison benchmarks streamed into
+# BENCH_ci.json — the CI perf-trajectory artifact. Sub-benchmark names
+# carry backend=/width= fields so entries are comparable across PRs.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkSearch' -benchtime 1x -json . > BENCH_ci.json
+	$(GO) test -run '^$$' -bench 'BenchmarkSearch|BenchmarkBackends' -benchtime 1x -json . > BENCH_ci.json
 	@grep -q '"Action":"pass"' BENCH_ci.json || { echo "bench smoke failed"; exit 1; }
+
+# Full native-vs-modeled kernel comparison (pair and batch, both
+# widths) with allocation reporting.
+bench-backends:
+	$(GO) test -run '^$$' -bench 'BenchmarkBackends' -benchmem .
 
 ci: fmt verify vet lint portable race chaos fuzz bench-smoke

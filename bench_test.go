@@ -11,6 +11,7 @@ package swvec
 // Run: go test -bench=. -benchmem .
 
 import (
+	"fmt"
 	"testing"
 
 	"swvec/internal/aln"
@@ -370,27 +371,49 @@ func BenchmarkAblationBatchBlockCols(b *testing.B) {
 	}
 }
 
+// searchBenchConfigs enumerates the backend × vector-width points the
+// search benchmarks record. The sub-benchmark name carries both fields
+// so every BENCH_ci.json entry is self-describing and comparable
+// across PRs (the pre-backend baseline corresponds to
+// backend=modeled/width=256).
+var searchBenchConfigs = []struct {
+	name    string
+	backend Backend
+	width   int
+}{
+	{"backend=modeled/width=256", BackendModeled, 256},
+	{"backend=native/width=256", BackendNative, 256},
+	{"backend=native/width=512", BackendNative, 512},
+}
+
 // BenchmarkSearchEndToEnd measures the public API's database search on
-// the host (wall clock of the emulated machine).
+// the host, per execution backend and vector width. On the modeled
+// backend the wall clock measures the emulated vector machine; on the
+// native backend it measures the compiled serving kernels.
 func BenchmarkSearchEndToEnd(b *testing.B) {
-	al, err := New(WithLengthSortedBatches())
-	if err != nil {
-		b.Fatal(err)
-	}
 	db := GenerateDatabase(9, 64)
 	query := db[10].Residues
 	if len(query) > 200 {
 		query = query[:200]
 	}
-	var cells int64
-	for i := 0; i < b.N; i++ {
-		res, err := al.Search(query, db)
-		if err != nil {
-			b.Fatal(err)
-		}
-		cells = res.Cells
+	for _, cfg := range searchBenchConfigs {
+		b.Run(cfg.name, func(b *testing.B) {
+			al, err := New(WithLengthSortedBatches(),
+				WithBackend(cfg.backend), WithVectorWidth(cfg.width))
+			if err != nil {
+				b.Fatal(err)
+			}
+			var cells int64
+			for i := 0; i < b.N; i++ {
+				res, err := al.Search(query, db)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cells = res.Cells
+			}
+			b.SetBytes(cells)
+		})
 	}
-	b.SetBytes(cells)
 }
 
 // BenchmarkKernelBatch8Scratch is the steady-state allocation check
@@ -431,23 +454,111 @@ func BenchmarkKernelBatch8Scratch(b *testing.B) {
 // the whole-pipeline allocation budget, which no longer scales with
 // per-batch work.
 func BenchmarkSearchPipeline(b *testing.B) {
-	al, err := New(WithLengthSortedBatches())
-	if err != nil {
-		b.Fatal(err)
-	}
 	db := GenerateDatabase(1, 2000)
 	query := db[10].Residues
 	if len(query) > 200 {
 		query = query[:200]
 	}
-	b.ReportAllocs()
-	var cells int64
-	for i := 0; i < b.N; i++ {
-		res, err := al.Search(query, db)
-		if err != nil {
-			b.Fatal(err)
-		}
-		cells = res.Cells
+	for _, cfg := range searchBenchConfigs {
+		b.Run(cfg.name, func(b *testing.B) {
+			al, err := New(WithLengthSortedBatches(),
+				WithBackend(cfg.backend), WithVectorWidth(cfg.width))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			var cells int64
+			for i := 0; i < b.N; i++ {
+				res, err := al.Search(query, db)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cells = res.Cells
+			}
+			b.SetBytes(cells)
+		})
 	}
-	b.SetBytes(cells)
+}
+
+// BenchmarkBackends compares the modeled vector machine with the
+// compiled native kernels on identical pair and batch workloads at
+// both register widths. Wall clock is the comparison that matters: the
+// modeled rows price the interpreter the serving path no longer pays,
+// the native rows are what swserver actually runs.
+func BenchmarkBackends(b *testing.B) {
+	p := newBenchPair(320, 1000)
+	fixed := submat.MatchMismatch(p.mat.Alphabet(), 2, -1)
+	pairCells := int64(len(p.q)) * int64(len(p.d))
+	tables := submat.NewCodeTables(p.mat)
+	g := seqio.NewGenerator(6)
+	q := g.Protein("bq", 320).Encode(p.mat.Alphabet())
+	batch256 := seqio.BuildBatches(g.Database(seqio.BatchLanes), p.mat.Alphabet(),
+		seqio.BatchOptions{SortByLength: true, Lanes: seqio.BatchLanes})[0]
+	batch512 := seqio.BuildBatches(g.Database(seqio.MaxBatchLanes), p.mat.Alphabet(),
+		seqio.BatchOptions{SortByLength: true, Lanes: seqio.MaxBatchLanes})[0]
+
+	cases := []struct {
+		kernel string
+		width  int
+		cells  int64
+		run    func(m vek.Machine, po core.PairOptions, bo core.BatchOptions) error
+	}{
+		{"pair8", 256, pairCells, func(m vek.Machine, po core.PairOptions, _ core.BatchOptions) error {
+			_, err := core.AlignPair8(m, p.q, p.d, fixed, po)
+			return err
+		}},
+		{"pair8", 512, pairCells, func(m vek.Machine, po core.PairOptions, _ core.BatchOptions) error {
+			_, err := core.AlignPair8W(m, p.q, p.d, fixed, po)
+			return err
+		}},
+		{"pair16", 256, pairCells, func(m vek.Machine, po core.PairOptions, _ core.BatchOptions) error {
+			_, _, err := core.AlignPair16(m, p.q, p.d, p.mat, po)
+			return err
+		}},
+		{"pair16", 512, pairCells, func(m vek.Machine, po core.PairOptions, _ core.BatchOptions) error {
+			_, err := core.AlignPair16W(m, p.q, p.d, p.mat, po)
+			return err
+		}},
+		{"pair32", 256, pairCells, func(m vek.Machine, po core.PairOptions, _ core.BatchOptions) error {
+			_, err := core.AlignPair32(m, p.q, p.d, p.mat, po)
+			return err
+		}},
+		{"batch8", 256, batch256.Cells(len(q)), func(m vek.Machine, _ core.PairOptions, bo core.BatchOptions) error {
+			_, err := core.AlignBatch8(m, q, tables, batch256, bo)
+			return err
+		}},
+		{"batch8", 512, batch512.Cells(len(q)), func(m vek.Machine, _ core.PairOptions, bo core.BatchOptions) error {
+			_, err := core.AlignBatch8(m, q, tables, batch512, bo)
+			return err
+		}},
+		{"batch16", 256, batch256.Cells(len(q)), func(m vek.Machine, _ core.PairOptions, bo core.BatchOptions) error {
+			_, err := core.AlignBatch16(m, q, tables, batch256, bo)
+			return err
+		}},
+		{"batch16", 512, batch512.Cells(len(q)), func(m vek.Machine, _ core.PairOptions, bo core.BatchOptions) error {
+			_, err := core.AlignBatch16(m, q, tables, batch512, bo)
+			return err
+		}},
+	}
+
+	for _, be := range []core.Backend{core.BackendModeled, core.BackendNative} {
+		mch := vek.Bare
+		if be == core.BackendModeled {
+			mch, _ = vek.NewMachine()
+		}
+		scratch := core.NewScratch()
+		popt := core.PairOptions{Gaps: aln.DefaultGaps(), Backend: be, Scratch: scratch}
+		bopt := core.BatchOptions{Gaps: aln.DefaultGaps(), Backend: be, Scratch: scratch}
+		for _, c := range cases {
+			b.Run(fmt.Sprintf("%s/backend=%s/width=%d", c.kernel, be, c.width), func(b *testing.B) {
+				b.SetBytes(c.cells)
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if err := c.run(mch, popt, bopt); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
 }

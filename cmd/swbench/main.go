@@ -18,6 +18,7 @@ import (
 	"strconv"
 	"strings"
 
+	"swvec/internal/core"
 	"swvec/internal/figures"
 	"swvec/internal/metrics"
 	"swvec/internal/stats"
@@ -31,6 +32,7 @@ func main() {
 		seed      = flag.Int64("seed", 42, "workload seed")
 		db        = flag.Int("db", 0, "database size override (sequences)")
 		width     = flag.String("width", "auto", "search-pipeline vector width: 256, 512, or auto")
+		backend   = flag.String("backend", "auto", "execution backend: auto, modeled, or native (instrumented figures resolve auto to modeled)")
 		pipeStats = flag.Bool("stats", false, "print the cumulative per-stage pipeline counters after the run")
 	)
 	flag.Parse()
@@ -48,7 +50,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfg := figures.Config{Quick: *quick, Seed: *seed, DBSize: *db, Width: bits}
+	be, err := core.ParseBackend(*backend)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "swbench: %v\n", err)
+		os.Exit(2)
+	}
+
+	cfg := figures.Config{Quick: *quick, Seed: *seed, DBSize: *db, Width: bits, Backend: be}
 	var tables []*stats.Table
 	run := func(id string) {
 		switch id {

@@ -112,8 +112,15 @@ func main() {
 		brkCool    = flag.Duration("breaker-cooldown", 5*time.Second, "circuit-breaker open duration before a probe batch")
 		admin      = flag.String("admin", "", "opt-in admin address serving /debug/vars and pprof")
 		timeout    = flag.Duration("timeout", 30*time.Second, "client-mode dial and I/O deadline (0 disables)")
+		backendStr = flag.String("backend", "auto", "execution backend: auto (native), modeled, or native")
 	)
 	flag.Parse()
+
+	backend, berr := swvec.ParseBackend(*backendStr)
+	if berr != nil {
+		fmt.Fprintf(os.Stderr, "swserver: %v\n", berr)
+		os.Exit(2)
+	}
 
 	switch {
 	case *listen != "":
@@ -128,6 +135,7 @@ func main() {
 			breakFails:    *brkFails,
 			breakCooldown: *brkCool,
 			threads:       *threads,
+			backend:       backend,
 		})
 	case *connect != "":
 		os.Exit(runClient(*connect, *query, *top, *timeout))
@@ -155,6 +163,7 @@ type serverConfig struct {
 	breakFails    int           // breaker threshold, 0 = default
 	breakCooldown time.Duration // breaker cooldown, 0 = default
 	threads       int           // worker threads, informs the degraded aligner
+	backend       swvec.Backend // execution backend for both aligners
 }
 
 // server accumulates client queries into batches and aligns them. Its
@@ -205,7 +214,7 @@ func newServer(al *swvec.Aligner, db []swvec.Sequence, ln net.Listener, cfg serv
 	if cfg.breakCooldown <= 0 {
 		cfg.breakCooldown = 5 * time.Second
 	}
-	alDeg := newDegradedAligner(cfg.threads)
+	alDeg := newDegradedAligner(cfg.threads, cfg.backend)
 	if alDeg == nil {
 		alDeg = al
 	}
@@ -228,7 +237,7 @@ func newServer(al *swvec.Aligner, db []swvec.Sequence, ln net.Listener, cfg serv
 // configured threads (at least one), a depth-1 pipeline, and the
 // 256-bit width. Scores are identical to the primary aligner's — only
 // throughput and footprint shrink.
-func newDegradedAligner(threads int) *swvec.Aligner {
+func newDegradedAligner(threads int, backend swvec.Backend) *swvec.Aligner {
 	n := threads
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
@@ -242,6 +251,7 @@ func newDegradedAligner(threads int) *swvec.Aligner {
 		swvec.WithPipelineDepth(1),
 		swvec.WithVectorWidth(256),
 		swvec.WithLengthSortedBatches(),
+		swvec.WithBackend(backend),
 	)
 	if err != nil {
 		return nil
@@ -630,7 +640,7 @@ func runServer(addr, dbPath string, genDB, threads int, admin string, cfg server
 		}
 		db = seqs
 	}
-	al, err := swvec.New(swvec.WithThreads(threads), swvec.WithLengthSortedBatches())
+	al, err := swvec.New(swvec.WithThreads(threads), swvec.WithLengthSortedBatches(), swvec.WithBackend(cfg.backend))
 	if err != nil {
 		fatal("%v", err)
 	}

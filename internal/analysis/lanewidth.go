@@ -9,8 +9,10 @@ import (
 
 // laneWidthScope lists the package-path suffixes the analyzer applies
 // to: the kernel and scheduler packages, where every 32/64 must be the
-// engine's lane count in disguise.
-var laneWidthScope = []string{"internal/core", "internal/sched"}
+// engine's lane count in disguise. internal/native is held to the same
+// rule: each compiled kernel's lane count is a named per-kernel
+// constant (strideBatch8x32, ...), never a bare literal.
+var laneWidthScope = []string{"internal/core", "internal/sched", "internal/native"}
 
 // laneNames are the identifier/parameter names that denote a lane
 // stride. A literal 32 or 64 flowing into one of these is the bug

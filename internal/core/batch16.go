@@ -19,6 +19,15 @@ import (
 // engine, widened per column; scores saturate at 32767 (flagged for
 // the 32-bit pair kernel).
 func AlignBatch16(mch vek.Machine, query []uint8, tables *submat.CodeTables, batch *seqio.Batch, opt BatchOptions) (BatchResult, error) {
+	if useNativeBatch(tables, &opt) {
+		var res BatchResult
+		if err := checkBatch([][]uint8{query}, batch, &opt); err != nil {
+			return res, err
+		}
+		s := batchScratchOrLocal(&opt)
+		nativeBatch16(query, tables, batch, &opt, s, &res)
+		return res, nil
+	}
 	if batch.Stride() == seqio.MaxBatchLanes {
 		return alignBatch[vek.I16x32, int16](be16x32{}, mch, query, tables, batch, opt)
 	}

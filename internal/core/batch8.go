@@ -34,6 +34,9 @@ type BatchOptions struct {
 	// Scratch supplies reusable working buffers owned by the calling
 	// worker; nil allocates per call. See Scratch.
 	Scratch *Scratch
+	// Backend selects the execution backend, as in
+	// PairOptions.Backend. EagerMax forces the modeled backend.
+	Backend Backend
 }
 
 // BatchResult carries per-lane outcomes of one batch alignment. Only
@@ -64,6 +67,11 @@ func AlignBatch8(mch vek.Machine, query []uint8, tables *submat.CodeTables, batc
 	if opt.Gaps.Open > 127 {
 		return res, fmt.Errorf("core: gap open %d exceeds the 8-bit range", opt.Gaps.Open)
 	}
+	if useNativeBatch(tables, &opt) {
+		s := batchScratchOrLocal(&opt)
+		nativeBatch8(query, tables, batch, &opt, s, &res)
+		return res, nil
+	}
 	if batch.Stride() == seqio.MaxBatchLanes {
 		return alignBatch[vek.I8x64, int8](be8x64{}, mch, query, tables, batch, opt)
 	}
@@ -86,6 +94,14 @@ func AlignBatch8Multi(mch vek.Machine, queries [][]uint8, tables *submat.CodeTab
 	}
 	if opt.Gaps.Open > 127 {
 		return nil, fmt.Errorf("core: gap open %d exceeds the 8-bit range", opt.Gaps.Open)
+	}
+	if useNativeBatch(tables, &opt) {
+		s := batchScratchOrLocal(&opt)
+		out := make([]BatchResult, len(queries))
+		for qi := range queries {
+			nativeBatch8(queries[qi], tables, batch, &opt, s, &out[qi])
+		}
+		return out, nil
 	}
 	if batch.Stride() == seqio.MaxBatchLanes {
 		return alignBatchMulti[vek.I8x64, int8](be8x64{}, mch, queries, tables, batch, opt)

@@ -59,6 +59,12 @@ type PairOptions struct {
 	// worker (currently used by the 32-bit kernel, the search
 	// pipeline's final escalation tier); nil allocates per call.
 	Scratch *Scratch
+	// Backend selects the execution backend. BackendAuto and
+	// BackendModeled run the instrumented vek machine; BackendNative
+	// runs the compiled kernels in internal/native, which produce
+	// bit-identical results but no instruction tallies. Modeled-only
+	// features (Traceback, EagerMax) force the modeled backend.
+	Backend Backend
 }
 
 // DefaultScalarThreshold is the segment length below which the kernels

@@ -1,0 +1,378 @@
+package core
+
+import (
+	"testing"
+
+	"swvec/internal/aln"
+	"swvec/internal/seqio"
+	"swvec/internal/submat"
+	"swvec/internal/vek"
+)
+
+// The native backend must be bit-identical to the modeled machine:
+// same scores, same saturation flags, same hit positions, for every
+// entry point, width, matrix family, and gap model. These tests run
+// every case through both backends and compare the full results, so
+// any drift in the compiled kernels fails loudly rather than skewing
+// search output.
+
+// nativeMatrices is the matrix families the kernels special-case:
+// full substitution (gather/profile scoring), fixed match/mismatch
+// (compare-and-blend), and the DNA default (different alphabet size).
+func nativeMatrices() []*submat.Matrix {
+	return []*submat.Matrix{
+		submat.Blosum62(),
+		submat.MatchMismatch(protAlpha, 2, -1),
+		submat.DNADefault(),
+	}
+}
+
+// nativeGaps is the gap models under test: the protein default, a
+// cheap-open affine model, and a linear model (Open == Extend), which
+// exercises the reduced modeled kernels against the native backend's
+// single affine recurrence.
+func nativeGaps() []aln.Gaps {
+	return []aln.Gaps{
+		{Open: 11, Extend: 1},
+		{Open: 5, Extend: 1},
+		aln.Linear(2),
+	}
+}
+
+func comparePairResults(t *testing.T, name string, mod, nat aln.ScoreResult) {
+	t.Helper()
+	if mod != nat {
+		t.Errorf("%s: modeled %+v != native %+v", name, mod, nat)
+	}
+}
+
+// checkPairBackends runs one (q, d, mat, gaps) case through every pair
+// entry point on both backends and requires identical results.
+func checkPairBackends(t *testing.T, q, d []uint8, mat *submat.Matrix, gaps aln.Gaps) {
+	t.Helper()
+	type pairFn struct {
+		name string
+		run  func(PairOptions) (aln.ScoreResult, error)
+	}
+	fns := []pairFn{
+		{"pair8", func(o PairOptions) (aln.ScoreResult, error) {
+			return AlignPair8(vek.Bare, q, d, mat, o)
+		}},
+		{"pair8w", func(o PairOptions) (aln.ScoreResult, error) {
+			return AlignPair8W(vek.Bare, q, d, mat, o)
+		}},
+		{"pair16", func(o PairOptions) (aln.ScoreResult, error) {
+			r, _, err := AlignPair16(vek.Bare, q, d, mat, o)
+			return r, err
+		}},
+		{"pair16pos", func(o PairOptions) (aln.ScoreResult, error) {
+			o.TrackPosition = true
+			r, _, err := AlignPair16(vek.Bare, q, d, mat, o)
+			return r, err
+		}},
+		{"pair16w", func(o PairOptions) (aln.ScoreResult, error) {
+			return AlignPair16W(vek.Bare, q, d, mat, o)
+		}},
+		{"pair32", func(o PairOptions) (aln.ScoreResult, error) {
+			return AlignPair32(vek.Bare, q, d, mat, o)
+		}},
+		{"adaptive", func(o PairOptions) (aln.ScoreResult, error) {
+			r, _, err := AlignPairAdaptive(vek.Bare, q, d, mat, o)
+			return r, err
+		}},
+	}
+	for _, fn := range fns {
+		mod, err := fn.run(PairOptions{Gaps: gaps, Backend: BackendModeled})
+		if err != nil {
+			t.Fatalf("%s modeled: %v", fn.name, err)
+		}
+		nat, err := fn.run(PairOptions{Gaps: gaps, Backend: BackendNative})
+		if err != nil {
+			t.Fatalf("%s native: %v", fn.name, err)
+		}
+		comparePairResults(t, fn.name, mod, nat)
+	}
+}
+
+func TestNativePairMatchesModeled(t *testing.T) {
+	g := seqio.NewGenerator(301)
+	for _, mat := range nativeMatrices() {
+		alpha := mat.Alphabet()
+		for _, gaps := range nativeGaps() {
+			for trial := 0; trial < 12; trial++ {
+				qlen := 1 + trial*29%230
+				dlen := 1 + trial*41%310
+				q := g.Protein("q", qlen).Encode(protAlpha)
+				d := g.Protein("d", dlen).Encode(protAlpha)
+				// Re-map codes into the matrix's alphabet range so the
+				// DNA matrix sees valid input.
+				for i := range q {
+					q[i] %= uint8(alpha.Size())
+				}
+				for i := range d {
+					d[i] %= uint8(alpha.Size())
+				}
+				checkPairBackends(t, q, d, mat, gaps)
+			}
+		}
+	}
+}
+
+// TestNativePairRelated drives long, high-identity pairs through both
+// backends: these saturate the 8-bit tier and score high in the 16-bit
+// one, so the saturation flags and the escalation ladder must agree.
+func TestNativePairRelated(t *testing.T) {
+	g := seqio.NewGenerator(302)
+	for trial := 0; trial < 6; trial++ {
+		src := g.Protein("src", 300+trial*200)
+		rel := g.Related(src, "rel", 0.1, 0.02)
+		q := src.Encode(protAlpha)
+		d := rel.Encode(protAlpha)
+		checkPairBackends(t, q, d, b62, aln.DefaultGaps())
+	}
+}
+
+// TestNativePairPositionTiebreak pins the modeled tracker's tie-break
+// (smallest anti-diagonal, then smallest row, -1/-1 on a zero score)
+// against the native position kernel on directed cases.
+func TestNativePairPositionTiebreak(t *testing.T) {
+	cases := []struct{ q, d string }{
+		{"MKVLAW", "MKVLAW"},
+		{"AAAA", "AAAA"},     // many equal-scoring cells
+		{"AWAWAW", "WAWAWA"}, // repeated motif, diagonal ties
+		{"MKV", "QQQ"},       // zero score: positions must be -1/-1
+	}
+	for _, c := range cases {
+		q, d := enc(c.q), enc(c.d)
+		opt := PairOptions{Gaps: aln.DefaultGaps(), TrackPosition: true}
+		opt.Backend = BackendModeled
+		mod, _, err := AlignPair16(vek.Bare, q, d, b62, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt.Backend = BackendNative
+		nat, _, err := AlignPair16(vek.Bare, q, d, b62, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		comparePairResults(t, "pair16pos "+c.q+"/"+c.d, mod, nat)
+	}
+}
+
+// checkBatchBackends aligns one query against one batch at 8 and 16
+// bits on both backends and requires identical score and saturation
+// arrays (all lanes, padding included).
+func checkBatchBackends(t *testing.T, query []uint8, tables *submat.CodeTables, batch *seqio.Batch, gaps aln.Gaps) {
+	t.Helper()
+	for _, width := range []struct {
+		name string
+		run  func(BatchOptions) (BatchResult, error)
+	}{
+		{"batch8", func(o BatchOptions) (BatchResult, error) {
+			return AlignBatch8(vek.Bare, query, tables, batch, o)
+		}},
+		{"batch16", func(o BatchOptions) (BatchResult, error) {
+			return AlignBatch16(vek.Bare, query, tables, batch, o)
+		}},
+	} {
+		mod, err := width.run(BatchOptions{Gaps: gaps, Backend: BackendModeled})
+		if err != nil {
+			t.Fatalf("%s modeled: %v", width.name, err)
+		}
+		nat, err := width.run(BatchOptions{Gaps: gaps, Backend: BackendNative})
+		if err != nil {
+			t.Fatalf("%s native: %v", width.name, err)
+		}
+		if mod.Scores != nat.Scores {
+			t.Errorf("%s lanes=%d: scores diverge\nmodeled %v\nnative  %v",
+				width.name, batch.Stride(), mod.Scores, nat.Scores)
+		}
+		if mod.Saturated != nat.Saturated {
+			t.Errorf("%s lanes=%d: saturation flags diverge", width.name, batch.Stride())
+		}
+	}
+}
+
+func TestNativeBatchMatchesModeled(t *testing.T) {
+	g := seqio.NewGenerator(303)
+	db := g.Database(70)
+	tables := submat.NewCodeTables(b62)
+	for _, lanes := range []int{seqio.BatchLanes, seqio.MaxBatchLanes} {
+		// A full batch and a partial one (padding lanes must agree too).
+		full := make([]int, lanes)
+		for i := range full {
+			full[i] = i
+		}
+		partial := []int{0, 3, 7}
+		for _, members := range [][]int{full, partial} {
+			b := seqio.MakeBatch(db, members, protAlpha, lanes)
+			for _, gaps := range nativeGaps() {
+				q := g.Protein("q", 90).Encode(protAlpha)
+				checkBatchBackends(t, q, tables, b, gaps)
+			}
+		}
+	}
+}
+
+// TestNativeBatchMultiMatchesModeled checks the shared-batch
+// multi-query path, which reuses one scratch across queries on both
+// backends.
+func TestNativeBatchMultiMatchesModeled(t *testing.T) {
+	g := seqio.NewGenerator(304)
+	db := g.Database(40)
+	tables := submat.NewCodeTables(b62)
+	b := seqio.MakeBatch(db, []int{0, 1, 2, 3, 4, 5, 6, 7}, protAlpha, seqio.BatchLanes)
+	queries := [][]uint8{
+		g.Protein("q1", 60).Encode(protAlpha),
+		g.Protein("q2", 150).Encode(protAlpha),
+		g.Protein("q3", 25).Encode(protAlpha),
+	}
+	gaps := aln.DefaultGaps()
+	mod, err := AlignBatch8Multi(vek.Bare, queries, tables, b,
+		BatchOptions{Gaps: gaps, Backend: BackendModeled})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nat, err := AlignBatch8Multi(vek.Bare, queries, tables, b,
+		BatchOptions{Gaps: gaps, Backend: BackendNative})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := range queries {
+		if mod[qi].Scores != nat[qi].Scores || mod[qi].Saturated != nat[qi].Saturated {
+			t.Errorf("query %d: multi results diverge", qi)
+		}
+	}
+}
+
+// TestNativeSaturationEscalation forces the full 8 -> 16 -> 32
+// escalation ladder: a 4000-residue identical pair under a +9 match
+// matrix scores 36000, past both the 8- and 16-bit ceilings. Both
+// backends must flag each tier and land on the same exact score.
+func TestNativeSaturationEscalation(t *testing.T) {
+	mat := submat.MatchMismatch(protAlpha, 9, -4)
+	n := 4000
+	q := make([]uint8, n)
+	for i := range q {
+		q[i] = uint8(i % 20)
+	}
+	d := append([]uint8(nil), q...)
+	want := int32(9 * n)
+	for _, backend := range []Backend{BackendModeled, BackendNative} {
+		opt := PairOptions{Gaps: aln.DefaultGaps(), Backend: backend}
+		r8, err := AlignPair8(vek.Bare, q, d, mat, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r8.Saturated {
+			t.Fatalf("backend %v: 8-bit tier did not saturate (score %d)", backend, r8.Score)
+		}
+		r16, _, err := AlignPair16(vek.Bare, q, d, mat, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r16.Saturated {
+			t.Fatalf("backend %v: 16-bit tier did not saturate (score %d)", backend, r16.Score)
+		}
+		res, _, err := AlignPairAdaptive(vek.Bare, q, d, mat, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Score != want || res.Saturated {
+			t.Fatalf("backend %v: adaptive score %d (saturated %v), want %d exact",
+				backend, res.Score, res.Saturated, want)
+		}
+	}
+}
+
+// TestProfileCacheHits verifies the scratch-held query-profile cache:
+// repeating a query on one scratch rebuilds the 8-bit profile only
+// once, a changed query or matrix misses, and the hit counter drains
+// through TakeProfileCacheHits.
+func TestProfileCacheHits(t *testing.T) {
+	g := seqio.NewGenerator(305)
+	q := g.Protein("q", 120).Encode(protAlpha)
+	q2 := g.Protein("q2", 120).Encode(protAlpha)
+	d := g.Protein("d", 200).Encode(protAlpha)
+	s := NewScratch()
+	opt := PairOptions{Gaps: aln.DefaultGaps(), Scratch: s, Backend: BackendModeled}
+	for i := 0; i < 3; i++ {
+		if _, err := AlignPair8(vek.Bare, q, d, b62, opt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hits := s.TakeProfileCacheHits(); hits != 2 {
+		t.Fatalf("profile cache hits = %d, want 2 (one build, two reuses)", hits)
+	}
+	// A different query must rebuild, not hit.
+	if _, err := AlignPair8(vek.Bare, q2, d, b62, opt); err != nil {
+		t.Fatal(err)
+	}
+	if hits := s.TakeProfileCacheHits(); hits != 0 {
+		t.Fatalf("changed query still hit the cache (%d hits)", hits)
+	}
+	// The counter drained above; one more repeat yields exactly one hit.
+	if _, err := AlignPair8(vek.Bare, q2, d, b62, opt); err != nil {
+		t.Fatal(err)
+	}
+	if hits := s.TakeProfileCacheHits(); hits != 1 {
+		t.Fatalf("repeat after drain: hits = %d, want 1", hits)
+	}
+	// The cached profile must not alias the caller's buffer: mutating
+	// the old query bytes and re-running must still hit (private copy).
+	q2[0] = (q2[0] + 1) % 20
+	if _, err := AlignPair8(vek.Bare, q2, d, b62, opt); err != nil {
+		t.Fatal(err)
+	}
+	if hits := s.TakeProfileCacheHits(); hits != 0 {
+		t.Fatalf("mutated query buffer falsely hit the cache (%d hits)", hits)
+	}
+}
+
+// FuzzNativeVsModeled fuzzes the backend seam the same way
+// FuzzAlignWidths fuzzes the width ladder: arbitrary sequences, gap
+// models, and matrix families must produce identical results from both
+// backends at every entry point.
+func FuzzNativeVsModeled(f *testing.F) {
+	f.Add([]byte("MKVLAWMKVLAWMKVLAW"), []byte("MKVLAWMKVLNW"), byte(11), byte(1), false)
+	f.Add([]byte("AAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA"),
+		[]byte("AAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA"), byte(1), byte(1), true)
+	f.Add([]byte("WWWWWWWWWWWWWWWWWWWWWWWWWWWWWWWWWWWW"),
+		[]byte("WWWWWWWWWWWWWWWWWWWWWWWWWWWWWWWWWWWW"), byte(0), byte(0), false)
+	f.Add([]byte("ACDEFGHIKLMNPQRSTVWY"), []byte("YWVTSRQPNMLKIHGFEDCA"), byte(19), byte(4), false)
+	f.Add([]byte("M"), []byte("M"), byte(5), byte(2), true)
+
+	bl62 := submat.Blosum62()
+	fixed := submat.MatchMismatch(bl62.Alphabet(), 2, -1)
+
+	f.Fuzz(func(t *testing.T, qraw, draw []byte, openB, extB byte, useFixed bool) {
+		mat := bl62
+		if useFixed {
+			mat = fixed
+		}
+		size := mat.Alphabet().Size()
+		q := fuzzCodes(qraw, size, 300)
+		d := fuzzCodes(draw, size, 300)
+		if len(q) == 0 || len(d) == 0 {
+			t.Skip()
+		}
+		ext := 1 + int32(extB)%15
+		open := ext + int32(openB)%20
+		gaps := aln.Gaps{Open: open, Extend: ext}
+
+		checkPairBackends(t, q, d, mat, gaps)
+		checkPairBackends(t, q, d, mat, aln.Linear(ext))
+
+		alpha := mat.Alphabet()
+		letters := make([]byte, len(d))
+		for i, c := range d {
+			letters[i] = alpha.Letter(c)
+		}
+		db := []seqio.Sequence{{ID: "fuzz", Residues: letters}}
+		tables := submat.NewCodeTables(mat)
+		for _, lanes := range []int{seqio.BatchLanes, seqio.MaxBatchLanes} {
+			b := seqio.MakeBatch(db, []int{0}, alpha, lanes)
+			checkBatchBackends(t, q, tables, b, gaps)
+		}
+	})
+}

@@ -27,9 +27,15 @@ func AlignPair16(mch vek.Machine, q, dseq []uint8, mat *submat.Matrix, opt PairO
 	if err := checkPair(q, dseq, &opt); err != nil {
 		return aln.ScoreResult{EndQ: -1, EndD: -1}, nil, err
 	}
-	var bufs pairBufs[int16]
-	if opt.Gaps.IsLinear() {
-		return alignPairLinear[vek.I16x16, int16](vek.E16x16{}, mch, q, dseq, mat, opt, &bufs)
+	if opt.Backend == BackendNative && !opt.Traceback && !opt.EagerMax {
+		return nativePair16(q, dseq, mat, &opt), nil, nil
 	}
-	return alignPairAffine[vek.I16x16, int16](vek.E16x16{}, mch, q, dseq, mat, opt, &bufs)
+	bufs := &pairBufs[int16]{}
+	if opt.Scratch != nil {
+		bufs = &opt.Scratch.pair16
+	}
+	if opt.Gaps.IsLinear() {
+		return alignPairLinear[vek.I16x16, int16](vek.E16x16{}, mch, q, dseq, mat, opt, bufs)
+	}
+	return alignPairAffine[vek.I16x16, int16](vek.E16x16{}, mch, q, dseq, mat, opt, bufs)
 }

@@ -27,7 +27,13 @@ func AlignPair16W(mch vek.Machine, q, dseq []uint8, mat *submat.Matrix, opt Pair
 	opt.EagerMax = false
 	opt.RowMajorLayout = false
 	opt.ScalarTail = false
-	var bufs pairBufs[int16]
-	res, _, err := alignPairAffine[vek.I16x32, int16](vek.E16x32{}, mch, q, dseq, mat, opt, &bufs)
+	if opt.Backend == BackendNative {
+		return nativePair16(q, dseq, mat, &opt), nil
+	}
+	bufs := &pairBufs[int16]{}
+	if opt.Scratch != nil {
+		bufs = &opt.Scratch.pair16
+	}
+	res, _, err := alignPairAffine[vek.I16x32, int16](vek.E16x32{}, mch, q, dseq, mat, opt, bufs)
 	return res, err
 }

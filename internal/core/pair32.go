@@ -31,6 +31,9 @@ func AlignPair32(mch vek.Machine, q, dseq []uint8, mat *submat.Matrix, opt PairO
 	opt.EagerMax = false
 	opt.RowMajorLayout = false
 	opt.ScalarTail = false
+	if opt.Backend == BackendNative {
+		return nativePair32(q, dseq, mat, &opt), nil
+	}
 	var local pairBufs[int32]
 	bufs := &local
 	if opt.Scratch != nil {

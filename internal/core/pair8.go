@@ -40,12 +40,18 @@ func AlignPair8(mch vek.Machine, q, dseq []uint8, mat *submat.Matrix, opt PairOp
 		return aln.ScoreResult{EndQ: -1, EndD: -1}, err
 	}
 	opt = pair8Opt(opt)
+	if opt.Backend == BackendNative {
+		return nativePair8(q, dseq, mat, &opt), nil
+	}
 	// The scalar fallback handles partial tails: at 8 bits the padded
 	// tail would spend its masking ops on at most a few lanes' worth
 	// of useful work per short diagonal.
 	opt.ScalarTail = true
-	var bufs pairBufs[int8]
-	res, _, err := alignPairAffine[vek.I8x32, int8](vek.E8x32{}, mch, q, dseq, mat, opt, &bufs)
+	bufs := &pairBufs[int8]{}
+	if opt.Scratch != nil {
+		bufs = &opt.Scratch.pair8
+	}
+	res, _, err := alignPairAffine[vek.I8x32, int8](vek.E8x32{}, mch, q, dseq, mat, opt, bufs)
 	return res, err
 }
 
@@ -58,11 +64,17 @@ func AlignPair8W(mch vek.Machine, q, dseq []uint8, mat *submat.Matrix, opt PairO
 		return aln.ScoreResult{EndQ: -1, EndD: -1}, err
 	}
 	opt = pair8Opt(opt)
+	if opt.Backend == BackendNative {
+		return nativePair8(q, dseq, mat, &opt), nil
+	}
 	// At 64 lanes the padded tail wins back far more work than the
 	// scalar fallback, so the wide build keeps it.
 	opt.ScalarTail = false
-	var bufs pairBufs[int8]
-	res, _, err := alignPairAffine[vek.I8x64, int8](vek.E8x64{}, mch, q, dseq, mat, opt, &bufs)
+	bufs := &pairBufs[int8]{}
+	if opt.Scratch != nil {
+		bufs = &opt.Scratch.pair8
+	}
+	res, _, err := alignPairAffine[vek.I8x64, int8](vek.E8x64{}, mch, q, dseq, mat, opt, bufs)
 	return res, err
 }
 

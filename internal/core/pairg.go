@@ -1,6 +1,8 @@
 package core
 
 import (
+	"bytes"
+
 	"swvec/internal/aln"
 	"swvec/internal/submat"
 	"swvec/internal/vek"
@@ -93,8 +95,29 @@ type pairState[V any, E vek.Elem] struct {
 	dseq     []uint8
 }
 
-// initPairState prepares st for one alignment, reusing bufs.
-func initPairState[V any, E vek.Elem, En vek.Engine[V, E]](eng En, mch vek.Machine, st *pairState[V, E], q, dseq []uint8, mat *submat.Matrix, bufs *pairBufs[E]) {
+// profile8For returns the 8-bit query profile for (mat, q), serving it
+// from the scratch's cache when the previous call used the same matrix
+// and query contents. The query is compared by value and cached as a
+// private copy: callers (the adaptive ladder, the server) reuse their
+// encode buffers, so an aliased comparison would falsely hit.
+func profile8For(s *Scratch, mat *submat.Matrix, q []uint8) *submat.Profile8 {
+	if s == nil {
+		return submat.NewProfile8(mat, q)
+	}
+	if s.prof8 != nil && s.profMat == mat && bytes.Equal(s.profQuery, q) {
+		s.profileHits++
+		return s.prof8
+	}
+	s.prof8 = submat.NewProfile8(mat, q)
+	s.profMat = mat
+	//swlint:ignore hotpathalloc cache-miss path: repeated queries (the server steady state) hit the cache above
+	s.profQuery = append(s.profQuery[:0], q...)
+	return s.prof8
+}
+
+// initPairState prepares st for one alignment, reusing bufs and the
+// scratch's query-profile cache (nil scratch allocates per call).
+func initPairState[V any, E vek.Elem, En vek.Engine[V, E]](eng En, mch vek.Machine, st *pairState[V, E], q, dseq []uint8, mat *submat.Matrix, bufs *pairBufs[E], s *Scratch) {
 	m, n := len(q), len(dseq)
 	lanes := eng.Lanes()
 	slack := lanes + 2
@@ -137,7 +160,7 @@ func initPairState[V any, E vek.Elem, En vek.Engine[V, E]](eng En, mch vek.Machi
 		}
 	}
 	if !eng.HasGather() && !st.fixed {
-		st.prof = submat.NewProfile8(mat, q)
+		st.prof = profile8For(s, mat, q)
 		st.scoreBuf = bufE(&bufs.scoreBuf, lanes, 0)
 	}
 	// One-time profile/index preparation, charged as scalar work.
@@ -320,7 +343,7 @@ func alignPairAffine[V any, E vek.Elem, En vek.Engine[V, E]](eng En, mch vek.Mac
 	res := aln.ScoreResult{EndQ: -1, EndD: -1}
 	m, n := len(q), len(dseq)
 	var st pairState[V, E]
-	initPairState(eng, mch, &st, q, dseq, mat, bufs)
+	initPairState(eng, mch, &st, q, dseq, mat, bufs, opt.Scratch)
 	var tb *TraceMatrix
 	if opt.Traceback {
 		tb = newTraceMatrix(m, n)
@@ -524,7 +547,7 @@ func alignPairLinear[V any, E vek.Elem, En vek.Engine[V, E]](eng En, mch vek.Mac
 	res := aln.ScoreResult{EndQ: -1, EndD: -1}
 	m, n := len(q), len(dseq)
 	var st pairState[V, E]
-	initPairState(eng, mch, &st, q, dseq, mat, bufs)
+	initPairState(eng, mch, &st, q, dseq, mat, bufs, opt.Scratch)
 	var tb *TraceMatrix
 	if opt.Traceback {
 		tb = newTraceMatrix(m, n)

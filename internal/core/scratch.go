@@ -1,5 +1,7 @@
 package core
 
+import "swvec/internal/submat"
+
 // A Scratch holds the reusable working buffers of the batch engines
 // and the pair kernels' escalation tier: the transposed-residue int8
 // conversion, the DP column state, the per-row block carries, the
@@ -30,8 +32,35 @@ type Scratch struct {
 	carryE8, carryL8, carryD8 []int8
 	// carryE16/carryL16/carryD16 are the 16-bit engines' carries.
 	carryE16, carryL16, carryD16 []int16
-	// pair32 holds the 32-bit pair kernel's diagonal buffers.
+	// pair8/pair16/pair32 hold the modeled pair kernels' diagonal
+	// buffers per element width (the 256- and 512-bit builds of a
+	// width share one set; the buffers are resized and refilled per
+	// call).
+	pair8  pairBufs[int8]
+	pair16 pairBufs[int16]
 	pair32 pairBufs[int32]
+	// nph/npf are the native pair kernels' H/F rows per element width.
+	nph8, npf8   []int8
+	nph16, npf16 []int16
+	nph32, npf32 []int32
+	// prof8 caches the 8-bit query profile keyed by (matrix, query
+	// contents): the modeled 8-bit pair path rebuilds it per call
+	// otherwise, and repeated queries — the server's common case —
+	// make rebuilding pure waste. profQuery is a private copy, since
+	// callers reuse their encode buffers.
+	prof8       *submat.Profile8
+	profMat     *submat.Matrix
+	profQuery   []uint8
+	profileHits int64
+}
+
+// TakeProfileCacheHits returns the number of query-profile cache hits
+// since the last call and resets the counter. Workers fold it into
+// their metrics at exit.
+func (s *Scratch) TakeProfileCacheHits() int64 {
+	n := s.profileHits
+	s.profileHits = 0
+	return n
 }
 
 // NewScratch returns an empty scratch whose buffers grow on first use
@@ -45,6 +74,7 @@ func (s *Scratch) codes(t []uint8) []int8 {
 		return codesAsInt8(t)
 	}
 	if cap(s.t8) < len(t) {
+		//swlint:ignore hotpathalloc grow-once scratch arena, warm calls reuse capacity
 		s.t8 = make([]int8, len(t))
 	}
 	s.t8 = s.t8[:len(t)]
@@ -106,6 +136,7 @@ func rowBufsE[E any](ph, pf *[]E, n, stride int, affine bool, negInf E) (h, f []
 
 // codesAsInt8 reinterprets residue codes (0..31) as int8 lanes.
 func codesAsInt8(codes []uint8) []int8 {
+	//swlint:ignore hotpathalloc nil-scratch fallback, the pipeline always passes a scratch
 	out := make([]int8, len(codes))
 	for i, c := range codes {
 		out[i] = int8(c)

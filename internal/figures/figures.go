@@ -36,6 +36,12 @@ type Config struct {
 	// architecture model (see sched.Options.Width). Fig. 6 always runs
 	// both widths regardless.
 	Width int
+	// Backend selects the execution backend for the search-pipeline
+	// figures. The instrumented figures (6-9, 11-13) resolve Auto to
+	// the modeled machine — their instruction tallies only exist there
+	// — while the wall-clock pipeline table follows the serving
+	// default. See sched.Options.Backend.
+	Backend core.Backend
 	// Quick shrinks everything for fast benchmark iterations.
 	Quick bool
 }

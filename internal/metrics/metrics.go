@@ -52,6 +52,11 @@ type Counters struct {
 	Saturated8  atomic.Int64
 	Saturated16 atomic.Int64
 
+	// ProfileCacheHits counts pair alignments that reused a cached
+	// 8-bit query profile from the worker's scratch instead of
+	// rebuilding it.
+	ProfileCacheHits atomic.Int64
+
 	// QueueHighWater is the deepest the 8-bit work queue ever got — a
 	// direct read on whether the producer or the workers are the
 	// bottleneck for the configured pipeline depth.
@@ -107,31 +112,32 @@ func (c *Counters) ObserveQueueDepth(depth int) {
 // snapshots after its worker pool has fully drained).
 func (c *Counters) Snapshot() Snapshot {
 	return Snapshot{
-		Searches:        c.Searches.Load(),
-		Canceled:        c.Canceled.Load(),
-		BatchesProduced: c.BatchesProduced.Load(),
-		Batches8:        c.Batches8.Load(),
-		Batches16:       c.Batches16.Load(),
-		Pairs32:         c.Pairs32.Load(),
-		Cells8:          c.Cells8.Load(),
-		Cells16:         c.Cells16.Load(),
-		Cells32:         c.Cells32.Load(),
-		Saturated8:      c.Saturated8.Load(),
-		Saturated16:     c.Saturated16.Load(),
-		QueueHighWater:  c.QueueHighWater.Load(),
-		ProduceNanos:    c.ProduceNanos.Load(),
-		Stage8Nanos:     c.Stage8Nanos.Load(),
-		Stage16Nanos:    c.Stage16Nanos.Load(),
-		Stage32Nanos:    c.Stage32Nanos.Load(),
-		PanicsRecovered: c.PanicsRecovered.Load(),
-		Retries:         c.Retries.Load(),
-		Quarantined:     c.Quarantined.Load(),
-		Malformed:       c.Malformed.Load(),
-		Oversized:       c.Oversized.Load(),
-		Shed:            c.Shed.Load(),
-		BreakerTrips:    c.BreakerTrips.Load(),
-		BreakerRejected: c.BreakerRejected.Load(),
-		Degraded:        c.Degraded.Load(),
+		Searches:         c.Searches.Load(),
+		Canceled:         c.Canceled.Load(),
+		BatchesProduced:  c.BatchesProduced.Load(),
+		Batches8:         c.Batches8.Load(),
+		Batches16:        c.Batches16.Load(),
+		Pairs32:          c.Pairs32.Load(),
+		Cells8:           c.Cells8.Load(),
+		Cells16:          c.Cells16.Load(),
+		Cells32:          c.Cells32.Load(),
+		Saturated8:       c.Saturated8.Load(),
+		Saturated16:      c.Saturated16.Load(),
+		ProfileCacheHits: c.ProfileCacheHits.Load(),
+		QueueHighWater:   c.QueueHighWater.Load(),
+		ProduceNanos:     c.ProduceNanos.Load(),
+		Stage8Nanos:      c.Stage8Nanos.Load(),
+		Stage16Nanos:     c.Stage16Nanos.Load(),
+		Stage32Nanos:     c.Stage32Nanos.Load(),
+		PanicsRecovered:  c.PanicsRecovered.Load(),
+		Retries:          c.Retries.Load(),
+		Quarantined:      c.Quarantined.Load(),
+		Malformed:        c.Malformed.Load(),
+		Oversized:        c.Oversized.Load(),
+		Shed:             c.Shed.Load(),
+		BreakerTrips:     c.BreakerTrips.Load(),
+		BreakerRejected:  c.BreakerRejected.Load(),
+		Degraded:         c.Degraded.Load(),
 	}
 }
 
@@ -149,6 +155,7 @@ func (c *Counters) Add(s Snapshot) {
 	c.Cells32.Add(s.Cells32)
 	c.Saturated8.Add(s.Saturated8)
 	c.Saturated16.Add(s.Saturated16)
+	c.ProfileCacheHits.Add(s.ProfileCacheHits)
 	c.ObserveQueueDepth(int(s.QueueHighWater))
 	c.ProduceNanos.Add(s.ProduceNanos)
 	c.Stage8Nanos.Add(s.Stage8Nanos)
@@ -168,31 +175,32 @@ func (c *Counters) Add(s Snapshot) {
 // Snapshot is an immutable copy of Counters. JSON tags match the
 // /debug/vars expvar output.
 type Snapshot struct {
-	Searches        int64 `json:"searches"`
-	Canceled        int64 `json:"canceled"`
-	BatchesProduced int64 `json:"batches_produced"`
-	Batches8        int64 `json:"batches_8"`
-	Batches16       int64 `json:"batches_16"`
-	Pairs32         int64 `json:"pairs_32"`
-	Cells8          int64 `json:"cells_8"`
-	Cells16         int64 `json:"cells_16"`
-	Cells32         int64 `json:"cells_32"`
-	Saturated8      int64 `json:"saturated_8"`
-	Saturated16     int64 `json:"saturated_16"`
-	QueueHighWater  int64 `json:"queue_high_water"`
-	ProduceNanos    int64 `json:"produce_nanos"`
-	Stage8Nanos     int64 `json:"stage8_nanos"`
-	Stage16Nanos    int64 `json:"stage16_nanos"`
-	Stage32Nanos    int64 `json:"stage32_nanos"`
-	PanicsRecovered int64 `json:"panics_recovered"`
-	Retries         int64 `json:"retries"`
-	Quarantined     int64 `json:"quarantined"`
-	Malformed       int64 `json:"malformed"`
-	Oversized       int64 `json:"oversized"`
-	Shed            int64 `json:"shed"`
-	BreakerTrips    int64 `json:"breaker_trips"`
-	BreakerRejected int64 `json:"breaker_rejected"`
-	Degraded        int64 `json:"degraded"`
+	Searches         int64 `json:"searches"`
+	Canceled         int64 `json:"canceled"`
+	BatchesProduced  int64 `json:"batches_produced"`
+	Batches8         int64 `json:"batches_8"`
+	Batches16        int64 `json:"batches_16"`
+	Pairs32          int64 `json:"pairs_32"`
+	Cells8           int64 `json:"cells_8"`
+	Cells16          int64 `json:"cells_16"`
+	Cells32          int64 `json:"cells_32"`
+	Saturated8       int64 `json:"saturated_8"`
+	Saturated16      int64 `json:"saturated_16"`
+	ProfileCacheHits int64 `json:"profile_cache_hits"`
+	QueueHighWater   int64 `json:"queue_high_water"`
+	ProduceNanos     int64 `json:"produce_nanos"`
+	Stage8Nanos      int64 `json:"stage8_nanos"`
+	Stage16Nanos     int64 `json:"stage16_nanos"`
+	Stage32Nanos     int64 `json:"stage32_nanos"`
+	PanicsRecovered  int64 `json:"panics_recovered"`
+	Retries          int64 `json:"retries"`
+	Quarantined      int64 `json:"quarantined"`
+	Malformed        int64 `json:"malformed"`
+	Oversized        int64 `json:"oversized"`
+	Shed             int64 `json:"shed"`
+	BreakerTrips     int64 `json:"breaker_trips"`
+	BreakerRejected  int64 `json:"breaker_rejected"`
+	Degraded         int64 `json:"degraded"`
 }
 
 // Cells is the total real DP cell count across every stage width.
@@ -219,6 +227,7 @@ func (s Snapshot) WriteText(w io.Writer) error {
 		"batches          produced %d, aligned8 %d, rescue16 %d, pairs32 %d\n"+
 		"cells            8-bit %d, 16-bit %d, 32-bit %d (total %d)\n"+
 		"saturated lanes  8-bit %d, 16-bit %d\n"+
+		"profile cache    %d hits\n"+
 		"queue high-water %d batches\n"+
 		"stage time       produce %v, 8-bit %v, 16-bit %v, 32-bit %v\n"+
 		"resilience       recovered %d, retried %d, quarantined %d, malformed %d, oversized %d\n"+
@@ -227,6 +236,7 @@ func (s Snapshot) WriteText(w io.Writer) error {
 		s.BatchesProduced, s.Batches8, s.Batches16, s.Pairs32,
 		s.Cells8, s.Cells16, s.Cells32, s.Cells(),
 		s.Saturated8, s.Saturated16,
+		s.ProfileCacheHits,
 		s.QueueHighWater,
 		s.ProduceTime().Round(time.Microsecond), s.Stage8Time().Round(time.Microsecond),
 		s.Stage16Time().Round(time.Microsecond), s.Stage32Time().Round(time.Microsecond),

@@ -1,0 +1,259 @@
+package native
+
+import "swvec/internal/submat"
+
+// The batch kernels compute one query against a transposed batch of
+// database sequences (seqio layout: t8[j*stride+lane] is residue j of
+// sequence lane), exactly like the modeled batch engines: row-major
+// over query residues, per-row E/H-left/H-diag carries, H and F
+// column-state rows of n*stride elements in the caller's scratch.
+// Substitution scores come straight from the matrix row of the
+// current query residue — the shuffle-table machinery exists to
+// emulate a missing 8-bit gather, which compiled scalar code simply
+// does not need.
+//
+// Column traversal order does not affect any value (the carries make
+// each lane's recurrence independent of block boundaries), so the
+// kernels ignore BlockCols: the modeled engine's blocked traversal
+// produces identical results by construction.
+//
+// Each kernel writes all stride lanes of scores/saturated. Sentinel
+// padding lanes score 0 (sentinel codes only ever add SentinelScore,
+// so H never leaves 0), matching the zeros the modeled engine leaves
+// in untouched lanes.
+
+// Per-kernel lane strides: the number of interleaved sequences per
+// batch column. The 16-bit shapes cover one column with two vector
+// registers on the modeled backend, so their stride equals the 8-bit
+// shape of the same register width.
+const (
+	strideBatch8x32  = 32
+	strideBatch16x16 = 32
+	strideBatch8x64  = 64
+	strideBatch16x32 = 64
+)
+
+// Batch8x32 is the 8-bit 256-bit-shape batch kernel: 32 interleaved
+// sequences, scores clamp at ceil8.
+//
+//sw:hotpath
+func Batch8x32(query []uint8, t8 []int8, n int, mat *submat.Matrix, open, ext int32, hRow, fRow []int8, scores []int32, saturated []bool) {
+	if open > ceil8 {
+		open = ceil8
+	}
+	if ext > ceil8 {
+		ext = ceil8
+	}
+	hr := hRow[:n*strideBatch8x32]
+	fr := fRow[:n*strideBatch8x32]
+	for i := range hr {
+		hr[i] = 0
+	}
+	for i := range fr {
+		fr[i] = negInf8
+	}
+	var best [strideBatch8x32]int32
+	for i := 0; i < len(query); i++ {
+		row := (*[submat.W]int8)(mat.Row(query[i]))
+		var eC, lC, dC [strideBatch8x32]int32
+		for l := range eC {
+			eC[l] = negInf8
+		}
+		for j := 0; j < n; j++ {
+			off := j * strideBatch8x32
+			hw := (*[strideBatch8x32]int8)(hr[off:])
+			fw := (*[strideBatch8x32]int8)(fr[off:])
+			tw := (*[strideBatch8x32]int8)(t8[off:])
+			for l := 0; l < strideBatch8x32; l++ {
+				sc := int32(row[uint8(tw[l])&matRowMask])
+				hUp := int32(hw[l])
+				f := max(int32(fw[l])-ext, hUp-open, floor8)
+				e := max(eC[l]-ext, lC[l]-open, floor8)
+				h := max(min(dC[l]+sc, ceil8), 0, e, f)
+				hw[l] = int8(h)
+				fw[l] = int8(f)
+				dC[l] = hUp
+				lC[l] = h
+				eC[l] = e
+				if h > best[l] {
+					best[l] = h
+				}
+			}
+		}
+	}
+	out := scores[:strideBatch8x32]
+	sat := saturated[:strideBatch8x32]
+	for l := range best {
+		out[l] = best[l]
+		sat[l] = best[l] >= ceil8
+	}
+}
+
+// Batch8x64 is the 8-bit 512-bit-shape batch kernel: 64 interleaved
+// sequences.
+//
+//sw:hotpath
+func Batch8x64(query []uint8, t8 []int8, n int, mat *submat.Matrix, open, ext int32, hRow, fRow []int8, scores []int32, saturated []bool) {
+	if open > ceil8 {
+		open = ceil8
+	}
+	if ext > ceil8 {
+		ext = ceil8
+	}
+	hr := hRow[:n*strideBatch8x64]
+	fr := fRow[:n*strideBatch8x64]
+	for i := range hr {
+		hr[i] = 0
+	}
+	for i := range fr {
+		fr[i] = negInf8
+	}
+	var best [strideBatch8x64]int32
+	for i := 0; i < len(query); i++ {
+		row := (*[submat.W]int8)(mat.Row(query[i]))
+		var eC, lC, dC [strideBatch8x64]int32
+		for l := range eC {
+			eC[l] = negInf8
+		}
+		for j := 0; j < n; j++ {
+			off := j * strideBatch8x64
+			hw := (*[strideBatch8x64]int8)(hr[off:])
+			fw := (*[strideBatch8x64]int8)(fr[off:])
+			tw := (*[strideBatch8x64]int8)(t8[off:])
+			for l := 0; l < strideBatch8x64; l++ {
+				sc := int32(row[uint8(tw[l])&matRowMask])
+				hUp := int32(hw[l])
+				f := max(int32(fw[l])-ext, hUp-open, floor8)
+				e := max(eC[l]-ext, lC[l]-open, floor8)
+				h := max(min(dC[l]+sc, ceil8), 0, e, f)
+				hw[l] = int8(h)
+				fw[l] = int8(f)
+				dC[l] = hUp
+				lC[l] = h
+				eC[l] = e
+				if h > best[l] {
+					best[l] = h
+				}
+			}
+		}
+	}
+	out := scores[:strideBatch8x64]
+	sat := saturated[:strideBatch8x64]
+	for l := range best {
+		out[l] = best[l]
+		sat[l] = best[l] >= ceil8
+	}
+}
+
+// Batch16x16 is the 16-bit 256-bit-shape batch kernel: 32 interleaved
+// sequences (two 16-lane registers per column on the modeled side),
+// scores clamp at ceil16.
+//
+//sw:hotpath
+func Batch16x16(query []uint8, t8 []int8, n int, mat *submat.Matrix, open, ext int32, hRow, fRow []int16, scores []int32, saturated []bool) {
+	if open > ceil16 {
+		open = ceil16
+	}
+	if ext > ceil16 {
+		ext = ceil16
+	}
+	hr := hRow[:n*strideBatch16x16]
+	fr := fRow[:n*strideBatch16x16]
+	for i := range hr {
+		hr[i] = 0
+	}
+	for i := range fr {
+		fr[i] = negInf16
+	}
+	var best [strideBatch16x16]int32
+	for i := 0; i < len(query); i++ {
+		row := (*[submat.W]int8)(mat.Row(query[i]))
+		var eC, lC, dC [strideBatch16x16]int32
+		for l := range eC {
+			eC[l] = negInf16
+		}
+		for j := 0; j < n; j++ {
+			off := j * strideBatch16x16
+			hw := (*[strideBatch16x16]int16)(hr[off:])
+			fw := (*[strideBatch16x16]int16)(fr[off:])
+			tw := (*[strideBatch16x16]int8)(t8[off:])
+			for l := 0; l < strideBatch16x16; l++ {
+				sc := int32(row[uint8(tw[l])&matRowMask])
+				hUp := int32(hw[l])
+				f := max(int32(fw[l])-ext, hUp-open, floor16)
+				e := max(eC[l]-ext, lC[l]-open, floor16)
+				h := max(min(dC[l]+sc, ceil16), 0, e, f)
+				hw[l] = int16(h)
+				fw[l] = int16(f)
+				dC[l] = hUp
+				lC[l] = h
+				eC[l] = e
+				if h > best[l] {
+					best[l] = h
+				}
+			}
+		}
+	}
+	out := scores[:strideBatch16x16]
+	sat := saturated[:strideBatch16x16]
+	for l := range best {
+		out[l] = best[l]
+		sat[l] = best[l] >= ceil16
+	}
+}
+
+// Batch16x32 is the 16-bit 512-bit-shape batch kernel: 64 interleaved
+// sequences.
+//
+//sw:hotpath
+func Batch16x32(query []uint8, t8 []int8, n int, mat *submat.Matrix, open, ext int32, hRow, fRow []int16, scores []int32, saturated []bool) {
+	if open > ceil16 {
+		open = ceil16
+	}
+	if ext > ceil16 {
+		ext = ceil16
+	}
+	hr := hRow[:n*strideBatch16x32]
+	fr := fRow[:n*strideBatch16x32]
+	for i := range hr {
+		hr[i] = 0
+	}
+	for i := range fr {
+		fr[i] = negInf16
+	}
+	var best [strideBatch16x32]int32
+	for i := 0; i < len(query); i++ {
+		row := (*[submat.W]int8)(mat.Row(query[i]))
+		var eC, lC, dC [strideBatch16x32]int32
+		for l := range eC {
+			eC[l] = negInf16
+		}
+		for j := 0; j < n; j++ {
+			off := j * strideBatch16x32
+			hw := (*[strideBatch16x32]int16)(hr[off:])
+			fw := (*[strideBatch16x32]int16)(fr[off:])
+			tw := (*[strideBatch16x32]int8)(t8[off:])
+			for l := 0; l < strideBatch16x32; l++ {
+				sc := int32(row[uint8(tw[l])&matRowMask])
+				hUp := int32(hw[l])
+				f := max(int32(fw[l])-ext, hUp-open, floor16)
+				e := max(eC[l]-ext, lC[l]-open, floor16)
+				h := max(min(dC[l]+sc, ceil16), 0, e, f)
+				hw[l] = int16(h)
+				fw[l] = int16(f)
+				dC[l] = hUp
+				lC[l] = h
+				eC[l] = e
+				if h > best[l] {
+					best[l] = h
+				}
+			}
+		}
+	}
+	out := scores[:strideBatch16x32]
+	sat := saturated[:strideBatch16x32]
+	for l := range best {
+		out[l] = best[l]
+		sat[l] = best[l] >= ceil16
+	}
+}

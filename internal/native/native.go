@@ -1,0 +1,55 @@
+// Package native holds the compiled execution backend: specialized Go
+// kernels for the pair and batch Smith-Waterman algorithms at each
+// (element width x lane count) shape the repo supports, operating
+// directly on int8/int16/int32 scratch rows. They compute bit-for-bit
+// the same scores, saturation flags, and hit positions as the modeled
+// kernels in internal/core interpreting the vek machine — that
+// equivalence is load-bearing (the search pipeline's rescue ladder
+// keys off the saturation flags) and is enforced by the per-width
+// differential suite and FuzzNativeVsModeled in internal/core.
+//
+// The modeled kernels traverse anti-diagonals because the vector
+// machine needs independent lanes; the native kernels are free to
+// traverse row-major, which the affine recurrence permits without
+// changing any H value (the dependency structure is identical cell by
+// cell). Two consequences matter for equivalence:
+//
+//   - Gap model: the kernels always run the affine recurrence. With
+//     Open == Extend it produces the same H stream as the reduced
+//     linear recurrence (E(i,j-1) <= H(i,j-1) inductively, so the
+//     E max collapses to H(i,j-1)-Extend, and the saturating clamps
+//     are monotone), so one recurrence serves both gap models.
+//   - Saturation: each width reproduces its modeled engine's exact
+//     arithmetic — int8/int16 kernels clamp every E/F/H intermediate
+//     at the element bounds the way vpaddsb/vpaddsw do, the int32
+//     kernel uses plain modular arithmetic — so a lane saturates on
+//     the native backend iff it saturates on the modeled one.
+//
+// Kernels never allocate; callers pass scratch rows (capacity is the
+// only requirement — kernels initialize them). All are annotated
+// //sw:hotpath so swlint's hotpathalloc check gates them.
+package native
+
+import "swvec/internal/submat"
+
+// Boundary and saturation constants, mirroring the modeled engines in
+// internal/vek exactly. The 16-bit -inf leaves headroom below any real
+// score but above the arithmetic floor, matching vek.E16x16.NegInf;
+// equivalence requires the same values, not merely "negative enough".
+const (
+	negInf8  = -128
+	floor8   = -128
+	ceil8    = 127
+	negInf16 = -30000
+	floor16  = -32768
+	ceil16   = 32767
+	negInf32 = -1 << 29
+	ceil32   = 1<<31 - 1
+)
+
+// matRowMask masks a residue code into the padded substitution-matrix
+// row width (submat.W == 32, a power of two): every masked code
+// indexes a row in bounds, which is what keeps the inner score loops
+// bounds-check free. Residue codes are already < submat.W, so the
+// mask never changes a valid code.
+const matRowMask = submat.W - 1

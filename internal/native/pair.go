@@ -1,0 +1,204 @@
+package native
+
+import "swvec/internal/submat"
+
+// The pair kernels compute one query x one database sequence,
+// row-major, carrying H-diagonal / H-left / E-left in registers and
+// streaming the previous row's H and F through the caller's scratch
+// rows. hRow and fRow need capacity for len(dseq) elements; the kernel
+// initializes them (H row to 0, F row to the width's -inf), so no
+// caller-side fill pass is required.
+//
+// The saturating arithmetic is spelled out as branch-light min/max
+// clamps that are exact under the kernel invariants (H in [0, ceil],
+// E/F at or above the element floor): max(a, b, floor) equals
+// max(clamp(a), clamp(b)) when neither argument can exceed the
+// ceiling, and min(hDiag+score, ceil) followed by max(..., 0) equals
+// the modeled clamp-then-max sequence.
+
+// Pair8 is the 8-bit pair kernel (the modeled 8x32/8x64 shapes, which
+// saturate identically). Scores clamp at ceil8; saturated lanes are a
+// lower bound and the caller escalates, exactly as with the modeled
+// kernel. Gap penalties must already fit the byte range (the core
+// entry point clamps them, mirroring the modeled Splat(Clamp(...))).
+//
+//sw:hotpath
+func Pair8(q, dseq []uint8, mat *submat.Matrix, open, ext int32, hRow, fRow []int8) (score int32, saturated bool) {
+	ds := dseq
+	hr := hRow[:len(ds)]
+	fr := fRow[:len(ds)]
+	for j := range hr {
+		hr[j] = 0
+	}
+	for j := range fr {
+		fr[j] = negInf8
+	}
+	var best int32
+	for i := 0; i < len(q); i++ {
+		row := (*[submat.W]int8)(mat.Row(q[i]))
+		hDiag := int32(0)
+		hLeft := int32(0)
+		eLeft := int32(negInf8)
+		for j := 0; j < len(ds); j++ {
+			sc := int32(row[ds[j]&matRowMask])
+			hUp := int32(hr[j])
+			f := max(int32(fr[j])-ext, hUp-open, floor8)
+			e := max(eLeft-ext, hLeft-open, floor8)
+			h := max(min(hDiag+sc, ceil8), 0, e, f)
+			hr[j] = int8(h)
+			fr[j] = int8(f)
+			hDiag = hUp
+			hLeft = h
+			eLeft = e
+			if h > best {
+				best = h
+			}
+		}
+	}
+	return best, best >= ceil8
+}
+
+// Pair16 is the score-only 16-bit pair kernel (the modeled 16x16 and
+// 16x32 shapes). Scores clamp at ceil16.
+//
+//sw:hotpath
+func Pair16(q, dseq []uint8, mat *submat.Matrix, open, ext int32, hRow, fRow []int16) (score int32, saturated bool) {
+	if open > ceil16 {
+		open = ceil16
+	}
+	if ext > ceil16 {
+		ext = ceil16
+	}
+	ds := dseq
+	hr := hRow[:len(ds)]
+	fr := fRow[:len(ds)]
+	for j := range hr {
+		hr[j] = 0
+	}
+	for j := range fr {
+		fr[j] = negInf16
+	}
+	var best int32
+	for i := 0; i < len(q); i++ {
+		row := (*[submat.W]int8)(mat.Row(q[i]))
+		hDiag := int32(0)
+		hLeft := int32(0)
+		eLeft := int32(negInf16)
+		for j := 0; j < len(ds); j++ {
+			sc := int32(row[ds[j]&matRowMask])
+			hUp := int32(hr[j])
+			f := max(int32(fr[j])-ext, hUp-open, floor16)
+			e := max(eLeft-ext, hLeft-open, floor16)
+			h := max(min(hDiag+sc, ceil16), 0, e, f)
+			hr[j] = int16(h)
+			fr[j] = int16(f)
+			hDiag = hUp
+			hLeft = h
+			eLeft = e
+			if h > best {
+				best = h
+			}
+		}
+	}
+	return best, best >= ceil16
+}
+
+// Pair16Pos is Pair16 with end-position tracking. The modeled tracker
+// scans anti-diagonals in ascending order and takes a new best only on
+// a strict improvement, so the winning cell is the maximum-scoring
+// cell with the lexicographically smallest (i+j, i). This row-major
+// kernel reproduces that tie-break explicitly. Matching the modeled
+// contract, the coordinates are -1 when the best score is 0.
+//
+//sw:hotpath
+func Pair16Pos(q, dseq []uint8, mat *submat.Matrix, open, ext int32, hRow, fRow []int16) (score int32, endQ, endD int, saturated bool) {
+	if open > ceil16 {
+		open = ceil16
+	}
+	if ext > ceil16 {
+		ext = ceil16
+	}
+	ds := dseq
+	hr := hRow[:len(ds)]
+	fr := fRow[:len(ds)]
+	for j := range hr {
+		hr[j] = 0
+	}
+	for j := range fr {
+		fr[j] = negInf16
+	}
+	var best int32
+	bi, bd := 0, 0 // 1-based row and anti-diagonal (i+j) of the best cell
+	for i := 0; i < len(q); i++ {
+		row := (*[submat.W]int8)(mat.Row(q[i]))
+		hDiag := int32(0)
+		hLeft := int32(0)
+		eLeft := int32(negInf16)
+		for j := 0; j < len(ds); j++ {
+			sc := int32(row[ds[j]&matRowMask])
+			hUp := int32(hr[j])
+			f := max(int32(fr[j])-ext, hUp-open, floor16)
+			e := max(eLeft-ext, hLeft-open, floor16)
+			h := max(min(hDiag+sc, ceil16), 0, e, f)
+			hr[j] = int16(h)
+			fr[j] = int16(f)
+			hDiag = hUp
+			hLeft = h
+			eLeft = e
+			if h > best {
+				best = h
+				bi, bd = i+1, i+j+2
+			} else if h == best && h != 0 {
+				if d := i + j + 2; d < bd || (d == bd && i+1 < bi) {
+					bi, bd = i+1, d
+				}
+			}
+		}
+	}
+	endQ, endD = bi-1, bd-bi-1
+	if best == 0 {
+		endQ, endD = -1, -1
+	}
+	return best, endQ, endD, best >= ceil16
+}
+
+// Pair32 is the 32-bit pair kernel (the modeled 32x8 shape): plain
+// modular arithmetic, no clamps, exactly like the modeled E32x8
+// engine. Saturation (best >= ceil32) is reported for interface parity
+// but is unreachable for any biologically plausible score.
+//
+//sw:hotpath
+func Pair32(q, dseq []uint8, mat *submat.Matrix, open, ext int32, hRow, fRow []int32) (score int32, saturated bool) {
+	ds := dseq
+	hr := hRow[:len(ds)]
+	fr := fRow[:len(ds)]
+	for j := range hr {
+		hr[j] = 0
+	}
+	for j := range fr {
+		fr[j] = negInf32
+	}
+	var best int32
+	for i := 0; i < len(q); i++ {
+		row := (*[submat.W]int8)(mat.Row(q[i]))
+		hDiag := int32(0)
+		hLeft := int32(0)
+		eLeft := int32(negInf32)
+		for j := 0; j < len(ds); j++ {
+			sc := int32(row[ds[j]&matRowMask])
+			hUp := hr[j]
+			f := max(fr[j]-ext, hUp-open)
+			e := max(eLeft-ext, hLeft-open)
+			h := max(hDiag+sc, 0, e, f)
+			hr[j] = h
+			fr[j] = f
+			hDiag = hUp
+			hLeft = h
+			eLeft = e
+			if h > best {
+				best = h
+			}
+		}
+	}
+	return best, best >= ceil32
+}

@@ -152,7 +152,7 @@ func MultiSearchContext(ctx context.Context, queries [][]uint8, db []seqio.Seque
 						if brs[qi].Saturated[lane] && ictx.Err() == nil {
 							t16 := time.Now()
 							enc = alpha.EncodeTo(enc, db[si].Residues)
-							pr, err := multiRescue16(mch, queries[qi], enc, mat, opt.Gaps, met)
+							pr, err := multiRescue16(mch, queries[qi], enc, mat, &opt, scratch, met)
 							if err == nil {
 								score = pr.Score
 								met.Saturated8.Add(1)
@@ -173,6 +173,7 @@ func MultiSearchContext(ctx context.Context, queries [][]uint8, db []seqio.Seque
 				merged.Merge(tal)
 				mu.Unlock()
 			}
+			met.ProfileCacheHits.Add(scratch.TakeProfileCacheHits())
 		}()
 	}
 	for _, b := range batches {
@@ -267,23 +268,24 @@ func tryMultiAlign8(mch vek.Machine, queries [][]uint8, tables *submat.CodeTable
 		return nil, err
 	}
 	return core.AlignBatch8Multi(mch, queries, tables, batch,
-		core.BatchOptions{Gaps: opt.Gaps, BlockCols: opt.BlockCols, Scratch: scratch})
+		core.BatchOptions{Gaps: opt.Gaps, BlockCols: opt.BlockCols, Scratch: scratch, Backend: opt.backend()})
 }
 
 // multiRescue16 is one guarded 16-bit rescue of a saturated
 // (query, sequence) pair in the multi-query scenario.
-func multiRescue16(mch vek.Machine, q, enc []uint8, mat *submat.Matrix, gaps aln.Gaps, met *metrics.Counters) (pr aln.ScoreResult, err error) {
+func multiRescue16(mch vek.Machine, q, enc []uint8, mat *submat.Matrix, opt *Options, scratch *core.Scratch, met *metrics.Counters) (pr aln.ScoreResult, err error) {
 	defer recoverAttempt("multi16", met, &err)
-	pr, _, err = core.AlignPair16(mch, q, enc, mat, core.PairOptions{Gaps: gaps})
+	pr, _, err = core.AlignPair16(mch, q, enc, mat,
+		core.PairOptions{Gaps: opt.Gaps, Scratch: scratch, Backend: opt.backend()})
 	return pr, err
 }
 
 // alignPairJob runs one subroutine pair with panic recovery so a
 // kernel fault poisons only that pair, not the worker.
-func alignPairJob(mch vek.Machine, q, d []uint8, mat *submat.Matrix, qi, si int, traceback bool, opt *Options) (hit PairHit, err error) {
+func alignPairJob(mch vek.Machine, q, d []uint8, mat *submat.Matrix, qi, si int, traceback bool, opt *Options, scratch *core.Scratch) (hit PairHit, err error) {
 	defer recoverAttempt("subroutine", nil, &err)
 	r, tb, aerr := core.AlignPairAdaptive(mch, q, d, mat,
-		core.PairOptions{Gaps: opt.Gaps, Traceback: traceback})
+		core.PairOptions{Gaps: opt.Gaps, Traceback: traceback, Scratch: scratch, Backend: opt.backend()})
 	if aerr != nil {
 		return hit, aerr
 	}
@@ -384,11 +386,12 @@ func Subroutine(queries [][]uint8, db []seqio.Sequence, mat *submat.Matrix, trac
 			if opt.Instrument {
 				mch, tal = vek.NewMachine()
 			}
+			scratch := core.NewScratch()
 			for jb := range work {
 				if ictx.Err() != nil {
 					continue
 				}
-				hit, err := alignPairJob(mch, queries[jb.qi], encoded[jb.si], mat, jb.qi, jb.si, traceback, &opt)
+				hit, err := alignPairJob(mch, queries[jb.qi], encoded[jb.si], mat, jb.qi, jb.si, traceback, &opt, scratch)
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {
@@ -404,6 +407,7 @@ func Subroutine(queries [][]uint8, db []seqio.Sequence, mat *submat.Matrix, trac
 				merged.Merge(tal)
 				mu.Unlock()
 			}
+			metrics.Global.ProfileCacheHits.Add(scratch.TakeProfileCacheHits())
 		}()
 	}
 	for qi := range queries {

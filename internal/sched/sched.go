@@ -65,6 +65,24 @@ type Options struct {
 	// isa.Native().HasAVX512, else 256). Every stage of the pipeline —
 	// 8-bit stream, 16-bit rescue — runs at the resolved width.
 	Width int
+	// Backend selects the execution backend for every alignment stage.
+	// BackendAuto resolves to the compiled native kernels unless
+	// Instrument is set (instruction tallies only exist on the modeled
+	// machine); BackendModeled and BackendNative force a backend.
+	Backend core.Backend
+}
+
+// backend resolves Options.Backend: an explicit choice wins, otherwise
+// instrumented runs stay on the modeled machine and everything else
+// takes the compiled kernels.
+func (o *Options) backend() core.Backend {
+	if o.Backend != core.BackendAuto {
+		return o.Backend
+	}
+	if o.Instrument {
+		return core.BackendModeled
+	}
+	return core.BackendNative
 }
 
 // width resolves Options.Width to a concrete register width.
@@ -558,6 +576,7 @@ func (p *pipeline) worker() {
 		p.tally.Merge(tal)
 		p.mu.Unlock()
 	}
+	p.met.ProfileCacheHits.Add(scratch.TakeProfileCacheHits())
 }
 
 // consume8 retires one stage-1 job. The Done is deferred so even a
@@ -640,7 +659,7 @@ func (p *pipeline) tryAlign8(mch vek.Machine, s *core.Scratch, b *seqio.Batch) (
 		return br, err
 	}
 	return core.AlignBatch8(mch, p.query, p.tables, b,
-		core.BatchOptions{Gaps: p.opt.Gaps, BlockCols: p.opt.BlockCols, Scratch: s})
+		core.BatchOptions{Gaps: p.opt.Gaps, BlockCols: p.opt.BlockCols, Scratch: s, Backend: p.opt.backend()})
 }
 
 // run16 is the in-flight rescue: rescore a regrouped batch at 16 bits
@@ -699,7 +718,7 @@ func (p *pipeline) tryAlign16(mch vek.Machine, s *core.Scratch, b *seqio.Batch) 
 		return br, err
 	}
 	return core.AlignBatch16(mch, p.query, p.tables, b,
-		core.BatchOptions{Gaps: p.opt.Gaps, Scratch: s})
+		core.BatchOptions{Gaps: p.opt.Gaps, Scratch: s, Backend: p.opt.backend()})
 }
 
 // run32 is the final escalation tier: one 32-bit pair alignment per
@@ -747,7 +766,7 @@ func (p *pipeline) tryAlign32(mch vek.Machine, s *core.Scratch, enc []uint8) (pr
 		return pr, err
 	}
 	return core.AlignPair32(mch, p.query, enc, p.mat,
-		core.PairOptions{Gaps: p.opt.Gaps, Scratch: s})
+		core.PairOptions{Gaps: p.opt.Gaps, Scratch: s, Backend: p.opt.backend()})
 }
 
 // recoverAttempt converts a panic escaping a stage attempt into the

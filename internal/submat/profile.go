@@ -98,14 +98,15 @@ func GatherIndices(mch vek.Machine, q uint8, r vek.I32x8) vek.I32x8 {
 // 32 substitution scores with two shuffles and a blend ("interleaving
 // data coming from the substitution matrix").
 type CodeTables struct {
-	lo [W]vek.I8x32
-	hi [W]vek.I8x32
+	mat *Matrix
+	lo  [W]vek.I8x32
+	hi  [W]vek.I8x32
 }
 
 // NewCodeTables prepares the shuffle tables for every residue code of
 // the matrix, including sentinel rows.
 func NewCodeTables(m *Matrix) *CodeTables {
-	t := &CodeTables{}
+	t := &CodeTables{mat: m}
 	for c := 0; c < W; c++ {
 		row := m.Row(uint8(c))
 		var lo, hi vek.I8x32
@@ -120,6 +121,11 @@ func NewCodeTables(m *Matrix) *CodeTables {
 	}
 	return t
 }
+
+// Matrix returns the substitution matrix the tables were built from,
+// so backends that score directly from matrix rows (internal/native)
+// can share the tables handle the search pipeline already threads.
+func (t *CodeTables) Matrix() *Matrix { return t.mat }
 
 // LookupScores computes the 32 scores of query residue code c against
 // the 32 residue codes in idx, with the same two-shuffle/blend

@@ -45,12 +45,15 @@ go test -race -short -tags failpoint ./...
 
 echo "== fuzz smoke =="
 go test -fuzz=FuzzAlignWidths -fuzztime=10s -run FuzzAlignWidths ./internal/core
+go test -fuzz=FuzzNativeVsModeled -fuzztime=10s -run FuzzNativeVsModeled ./internal/core
 go test -fuzz=FuzzFASTADecode -fuzztime=10s -run FuzzFASTADecode ./internal/seqio
 
 echo "== bench smoke =="
-# One iteration of every search benchmark, streamed as test2json into
-# BENCH_ci.json so CI runs accumulate a perf trajectory over time.
-go test -run '^$' -bench 'BenchmarkSearch' -benchtime 1x -json . > BENCH_ci.json
+# One iteration of every search benchmark plus the native-vs-modeled
+# backend comparison, streamed as test2json into BENCH_ci.json so CI
+# runs accumulate a perf trajectory over time. Sub-benchmark names
+# carry backend=/width= fields so entries are comparable across PRs.
+go test -run '^$' -bench 'BenchmarkSearch|BenchmarkBackends' -benchtime 1x -json . > BENCH_ci.json
 grep -q '"Action":"pass"' BENCH_ci.json || { echo "bench smoke failed" >&2; exit 1; }
 
 echo "ci: all checks passed"

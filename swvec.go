@@ -70,7 +70,22 @@ type (
 	DecodeReport = seqio.DecodeReport
 	// SkippedRecord is one FASTA record the lenient decoder rejected.
 	SkippedRecord = seqio.SkippedRecord
+	// Backend selects the execution backend; see WithBackend.
+	Backend = core.Backend
 )
+
+// Execution backends. Auto resolves to the compiled native kernels for
+// serving paths and to the modeled vek machine wherever instruction
+// tallies are requested; the explicit values force a backend.
+const (
+	BackendAuto    = core.BackendAuto
+	BackendModeled = core.BackendModeled
+	BackendNative  = core.BackendNative
+)
+
+// ParseBackend parses a backend name: "auto" (or ""), "modeled", or
+// "native".
+func ParseBackend(s string) (Backend, error) { return core.ParseBackend(s) }
 
 // PublishMetrics registers the process-wide search counters as the
 // "swvec.search" expvar, for binaries that serve /debug/vars.
@@ -138,6 +153,7 @@ type Aligner struct {
 	sortLen bool
 	depth   int
 	width   int
+	backend Backend
 }
 
 // Option configures an Aligner.
@@ -236,6 +252,24 @@ func WithVectorWidth(bits int) Option {
 	}
 }
 
+// WithBackend selects the execution backend. The default (BackendAuto)
+// runs alignments on the compiled native Go kernels, which produce
+// bit-identical scores, saturation flags, and hit positions to the
+// modeled vector machine at a fraction of the cost; BackendModeled
+// forces the instrumented vek machine (required for instruction
+// tallies, traceback always uses it). Figure and profiling runs that
+// instrument the pipeline resolve Auto back to the modeled backend.
+func WithBackend(b Backend) Option {
+	return func(a *Aligner) error {
+		switch b {
+		case BackendAuto, BackendModeled, BackendNative:
+			a.backend = b
+			return nil
+		}
+		return fmt.Errorf("swvec: unknown backend %d", uint8(b))
+	}
+}
+
 // New returns an Aligner with BLOSUM62 and default protein gaps,
 // modified by the options.
 func New(opts ...Option) (*Aligner, error) {
@@ -280,7 +314,7 @@ func (a *Aligner) Score(query, target []byte) (int32, error) {
 	if err != nil {
 		return 0, err
 	}
-	res, _, err := core.AlignPairAdaptive(vek.Bare, q, d, a.mat, core.PairOptions{Gaps: a.gaps})
+	res, _, err := core.AlignPairAdaptive(vek.Bare, q, d, a.mat, core.PairOptions{Gaps: a.gaps, Backend: a.pairBackend()})
 	if err != nil {
 		return 0, err
 	}
@@ -360,5 +394,15 @@ func (a *Aligner) schedOptions() sched.Options {
 		SortByLength:  a.sortLen,
 		PipelineDepth: a.depth,
 		Width:         a.width,
+		Backend:       a.backend,
 	}
+}
+
+// pairBackend resolves the aligner's backend for the pair entry points,
+// which have no instrumentation: Auto means native.
+func (a *Aligner) pairBackend() Backend {
+	if a.backend != BackendAuto {
+		return a.backend
+	}
+	return BackendNative
 }
