@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all verify fmt vet lint portable race chaos fuzz bench bench-smoke bench-backends ci
+.PHONY: all verify fmt vet lint portable race chaos fuzz bench bench-smoke bench-backends bench-kernels ci
 
 all: verify
 
@@ -44,6 +44,7 @@ chaos:
 fuzz:
 	$(GO) test -fuzz=FuzzAlignWidths -fuzztime=10s -run FuzzAlignWidths ./internal/core
 	$(GO) test -fuzz=FuzzNativeVsModeled -fuzztime=10s -run FuzzNativeVsModeled ./internal/core
+	$(GO) test -fuzz=FuzzKernelsVsDiagonal -fuzztime=10s -run FuzzKernelsVsDiagonal ./internal/core
 	$(GO) test -fuzz=FuzzFASTADecode -fuzztime=10s -run FuzzFASTADecode ./internal/seqio
 
 # Figure + kernel benchmarks with allocation reporting.
@@ -61,5 +62,12 @@ bench-smoke:
 # widths) with allocation reporting.
 bench-backends:
 	$(GO) test -run '^$$' -bench 'BenchmarkBackends' -benchmem .
+
+# Kernel-family comparison: every search benchmark across the planner's
+# auto choice and the forced diagonal/striped/lazyf families, so the
+# planner threshold (sched.plannerStripedMinQuery) can be tuned against
+# measurements.
+bench-kernels:
+	$(GO) test -run '^$$' -bench 'BenchmarkSearchEndToEnd|BenchmarkSearchPipeline|BenchmarkBackends' -benchmem .
 
 ci: fmt verify vet lint portable race chaos fuzz bench-smoke

@@ -371,48 +371,61 @@ func BenchmarkAblationBatchBlockCols(b *testing.B) {
 	}
 }
 
-// searchBenchConfigs enumerates the backend × vector-width points the
-// search benchmarks record. The sub-benchmark name carries both fields
-// so every BENCH_ci.json entry is self-describing and comparable
-// across PRs (the pre-backend baseline corresponds to
-// backend=modeled/width=256).
+// searchBenchConfigs enumerates the backend × vector-width × kernel
+// points the search benchmarks record. The sub-benchmark name carries
+// every field so BENCH_ci.json entries are self-describing and
+// comparable across PRs (the pre-backend baseline corresponds to
+// backend=modeled/width=256/kernel=auto). The forced-kernel rows pin
+// the planner's alternatives on the native serving configuration, so
+// the auto row can be checked against the best forced row per query
+// class.
 var searchBenchConfigs = []struct {
 	name    string
 	backend Backend
 	width   int
+	kernel  Kernel
 }{
-	{"backend=modeled/width=256", BackendModeled, 256},
-	{"backend=native/width=256", BackendNative, 256},
-	{"backend=native/width=512", BackendNative, 512},
+	{"backend=modeled/width=256/kernel=auto", BackendModeled, 256, KernelAuto},
+	{"backend=native/width=256/kernel=auto", BackendNative, 256, KernelAuto},
+	{"backend=native/width=512/kernel=auto", BackendNative, 512, KernelAuto},
+	{"backend=native/width=512/kernel=diagonal", BackendNative, 512, KernelDiagonal},
+	{"backend=native/width=512/kernel=striped", BackendNative, 512, KernelStriped},
+	{"backend=native/width=512/kernel=lazyf", BackendNative, 512, KernelLazyF},
 }
 
+// searchBenchQueryLens are the query classes the search benchmarks
+// sweep: one short query the planner keeps on the diagonal batch
+// engines and one long query past the striped threshold, where the
+// striped families amortize their per-column overhead.
+var searchBenchQueryLens = []int{200, 1200}
+
 // BenchmarkSearchEndToEnd measures the public API's database search on
-// the host, per execution backend and vector width. On the modeled
-// backend the wall clock measures the emulated vector machine; on the
-// native backend it measures the compiled serving kernels.
+// the host, per query class, execution backend, vector width, and
+// kernel family. On the modeled backend the wall clock measures the
+// emulated vector machine; on the native backend it measures the
+// compiled serving kernels.
 func BenchmarkSearchEndToEnd(b *testing.B) {
 	db := GenerateDatabase(9, 64)
-	query := db[10].Residues
-	if len(query) > 200 {
-		query = query[:200]
-	}
-	for _, cfg := range searchBenchConfigs {
-		b.Run(cfg.name, func(b *testing.B) {
-			al, err := New(WithLengthSortedBatches(),
-				WithBackend(cfg.backend), WithVectorWidth(cfg.width))
-			if err != nil {
-				b.Fatal(err)
-			}
-			var cells int64
-			for i := 0; i < b.N; i++ {
-				res, err := al.Search(query, db)
+	for _, qlen := range searchBenchQueryLens {
+		query := seqio.NewGenerator(9).Protein("q", qlen).Residues
+		for _, cfg := range searchBenchConfigs {
+			b.Run(fmt.Sprintf("qlen=%d/%s", qlen, cfg.name), func(b *testing.B) {
+				al, err := New(WithLengthSortedBatches(),
+					WithBackend(cfg.backend), WithVectorWidth(cfg.width), WithKernel(cfg.kernel))
 				if err != nil {
 					b.Fatal(err)
 				}
-				cells = res.Cells
-			}
-			b.SetBytes(cells)
-		})
+				var cells int64
+				for i := 0; i < b.N; i++ {
+					res, err := al.Search(query, db)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cells = res.Cells
+				}
+				b.SetBytes(cells)
+			})
+		}
 	}
 }
 
@@ -450,33 +463,32 @@ func BenchmarkKernelBatch8Scratch(b *testing.B) {
 
 // BenchmarkSearchPipeline measures the streaming search on the
 // standard 2000-sequence database (the tentpole's GCUPS acceptance
-// workload). MB/s is cell updates per second / 1e6; allocs/op shows
-// the whole-pipeline allocation budget, which no longer scales with
-// per-batch work.
+// workload), per query class and kernel family. MB/s is cell updates
+// per second / 1e6; allocs/op shows the whole-pipeline allocation
+// budget, which no longer scales with per-batch work.
 func BenchmarkSearchPipeline(b *testing.B) {
 	db := GenerateDatabase(1, 2000)
-	query := db[10].Residues
-	if len(query) > 200 {
-		query = query[:200]
-	}
-	for _, cfg := range searchBenchConfigs {
-		b.Run(cfg.name, func(b *testing.B) {
-			al, err := New(WithLengthSortedBatches(),
-				WithBackend(cfg.backend), WithVectorWidth(cfg.width))
-			if err != nil {
-				b.Fatal(err)
-			}
-			b.ReportAllocs()
-			var cells int64
-			for i := 0; i < b.N; i++ {
-				res, err := al.Search(query, db)
+	for _, qlen := range searchBenchQueryLens {
+		query := seqio.NewGenerator(1).Protein("q", qlen).Residues
+		for _, cfg := range searchBenchConfigs {
+			b.Run(fmt.Sprintf("qlen=%d/%s", qlen, cfg.name), func(b *testing.B) {
+				al, err := New(WithLengthSortedBatches(),
+					WithBackend(cfg.backend), WithVectorWidth(cfg.width), WithKernel(cfg.kernel))
 				if err != nil {
 					b.Fatal(err)
 				}
-				cells = res.Cells
-			}
-			b.SetBytes(cells)
-		})
+				b.ReportAllocs()
+				var cells int64
+				for i := 0; i < b.N; i++ {
+					res, err := al.Search(query, db)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cells = res.Cells
+				}
+				b.SetBytes(cells)
+			})
+		}
 	}
 }
 
@@ -498,44 +510,45 @@ func BenchmarkBackends(b *testing.B) {
 		seqio.BatchOptions{SortByLength: true, Lanes: seqio.MaxBatchLanes})[0]
 
 	cases := []struct {
-		kernel string
-		width  int
-		cells  int64
-		run    func(m vek.Machine, po core.PairOptions, bo core.BatchOptions) error
+		stage   string
+		width   int
+		cells   int64
+		striped bool // has a striped-family variant (affine, score-only)
+		run     func(m vek.Machine, po core.PairOptions, bo core.BatchOptions) error
 	}{
-		{"pair8", 256, pairCells, func(m vek.Machine, po core.PairOptions, _ core.BatchOptions) error {
+		{"pair8", 256, pairCells, true, func(m vek.Machine, po core.PairOptions, _ core.BatchOptions) error {
 			_, err := core.AlignPair8(m, p.q, p.d, fixed, po)
 			return err
 		}},
-		{"pair8", 512, pairCells, func(m vek.Machine, po core.PairOptions, _ core.BatchOptions) error {
+		{"pair8", 512, pairCells, true, func(m vek.Machine, po core.PairOptions, _ core.BatchOptions) error {
 			_, err := core.AlignPair8W(m, p.q, p.d, fixed, po)
 			return err
 		}},
-		{"pair16", 256, pairCells, func(m vek.Machine, po core.PairOptions, _ core.BatchOptions) error {
+		{"pair16", 256, pairCells, true, func(m vek.Machine, po core.PairOptions, _ core.BatchOptions) error {
 			_, _, err := core.AlignPair16(m, p.q, p.d, p.mat, po)
 			return err
 		}},
-		{"pair16", 512, pairCells, func(m vek.Machine, po core.PairOptions, _ core.BatchOptions) error {
+		{"pair16", 512, pairCells, true, func(m vek.Machine, po core.PairOptions, _ core.BatchOptions) error {
 			_, err := core.AlignPair16W(m, p.q, p.d, p.mat, po)
 			return err
 		}},
-		{"pair32", 256, pairCells, func(m vek.Machine, po core.PairOptions, _ core.BatchOptions) error {
+		{"pair32", 256, pairCells, false, func(m vek.Machine, po core.PairOptions, _ core.BatchOptions) error {
 			_, err := core.AlignPair32(m, p.q, p.d, p.mat, po)
 			return err
 		}},
-		{"batch8", 256, batch256.Cells(len(q)), func(m vek.Machine, _ core.PairOptions, bo core.BatchOptions) error {
+		{"batch8", 256, batch256.Cells(len(q)), true, func(m vek.Machine, _ core.PairOptions, bo core.BatchOptions) error {
 			_, err := core.AlignBatch8(m, q, tables, batch256, bo)
 			return err
 		}},
-		{"batch8", 512, batch512.Cells(len(q)), func(m vek.Machine, _ core.PairOptions, bo core.BatchOptions) error {
+		{"batch8", 512, batch512.Cells(len(q)), true, func(m vek.Machine, _ core.PairOptions, bo core.BatchOptions) error {
 			_, err := core.AlignBatch8(m, q, tables, batch512, bo)
 			return err
 		}},
-		{"batch16", 256, batch256.Cells(len(q)), func(m vek.Machine, _ core.PairOptions, bo core.BatchOptions) error {
+		{"batch16", 256, batch256.Cells(len(q)), true, func(m vek.Machine, _ core.PairOptions, bo core.BatchOptions) error {
 			_, err := core.AlignBatch16(m, q, tables, batch256, bo)
 			return err
 		}},
-		{"batch16", 512, batch512.Cells(len(q)), func(m vek.Machine, _ core.PairOptions, bo core.BatchOptions) error {
+		{"batch16", 512, batch512.Cells(len(q)), true, func(m vek.Machine, _ core.PairOptions, bo core.BatchOptions) error {
 			_, err := core.AlignBatch16(m, q, tables, batch512, bo)
 			return err
 		}},
@@ -547,18 +560,23 @@ func BenchmarkBackends(b *testing.B) {
 			mch, _ = vek.NewMachine()
 		}
 		scratch := core.NewScratch()
-		popt := core.PairOptions{Gaps: aln.DefaultGaps(), Backend: be, Scratch: scratch}
-		bopt := core.BatchOptions{Gaps: aln.DefaultGaps(), Backend: be, Scratch: scratch}
-		for _, c := range cases {
-			b.Run(fmt.Sprintf("%s/backend=%s/width=%d", c.kernel, be, c.width), func(b *testing.B) {
-				b.SetBytes(c.cells)
-				b.ReportAllocs()
-				for i := 0; i < b.N; i++ {
-					if err := c.run(mch, popt, bopt); err != nil {
-						b.Fatal(err)
-					}
+		for _, kern := range []core.Kernel{core.KernelDiagonal, core.KernelStriped, core.KernelLazyF} {
+			popt := core.PairOptions{Gaps: aln.DefaultGaps(), Backend: be, Scratch: scratch, Kernel: kern}
+			bopt := core.BatchOptions{Gaps: aln.DefaultGaps(), Backend: be, Scratch: scratch, Kernel: kern}
+			for _, c := range cases {
+				if kern.Striped() && !c.striped {
+					continue
 				}
-			})
+				b.Run(fmt.Sprintf("%s/backend=%s/width=%d/kernel=%s", c.stage, be, c.width, kern), func(b *testing.B) {
+					b.SetBytes(c.cells)
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						if err := c.run(mch, popt, bopt); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
 		}
 	}
 }

@@ -33,6 +33,7 @@ func main() {
 		db        = flag.Int("db", 0, "database size override (sequences)")
 		width     = flag.String("width", "auto", "search-pipeline vector width: 256, 512, or auto")
 		backend   = flag.String("backend", "auto", "execution backend: auto, modeled, or native (instrumented figures resolve auto to modeled)")
+		kernel    = flag.String("kernel", "auto", "kernel family: auto, diagonal, striped, or lazyf (instrumented figures resolve auto to diagonal)")
 		pipeStats = flag.Bool("stats", false, "print the cumulative per-stage pipeline counters after the run")
 	)
 	flag.Parse()
@@ -56,7 +57,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfg := figures.Config{Quick: *quick, Seed: *seed, DBSize: *db, Width: bits, Backend: be}
+	kern, err := core.ParseKernel(*kernel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "swbench: %v\n", err)
+		os.Exit(2)
+	}
+
+	cfg := figures.Config{Quick: *quick, Seed: *seed, DBSize: *db, Width: bits, Backend: be, Kernel: kern}
 	var tables []*stats.Table
 	run := func(id string) {
 		switch id {

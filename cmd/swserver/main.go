@@ -113,12 +113,19 @@ func main() {
 		admin      = flag.String("admin", "", "opt-in admin address serving /debug/vars and pprof")
 		timeout    = flag.Duration("timeout", 30*time.Second, "client-mode dial and I/O deadline (0 disables)")
 		backendStr = flag.String("backend", "auto", "execution backend: auto (native), modeled, or native")
+		kernelStr  = flag.String("kernel", "auto", "kernel family: auto (per-query planner), diagonal, striped, or lazyf")
 	)
 	flag.Parse()
 
 	backend, berr := swvec.ParseBackend(*backendStr)
 	if berr != nil {
 		fmt.Fprintf(os.Stderr, "swserver: %v\n", berr)
+		os.Exit(2)
+	}
+
+	kernel, kerr := swvec.ParseKernel(*kernelStr)
+	if kerr != nil {
+		fmt.Fprintf(os.Stderr, "swserver: %v\n", kerr)
 		os.Exit(2)
 	}
 
@@ -136,6 +143,7 @@ func main() {
 			breakCooldown: *brkCool,
 			threads:       *threads,
 			backend:       backend,
+			kernel:        kernel,
 		})
 	case *connect != "":
 		os.Exit(runClient(*connect, *query, *top, *timeout))
@@ -164,6 +172,7 @@ type serverConfig struct {
 	breakCooldown time.Duration // breaker cooldown, 0 = default
 	threads       int           // worker threads, informs the degraded aligner
 	backend       swvec.Backend // execution backend for both aligners
+	kernel        swvec.Kernel  // kernel family for both aligners
 }
 
 // server accumulates client queries into batches and aligns them. Its
@@ -214,7 +223,7 @@ func newServer(al *swvec.Aligner, db []swvec.Sequence, ln net.Listener, cfg serv
 	if cfg.breakCooldown <= 0 {
 		cfg.breakCooldown = 5 * time.Second
 	}
-	alDeg := newDegradedAligner(cfg.threads, cfg.backend)
+	alDeg := newDegradedAligner(cfg.threads, cfg.backend, cfg.kernel)
 	if alDeg == nil {
 		alDeg = al
 	}
@@ -237,7 +246,7 @@ func newServer(al *swvec.Aligner, db []swvec.Sequence, ln net.Listener, cfg serv
 // configured threads (at least one), a depth-1 pipeline, and the
 // 256-bit width. Scores are identical to the primary aligner's — only
 // throughput and footprint shrink.
-func newDegradedAligner(threads int, backend swvec.Backend) *swvec.Aligner {
+func newDegradedAligner(threads int, backend swvec.Backend, kernel swvec.Kernel) *swvec.Aligner {
 	n := threads
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
@@ -252,6 +261,7 @@ func newDegradedAligner(threads int, backend swvec.Backend) *swvec.Aligner {
 		swvec.WithVectorWidth(256),
 		swvec.WithLengthSortedBatches(),
 		swvec.WithBackend(backend),
+		swvec.WithKernel(kernel),
 	)
 	if err != nil {
 		return nil
@@ -640,7 +650,7 @@ func runServer(addr, dbPath string, genDB, threads int, admin string, cfg server
 		}
 		db = seqs
 	}
-	al, err := swvec.New(swvec.WithThreads(threads), swvec.WithLengthSortedBatches(), swvec.WithBackend(cfg.backend))
+	al, err := swvec.New(swvec.WithThreads(threads), swvec.WithLengthSortedBatches(), swvec.WithBackend(cfg.backend), swvec.WithKernel(cfg.kernel))
 	if err != nil {
 		fatal("%v", err)
 	}

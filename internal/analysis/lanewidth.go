@@ -25,6 +25,12 @@ var laneNames = map[string]bool{
 	"blanes":  true,
 	"nlanes":  true,
 	"lanecnt": true,
+	// The striped kernel family's layout dimensions: the segment
+	// length and stripe count are lane-count quotients, so a bare
+	// 32/64 flowing into them is the same width bug.
+	"seglen":  true,
+	"segs":    true,
+	"stripes": true,
 }
 
 // LaneWidth checks that lane strides and scratch sizing in the kernel

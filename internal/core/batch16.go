@@ -19,6 +19,14 @@ import (
 // engine, widened per column; scores saturate at 32767 (flagged for
 // the 32-bit pair kernel).
 func AlignBatch16(mch vek.Machine, query []uint8, tables *submat.CodeTables, batch *seqio.Batch, opt BatchOptions) (BatchResult, error) {
+	if stripedBatchOK(tables, &opt) {
+		var res BatchResult
+		if err := checkBatch([][]uint8{query}, batch, &opt); err != nil {
+			return res, err
+		}
+		err := stripedBatch16(mch, query, tables, batch, &opt, &res)
+		return res, err
+	}
 	if useNativeBatch(tables, &opt) {
 		var res BatchResult
 		if err := checkBatch([][]uint8{query}, batch, &opt); err != nil {

@@ -37,6 +37,11 @@ type BatchOptions struct {
 	// Backend selects the execution backend, as in
 	// PairOptions.Backend. EagerMax forces the modeled backend.
 	Backend Backend
+	// Kernel selects the kernel family, as in PairOptions.Kernel. The
+	// striped family aligns each lane's sequence with the striped pair
+	// kernel instead of the interleaved anti-diagonal batch engine;
+	// EagerMax (a diagonal-engine ablation) forces the diagonal family.
+	Kernel Kernel
 }
 
 // BatchResult carries per-lane outcomes of one batch alignment. Only
@@ -67,6 +72,10 @@ func AlignBatch8(mch vek.Machine, query []uint8, tables *submat.CodeTables, batc
 	if opt.Gaps.Open > 127 {
 		return res, fmt.Errorf("core: gap open %d exceeds the 8-bit range", opt.Gaps.Open)
 	}
+	if stripedBatchOK(tables, &opt) {
+		err := stripedBatch8(mch, query, tables, batch, &opt, &res)
+		return res, err
+	}
 	if useNativeBatch(tables, &opt) {
 		s := batchScratchOrLocal(&opt)
 		nativeBatch8(query, tables, batch, &opt, s, &res)
@@ -94,6 +103,17 @@ func AlignBatch8Multi(mch vek.Machine, queries [][]uint8, tables *submat.CodeTab
 	}
 	if opt.Gaps.Open > 127 {
 		return nil, fmt.Errorf("core: gap open %d exceeds the 8-bit range", opt.Gaps.Open)
+	}
+	if stripedBatchOK(tables, &opt) {
+		// The striped profile cache is keyed by query, so the multi-query
+		// amortization here is the profile, not the score scratch.
+		out := make([]BatchResult, len(queries))
+		for qi := range queries {
+			if err := stripedBatch8(mch, queries[qi], tables, batch, &opt, &out[qi]); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
 	}
 	if useNativeBatch(tables, &opt) {
 		s := batchScratchOrLocal(&opt)

@@ -65,6 +65,13 @@ type PairOptions struct {
 	// bit-identical results but no instruction tallies. Modeled-only
 	// features (Traceback, EagerMax) force the modeled backend.
 	Backend Backend
+	// Kernel selects the kernel family. KernelAuto and KernelDiagonal
+	// run the anti-diagonal wavefront kernel; the striped family
+	// (KernelStriped, KernelLazyF) runs Farrar's segmented layout,
+	// which is score-only: requests that need positions or traceback
+	// (Traceback, TrackPosition) and the modeled-only ablations
+	// (EagerMax, RowMajorLayout) stay on the diagonal family.
+	Kernel Kernel
 }
 
 // DefaultScalarThreshold is the segment length below which the kernels
@@ -107,6 +114,7 @@ func checkPair(q, d []uint8, opt *PairOptions) error {
 		return err
 	}
 	if len(q) == 0 || len(d) == 0 {
+		//swlint:ignore hotpathalloc validation reject is the cold path; warm calls never take this branch
 		return fmt.Errorf("core: empty sequence (query %d, database %d residues)", len(q), len(d))
 	}
 	return nil

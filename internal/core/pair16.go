@@ -27,6 +27,15 @@ func AlignPair16(mch vek.Machine, q, dseq []uint8, mat *submat.Matrix, opt PairO
 	if err := checkPair(q, dseq, &opt); err != nil {
 		return aln.ScoreResult{EndQ: -1, EndD: -1}, nil, err
 	}
+	// The striped family is score-only and affine-only; anything that
+	// needs positions, a trace, a diagonal-only ablation, or the linear
+	// gap model stays on the diagonal kernel.
+	if opt.Kernel.Striped() && !opt.Gaps.IsLinear() && !opt.Traceback && !opt.TrackPosition && !opt.EagerMax && !opt.RowMajorLayout {
+		if opt.Backend == BackendNative {
+			return nativeStripedPair16(q, dseq, mat, &opt, vek.E16x16{}.Lanes()), nil, nil
+		}
+		return alignStriped[vek.I16x16, int16](vek.E16x16{}, mch, q, dseq, mat, &opt, stripedState16(opt.Scratch)), nil, nil
+	}
 	if opt.Backend == BackendNative && !opt.Traceback && !opt.EagerMax {
 		return nativePair16(q, dseq, mat, &opt), nil, nil
 	}

@@ -40,6 +40,12 @@ func AlignPair8(mch vek.Machine, q, dseq []uint8, mat *submat.Matrix, opt PairOp
 		return aln.ScoreResult{EndQ: -1, EndD: -1}, err
 	}
 	opt = pair8Opt(opt)
+	if opt.Kernel.Striped() && !opt.Gaps.IsLinear() {
+		if opt.Backend == BackendNative {
+			return nativeStripedPair8(q, dseq, mat, &opt, vek.E8x32{}.Lanes()), nil
+		}
+		return alignStriped[vek.I8x32, int8](vek.E8x32{}, mch, q, dseq, mat, &opt, stripedState8(opt.Scratch)), nil
+	}
 	if opt.Backend == BackendNative {
 		return nativePair8(q, dseq, mat, &opt), nil
 	}
@@ -64,6 +70,12 @@ func AlignPair8W(mch vek.Machine, q, dseq []uint8, mat *submat.Matrix, opt PairO
 		return aln.ScoreResult{EndQ: -1, EndD: -1}, err
 	}
 	opt = pair8Opt(opt)
+	if opt.Kernel.Striped() && !opt.Gaps.IsLinear() {
+		if opt.Backend == BackendNative {
+			return nativeStripedPair8(q, dseq, mat, &opt, vek.E8x64{}.Lanes()), nil
+		}
+		return alignStriped[vek.I8x64, int8](vek.E8x64{}, mch, q, dseq, mat, &opt, stripedState8(opt.Scratch)), nil
+	}
 	if opt.Backend == BackendNative {
 		return nativePair8(q, dseq, mat, &opt), nil
 	}

@@ -95,21 +95,26 @@ type pairState[V any, E vek.Elem] struct {
 	dseq     []uint8
 }
 
-// profile8For returns the 8-bit query profile for (mat, q), serving it
-// from the scratch's cache when the previous call used the same matrix
-// and query contents. The query is compared by value and cached as a
-// private copy: callers (the adaptive ladder, the server) reuse their
-// encode buffers, so an aliased comparison would falsely hit.
-func profile8For(s *Scratch, mat *submat.Matrix, q []uint8) *submat.Profile8 {
+// profile8For returns the 8-bit query profile for (mat, q, gaps),
+// serving it from the scratch's cache when the previous call used the
+// same matrix, query contents, and gap penalties. The query is
+// compared by value and cached as a private copy: callers (the
+// adaptive ladder, the server) reuse their encode buffers, so an
+// aliased comparison would falsely hit. Gap penalties are part of the
+// key even though today's profile rows don't depend on them: a
+// profile variant that bakes in a gap-derived bias must never be
+// served stale when only the gaps change between searches.
+func profile8For(s *Scratch, mat *submat.Matrix, q []uint8, g aln.Gaps) *submat.Profile8 {
 	if s == nil {
 		return submat.NewProfile8(mat, q)
 	}
-	if s.prof8 != nil && s.profMat == mat && bytes.Equal(s.profQuery, q) {
+	if s.prof8 != nil && s.profMat == mat && s.profGaps == g && bytes.Equal(s.profQuery, q) {
 		s.profileHits++
 		return s.prof8
 	}
 	s.prof8 = submat.NewProfile8(mat, q)
 	s.profMat = mat
+	s.profGaps = g
 	//swlint:ignore hotpathalloc cache-miss path: repeated queries (the server steady state) hit the cache above
 	s.profQuery = append(s.profQuery[:0], q...)
 	return s.prof8
@@ -117,7 +122,7 @@ func profile8For(s *Scratch, mat *submat.Matrix, q []uint8) *submat.Profile8 {
 
 // initPairState prepares st for one alignment, reusing bufs and the
 // scratch's query-profile cache (nil scratch allocates per call).
-func initPairState[V any, E vek.Elem, En vek.Engine[V, E]](eng En, mch vek.Machine, st *pairState[V, E], q, dseq []uint8, mat *submat.Matrix, bufs *pairBufs[E], s *Scratch) {
+func initPairState[V any, E vek.Elem, En vek.Engine[V, E]](eng En, mch vek.Machine, st *pairState[V, E], q, dseq []uint8, mat *submat.Matrix, g aln.Gaps, bufs *pairBufs[E], s *Scratch) {
 	m, n := len(q), len(dseq)
 	lanes := eng.Lanes()
 	slack := lanes + 2
@@ -160,7 +165,7 @@ func initPairState[V any, E vek.Elem, En vek.Engine[V, E]](eng En, mch vek.Machi
 		}
 	}
 	if !eng.HasGather() && !st.fixed {
-		st.prof = profile8For(s, mat, q)
+		st.prof = profile8For(s, mat, q, g)
 		st.scoreBuf = bufE(&bufs.scoreBuf, lanes, 0)
 	}
 	// One-time profile/index preparation, charged as scalar work.
@@ -343,7 +348,7 @@ func alignPairAffine[V any, E vek.Elem, En vek.Engine[V, E]](eng En, mch vek.Mac
 	res := aln.ScoreResult{EndQ: -1, EndD: -1}
 	m, n := len(q), len(dseq)
 	var st pairState[V, E]
-	initPairState(eng, mch, &st, q, dseq, mat, bufs, opt.Scratch)
+	initPairState(eng, mch, &st, q, dseq, mat, opt.Gaps, bufs, opt.Scratch)
 	var tb *TraceMatrix
 	if opt.Traceback {
 		tb = newTraceMatrix(m, n)
@@ -547,7 +552,7 @@ func alignPairLinear[V any, E vek.Elem, En vek.Engine[V, E]](eng En, mch vek.Mac
 	res := aln.ScoreResult{EndQ: -1, EndD: -1}
 	m, n := len(q), len(dseq)
 	var st pairState[V, E]
-	initPairState(eng, mch, &st, q, dseq, mat, bufs, opt.Scratch)
+	initPairState(eng, mch, &st, q, dseq, mat, opt.Gaps, bufs, opt.Scratch)
 	var tb *TraceMatrix
 	if opt.Traceback {
 		tb = newTraceMatrix(m, n)

@@ -1,6 +1,9 @@
 package core
 
-import "swvec/internal/submat"
+import (
+	"swvec/internal/aln"
+	"swvec/internal/submat"
+)
 
 // A Scratch holds the reusable working buffers of the batch engines
 // and the pair kernels' escalation tier: the transposed-residue int8
@@ -44,14 +47,24 @@ type Scratch struct {
 	nph16, npf16 []int16
 	nph32, npf32 []int32
 	// prof8 caches the 8-bit query profile keyed by (matrix, query
-	// contents): the modeled 8-bit pair path rebuilds it per call
-	// otherwise, and repeated queries — the server's common case —
-	// make rebuilding pure waste. profQuery is a private copy, since
-	// callers reuse their encode buffers.
+	// contents, gap penalties): the modeled 8-bit pair path rebuilds it
+	// per call otherwise, and repeated queries — the server's common
+	// case — make rebuilding pure waste. profQuery is a private copy,
+	// since callers reuse their encode buffers.
 	prof8       *submat.Profile8
 	profMat     *submat.Matrix
 	profQuery   []uint8
+	profGaps    aln.Gaps
 	profileHits int64
+	// sp8/sp16 are the striped kernel family's per-element-width state:
+	// the cached striped query profile plus the H/E column rows. Both
+	// register widths of one element width share a state, exactly like
+	// pair8/pair16 above.
+	sp8  stripedState[int8]
+	sp16 stripedState[int16]
+	// laneSeq is the batch striped path's per-lane sequence extraction
+	// buffer (one lane's residues gathered out of the transposed batch).
+	laneSeq []uint8
 }
 
 // TakeProfileCacheHits returns the number of query-profile cache hits

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"swvec/internal/aln"
+	"swvec/internal/native"
+	"swvec/internal/seqio"
+	"swvec/internal/submat"
+)
+
+// Native glue for the striped kernel family: resolve the compiled
+// shape from (element width, lane count), serve the striped profile
+// from the same cache the modeled kernel uses (so backend switches
+// stay warm), and hand the scratch-owned column rows to the kernel,
+// which initializes them itself.
+
+// nativeStripedPair8 runs the compiled 8-bit striped kernel at the
+// given lane count.
+//
+//sw:hotpath
+func nativeStripedPair8(q, dseq []uint8, mat *submat.Matrix, opt *PairOptions, lanes int) aln.ScoreResult {
+	st := stripedState8(opt.Scratch)
+	prof, segLen := stripedProfileFor(st, opt.Scratch, mat, q, opt.Gaps, lanes)
+	rows := segLen * lanes
+	h := growE(&st.hStore, rows)
+	hl := growE(&st.hLoad, rows)
+	e := growE(&st.eRow, rows)
+	decon := opt.Kernel == KernelLazyF
+	var score int32
+	var sat bool
+	if lanes == seqio.MaxBatchLanes {
+		score, sat = native.StripedScore8x64(prof, segLen, dseq, opt.Gaps.Open, opt.Gaps.Extend, decon, h, hl, e)
+	} else {
+		score, sat = native.StripedScore8x32(prof, segLen, dseq, opt.Gaps.Open, opt.Gaps.Extend, decon, h, hl, e)
+	}
+	return aln.ScoreResult{Score: score, EndQ: -1, EndD: -1, Saturated: sat}
+}
+
+// nativeStripedPair16 runs the compiled 16-bit striped kernel at the
+// given lane count.
+//
+//sw:hotpath
+func nativeStripedPair16(q, dseq []uint8, mat *submat.Matrix, opt *PairOptions, lanes int) aln.ScoreResult {
+	st := stripedState16(opt.Scratch)
+	prof, segLen := stripedProfileFor(st, opt.Scratch, mat, q, opt.Gaps, lanes)
+	rows := segLen * lanes
+	h := growE(&st.hStore, rows)
+	hl := growE(&st.hLoad, rows)
+	e := growE(&st.eRow, rows)
+	decon := opt.Kernel == KernelLazyF
+	var score int32
+	var sat bool
+	if lanes == lanes16w {
+		score, sat = native.StripedScore16x32(prof, segLen, dseq, opt.Gaps.Open, opt.Gaps.Extend, decon, h, hl, e)
+	} else {
+		score, sat = native.StripedScore16x16(prof, segLen, dseq, opt.Gaps.Open, opt.Gaps.Extend, decon, h, hl, e)
+	}
+	return aln.ScoreResult{Score: score, EndQ: -1, EndD: -1, Saturated: sat}
+}

@@ -70,7 +70,7 @@ func Fig06AVX2vsAVX512(cfg Config) *stats.Table {
 // single-threaded at an explicit vector width.
 func searchAtWidth(query []uint8, w *workload, width int) *sched.Result {
 	res, err := sched.Search(query, w.db, w.mat, sched.Options{
-		Gaps: w.gaps, Threads: 1, Instrument: true, Width: width, Backend: w.cfg.Backend,
+		Gaps: w.gaps, Threads: 1, Instrument: true, Width: width, Backend: w.cfg.Backend, Kernel: w.cfg.Kernel,
 	})
 	if err != nil {
 		panic(fmt.Sprintf("figures: search at width %d: %v", width, err))

@@ -115,7 +115,7 @@ func Fig13Scenarios(cfg Config) *stats.Table {
 	w := newWorkload(cfg)
 	arch := isa.Get(isa.Skylake)
 	threads := runtime.GOMAXPROCS(0)
-	opt := sched.Options{Gaps: w.gaps, Threads: threads, Instrument: true, Width: cfg.Width, Backend: cfg.Backend}
+	opt := sched.Options{Gaps: w.gaps, Threads: threads, Instrument: true, Width: cfg.Width, Backend: cfg.Backend, Kernel: cfg.Kernel}
 	t := &stats.Table{
 		Title:   "Fig 13: usage scenarios (measured on host + modeled Skylake, all threads)",
 		Headers: []string{"scenario", "cells", "host_ms", "host_GCUPS", "modeled_GCUPS_1T"},

@@ -42,6 +42,12 @@ type Config struct {
 	// — while the wall-clock pipeline table follows the serving
 	// default. See sched.Options.Backend.
 	Backend core.Backend
+	// Kernel selects the kernel family for the search-pipeline figures.
+	// The planner keeps instrumented and modeled runs on the diagonal
+	// family regardless of Auto (the figure apparatus is calibrated on
+	// it); an explicit value forces a family everywhere it applies. See
+	// sched.Options.Kernel.
+	Kernel core.Kernel
 	// Quick shrinks everything for fast benchmark iterations.
 	Quick bool
 }

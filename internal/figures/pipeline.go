@@ -35,7 +35,7 @@ func PipelineReport(cfg Config) *stats.Table {
 	}
 	for _, nw := range threadSet {
 		for _, sorted := range []bool{false, true} {
-			opt := sched.Options{Gaps: w.gaps, Threads: nw, SortByLength: sorted, Width: cfg.Width, Backend: cfg.Backend}
+			opt := sched.Options{Gaps: w.gaps, Threads: nw, SortByLength: sorted, Width: cfg.Width, Backend: cfg.Backend, Kernel: cfg.Kernel}
 			// Warm-up run so one-time allocations (code tables, hit
 			// slices sized to the database) don't pollute the delta.
 			if _, err := sched.Search(query, w.db, w.mat, opt); err != nil {

@@ -1,0 +1,584 @@
+package native
+
+// The striped kernels are the compiled specializations of the Farrar
+// striped family (see internal/core/stripedg.go for the algorithm and
+// the exactness argument). One function per (element width x lane
+// count) shape, like the batch engines: fixed-size array pointers give
+// the compiler constant trip counts and bounds-check-free lane loops.
+//
+// Every arithmetic step mirrors the modeled engine ops clamp for
+// clamp — saturating add/sub as min/max against the element floor and
+// ceiling, the lane rotate filling with 0 (column H carry) or the
+// width's -inf (F carries) — so the results are bit-identical to the
+// modeled striped kernel, which the differential fuzzers enforce.
+//
+// The caller supplies the flat striped profile
+// (prof[(c*segLen+t)*lanes + l], built by the shared core builder),
+// the column state rows (hStore/hLoad/eRow, capacity segLen*lanes;
+// the kernel initializes them), and decon selects Snytsar's
+// deconstructed lazy-F correction instead of the classic loop.
+
+// lanesStriped8x32 is the lane count of the 256-bit 8-bit striped
+// kernel; the other three shapes follow the same naming.
+const (
+	lanesStriped8x32  = 32
+	lanesStriped8x64  = 64
+	lanesStriped16x16 = 16
+	lanesStriped16x32 = 32
+)
+
+// StripedScore8x32 is the 8-bit 32-lane striped kernel.
+//
+//sw:hotpath
+func StripedScore8x32(prof []int8, segLen int, dseq []uint8, open, ext int32, decon bool, hStore, hLoad, eRow []int8) (int32, bool) {
+	if open > ceil8 {
+		open = ceil8
+	}
+	if ext > ceil8 {
+		ext = ceil8
+	}
+	rows := segLen * lanesStriped8x32
+	hs := hStore[:rows]
+	hl := hLoad[:rows]
+	er := eRow[:rows]
+	for i := range hs {
+		hs[i] = 0
+	}
+	for i := range hl {
+		hl[i] = 0
+	}
+	for i := range er {
+		er[i] = negInf8
+	}
+	var best int32
+	var vH, vF, c [lanesStriped8x32]int32
+	for j := 0; j < len(dseq); j++ {
+		code := int(dseq[j] & matRowMask)
+		pr := prof[code*rows : code*rows+rows]
+		last := (*[lanesStriped8x32]int8)(hs[(segLen-1)*lanesStriped8x32:])
+		for l := lanesStriped8x32 - 1; l > 0; l-- {
+			vH[l] = int32(last[l-1])
+		}
+		vH[0] = 0
+		hs, hl = hl, hs
+		for l := range vF {
+			vF[l] = negInf8
+		}
+		for t := 0; t < segLen; t++ {
+			off := t * lanesStriped8x32
+			prow := (*[lanesStriped8x32]int8)(pr[off:])
+			hrow := (*[lanesStriped8x32]int8)(hs[off:])
+			hlrow := (*[lanesStriped8x32]int8)(hl[off:])
+			erow := (*[lanesStriped8x32]int8)(er[off:])
+			for l := 0; l < lanesStriped8x32; l++ {
+				e := int32(erow[l])
+				h := max(min(vH[l]+int32(prow[l]), ceil8), e, vF[l], 0)
+				if h > best {
+					best = h
+				}
+				hrow[l] = int8(h)
+				hGap := max(h-open, floor8)
+				erow[l] = int8(max(e-ext, floor8, hGap))
+				vF[l] = max(vF[l]-ext, floor8, hGap)
+				vH[l] = int32(hlrow[l])
+			}
+		}
+		if decon {
+			for l := lanesStriped8x32 - 1; l > 0; l-- {
+				c[l] = vF[l-1]
+			}
+			c[0] = negInf8
+			d := int32(segLen) * ext
+			for s := 1; s < lanesStriped8x32; s <<= 1 {
+				dec := min(int32(s)*d, ceil8)
+				for l := lanesStriped8x32 - 1; l >= 0; l-- {
+					sh := int32(negInf8)
+					if l >= s {
+						sh = c[l-s]
+					}
+					c[l] = max(c[l], max(sh-dec, floor8))
+				}
+			}
+			any := false
+			for l := range c {
+				if c[l] > 0 {
+					any = true
+					break
+				}
+			}
+			if any {
+				for t := 0; t < segLen; t++ {
+					hrow := (*[lanesStriped8x32]int8)(hs[t*lanesStriped8x32:])
+					erow := (*[lanesStriped8x32]int8)(er[t*lanesStriped8x32:])
+					for l := 0; l < lanesStriped8x32; l++ {
+						h := int32(hrow[l])
+						if c[l] > h {
+							h = c[l]
+							hrow[l] = int8(h)
+						}
+						if h > best {
+							best = h
+						}
+						hGap := max(h-open, floor8)
+						if hGap > int32(erow[l]) {
+							erow[l] = int8(hGap)
+						}
+						c[l] = max(c[l]-ext, floor8)
+					}
+				}
+			}
+		} else {
+		classic:
+			for k := 0; k < lanesStriped8x32; k++ {
+				for l := lanesStriped8x32 - 1; l > 0; l-- {
+					vF[l] = vF[l-1]
+				}
+				vF[0] = negInf8
+				for t := 0; t < segLen; t++ {
+					hrow := (*[lanesStriped8x32]int8)(hs[t*lanesStriped8x32:])
+					erow := (*[lanesStriped8x32]int8)(er[t*lanesStriped8x32:])
+					any := false
+					for l := 0; l < lanesStriped8x32; l++ {
+						h := int32(hrow[l])
+						if vF[l] > h {
+							h = vF[l]
+							hrow[l] = int8(h)
+						}
+						if h > best {
+							best = h
+						}
+						hGap := max(h-open, floor8)
+						if hGap > int32(erow[l]) {
+							erow[l] = int8(hGap)
+						}
+						vF[l] = max(vF[l]-ext, floor8)
+						if vF[l] > hGap {
+							any = true
+						}
+					}
+					if !any {
+						break classic
+					}
+				}
+			}
+		}
+	}
+	return best, best >= ceil8
+}
+
+// StripedScore8x64 is the 8-bit 64-lane striped kernel.
+//
+//sw:hotpath
+func StripedScore8x64(prof []int8, segLen int, dseq []uint8, open, ext int32, decon bool, hStore, hLoad, eRow []int8) (int32, bool) {
+	if open > ceil8 {
+		open = ceil8
+	}
+	if ext > ceil8 {
+		ext = ceil8
+	}
+	rows := segLen * lanesStriped8x64
+	hs := hStore[:rows]
+	hl := hLoad[:rows]
+	er := eRow[:rows]
+	for i := range hs {
+		hs[i] = 0
+	}
+	for i := range hl {
+		hl[i] = 0
+	}
+	for i := range er {
+		er[i] = negInf8
+	}
+	var best int32
+	var vH, vF, c [lanesStriped8x64]int32
+	for j := 0; j < len(dseq); j++ {
+		code := int(dseq[j] & matRowMask)
+		pr := prof[code*rows : code*rows+rows]
+		last := (*[lanesStriped8x64]int8)(hs[(segLen-1)*lanesStriped8x64:])
+		for l := lanesStriped8x64 - 1; l > 0; l-- {
+			vH[l] = int32(last[l-1])
+		}
+		vH[0] = 0
+		hs, hl = hl, hs
+		for l := range vF {
+			vF[l] = negInf8
+		}
+		for t := 0; t < segLen; t++ {
+			off := t * lanesStriped8x64
+			prow := (*[lanesStriped8x64]int8)(pr[off:])
+			hrow := (*[lanesStriped8x64]int8)(hs[off:])
+			hlrow := (*[lanesStriped8x64]int8)(hl[off:])
+			erow := (*[lanesStriped8x64]int8)(er[off:])
+			for l := 0; l < lanesStriped8x64; l++ {
+				e := int32(erow[l])
+				h := max(min(vH[l]+int32(prow[l]), ceil8), e, vF[l], 0)
+				if h > best {
+					best = h
+				}
+				hrow[l] = int8(h)
+				hGap := max(h-open, floor8)
+				erow[l] = int8(max(e-ext, floor8, hGap))
+				vF[l] = max(vF[l]-ext, floor8, hGap)
+				vH[l] = int32(hlrow[l])
+			}
+		}
+		if decon {
+			for l := lanesStriped8x64 - 1; l > 0; l-- {
+				c[l] = vF[l-1]
+			}
+			c[0] = negInf8
+			d := int32(segLen) * ext
+			for s := 1; s < lanesStriped8x64; s <<= 1 {
+				dec := min(int32(s)*d, ceil8)
+				for l := lanesStriped8x64 - 1; l >= 0; l-- {
+					sh := int32(negInf8)
+					if l >= s {
+						sh = c[l-s]
+					}
+					c[l] = max(c[l], max(sh-dec, floor8))
+				}
+			}
+			any := false
+			for l := range c {
+				if c[l] > 0 {
+					any = true
+					break
+				}
+			}
+			if any {
+				for t := 0; t < segLen; t++ {
+					hrow := (*[lanesStriped8x64]int8)(hs[t*lanesStriped8x64:])
+					erow := (*[lanesStriped8x64]int8)(er[t*lanesStriped8x64:])
+					for l := 0; l < lanesStriped8x64; l++ {
+						h := int32(hrow[l])
+						if c[l] > h {
+							h = c[l]
+							hrow[l] = int8(h)
+						}
+						if h > best {
+							best = h
+						}
+						hGap := max(h-open, floor8)
+						if hGap > int32(erow[l]) {
+							erow[l] = int8(hGap)
+						}
+						c[l] = max(c[l]-ext, floor8)
+					}
+				}
+			}
+		} else {
+		classic:
+			for k := 0; k < lanesStriped8x64; k++ {
+				for l := lanesStriped8x64 - 1; l > 0; l-- {
+					vF[l] = vF[l-1]
+				}
+				vF[0] = negInf8
+				for t := 0; t < segLen; t++ {
+					hrow := (*[lanesStriped8x64]int8)(hs[t*lanesStriped8x64:])
+					erow := (*[lanesStriped8x64]int8)(er[t*lanesStriped8x64:])
+					any := false
+					for l := 0; l < lanesStriped8x64; l++ {
+						h := int32(hrow[l])
+						if vF[l] > h {
+							h = vF[l]
+							hrow[l] = int8(h)
+						}
+						if h > best {
+							best = h
+						}
+						hGap := max(h-open, floor8)
+						if hGap > int32(erow[l]) {
+							erow[l] = int8(hGap)
+						}
+						vF[l] = max(vF[l]-ext, floor8)
+						if vF[l] > hGap {
+							any = true
+						}
+					}
+					if !any {
+						break classic
+					}
+				}
+			}
+		}
+	}
+	return best, best >= ceil8
+}
+
+// StripedScore16x16 is the 16-bit 16-lane striped kernel.
+//
+//sw:hotpath
+func StripedScore16x16(prof []int16, segLen int, dseq []uint8, open, ext int32, decon bool, hStore, hLoad, eRow []int16) (int32, bool) {
+	if open > ceil16 {
+		open = ceil16
+	}
+	if ext > ceil16 {
+		ext = ceil16
+	}
+	rows := segLen * lanesStriped16x16
+	hs := hStore[:rows]
+	hl := hLoad[:rows]
+	er := eRow[:rows]
+	for i := range hs {
+		hs[i] = 0
+	}
+	for i := range hl {
+		hl[i] = 0
+	}
+	for i := range er {
+		er[i] = negInf16
+	}
+	var best int32
+	var vH, vF, c [lanesStriped16x16]int32
+	for j := 0; j < len(dseq); j++ {
+		code := int(dseq[j] & matRowMask)
+		pr := prof[code*rows : code*rows+rows]
+		last := (*[lanesStriped16x16]int16)(hs[(segLen-1)*lanesStriped16x16:])
+		for l := lanesStriped16x16 - 1; l > 0; l-- {
+			vH[l] = int32(last[l-1])
+		}
+		vH[0] = 0
+		hs, hl = hl, hs
+		for l := range vF {
+			vF[l] = negInf16
+		}
+		for t := 0; t < segLen; t++ {
+			off := t * lanesStriped16x16
+			prow := (*[lanesStriped16x16]int16)(pr[off:])
+			hrow := (*[lanesStriped16x16]int16)(hs[off:])
+			hlrow := (*[lanesStriped16x16]int16)(hl[off:])
+			erow := (*[lanesStriped16x16]int16)(er[off:])
+			for l := 0; l < lanesStriped16x16; l++ {
+				e := int32(erow[l])
+				h := max(min(vH[l]+int32(prow[l]), ceil16), e, vF[l], 0)
+				if h > best {
+					best = h
+				}
+				hrow[l] = int16(h)
+				hGap := max(h-open, floor16)
+				erow[l] = int16(max(e-ext, floor16, hGap))
+				vF[l] = max(vF[l]-ext, floor16, hGap)
+				vH[l] = int32(hlrow[l])
+			}
+		}
+		if decon {
+			for l := lanesStriped16x16 - 1; l > 0; l-- {
+				c[l] = vF[l-1]
+			}
+			c[0] = negInf16
+			d := int32(segLen) * ext
+			for s := 1; s < lanesStriped16x16; s <<= 1 {
+				dec := min(int32(s)*d, ceil16)
+				for l := lanesStriped16x16 - 1; l >= 0; l-- {
+					sh := int32(negInf16)
+					if l >= s {
+						sh = c[l-s]
+					}
+					c[l] = max(c[l], max(sh-dec, floor16))
+				}
+			}
+			any := false
+			for l := range c {
+				if c[l] > 0 {
+					any = true
+					break
+				}
+			}
+			if any {
+				for t := 0; t < segLen; t++ {
+					hrow := (*[lanesStriped16x16]int16)(hs[t*lanesStriped16x16:])
+					erow := (*[lanesStriped16x16]int16)(er[t*lanesStriped16x16:])
+					for l := 0; l < lanesStriped16x16; l++ {
+						h := int32(hrow[l])
+						if c[l] > h {
+							h = c[l]
+							hrow[l] = int16(h)
+						}
+						if h > best {
+							best = h
+						}
+						hGap := max(h-open, floor16)
+						if hGap > int32(erow[l]) {
+							erow[l] = int16(hGap)
+						}
+						c[l] = max(c[l]-ext, floor16)
+					}
+				}
+			}
+		} else {
+		classic:
+			for k := 0; k < lanesStriped16x16; k++ {
+				for l := lanesStriped16x16 - 1; l > 0; l-- {
+					vF[l] = vF[l-1]
+				}
+				vF[0] = negInf16
+				for t := 0; t < segLen; t++ {
+					hrow := (*[lanesStriped16x16]int16)(hs[t*lanesStriped16x16:])
+					erow := (*[lanesStriped16x16]int16)(er[t*lanesStriped16x16:])
+					any := false
+					for l := 0; l < lanesStriped16x16; l++ {
+						h := int32(hrow[l])
+						if vF[l] > h {
+							h = vF[l]
+							hrow[l] = int16(h)
+						}
+						if h > best {
+							best = h
+						}
+						hGap := max(h-open, floor16)
+						if hGap > int32(erow[l]) {
+							erow[l] = int16(hGap)
+						}
+						vF[l] = max(vF[l]-ext, floor16)
+						if vF[l] > hGap {
+							any = true
+						}
+					}
+					if !any {
+						break classic
+					}
+				}
+			}
+		}
+	}
+	return best, best >= ceil16
+}
+
+// StripedScore16x32 is the 16-bit 32-lane striped kernel.
+//
+//sw:hotpath
+func StripedScore16x32(prof []int16, segLen int, dseq []uint8, open, ext int32, decon bool, hStore, hLoad, eRow []int16) (int32, bool) {
+	if open > ceil16 {
+		open = ceil16
+	}
+	if ext > ceil16 {
+		ext = ceil16
+	}
+	rows := segLen * lanesStriped16x32
+	hs := hStore[:rows]
+	hl := hLoad[:rows]
+	er := eRow[:rows]
+	for i := range hs {
+		hs[i] = 0
+	}
+	for i := range hl {
+		hl[i] = 0
+	}
+	for i := range er {
+		er[i] = negInf16
+	}
+	var best int32
+	var vH, vF, c [lanesStriped16x32]int32
+	for j := 0; j < len(dseq); j++ {
+		code := int(dseq[j] & matRowMask)
+		pr := prof[code*rows : code*rows+rows]
+		last := (*[lanesStriped16x32]int16)(hs[(segLen-1)*lanesStriped16x32:])
+		for l := lanesStriped16x32 - 1; l > 0; l-- {
+			vH[l] = int32(last[l-1])
+		}
+		vH[0] = 0
+		hs, hl = hl, hs
+		for l := range vF {
+			vF[l] = negInf16
+		}
+		for t := 0; t < segLen; t++ {
+			off := t * lanesStriped16x32
+			prow := (*[lanesStriped16x32]int16)(pr[off:])
+			hrow := (*[lanesStriped16x32]int16)(hs[off:])
+			hlrow := (*[lanesStriped16x32]int16)(hl[off:])
+			erow := (*[lanesStriped16x32]int16)(er[off:])
+			for l := 0; l < lanesStriped16x32; l++ {
+				e := int32(erow[l])
+				h := max(min(vH[l]+int32(prow[l]), ceil16), e, vF[l], 0)
+				if h > best {
+					best = h
+				}
+				hrow[l] = int16(h)
+				hGap := max(h-open, floor16)
+				erow[l] = int16(max(e-ext, floor16, hGap))
+				vF[l] = max(vF[l]-ext, floor16, hGap)
+				vH[l] = int32(hlrow[l])
+			}
+		}
+		if decon {
+			for l := lanesStriped16x32 - 1; l > 0; l-- {
+				c[l] = vF[l-1]
+			}
+			c[0] = negInf16
+			d := int32(segLen) * ext
+			for s := 1; s < lanesStriped16x32; s <<= 1 {
+				dec := min(int32(s)*d, ceil16)
+				for l := lanesStriped16x32 - 1; l >= 0; l-- {
+					sh := int32(negInf16)
+					if l >= s {
+						sh = c[l-s]
+					}
+					c[l] = max(c[l], max(sh-dec, floor16))
+				}
+			}
+			any := false
+			for l := range c {
+				if c[l] > 0 {
+					any = true
+					break
+				}
+			}
+			if any {
+				for t := 0; t < segLen; t++ {
+					hrow := (*[lanesStriped16x32]int16)(hs[t*lanesStriped16x32:])
+					erow := (*[lanesStriped16x32]int16)(er[t*lanesStriped16x32:])
+					for l := 0; l < lanesStriped16x32; l++ {
+						h := int32(hrow[l])
+						if c[l] > h {
+							h = c[l]
+							hrow[l] = int16(h)
+						}
+						if h > best {
+							best = h
+						}
+						hGap := max(h-open, floor16)
+						if hGap > int32(erow[l]) {
+							erow[l] = int16(hGap)
+						}
+						c[l] = max(c[l]-ext, floor16)
+					}
+				}
+			}
+		} else {
+		classic:
+			for k := 0; k < lanesStriped16x32; k++ {
+				for l := lanesStriped16x32 - 1; l > 0; l-- {
+					vF[l] = vF[l-1]
+				}
+				vF[0] = negInf16
+				for t := 0; t < segLen; t++ {
+					hrow := (*[lanesStriped16x32]int16)(hs[t*lanesStriped16x32:])
+					erow := (*[lanesStriped16x32]int16)(er[t*lanesStriped16x32:])
+					any := false
+					for l := 0; l < lanesStriped16x32; l++ {
+						h := int32(hrow[l])
+						if vF[l] > h {
+							h = vF[l]
+							hrow[l] = int16(h)
+						}
+						if h > best {
+							best = h
+						}
+						hGap := max(h-open, floor16)
+						if hGap > int32(erow[l]) {
+							erow[l] = int16(hGap)
+						}
+						vF[l] = max(vF[l]-ext, floor16)
+						if vF[l] > hGap {
+							any = true
+						}
+					}
+					if !any {
+						break classic
+					}
+				}
+			}
+		}
+	}
+	return best, best >= ceil16
+}

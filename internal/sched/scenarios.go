@@ -83,6 +83,17 @@ func MultiSearchContext(ctx context.Context, queries [][]uint8, db []seqio.Seque
 	batches := seqio.BuildBatches(db, alpha, seqio.BatchOptions{SortByLength: opt.SortByLength})
 	tables := submat.NewCodeTables(mat)
 
+	// One AlignBatch8Multi call serves every query, so the whole search
+	// runs one kernel family. Plan from the shortest query: striped only
+	// pays off when every query in the set clears the length threshold.
+	minQ := len(queries[0])
+	for _, q := range queries[1:] {
+		if len(q) < minQ {
+			minQ = len(q)
+		}
+	}
+	kern := opt.kernel(minQ, mat, opt.backend(), builtPadRatio(batches))
+
 	res := &MultiResult{Scores: make([][]int32, len(queries))}
 	for qi := range res.Scores {
 		res.Scores[qi] = make([]int32, len(db))
@@ -133,7 +144,7 @@ func MultiSearchContext(ctx context.Context, queries [][]uint8, db []seqio.Seque
 					continue
 				}
 				t8 := time.Now()
-				brs, err := multiAlign8(ictx, mch, queries, tables, batch, &opt, scratch, met)
+				brs, err := multiAlign8(ictx, mch, queries, tables, batch, &opt, kern, scratch, met)
 				if err != nil {
 					// Quarantine just this batch's sequences (for every
 					// query); the rest of the matrix still fills in.
@@ -143,20 +154,23 @@ func MultiSearchContext(ctx context.Context, queries [][]uint8, db []seqio.Seque
 					continue
 				}
 				met.Batches8.Add(1)
+				tallyKernel(met, kern, 1, 0)
 				met.Stage8Nanos.Add(int64(time.Since(t8)))
 				for qi := range queries {
 					met.Cells8.Add(batch.Cells(len(queries[qi])))
+					tallyKernel(met, kern, 0, batch.Cells(len(queries[qi])))
 					for lane := 0; lane < batch.Count; lane++ {
 						si := batch.Index[lane]
 						score := brs[qi].Scores[lane]
 						if brs[qi].Saturated[lane] && ictx.Err() == nil {
 							t16 := time.Now()
 							enc = alpha.EncodeTo(enc, db[si].Residues)
-							pr, err := multiRescue16(mch, queries[qi], enc, mat, &opt, scratch, met)
+							pr, err := multiRescue16(mch, queries[qi], enc, mat, &opt, kern, scratch, met)
 							if err == nil {
 								score = pr.Score
 								met.Saturated8.Add(1)
 								met.Cells16.Add(int64(len(queries[qi])) * int64(len(enc)))
+								tallyKernel(met, kern, 0, int64(len(queries[qi]))*int64(len(enc)))
 							} else {
 								// The capped 8-bit score stands in; flag
 								// it as untrustworthy.
@@ -249,43 +263,50 @@ func quarantineMultiSeq(res *MultiResult, mu *sync.Mutex, met *metrics.Counters,
 // policy (see align8): panics surface as errors through the per-attempt
 // recovery, transient errors back off and retry, and the surviving
 // error quarantines the batch.
-func multiAlign8(ctx context.Context, mch vek.Machine, queries [][]uint8, tables *submat.CodeTables, batch *seqio.Batch, opt *Options, scratch *core.Scratch, met *metrics.Counters) ([]core.BatchResult, error) {
-	brs, err := tryMultiAlign8(mch, queries, tables, batch, opt, scratch, met)
+func multiAlign8(ctx context.Context, mch vek.Machine, queries [][]uint8, tables *submat.CodeTables, batch *seqio.Batch, opt *Options, kern core.Kernel, scratch *core.Scratch, met *metrics.Counters) ([]core.BatchResult, error) {
+	brs, err := tryMultiAlign8(mch, queries, tables, batch, opt, kern, scratch, met)
 	for attempt := 0; err != nil && transient(err) && attempt < maxStageRetries; attempt++ {
 		if !backoffCtx(ctx, attempt) {
 			break
 		}
 		met.Retries.Add(1)
-		brs, err = tryMultiAlign8(mch, queries, tables, batch, opt, scratch, met)
+		brs, err = tryMultiAlign8(mch, queries, tables, batch, opt, kern, scratch, met)
 	}
 	return brs, err
 }
 
 // tryMultiAlign8 is one guarded multi-query attempt.
-func tryMultiAlign8(mch vek.Machine, queries [][]uint8, tables *submat.CodeTables, batch *seqio.Batch, opt *Options, scratch *core.Scratch, met *metrics.Counters) (brs []core.BatchResult, err error) {
+func tryMultiAlign8(mch vek.Machine, queries [][]uint8, tables *submat.CodeTables, batch *seqio.Batch, opt *Options, kern core.Kernel, scratch *core.Scratch, met *metrics.Counters) (brs []core.BatchResult, err error) {
 	defer recoverAttempt("multi8", met, &err)
 	if err = failpoint.Inject("sched/multi8"); err != nil {
 		return nil, err
 	}
 	return core.AlignBatch8Multi(mch, queries, tables, batch,
-		core.BatchOptions{Gaps: opt.Gaps, BlockCols: opt.BlockCols, Scratch: scratch, Backend: opt.backend()})
+		core.BatchOptions{Gaps: opt.Gaps, BlockCols: opt.BlockCols, Scratch: scratch, Backend: opt.backend(), Kernel: kern})
 }
 
 // multiRescue16 is one guarded 16-bit rescue of a saturated
 // (query, sequence) pair in the multi-query scenario.
-func multiRescue16(mch vek.Machine, q, enc []uint8, mat *submat.Matrix, opt *Options, scratch *core.Scratch, met *metrics.Counters) (pr aln.ScoreResult, err error) {
+func multiRescue16(mch vek.Machine, q, enc []uint8, mat *submat.Matrix, opt *Options, kern core.Kernel, scratch *core.Scratch, met *metrics.Counters) (pr aln.ScoreResult, err error) {
 	defer recoverAttempt("multi16", met, &err)
 	pr, _, err = core.AlignPair16(mch, q, enc, mat,
-		core.PairOptions{Gaps: opt.Gaps, Scratch: scratch, Backend: opt.backend()})
+		core.PairOptions{Gaps: opt.Gaps, Scratch: scratch, Backend: opt.backend(), Kernel: kern})
 	return pr, err
 }
 
 // alignPairJob runs one subroutine pair with panic recovery so a
-// kernel fault poisons only that pair, not the worker.
+// kernel fault poisons only that pair, not the worker. The kernel
+// family is planned per query (the subroutine scenario mixes query
+// lengths freely). A lone pair has no batch padding to reclaim, so
+// the planner's padRatio is 1 and auto resolves to diagonal; an
+// explicit Options.Kernel still wins. Traceback passes additionally
+// force the diagonal family inside the pair kernels, which only
+// honor striped on score-only calls.
 func alignPairJob(mch vek.Machine, q, d []uint8, mat *submat.Matrix, qi, si int, traceback bool, opt *Options, scratch *core.Scratch) (hit PairHit, err error) {
 	defer recoverAttempt("subroutine", nil, &err)
+	kern := opt.kernel(len(q), mat, opt.backend(), 1)
 	r, tb, aerr := core.AlignPairAdaptive(mch, q, d, mat,
-		core.PairOptions{Gaps: opt.Gaps, Traceback: traceback, Scratch: scratch, Backend: opt.backend()})
+		core.PairOptions{Gaps: opt.Gaps, Traceback: traceback, Scratch: scratch, Backend: opt.backend(), Kernel: kern})
 	if aerr != nil {
 		return hit, aerr
 	}

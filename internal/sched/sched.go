@@ -70,6 +70,14 @@ type Options struct {
 	// Instrument is set (instruction tallies only exist on the modeled
 	// machine); BackendModeled and BackendNative force a backend.
 	Backend core.Backend
+	// Kernel selects the kernel family for every alignment stage.
+	// KernelAuto lets the per-query planner choose (see planner.go):
+	// instrumented, modeled, linear-gap, and short-query searches stay
+	// on the diagonal family; long queries take a striped variant
+	// picked by the gap model. KernelDiagonal, KernelStriped, and
+	// KernelLazyF force a family. The resolved choice is reported in
+	// Result.Kernel.
+	Kernel core.Kernel
 }
 
 // backend resolves Options.Backend: an explicit choice wins, otherwise
@@ -154,6 +162,10 @@ type Result struct {
 	Elapsed time.Duration
 	// Rescued counts 8-bit saturations escalated to 16 bits.
 	Rescued int
+	// Kernel is the kernel family the planner resolved for this search
+	// (never KernelAuto); every 8- and 16-bit stage ran it. The 32-bit
+	// escalation pairs always run the diagonal kernel.
+	Kernel core.Kernel
 	// Stats is the per-stage counter snapshot for this search: batches
 	// produced and aligned, cells by width, saturations, the work-queue
 	// high-water mark, and per-stage wall times. It is taken after the
@@ -263,6 +275,8 @@ func SearchContext(ctx context.Context, query []uint8, db []seqio.Sequence, mat 
 	defer cancel()
 
 	alpha := mat.Alphabet()
+	kern := opt.kernel(len(query), mat, opt.backend(), batchPadRatio(db, lanes, opt.SortByLength))
+	res.Kernel = kern
 	p := &pipeline{
 		ctx:     ictx,
 		cancel:  cancel,
@@ -275,6 +289,7 @@ func SearchContext(ctx context.Context, query []uint8, db []seqio.Sequence, mat 
 		opt:     &opt,
 		res:     res,
 		lanes:   lanes,
+		kern:    kern,
 		stream:  seqio.NewBatchStream(db, alpha, seqio.BatchOptions{SortByLength: opt.SortByLength, Lanes: lanes}),
 		work8:   make(chan *seqio.Batch, depth),
 		sat8:    make(chan int, depth),
@@ -353,6 +368,9 @@ type pipeline struct {
 	opt    *Options
 	res    *Result
 	lanes  int
+	// kern is the planner's resolved kernel family for this search; the
+	// batch stages pass it through BatchOptions.
+	kern   core.Kernel
 	stream *seqio.BatchStream
 
 	// work8/work16/work32 carry stage jobs to the pool; sat8/sat16
@@ -617,6 +635,7 @@ func (p *pipeline) run8(mch vek.Machine, s *core.Scratch, b *seqio.Batch) {
 	}
 	p.met.Batches8.Add(1)
 	p.met.Cells8.Add(b.Cells(len(p.query)))
+	p.countKernelBatch(b.Cells(len(p.query)))
 	for lane := 0; lane < b.Count; lane++ {
 		si := b.Index[lane]
 		p.res.Hits[si].Score = br.Scores[lane]
@@ -633,6 +652,31 @@ func (p *pipeline) run8(mch vek.Machine, s *core.Scratch, b *seqio.Batch) {
 	}
 	p.stream.Recycle(b)
 	p.met.Stage8Nanos.Add(int64(time.Since(start)))
+}
+
+// countKernelBatch attributes one aligned batch and its cell count to
+// the planner's kernel family, so /debug/vars and Result.Stats expose
+// how much work each family actually did.
+func (p *pipeline) countKernelBatch(cells int64) {
+	tallyKernel(p.met, p.kern, 1, cells)
+}
+
+// tallyKernel adds batch and cell counts to the per-kernel-family
+// counters. Passing batches=0 attributes cells without counting a
+// batch (pair-at-a-time stages: 32-bit escalations, multi-search
+// rescues).
+func tallyKernel(met *metrics.Counters, kern core.Kernel, batches, cells int64) {
+	switch kern {
+	case core.KernelStriped:
+		met.BatchesStriped.Add(batches)
+		met.CellsStriped.Add(cells)
+	case core.KernelLazyF:
+		met.BatchesLazyF.Add(batches)
+		met.CellsLazyF.Add(cells)
+	default:
+		met.BatchesDiagonal.Add(batches)
+		met.CellsDiagonal.Add(cells)
+	}
 }
 
 // align8 runs the 8-bit stage with the retry policy: kernel panics
@@ -659,7 +703,7 @@ func (p *pipeline) tryAlign8(mch vek.Machine, s *core.Scratch, b *seqio.Batch) (
 		return br, err
 	}
 	return core.AlignBatch8(mch, p.query, p.tables, b,
-		core.BatchOptions{Gaps: p.opt.Gaps, BlockCols: p.opt.BlockCols, Scratch: s, Backend: p.opt.backend()})
+		core.BatchOptions{Gaps: p.opt.Gaps, BlockCols: p.opt.BlockCols, Scratch: s, Backend: p.opt.backend(), Kernel: p.kern})
 }
 
 // run16 is the in-flight rescue: rescore a regrouped batch at 16 bits
@@ -682,6 +726,7 @@ func (p *pipeline) run16(mch vek.Machine, s *core.Scratch, b *seqio.Batch) {
 	}
 	p.met.Batches16.Add(1)
 	p.met.Cells16.Add(b.Cells(len(p.query)))
+	p.countKernelBatch(b.Cells(len(p.query)))
 	for lane := 0; lane < b.Count; lane++ {
 		si := b.Index[lane]
 		p.res.Hits[si].Score = br.Scores[lane]
@@ -718,7 +763,7 @@ func (p *pipeline) tryAlign16(mch vek.Machine, s *core.Scratch, b *seqio.Batch) 
 		return br, err
 	}
 	return core.AlignBatch16(mch, p.query, p.tables, b,
-		core.BatchOptions{Gaps: p.opt.Gaps, Scratch: s, Backend: p.opt.backend()})
+		core.BatchOptions{Gaps: p.opt.Gaps, Scratch: s, Backend: p.opt.backend(), Kernel: p.kern})
 }
 
 // run32 is the final escalation tier: one 32-bit pair alignment per
@@ -739,6 +784,10 @@ func (p *pipeline) run32(mch vek.Machine, s *core.Scratch, si int, enc []uint8) 
 	}
 	p.met.Pairs32.Add(1)
 	p.met.Cells32.Add(int64(len(p.query)) * int64(len(enc)))
+	// Escalation pairs always run the diagonal kernel (score + position
+	// exactness matters more than throughput at this tier), so their
+	// cells count against the diagonal family regardless of the plan.
+	tallyKernel(p.met, core.KernelDiagonal, 0, int64(len(p.query))*int64(len(enc)))
 	p.res.Hits[si].Score = pr.Score
 	p.res.Hits[si].Rescued = true
 	p.met.Stage32Nanos.Add(int64(time.Since(start)))

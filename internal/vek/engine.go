@@ -63,6 +63,13 @@ type Engine[V any, E Elem] interface {
 	// MaskTail zeroes lanes >= valid, charged as one logic op: the
 	// masked-tail blend at diagonal edges.
 	MaskTail(m Machine, v V, valid int) V
+	// ShiftIn shifts v by n lanes away from lane 0 (lane l takes lane
+	// l-n's value) and fills the vacated low lanes with fill — the
+	// striped kernels' cross-stripe rotate. Charged as the machine's
+	// lane shift plus, for a non-zero fill, an insert (n == 1, Farrar's
+	// rotate) or a blend against a splat (n > 1, the deconstructed
+	// lazy-F prefix scan).
+	ShiftIn(m Machine, v V, n int, fill E) V
 	// GatherScores loads lane-count substitution scores from the
 	// flattened matrix: flat[qMul[qOff+l]+dRev[dOff+l]] per lane l.
 	// Engines with HasGather()==false panic.
@@ -144,6 +151,21 @@ func (E8x32) MaskTail(m Machine, v I8x32, valid int) I8x32 {
 	return v
 }
 
+func (E8x32) ShiftIn(m Machine, v I8x32, n int, fill int8) I8x32 {
+	v = m.ShiftLanesLeft8(v, n)
+	if fill == 0 {
+		return v
+	}
+	if n == 1 {
+		return m.Insert8(v, 0, fill)
+	}
+	m.T.Add(OpLogic, W256, 1)
+	for i := 0; i < n && i < 32; i++ {
+		v[i] = fill
+	}
+	return v
+}
+
 func (E8x32) GatherScores(m Machine, flat, qMul, dRev []int32, qOff, dOff int) I8x32 {
 	panic("vek: 8-bit engines score via query profile, not gather")
 }
@@ -194,6 +216,21 @@ func (E16x16) MaskTail(m Machine, v I16x16, valid int) I16x16 {
 	m.T.Add(OpLogic, W256, 1)
 	for i := valid; i < 16; i++ {
 		v[i] = 0
+	}
+	return v
+}
+
+func (E16x16) ShiftIn(m Machine, v I16x16, n int, fill int16) I16x16 {
+	v = m.ShiftLanesLeft16(v, n)
+	if fill == 0 {
+		return v
+	}
+	if n == 1 {
+		return m.Insert16(v, 0, fill)
+	}
+	m.T.Add(OpLogic, W256, 1)
+	for i := 0; i < n && i < 16; i++ {
+		v[i] = fill
 	}
 	return v
 }
@@ -268,6 +305,18 @@ func (E32x8) MaskTail(m Machine, v I32x8, valid int) I32x8 {
 	return v
 }
 
+func (E32x8) ShiftIn(m Machine, v I32x8, n int, fill int32) I32x8 {
+	v = m.ShiftLanesLeft32(v, n)
+	if fill == 0 {
+		return v
+	}
+	m.T.Add(OpLogic, W256, 1)
+	for i := 0; i < n && i < 8; i++ {
+		v[i] = fill
+	}
+	return v
+}
+
 func (E32x8) GatherScores(m Machine, flat, qMul, dRev []int32, qOff, dOff int) I32x8 {
 	iq := m.Load32(qMul[qOff:])
 	id := m.Load32(dRev[dOff:])
@@ -337,6 +386,25 @@ func (E8x64) MaskTail(m Machine, v I8x64, valid int) I8x64 {
 	return v
 }
 
+func (E8x64) ShiftIn(m Machine, v I8x64, n int, fill int8) I8x64 {
+	v = m.ShiftLanesLeft8W(v, n)
+	if fill == 0 {
+		return v
+	}
+	if n == 1 {
+		m.T.Add(OpUnpack, W512, 1)
+	} else {
+		m.T.Add(OpLogic, W512, 1)
+	}
+	for i := 0; i < n && i < 32; i++ {
+		v.Lo[i] = fill
+	}
+	for i := 32; i < n && i < 64; i++ {
+		v.Hi[i-32] = fill
+	}
+	return v
+}
+
 func (E8x64) GatherScores(m Machine, flat, qMul, dRev []int32, qOff, dOff int) I8x64 {
 	panic("vek: 8-bit engines score via query profile, not gather")
 }
@@ -398,6 +466,25 @@ func (E16x32) MaskTail(m Machine, v I16x32, valid int) I16x32 {
 		} else {
 			v.Hi[i-16] = 0
 		}
+	}
+	return v
+}
+
+func (E16x32) ShiftIn(m Machine, v I16x32, n int, fill int16) I16x32 {
+	v = m.ShiftLanesLeft16W(v, n)
+	if fill == 0 {
+		return v
+	}
+	if n == 1 {
+		m.T.Add(OpUnpack, W512, 1)
+	} else {
+		m.T.Add(OpLogic, W512, 1)
+	}
+	for i := 0; i < n && i < 16; i++ {
+		v.Lo[i] = fill
+	}
+	for i := 16; i < n && i < 32; i++ {
+		v.Hi[i-16] = fill
 	}
 	return v
 }

@@ -72,6 +72,8 @@ type (
 	SkippedRecord = seqio.SkippedRecord
 	// Backend selects the execution backend; see WithBackend.
 	Backend = core.Backend
+	// Kernel selects the kernel family; see WithKernel.
+	Kernel = core.Kernel
 )
 
 // Execution backends. Auto resolves to the compiled native kernels for
@@ -86,6 +88,24 @@ const (
 // ParseBackend parses a backend name: "auto" (or ""), "modeled", or
 // "native".
 func ParseBackend(s string) (Backend, error) { return core.ParseBackend(s) }
+
+// Kernel families. Auto lets the per-query planner pick: short
+// queries, linear gaps, and instrumented or modeled runs stay on the
+// diagonal (anti-diagonal wavefront) family; long affine-gap queries
+// take a striped variant — classic lazy-F when gap opens are costly
+// enough that corrections rarely fire, the deconstructed
+// shift-subtract-max scan otherwise. The explicit values force a
+// family.
+const (
+	KernelAuto     = core.KernelAuto
+	KernelDiagonal = core.KernelDiagonal
+	KernelStriped  = core.KernelStriped
+	KernelLazyF    = core.KernelLazyF
+)
+
+// ParseKernel parses a kernel family name: "auto" (or ""), "diagonal",
+// "striped", or "lazyf".
+func ParseKernel(s string) (Kernel, error) { return core.ParseKernel(s) }
 
 // PublishMetrics registers the process-wide search counters as the
 // "swvec.search" expvar, for binaries that serve /debug/vars.
@@ -154,6 +174,7 @@ type Aligner struct {
 	depth   int
 	width   int
 	backend Backend
+	kernel  Kernel
 }
 
 // Option configures an Aligner.
@@ -270,6 +291,23 @@ func WithBackend(b Backend) Option {
 	}
 }
 
+// WithKernel selects the kernel family for alignments and searches.
+// The default (KernelAuto) lets the per-query planner choose — the
+// resolved choice is reported in SearchResult.Kernel — while the
+// explicit values force a family everywhere it applies: the striped
+// families serve score-only affine-gap alignments, so traceback and
+// linear-gap calls run the diagonal kernels regardless.
+func WithKernel(k Kernel) Option {
+	return func(a *Aligner) error {
+		switch k {
+		case KernelAuto, KernelDiagonal, KernelStriped, KernelLazyF:
+			a.kernel = k
+			return nil
+		}
+		return fmt.Errorf("swvec: unknown kernel %d", uint8(k))
+	}
+}
+
 // New returns an Aligner with BLOSUM62 and default protein gaps,
 // modified by the options.
 func New(opts ...Option) (*Aligner, error) {
@@ -314,7 +352,7 @@ func (a *Aligner) Score(query, target []byte) (int32, error) {
 	if err != nil {
 		return 0, err
 	}
-	res, _, err := core.AlignPairAdaptive(vek.Bare, q, d, a.mat, core.PairOptions{Gaps: a.gaps, Backend: a.pairBackend()})
+	res, _, err := core.AlignPairAdaptive(vek.Bare, q, d, a.mat, core.PairOptions{Gaps: a.gaps, Backend: a.pairBackend(), Kernel: a.kernel})
 	if err != nil {
 		return 0, err
 	}
@@ -395,6 +433,7 @@ func (a *Aligner) schedOptions() sched.Options {
 		PipelineDepth: a.depth,
 		Width:         a.width,
 		Backend:       a.backend,
+		Kernel:        a.kernel,
 	}
 }
 
