@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all verify fmt vet lint portable race chaos fuzz bench bench-smoke bench-backends bench-kernels ci
+.PHONY: all verify fmt vet lint portable race chaos cluster-e2e fuzz bench bench-smoke bench-backends bench-kernels benchcheck ci
 
 all: verify
 
@@ -15,7 +15,6 @@ fmt:
 
 vet:
 	$(GO) vet ./...
-	$(GO) vet ./cmd/...
 
 # Repo-specific invariants: hot-path allocations, lane-width
 # derivation, scheduler goroutine/channel lifecycle, metrics atomicity
@@ -38,6 +37,14 @@ race:
 chaos:
 	$(GO) test -race -short -tags failpoint ./...
 
+# Cluster chaos gate: real swserver shard processes behind swrouter,
+# concurrent queries, one shard SIGKILLed mid-search; merged results
+# must stay bit-identical to single-node search over the shards that
+# answered, with the dead shard reported partial and no goroutine
+# leaks (race detector + failpoints on).
+cluster-e2e:
+	$(GO) test -race -tags failpoint -run 'TestClusterE2E' -v ./cmd/swrouter
+
 # Differential fuzz smoke: every width instantiation of the generic
 # kernel against the scalar baseline, and the lenient FASTA decoder
 # against arbitrary input, for a few seconds each.
@@ -57,6 +64,7 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkSearch|BenchmarkBackends' -benchtime 1x -json . > BENCH_ci.json
 	@grep -q '"Action":"pass"' BENCH_ci.json || { echo "bench smoke failed"; exit 1; }
+	$(GO) test -run '^$$' -bench 'BenchmarkSearch(EndToEnd|Pipeline)' -benchtime 1x -json . >> BENCH_ci.json
 
 # Full native-vs-modeled kernel comparison (pair and batch, both
 # widths) with allocation reporting.
@@ -70,4 +78,11 @@ bench-backends:
 bench-kernels:
 	$(GO) test -run '^$$' -bench 'BenchmarkSearchEndToEnd|BenchmarkSearchPipeline|BenchmarkBackends' -benchmem .
 
-ci: fmt verify vet lint portable race chaos fuzz bench-smoke
+# Regression gate: this run's BENCH_ci.json against the committed
+# BENCH_baseline.json; >30% ns/op on any end-to-end search benchmark
+# fails. Regenerate the baseline (make bench-smoke, then copy) when a
+# deliberate perf change lands.
+benchcheck:
+	$(GO) run ./scripts/benchcheck -baseline BENCH_baseline.json -current BENCH_ci.json -out BENCHCHECK_ci.json
+
+ci: fmt verify vet lint portable race chaos cluster-e2e fuzz bench-smoke benchcheck

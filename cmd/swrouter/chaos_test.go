@@ -1,0 +1,107 @@
+//go:build failpoint
+
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"swvec/internal/cluster"
+	"swvec/internal/failpoint"
+	"swvec/internal/leakcheck"
+)
+
+// TestRouterChaosTransientShardFaultHealed injects two transient
+// faults at the per-shard query site; the retry policy absorbs them
+// and the merged response is complete, with the struck shards reported
+// degraded rather than skipped.
+func TestRouterChaosTransientShardFaultHealed(t *testing.T) {
+	leakcheck.Check(t)
+	defer failpoint.DisableAll()
+	s0 := cannedShard(t, []cluster.Hit{{SeqID: "A", Score: 10}})
+	s1 := cannedShard(t, []cluster.Hit{{SeqID: "C", Score: 9}})
+	s2 := cannedShard(t, []cluster.Hit{{SeqID: "D", Score: 8}})
+	pol := testPolicy()
+	pol.Retries = 2
+	_, addr := startTestRouter(t, testDB(), []string{s0.Addr(), s1.Addr(), s2.Addr()}, pol, routerConfig{})
+
+	if err := failpoint.Enable("cluster/shard", "error(shard blip):transient:first=2"); err != nil {
+		t.Fatal(err)
+	}
+	resp := queryRouter(t, addr, cluster.Request{ID: "q1", Residues: validQuery, Top: 4})
+	if resp.Error != "" || resp.Partial {
+		t.Fatalf("transient faults were not healed: %+v", resp)
+	}
+	want := []cluster.Hit{{SeqID: "A", Score: 10}, {SeqID: "C", Score: 9}, {SeqID: "D", Score: 8}}
+	if !hitsEqual(resp.Hits, want) {
+		t.Fatalf("hits = %v, want %v", resp.Hits, want)
+	}
+	if got := failpoint.Fired("cluster/shard"); got != 2 {
+		t.Fatalf("failpoint fired %d times, want 2", got)
+	}
+	if resp.Shards == nil || len(resp.Shards.Degraded) < 1 {
+		t.Fatalf("no shard reported degraded after injected retries: %+v", resp.Shards)
+	}
+}
+
+// TestRouterChaosClusterOutageAndRecovery injects a permanent fault at
+// every shard query: the scatter degrades to an explicit unavailable
+// error with all shards skipped, and once the fault is lifted the very
+// next query is served in full.
+func TestRouterChaosClusterOutageAndRecovery(t *testing.T) {
+	leakcheck.Check(t)
+	defer failpoint.DisableAll()
+	s0 := cannedShard(t, []cluster.Hit{{SeqID: "A", Score: 10}})
+	s1 := cannedShard(t, []cluster.Hit{{SeqID: "C", Score: 9}})
+	s2 := cannedShard(t, []cluster.Hit{{SeqID: "D", Score: 8}})
+	_, addr := startTestRouter(t, testDB(), []string{s0.Addr(), s1.Addr(), s2.Addr()}, testPolicy(), routerConfig{})
+
+	if err := failpoint.Enable("cluster/shard", "error(injected outage)"); err != nil {
+		t.Fatal(err)
+	}
+	down := queryRouter(t, addr, cluster.Request{ID: "q1", Residues: validQuery, Top: 4})
+	if down.Code != cluster.CodeUnavailable || !down.Partial {
+		t.Fatalf("outage response = %+v, want unavailable+partial", down.Response)
+	}
+	if down.Shards == nil || len(down.Shards.Skipped) != 3 {
+		t.Fatalf("outage shard report = %+v, want all 3 skipped", down.Shards)
+	}
+	for shard, cause := range down.Shards.Causes {
+		if !strings.Contains(cause, "injected outage") {
+			t.Fatalf("shard %s cause = %q, want the injected fault", shard, cause)
+		}
+	}
+
+	failpoint.Disable("cluster/shard")
+	up := queryRouter(t, addr, cluster.Request{ID: "q2", Residues: validQuery, Top: 4})
+	if up.Error != "" || up.Partial {
+		t.Fatalf("cluster did not recover: %+v", up)
+	}
+	want := []cluster.Hit{{SeqID: "A", Score: 10}, {SeqID: "C", Score: 9}, {SeqID: "D", Score: 8}}
+	if !hitsEqual(up.Hits, want) {
+		t.Fatalf("post-recovery hits = %v, want %v", up.Hits, want)
+	}
+}
+
+// TestRouterChaosRequestFault injects a fault at the router's own
+// request-admission site: the struck request answers with a structured
+// internal error, the connection survives, and the next request on the
+// same cluster is served normally.
+func TestRouterChaosRequestFault(t *testing.T) {
+	leakcheck.Check(t)
+	defer failpoint.DisableAll()
+	s0 := cannedShard(t, []cluster.Hit{{SeqID: "A", Score: 10}})
+	_, addr := startTestRouter(t, testDB(), []string{s0.Addr()}, testPolicy(), routerConfig{})
+
+	if err := failpoint.Enable("swrouter/request", "error(router glitch):first=1"); err != nil {
+		t.Fatal(err)
+	}
+	hurt := queryRouter(t, addr, cluster.Request{ID: "q1", Residues: validQuery, Top: 1})
+	if hurt.Code != cluster.CodeInternal || !strings.Contains(hurt.Error, "router glitch") {
+		t.Fatalf("injected request fault surfaced as %+v", hurt.Response)
+	}
+	ok := queryRouter(t, addr, cluster.Request{ID: "q2", Residues: validQuery, Top: 1})
+	if ok.Error != "" || !hitsEqual(ok.Hits, []cluster.Hit{{SeqID: "A", Score: 10}}) {
+		t.Fatalf("request after injected fault = %+v", ok)
+	}
+}

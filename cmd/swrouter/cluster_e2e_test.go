@@ -1,0 +1,236 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"swvec"
+	"swvec/internal/cluster"
+	"swvec/internal/leakcheck"
+)
+
+// e2eDBSize keeps the synthetic database small enough that every
+// shard's searches finish in milliseconds while still spreading
+// meaningfully across three consistent-hash slices.
+const e2eDBSize = 120
+
+// buildSwserver compiles the real swserver binary into the test's temp
+// directory. The e2e cluster runs actual shard processes, not stubs —
+// that is the point.
+func buildSwserver(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "swserver")
+	if runtime.GOOS == "windows" {
+		bin += ".exe"
+	}
+	out, err := exec.Command("go", "build", "-o", bin, "swvec/cmd/swserver").CombinedOutput()
+	if err != nil {
+		t.Fatalf("building swserver: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// e2eExpectations precomputes, with a single-node aligner, the exact
+// hits the cluster must return for a query: over the full database,
+// and over the database minus one shard's slice (what a partial
+// response after that shard dies must contain).
+func e2eExpectations(t *testing.T, al *swvec.Aligner, db []swvec.Sequence, query []byte, top, deadShard int) (full, partial []cluster.Hit) {
+	t.Helper()
+	m := cluster.NewShardMap(3)
+	var survivors []swvec.Sequence
+	for _, s := range db {
+		if m.Assign(s.ID) != deadShard {
+			survivors = append(survivors, s)
+		}
+	}
+	search := func(sub []swvec.Sequence) []cluster.Hit {
+		res, err := al.Search(query, sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hits := res.TopHits(top)
+		out := make([]cluster.Hit, len(hits))
+		for i, h := range hits {
+			out[i] = cluster.Hit{SeqID: sub[h.SeqIndex].ID, Score: h.Score}
+		}
+		return out
+	}
+	return search(db), search(survivors)
+}
+
+// TestClusterE2E is the cluster chaos gate: build swserver, spawn a
+// real 3-shard fleet over loopback, front it with an in-process
+// router, and drive concurrent queries while one shard is SIGKILLed
+// mid-search. Every response must be bit-identical to a single-node
+// search — of the whole database while the fleet is healthy, of the
+// surviving shards' slices once it is not — and the dead shard must be
+// reported, not papered over. leakcheck holds throughout.
+func TestClusterE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e spawns real shard processes; skipped in -short")
+	}
+	leakcheck.Check(t)
+
+	bin := buildSwserver(t)
+	procs, err := cluster.SpawnShards(cluster.SpawnOptions{
+		Bin:    bin,
+		Shards: 3,
+		GenDB:  e2eDBSize,
+		// Answer each query as it arrives: batching windows only add
+		// latency when the workload is a test harness.
+		ExtraArgs: []string{"-batch", "1", "-window", "2ms"},
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, p := range procs {
+			p.Kill()
+		}
+	}()
+
+	db := swvec.GenerateDatabase(42, e2eDBSize) // same seed the shards use
+	al, err := swvec.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := make([]string, len(procs))
+	for i, p := range procs {
+		addrs[i] = p.Addr
+	}
+	pol := cluster.Policy{
+		Timeout:         10 * time.Second,
+		Retries:         2,
+		RetryBase:       5 * time.Millisecond,
+		RetryMax:        50 * time.Millisecond,
+		BreakerFailures: 3,
+		BreakerCooldown: 250 * time.Millisecond,
+	}
+	pool := cluster.NewPool(addrs, cluster.NewIndex(db), pol)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := newRouter(pool, al, ln, routerConfig{}, t.Logf)
+	go r.serve()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		r.Shutdown(ctx)
+	}()
+
+	const top = 7
+	const deadShard = 1
+	query := swvec.GenerateQueries(42)[0].Residues
+	wantFull, wantPartial := e2eExpectations(t, al, db, query, top, deadShard)
+
+	// Phase 1 — healthy fleet: the routed result must equal the
+	// single-node search of the whole database, bit for bit.
+	healthy := queryRouter(t, ln.Addr().String(), cluster.Request{ID: "warm", Residues: string(query), Top: top})
+	if healthy.Error != "" || healthy.Partial {
+		t.Fatalf("healthy cluster answered %+v", healthy)
+	}
+	if !hitsEqual(healthy.Hits, wantFull) {
+		t.Fatalf("healthy merge differs from single-node search\n got: %v\nwant: %v", healthy.Hits, wantFull)
+	}
+
+	// Phase 2 — chaos: concurrent clients stream queries while shard 1
+	// is SIGKILLed mid-run.
+	type outcome struct {
+		resp routerResponse
+		err  error
+	}
+	const clients = 4
+	const perClient = 25
+	results := make(chan outcome, clients*perClient)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", ln.Addr().String())
+			if err != nil {
+				results <- outcome{err: err}
+				return
+			}
+			defer conn.Close()
+			conn.SetDeadline(time.Now().Add(60 * time.Second))
+			enc := json.NewEncoder(conn)
+			dec := json.NewDecoder(bufio.NewReader(conn))
+			for i := 0; i < perClient; i++ {
+				req := cluster.Request{
+					ID: fmt.Sprintf("c%d-%d", c, i), Residues: string(query), Top: top,
+				}
+				var resp routerResponse
+				err := enc.Encode(req)
+				if err == nil {
+					err = dec.Decode(&resp)
+				}
+				results <- outcome{resp: resp, err: err}
+				if err != nil {
+					return
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}(c)
+	}
+
+	time.Sleep(50 * time.Millisecond) // let some healthy responses through
+	procs[deadShard].Kill()
+	wg.Wait()
+	close(results)
+
+	var fullN, partialN int
+	for out := range results {
+		if out.err != nil {
+			t.Fatalf("client error: %v", out.err)
+		}
+		resp := out.resp
+		if resp.Error != "" {
+			t.Fatalf("query %s failed: %s (%s)", resp.ID, resp.Error, resp.Code)
+		}
+		switch {
+		case !resp.Partial:
+			if !hitsEqual(resp.Hits, wantFull) {
+				t.Fatalf("full response %s differs from single-node search\n got: %v\nwant: %v", resp.ID, resp.Hits, wantFull)
+			}
+			fullN++
+		default:
+			if resp.Shards == nil || !intsEqual(resp.Shards.Skipped, []int{deadShard}) {
+				t.Fatalf("partial response %s skipped %v, want [%d]", resp.ID, resp.Shards, deadShard)
+			}
+			if !hitsEqual(resp.Hits, wantPartial) {
+				t.Fatalf("partial response %s differs from single-node search of surviving slices\n got: %v\nwant: %v", resp.ID, resp.Hits, wantPartial)
+			}
+			partialN++
+		}
+	}
+	if partialN == 0 {
+		t.Fatal("no response reported the killed shard as partial")
+	}
+	t.Logf("e2e: %d full + %d partial responses, all bit-identical to single-node search", fullN, partialN)
+	if fullN+partialN != clients*perClient {
+		t.Fatalf("got %d responses, want %d", fullN+partialN, clients*perClient)
+	}
+
+	// The healthy shards must shut down cleanly on SIGTERM; the killed
+	// one has already been reaped.
+	for i, p := range procs {
+		if i == deadShard {
+			continue
+		}
+		if err := p.Stop(); err != nil {
+			t.Errorf("shard %d did not exit cleanly: %v", i, err)
+		}
+	}
+}

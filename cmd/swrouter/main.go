@@ -1,0 +1,362 @@
+// Command swrouter is the scatter-gather coordinator of the sharded
+// search cluster (DESIGN.md §15). It partitions the database across N
+// swserver shard processes with a consistent-hash shard map, scatters
+// every client query to all shards concurrently, and merges their
+// bounded-heap top-K answers into one globally ordered result that is
+// bit-identical — ordering and tie-breaks included — to a single-node
+// search over the whole database.
+//
+// The routing policy treats each shard the way PR 5 taught the
+// pipeline to treat a failing compute stage: transient shard errors
+// retry with bounded backoff, slow shards get hedged requests, and a
+// shard that keeps failing is quarantined by its own circuit breaker.
+// A response never blocks on a dead shard — it returns the merged
+// hits of the shards that answered, and carries the partial-result
+// contract (which shards answered, which were degraded, which were
+// skipped) so clients always know whether they saw the whole
+// database. Per-shard routing counters are served on the opt-in admin
+// port's /debug/vars as "swvec.cluster".
+//
+// Router, spawning its own local shard fleet:
+//
+//	swrouter -listen :7900 -spawn 3 -swserver-bin ./swserver -gen-db 4000
+//
+// Router, targeting already-running shards:
+//
+//	swrouter -listen :7900 -db db.fasta -shards host1:7979,host2:7979,host3:7979
+//
+// Client:
+//
+//	swrouter -connect localhost:7900 -query q.fasta [-top 5]
+//
+// The wire protocol is swserver's newline-delimited JSON, so a plain
+// `swserver -connect` client also works; swrouter's own client mode
+// additionally prints the per-response shard report.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"expvar"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"swvec"
+	"swvec/internal/cluster"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", "", "serve on this address (router mode)")
+		connect   = flag.String("connect", "", "connect to this address (client mode)")
+		dbPath    = flag.String("db", "", "database FASTA (router mode; must match the shards')")
+		genDB     = flag.Int("gen-db", 0, "use the synthetic database of this size instead of -db")
+		shards    = flag.String("shards", "", "comma-separated shard addresses to target")
+		spawn     = flag.Int("spawn", 0, "spawn this many local swserver shard processes instead of -shards")
+		bin       = flag.String("swserver-bin", "swserver", "swserver binary for -spawn")
+		shardArgs = flag.String("shard-args", "", "extra space-separated flags for spawned shards")
+
+		shardTimeout = flag.Duration("shard-timeout", 10*time.Second, "per-attempt shard deadline")
+		hedgeAfter   = flag.Duration("hedge-after", 150*time.Millisecond, "hedge a shard unanswered after this delay (0 disables)")
+		retries      = flag.Int("retries", 2, "retries per shard on transient errors")
+		brkFails     = flag.Int("breaker-failures", 3, "consecutive shard failures that quarantine it")
+		brkCool      = flag.Duration("breaker-cooldown", 5*time.Second, "shard quarantine duration before a probe")
+
+		maxConns    = flag.Int("max-conns", 256, "maximum concurrent client connections")
+		maxInflight = flag.Int("max-inflight", 64, "maximum concurrent scatters")
+		idle        = flag.Duration("idle-timeout", 2*time.Minute, "per-connection read deadline (0 disables)")
+		maxSeq      = flag.Int("max-seq", 100000, "maximum query residues per request (0 disables)")
+		maxBody     = flag.Int("max-body", 8<<20, "maximum request line size in bytes")
+		admin       = flag.String("admin", "", "opt-in admin address serving /debug/vars and pprof")
+
+		query   = flag.String("query", "", "query FASTA (client mode; all records are submitted)")
+		top     = flag.Int("top", 5, "hits per query")
+		timeout = flag.Duration("timeout", 30*time.Second, "client-mode dial and I/O deadline (0 disables)")
+	)
+	flag.Parse()
+
+	switch {
+	case *listen != "":
+		runRouter(routerSetup{
+			listen: *listen, dbPath: *dbPath, genDB: *genDB,
+			shards: *shards, spawn: *spawn, bin: *bin, shardArgs: *shardArgs,
+			admin: *admin,
+			pol: cluster.Policy{
+				Timeout:         *shardTimeout,
+				HedgeAfter:      *hedgeAfter,
+				Retries:         *retries,
+				BreakerFailures: *brkFails,
+				BreakerCooldown: *brkCool,
+			},
+			cfg: routerConfig{
+				maxConns:    *maxConns,
+				maxInflight: *maxInflight,
+				idle:        *idle,
+				maxSeq:      *maxSeq,
+				maxBody:     *maxBody,
+				defaultTop:  *top,
+			},
+		})
+	case *connect != "":
+		os.Exit(runClient(*connect, *query, *top, *timeout))
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+type routerSetup struct {
+	listen    string
+	dbPath    string
+	genDB     int
+	shards    string
+	spawn     int
+	bin       string
+	shardArgs string
+	admin     string
+	pol       cluster.Policy
+	cfg       routerConfig
+}
+
+// loadDB loads or generates the database the router needs for the
+// global merge index and the shard length profile. It must be the same
+// database the shards serve; with -gen-db both sides regenerate it
+// from the fixed seed, with -db they read the same file.
+func loadDB(dbPath string, genDB int) []swvec.Sequence {
+	if genDB > 0 {
+		return swvec.GenerateDatabase(42, genDB)
+	}
+	if dbPath == "" {
+		fatal("router mode needs -db or -gen-db")
+	}
+	f, err := os.Open(dbPath)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer f.Close()
+	seqs, rep, err := swvec.DecodeFasta(f, swvec.DecodeOptions{})
+	if err != nil {
+		fatal("%v", err)
+	}
+	if len(rep.Skipped) > 0 {
+		log.Printf("level=warn event=db_skipped records=%d malformed=%d oversized=%d",
+			len(rep.Skipped), rep.Malformed, rep.Oversized)
+	}
+	return seqs
+}
+
+func runRouter(s routerSetup) {
+	db := loadDB(s.dbPath, s.genDB)
+
+	var addrs []string
+	var procs []*cluster.Proc
+	switch {
+	case s.spawn > 0:
+		opt := cluster.SpawnOptions{
+			Bin:    s.bin,
+			Shards: s.spawn,
+			GenDB:  s.genDB,
+			DBPath: s.dbPath,
+			Logf:   log.Printf,
+		}
+		if s.shardArgs != "" {
+			opt.ExtraArgs = strings.Fields(s.shardArgs)
+		}
+		var err error
+		procs, err = cluster.SpawnShards(opt)
+		if err != nil {
+			fatal("%v", err)
+		}
+		for _, p := range procs {
+			addrs = append(addrs, p.Addr)
+		}
+	case s.shards != "":
+		for _, a := range strings.Split(s.shards, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+	}
+	if len(addrs) == 0 {
+		fatal("router mode needs -shards or -spawn")
+	}
+
+	// The validation aligner mirrors the shards' default alphabet so
+	// admission rejects exactly what the shards would reject.
+	al, err := swvec.New()
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	smap := cluster.NewShardMap(len(addrs))
+	profile := smap.Profile(db)
+	for _, sp := range profile {
+		log.Printf("level=info event=shard_profile shard=%d addr=%s seqs=%d residues=%d len_min=%d len_median=%d len_max=%d",
+			sp.Shard, addrs[sp.Shard], sp.Sequences, sp.Residues, sp.MinLen, sp.MedianLen, sp.MaxLen)
+	}
+
+	pool := cluster.NewPool(addrs, cluster.NewIndex(db), s.pol)
+	if s.admin != "" {
+		startAdmin(s.admin, pool, profile, log.Printf)
+	}
+
+	ln, err := net.Listen("tcp", s.listen)
+	if err != nil {
+		fatal("%v", err)
+	}
+	rt := newRouter(pool, al, ln, s.cfg, log.Printf)
+	log.Printf("level=info event=listen addr=%s shards=%d db_seqs=%d hedge_after=%s retries=%d",
+		ln.Addr(), len(addrs), len(db), s.pol.HedgeAfter, s.pol.Retries)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		sig := <-sigCh
+		log.Printf("level=info event=shutdown signal=%s", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		rt.Shutdown(ctx)
+	}()
+
+	rt.serve()
+	waitCtx, waitCancel := context.WithTimeout(context.Background(), 35*time.Second)
+	rt.Shutdown(waitCtx)
+	waitCancel()
+	for _, p := range procs {
+		if err := p.Stop(); err != nil {
+			log.Printf("level=warn event=shard_stop shard=%d err=%q", p.Shard, err)
+		}
+	}
+	snap := pool.Metrics().Snapshot()
+	log.Printf("level=info event=exit scatters=%d partial=%d", snap.Scatters, snap.Partial)
+}
+
+// startAdmin serves /debug/vars — including the per-shard
+// "swvec.cluster" routing counters and the "swvec.cluster.profile"
+// shard map — and pprof on the opt-in admin address.
+func startAdmin(addr string, pool *cluster.Pool, profile []cluster.ShardProfile, logf func(string, ...any)) {
+	swvec.PublishMetrics()
+	pool.Metrics().Publish()
+	expvar.Publish("swvec.cluster.profile", expvar.Func(func() any { return profile }))
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		logf("level=info event=admin_listen addr=%s", addr)
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			logf("level=error event=admin_error err=%q", err)
+		}
+	}()
+}
+
+// runClient submits every query record and prints one line per hit,
+// plus the shard report whenever a response was partial or degraded.
+// The exit code is 1 if any request failed or came back partial.
+func runClient(addr, queryPath string, top int, timeout time.Duration) int {
+	if queryPath == "" {
+		fatal("client mode needs -query")
+	}
+	f, err := os.Open(queryPath)
+	if err != nil {
+		fatal("%v", err)
+	}
+	queries, rerr := swvec.ReadFasta(f)
+	f.Close()
+	if rerr != nil {
+		fatal("%v", rerr)
+	}
+
+	var conn net.Conn
+	if timeout > 0 {
+		conn, err = net.DialTimeout("tcp", addr, timeout)
+	} else {
+		conn, err = net.Dial("tcp", addr)
+	}
+	if err != nil {
+		fatal("connect: %v", err)
+	}
+	defer conn.Close()
+
+	enc := json.NewEncoder(conn)
+	sent := 0
+	results := make(map[string]routerResponse, len(queries))
+	for i := range queries {
+		if timeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(timeout))
+		}
+		req := cluster.Request{ID: queries[i].ID, Residues: string(queries[i].Residues), Top: top}
+		if err := enc.Encode(req); err != nil {
+			results[req.ID] = routerResponse{Response: cluster.Response{ID: req.ID, Error: fmt.Sprintf("send: %v", err)}}
+			continue
+		}
+		sent++
+	}
+	dec := json.NewDecoder(conn)
+	for i := 0; i < sent; i++ {
+		if timeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(timeout))
+		}
+		var resp routerResponse
+		if err := dec.Decode(&resp); err != nil {
+			for _, q := range queries {
+				if _, done := results[q.ID]; !done {
+					results[q.ID] = routerResponse{Response: cluster.Response{ID: q.ID, Error: fmt.Sprintf("recv: %v", err)}}
+				}
+			}
+			break
+		}
+		results[resp.ID] = resp
+	}
+
+	exit := 0
+	for i := range queries {
+		resp, ok := results[queries[i].ID]
+		if !ok {
+			resp = routerResponse{Response: cluster.Response{ID: queries[i].ID, Error: "no response received"}}
+		}
+		if resp.Error != "" {
+			exit = 1
+			fmt.Printf("%s: error: %s\n", resp.ID, resp.Error)
+			continue
+		}
+		fmt.Printf("%s:%s\n", resp.ID, partialNote(resp))
+		for rank, h := range resp.Hits {
+			fmt.Printf("  %2d. score %5d  %s\n", rank+1, h.Score, h.SeqID)
+		}
+		if resp.Partial {
+			exit = 1
+		}
+	}
+	return exit
+}
+
+func partialNote(resp routerResponse) string {
+	if resp.Shards == nil {
+		return ""
+	}
+	if resp.Partial {
+		return fmt.Sprintf(" (PARTIAL: shards %v missing)", resp.Shards.Skipped)
+	}
+	if len(resp.Shards.Degraded) > 0 {
+		return fmt.Sprintf(" (degraded shards %v)", resp.Shards.Degraded)
+	}
+	return ""
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "swrouter: "+format+"\n", args...)
+	os.Exit(1)
+}

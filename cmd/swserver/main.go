@@ -53,43 +53,27 @@ import (
 	"time"
 
 	"swvec"
+	"swvec/internal/cluster"
 	"swvec/internal/failpoint"
 	"swvec/internal/metrics"
 )
 
-// request is one submitted query.
-type request struct {
-	ID       string `json:"id"`
-	Residues string `json:"residues"`
-	Top      int    `json:"top"`
-}
+// The wire types and error codes are the cluster protocol
+// (internal/cluster/wire.go): swserver speaks it standalone to its own
+// clients and, in shard mode, downstream to an swrouter.
+type (
+	request  = cluster.Request
+	hit      = cluster.Hit
+	response = cluster.Response
+)
 
-// hit is one database match.
-type hit struct {
-	SeqID string `json:"seq_id"`
-	Score int32  `json:"score"`
-}
-
-// response answers one request.
-type response struct {
-	ID    string `json:"id"`
-	Hits  []hit  `json:"hits"`
-	Error string `json:"error,omitempty"`
-	// Code classifies the error so clients can react mechanically
-	// (retry with backoff on overloaded/unavailable, fix the request on
-	// bad_request/too_large, give up on internal).
-	Code string `json:"code,omitempty"`
-}
-
-// Machine-readable error codes, in the spirit of the matching HTTP
-// statuses (400, 413, 429, 503, 500).
 const (
-	codeBadRequest  = "bad_request"
-	codeTooLarge    = "too_large"
-	codeOverloaded  = "overloaded"
-	codeUnavailable = "unavailable"
-	codeShutdown    = "shutting_down"
-	codeInternal    = "internal"
+	codeBadRequest  = cluster.CodeBadRequest
+	codeTooLarge    = cluster.CodeTooLarge
+	codeOverloaded  = cluster.CodeOverloaded
+	codeUnavailable = cluster.CodeUnavailable
+	codeShutdown    = cluster.CodeShutdown
+	codeInternal    = cluster.CodeInternal
 )
 
 func main() {
@@ -114,6 +98,8 @@ func main() {
 		timeout    = flag.Duration("timeout", 30*time.Second, "client-mode dial and I/O deadline (0 disables)")
 		backendStr = flag.String("backend", "auto", "execution backend: auto (native), modeled, or native")
 		kernelStr  = flag.String("kernel", "auto", "kernel family: auto (per-query planner), diagonal, striped, or lazyf")
+		shardIdx   = flag.Int("shard-index", 0, "serve only shard shard-index of a shard-count cluster")
+		shardCount = flag.Int("shard-count", 0, "total shards in the cluster (0 = standalone)")
 	)
 	flag.Parse()
 
@@ -131,7 +117,7 @@ func main() {
 
 	switch {
 	case *listen != "":
-		runServer(*listen, *dbPath, *genDB, *threads, *admin, serverConfig{
+		runServer(*listen, *dbPath, *genDB, *threads, *admin, *shardIdx, *shardCount, serverConfig{
 			batchSize:     *batch,
 			window:        *window,
 			reqTimeout:    *reqTimeout,
@@ -188,7 +174,7 @@ type server struct {
 	// the compute layer's memory and CPU footprint so the server keeps
 	// absorbing and shedding load instead of thrashing.
 	alDeg *swvec.Aligner
-	brk   *breaker
+	brk   *cluster.Breaker
 	db    []swvec.Sequence
 	cfg   serverConfig
 
@@ -230,7 +216,7 @@ func newServer(al *swvec.Aligner, db []swvec.Sequence, ln net.Listener, cfg serv
 	return &server{
 		al:          al,
 		alDeg:       alDeg,
-		brk:         newBreaker(cfg.breakFails, cfg.breakCooldown),
+		brk:         cluster.NewBreaker(cfg.breakFails, cfg.breakCooldown),
 		db:          db,
 		ln:          ln,
 		cfg:         cfg,
@@ -430,7 +416,7 @@ func (s *server) batcher() {
 // outright, queue pressure switches to the degraded aligner, and the
 // batch's outcome feeds the breaker.
 func (s *server) process(batch []pending) {
-	if !s.brk.allow() {
+	if !s.brk.Allow() {
 		metrics.Global.BreakerRejected.Add(int64(len(batch)))
 		for _, p := range batch {
 			p.reply <- response{ID: p.req.ID, Error: "service unavailable: circuit breaker open", Code: codeUnavailable}
@@ -459,7 +445,7 @@ func (s *server) process(batch []pending) {
 	}
 	res, err := searchBatch(ctx, al, queries, s.db)
 	if err != nil {
-		if s.brk.onFailure() {
+		if s.brk.OnFailure() {
 			metrics.Global.BreakerTrips.Add(1)
 			s.logf("level=warn event=breaker_open failures=%d cooldown=%s", s.cfg.breakFails, s.cfg.breakCooldown)
 		}
@@ -470,7 +456,7 @@ func (s *server) process(batch []pending) {
 		}
 		return
 	}
-	s.brk.onSuccess()
+	s.brk.OnSuccess()
 	s.logf("level=info event=batch queries=%d cells=%d elapsed_ms=%.1f gcups=%.3f rescued=%d quarantined=%d degraded=%t queue_len=%d",
 		len(batch), res.Cells, float64(res.Elapsed.Microseconds())/1000, res.GCUPS(),
 		res.Rescued, len(res.Quarantined), degraded, len(s.queue))
@@ -565,7 +551,7 @@ func (s *server) serveConn(conn net.Conn) {
 			respond(response{ID: req.ID, Error: err.Error(), Code: codeBadRequest})
 			continue
 		}
-		if s.brk.rejecting() {
+		if s.brk.Rejecting() {
 			metrics.Global.BreakerRejected.Add(1)
 			respond(response{ID: req.ID, Error: "service unavailable: circuit breaker open", Code: codeUnavailable})
 			continue
@@ -625,7 +611,7 @@ func startAdmin(addr string, logf func(string, ...any)) {
 	}()
 }
 
-func runServer(addr, dbPath string, genDB, threads int, admin string, cfg serverConfig) {
+func runServer(addr, dbPath string, genDB, threads int, admin string, shardIdx, shardCount int, cfg serverConfig) {
 	var db []swvec.Sequence
 	if genDB > 0 {
 		db = swvec.GenerateDatabase(42, genDB)
@@ -649,6 +635,23 @@ func runServer(addr, dbPath string, genDB, threads int, admin string, cfg server
 				len(rep.Skipped), rep.Malformed, rep.Oversized)
 		}
 		db = seqs
+	}
+	if shardCount > 0 {
+		// Shard mode: keep only this process's consistent-hash slice of
+		// the database. Every process of the cluster — router included —
+		// computes the same map from (shard count, sequence IDs), so the
+		// slice is stable across restarts and no shard files change
+		// hands.
+		if shardIdx < 0 || shardIdx >= shardCount {
+			fatal("shard-index %d out of range for shard-count %d", shardIdx, shardCount)
+		}
+		full := len(db)
+		db = cluster.NewShardMap(shardCount).Slice(db, shardIdx)
+		if len(db) == 0 {
+			fatal("shard %d/%d owns no sequences of the %d-sequence database", shardIdx, shardCount, full)
+		}
+		log.Printf("level=info event=shard index=%d count=%d seqs=%d of=%d residues=%d",
+			shardIdx, shardCount, len(db), full, swvec.TotalResidues(db))
 	}
 	al, err := swvec.New(swvec.WithThreads(threads), swvec.WithLengthSortedBatches(), swvec.WithBackend(cfg.backend), swvec.WithKernel(cfg.kernel))
 	if err != nil {

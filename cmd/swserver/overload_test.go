@@ -64,62 +64,6 @@ func (c *testClient) roundTrip(req request) response {
 	return resp
 }
 
-// TestBreakerStateMachine walks the circuit breaker through every
-// transition with a fake clock.
-func TestBreakerStateMachine(t *testing.T) {
-	now := time.Unix(1000, 0)
-	b := newBreaker(2, time.Second)
-	b.now = func() time.Time { return now }
-
-	if !b.allow() || b.rejecting() {
-		t.Fatal("new breaker must be closed")
-	}
-	if b.onFailure() {
-		t.Fatal("first failure must not trip a threshold-2 breaker")
-	}
-	if !b.onFailure() {
-		t.Fatal("second consecutive failure must trip")
-	}
-	if b.allow() {
-		t.Fatal("open breaker admitted a batch")
-	}
-	if !b.rejecting() {
-		t.Fatal("open breaker not fast-rejecting at admission")
-	}
-
-	now = now.Add(2 * time.Second)
-	if b.rejecting() {
-		t.Fatal("cooled-down breaker still fast-rejecting")
-	}
-	if !b.allow() {
-		t.Fatal("cooled-down breaker refused the probe")
-	}
-	if b.allow() {
-		t.Fatal("second batch admitted while the probe is in flight")
-	}
-	if !b.rejecting() {
-		t.Fatal("half-open breaker with probe in flight must fast-reject")
-	}
-	if !b.onFailure() {
-		t.Fatal("failed probe must re-trip")
-	}
-	if b.allow() {
-		t.Fatal("re-opened breaker admitted a batch")
-	}
-
-	now = now.Add(2 * time.Second)
-	if !b.allow() {
-		t.Fatal("second probe refused after cooldown")
-	}
-	b.onSuccess()
-	if !b.allow() || b.rejecting() {
-		t.Fatal("probe success must close the breaker")
-	}
-	if b.onFailure() {
-		t.Fatal("failure streak must have been reset by the success")
-	}
-}
-
 // TestServerShedsWhenQueueFull drives serveConn over a pipe against a
 // server whose queue is already at capacity (no batcher draining it):
 // the request must be refused immediately with the overloaded code,

@@ -1,0 +1,64 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBreakerStateMachine walks the circuit breaker through every
+// transition with a fake clock. (The suite moved here with the breaker
+// itself when it became shared routing policy; swserver's chaos suite
+// still drives the same state machine over the wire.)
+func TestBreakerStateMachine(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := NewBreaker(2, time.Second)
+	b.now = func() time.Time { return now }
+
+	if !b.Allow() || b.Rejecting() {
+		t.Fatal("new breaker must be closed")
+	}
+	if b.OnFailure() {
+		t.Fatal("first failure must not trip a threshold-2 breaker")
+	}
+	if !b.OnFailure() {
+		t.Fatal("second consecutive failure must trip")
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a call")
+	}
+	if !b.Rejecting() {
+		t.Fatal("open breaker not fast-rejecting at admission")
+	}
+
+	now = now.Add(2 * time.Second)
+	if b.Rejecting() {
+		t.Fatal("cooled-down breaker still fast-rejecting")
+	}
+	if !b.Allow() {
+		t.Fatal("cooled-down breaker refused the probe")
+	}
+	if b.Allow() {
+		t.Fatal("second call admitted while the probe is in flight")
+	}
+	if !b.Rejecting() {
+		t.Fatal("half-open breaker with probe in flight must fast-reject")
+	}
+	if !b.OnFailure() {
+		t.Fatal("failed probe must re-trip")
+	}
+	if b.Allow() {
+		t.Fatal("re-opened breaker admitted a call")
+	}
+
+	now = now.Add(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("second probe refused after cooldown")
+	}
+	b.OnSuccess()
+	if !b.Allow() || b.Rejecting() {
+		t.Fatal("probe success must close the breaker")
+	}
+	if b.OnFailure() {
+		t.Fatal("failure streak must have been reset by the success")
+	}
+}

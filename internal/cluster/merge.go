@@ -1,0 +1,61 @@
+package cluster
+
+import (
+	"fmt"
+
+	"swvec/internal/sched"
+	"swvec/internal/seqio"
+)
+
+// Index maps shard-reported sequence IDs back to their global database
+// positions. The ranking contract breaks ties by database order, and a
+// shard only knows its slice-local order, so the router re-anchors
+// every hit to the global index before merging. Duplicate IDs keep
+// their first position, matching how a stable sort of the full
+// database would rank them.
+type Index struct {
+	byID map[string]int
+	n    int
+}
+
+// NewIndex builds the global index for db.
+func NewIndex(db []seqio.Sequence) *Index {
+	x := &Index{byID: make(map[string]int, len(db)), n: len(db)}
+	for i, s := range db {
+		if _, dup := x.byID[s.ID]; !dup {
+			x.byID[s.ID] = i
+		}
+	}
+	return x
+}
+
+// Size returns the database size the index was built over.
+func (x *Index) Size() int { return x.n }
+
+// Merge folds per-shard top-K hit lists into the global top-k, with
+// exactly the single-node ordering: score descending, ties broken by
+// global database order. Each shard's list must itself be a top-K of
+// that shard's slice with K >= k (swserver guarantees this: it answers
+// with the request's Top best of its slice), which makes the merged
+// result provably equal to the top-k of the whole database restricted
+// to the answering shards.
+func (x *Index) Merge(perShard [][]Hit, k int) ([]Hit, error) {
+	var flat []sched.Hit
+	ids := make(map[int]string)
+	for _, hits := range perShard {
+		for _, h := range hits {
+			gi, ok := x.byID[h.SeqID]
+			if !ok {
+				return nil, fmt.Errorf("cluster: shard reported unknown sequence %q", h.SeqID)
+			}
+			flat = append(flat, sched.Hit{SeqIndex: gi, Score: h.Score})
+			ids[gi] = h.SeqID
+		}
+	}
+	top := sched.TopK(flat, k)
+	out := make([]Hit, len(top))
+	for i, h := range top {
+		out[i] = Hit{SeqID: ids[h.SeqIndex], Score: h.Score}
+	}
+	return out, nil
+}

@@ -1,0 +1,170 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"swvec"
+	"swvec/internal/seqio"
+)
+
+// toWire converts a slice-local top-K (sched hits indexed into slice)
+// to the wire form a shard answers with.
+func toWire(hits []swvec.Hit, slice []seqio.Sequence) []Hit {
+	out := make([]Hit, len(hits))
+	for i, h := range hits {
+		out[i] = Hit{SeqID: slice[h.SeqIndex].ID, Score: h.Score}
+	}
+	return out
+}
+
+// partitioners enumerates ways of splitting a database across shards:
+// the production consistent-hash map plus adversarial layouts (round
+// robin, heavy skew, seeded random) that the merge must be indifferent
+// to. Every partition preserves global database order within a shard,
+// which is the one property the cluster guarantees by construction.
+func partitioners(db []seqio.Sequence) map[string][][]seqio.Sequence {
+	parts := map[string][][]seqio.Sequence{
+		"hash-1": NewShardMap(1).Partition(db),
+		"hash-3": NewShardMap(3).Partition(db),
+		"hash-5": NewShardMap(5).Partition(db),
+	}
+	rr := make([][]seqio.Sequence, 3)
+	for i, s := range db {
+		rr[i%3] = append(rr[i%3], s)
+	}
+	parts["round-robin-3"] = rr
+
+	skew := make([][]seqio.Sequence, 2)
+	cut := len(db) * 9 / 10
+	skew[0] = append(skew[0], db[:cut]...)
+	skew[1] = append(skew[1], db[cut:]...)
+	parts["skew-90/10"] = skew
+
+	rng := rand.New(rand.NewSource(99))
+	random := make([][]seqio.Sequence, 4)
+	for _, s := range db {
+		i := rng.Intn(4)
+		random[i] = append(random[i], s)
+	}
+	parts["random-4"] = random
+	return parts
+}
+
+// TestMergeMatchesSingleNode is the cluster's core correctness claim:
+// scatter-gather over ANY order-preserving partition of the database
+// returns bit-identical hits and ordering — tie-breaks included — to a
+// single-node search of the whole database. It runs the real pipeline
+// per shard slice and compares against the real pipeline on the full
+// database, under both Blosum62 (diverse scores) and a match/mismatch
+// matrix chosen to produce heavy score ties.
+func TestMergeMatchesSingleNode(t *testing.T) {
+	db := swvec.GenerateDatabase(7, 240)
+	queries := swvec.GenerateQueries(7)
+
+	aligners := map[string]*swvec.Aligner{}
+	blosum, err := swvec.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	aligners["blosum62"] = blosum
+	// match=1/mismatch=0 collapses most scores onto a few values, so
+	// nearly every rank boundary is decided by the database-order
+	// tie-break — exactly what the merge must reproduce.
+	ties, err := swvec.New(swvec.WithMatrix(swvec.MatchMismatch(1, 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	aligners["tie-heavy"] = ties
+
+	index := NewIndex(db)
+	for alName, al := range aligners {
+		for partName, parts := range partitioners(db) {
+			for _, k := range []int{1, 3, 10, len(db) + 5} {
+				name := fmt.Sprintf("%s/%s/k=%d", alName, partName, k)
+				t.Run(name, func(t *testing.T) {
+					if testing.Short() && !(partName == "hash-3" && (k == 3 || k == 10)) {
+						t.Skip("short mode runs the hash-3 partition only")
+					}
+					query := queries[1].Residues
+					single, err := al.Search(query, db)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want := toWire(single.TopHits(k), db)
+
+					perShard := make([][]Hit, 0, len(parts))
+					for _, slice := range parts {
+						if len(slice) == 0 {
+							continue
+						}
+						res, err := al.Search(query, slice)
+						if err != nil {
+							t.Fatal(err)
+						}
+						perShard = append(perShard, toWire(res.TopHits(k), slice))
+					}
+					got, err := index.Merge(perShard, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("merged top-%d differs from single-node search\n got: %v\nwant: %v", k, got, want)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestMergeTieBreakIsGlobalOrder pins the tie-break rule directly:
+// equal scores rank by global database position even when they arrive
+// from different shards in the "wrong" order.
+func TestMergeTieBreakIsGlobalOrder(t *testing.T) {
+	db := []seqio.Sequence{
+		{ID: "S0"}, {ID: "S1"}, {ID: "S2"}, {ID: "S3"},
+	}
+	index := NewIndex(db)
+	perShard := [][]Hit{
+		{{SeqID: "S3", Score: 8}, {SeqID: "S1", Score: 5}},
+		{{SeqID: "S0", Score: 8}, {SeqID: "S2", Score: 8}},
+	}
+	got, err := index.Merge(perShard, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Hit{
+		{SeqID: "S0", Score: 8}, {SeqID: "S2", Score: 8}, {SeqID: "S3", Score: 8},
+		{SeqID: "S1", Score: 5},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("tie-break order wrong\n got: %v\nwant: %v", got, want)
+	}
+}
+
+// TestMergeRejectsUnknownSequence asserts the protocol-violation path:
+// a shard answering with an ID the router's database has never seen is
+// an error, not a silent drop.
+func TestMergeRejectsUnknownSequence(t *testing.T) {
+	index := NewIndex([]seqio.Sequence{{ID: "S0"}})
+	_, err := index.Merge([][]Hit{{{SeqID: "GHOST", Score: 1}}}, 5)
+	if err == nil {
+		t.Fatal("Merge accepted a hit for an unknown sequence")
+	}
+}
+
+// TestMergeEmpty asserts merging no shard answers yields an empty,
+// non-nil-safe result rather than an error — outage handling belongs
+// to the report, not the merge.
+func TestMergeEmpty(t *testing.T) {
+	index := NewIndex([]seqio.Sequence{{ID: "S0"}})
+	got, err := index.Merge(nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("merge of nothing returned %v", got)
+	}
+}

@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"expvar"
+	"sync"
+	"sync/atomic"
+)
+
+// Metrics tallies the router's scatter-gather activity: process-wide
+// counters plus one counter block per shard, all atomics so the
+// scatter hot path never takes a lock. Published as the
+// "swvec.cluster" expvar for /debug/vars scraping.
+type Metrics struct {
+	// Scatters counts queries fanned out; Partial counts responses
+	// that were missing at least one shard's contribution.
+	Scatters atomic.Int64
+	Partial  atomic.Int64
+
+	shards []ShardMetrics
+}
+
+// ShardMetrics is one shard's routing-policy tally.
+type ShardMetrics struct {
+	// Requests counts attempts sent to the shard (retries and hedges
+	// included); Errors counts attempts that failed.
+	Requests atomic.Int64
+	Errors   atomic.Int64
+	// Retries counts backoff retries after a transient failure; Hedges
+	// counts speculative second requests launched against a slow
+	// shard, and HedgeWins how often the hedge answered first.
+	Retries   atomic.Int64
+	Hedges    atomic.Int64
+	HedgeWins atomic.Int64
+	// BreakerTrips counts opens of the shard's circuit breaker;
+	// BreakerSkipped counts queries that skipped the shard because the
+	// breaker was rejecting (the shard is quarantined).
+	BreakerTrips   atomic.Int64
+	BreakerSkipped atomic.Int64
+	// Degraded counts queries the shard answered only after a retry or
+	// through a hedge; Skipped counts queries that got no usable
+	// answer from the shard at all.
+	Degraded atomic.Int64
+	Skipped  atomic.Int64
+}
+
+// NewMetrics returns a Metrics block for n shards.
+func NewMetrics(n int) *Metrics {
+	return &Metrics{shards: make([]ShardMetrics, n)}
+}
+
+// Shard returns shard i's counter block.
+func (m *Metrics) Shard(i int) *ShardMetrics { return &m.shards[i] }
+
+// ShardSnapshot is an immutable copy of one shard's counters; JSON
+// tags match the /debug/vars output.
+type ShardSnapshot struct {
+	Requests       int64 `json:"requests"`
+	Errors         int64 `json:"errors"`
+	Retries        int64 `json:"retries"`
+	Hedges         int64 `json:"hedges"`
+	HedgeWins      int64 `json:"hedge_wins"`
+	BreakerTrips   int64 `json:"breaker_trips"`
+	BreakerSkipped int64 `json:"breaker_skipped"`
+	Degraded       int64 `json:"degraded"`
+	Skipped        int64 `json:"skipped"`
+}
+
+// Snapshot is a point-in-time copy of the whole Metrics block.
+type Snapshot struct {
+	Scatters int64           `json:"scatters"`
+	Partial  int64           `json:"partial"`
+	Shards   []ShardSnapshot `json:"shards"`
+}
+
+// Snapshot copies every counter. Individual counters are read
+// atomically; the copy as a whole is a sample of a moving system, like
+// any /debug/vars scrape.
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{
+		Scatters: m.Scatters.Load(),
+		Partial:  m.Partial.Load(),
+		Shards:   make([]ShardSnapshot, len(m.shards)),
+	}
+	for i := range m.shards {
+		sh := &m.shards[i]
+		s.Shards[i] = ShardSnapshot{
+			Requests:       sh.Requests.Load(),
+			Errors:         sh.Errors.Load(),
+			Retries:        sh.Retries.Load(),
+			Hedges:         sh.Hedges.Load(),
+			HedgeWins:      sh.HedgeWins.Load(),
+			BreakerTrips:   sh.BreakerTrips.Load(),
+			BreakerSkipped: sh.BreakerSkipped.Load(),
+			Degraded:       sh.Degraded.Load(),
+			Skipped:        sh.Skipped.Load(),
+		}
+	}
+	return s
+}
+
+var publishOnce sync.Once
+
+// Publish registers m as the "swvec.cluster" expvar. Idempotent;
+// only the first published Metrics wins (one router per process).
+func (m *Metrics) Publish() {
+	publishOnce.Do(func() {
+		expvar.Publish("swvec.cluster", expvar.Func(func() any {
+			return m.Snapshot()
+		}))
+	})
+}

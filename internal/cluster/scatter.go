@@ -1,0 +1,398 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"time"
+
+	"swvec/internal/failpoint"
+)
+
+// Policy bundles the per-shard routing knobs. The vocabulary is PR 5's
+// resilience machinery turned into routing policy: the breaker that
+// guarded swserver's compute path now quarantines a failing shard, the
+// bounded retry-with-backoff that healed transient kernel faults now
+// heals transient shard errors, and hedging bounds the tail a single
+// slow shard can impose on every merged response.
+type Policy struct {
+	// Timeout is the per-attempt shard deadline.
+	Timeout time.Duration
+	// HedgeAfter launches a speculative second request against a shard
+	// that has not answered within the delay; the first answer wins.
+	// 0 disables hedging.
+	HedgeAfter time.Duration
+	// Retries is how many times a transient shard failure is retried
+	// after the first attempt.
+	Retries int
+	// RetryBase/RetryMax bound the exponential backoff between
+	// retries.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// BreakerFailures consecutive query failures quarantine the shard;
+	// BreakerCooldown is how long it stays quarantined before a probe.
+	BreakerFailures int
+	BreakerCooldown time.Duration
+}
+
+// withDefaults fills zero fields with production defaults.
+func (p Policy) withDefaults() Policy {
+	if p.Timeout <= 0 {
+		p.Timeout = 10 * time.Second
+	}
+	if p.RetryBase <= 0 {
+		p.RetryBase = 20 * time.Millisecond
+	}
+	if p.RetryMax <= 0 {
+		p.RetryMax = 500 * time.Millisecond
+	}
+	if p.BreakerFailures <= 0 {
+		p.BreakerFailures = 3
+	}
+	if p.BreakerCooldown <= 0 {
+		p.BreakerCooldown = 5 * time.Second
+	}
+	return p
+}
+
+// Shard is one scatter target.
+type Shard struct {
+	ID   int
+	Addr string
+	brk  *Breaker
+}
+
+// Pool scatters queries across a fixed set of shard servers and
+// gathers their top-K answers into one globally ordered result. It is
+// safe for concurrent use; every counter it keeps is atomic.
+type Pool struct {
+	shards []*Shard
+	index  *Index
+	pol    Policy
+	met    *Metrics
+}
+
+// NewPool builds a scatter pool over the shard addresses. index maps
+// shard-reported sequence IDs to global database order for the merge.
+func NewPool(addrs []string, index *Index, pol Policy) *Pool {
+	pol = pol.withDefaults()
+	p := &Pool{index: index, pol: pol, met: NewMetrics(len(addrs))}
+	for i, a := range addrs {
+		p.shards = append(p.shards, &Shard{
+			ID:   i,
+			Addr: a,
+			brk:  NewBreaker(pol.BreakerFailures, pol.BreakerCooldown),
+		})
+	}
+	return p
+}
+
+// Metrics returns the pool's counter block (live; publish it for
+// /debug/vars).
+func (p *Pool) Metrics() *Metrics { return p.met }
+
+// Shards returns the scatter targets.
+func (p *Pool) Shards() []*Shard { return p.shards }
+
+// ShardReport is the partial-result contract: which shards contributed
+// to a merged response and how. It rides on every router response so a
+// client always knows whether it saw the whole database.
+type ShardReport struct {
+	// Total is the cluster's shard count.
+	Total int `json:"total"`
+	// OK lists shards that answered cleanly on the first attempt.
+	OK []int `json:"ok"`
+	// Degraded lists shards that answered, but only after a retry or
+	// through a hedged request — their hits are merged, the latency
+	// or reliability budget was not.
+	Degraded []int `json:"degraded"`
+	// Skipped lists shards that contributed nothing: quarantined by
+	// their breaker, or every attempt failed. Their slice of the
+	// database is missing from the merged hits.
+	Skipped []int `json:"skipped"`
+	// Causes explains each skipped shard, keyed by shard ID.
+	Causes map[string]string `json:"causes,omitempty"`
+}
+
+// Partial reports whether any shard's slice is missing from the
+// merged result.
+func (r *ShardReport) Partial() bool { return len(r.Skipped) > 0 }
+
+// shardOutcome is one shard's gathered verdict.
+type shardOutcome struct {
+	shard    int
+	hits     []Hit
+	degraded bool
+	err      error // nil when the shard answered
+}
+
+// Scatter fans req out to every shard, gathers under the routing
+// policy, and merges the answers into the global top-K. The returned
+// report says which shards contributed; err is only non-nil for
+// protocol violations (a shard answering with sequences the index has
+// never seen), never for shard unavailability — that is what the
+// report's Skipped list is for.
+func (p *Pool) Scatter(ctx context.Context, req Request) ([]Hit, ShardReport, error) {
+	p.met.Scatters.Add(1)
+	rep := ShardReport{Total: len(p.shards)}
+	results := make(chan shardOutcome, len(p.shards))
+	inflight := 0
+	for _, sh := range p.shards {
+		if sh.brk.Rejecting() {
+			// Quarantined: don't spend an attempt, don't feed the
+			// breaker — only probes (admitted by Allow below) decide
+			// recovery.
+			p.met.Shard(sh.ID).BreakerSkipped.Add(1)
+			p.met.Shard(sh.ID).Skipped.Add(1)
+			rep.Skipped = append(rep.Skipped, sh.ID)
+			p.cause(&rep, sh.ID, "quarantined: circuit breaker open")
+			continue
+		}
+		if !sh.brk.Allow() {
+			// Half-open with the probe already taken by a concurrent
+			// query: same as quarantined for this scatter.
+			p.met.Shard(sh.ID).BreakerSkipped.Add(1)
+			p.met.Shard(sh.ID).Skipped.Add(1)
+			rep.Skipped = append(rep.Skipped, sh.ID)
+			p.cause(&rep, sh.ID, "quarantined: breaker probe in flight")
+			continue
+		}
+		inflight++
+		go func(sh *Shard) {
+			hits, degraded, err := p.queryShard(ctx, sh, req)
+			results <- shardOutcome{shard: sh.ID, hits: hits, degraded: degraded, err: err}
+		}(sh)
+	}
+
+	perShard := make([][]Hit, 0, inflight)
+	for i := 0; i < inflight; i++ {
+		out := <-results
+		sh := p.shards[out.shard]
+		met := p.met.Shard(out.shard)
+		if out.err != nil {
+			if sh.brk.OnFailure() {
+				met.BreakerTrips.Add(1)
+			}
+			met.Skipped.Add(1)
+			rep.Skipped = append(rep.Skipped, out.shard)
+			p.cause(&rep, out.shard, out.err.Error())
+			continue
+		}
+		sh.brk.OnSuccess()
+		perShard = append(perShard, out.hits)
+		if out.degraded {
+			met.Degraded.Add(1)
+			rep.Degraded = append(rep.Degraded, out.shard)
+		} else {
+			rep.OK = append(rep.OK, out.shard)
+		}
+	}
+	sort.Ints(rep.OK)
+	sort.Ints(rep.Degraded)
+	sort.Ints(rep.Skipped)
+	if rep.Partial() {
+		p.met.Partial.Add(1)
+	}
+
+	k := req.Top
+	if k <= 0 {
+		k = 5
+	}
+	hits, err := p.index.Merge(perShard, k)
+	if err != nil {
+		return nil, rep, err
+	}
+	return hits, rep, nil
+}
+
+func (p *Pool) cause(rep *ShardReport, shard int, msg string) {
+	if rep.Causes == nil {
+		rep.Causes = make(map[string]string)
+	}
+	rep.Causes[fmt.Sprint(shard)] = msg
+}
+
+// queryShard runs the full per-shard policy for one query: a hedged
+// attempt, then bounded exponential-backoff retries while the failure
+// stays transient. degraded reports whether the answer needed a retry
+// or came from a hedge.
+func (p *Pool) queryShard(ctx context.Context, sh *Shard, req Request) (hits []Hit, degraded bool, err error) {
+	met := p.met.Shard(sh.ID)
+	var lastErr error
+	for attempt := 0; attempt <= p.pol.Retries; attempt++ {
+		if attempt > 0 {
+			met.Retries.Add(1)
+			if !backoff(ctx, p.pol, attempt-1) {
+				break
+			}
+		}
+		hits, hedged, err := p.attemptHedged(ctx, sh, req)
+		if err == nil {
+			return hits, attempt > 0 || hedged, nil
+		}
+		lastErr = err
+		if !transientShardErr(err) {
+			break
+		}
+	}
+	return nil, false, lastErr
+}
+
+// attemptHedged runs one policy attempt: the primary request, plus a
+// speculative hedge against the same shard if the primary is still
+// unanswered after HedgeAfter. First success wins; the loser's
+// goroutine unwinds on the shared per-attempt context.
+func (p *Pool) attemptHedged(ctx context.Context, sh *Shard, req Request) (hits []Hit, hedged bool, err error) {
+	met := p.met.Shard(sh.ID)
+	actx, cancel := context.WithTimeout(ctx, p.pol.Timeout)
+	defer cancel()
+
+	type reply struct {
+		hits  []Hit
+		err   error
+		hedge bool
+	}
+	ch := make(chan reply, 2)
+	launch := func(hedge bool) {
+		met.Requests.Add(1)
+		go func() {
+			h, e := p.query(actx, sh, req)
+			ch <- reply{hits: h, err: e, hedge: hedge}
+		}()
+	}
+	launch(false)
+	inflight := 1
+
+	var hedgeC <-chan time.Time
+	if p.pol.HedgeAfter > 0 {
+		t := time.NewTimer(p.pol.HedgeAfter)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+	var firstErr error
+	for {
+		select {
+		case r := <-ch:
+			inflight--
+			if r.err == nil {
+				if r.hedge {
+					met.HedgeWins.Add(1)
+				}
+				return r.hits, r.hedge, nil
+			}
+			met.Errors.Add(1)
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if inflight == 0 {
+				return nil, false, firstErr
+			}
+			// One request is still in flight; stop arming new hedges
+			// and wait for it.
+			hedgeC = nil
+		case <-hedgeC:
+			hedgeC = nil
+			met.Hedges.Add(1)
+			launch(true)
+			inflight++
+		}
+	}
+}
+
+// query performs one wire request against a shard: dial, send the
+// JSON line, read the JSON answer. The context bounds everything —
+// cancellation closes the connection so a blocked read returns
+// immediately and no goroutine outlives the scatter by more than a
+// connection teardown.
+func (p *Pool) query(ctx context.Context, sh *Shard, req Request) ([]Hit, error) {
+	if err := failpoint.Inject("cluster/shard"); err != nil {
+		return nil, err
+	}
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", sh.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("shard %d: dial: %w", sh.ID, err)
+	}
+	defer conn.Close()
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+	if dl, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(dl)
+	}
+	if err := json.NewEncoder(conn).Encode(req); err != nil {
+		return nil, fmt.Errorf("shard %d: send: %w", sh.ID, err)
+	}
+	var resp Response
+	if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&resp); err != nil {
+		return nil, fmt.Errorf("shard %d: recv: %w", sh.ID, err)
+	}
+	if resp.Error != "" {
+		return nil, &ShardError{Shard: sh.ID, Code: resp.Code, Msg: resp.Error}
+	}
+	if resp.ID != req.ID {
+		return nil, fmt.Errorf("shard %d: response for %q, want %q", sh.ID, resp.ID, req.ID)
+	}
+	return resp.Hits, nil
+}
+
+// ShardError is a structured per-request error a shard answered with.
+type ShardError struct {
+	Shard int
+	Code  string
+	Msg   string
+}
+
+func (e *ShardError) Error() string {
+	return fmt.Sprintf("shard %d: %s (%s)", e.Shard, e.Msg, e.Code)
+}
+
+// Transient reports whether the shard's error code clears on its own
+// (overload shedding, open breaker, shutdown), making a retry against
+// the same shard worthwhile. It satisfies the same Transient() bool
+// convention the scheduler's retry policy uses (DESIGN.md §12).
+func (e *ShardError) Transient() bool { return RetryableCode(e.Code) }
+
+// transientShardErr classifies a failed attempt: network-level
+// failures (dial refused, reset, timeout, a connection dropped
+// mid-exchange — the shard may be restarting) and shard responses
+// whose code marks a transient condition are retryable; everything
+// else is permanent for this query.
+func transientShardErr(err error) bool {
+	var t interface{ Transient() bool }
+	if errors.As(err, &t) {
+		return t.Transient()
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		// The shard closed the connection without answering; a process
+		// death surfaces as exactly this.
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return true
+	}
+	var oe *net.OpError
+	return errors.As(err, &oe)
+}
+
+// backoff sleeps the bounded exponential delay for the given retry
+// index; false means ctx was canceled first.
+func backoff(ctx context.Context, pol Policy, attempt int) bool {
+	d := pol.RetryBase << attempt
+	if d > pol.RetryMax {
+		d = pol.RetryMax
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"swvec/internal/seqio"
+)
+
+// vnodesPerShard is the number of virtual points each shard owns on
+// the hash ring. More points smooth the assignment (the expected load
+// imbalance shrinks as 1/sqrt(vnodes)); 64 keeps shard sizes within a
+// few percent of even for realistic databases while the ring stays
+// small enough to rebuild on every startup.
+const vnodesPerShard = 64
+
+// ShardMap deterministically assigns database sequences to shards by
+// consistent hashing of the sequence ID. The assignment depends only
+// on (shard count, sequence ID) — never on database order, process
+// identity, or time — so every router and shard process that loads the
+// same database computes the same map, and a restarted shard reloads
+// exactly the slice it served before.
+type ShardMap struct {
+	shards int
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// NewShardMap builds the ring for n shards. n < 1 panics: a cluster
+// without shards is a configuration bug, not a runtime condition.
+func NewShardMap(n int) *ShardMap {
+	if n < 1 {
+		panic(fmt.Sprintf("cluster: shard map needs at least 1 shard, got %d", n))
+	}
+	m := &ShardMap{shards: n, points: make([]ringPoint, 0, n*vnodesPerShard)}
+	for s := 0; s < n; s++ {
+		for v := 0; v < vnodesPerShard; v++ {
+			m.points = append(m.points, ringPoint{
+				hash:  hash64(fmt.Sprintf("shard-%d/vnode-%d", s, v)),
+				shard: s,
+			})
+		}
+	}
+	sort.Slice(m.points, func(i, j int) bool {
+		if m.points[i].hash != m.points[j].hash {
+			return m.points[i].hash < m.points[j].hash
+		}
+		// Hash collisions between virtual points resolve by shard
+		// index so the ring order — and therefore every assignment —
+		// stays deterministic.
+		return m.points[i].shard < m.points[j].shard
+	})
+	return m
+}
+
+// Shards returns the shard count the map was built for.
+func (m *ShardMap) Shards() int { return m.shards }
+
+// Assign returns the shard that owns the sequence with the given ID:
+// the shard of the first ring point at or after the ID's hash, with
+// wraparound.
+func (m *ShardMap) Assign(id string) int {
+	h := hash64(id)
+	i := sort.Search(len(m.points), func(i int) bool { return m.points[i].hash >= h })
+	if i == len(m.points) {
+		i = 0
+	}
+	return m.points[i].shard
+}
+
+// Slice returns the subsequence of db owned by the given shard,
+// preserving database order. Preserving order matters for the merge
+// contract: a shard's local hit order is the global order filtered,
+// so score ties resolved by shard-local index agree with ties resolved
+// by global index after the router maps IDs back.
+func (m *ShardMap) Slice(db []seqio.Sequence, shard int) []seqio.Sequence {
+	var out []seqio.Sequence
+	for _, s := range db {
+		if m.Assign(s.ID) == shard {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Partition returns every shard's slice at once: Partition(db)[s] ==
+// Slice(db, s).
+func (m *ShardMap) Partition(db []seqio.Sequence) [][]seqio.Sequence {
+	out := make([][]seqio.Sequence, m.shards)
+	for _, s := range db {
+		sh := m.Assign(s.ID)
+		out[sh] = append(out[sh], s)
+	}
+	return out
+}
+
+// hash64 is FNV-1a with a splitmix64 finalizer; stable across
+// processes and Go releases, unlike maphash. The finalizer matters:
+// FNV-1a alone clusters short structured IDs ("SYN000042",
+// "shard-1-vnode-7") in the high bits, which skews the ring arcs badly
+// enough that one shard of three can own two thirds of the database.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 avalanche finalizer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// ShardProfile summarizes one shard's slice of the database length
+// profile: how many sequences and residues it owns and the length
+// spread its batches will see. The router logs the profile at startup
+// and serves it through /debug/vars so imbalance is observable before
+// it becomes a tail-latency problem.
+type ShardProfile struct {
+	Shard     int   `json:"shard"`
+	Sequences int   `json:"sequences"`
+	Residues  int64 `json:"residues"`
+	MinLen    int   `json:"min_len"`
+	MedianLen int   `json:"median_len"`
+	MaxLen    int   `json:"max_len"`
+}
+
+// Profile computes the per-shard length profile of db under the map.
+func (m *ShardMap) Profile(db []seqio.Sequence) []ShardProfile {
+	parts := m.Partition(db)
+	out := make([]ShardProfile, m.shards)
+	for s, part := range parts {
+		st := seqio.Lengths(part)
+		out[s] = ShardProfile{
+			Shard:     s,
+			Sequences: st.Count,
+			Residues:  st.Residues,
+			MinLen:    st.Min,
+			MedianLen: st.Median,
+			MaxLen:    st.Max,
+		}
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"swvec/internal/seqio"
+)
+
+// TestShardMapStableAcrossConstructions asserts the restart contract:
+// two independently built maps with the same shard count assign every
+// ID identically, because the ring is a pure function of (shard count,
+// FNV-1a) with no process-local state.
+func TestShardMapStableAcrossConstructions(t *testing.T) {
+	db := seqio.NewGenerator(11).Database(500)
+	for _, n := range []int{1, 2, 3, 5, 16} {
+		a, b := NewShardMap(n), NewShardMap(n)
+		for _, s := range db {
+			if ga, gb := a.Assign(s.ID), b.Assign(s.ID); ga != gb {
+				t.Fatalf("n=%d id=%q: assignment differs across constructions: %d vs %d", n, s.ID, ga, gb)
+			}
+		}
+	}
+}
+
+// TestShardMapPartitionCoversExactly asserts every sequence lands in
+// exactly one shard and each shard slice preserves database order —
+// the property the merge's tie-break equivalence proof leans on.
+func TestShardMapPartitionCoversExactly(t *testing.T) {
+	db := seqio.NewGenerator(7).Database(400)
+	for _, n := range []int{1, 2, 3, 7} {
+		m := NewShardMap(n)
+		parts := m.Partition(db)
+		if len(parts) != n {
+			t.Fatalf("n=%d: Partition returned %d slices", n, len(parts))
+		}
+		seen := make(map[string]int)
+		total := 0
+		for shard, part := range parts {
+			if !reflect.DeepEqual(part, m.Slice(db, shard)) {
+				t.Fatalf("n=%d shard=%d: Partition and Slice disagree", n, shard)
+			}
+			lastGlobal := -1
+			for _, s := range part {
+				if m.Assign(s.ID) != shard {
+					t.Fatalf("n=%d: %q sliced into shard %d but assigned to %d", n, s.ID, shard, m.Assign(s.ID))
+				}
+				if _, dup := seen[s.ID]; dup {
+					t.Fatalf("n=%d: %q appears in shards %d and %d", n, s.ID, seen[s.ID], shard)
+				}
+				seen[s.ID] = shard
+				gi := globalIndex(db, s.ID)
+				if gi <= lastGlobal {
+					t.Fatalf("n=%d shard=%d: slice out of database order at %q", n, shard, s.ID)
+				}
+				lastGlobal = gi
+			}
+			total += len(part)
+		}
+		if total != len(db) {
+			t.Fatalf("n=%d: partition holds %d of %d sequences", n, total, len(db))
+		}
+	}
+}
+
+func globalIndex(db []seqio.Sequence, id string) int {
+	for i, s := range db {
+		if s.ID == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestShardMapBalance asserts the 64-vnode ring spreads a synthetic
+// database roughly evenly: no shard of three should hold less than 15%
+// or more than 60% of the sequences.
+func TestShardMapBalance(t *testing.T) {
+	db := seqio.NewGenerator(3).Database(3000)
+	parts := NewShardMap(3).Partition(db)
+	for shard, part := range parts {
+		frac := float64(len(part)) / float64(len(db))
+		if frac < 0.15 || frac > 0.60 {
+			t.Fatalf("shard %d holds %.1f%% of the database (want 15%%..60%%)", shard, 100*frac)
+		}
+	}
+}
+
+// TestShardMapProfile checks the per-shard length profile the router
+// logs and publishes: totals reconcile with the database and the
+// min/median/max are ordered.
+func TestShardMapProfile(t *testing.T) {
+	db := seqio.NewGenerator(5).Database(300)
+	m := NewShardMap(4)
+	profs := m.Profile(db)
+	if len(profs) != 4 {
+		t.Fatalf("Profile returned %d entries, want 4", len(profs))
+	}
+	var seqs int
+	var residues int64
+	for i, p := range profs {
+		if p.Shard != i {
+			t.Fatalf("profile %d reports shard %d", i, p.Shard)
+		}
+		if p.Sequences > 0 && !(p.MinLen <= p.MedianLen && p.MedianLen <= p.MaxLen) {
+			t.Fatalf("shard %d: min/median/max out of order: %d/%d/%d", i, p.MinLen, p.MedianLen, p.MaxLen)
+		}
+		seqs += p.Sequences
+		residues += p.Residues
+	}
+	if seqs != len(db) {
+		t.Fatalf("profiles cover %d sequences, database has %d", seqs, len(db))
+	}
+	if want := seqio.TotalResidues(db); residues != want {
+		t.Fatalf("profiles cover %d residues, database has %d", residues, want)
+	}
+}
+
+func TestNewShardMapRejectsZeroShards(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewShardMap(0) did not panic")
+		}
+	}()
+	NewShardMap(0)
+}

@@ -1,0 +1,56 @@
+package cluster
+
+// The swserver wire protocol: newline-delimited JSON requests and
+// responses over TCP. The router speaks it downstream to every shard
+// and upstream to its own clients (with a superset response type), so
+// the existing swserver client mode works unchanged against a router.
+
+// Request is one submitted query.
+type Request struct {
+	ID       string `json:"id"`
+	Residues string `json:"residues"`
+	Top      int    `json:"top"`
+}
+
+// Hit is one database match.
+type Hit struct {
+	SeqID string `json:"seq_id"`
+	Score int32  `json:"score"`
+}
+
+// Response answers one request.
+type Response struct {
+	ID   string `json:"id"`
+	Hits []Hit  `json:"hits"`
+	// Error and Code report a per-request failure; Code classifies it
+	// so clients can react mechanically (retry with backoff on
+	// overloaded/unavailable, fix the request on bad_request/too_large,
+	// give up on internal).
+	Error string `json:"error,omitempty"`
+	Code  string `json:"code,omitempty"`
+}
+
+// Machine-readable error codes, in the spirit of the matching HTTP
+// statuses (400, 413, 429, 503, 500).
+const (
+	CodeBadRequest  = "bad_request"
+	CodeTooLarge    = "too_large"
+	CodeOverloaded  = "overloaded"
+	CodeUnavailable = "unavailable"
+	CodeShutdown    = "shutting_down"
+	CodeInternal    = "internal"
+)
+
+// RetryableCode reports whether a response code marks a transient
+// condition worth retrying against the same shard: overload shedding,
+// an open breaker, and shutdown all clear on their own. Bad requests
+// and size violations never do, and internal errors are treated as
+// permanent for the request (the shard already retried its own
+// transients; see DESIGN.md §12).
+func RetryableCode(code string) bool {
+	switch code {
+	case CodeOverloaded, CodeUnavailable, CodeShutdown:
+		return true
+	}
+	return false
+}

@@ -4,13 +4,26 @@ import "sort"
 
 // TopHits returns the n best hits, ranked by score with ties broken by
 // database order (lower SeqIndex first), matching a stable
-// score-descending sort of Hits. It selects with a bounded min-heap in
-// O(len(Hits)·log n) and copies only the selected hits, instead of
-// copying and fully sorting the hit list. n larger than the hit count
-// is clamped; n <= 0 yields an empty slice.
+// score-descending sort of Hits.
 func (r *Result) TopHits(n int) []Hit {
-	if n > len(r.Hits) {
-		n = len(r.Hits)
+	return TopK(r.Hits, n)
+}
+
+// TopK selects the n best of hits under the search ranking contract:
+// score descending, ties broken by database order (lower SeqIndex
+// first). It selects with a bounded min-heap in O(len(hits)·log n) and
+// copies only the selected hits, instead of copying and fully sorting
+// the hit list. n larger than the hit count is clamped; n <= 0 yields
+// an empty slice.
+//
+// TopK is the single definition of the ranking: Result.TopHits uses it
+// for single-node searches and the cluster merge (internal/cluster)
+// uses it over per-shard top-K lists, which is what makes a sharded
+// scatter-gather bit-identical — order and tie-breaks included — to a
+// single-node search over the whole database.
+func TopK(hits []Hit, n int) []Hit {
+	if n > len(hits) {
+		n = len(hits)
 	}
 	if n <= 0 {
 		return []Hit{}
@@ -51,7 +64,7 @@ func (r *Result) TopHits(n int) []Hit {
 			i = worst
 		}
 	}
-	for _, h := range r.Hits {
+	for _, h := range hits {
 		if len(heap) < n {
 			heap = append(heap, h)
 			siftUp(len(heap) - 1)

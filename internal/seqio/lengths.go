@@ -1,0 +1,36 @@
+package seqio
+
+import "sort"
+
+// LengthStats summarizes the length profile of a sequence set: the
+// count, total residues, and the min/median/max lengths. The cluster
+// layer uses it to report per-shard balance; zero-value stats describe
+// an empty set.
+type LengthStats struct {
+	Count    int
+	Residues int64
+	Min      int
+	Median   int
+	Max      int
+}
+
+// Lengths computes the length profile of seqs in O(n log n).
+func Lengths(seqs []Sequence) LengthStats {
+	if len(seqs) == 0 {
+		return LengthStats{}
+	}
+	lens := make([]int, len(seqs))
+	var total int64
+	for i, s := range seqs {
+		lens[i] = len(s.Residues)
+		total += int64(len(s.Residues))
+	}
+	sort.Ints(lens)
+	return LengthStats{
+		Count:    len(seqs),
+		Residues: total,
+		Min:      lens[0],
+		Median:   lens[len(lens)/2],
+		Max:      lens[len(lens)-1],
+	}
+}

@@ -1,0 +1,205 @@
+// Command benchcheck gates CI on benchmark regressions. It compares
+// the bench-smoke stage's test2json stream (BENCH_ci.json) against a
+// committed baseline (BENCH_baseline.json), keyed by the full
+// sub-benchmark name — qlen=/backend=/width=/kernel= fields included,
+// -procs suffix stripped — and fails when any end-to-end search
+// benchmark's ns/op regressed past the threshold (default 1.30, i.e.
+// 30% slower). The full comparison is written as a JSON artifact so
+// every CI run keeps its perf verdict next to its perf numbers.
+//
+// Usage:
+//
+//	go run ./scripts/benchcheck -baseline BENCH_baseline.json \
+//	    -current BENCH_ci.json -out BENCHCHECK_ci.json
+//
+// Benchmarks present on only one side are reported (added/removed) but
+// never fail the gate: renames should show up in review, not block it.
+// An empty intersection does fail — a gate comparing nothing is a gate
+// that has silently rotted.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// event is the subset of the test2json stream benchcheck reads.
+type event struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+// resultRE matches a benchmark result line reassembled from the
+// output stream: name, iteration count, ns/op.
+var resultRE = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.eE+]+) ns/op`)
+
+// procsRE strips the -procs suffix the bench runner appends under
+// GOMAXPROCS>1, so keys are stable across runner core counts.
+var procsRE = regexp.MustCompile(`-\d+$`)
+
+// parseBench extracts name -> ns/op from a test2json benchmark
+// stream. Result lines may be split across output events, so the
+// stream's output is reassembled into text first. A name measured more
+// than once keeps its fastest run.
+func parseBench(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var text strings.Builder
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64<<10), 8<<20)
+	for sc.Scan() {
+		var ev event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return nil, fmt.Errorf("%s: not a test2json stream: %v", path, err)
+		}
+		if ev.Action == "output" {
+			text.WriteString(ev.Output)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	out := make(map[string]float64)
+	for _, line := range strings.Split(text.String(), "\n") {
+		m := resultRE.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		name := procsRE.ReplaceAllString(m[1], "")
+		if prev, ok := out[name]; !ok || ns < prev {
+			out[name] = ns
+		}
+	}
+	return out, nil
+}
+
+// comparison is one benchmark's verdict in the artifact.
+type comparison struct {
+	Name       string  `json:"name"`
+	BaselineNs float64 `json:"baseline_ns"`
+	CurrentNs  float64 `json:"current_ns"`
+	Ratio      float64 `json:"ratio"`
+	Regression bool    `json:"regression"`
+}
+
+// report is the JSON artifact benchcheck writes.
+type report struct {
+	Threshold   float64      `json:"threshold"`
+	Match       string       `json:"match"`
+	Compared    []comparison `json:"compared"`
+	Added       []string     `json:"added,omitempty"`
+	Removed     []string     `json:"removed,omitempty"`
+	Regressions int          `json:"regressions"`
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_baseline.json", "committed baseline test2json stream")
+		currentPath  = flag.String("current", "BENCH_ci.json", "this run's test2json stream")
+		outPath      = flag.String("out", "BENCHCHECK_ci.json", "comparison artifact to write ('' disables)")
+		threshold    = flag.Float64("threshold", 1.30, "fail when current/baseline ns/op exceeds this")
+		match        = flag.String("match", `^BenchmarkSearch(EndToEnd|Pipeline)/`, "gate only benchmarks matching this regexp")
+	)
+	flag.Parse()
+
+	matchRE, err := regexp.Compile(*match)
+	if err != nil {
+		fatal("bad -match: %v", err)
+	}
+	base, err := parseBench(*baselinePath)
+	if err != nil {
+		fatal("%v", err)
+	}
+	cur, err := parseBench(*currentPath)
+	if err != nil {
+		fatal("%v", err)
+	}
+	filter := func(m map[string]float64) map[string]float64 {
+		out := make(map[string]float64)
+		for k, v := range m {
+			if matchRE.MatchString(k) {
+				out[k] = v
+			}
+		}
+		return out
+	}
+	base, cur = filter(base), filter(cur)
+
+	rep := report{Threshold: *threshold, Match: *match}
+	for name, b := range base {
+		c, ok := cur[name]
+		if !ok {
+			rep.Removed = append(rep.Removed, name)
+			continue
+		}
+		cmp := comparison{
+			Name:       name,
+			BaselineNs: b,
+			CurrentNs:  c,
+			Ratio:      c / b,
+			Regression: c/b > *threshold,
+		}
+		if cmp.Regression {
+			rep.Regressions++
+		}
+		rep.Compared = append(rep.Compared, cmp)
+	}
+	for name := range cur {
+		if _, ok := base[name]; !ok {
+			rep.Added = append(rep.Added, name)
+		}
+	}
+	sort.Slice(rep.Compared, func(i, j int) bool { return rep.Compared[i].Name < rep.Compared[j].Name })
+	sort.Strings(rep.Added)
+	sort.Strings(rep.Removed)
+
+	if *outPath != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := os.WriteFile(*outPath, append(blob, '\n'), 0o644); err != nil {
+			fatal("%v", err)
+		}
+	}
+
+	for _, c := range rep.Compared {
+		verdict := "ok"
+		if c.Regression {
+			verdict = "REGRESSION"
+		}
+		fmt.Printf("benchcheck: %-10s %6.2fx  %s\n", verdict, c.Ratio, c.Name)
+	}
+	for _, n := range rep.Added {
+		fmt.Printf("benchcheck: added       %s\n", n)
+	}
+	for _, n := range rep.Removed {
+		fmt.Printf("benchcheck: removed     %s\n", n)
+	}
+	if len(rep.Compared) == 0 {
+		fatal("no benchmarks in common between %s and %s (match %s)", *baselinePath, *currentPath, *match)
+	}
+	if rep.Regressions > 0 {
+		fatal("%d benchmark(s) regressed more than %.0f%%", rep.Regressions, (*threshold-1)*100)
+	}
+	fmt.Printf("benchcheck: %d benchmarks within %.0f%% of baseline\n", len(rep.Compared), (*threshold-1)*100)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchcheck: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -20,10 +20,8 @@ echo "== test =="
 go test ./...
 
 echo "== vet =="
+# ./... already spans cmd/; the separate cmd pass was redundant.
 go vet ./...
-
-echo "== vet (cmd) =="
-go vet ./cmd/...
 
 echo "== swlint =="
 # Repo-specific invariant suite (DESIGN.md §11). The JSON report keeps
@@ -43,6 +41,15 @@ echo "== chaos (failpoint build, race) =="
 # reporting plus zero goroutine leaks under the race detector.
 go test -race -short -tags failpoint ./...
 
+echo "== cluster e2e (3-shard chaos gate) =="
+# The full scatter-gather stack as it ships: build the real swserver,
+# spawn a 3-shard loopback cluster, route concurrent queries through
+# swrouter, and SIGKILL one shard mid-search. Every merged response
+# must stay bit-identical to a single-node search of the shards that
+# answered, the dead shard must be reported partial, and leakcheck
+# must hold — all under the race detector with failpoints compiled in.
+go test -race -tags failpoint -run 'TestClusterE2E' -v ./cmd/swrouter
+
 echo "== fuzz smoke =="
 go test -fuzz=FuzzAlignWidths -fuzztime=10s -run FuzzAlignWidths ./internal/core
 go test -fuzz=FuzzNativeVsModeled -fuzztime=10s -run FuzzNativeVsModeled ./internal/core
@@ -56,5 +63,16 @@ echo "== bench smoke =="
 # carry backend=/width= fields so entries are comparable across PRs.
 go test -run '^$' -bench 'BenchmarkSearch|BenchmarkBackends' -benchtime 1x -json . > BENCH_ci.json
 grep -q '"Action":"pass"' BENCH_ci.json || { echo "bench smoke failed" >&2; exit 1; }
+# Second pass over the gated end-to-end benchmarks only, appended to
+# the same stream: benchcheck keys on the fastest run per name, and
+# min-of-2 tames the noise a single one-iteration sample carries.
+go test -run '^$' -bench 'BenchmarkSearch(EndToEnd|Pipeline)' -benchtime 1x -json . >> BENCH_ci.json
+
+echo "== benchcheck (regression gate) =="
+# Compare this run's end-to-end search benchmarks against the
+# committed baseline, keyed by full sub-benchmark name (backend=/
+# width=/kernel= fields). A >30% ns/op regression fails the build; the
+# full comparison lands in BENCHCHECK_ci.json for the artifact upload.
+go run ./scripts/benchcheck -baseline BENCH_baseline.json -current BENCH_ci.json -out BENCHCHECK_ci.json
 
 echo "ci: all checks passed"

@@ -153,6 +153,9 @@ func DecodeFasta(r io.Reader, opt DecodeOptions) ([]Sequence, *DecodeReport, err
 // WriteFasta writes FASTA records with 60-column wrapping.
 func WriteFasta(w io.Writer, seqs []Sequence) error { return seqio.WriteFasta(w, seqs) }
 
+// TotalResidues sums the residue counts of seqs.
+func TotalResidues(seqs []Sequence) int64 { return seqio.TotalResidues(seqs) }
+
 // GenerateDatabase produces a deterministic synthetic protein database
 // with Swiss-Prot-like length and composition statistics.
 func GenerateDatabase(seed int64, count int) []Sequence {
