@@ -16,11 +16,18 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-# Repo-specific invariants: hot-path allocations, lane-width
-# derivation, scheduler goroutine/channel lifecycle, metrics atomicity
-# (see DESIGN.md §11).
+# Repo-specific invariants (DESIGN.md §11): hot-path allocations,
+# lane-width derivation, scheduler goroutine/channel lifecycle, metrics
+# atomicity, compiler-verified bounds-check freedom, goroutine
+# cancellation, failpoint registry hygiene, and the wire-code failure
+# contract. Runs plain and with -tags failpoint (chaos-only code is
+# invisible to the plain load), then ratchets the suppression count
+# against SWLINT_baseline.json — exactly the sequence CI runs, so a
+# local `make lint` failure is a CI failure.
 lint:
 	$(GO) run ./cmd/swlint ./...
+	$(GO) run ./cmd/swlint -tags failpoint -json SWLINT_ci.json ./...
+	$(GO) run ./scripts/swlintcheck -baseline SWLINT_baseline.json -current SWLINT_ci.json -out SWLINTCHECK_ci.json
 
 # Portability gate: everything must build without cgo.
 portable:

@@ -1,13 +1,19 @@
 // Command swlint runs the swvec static-analysis suite: repo-specific
 // invariant checkers for the hot-path allocation discipline, lane-width
-// derivation, scheduler goroutine/channel lifecycle, and metrics
-// atomicity. It exits non-zero when any unsuppressed finding remains.
+// derivation, scheduler goroutine/channel lifecycle, metrics atomicity,
+// compiler-verified bounds-check-freedom, goroutine cancellation,
+// failpoint registry hygiene, and the wire-code failure contract. It
+// exits non-zero when any unsuppressed finding remains.
 //
 // Usage:
 //
-//	swlint [-json report.json] [packages]
+//	swlint [-json report.json] [-tags tag,list] [-bce-allow file] [packages]
 //
 // Packages default to ./..., resolved from the current directory.
+// -tags reruns the load under a build tag set (the failpoint chaos
+// build is only visible with -tags failpoint). Positions are reported
+// relative to the current directory so JSON artifacts are comparable
+// across checkouts.
 package main
 
 import (
@@ -15,6 +21,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"swvec/internal/analysis"
 )
@@ -25,6 +33,7 @@ import (
 type report struct {
 	Tool      string                `json:"tool"`
 	Analyzers []string              `json:"analyzers"`
+	Tags      []string              `json:"tags"`
 	Active    int                   `json:"active"`
 	Suppress  int                   `json:"suppressed"`
 	Findings  []analysis.Diagnostic `json:"findings"`
@@ -32,8 +41,10 @@ type report struct {
 
 func main() {
 	jsonPath := flag.String("json", "", "write a JSON report (all findings, suppressed included) to this file")
+	tagsFlag := flag.String("tags", "", "comma-separated build tags to load under (e.g. failpoint)")
+	bceAllow := flag.String("bce-allow", "", "override the bcecheck allowlist file (default <module root>/BCE_allowlist.txt)")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: swlint [-json report.json] [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: swlint [-json report.json] [-tags tag,list] [-bce-allow file] [packages]\n\nAnalyzers:\n")
 		for _, a := range analysis.All() {
 			fmt.Fprintf(flag.CommandLine.Output(), "\n%s: %s\n", a.Name, a.Doc)
 		}
@@ -44,8 +55,17 @@ func main() {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
+	var tags []string
+	for _, t := range strings.Split(*tagsFlag, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			tags = append(tags, t)
+		}
+	}
+	if *bceAllow != "" {
+		analysis.SetBCEAllowlist(*bceAllow)
+	}
 
-	pkgs, err := analysis.Load(".", patterns...)
+	pkgs, err := analysis.LoadTags(".", tags, patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "swlint:", err)
 		os.Exit(2)
@@ -56,6 +76,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "swlint:", err)
 		os.Exit(2)
 	}
+	relativize(diags)
 
 	active := 0
 	for _, d := range diags {
@@ -74,9 +95,13 @@ func main() {
 		r := report{
 			Tool:      "swlint",
 			Analyzers: names,
+			Tags:      tags,
 			Active:    active,
 			Suppress:  len(diags) - active,
 			Findings:  diags,
+		}
+		if r.Tags == nil {
+			r.Tags = []string{}
 		}
 		if r.Findings == nil {
 			r.Findings = []analysis.Diagnostic{}
@@ -96,5 +121,27 @@ func main() {
 	if active > 0 {
 		fmt.Fprintf(os.Stderr, "swlint: %d finding(s)\n", active)
 		os.Exit(1)
+	}
+}
+
+// relativize rewrites absolute diagnostic positions relative to the
+// working directory, so the JSON artifact (and the committed ratchet
+// baseline diffed against it) is stable across checkouts.
+func relativize(diags []analysis.Diagnostic) {
+	wd, err := os.Getwd()
+	if err != nil {
+		return
+	}
+	for i := range diags {
+		d := &diags[i]
+		file, _, ok := strings.Cut(d.Position, ":")
+		if !ok || !filepath.IsAbs(file) {
+			continue
+		}
+		rel, err := filepath.Rel(wd, file)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			continue
+		}
+		d.Position = filepath.ToSlash(rel) + d.Position[len(file):]
 	}
 }

@@ -35,11 +35,56 @@ type Analyzer struct {
 	Doc string
 	// Run inspects one package and reports findings via pass.Reportf.
 	Run func(*Pass) error
+	// Finish, if set, runs once after every package's Run, with all
+	// facts the analyzer exported. Whole-program invariants (a
+	// registry spanning packages, cross-package cross-checks) report
+	// from here; per-package ones never need it.
+	Finish func(*Finisher) error
 }
 
 // All returns the full swlint suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{HotPathAlloc, LaneWidth, ChanDiscipline, AtomicStats}
+	return []*Analyzer{
+		HotPathAlloc, LaneWidth, ChanDiscipline, AtomicStats,
+		BCECheck, CtxBlock, FailpointSite, WireCode,
+	}
+}
+
+// A Fact is one cross-package datum an analyzer exported while
+// visiting a package. Facts are the only state that survives from one
+// package's Run to the next (and to Finish): packages load in
+// dependency order, so a fact exported by internal/cluster is visible
+// while cmd/swrouter is analyzed.
+type Fact struct {
+	// Pkg is the exporting package's path.
+	Pkg string
+	// Key namespaces the fact within the analyzer (e.g. "site",
+	// "code"); Value is the datum itself.
+	Key, Value string
+	// Pos anchors diagnostics about the fact (a duplicate registry
+	// name reports at the original site).
+	Pos token.Position
+}
+
+// A Finisher is the whole-program stage of one analyzer: every fact it
+// exported, in package order, plus the report sink.
+type Finisher struct {
+	Analyzer *Analyzer
+	Facts    []Fact
+	// Tags are the build tags the packages were loaded under.
+	Tags []string
+
+	report func(Diagnostic)
+}
+
+// Reportf records a whole-program finding at the given position
+// (normally a fact's).
+func (f *Finisher) Reportf(pos token.Position, format string, args ...any) {
+	f.report(Diagnostic{
+		Analyzer: f.Analyzer.Name,
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+	})
 }
 
 // A Pass is one (analyzer, package) unit of work: the type-checked
@@ -52,8 +97,22 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Dir is the package's source directory ("" for fixtures loaded
+	// from memory); analyzers that shell out to the toolchain (bcecheck)
+	// need it.
+	Dir string
+	// TestFiles is the parsed (syntax-only, not type-checked) test
+	// sources of the package, for analyzers that cross-check shipped
+	// code against its tests.
+	TestFiles []*ast.File
+	// Exports maps every dependency's import path to its gc export
+	// data file, as resolved by the loader.
+	Exports map[string]string
+	// Tags are the build tags the package was loaded under.
+	Tags []string
 
 	report func(Diagnostic)
+	facts  *[]Fact
 }
 
 // Reportf records a finding at pos.
@@ -64,6 +123,21 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Message:  fmt.Sprintf(format, args...),
 	})
 }
+
+// ExportFact records a cross-package fact for later packages' Run and
+// for Finish.
+func (p *Pass) ExportFact(pos token.Pos, key, value string) {
+	*p.facts = append(*p.facts, Fact{
+		Pkg:   p.Path,
+		Key:   key,
+		Value: value,
+		Pos:   p.Fset.Position(pos),
+	})
+}
+
+// Facts returns every fact this analyzer has exported so far, in
+// package order (earlier packages first).
+func (p *Pass) Facts() []Fact { return *p.facts }
 
 // A Diagnostic is one finding, suppressed or not. Position is the
 // rendered "file:line:col" form used by both the text and JSON
@@ -79,13 +153,24 @@ type Diagnostic struct {
 	Reason string `json:"reason,omitempty"`
 }
 
-// Run executes every analyzer over every package, applies suppression
-// comments, and returns all diagnostics (suppressed ones included)
-// sorted by position.
+// Run executes every analyzer over every package (in the given order,
+// which the loader arranges to be dependency order), runs each
+// analyzer's Finish stage over its accumulated facts, applies
+// suppression comments, and returns all diagnostics (suppressed ones
+// included) sorted by position. Suppression comments that matched no
+// diagnostic of an analyzer in the run become active findings
+// themselves: a stale //swlint:ignore hides nothing but asserts it
+// does, so it must be deleted, not carried.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	sup := suppressions{}
+	facts := make(map[*Analyzer]*[]Fact, len(analyzers))
+	for _, a := range analyzers {
+		facts[a] = new([]Fact)
+	}
+	var tags []string
 	for _, pkg := range pkgs {
+		tags = pkg.Tags
 		bad := collectSuppressions(pkg, sup)
 		diags = append(diags, bad...)
 		for _, a := range analyzers {
@@ -96,11 +181,30 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
+				Dir:       pkg.Dir,
+				TestFiles: pkg.TestFiles,
+				Exports:   pkg.Exports,
+				Tags:      pkg.Tags,
 				report:    func(d Diagnostic) { diags = append(diags, d) },
+				facts:     facts[a],
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
 			}
+		}
+	}
+	for _, a := range analyzers {
+		if a.Finish == nil {
+			continue
+		}
+		fin := &Finisher{
+			Analyzer: a,
+			Facts:    *facts[a],
+			Tags:     tags,
+			report:   func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Finish(fin); err != nil {
+			return nil, fmt.Errorf("%s: finish: %w", a.Name, err)
 		}
 	}
 	for i := range diags {
@@ -109,6 +213,10 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			d.Suppressed = true
 			d.Reason = s.reason
 		}
+	}
+	diags = append(diags, staleSuppressions(sup, analyzers)...)
+	for i := range diags {
+		d := &diags[i]
 		d.Position = fmt.Sprintf("%s:%d:%d", d.Pos.Filename, d.Pos.Line, d.Pos.Column)
 	}
 	sort.Slice(diags, func(i, j int) bool {
@@ -136,10 +244,12 @@ const ignorePrefix = "//swlint:ignore"
 type suppression struct {
 	analyzer string
 	reason   string
+	pos      token.Position
+	matched  bool
 }
 
 // suppressions maps file name -> line -> parsed comments on that line.
-type suppressions map[string]map[int][]suppression
+type suppressions map[string]map[int][]*suppression
 
 // match returns the suppression covering d, if any.
 func (s suppressions) match(d *Diagnostic) *suppression {
@@ -149,13 +259,43 @@ func (s suppressions) match(d *Diagnostic) *suppression {
 	}
 	for _, ln := range []int{d.Pos.Line, d.Pos.Line - 1} {
 		for i := range lines[ln] {
-			c := &lines[ln][i]
+			c := lines[ln][i]
 			if c.analyzer == "all" || c.analyzer == d.Analyzer {
+				c.matched = true
 				return c
 			}
 		}
 	}
 	return nil
+}
+
+// staleSuppressions turns every unmatched suppression comment into an
+// active finding, provided its analyzer actually ran (a partial-suite
+// run cannot judge suppressions of analyzers it skipped, and an "all"
+// suppression only when the full suite ran — which Run cannot know, so
+// "all" is exempt and audited by count in the ratchet instead).
+func staleSuppressions(sup suppressions, analyzers []*Analyzer) []Diagnostic {
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	var diags []Diagnostic
+	for _, byLine := range sup {
+		for _, comments := range byLine {
+			for _, c := range comments {
+				if c.matched || c.analyzer == "all" || !ran[c.analyzer] {
+					continue
+				}
+				diags = append(diags, Diagnostic{
+					Analyzer: "swlint",
+					Pos:      c.pos,
+					Message: fmt.Sprintf("stale suppression: no %s finding on this or the next line; delete the //swlint:ignore",
+						c.analyzer),
+				})
+			}
+		}
+	}
+	return diags
 }
 
 // collectSuppressions parses every //swlint:ignore comment in the
@@ -182,12 +322,13 @@ func collectSuppressions(pkg *Package, sup suppressions) []Diagnostic {
 				}
 				byLine := sup[pos.Filename]
 				if byLine == nil {
-					byLine = map[int][]suppression{}
+					byLine = map[int][]*suppression{}
 					sup[pos.Filename] = byLine
 				}
-				byLine[pos.Line] = append(byLine[pos.Line], suppression{
+				byLine[pos.Line] = append(byLine[pos.Line], &suppression{
 					analyzer: fields[0],
 					reason:   strings.Join(fields[1:], " "),
+					pos:      pos,
 				})
 			}
 		}

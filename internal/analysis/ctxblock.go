@@ -1,0 +1,335 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CtxBlock enforces the cancellation contract on goroutine channel
+// traffic in internal/sched and internal/cluster: a blocking send or
+// receive inside a goroutine must be able to observe shutdown, or a
+// stalled peer pins the goroutine forever and the no-leaked-goroutines
+// guarantee (DESIGN.md §10) silently becomes "usually".
+var CtxBlock = &Analyzer{
+	Name: "ctxblock",
+	Doc: `blocking channel ops in sched/cluster goroutines must observe shutdown
+
+Every channel send or receive inside a goroutine launched by
+internal/sched or internal/cluster must be one of: (a) a select case
+alongside an escape case — a ctx.Done()/owned chan struct{} receive,
+a comma-ok receive (close is the broadcast), or default; (b) a
+comma-ok receive or a range over the channel, which terminate on
+close; (c) a receive from a chan struct{} signal channel, which IS
+the shutdown wait; or (d) a send on a channel the package makes with
+a nonzero buffer (the sized-to-senders gather pattern, where capacity
+proves the send cannot block). Anything else can block forever once
+its peer is gone, leaking the goroutine past cancel.`,
+	Run: runCtxBlock,
+}
+
+func runCtxBlock(pass *Pass) error {
+	if !pkgPathIs(pass.Path, "internal/sched") && !pkgPathIs(pass.Path, "internal/cluster") {
+		return nil
+	}
+	decls := funcDecls(pass)
+	buffered := bufferedChanObjs(pass)
+
+	// Goroutine regions: every go statement's body, plus every
+	// package-local function statically reachable from one (calls made
+	// anywhere in a region body count, nested literals included).
+	// Nested function literals stay part of the enclosing region (they
+	// run on some frame of it) except a nested `go func` body, which is
+	// its own region and would double-report.
+	bodyOf := map[*types.Func]*ast.BlockStmt{}
+	for obj, fd := range decls {
+		if fd.Body != nil {
+			bodyOf[obj] = fd.Body
+		}
+	}
+
+	var roots []*ast.BlockStmt
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if body := launchedBody(pass, decls, g.Call); body != nil {
+				roots = append(roots, body)
+			}
+			return true
+		})
+	}
+	region := map[*ast.BlockStmt]bool{}
+	queue := append([]*ast.BlockStmt(nil), roots...)
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		if region[b] {
+			continue
+		}
+		region[b] = true
+		ast.Inspect(b, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if f := callee(pass.TypesInfo, call); f != nil && f.Pkg() == pass.Pkg {
+				if tb := bodyOf[f]; tb != nil {
+					queue = append(queue, tb)
+				}
+			}
+			return true
+		})
+	}
+
+	// Deterministic reporting order: revisit declarations and go
+	// statements file by file, checking each body at most once.
+	checked := map[*ast.BlockStmt]bool{}
+	check := func(b *ast.BlockStmt) {
+		if b != nil && region[b] && !checked[b] {
+			checked[b] = true
+			checkGoroutineRegion(pass, b, buffered)
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				check(n.Body)
+			case *ast.GoStmt:
+				if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+					check(lit.Body)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// launchedBody resolves the body a go statement runs: a function
+// literal's, or a package-local function's.
+func launchedBody(pass *Pass, decls map[*types.Func]*ast.FuncDecl, call *ast.CallExpr) *ast.BlockStmt {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return lit.Body
+	}
+	if f := callee(pass.TypesInfo, call); f != nil && f.Pkg() == pass.Pkg {
+		if fd := decls[f]; fd != nil {
+			return fd.Body
+		}
+	}
+	return nil
+}
+
+// checkGoroutineRegion walks one goroutine body and flags channel
+// operations that cannot observe shutdown.
+func checkGoroutineRegion(pass *Pass, body *ast.BlockStmt, buffered map[types.Object]bool) {
+	info := pass.TypesInfo
+
+	// Pre-collect every select's comm statements (and their receive
+	// expressions), so the op walk below knows which sends/receives are
+	// select cases rather than naked ops.
+	commStmt := map[ast.Stmt]bool{}
+	exemptRecv := map[*ast.UnaryExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			escape := false
+			for _, c := range n.Body.List {
+				cc := c.(*ast.CommClause)
+				if cc.Comm == nil || isEscapeComm(info, cc.Comm) {
+					escape = true
+				}
+				if cc.Comm != nil {
+					commStmt[cc.Comm] = true
+				}
+			}
+			if !escape {
+				pass.Reportf(n.Pos(), "select in goroutine has no shutdown case: add a ctx.Done()/owned chan struct{} receive, a comma-ok receive, or default, so cancellation can unblock it")
+			}
+		case *ast.AssignStmt:
+			// x, ok := <-ch detects close; the receive is shutdown-aware
+			// on its own.
+			if len(n.Lhs) == 2 && len(n.Rhs) == 1 {
+				if ue, ok := ast.Unparen(n.Rhs[0]).(*ast.UnaryExpr); ok && ue.Op == token.ARROW {
+					exemptRecv[ue] = true
+				}
+			}
+		case *ast.RangeStmt:
+			// range over a channel terminates on close.
+			if _, ok := info.TypeOf(n.X).Underlying().(*types.Chan); ok && n.Key == nil && n.Value == nil {
+				// No receive expression node exists for range; nothing
+				// to exempt explicitly.
+				_ = n
+			}
+		}
+		return true
+	})
+
+	skipLit := map[*ast.FuncLit]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			// A nested goroutine's literal body is its own region.
+			if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				skipLit[lit] = true
+			}
+		case *ast.FuncLit:
+			if skipLit[n] {
+				return false
+			}
+		case *ast.SendStmt:
+			if commStmt[ast.Stmt(n)] {
+				return true
+			}
+			if obj := chanOpObj(info, n.Chan); obj != nil && buffered[obj] {
+				// Sized-to-senders gather channel: the buffer proves the
+				// send cannot block.
+				return true
+			}
+			pass.Reportf(n.Pos(), "blocking send in goroutine outside any select: a gone receiver pins this goroutine past cancel; use a select with a shutdown case or a buffered gather channel")
+		case *ast.UnaryExpr:
+			if n.Op != token.ARROW || exemptRecv[n] {
+				return true
+			}
+			if chanElemIsEmptyStruct(info, n.X) {
+				// Receiving from a chan struct{} is the shutdown wait
+				// itself.
+				return true
+			}
+			// A receive that is itself a select comm was pre-collected
+			// as its clause's statement; check both bare-statement and
+			// assignment forms.
+			if isSelectCommRecv(commStmt, n) {
+				return true
+			}
+			pass.Reportf(n.Pos(), "blocking receive in goroutine outside any select: use a select with a shutdown case, a comma-ok receive, or range over the channel")
+		}
+		return true
+	})
+}
+
+// isSelectCommRecv reports whether the receive expression is the comm
+// operation of some select clause (bare, assigned, or comma-ok form).
+func isSelectCommRecv(commStmt map[ast.Stmt]bool, ue *ast.UnaryExpr) bool {
+	for s := range commStmt {
+		switch s := s.(type) {
+		case *ast.ExprStmt:
+			if ast.Unparen(s.X) == ast.Unparen(ast.Expr(ue)) {
+				return true
+			}
+		case *ast.AssignStmt:
+			for _, r := range s.Rhs {
+				if ast.Unparen(r) == ast.Unparen(ast.Expr(ue)) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// isEscapeComm reports whether a select comm operation lets the
+// goroutine observe shutdown: a receive from a chan struct{} signal
+// channel (ctx.Done(), an owned closed-on-crash channel), or a
+// comma-ok receive (closing the channel is the broadcast).
+func isEscapeComm(info *types.Info, comm ast.Stmt) bool {
+	switch s := comm.(type) {
+	case *ast.ExprStmt:
+		if ue, ok := ast.Unparen(s.X).(*ast.UnaryExpr); ok && ue.Op == token.ARROW {
+			return chanElemIsEmptyStruct(info, ue.X)
+		}
+	case *ast.AssignStmt:
+		if len(s.Rhs) != 1 {
+			return false
+		}
+		ue, ok := ast.Unparen(s.Rhs[0]).(*ast.UnaryExpr)
+		if !ok || ue.Op != token.ARROW {
+			return false
+		}
+		if len(s.Lhs) == 2 {
+			return true
+		}
+		return chanElemIsEmptyStruct(info, ue.X)
+	}
+	return false
+}
+
+// chanElemIsEmptyStruct reports whether e is a channel of struct{} —
+// the signal-channel convention shutdown broadcasts use.
+func chanElemIsEmptyStruct(info *types.Info, e ast.Expr) bool {
+	ch, ok := info.TypeOf(e).Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	st, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}
+
+// chanOpObj resolves the channel object a send/receive targets, or nil
+// for anything unnamed.
+func chanOpObj(info *types.Info, e ast.Expr) types.Object {
+	obj := selectionObj(info, e)
+	if obj == nil {
+		return nil
+	}
+	if _, ok := obj.Type().Underlying().(*types.Chan); !ok {
+		return nil
+	}
+	return obj
+}
+
+// bufferedChanObjs collects every channel object the package creates
+// with a nonzero buffer: make(chan T, n) assigned to a local, field,
+// or composite-literal key anywhere in the package.
+func bufferedChanObjs(pass *Pass) map[types.Object]bool {
+	info := pass.TypesInfo
+	out := map[types.Object]bool{}
+	bufferedMake := func(e ast.Expr) bool {
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok || !isBuiltin(info, call, "make") || len(call.Args) < 2 {
+			return false
+		}
+		if _, isChan := info.TypeOf(call).Underlying().(*types.Chan); !isChan {
+			return false
+		}
+		if tv, ok := info.Types[call.Args[1]]; ok && tv.Value != nil && tv.Value.String() == "0" {
+			return false
+		}
+		return true
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					if i >= len(n.Rhs) || !bufferedMake(n.Rhs[i]) {
+						continue
+					}
+					if obj := chanOpObj(info, lhs); obj != nil {
+						out[obj] = true
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range n.Names {
+					if i >= len(n.Values) || !bufferedMake(n.Values[i]) {
+						continue
+					}
+					if obj := info.ObjectOf(name); obj != nil {
+						out[obj] = true
+					}
+				}
+			case *ast.KeyValueExpr:
+				if key, ok := n.Key.(*ast.Ident); ok && bufferedMake(n.Value) {
+					if obj, ok := info.Uses[key].(*types.Var); ok {
+						out[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

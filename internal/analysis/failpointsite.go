@@ -1,0 +1,169 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// FailpointSite keeps the fault-injection registry honest: every
+// failpoint.Inject site is uniquely and literally named, every site is
+// actually exercised by a -tags failpoint chaos test, and no test arms
+// a name that no shipped code declares.
+var FailpointSite = &Analyzer{
+	Name: "failpointsite",
+	Doc: `cross-check failpoint.Inject sites against the chaos tests that arm them
+
+A failpoint site only earns its keep if a chaos test can hit it, and a
+chaos test only proves something if the name it arms still exists in
+shipped code (DESIGN.md §12). This analyzer registers every
+failpoint.Inject call site across the tree — names must be unique
+string literals, or Enable cannot target one site deterministically —
+and collects every reference from test files (failpoint.Enable/
+Disable/Fired arguments and SWVEC_FAILPOINTS env values). Under
+-tags failpoint it reports sites no test references (dead chaos
+surface); under any tag set it reports references to names no site
+declares (a typo silently arming nothing).`,
+	Run:    runFailpointSite,
+	Finish: finishFailpointSite,
+}
+
+// failpointPkg is the path suffix of the injection framework.
+const failpointPkg = "internal/failpoint"
+
+func runFailpointSite(pass *Pass) error {
+	if pkgPathIs(pass.Path, failpointPkg) {
+		// The framework's own sources and tests mention names only as
+		// documentation and fixtures, not as sites or armings.
+		return nil
+	}
+
+	// Shipped code: register Inject sites.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := callee(pass.TypesInfo, call)
+			if fn == nil || fn.Name() != "Inject" || fn.Pkg() == nil || !pkgPathIs(fn.Pkg().Path(), failpointPkg) {
+				return true
+			}
+			if len(call.Args) != 1 {
+				return true
+			}
+			name, ok := stringLit(call.Args[0])
+			if !ok {
+				pass.Reportf(call.Args[0].Pos(), "failpoint.Inject name must be a string literal so chaos tests can arm the site by name")
+				return true
+			}
+			for _, fact := range pass.Facts() {
+				if fact.Key == "site" && fact.Value == name {
+					pass.Reportf(call.Pos(), "duplicate failpoint name %q (first registered at %s): Enable would arm both sites at once", name, fact.Pos)
+					return true
+				}
+			}
+			pass.ExportFact(call.Pos(), "site", name)
+			return true
+		})
+	}
+
+	// Test files (syntax only — they are never type-checked): collect
+	// references that arm or query a site.
+	for _, f := range pass.TestFiles {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if se, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if id, ok := se.X.(*ast.Ident); ok && id.Name == "failpoint" {
+					switch se.Sel.Name {
+					case "Enable", "Disable", "Fired":
+						if len(call.Args) >= 1 {
+							if name, ok := stringLit(call.Args[0]); ok {
+								pass.ExportFact(call.Args[0].Pos(), "ref", name)
+							}
+						}
+					}
+				}
+			}
+			// t.Setenv("SWVEC_FAILPOINTS", "name=spec;...") and the
+			// os.Setenv form both arm sites by name.
+			for i := 0; i+1 < len(call.Args); i++ {
+				if key, ok := stringLit(call.Args[i]); !ok || key != "SWVEC_FAILPOINTS" {
+					continue
+				}
+				list, ok := stringLit(call.Args[i+1])
+				if !ok {
+					continue
+				}
+				for _, pair := range strings.Split(list, ";") {
+					if name, _, found := strings.Cut(pair, "="); found && strings.TrimSpace(name) != "" {
+						pass.ExportFact(call.Args[i+1].Pos(), "ref", strings.TrimSpace(name))
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// finishFailpointSite joins the site registry against the collected
+// references once every package has been visited.
+func finishFailpointSite(f *Finisher) error {
+	sites := map[string]token.Position{}
+	refs := map[string]bool{}
+	for _, fact := range f.Facts {
+		switch fact.Key {
+		case "site":
+			if _, dup := sites[fact.Value]; !dup {
+				sites[fact.Value] = fact.Pos
+			}
+		case "ref":
+			refs[fact.Value] = true
+		}
+	}
+
+	// A site nobody arms is only provable under -tags failpoint: the
+	// chaos tests are tag-gated, so without the tag the loader never
+	// even sees the files that would reference it.
+	if hasTag(f.Tags, "failpoint") {
+		for name, pos := range sites {
+			if !refs[name] {
+				f.Reportf(pos, "failpoint site %q is not exercised by any -tags failpoint test: add a chaos test that arms it or delete the site", name)
+			}
+		}
+	}
+	for _, fact := range f.Facts {
+		if fact.Key == "ref" && sites[fact.Value] == (token.Position{}) {
+			f.Reportf(fact.Pos, "test references unknown failpoint %q: no failpoint.Inject site declares this name", fact.Value)
+		}
+	}
+	return nil
+}
+
+// hasTag reports whether tag is in the load's build tag set.
+func hasTag(tags []string, tag string) bool {
+	for _, t := range tags {
+		if t == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// stringLit unquotes e if it is a string literal.
+func stringLit(e ast.Expr) (string, bool) {
+	bl, ok := ast.Unparen(e).(*ast.BasicLit)
+	if !ok || bl.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(bl.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}

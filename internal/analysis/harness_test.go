@@ -15,6 +15,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/parser"
 	"go/token"
 	"go/types"
@@ -39,7 +40,7 @@ var (
 func stdExportData(t *testing.T) map[string]string {
 	t.Helper()
 	stdOnce.Do(func() {
-		entries, err := goList(".", []string{"fmt", "sync", "sync/atomic"})
+		entries, err := goList(".", nil, []string{"fmt", "sync", "sync/atomic"})
 		if err != nil {
 			stdErr = err
 			return
@@ -66,6 +67,15 @@ func (f importerFunc) Import(path string) (*types.Package, error) { return f(pat
 // order, so later fixtures can import earlier ones by import path.
 func loadFixtures(t *testing.T, analyzer string, paths ...string) []*Package {
 	t.Helper()
+	return loadFixturesTags(t, analyzer, nil, paths...)
+}
+
+// loadFixturesTags is loadFixtures under a build tag set: fixture files
+// carrying //go:build constraints are included or dropped exactly as
+// the real loader's `go list -tags` would, and _test.go files are
+// carried syntax-only on Package.TestFiles like the real loader does.
+func loadFixturesTags(t *testing.T, analyzer string, tags []string, paths ...string) []*Package {
+	t.Helper()
 	std := exportImporter(token.NewFileSet(), stdExportData(t))
 	local := map[string]*types.Package{}
 	imp := importerFunc(func(path string) (*types.Package, error) {
@@ -82,7 +92,7 @@ func loadFixtures(t *testing.T, analyzer string, paths ...string) []*Package {
 		if err != nil {
 			t.Fatalf("reading fixture dir %s: %v", dir, err)
 		}
-		var files []*ast.File
+		var files, testFiles []*ast.File
 		for _, de := range names {
 			if de.IsDir() || !strings.HasSuffix(de.Name(), ".go") {
 				continue
@@ -91,7 +101,14 @@ func loadFixtures(t *testing.T, analyzer string, paths ...string) []*Package {
 			if err != nil {
 				t.Fatalf("parsing fixture: %v", err)
 			}
-			files = append(files, f)
+			if !buildTagsMatch(t, f, tags) {
+				continue
+			}
+			if strings.HasSuffix(de.Name(), "_test.go") {
+				testFiles = append(testFiles, f)
+			} else {
+				files = append(files, f)
+			}
 		}
 		if len(files) == 0 {
 			t.Fatalf("fixture dir %s has no .go files", dir)
@@ -104,15 +121,39 @@ func loadFixtures(t *testing.T, analyzer string, paths ...string) []*Package {
 		}
 		local[path] = tpkg
 		pkgs = append(pkgs, &Package{
-			Path:  path,
-			Name:  tpkg.Name(),
-			Fset:  fset,
-			Files: files,
-			Types: tpkg,
-			Info:  info,
+			Path:      path,
+			Name:      tpkg.Name(),
+			Fset:      fset,
+			Files:     files,
+			Types:     tpkg,
+			Info:      info,
+			TestFiles: testFiles,
+			Tags:      tags,
 		})
 	}
 	return pkgs
+}
+
+// buildTagsMatch evaluates the file's //go:build constraint (if any)
+// against the tag set.
+func buildTagsMatch(t *testing.T, f *ast.File, tags []string) bool {
+	t.Helper()
+	for _, cg := range f.Comments {
+		if cg.Pos() > f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				t.Fatalf("bad build constraint %q: %v", c.Text, err)
+			}
+			return expr.Eval(func(tag string) bool { return hasTag(tags, tag) })
+		}
+	}
+	return true
 }
 
 // want is one expectation comment.
@@ -130,7 +171,7 @@ func collectWants(t *testing.T, pkgs []*Package) map[string]map[int][]*want {
 	t.Helper()
 	wants := map[string]map[int][]*want{}
 	for _, pkg := range pkgs {
-		for _, f := range pkg.Files {
+		for _, f := range append(append([]*ast.File(nil), pkg.Files...), pkg.TestFiles...) {
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
 					for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
@@ -157,7 +198,13 @@ func collectWants(t *testing.T, pkgs []*Package) map[string]map[int][]*want {
 // and cross-checks diagnostics against the want comments.
 func runFixture(t *testing.T, a *Analyzer, paths ...string) {
 	t.Helper()
-	pkgs := loadFixtures(t, a.Name, paths...)
+	runFixtureTags(t, a, nil, paths...)
+}
+
+// runFixtureTags is runFixture under a build tag set.
+func runFixtureTags(t *testing.T, a *Analyzer, tags []string, paths ...string) {
+	t.Helper()
+	pkgs := loadFixturesTags(t, a.Name, tags, paths...)
 	diags, err := Run(pkgs, []*Analyzer{a})
 	if err != nil {
 		t.Fatalf("running %s: %v", a.Name, err)

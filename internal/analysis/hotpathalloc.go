@@ -33,7 +33,30 @@ Amortized grow-once arena allocations are expected to carry a
 
 func runHotPathAlloc(pass *Pass) error {
 	decls := funcDecls(pass)
+	hot := hotFuncs(pass, decls)
 
+	// Deterministic order: walk declarations file by file.
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok || !hot[obj] {
+				continue
+			}
+			checkHotBody(pass, fd)
+		}
+	}
+	return nil
+}
+
+// hotFuncs computes the hot-path function set shared by hotpathalloc
+// and bcecheck: functions whose declaration (or receiver type's
+// declaration) carries the //sw:hotpath marker, plus everything
+// statically reachable from them within the package.
+func hotFuncs(pass *Pass, decls map[*types.Func]*ast.FuncDecl) map[*types.Func]bool {
 	// Annotated functions and types.
 	hotType := map[*types.TypeName]bool{}
 	var roots []*types.Func
@@ -106,22 +129,7 @@ func runHotPathAlloc(pass *Pass) error {
 		hot[f] = true
 		queue = append(queue, calls[f]...)
 	}
-
-	// Deterministic order: walk declarations file by file.
-	for _, f := range pass.Files {
-		for _, d := range f.Decls {
-			fd, ok := d.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
-			if !ok || !hot[obj] {
-				continue
-			}
-			checkHotBody(pass, fd)
-		}
-	}
-	return nil
+	return hot
 }
 
 // hasMarker reports whether any comment line is the //sw:hotpath

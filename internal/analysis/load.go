@@ -13,6 +13,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 )
 
 // A Package is one fully type-checked package: parsed syntax (with
@@ -20,33 +21,52 @@ import (
 type Package struct {
 	Path  string
 	Name  string
+	Dir   string
 	Fset  *token.FileSet
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+	// TestFiles is the package's test sources (in-package and external
+	// test package both), parsed for syntax only. Analyzers use them to
+	// cross-check shipped code against its tests (failpointsite); they
+	// are never type-checked and never scanned for suppressions.
+	TestFiles []*ast.File
+	// Exports maps every import path the load resolved (targets and
+	// dependencies, std included) to its gc export data file. Shared
+	// across all packages of one load.
+	Exports map[string]string
+	// Tags are the build tags the load ran under.
+	Tags []string
 }
 
 // listEntry is the subset of `go list -json` output the loader needs.
 type listEntry struct {
-	ImportPath string
-	Name       string
-	Dir        string
-	GoFiles    []string
-	Export     string
-	Standard   bool
-	DepOnly    bool
+	ImportPath   string
+	Name         string
+	Dir          string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Export       string
+	Standard     bool
+	DepOnly      bool
 }
 
 // goList runs `go list -export -deps -json` for the patterns and
 // decodes the JSON stream. -export populates each package's export
 // data file from the build cache, which is what lets the loader
 // type-check entirely offline: dependencies are imported from compiled
-// export data instead of being re-parsed.
-func goList(dir string, patterns []string) ([]listEntry, error) {
-	args := append([]string{
+// export data instead of being re-parsed. -deps emits dependencies
+// before dependents, the order cross-package facts rely on.
+func goList(dir string, tags []string, patterns []string) ([]listEntry, error) {
+	args := []string{
 		"list", "-export", "-deps",
-		"-json=ImportPath,Name,Dir,GoFiles,Export,Standard,DepOnly",
-	}, patterns...)
+		"-json=ImportPath,Name,Dir,GoFiles,TestGoFiles,XTestGoFiles,Export,Standard,DepOnly",
+	}
+	if len(tags) > 0 {
+		args = append(args, "-tags="+strings.Join(tags, ","))
+	}
+	args = append(args, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
 	var out, errb bytes.Buffer
@@ -94,11 +114,18 @@ func newInfo() *types.Info {
 }
 
 // Load lists, parses, and type-checks the packages matching patterns
-// relative to dir (the module root or any directory inside it). Test
-// files are not loaded: swlint checks the shipped tree, and fixtures
-// live under testdata which the go tool never matches.
+// relative to dir (the module root or any directory inside it), with
+// no build tags. See LoadTags.
 func Load(dir string, patterns ...string) ([]*Package, error) {
-	entries, err := goList(dir, patterns)
+	return LoadTags(dir, nil, patterns...)
+}
+
+// LoadTags is Load under a set of build tags: `go list -tags` selects
+// the file set, so tag-gated code (the failpoint build) is analyzed
+// instead of invisible. Shipped sources are fully type-checked; test
+// files are parsed for syntax only and carried on Package.TestFiles.
+func LoadTags(dir string, tags []string, patterns ...string) ([]*Package, error) {
+	entries, err := goList(dir, tags, patterns)
 	if err != nil {
 		return nil, err
 	}
@@ -127,6 +154,14 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if len(files) == 0 {
 			continue
 		}
+		var testFiles []*ast.File
+		for _, name := range append(append([]string(nil), e.TestGoFiles...), e.XTestGoFiles...) {
+			f, err := parser.ParseFile(fset, filepath.Join(e.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			testFiles = append(testFiles, f)
+		}
 		info := newInfo()
 		conf := types.Config{Importer: imp}
 		tpkg, err := conf.Check(e.ImportPath, fset, files, info)
@@ -134,12 +169,16 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 			return nil, fmt.Errorf("type-checking %s: %v", e.ImportPath, err)
 		}
 		pkgs = append(pkgs, &Package{
-			Path:  e.ImportPath,
-			Name:  e.Name,
-			Fset:  fset,
-			Files: files,
-			Types: tpkg,
-			Info:  info,
+			Path:      e.ImportPath,
+			Name:      e.Name,
+			Dir:       e.Dir,
+			Fset:      fset,
+			Files:     files,
+			Types:     tpkg,
+			Info:      info,
+			TestFiles: testFiles,
+			Exports:   exports,
+			Tags:      tags,
 		})
 	}
 	return pkgs, nil

@@ -1,0 +1,44 @@
+// Package native is the bcecheck fixture. The test stubs the compiler
+// seam: every "bce:<kind>" comment below becomes one canned check_bce
+// diagnostic on its line, so the fixture exercises the analyzer's
+// hot-function filtering and allowlist matching without shelling out
+// to the toolchain.
+package native
+
+//sw:hotpath
+func Kernel(h []int8, idx int) int8 {
+	return h[idx] // bce:IsInBounds // want "compiler emits IsInBounds in hot path Kernel"
+}
+
+// helper is hot by reachability from Kernel2.
+func helper(h []int8, idx int) int8 {
+	return h[idx] // bce:IsInBounds // want "compiler emits IsInBounds in hot path helper"
+}
+
+//sw:hotpath
+func Kernel2(h []int8, idx int) int8 {
+	return helper(h, idx)
+}
+
+// Prologue's reslice check is pinned in the test's allowlist file, so
+// it reports nothing.
+//
+//sw:hotpath
+func Prologue(h []int8, rows int) []int8 {
+	return h[:rows] // bce:IsSliceInBounds
+}
+
+// Masked carries an accepted check under a suppression comment instead
+// of an allowlist entry; it is reported but suppressed.
+//
+//sw:hotpath
+func Masked(h []int8, idx int) int8 {
+	//swlint:ignore bcecheck fixture: accepted pending a masked rewrite
+	return h[idx] // bce:IsInBounds // wantsup "compiler emits IsInBounds in hot path Masked"
+}
+
+// cold is not reachable from any //sw:hotpath root: its bounds checks
+// are none of bcecheck's business.
+func cold(h []int8, idx int) int8 {
+	return h[idx] // bce:IsInBounds
+}

@@ -1,0 +1,82 @@
+// Package sched is the ctxblock fixture: goroutine channel traffic
+// that can and cannot observe shutdown.
+package sched
+
+func bad(ch chan int) {
+	go func() {
+		for {
+			select { // want "select in goroutine has no shutdown case"
+			case v := <-ch:
+				_ = v
+			}
+		}
+	}()
+	go func() {
+		ch <- 1 // want "blocking send in goroutine outside any select"
+	}()
+	go func() {
+		<-ch // want "blocking receive in goroutine outside any select"
+	}()
+}
+
+// reached is goroutine code by reachability from the go statement in
+// launch, not by being a go body itself.
+func reached(ch chan int) {
+	ch <- 2 // want "blocking send in goroutine outside any select"
+}
+
+func launch(ch chan int) {
+	go reached(ch)
+}
+
+// accepted shows every shutdown-aware shape the analyzer recognizes.
+func accepted(ch chan int, done chan struct{}) {
+	gather := make(chan int, 4)
+	go func() {
+		// Send on an owned buffered channel: capacity proves it cannot
+		// block.
+		gather <- 1
+	}()
+	go func() {
+		// Receiving from a chan struct{} is the shutdown wait itself.
+		<-done
+	}()
+	go func() {
+		// Range terminates when the channel closes.
+		for v := range ch {
+			_ = v
+		}
+	}()
+	go func() {
+		// Comma-ok observes close on its own.
+		v, ok := <-ch
+		_, _ = v, ok
+	}()
+	go func() {
+		for {
+			select {
+			case ch <- 2:
+			case <-done:
+				return
+			}
+		}
+	}()
+	go func() {
+		select {
+		case v := <-ch:
+			_ = v
+		default:
+		}
+	}()
+}
+
+// suppressed carries a reviewed violation under a suppression comment.
+func suppressed(ch chan int) {
+	go func() {
+		//swlint:ignore ctxblock fixture: sender is joined before shutdown in this harness
+		ch <- 3 // wantsup "blocking send in goroutine outside any select"
+	}()
+}
+
+//swlint:ignore ctxblock fixture: obsolete suppression kept to prove staleness is flagged // want "stale suppression: no ctxblock finding"
+var keep = 1

@@ -1,0 +1,30 @@
+// Package app is the failpointsite fixture: injection sites with and
+// without chaos-test coverage. The fixture is loaded under
+// tags=[failpoint], the only configuration in which site coverage is
+// provable.
+package app
+
+import "fix/internal/failpoint"
+
+// Do declares the fixture's injection sites.
+func Do(dynamic string) error {
+	if err := failpoint.Inject("app/tested"); err != nil {
+		return err
+	}
+	if err := failpoint.Inject("app/env-tested"); err != nil {
+		return err
+	}
+	if err := failpoint.Inject("app/dup"); err != nil {
+		return err
+	}
+	if err := failpoint.Inject("app/dup"); err != nil { // want "duplicate failpoint name .app/dup."
+		return err
+	}
+	if err := failpoint.Inject(dynamic); err != nil { // want "failpoint.Inject name must be a string literal"
+		return err
+	}
+	if err := failpoint.Inject("app/orphan"); err != nil { // want "failpoint site .app/orphan. is not exercised by any -tags failpoint test"
+		return err
+	}
+	return nil
+}

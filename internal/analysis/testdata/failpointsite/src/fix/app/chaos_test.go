@@ -1,0 +1,24 @@
+//go:build failpoint
+
+// Chaos-test fixture: references that cover sites (Enable, Disable,
+// and the SWVEC_FAILPOINTS env list) plus one typo'd name no site
+// declares.
+package app
+
+import (
+	"os"
+	"testing"
+
+	"fix/internal/failpoint"
+)
+
+func TestChaos(t *testing.T) {
+	if err := failpoint.Enable("app/tested", "error(boom):first=1"); err != nil {
+		t.Fatal(err)
+	}
+	failpoint.Disable("app/dup")
+	os.Setenv("SWVEC_FAILPOINTS", "app/env-tested=error(bitrot);app/ghost=panic(x)") // want "test references unknown failpoint .app/ghost."
+	if err := Do("x"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,15 @@
+// Package failpoint is a stub of the injection framework so the
+// fixture's app package can resolve failpoint.Inject by type.
+package failpoint
+
+// Inject is the stub injection site hook.
+func Inject(name string) error { return nil }
+
+// Enable arms a site (stub).
+func Enable(name, spec string) error { return nil }
+
+// Disable disarms a site (stub).
+func Disable(name string) {}
+
+// Fired reports a site's firing count (stub).
+func Fired(name string) int64 { return 0 }

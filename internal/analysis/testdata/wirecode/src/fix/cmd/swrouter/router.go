@@ -1,0 +1,20 @@
+// Package swrouter is the wirecode fixture's router: it handles some
+// codes, hand-spells one, and never mentions CodeOverlooked.
+package swrouter
+
+import "fix/internal/cluster"
+
+// Route retries on the codes it knows.
+func Route(code string) string {
+	if cluster.RetryableCode(code) {
+		return "retry"
+	}
+	switch code {
+	case cluster.CodeBadRequest, cluster.CodeOverloaded, cluster.CodeUnhandled:
+		return "fail"
+	}
+	if code == "mystery" { // want "string literal .mystery. duplicates wire code constant cluster.CodeUnhandled"
+		return "fail"
+	}
+	return "pass"
+}

@@ -1,0 +1,7 @@
+package cluster
+
+// Classify re-spells a code as a literal inside the protocol package
+// itself (only wire.go is exempt).
+func Classify(code string) bool {
+	return code == "overloaded" // want "string literal .overloaded. duplicates wire code constant cluster.CodeOverloaded"
+}

@@ -1,0 +1,23 @@
+// Package cluster is the wirecode fixture's protocol package.
+package cluster
+
+// The fixture's wire codes. CodeUnhandled is deliberately missing from
+// RetryableCode, and CodeOverlooked is never referenced by the fixture
+// router.
+const (
+	CodeBadRequest = "bad_request"
+	CodeOverloaded = "overloaded"
+	CodeUnhandled  = "mystery"    // want "wire code CodeUnhandled is not classified in RetryableCode"
+	CodeOverlooked = "overlooked" // want "wire code CodeOverlooked is never referenced by cmd/swrouter"
+)
+
+// RetryableCode classifies all but CodeUnhandled.
+func RetryableCode(code string) bool {
+	switch code {
+	case CodeOverloaded:
+		return true
+	case CodeBadRequest, CodeOverlooked:
+		return false
+	}
+	return false
+}

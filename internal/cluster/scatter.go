@@ -277,6 +277,15 @@ func (p *Pool) attemptHedged(ctx context.Context, sh *Shard, req Request) (hits 
 	var firstErr error
 	for {
 		select {
+		case <-actx.Done():
+			// Attempt timeout or scatter cancellation: the in-flight
+			// queries unwind on actx themselves (cancellation closes
+			// their connections), and ch is buffered to hold both
+			// replies, so abandoning it leaks nothing.
+			if firstErr == nil {
+				firstErr = actx.Err()
+			}
+			return nil, false, firstErr
 		case r := <-ch:
 			inflight--
 			if r.err == nil {

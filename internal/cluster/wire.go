@@ -46,11 +46,18 @@ const (
 // an open breaker, and shutdown all clear on their own. Bad requests
 // and size violations never do, and internal errors are treated as
 // permanent for the request (the shard already retried its own
-// transients; see DESIGN.md §12).
+// transients; see DESIGN.md §12). Every code is classified explicitly
+// — swlint's wirecode analyzer rejects a constant missing from this
+// switch — so adding a code forces a retryability decision instead of
+// inheriting a default.
 func RetryableCode(code string) bool {
 	switch code {
 	case CodeOverloaded, CodeUnavailable, CodeShutdown:
 		return true
+	case CodeBadRequest, CodeTooLarge, CodeInternal:
+		return false
 	}
+	// Unknown codes (a newer peer) are permanent: retrying what we
+	// cannot classify risks hammering a shard that meant "stop".
 	return false
 }

@@ -65,7 +65,6 @@ func batchScratchOrLocal(opt *BatchOptions) *Scratch {
 	if opt.Scratch != nil {
 		return opt.Scratch
 	}
-	//swlint:ignore hotpathalloc nil scratch keeps the allocate-per-call contract; the pipeline always passes one
 	return &Scratch{}
 }
 

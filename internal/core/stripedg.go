@@ -63,7 +63,6 @@ type stripedState[E vek.Elem] struct {
 // per-call one for a nil scratch.
 func stripedState8(s *Scratch) *stripedState[int8] {
 	if s == nil {
-		//swlint:ignore hotpathalloc nil-scratch fallback, the pipeline always passes a scratch
 		return &stripedState[int8]{}
 	}
 	return &s.sp8
@@ -72,7 +71,6 @@ func stripedState8(s *Scratch) *stripedState[int8] {
 // stripedState16 is stripedState8 for the 16-bit family.
 func stripedState16(s *Scratch) *stripedState[int16] {
 	if s == nil {
-		//swlint:ignore hotpathalloc nil-scratch fallback, the pipeline always passes a scratch
 		return &stripedState[int16]{}
 	}
 	return &s.sp16

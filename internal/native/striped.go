@@ -94,7 +94,10 @@ func StripedScore8x32(prof []int8, segLen int, dseq []uint8, open, ext int32, de
 				for l := lanesStriped8x32 - 1; l >= 0; l-- {
 					sh := int32(negInf8)
 					if l >= s {
-						sh = c[l-s]
+						// Masking with the power-of-two lane count is a no-op
+						// under the l >= s guard, but it lets the compiler
+						// prove the access in bounds (bcecheck).
+						sh = c[(l-s)&(lanesStriped8x32-1)]
 					}
 					c[l] = max(c[l], max(sh-dec, floor8))
 				}
@@ -233,7 +236,8 @@ func StripedScore8x64(prof []int8, segLen int, dseq []uint8, open, ext int32, de
 				for l := lanesStriped8x64 - 1; l >= 0; l-- {
 					sh := int32(negInf8)
 					if l >= s {
-						sh = c[l-s]
+						// See StripedScore8x32: mask is a no-op, proves bounds.
+						sh = c[(l-s)&(lanesStriped8x64-1)]
 					}
 					c[l] = max(c[l], max(sh-dec, floor8))
 				}
@@ -372,7 +376,8 @@ func StripedScore16x16(prof []int16, segLen int, dseq []uint8, open, ext int32, 
 				for l := lanesStriped16x16 - 1; l >= 0; l-- {
 					sh := int32(negInf16)
 					if l >= s {
-						sh = c[l-s]
+						// See StripedScore8x32: mask is a no-op, proves bounds.
+						sh = c[(l-s)&(lanesStriped16x16-1)]
 					}
 					c[l] = max(c[l], max(sh-dec, floor16))
 				}
@@ -511,7 +516,8 @@ func StripedScore16x32(prof []int16, segLen int, dseq []uint8, open, ext int32, 
 				for l := lanesStriped16x32 - 1; l >= 0; l-- {
 					sh := int32(negInf16)
 					if l >= s {
-						sh = c[l-s]
+						// See StripedScore8x32: mask is a no-op, proves bounds.
+						sh = c[(l-s)&(lanesStriped16x32-1)]
 					}
 					c[l] = max(c[l], max(sh-dec, floor16))
 				}

@@ -13,6 +13,7 @@ import (
 	"swvec/internal/failpoint"
 	"swvec/internal/leakcheck"
 	"swvec/internal/seqio"
+	"swvec/internal/submat"
 )
 
 // chaosOpt pins the vector width so batch composition (and therefore
@@ -325,4 +326,83 @@ func TestChaosDelayRespectsDeadline(t *testing.T) {
 		t.Errorf("Stats.Canceled = %d, want 1", res.Stats.Canceled)
 	}
 	checkStatsConsistent(t, res)
+}
+
+// TestChaos32BitEscalationRetries drives the escalation ladder to the
+// 32-bit pair tier and injects transient faults into it: the stage
+// retry policy must absorb them and the final hits must match a
+// healthy run exactly.
+func TestChaos32BitEscalationRetries(t *testing.T) {
+	leakcheck.Check(t)
+	defer failpoint.DisableAll()
+	db, query := escalationDB(t, 606)
+	mat := submat.MatchMismatch(protAlpha, 25, -8)
+	opt := chaosOpt()
+	ref, err := Search(query, db, mat, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Stats.Pairs32 == 0 {
+		t.Fatal("setup failure: workload never escalated to the 32-bit tier")
+	}
+	if err := failpoint.Enable("sched/align32", "error(escalation blip):transient:first=2"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Search(query, db, mat, opt)
+	if err != nil {
+		t.Fatalf("search under transient 32-bit faults failed: %v", err)
+	}
+	if failpoint.Fired("sched/align32") == 0 {
+		t.Fatal("sched/align32 site never fired")
+	}
+	if res.Stats.Retries == 0 {
+		t.Error("injected transient faults caused no retries")
+	}
+	for i, h := range res.Hits {
+		if h.Score != ref.Hits[i].Score || h.Rescued != ref.Hits[i].Rescued {
+			t.Errorf("hit %d = (%d, rescued=%v), healthy run (%d, rescued=%v)",
+				i, h.Score, h.Rescued, ref.Hits[i].Score, ref.Hits[i].Rescued)
+		}
+	}
+}
+
+// TestChaos32BitFailureQuarantines injects a permanent fault into the
+// 32-bit tier: the escalated sequence is quarantined with the align32
+// stage recorded, its score stays below the healthy (overflowing)
+// value, and every other hit is untouched.
+func TestChaos32BitFailureQuarantines(t *testing.T) {
+	leakcheck.Check(t)
+	defer failpoint.DisableAll()
+	db, query := escalationDB(t, 607)
+	mat := submat.MatchMismatch(protAlpha, 25, -8)
+	opt := chaosOpt()
+	ref, err := Search(query, db, mat, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Stats.Pairs32 == 0 {
+		t.Fatal("setup failure: workload never escalated to the 32-bit tier")
+	}
+	if err := failpoint.Enable("sched/align32", "error(tier burn)"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Search(query, db, mat, opt)
+	if err != nil {
+		t.Fatalf("search with a failed 32-bit tier must degrade, not fail: %v", err)
+	}
+	bad := quarantineSet(t, db, res.Quarantined, "align32", "tier burn")
+	if len(bad) == 0 {
+		t.Fatal("failed 32-bit escalation produced no quarantine records")
+	}
+	for si := range bad {
+		if res.Hits[si].Score >= ref.Hits[si].Score {
+			t.Errorf("quarantined seq %d scored %d, not below the healthy overflowing %d",
+				si, res.Hits[si].Score, ref.Hits[si].Score)
+		}
+	}
+	for i, h := range res.Hits {
+		if !bad[i] && h.Score != ref.Hits[i].Score {
+			t.Errorf("healthy hit %d scored %d, reference %d", i, h.Score, ref.Hits[i].Score)
+		}
+	}
 }

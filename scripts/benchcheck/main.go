@@ -96,14 +96,54 @@ type comparison struct {
 	Regression bool    `json:"regression"`
 }
 
-// report is the JSON artifact benchcheck writes.
+// report is the JSON artifact benchcheck writes. Added and Removed
+// are always present (never omitted when empty) so baseline drift —
+// a sub-benchmark in the current run with no baseline entry, or one
+// that silently vanished — is visible in every artifact.
 type report struct {
 	Threshold   float64      `json:"threshold"`
 	Match       string       `json:"match"`
 	Compared    []comparison `json:"compared"`
-	Added       []string     `json:"added,omitempty"`
-	Removed     []string     `json:"removed,omitempty"`
+	Added       []string     `json:"added"`
+	Removed     []string     `json:"removed"`
 	Regressions int          `json:"regressions"`
+}
+
+// buildReport compares the current run against the baseline: common
+// names get a ratio verdict, baseline-only names land in Removed, and
+// current-only names land in Added. New entries never fail the gate —
+// renames should show up in review, not block it — but they are
+// reported and written to the artifact so the baseline gets updated
+// instead of rotting.
+func buildReport(base, cur map[string]float64, threshold float64, match string) report {
+	rep := report{Threshold: threshold, Match: match, Added: []string{}, Removed: []string{}}
+	for name, b := range base {
+		c, ok := cur[name]
+		if !ok {
+			rep.Removed = append(rep.Removed, name)
+			continue
+		}
+		cmp := comparison{
+			Name:       name,
+			BaselineNs: b,
+			CurrentNs:  c,
+			Ratio:      c / b,
+			Regression: c/b > threshold,
+		}
+		if cmp.Regression {
+			rep.Regressions++
+		}
+		rep.Compared = append(rep.Compared, cmp)
+	}
+	for name := range cur {
+		if _, ok := base[name]; !ok {
+			rep.Added = append(rep.Added, name)
+		}
+	}
+	sort.Slice(rep.Compared, func(i, j int) bool { return rep.Compared[i].Name < rep.Compared[j].Name })
+	sort.Strings(rep.Added)
+	sort.Strings(rep.Removed)
+	return rep
 }
 
 func main() {
@@ -139,33 +179,7 @@ func main() {
 	}
 	base, cur = filter(base), filter(cur)
 
-	rep := report{Threshold: *threshold, Match: *match}
-	for name, b := range base {
-		c, ok := cur[name]
-		if !ok {
-			rep.Removed = append(rep.Removed, name)
-			continue
-		}
-		cmp := comparison{
-			Name:       name,
-			BaselineNs: b,
-			CurrentNs:  c,
-			Ratio:      c / b,
-			Regression: c/b > *threshold,
-		}
-		if cmp.Regression {
-			rep.Regressions++
-		}
-		rep.Compared = append(rep.Compared, cmp)
-	}
-	for name := range cur {
-		if _, ok := base[name]; !ok {
-			rep.Added = append(rep.Added, name)
-		}
-	}
-	sort.Slice(rep.Compared, func(i, j int) bool { return rep.Compared[i].Name < rep.Compared[j].Name })
-	sort.Strings(rep.Added)
-	sort.Strings(rep.Removed)
+	rep := buildReport(base, cur, *threshold, *match)
 
 	if *outPath != "" {
 		blob, err := json.MarshalIndent(rep, "", "  ")
@@ -189,6 +203,9 @@ func main() {
 	}
 	for _, n := range rep.Removed {
 		fmt.Printf("benchcheck: removed     %s\n", n)
+	}
+	if len(rep.Added) > 0 {
+		fmt.Printf("benchcheck: %d benchmark(s) have no baseline entry; refresh BENCH_baseline.json to gate them\n", len(rep.Added))
 	}
 	if len(rep.Compared) == 0 {
 		fatal("no benchmarks in common between %s and %s (match %s)", *baselinePath, *currentPath, *match)

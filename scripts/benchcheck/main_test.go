@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestBuildReportBaselineDrift: a sub-benchmark present only in the
+// current run must land in Added (not crash the comparison, not
+// vanish), one present only in the baseline lands in Removed, and
+// neither counts as a regression.
+func TestBuildReportBaselineDrift(t *testing.T) {
+	base := map[string]float64{
+		"BenchmarkSearchEndToEnd/backend=native": 100,
+		"BenchmarkSearchEndToEnd/backend=gone":   50,
+	}
+	cur := map[string]float64{
+		"BenchmarkSearchEndToEnd/backend=native": 110,
+		"BenchmarkSearchEndToEnd/backend=fresh":  70,
+	}
+	rep := buildReport(base, cur, 1.30, ".")
+	if len(rep.Added) != 1 || rep.Added[0] != "BenchmarkSearchEndToEnd/backend=fresh" {
+		t.Fatalf("added = %v", rep.Added)
+	}
+	if len(rep.Removed) != 1 || rep.Removed[0] != "BenchmarkSearchEndToEnd/backend=gone" {
+		t.Fatalf("removed = %v", rep.Removed)
+	}
+	if rep.Regressions != 0 || len(rep.Compared) != 1 {
+		t.Fatalf("drift must not gate: %+v", rep)
+	}
+}
+
+// TestBuildReportEmptyDriftLists: the artifact always carries the
+// added/removed lists, as empty arrays rather than omitted fields.
+func TestBuildReportEmptyDriftLists(t *testing.T) {
+	rep := buildReport(map[string]float64{"B/x": 1}, map[string]float64{"B/x": 1}, 1.30, ".")
+	if rep.Added == nil || rep.Removed == nil {
+		t.Fatalf("drift lists must be non-nil: %+v", rep)
+	}
+}
+
+// TestBuildReportRegression: the ratio gate still fires on common
+// entries.
+func TestBuildReportRegression(t *testing.T) {
+	rep := buildReport(map[string]float64{"B/x": 100}, map[string]float64{"B/x": 150}, 1.30, ".")
+	if rep.Regressions != 1 || !rep.Compared[0].Regression {
+		t.Fatalf("50%% slowdown not flagged: %+v", rep)
+	}
+}
+
+// TestParseBench: result lines split across output events are
+// reassembled, -procs suffixes are stripped, and repeated names keep
+// the fastest run.
+func TestParseBench(t *testing.T) {
+	stream := `{"Action":"output","Output":"BenchmarkSearchEndToEnd/backend=native-8   "}
+{"Action":"output","Output":"10   1200 ns/op\n"}
+{"Action":"output","Output":"BenchmarkSearchEndToEnd/backend=native-8   12   1100 ns/op\n"}
+{"Action":"pass"}
+`
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, []byte(stream), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := parseBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns, ok := got["BenchmarkSearchEndToEnd/backend=native"]
+	if !ok || ns != 1100 {
+		t.Fatalf("parseBench = %v", got)
+	}
+}

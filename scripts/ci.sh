@@ -24,10 +24,22 @@ echo "== vet =="
 go vet ./...
 
 echo "== swlint =="
-# Repo-specific invariant suite (DESIGN.md §11). The JSON report keeps
-# every finding, suppressed included, so CI runs accumulate the
-# suppression trajectory alongside the perf one.
-go run ./cmd/swlint -json SWLINT_ci.json ./...
+# Repo-specific invariant suite (DESIGN.md §11), run twice: the plain
+# build, then -tags failpoint so the chaos-only code (failpoint sites,
+# the tests that arm them) is linted too. The tagged run's JSON report
+# keeps every finding, suppressed included — it is the superset view —
+# so CI runs accumulate the suppression trajectory alongside the perf
+# one.
+go run ./cmd/swlint ./...
+go run ./cmd/swlint -tags failpoint -json SWLINT_ci.json ./...
+
+echo "== swlintcheck (suppression ratchet) =="
+# Compare this run's suppressed-finding counts against the committed
+# SWLINT_baseline.json: any analyzer's count growing without an
+# explicit baseline bump (scripts/swlintcheck -write-baseline) fails
+# the build. The comparison lands in SWLINTCHECK_ci.json for the
+# artifact upload.
+go run ./scripts/swlintcheck -baseline SWLINT_baseline.json -current SWLINT_ci.json -out SWLINTCHECK_ci.json
 
 echo "== portability build (CGO_ENABLED=0) =="
 CGO_ENABLED=0 go build ./...

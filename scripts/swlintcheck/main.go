@@ -1,0 +1,273 @@
+// Command swlintcheck is the suppression ratchet: it compares the
+// swlint JSON artifact from this run (SWLINT_ci.json) against the
+// committed baseline (SWLINT_baseline.json) and fails when any
+// analyzer's suppressed-finding count grew. A new //swlint:ignore
+// therefore needs an explicit baseline bump in the same PR — run with
+// -write-baseline and commit the result — so suppressions are a
+// reviewed decision, never quiet drift. Stale suppressions need no
+// handling here: the analysis framework promotes them to active
+// findings, which fail swlint itself.
+//
+// Usage:
+//
+//	go run ./scripts/swlintcheck -baseline SWLINT_baseline.json \
+//	    -current SWLINT_ci.json -out SWLINTCHECK_ci.json
+//	go run ./scripts/swlintcheck -current SWLINT_ci.json -write-baseline
+//
+// The baseline is a derived summary (counts per analyzer plus
+// file-level entries), not the raw report: line numbers churn with
+// every edit, but a suppression moving between files or analyzers is
+// exactly what review should see.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// swlintReport mirrors cmd/swlint's -json schema (the subset the
+// ratchet reads).
+type swlintReport struct {
+	Tool     string    `json:"tool"`
+	Tags     []string  `json:"tags"`
+	Active   int       `json:"active"`
+	Suppress int       `json:"suppressed"`
+	Findings []finding `json:"findings"`
+}
+
+type finding struct {
+	Analyzer   string `json:"analyzer"`
+	Position   string `json:"position"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+	Reason     string `json:"reason"`
+}
+
+// entry is one suppression in the baseline, keyed at file granularity
+// so line-number churn never invalidates the baseline.
+type entry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Reason   string `json:"reason"`
+}
+
+func (e entry) key() string { return e.Analyzer + "\x00" + e.File }
+
+// baseline is the committed ratchet state derived from a swlint
+// report.
+type baseline struct {
+	Tool       string         `json:"tool"`
+	Tags       []string       `json:"tags"`
+	Suppressed int            `json:"suppressed"`
+	ByAnalyzer map[string]int `json:"by_analyzer"`
+	Entries    []entry        `json:"entries"`
+}
+
+// checkReport is the JSON artifact swlintcheck writes: the verdict
+// next to the deltas that produced it.
+type checkReport struct {
+	Tool               string   `json:"tool"`
+	BaselineSuppressed int      `json:"baseline_suppressed"`
+	CurrentSuppressed  int      `json:"current_suppressed"`
+	Grew               []string `json:"grew"`
+	Shrunk             []string `json:"shrunk"`
+	NewEntries         []entry  `json:"new_entries"`
+	RemovedEntries     []entry  `json:"removed_entries"`
+	OK                 bool     `json:"ok"`
+}
+
+// summarize reduces a swlint report to the ratchet baseline form.
+func summarize(r *swlintReport) baseline {
+	b := baseline{
+		Tool:       "swlintcheck-baseline",
+		Tags:       r.Tags,
+		ByAnalyzer: make(map[string]int),
+	}
+	if b.Tags == nil {
+		b.Tags = []string{}
+	}
+	for _, f := range r.Findings {
+		if !f.Suppressed {
+			continue
+		}
+		file, _, _ := strings.Cut(f.Position, ":")
+		b.Suppressed++
+		b.ByAnalyzer[f.Analyzer]++
+		b.Entries = append(b.Entries, entry{Analyzer: f.Analyzer, File: file, Reason: f.Reason})
+	}
+	sort.Slice(b.Entries, func(i, j int) bool {
+		if b.Entries[i].Analyzer != b.Entries[j].Analyzer {
+			return b.Entries[i].Analyzer < b.Entries[j].Analyzer
+		}
+		if b.Entries[i].File != b.Entries[j].File {
+			return b.Entries[i].File < b.Entries[j].File
+		}
+		return b.Entries[i].Reason < b.Entries[j].Reason
+	})
+	return b
+}
+
+// compare ratchets cur against base. Growth in any analyzer's
+// suppression count is a failure; shrinkage is progress the caller
+// should bank by tightening the baseline.
+func compare(base, cur baseline) checkReport {
+	rep := checkReport{
+		Tool:               "swlintcheck",
+		BaselineSuppressed: base.Suppressed,
+		CurrentSuppressed:  cur.Suppressed,
+		Grew:               []string{},
+		Shrunk:             []string{},
+		NewEntries:         []entry{},
+		RemovedEntries:     []entry{},
+	}
+	analyzers := make(map[string]bool)
+	for a := range base.ByAnalyzer {
+		analyzers[a] = true
+	}
+	for a := range cur.ByAnalyzer {
+		analyzers[a] = true
+	}
+	names := make([]string, 0, len(analyzers))
+	for a := range analyzers {
+		names = append(names, a)
+	}
+	sort.Strings(names)
+	for _, a := range names {
+		b, c := base.ByAnalyzer[a], cur.ByAnalyzer[a]
+		switch {
+		case c > b:
+			rep.Grew = append(rep.Grew, fmt.Sprintf("%s: %d suppression(s), baseline allows %d", a, c, b))
+		case c < b:
+			rep.Shrunk = append(rep.Shrunk, fmt.Sprintf("%s: %d suppression(s), baseline allows %d", a, c, b))
+		}
+	}
+
+	// File-level entry diff: informational, so review sees where the
+	// counts moved even when totals balance out.
+	baseCount := make(map[string]int)
+	for _, e := range base.Entries {
+		baseCount[e.key()]++
+	}
+	curCount := make(map[string]int)
+	for _, e := range cur.Entries {
+		curCount[e.key()]++
+	}
+	for _, e := range cur.Entries {
+		if curCount[e.key()] > baseCount[e.key()] {
+			curCount[e.key()]--
+			rep.NewEntries = append(rep.NewEntries, e)
+		}
+	}
+	for _, e := range base.Entries {
+		if baseCount[e.key()] > curCount[e.key()] {
+			baseCount[e.key()]--
+			rep.RemovedEntries = append(rep.RemovedEntries, e)
+		}
+	}
+	rep.OK = len(rep.Grew) == 0
+	return rep
+}
+
+func readReport(path string) (*swlintReport, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r swlintReport
+	if err := json.Unmarshal(blob, &r); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if r.Tool != "swlint" {
+		return nil, fmt.Errorf("%s: not a swlint report (tool=%q)", path, r.Tool)
+	}
+	return &r, nil
+}
+
+func readBaseline(path string) (baseline, error) {
+	var b baseline
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(blob, &b); err != nil {
+		return b, fmt.Errorf("%s: %v", path, err)
+	}
+	if b.Tool != "swlintcheck-baseline" {
+		return b, fmt.Errorf("%s: not a swlintcheck baseline (tool=%q)", path, b.Tool)
+	}
+	if b.ByAnalyzer == nil {
+		b.ByAnalyzer = make(map[string]int)
+	}
+	return b, nil
+}
+
+func writeJSON(path string, v any) error {
+	blob, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}
+
+func main() {
+	var (
+		baselinePath  = flag.String("baseline", "SWLINT_baseline.json", "committed suppression baseline")
+		currentPath   = flag.String("current", "SWLINT_ci.json", "this run's swlint -json report")
+		outPath       = flag.String("out", "SWLINTCHECK_ci.json", "comparison artifact to write ('' disables)")
+		writeBaseline = flag.Bool("write-baseline", false, "regenerate the baseline from -current and exit (the explicit bump)")
+	)
+	flag.Parse()
+
+	curReport, err := readReport(*currentPath)
+	if err != nil {
+		fatal("%v", err)
+	}
+	cur := summarize(curReport)
+
+	if *writeBaseline {
+		if err := writeJSON(*baselinePath, cur); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("swlintcheck: wrote %s (%d suppression(s)); commit it with the change that needed the bump\n",
+			*baselinePath, cur.Suppressed)
+		return
+	}
+
+	base, err := readBaseline(*baselinePath)
+	if err != nil {
+		fatal("%v (run with -write-baseline to create it)", err)
+	}
+	rep := compare(base, cur)
+
+	if *outPath != "" {
+		if err := writeJSON(*outPath, rep); err != nil {
+			fatal("%v", err)
+		}
+	}
+
+	for _, e := range rep.NewEntries {
+		fmt.Printf("swlintcheck: new suppression  [%s] %s (%s)\n", e.Analyzer, e.File, e.Reason)
+	}
+	for _, e := range rep.RemovedEntries {
+		fmt.Printf("swlintcheck: gone suppression [%s] %s\n", e.Analyzer, e.File)
+	}
+	for _, s := range rep.Shrunk {
+		fmt.Printf("swlintcheck: improved        %s — tighten the baseline with -write-baseline\n", s)
+	}
+	if !rep.OK {
+		for _, s := range rep.Grew {
+			fmt.Fprintf(os.Stderr, "swlintcheck: ratchet violated: %s\n", s)
+		}
+		fatal("suppressions grew without a baseline bump; if intended, rerun with -write-baseline and commit %s", *baselinePath)
+	}
+	fmt.Printf("swlintcheck: %d suppression(s), baseline %d — ratchet holds\n", cur.Suppressed, base.Suppressed)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "swlintcheck: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func rep(findings ...finding) *swlintReport {
+	r := &swlintReport{Tool: "swlint", Findings: findings}
+	for _, f := range findings {
+		if f.Suppressed {
+			r.Suppress++
+		} else {
+			r.Active++
+		}
+	}
+	return r
+}
+
+func sup(analyzer, pos, reason string) finding {
+	return finding{Analyzer: analyzer, Position: pos, Suppressed: true, Reason: reason}
+}
+
+// TestRatchetHoldsAtParity: identical suppression sets pass.
+func TestRatchetHoldsAtParity(t *testing.T) {
+	base := summarize(rep(sup("hotpathalloc", "internal/core/a.go:10:2", "scratch reuse")))
+	cur := summarize(rep(sup("hotpathalloc", "internal/core/a.go:99:2", "scratch reuse")))
+	out := compare(base, cur)
+	if !out.OK {
+		t.Fatalf("ratchet failed at parity: %+v", out)
+	}
+	if len(out.NewEntries) != 0 || len(out.RemovedEntries) != 0 {
+		t.Fatalf("line-number churn must not register as entry drift: %+v", out)
+	}
+}
+
+// TestRatchetFailsOnGrowth is the acceptance case: a suppression added
+// without a baseline bump fails the build and names the new entry.
+func TestRatchetFailsOnGrowth(t *testing.T) {
+	base := summarize(rep(sup("hotpathalloc", "internal/core/a.go:10:2", "scratch reuse")))
+	cur := summarize(rep(
+		sup("hotpathalloc", "internal/core/a.go:10:2", "scratch reuse"),
+		sup("bcecheck", "internal/native/k.go:40:1", "cold prologue"),
+	))
+	out := compare(base, cur)
+	if out.OK {
+		t.Fatal("suppression grew but the ratchet passed")
+	}
+	if len(out.Grew) != 1 || out.Grew[0] != "bcecheck: 1 suppression(s), baseline allows 0" {
+		t.Fatalf("grew = %v", out.Grew)
+	}
+	if len(out.NewEntries) != 1 || out.NewEntries[0].File != "internal/native/k.go" {
+		t.Fatalf("new entries = %+v", out.NewEntries)
+	}
+}
+
+// TestRatchetMoveBetweenAnalyzersFails: totals balancing out is not
+// enough — a new suppression of analyzer B is a new decision even if
+// one of analyzer A was removed.
+func TestRatchetMoveBetweenAnalyzersFails(t *testing.T) {
+	base := summarize(rep(sup("hotpathalloc", "internal/core/a.go:10:2", "x")))
+	cur := summarize(rep(sup("ctxblock", "internal/sched/s.go:5:3", "y")))
+	out := compare(base, cur)
+	if out.OK {
+		t.Fatal("analyzer-level growth hidden by a balanced total")
+	}
+	if len(out.Shrunk) != 1 {
+		t.Fatalf("shrunk = %v", out.Shrunk)
+	}
+}
+
+// TestRatchetReportsShrinkage: dropping a suppression passes but is
+// surfaced so the baseline gets tightened.
+func TestRatchetReportsShrinkage(t *testing.T) {
+	base := summarize(rep(
+		sup("hotpathalloc", "internal/core/a.go:10:2", "x"),
+		sup("hotpathalloc", "internal/core/b.go:20:2", "y"),
+	))
+	cur := summarize(rep(sup("hotpathalloc", "internal/core/a.go:10:2", "x")))
+	out := compare(base, cur)
+	if !out.OK {
+		t.Fatalf("shrinkage must pass: %+v", out)
+	}
+	if len(out.Shrunk) != 1 || len(out.RemovedEntries) != 1 {
+		t.Fatalf("shrinkage not surfaced: %+v", out)
+	}
+}
+
+// TestBaselineRoundTrip: -write-baseline output reads back as the same
+// ratchet state.
+func TestBaselineRoundTrip(t *testing.T) {
+	cur := summarize(rep(
+		sup("wirecode", "internal/cluster/wire.go:8:1", "legacy alias"),
+		sup("bcecheck", "internal/native/k.go:40:1", "cold prologue"),
+	))
+	path := filepath.Join(t.TempDir(), "SWLINT_baseline.json")
+	if err := writeJSON(path, cur); err != nil {
+		t.Fatal(err)
+	}
+	back, err := readBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := compare(back, cur)
+	if !out.OK || len(out.NewEntries) != 0 || len(out.RemovedEntries) != 0 || len(out.Shrunk) != 0 {
+		t.Fatalf("round-tripped baseline is not at parity: %+v", out)
+	}
+}
