@@ -45,10 +45,12 @@ chaos:
 	$(GO) test -race -short -tags failpoint ./...
 
 # Cluster chaos gate: real swserver shard processes behind swrouter,
-# concurrent queries, one shard SIGKILLed mid-search; merged results
-# must stay bit-identical to single-node search over the shards that
-# answered, with the dead shard reported partial and no goroutine
-# leaks (race detector + failpoints on).
+# concurrent queries, one process SIGKILLed mid-search. At replicas=1
+# merged results must stay bit-identical to single-node search over
+# the shards that answered, with the dead shard reported partial; at
+# replicas=2 killing a primary must cost nothing — every response
+# complete via failover to the surviving replica. No goroutine leaks
+# (race detector + failpoints on).
 cluster-e2e:
 	$(GO) test -race -tags failpoint -run 'TestClusterE2E' -v ./cmd/swrouter
 
@@ -71,7 +73,7 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkSearch|BenchmarkBackends' -benchtime 1x -json . > BENCH_ci.json
 	@grep -q '"Action":"pass"' BENCH_ci.json || { echo "bench smoke failed"; exit 1; }
-	$(GO) test -run '^$$' -bench 'BenchmarkSearch(EndToEnd|Pipeline)' -benchtime 1x -json . >> BENCH_ci.json
+	$(GO) test -run '^$$' -bench 'BenchmarkSearch(EndToEnd|Pipeline|Scatter)' -benchtime 1x -json . >> BENCH_ci.json
 
 # Full native-vs-modeled kernel comparison (pair and batch, both
 # widths) with allocation reporting.

@@ -11,15 +11,22 @@ package swvec
 // Run: go test -bench=. -benchmem .
 
 import (
+	"bufio"
+	"context"
+	"encoding/json"
 	"fmt"
+	"net"
 	"testing"
+	"time"
 
 	"swvec/internal/aln"
 	"swvec/internal/baselines"
+	"swvec/internal/cluster"
 	"swvec/internal/core"
 	"swvec/internal/figures"
 	"swvec/internal/isa"
 	"swvec/internal/perfmodel"
+	"swvec/internal/sched"
 	"swvec/internal/seqio"
 	"swvec/internal/submat"
 	"swvec/internal/vek"
@@ -489,6 +496,110 @@ func BenchmarkSearchPipeline(b *testing.B) {
 				b.SetBytes(cells)
 			})
 		}
+	}
+}
+
+// startCannedShard serves the wire protocol on an ephemeral port with
+// a fixed per-shard hit list: the scatter benchmark measures the
+// router's fan-out, merge, and health-gating overhead, not the
+// alignment the real swserver would run behind the socket.
+func startCannedShard(b *testing.B, hits []cluster.Hit) string {
+	b.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				sc := bufio.NewScanner(c)
+				enc := json.NewEncoder(c)
+				for sc.Scan() {
+					var req cluster.Request
+					if json.Unmarshal(sc.Bytes(), &req) != nil {
+						return
+					}
+					resp := cluster.Response{ID: req.ID}
+					if req.Type != cluster.TypePing {
+						resp.Hits = hits
+					}
+					if enc.Encode(resp) != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	b.Cleanup(func() { ln.Close() })
+	return ln.Addr().String()
+}
+
+// BenchmarkSearchScatter measures the cluster routing layer's
+// per-query cost — dial, fan-out, per-replica admission, and global
+// top-K merge — over canned shard endpoints. The per-slice answers are
+// real top-K lists computed once by the local pipeline, so the merge
+// works on representative data; replicas=1 is the PR-8 single-copy
+// path and replicas=2 prices the replicated admission walk (the
+// prober stays off, as it does on the query path).
+func BenchmarkSearchScatter(b *testing.B) {
+	const shards, topK = 3, 5
+	db := GenerateDatabase(42, 512)
+	query := seqio.NewGenerator(7).Protein("q", 200).Residues
+	al, err := New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	parts := cluster.NewShardMap(shards).Partition(db)
+	canned := make([][]cluster.Hit, shards)
+	for s, part := range parts {
+		res, err := al.Search(query, part)
+		if err != nil {
+			b.Fatal(err)
+		}
+		top := sched.TopK(res.Hits, topK)
+		hits := make([]cluster.Hit, len(top))
+		for i, h := range top {
+			hits[i] = cluster.Hit{SeqID: part[h.SeqIndex].ID, Score: h.Score}
+		}
+		canned[s] = hits
+	}
+	for _, replicas := range []int{1, 2} {
+		b.Run(fmt.Sprintf("shards=%d/replicas=%d", shards, replicas), func(b *testing.B) {
+			groups := make([][]string, shards)
+			for s := 0; s < shards; s++ {
+				for r := 0; r < replicas; r++ {
+					groups[s] = append(groups[s], startCannedShard(b, canned[s]))
+				}
+			}
+			pool := cluster.NewReplicatedPool(groups, cluster.NewIndex(db), cluster.Policy{
+				Timeout:         5 * time.Second,
+				Retries:         1,
+				RetryBase:       time.Millisecond,
+				RetryMax:        5 * time.Millisecond,
+				BreakerFailures: 3,
+				BreakerCooldown: 100 * time.Millisecond,
+			})
+			req := cluster.Request{ID: "bench", Residues: string(query), Top: topK}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				hits, rep, err := pool.Scatter(context.Background(), req)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Partial() {
+					b.Fatalf("scatter went partial: %+v", rep)
+				}
+				if len(hits) != topK {
+					b.Fatalf("got %d hits, want %d", len(hits), topK)
+				}
+			}
+		})
 	}
 }
 

@@ -69,18 +69,31 @@ func e2eExpectations(t *testing.T, al *swvec.Aligner, db []swvec.Sequence, query
 
 // TestClusterE2E is the cluster chaos gate: build swserver, spawn a
 // real 3-shard fleet over loopback, front it with an in-process
-// router, and drive concurrent queries while one shard is SIGKILLed
-// mid-search. Every response must be bit-identical to a single-node
-// search — of the whole database while the fleet is healthy, of the
-// surviving shards' slices once it is not — and the dead shard must be
-// reported, not papered over. leakcheck holds throughout.
+// router, and drive concurrent queries while a shard process is
+// SIGKILLed mid-search.
+//
+// With -replicas 1 (the replicas=1 subtest) the PR-8 contract holds
+// unchanged: every response is bit-identical to a single-node search —
+// of the whole database while the fleet is healthy, of the surviving
+// shards' slices once it is not — and the dead shard is reported, not
+// papered over. With two replicas per slice (replicas=2), killing a
+// *primary* must not cost completeness at all: every response stays
+// partial=false and bit-identical to the full single-node search,
+// served through failover. leakcheck holds throughout.
 func TestClusterE2E(t *testing.T) {
 	if testing.Short() {
 		t.Skip("e2e spawns real shard processes; skipped in -short")
 	}
+	bin := buildSwserver(t)
+	t.Run("replicas=1", func(t *testing.T) { clusterE2ESingle(t, bin) })
+	t.Run("replicas=2", func(t *testing.T) { clusterE2EReplicated(t, bin) })
+}
+
+// clusterE2ESingle is the pre-replication chaos gate, preserved
+// verbatim: one process per shard, a SIGKILL degrades to partial.
+func clusterE2ESingle(t *testing.T, bin string) {
 	leakcheck.Check(t)
 
-	bin := buildSwserver(t)
 	procs, err := cluster.SpawnShards(cluster.SpawnOptions{
 		Bin:    bin,
 		Shards: 3,
@@ -231,6 +244,189 @@ func TestClusterE2E(t *testing.T) {
 		}
 		if err := p.Stop(); err != nil {
 			t.Errorf("shard %d did not exit cleanly: %v", i, err)
+		}
+	}
+}
+
+// clusterE2EReplicated is the replication headline: 3 shards x 2
+// replicas, SIGKILL the *primary* of one shard mid-search, and every
+// concurrent response must still be complete (partial=false) and
+// bit-identical to a single-node search of the whole database — the
+// death degraded latency, not coverage.
+func clusterE2EReplicated(t *testing.T, bin string) {
+	leakcheck.Check(t)
+
+	procs, err := cluster.SpawnShards(cluster.SpawnOptions{
+		Bin:       bin,
+		Shards:    3,
+		Replicas:  2,
+		GenDB:     e2eDBSize,
+		ExtraArgs: []string{"-batch", "1", "-window", "2ms"},
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, p := range procs {
+			p.Kill()
+		}
+	}()
+
+	db := swvec.GenerateDatabase(42, e2eDBSize)
+	al, err := swvec.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := make([]string, len(procs))
+	for i, p := range procs {
+		addrs[i] = p.Addr
+	}
+	groups, err := cluster.GroupReplicas(addrs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := cluster.Policy{
+		Timeout:         10 * time.Second,
+		Retries:         2,
+		RetryBase:       5 * time.Millisecond,
+		RetryMax:        50 * time.Millisecond,
+		BreakerFailures: 2,
+		BreakerCooldown: 250 * time.Millisecond,
+		ProbeInterval:   25 * time.Millisecond,
+		ProbeTimeout:    2 * time.Second,
+	}
+	pool := cluster.NewReplicatedPool(groups, cluster.NewIndex(db), pol)
+	pool.StartProber()
+	defer pool.StopProber()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := newRouter(pool, al, ln, routerConfig{}, t.Logf)
+	go r.serve()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		r.Shutdown(ctx)
+	}()
+
+	const top = 7
+	const deadShard = 1
+	query := swvec.GenerateQueries(42)[0].Residues
+	wantFull, _ := e2eExpectations(t, al, db, query, top, deadShard)
+
+	// The victim is the *primary* of deadShard under the restart-stable
+	// failover order — the process every query for that slice hits
+	// first while healthy.
+	var victim *cluster.Proc
+	for _, p := range procs {
+		if p.Addr == groups[deadShard][0] {
+			victim = p
+		}
+	}
+	if victim == nil {
+		t.Fatalf("no spawned process serves primary address %s", groups[deadShard][0])
+	}
+	if victim.Shard != deadShard {
+		t.Fatalf("primary address maps to shard %d, want %d", victim.Shard, deadShard)
+	}
+
+	healthy := queryRouter(t, ln.Addr().String(), cluster.Request{ID: "warm", Residues: string(query), Top: top})
+	if healthy.Error != "" || healthy.Partial {
+		t.Fatalf("healthy cluster answered %+v", healthy)
+	}
+	if !hitsEqual(healthy.Hits, wantFull) {
+		t.Fatalf("healthy merge differs from single-node search\n got: %v\nwant: %v", healthy.Hits, wantFull)
+	}
+
+	type outcome struct {
+		resp routerResponse
+		err  error
+	}
+	const clients = 4
+	const perClient = 25
+	results := make(chan outcome, clients*perClient)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", ln.Addr().String())
+			if err != nil {
+				results <- outcome{err: err}
+				return
+			}
+			defer conn.Close()
+			conn.SetDeadline(time.Now().Add(60 * time.Second))
+			enc := json.NewEncoder(conn)
+			dec := json.NewDecoder(bufio.NewReader(conn))
+			for i := 0; i < perClient; i++ {
+				req := cluster.Request{
+					ID: fmt.Sprintf("c%d-%d", c, i), Residues: string(query), Top: top,
+				}
+				var resp routerResponse
+				err := enc.Encode(req)
+				if err == nil {
+					err = dec.Decode(&resp)
+				}
+				results <- outcome{resp: resp, err: err}
+				if err != nil {
+					return
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}(c)
+	}
+
+	time.Sleep(50 * time.Millisecond) // let some healthy responses through
+	victim.Kill()
+	wg.Wait()
+	close(results)
+
+	var n, failedOver int
+	for out := range results {
+		if out.err != nil {
+			t.Fatalf("client error: %v", out.err)
+		}
+		resp := out.resp
+		if resp.Error != "" {
+			t.Fatalf("query %s failed: %s (%s)", resp.ID, resp.Error, resp.Code)
+		}
+		// The replication contract: a single replica death never costs
+		// completeness — zero partial responses, every merge identical
+		// to the single-node search of the WHOLE database.
+		if resp.Partial {
+			t.Fatalf("response %s partial with a replica available: %+v", resp.ID, resp.Shards)
+		}
+		if !hitsEqual(resp.Hits, wantFull) {
+			t.Fatalf("response %s differs from single-node search\n got: %v\nwant: %v", resp.ID, resp.Hits, wantFull)
+		}
+		if resp.Shards != nil && len(resp.Shards.Attempts[fmt.Sprint(deadShard)]) > 0 {
+			failedOver++
+		}
+		n++
+	}
+	if n != clients*perClient {
+		t.Fatalf("got %d responses, want %d", n, clients*perClient)
+	}
+	if failedOver == 0 {
+		t.Fatal("no response recorded a failover off the killed primary")
+	}
+	met := pool.Metrics().Shard(deadShard)
+	if met.Failovers.Load() == 0 {
+		t.Fatalf("failover metric = 0 after killing the primary")
+	}
+	t.Logf("e2e: %d complete responses, %d served through failover, all bit-identical to single-node search", n, failedOver)
+
+	// Surviving processes shut down cleanly on SIGTERM; the victim has
+	// already been reaped.
+	for _, p := range procs {
+		if p == victim {
+			continue
+		}
+		if err := p.Stop(); err != nil {
+			t.Errorf("shard %d replica %d did not exit cleanly: %v", p.Shard, p.Replica, err)
 		}
 	}
 }

@@ -46,6 +46,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -60,16 +61,19 @@ func main() {
 		connect   = flag.String("connect", "", "connect to this address (client mode)")
 		dbPath    = flag.String("db", "", "database FASTA (router mode; must match the shards')")
 		genDB     = flag.Int("gen-db", 0, "use the synthetic database of this size instead of -db")
-		shards    = flag.String("shards", "", "comma-separated shard addresses to target")
+		shards    = flag.String("shards", "", "comma-separated shard addresses to target (replica-major with -replicas)")
 		spawn     = flag.Int("spawn", 0, "spawn this many local swserver shard processes instead of -shards")
+		replicas  = flag.Int("replicas", 1, "replicas per shard slice (multiplies -spawn procs; groups -shards addresses)")
 		bin       = flag.String("swserver-bin", "swserver", "swserver binary for -spawn")
 		shardArgs = flag.String("shard-args", "", "extra space-separated flags for spawned shards")
 
 		shardTimeout = flag.Duration("shard-timeout", 10*time.Second, "per-attempt shard deadline")
 		hedgeAfter   = flag.Duration("hedge-after", 150*time.Millisecond, "hedge a shard unanswered after this delay (0 disables)")
-		retries      = flag.Int("retries", 2, "retries per shard on transient errors")
-		brkFails     = flag.Int("breaker-failures", 3, "consecutive shard failures that quarantine it")
-		brkCool      = flag.Duration("breaker-cooldown", 5*time.Second, "shard quarantine duration before a probe")
+		retries      = flag.Int("retries", 2, "retries per replica on transient errors before failing over")
+		brkFails     = flag.Int("breaker-failures", 3, "consecutive replica failures that quarantine it")
+		brkCool      = flag.Duration("breaker-cooldown", 5*time.Second, "replica quarantine duration before a probe")
+		probeEvery   = flag.Duration("probe-interval", time.Second, "health-ping period per replica (replicas > 1)")
+		probeTimeout = flag.Duration("probe-timeout", 2*time.Second, "per-ping deadline for the health prober")
 
 		maxConns    = flag.Int("max-conns", 256, "maximum concurrent client connections")
 		maxInflight = flag.Int("max-inflight", 64, "maximum concurrent scatters")
@@ -88,7 +92,8 @@ func main() {
 	case *listen != "":
 		runRouter(routerSetup{
 			listen: *listen, dbPath: *dbPath, genDB: *genDB,
-			shards: *shards, spawn: *spawn, bin: *bin, shardArgs: *shardArgs,
+			shards: *shards, spawn: *spawn, replicas: *replicas,
+			bin: *bin, shardArgs: *shardArgs,
 			admin: *admin,
 			pol: cluster.Policy{
 				Timeout:         *shardTimeout,
@@ -96,6 +101,8 @@ func main() {
 				Retries:         *retries,
 				BreakerFailures: *brkFails,
 				BreakerCooldown: *brkCool,
+				ProbeInterval:   *probeEvery,
+				ProbeTimeout:    *probeTimeout,
 			},
 			cfg: routerConfig{
 				maxConns:    *maxConns,
@@ -120,6 +127,7 @@ type routerSetup struct {
 	genDB     int
 	shards    string
 	spawn     int
+	replicas  int
 	bin       string
 	shardArgs string
 	admin     string
@@ -156,17 +164,21 @@ func loadDB(dbPath string, genDB int) []swvec.Sequence {
 
 func runRouter(s routerSetup) {
 	db := loadDB(s.dbPath, s.genDB)
+	if s.replicas < 1 {
+		fatal("-replicas must be at least 1, got %d", s.replicas)
+	}
 
 	var addrs []string
 	var procs []*cluster.Proc
 	switch {
 	case s.spawn > 0:
 		opt := cluster.SpawnOptions{
-			Bin:    s.bin,
-			Shards: s.spawn,
-			GenDB:  s.genDB,
-			DBPath: s.dbPath,
-			Logf:   log.Printf,
+			Bin:      s.bin,
+			Shards:   s.spawn,
+			Replicas: s.replicas,
+			GenDB:    s.genDB,
+			DBPath:   s.dbPath,
+			Logf:     log.Printf,
 		}
 		if s.shardArgs != "" {
 			opt.ExtraArgs = strings.Fields(s.shardArgs)
@@ -190,6 +202,14 @@ func runRouter(s routerSetup) {
 		fatal("router mode needs -shards or -spawn")
 	}
 
+	// Group the flat (replica-major) address list into per-shard
+	// replica sets, ordered by the restart-stable failover priority.
+	groups, err := cluster.GroupReplicas(addrs, s.replicas)
+	if err != nil {
+		fatal("%v", err)
+	}
+	nshards := len(groups)
+
 	// The validation aligner mirrors the shards' default alphabet so
 	// admission rejects exactly what the shards would reject.
 	al, err := swvec.New()
@@ -197,14 +217,21 @@ func runRouter(s routerSetup) {
 		fatal("%v", err)
 	}
 
-	smap := cluster.NewShardMap(len(addrs))
+	smap := cluster.NewShardMap(nshards)
 	profile := smap.Profile(db)
 	for _, sp := range profile {
-		log.Printf("level=info event=shard_profile shard=%d addr=%s seqs=%d residues=%d len_min=%d len_median=%d len_max=%d",
-			sp.Shard, addrs[sp.Shard], sp.Sequences, sp.Residues, sp.MinLen, sp.MedianLen, sp.MaxLen)
+		log.Printf("level=info event=shard_profile shard=%d replicas=%q seqs=%d residues=%d len_min=%d len_median=%d len_max=%d",
+			sp.Shard, strings.Join(groups[sp.Shard], ","), sp.Sequences, sp.Residues, sp.MinLen, sp.MedianLen, sp.MaxLen)
 	}
 
-	pool := cluster.NewPool(addrs, cluster.NewIndex(db), s.pol)
+	pool := cluster.NewReplicatedPool(groups, cluster.NewIndex(db), s.pol)
+	if s.replicas > 1 {
+		// With one replica there is nowhere to fail over, so admission
+		// keeps the breaker-driven probing and the prober stays off —
+		// byte-for-byte the pre-replication behavior.
+		pool.StartProber()
+		defer pool.StopProber()
+	}
 	if s.admin != "" {
 		startAdmin(s.admin, pool, profile, log.Printf)
 	}
@@ -214,8 +241,8 @@ func runRouter(s routerSetup) {
 		fatal("%v", err)
 	}
 	rt := newRouter(pool, al, ln, s.cfg, log.Printf)
-	log.Printf("level=info event=listen addr=%s shards=%d db_seqs=%d hedge_after=%s retries=%d",
-		ln.Addr(), len(addrs), len(db), s.pol.HedgeAfter, s.pol.Retries)
+	log.Printf("level=info event=listen addr=%s shards=%d replicas=%d db_seqs=%d hedge_after=%s retries=%d",
+		ln.Addr(), nshards, s.replicas, len(db), s.pol.HedgeAfter, s.pol.Retries)
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
@@ -240,15 +267,22 @@ func runRouter(s routerSetup) {
 	log.Printf("level=info event=exit scatters=%d partial=%d", snap.Scatters, snap.Partial)
 }
 
-// startAdmin serves /debug/vars — including the per-shard
-// "swvec.cluster" routing counters and the "swvec.cluster.profile"
-// shard map — and pprof on the opt-in admin address.
+// startAdmin serves /debug/vars — including the per-shard and
+// per-replica "swvec.cluster" routing counters and the
+// "swvec.cluster.profile" shard map — plus a /debug/cluster JSON view
+// of the same snapshot and pprof, on the opt-in admin address.
 func startAdmin(addr string, pool *cluster.Pool, profile []cluster.ShardProfile, logf func(string, ...any)) {
 	swvec.PublishMetrics()
 	pool.Metrics().Publish()
 	expvar.Publish("swvec.cluster.profile", expvar.Func(func() any { return profile }))
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/cluster", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(pool.Metrics().Snapshot())
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -336,11 +370,30 @@ func runClient(addr, queryPath string, top int, timeout time.Duration) int {
 		for rank, h := range resp.Hits {
 			fmt.Printf("  %2d. score %5d  %s\n", rank+1, h.Score, h.SeqID)
 		}
+		printAttempts(resp)
 		if resp.Partial {
 			exit = 1
 		}
 	}
 	return exit
+}
+
+// printAttempts renders the per-replica attempt causes of shards that
+// did not answer from their primary on the first try.
+func printAttempts(resp routerResponse) {
+	if resp.Shards == nil || len(resp.Shards.Attempts) == 0 {
+		return
+	}
+	shards := make([]string, 0, len(resp.Shards.Attempts))
+	for s := range resp.Shards.Attempts {
+		shards = append(shards, s)
+	}
+	sort.Strings(shards)
+	for _, s := range shards {
+		for _, a := range resp.Shards.Attempts[s] {
+			fmt.Printf("  shard %s replica %d (%s): %s\n", s, a.Replica, a.Addr, a.Cause)
+		}
+	}
 }
 
 func partialNote(resp routerResponse) string {

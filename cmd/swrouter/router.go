@@ -237,6 +237,18 @@ func (r *router) serveConn(conn net.Conn) {
 			fail("", cluster.CodeBadRequest, "bad request: %v", err)
 			continue
 		}
+		if req.Type == cluster.TypePing {
+			// Liveness ping, answered before any admission gate — the
+			// router is pingable by the same contract as its shards, so
+			// a prober (or load balancer) in front of a router tier
+			// needs no special casing.
+			respond(routerResponse{Response: cluster.Response{ID: req.ID}})
+			continue
+		}
+		if req.Type != cluster.TypeSearch {
+			fail(req.ID, cluster.CodeBadRequest, "unknown request type %q", req.Type)
+			continue
+		}
 		if err := failpoint.Inject("swrouter/request"); err != nil {
 			fail(req.ID, cluster.CodeInternal, "%v", err)
 			continue

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -157,6 +158,29 @@ func startTestRouter(t *testing.T, db []swvec.Sequence, addrs []string, pol clus
 		t.Fatal(err)
 	}
 	pool := cluster.NewPool(addrs, cluster.NewIndex(db), pol)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := newRouter(pool, al, ln, cfg, t.Logf)
+	go r.serve()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		r.Shutdown(ctx)
+	})
+	return pool, ln.Addr().String()
+}
+
+// startTestRouterGroups is startTestRouter over explicit per-shard
+// replica groups, each already in failover order (rank 0 first).
+func startTestRouterGroups(t *testing.T, db []swvec.Sequence, groups [][]string, pol cluster.Policy, cfg routerConfig) (*cluster.Pool, string) {
+	t.Helper()
+	al, err := swvec.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := cluster.NewReplicatedPool(groups, cluster.NewIndex(db), pol)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -420,6 +444,134 @@ func TestRouterUnavailableWhenNoShardAnswers(t *testing.T) {
 	}
 	if !resp.Partial || resp.Shards == nil || len(resp.Shards.Skipped) != 2 {
 		t.Fatalf("shard report = %+v, want both shards skipped", resp.Shards)
+	}
+}
+
+// TestRouterFailoverToReplica: a shard whose primary is dead answers
+// from its secondary — the response is complete (not partial), the
+// shard is reported degraded, and the report's Attempts records why
+// the primary was passed over.
+func TestRouterFailoverToReplica(t *testing.T) {
+	leakcheck.Check(t)
+	secondary := cannedShard(t, []cluster.Hit{{SeqID: "A", Score: 10}})
+	other := cannedShard(t, []cluster.Hit{{SeqID: "C", Score: 9}})
+	pol := testPolicy()
+	pol.Retries = 0
+	pool, addr := startTestRouterGroups(t, testDB(), [][]string{
+		{deadAddr(t), secondary.Addr()},
+		{other.Addr(), other.Addr()},
+	}, pol, routerConfig{})
+
+	resp := queryRouter(t, addr, cluster.Request{ID: "q1", Residues: validQuery, Top: 4})
+	if resp.Error != "" || resp.Partial {
+		t.Fatalf("wanted a complete failover answer, got %+v", resp)
+	}
+	want := []cluster.Hit{{SeqID: "A", Score: 10}, {SeqID: "C", Score: 9}}
+	if !hitsEqual(resp.Hits, want) {
+		t.Fatalf("hits = %v, want %v", resp.Hits, want)
+	}
+	if resp.Shards == nil || !intsEqual(resp.Shards.Degraded, []int{0}) {
+		t.Fatalf("shard report = %+v, want Degraded=[0]", resp.Shards)
+	}
+	atts := resp.Shards.Attempts["0"]
+	if len(atts) != 1 || atts[0].Replica != 0 || atts[0].Cause == "" {
+		t.Fatalf("attempts = %+v, want one rank-0 failure with a cause", atts)
+	}
+	if got := pool.Metrics().Shard(0).Failovers.Load(); got != 1 {
+		t.Fatalf("shard failovers = %d, want 1", got)
+	}
+	if got := pool.Metrics().Replica(0, 0).Failovers.Load(); got != 1 {
+		t.Fatalf("replica 0/0 failovers = %d, want 1", got)
+	}
+}
+
+// TestRouterAllReplicasDownIsPartial: the old partial contract at the
+// replica level — a shard is skipped only when every replica fails,
+// and its cause summarizes the whole failover walk.
+func TestRouterAllReplicasDownIsPartial(t *testing.T) {
+	leakcheck.Check(t)
+	healthy := cannedShard(t, []cluster.Hit{{SeqID: "A", Score: 10}})
+	pol := testPolicy()
+	pol.Retries = 0
+	pool, addr := startTestRouterGroups(t, testDB(), [][]string{
+		{healthy.Addr(), healthy.Addr()},
+		{deadAddr(t), deadAddr(t)},
+	}, pol, routerConfig{})
+
+	resp := queryRouter(t, addr, cluster.Request{ID: "q1", Residues: validQuery, Top: 4})
+	if resp.Error != "" {
+		t.Fatalf("wanted a partial result, got error %q", resp.Error)
+	}
+	if !resp.Partial || resp.Shards == nil || !intsEqual(resp.Shards.Skipped, []int{1}) {
+		t.Fatalf("shard report = %+v, want partial with Skipped=[1]", resp.Shards)
+	}
+	if len(resp.Shards.Attempts["1"]) != 2 {
+		t.Fatalf("attempts = %+v, want both replicas recorded", resp.Shards.Attempts["1"])
+	}
+	if cause := resp.Shards.Causes["1"]; !strings.HasPrefix(cause, "all 2 replicas failed") {
+		t.Fatalf("skip cause = %q, want the all-replicas summary", cause)
+	}
+	if got := pool.Metrics().Partial.Load(); got != 1 {
+		t.Fatalf("partial metric = %d, want 1", got)
+	}
+}
+
+// TestRouterHedgeRacesReplicas: with replicas, a hedge is not a second
+// request to the same slow process — it races the next healthy sibling
+// replica, and the sibling's answer wins.
+func TestRouterHedgeRacesReplicas(t *testing.T) {
+	leakcheck.Check(t)
+	slow := startStubShard(t, func(req cluster.Request, conn int64) (cluster.Response, bool) {
+		time.Sleep(400 * time.Millisecond)
+		return cluster.Response{Hits: []cluster.Hit{{SeqID: "A", Score: 10}}}, true
+	})
+	fast := cannedShard(t, []cluster.Hit{{SeqID: "A", Score: 10}})
+	pol := testPolicy()
+	pol.HedgeAfter = 25 * time.Millisecond
+	pool, addr := startTestRouterGroups(t, testDB(), [][]string{
+		{slow.Addr(), fast.Addr()},
+	}, pol, routerConfig{})
+
+	resp := queryRouter(t, addr, cluster.Request{ID: "q1", Residues: validQuery, Top: 1})
+	if resp.Error != "" || resp.Partial {
+		t.Fatalf("unexpected error/partial: %+v", resp)
+	}
+	if !hitsEqual(resp.Hits, []cluster.Hit{{SeqID: "A", Score: 10}}) {
+		t.Fatalf("hits = %v", resp.Hits)
+	}
+	if resp.Shards == nil || !intsEqual(resp.Shards.Degraded, []int{0}) {
+		t.Fatalf("shard report = %+v, want Degraded=[0]", resp.Shards)
+	}
+	if fast.accepts.Load() < 1 {
+		t.Fatal("hedge never reached the sibling replica")
+	}
+	met := pool.Metrics().Shard(0)
+	if met.Hedges.Load() < 1 || met.HedgeWins.Load() < 1 {
+		t.Fatalf("hedges=%d hedgeWins=%d, want both >= 1", met.Hedges.Load(), met.HedgeWins.Load())
+	}
+	if got := pool.Metrics().Replica(0, 1).Requests.Load(); got < 1 {
+		t.Fatalf("sibling replica saw %d requests, want >= 1", got)
+	}
+}
+
+// TestRouterPing: the router answers the liveness ping by the same
+// contract as its shards — echoed ID, no admission, no scatter.
+func TestRouterPing(t *testing.T) {
+	leakcheck.Check(t)
+	s0 := cannedShard(t, []cluster.Hit{{SeqID: "A", Score: 10}})
+	pool, addr := startTestRouter(t, testDB(), []string{s0.Addr()}, testPolicy(), routerConfig{})
+
+	resp := queryRouter(t, addr, cluster.Request{ID: "ping-7", Type: cluster.TypePing})
+	if resp.ID != "ping-7" || resp.Error != "" {
+		t.Fatalf("ping answered %+v, want echoed ID and no error", resp.Response)
+	}
+	if got := pool.Metrics().Scatters.Load(); got != 0 {
+		t.Fatalf("ping scattered %d times, want 0", got)
+	}
+
+	bad := queryRouter(t, addr, cluster.Request{ID: "odd", Type: "no-such-type"})
+	if bad.Code != cluster.CodeBadRequest {
+		t.Fatalf("unknown type answered code %q, want %q", bad.Code, cluster.CodeBadRequest)
 	}
 }
 

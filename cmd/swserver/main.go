@@ -511,6 +511,7 @@ func (s *server) serveConn(conn net.Conn) {
 	var wg sync.WaitGroup
 	respond := func(resp response) {
 		mu.Lock()
+		conn.SetWriteDeadline(time.Now().Add(30 * time.Second))
 		enc.Encode(resp)
 		mu.Unlock()
 	}
@@ -533,6 +534,19 @@ func (s *server) serveConn(conn net.Conn) {
 		var req request
 		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
 			respond(response{Error: fmt.Sprintf("bad request: %v", err), Code: codeBadRequest})
+			continue
+		}
+		if req.Type == cluster.TypePing {
+			// Liveness ping: echo the ID before any admission gate —
+			// no validation, no breaker, no queue slot — so the health
+			// prober measures "is this process up and accepting", not
+			// how deep its compute queue runs. The write deadline in
+			// respond bounds the reply like every other response.
+			respond(response{ID: req.ID})
+			continue
+		}
+		if req.Type != cluster.TypeSearch {
+			respond(response{ID: req.ID, Error: fmt.Sprintf("unknown request type %q", req.Type), Code: codeBadRequest})
 			continue
 		}
 		if err := failpoint.Inject("swserver/request"); err != nil {

@@ -88,6 +88,44 @@ func TestServerEndToEnd(t *testing.T) {
 	}
 }
 
+// TestServerPing covers the health-probe round-trip: a TypePing
+// request echoes its ID with no error, bypasses admission entirely
+// (no residues, no validation — an empty search would be rejected),
+// and an unknown type is refused as a bad request.
+func TestServerPing(t *testing.T) {
+	db := swvec.GenerateDatabase(44, 8)
+	_, addr := startTestServer(t, db, 2, 20*time.Millisecond)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	enc := json.NewEncoder(conn)
+	dec := json.NewDecoder(bufio.NewReader(conn))
+
+	if err := enc.Encode(request{ID: "ping-1", Type: "ping"}); err != nil {
+		t.Fatal(err)
+	}
+	var resp response
+	if err := dec.Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID != "ping-1" || resp.Error != "" {
+		t.Fatalf("ping answered %+v, want echoed ID and no error", resp)
+	}
+
+	if err := enc.Encode(request{ID: "odd", Type: "no-such-type"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Code != codeBadRequest {
+		t.Fatalf("unknown type answered code %q, want %q", resp.Code, codeBadRequest)
+	}
+}
+
 func TestServerRejectsBadRequest(t *testing.T) {
 	db := swvec.GenerateDatabase(43, 8)
 	_, addr := startTestServer(t, db, 2, 20*time.Millisecond)

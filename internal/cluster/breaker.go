@@ -43,6 +43,18 @@ func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
 	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
 }
 
+// Closed reports whether the breaker is in its normal closed state —
+// no failure streak has tripped it and no reintegration probe is
+// pending. Unlike Allow it never transitions state, so callers that
+// must not consume the half-open probe slot (replica failover and
+// hedge-target selection, which leave reintegration to the health
+// prober) can check health without racing the prober for it.
+func (b *Breaker) Closed() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state == breakerClosed
+}
+
 // Rejecting is the cheap admission-side check: true while the breaker
 // is open and still cooling down, or half-open with the probe already
 // taken. Requests refused here never reach the guarded call.

@@ -16,7 +16,8 @@ type Metrics struct {
 	Scatters atomic.Int64
 	Partial  atomic.Int64
 
-	shards []ShardMetrics
+	shards   []ShardMetrics
+	replicas [][]ReplicaMetrics // [shard][failover rank]
 }
 
 // ShardMetrics is one shard's routing-policy tally.
@@ -41,28 +42,102 @@ type ShardMetrics struct {
 	// answer from the shard at all.
 	Degraded atomic.Int64
 	Skipped  atomic.Int64
+	// Failovers counts queries the shard answered only after at least
+	// one of its replicas had already failed the query.
+	Failovers atomic.Int64
 }
 
-// NewMetrics returns a Metrics block for n shards.
-func NewMetrics(n int) *Metrics {
-	return &Metrics{shards: make([]ShardMetrics, n)}
+// Replica health states, reported as the replica_state gauge.
+const (
+	ReplicaHealthy = iota
+	ReplicaDown
+)
+
+// ReplicaMetrics is one replica's tally within its shard.
+type ReplicaMetrics struct {
+	// Requests counts attempts sent to this replica (retries and hedges
+	// included); Errors counts attempts that failed.
+	Requests atomic.Int64
+	Errors   atomic.Int64
+	// Failovers counts queries that abandoned this replica for a
+	// sibling after its attempts were exhausted.
+	Failovers atomic.Int64
+	// Probes counts health pings sent to the replica; ProbeFailures
+	// counts the ones that failed.
+	Probes        atomic.Int64
+	ProbeFailures atomic.Int64
+	// State is the current health gauge (ReplicaHealthy/ReplicaDown);
+	// StateChanges counts its transitions.
+	State        atomic.Int64
+	StateChanges atomic.Int64
+}
+
+// SetState records a health transition, counting only real changes so
+// a steady replica probed every second does not inflate the counter.
+func (r *ReplicaMetrics) SetState(s int64) {
+	if r.State.Swap(s) != s {
+		r.StateChanges.Add(1)
+	}
+}
+
+// NewMetrics returns a Metrics block for n single-replica shards.
+func NewMetrics(n int) *Metrics { return NewReplicatedMetrics(n, 1) }
+
+// NewReplicatedMetrics returns a Metrics block for n shards of r
+// replicas each.
+func NewReplicatedMetrics(n, r int) *Metrics {
+	m := &Metrics{shards: make([]ShardMetrics, n), replicas: make([][]ReplicaMetrics, n)}
+	for i := range m.replicas {
+		m.replicas[i] = make([]ReplicaMetrics, r)
+	}
+	return m
 }
 
 // Shard returns shard i's counter block.
 func (m *Metrics) Shard(i int) *ShardMetrics { return &m.shards[i] }
 
+// Replica returns the counter block for shard i's replica of the given
+// failover rank.
+func (m *Metrics) Replica(i, rank int) *ReplicaMetrics { return &m.replicas[i][rank] }
+
 // ShardSnapshot is an immutable copy of one shard's counters; JSON
 // tags match the /debug/vars output.
 type ShardSnapshot struct {
-	Requests       int64 `json:"requests"`
-	Errors         int64 `json:"errors"`
-	Retries        int64 `json:"retries"`
-	Hedges         int64 `json:"hedges"`
-	HedgeWins      int64 `json:"hedge_wins"`
-	BreakerTrips   int64 `json:"breaker_trips"`
-	BreakerSkipped int64 `json:"breaker_skipped"`
-	Degraded       int64 `json:"degraded"`
-	Skipped        int64 `json:"skipped"`
+	Requests       int64             `json:"requests"`
+	Errors         int64             `json:"errors"`
+	Retries        int64             `json:"retries"`
+	Hedges         int64             `json:"hedges"`
+	HedgeWins      int64             `json:"hedge_wins"`
+	BreakerTrips   int64             `json:"breaker_trips"`
+	BreakerSkipped int64             `json:"breaker_skipped"`
+	Degraded       int64             `json:"degraded"`
+	Skipped        int64             `json:"skipped"`
+	Failovers      int64             `json:"failovers"`
+	Replicas       []ReplicaSnapshot `json:"replicas,omitempty"`
+}
+
+// ReplicaSnapshot is an immutable copy of one replica's counters.
+// Replicas are listed in failover order (rank 0 is the primary).
+type ReplicaSnapshot struct {
+	Rank             int    `json:"rank"`
+	State            string `json:"state"`
+	Requests         int64  `json:"requests"`
+	Errors           int64  `json:"errors"`
+	Failovers        int64  `json:"failovers"`
+	Probes           int64  `json:"probes"`
+	ProbeFailures    int64  `json:"probe_failures"`
+	StateTransitions int64  `json:"state_transitions"`
+}
+
+// replicaStateName renders the replica_state gauge for humans.
+func replicaStateName(s int64) string {
+	switch s {
+	case ReplicaHealthy:
+		return "healthy"
+	case ReplicaDown:
+		return "down"
+	}
+	return "unknown"
 }
 
 // Snapshot is a point-in-time copy of the whole Metrics block.
@@ -83,7 +158,7 @@ func (m *Metrics) Snapshot() Snapshot {
 	}
 	for i := range m.shards {
 		sh := &m.shards[i]
-		s.Shards[i] = ShardSnapshot{
+		snap := ShardSnapshot{
 			Requests:       sh.Requests.Load(),
 			Errors:         sh.Errors.Load(),
 			Retries:        sh.Retries.Load(),
@@ -93,7 +168,26 @@ func (m *Metrics) Snapshot() Snapshot {
 			BreakerSkipped: sh.BreakerSkipped.Load(),
 			Degraded:       sh.Degraded.Load(),
 			Skipped:        sh.Skipped.Load(),
+			Failovers:      sh.Failovers.Load(),
 		}
+		// Single-replica pools omit the replica breakdown: it would
+		// duplicate the shard row and churn every /debug/vars scrape.
+		if i < len(m.replicas) && len(m.replicas[i]) > 1 {
+			for rank := range m.replicas[i] {
+				r := &m.replicas[i][rank]
+				snap.Replicas = append(snap.Replicas, ReplicaSnapshot{
+					Rank:             rank,
+					State:            replicaStateName(r.State.Load()),
+					Requests:         r.Requests.Load(),
+					Errors:           r.Errors.Load(),
+					Failovers:        r.Failovers.Load(),
+					Probes:           r.Probes.Load(),
+					ProbeFailures:    r.ProbeFailures.Load(),
+					StateTransitions: r.StateChanges.Load(),
+				})
+			}
+		}
+		s.Shards[i] = snap
 	}
 	return s
 }

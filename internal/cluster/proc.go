@@ -13,10 +13,13 @@ import (
 
 // Proc is one locally spawned shard server process.
 type Proc struct {
-	// Shard is the shard index the process serves; Addr is the
-	// loopback address it announced.
-	Shard int
-	Addr  string
+	// Shard is the shard index the process serves; Replica is which of
+	// the shard's replicas this process is (0-based, in spawn order —
+	// not failover rank, which ShardMap.ReplicaOrder assigns); Addr is
+	// the loopback address it announced.
+	Shard   int
+	Replica int
+	Addr    string
 
 	cmd      *exec.Cmd
 	scanDone chan struct{}
@@ -31,6 +34,12 @@ type SpawnOptions struct {
 	// Shards is the cluster size; each process gets -shard-index i
 	// -shard-count Shards and loads only its consistent-hash slice.
 	Shards int
+	// Replicas spawns this many identical processes per shard (default
+	// 1). Replicas of a shard differ only in port; they load the same
+	// slice. Processes come back replica-major — shards 0..S-1 of
+	// replica 0, then of replica 1, ... — matching the address layout
+	// GroupReplicas expects.
+	Replicas int
 	// GenDB serves the deterministic synthetic database of this size
 	// (every process regenerates it from the fixed seed and slices it
 	// locally, so no database files change hands); DBPath serves a
@@ -62,39 +71,48 @@ func SpawnShards(opt SpawnOptions) ([]*Proc, error) {
 	if (opt.GenDB > 0) == (opt.DBPath != "") {
 		return nil, fmt.Errorf("cluster: spawn needs exactly one of GenDB and DBPath")
 	}
+	reps := opt.Replicas
+	if reps == 0 {
+		reps = 1
+	}
+	if reps < 1 {
+		return nil, fmt.Errorf("cluster: spawn needs at least 1 replica, got %d", reps)
+	}
 	ready := opt.ReadyTimeout
 	if ready <= 0 {
 		ready = 30 * time.Second
 	}
-	procs := make([]*Proc, 0, opt.Shards)
+	procs := make([]*Proc, 0, opt.Shards*reps)
 	fail := func(err error) ([]*Proc, error) {
 		for _, p := range procs {
 			p.Kill()
 		}
 		return nil, err
 	}
-	for i := 0; i < opt.Shards; i++ {
-		args := []string{
-			"-listen", "127.0.0.1:0",
-			"-shard-index", strconv.Itoa(i),
-			"-shard-count", strconv.Itoa(opt.Shards),
+	for r := 0; r < reps; r++ {
+		for i := 0; i < opt.Shards; i++ {
+			args := []string{
+				"-listen", "127.0.0.1:0",
+				"-shard-index", strconv.Itoa(i),
+				"-shard-count", strconv.Itoa(opt.Shards),
+			}
+			if opt.GenDB > 0 {
+				args = append(args, "-gen-db", strconv.Itoa(opt.GenDB))
+			} else {
+				args = append(args, "-db", opt.DBPath)
+			}
+			args = append(args, opt.ExtraArgs...)
+			p, err := spawnOne(opt.Bin, i, r, args, ready, opt.Logf)
+			if err != nil {
+				return fail(fmt.Errorf("cluster: shard %d replica %d: %w", i, r, err))
+			}
+			procs = append(procs, p)
 		}
-		if opt.GenDB > 0 {
-			args = append(args, "-gen-db", strconv.Itoa(opt.GenDB))
-		} else {
-			args = append(args, "-db", opt.DBPath)
-		}
-		args = append(args, opt.ExtraArgs...)
-		p, err := spawnOne(opt.Bin, i, args, ready, opt.Logf)
-		if err != nil {
-			return fail(fmt.Errorf("cluster: shard %d: %w", i, err))
-		}
-		procs = append(procs, p)
 	}
 	return procs, nil
 }
 
-func spawnOne(bin string, shard int, args []string, ready time.Duration, logf func(string, ...any)) (*Proc, error) {
+func spawnOne(bin string, shard, replica int, args []string, ready time.Duration, logf func(string, ...any)) (*Proc, error) {
 	cmd := exec.Command(bin, args...)
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
@@ -103,7 +121,7 @@ func spawnOne(bin string, shard int, args []string, ready time.Duration, logf fu
 	if err := cmd.Start(); err != nil {
 		return nil, err
 	}
-	p := &Proc{Shard: shard, cmd: cmd, scanDone: make(chan struct{})}
+	p := &Proc{Shard: shard, Replica: replica, cmd: cmd, scanDone: make(chan struct{})}
 	addrCh := make(chan string, 1)
 	go func() {
 		defer close(p.scanDone)
@@ -117,7 +135,7 @@ func spawnOne(bin string, shard int, args []string, ready time.Duration, logf fu
 				}
 			}
 			if logf != nil {
-				logf("shard%d: %s", shard, line)
+				logf("shard%d.%d: %s", shard, replica, line)
 			}
 		}
 	}()

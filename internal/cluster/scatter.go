@@ -9,6 +9,8 @@ import (
 	"io"
 	"net"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"swvec/internal/failpoint"
@@ -16,28 +18,35 @@ import (
 
 // Policy bundles the per-shard routing knobs. The vocabulary is PR 5's
 // resilience machinery turned into routing policy: the breaker that
-// guarded swserver's compute path now quarantines a failing shard, the
-// bounded retry-with-backoff that healed transient kernel faults now
-// heals transient shard errors, and hedging bounds the tail a single
-// slow shard can impose on every merged response.
+// guarded swserver's compute path now quarantines a failing replica,
+// the bounded retry-with-backoff that healed transient kernel faults
+// now heals transient shard errors, and hedging bounds the tail a
+// single slow replica can impose on every merged response.
 type Policy struct {
 	// Timeout is the per-attempt shard deadline.
 	Timeout time.Duration
-	// HedgeAfter launches a speculative second request against a shard
-	// that has not answered within the delay; the first answer wins.
-	// 0 disables hedging.
+	// HedgeAfter launches a speculative second request if the first is
+	// still unanswered after the delay; the first answer wins. With
+	// replicas the hedge goes to the next healthy sibling replica (same
+	// slice, different process), falling back to re-asking the same
+	// replica when no sibling is healthy. 0 disables hedging.
 	HedgeAfter time.Duration
-	// Retries is how many times a transient shard failure is retried
-	// after the first attempt.
+	// Retries is how many times a transient failure is retried against
+	// the same replica after the first attempt, before failing over.
 	Retries int
 	// RetryBase/RetryMax bound the exponential backoff between
 	// retries.
 	RetryBase time.Duration
 	RetryMax  time.Duration
-	// BreakerFailures consecutive query failures quarantine the shard;
+	// BreakerFailures consecutive query failures quarantine a replica;
 	// BreakerCooldown is how long it stays quarantined before a probe.
 	BreakerFailures int
 	BreakerCooldown time.Duration
+	// ProbeInterval is the health prober's ping period and ProbeTimeout
+	// the per-ping deadline (StartProber). They only matter while a
+	// prober runs.
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
 }
 
 // withDefaults fills zero fields with production defaults.
@@ -57,17 +66,38 @@ func (p Policy) withDefaults() Policy {
 	if p.BreakerCooldown <= 0 {
 		p.BreakerCooldown = 5 * time.Second
 	}
+	if p.ProbeInterval <= 0 {
+		p.ProbeInterval = time.Second
+	}
+	if p.ProbeTimeout <= 0 {
+		p.ProbeTimeout = 2 * time.Second
+	}
 	return p
 }
 
-// Shard is one scatter target.
-type Shard struct {
-	ID   int
+// Replica is one process serving a shard's slice. Every replica of a
+// shard loads the identical consistent-hash slice, so their answers
+// are interchangeable — which is what makes failover and cross-replica
+// hedging sound: the merged result cannot depend on which replica
+// answered.
+type Replica struct {
+	Shard int
+	// Rank is the replica's failover priority within its shard; rank 0
+	// is the primary. Ranks follow ShardMap.ReplicaOrder, so they are
+	// stable across router restarts.
+	Rank int
 	Addr string
 	brk  *Breaker
 }
 
-// Pool scatters queries across a fixed set of shard servers and
+// Shard is one scatter target: the ordered replica set serving one
+// slice of the database.
+type Shard struct {
+	ID       int
+	Replicas []*Replica
+}
+
+// Pool scatters queries across a fixed set of shard replica groups and
 // gathers their top-K answers into one globally ordered result. It is
 // safe for concurrent use; every counter it keeps is atomic.
 type Pool struct {
@@ -75,19 +105,55 @@ type Pool struct {
 	index  *Index
 	pol    Policy
 	met    *Metrics
+
+	// Prober state (probe.go). proberOn switches query admission from
+	// breaker-driven probing (Allow) to prober-driven reintegration
+	// (Closed): while a prober runs, only its pings may take a
+	// half-open breaker's probe slot, so a flapping replica rejoins the
+	// rotation exclusively through health checks. probeMu guards the
+	// start/stop lifecycle; proberOn stays atomic for the admission
+	// fast path.
+	probeMu     sync.Mutex
+	proberOn    atomic.Bool
+	probeCancel context.CancelFunc
+	probeDone   chan struct{}
 }
 
-// NewPool builds a scatter pool over the shard addresses. index maps
+// NewPool builds a single-replica scatter pool over the shard
+// addresses: address i serves shard i, alone. index maps
 // shard-reported sequence IDs to global database order for the merge.
 func NewPool(addrs []string, index *Index, pol Policy) *Pool {
-	pol = pol.withDefaults()
-	p := &Pool{index: index, pol: pol, met: NewMetrics(len(addrs))}
+	groups := make([][]string, len(addrs))
 	for i, a := range addrs {
-		p.shards = append(p.shards, &Shard{
-			ID:   i,
-			Addr: a,
-			brk:  NewBreaker(pol.BreakerFailures, pol.BreakerCooldown),
-		})
+		groups[i] = []string{a}
+	}
+	return NewReplicatedPool(groups, index, pol)
+}
+
+// NewReplicatedPool builds a scatter pool over per-shard replica
+// groups, each listed in failover order (GroupReplicas produces this
+// layout). All groups must be the same size.
+func NewReplicatedPool(groups [][]string, index *Index, pol Policy) *Pool {
+	pol = pol.withDefaults()
+	if len(groups) == 0 {
+		panic("cluster: scatter pool needs at least 1 shard group")
+	}
+	reps := len(groups[0])
+	p := &Pool{index: index, pol: pol, met: NewReplicatedMetrics(len(groups), reps)}
+	for i, group := range groups {
+		if len(group) != reps {
+			panic(fmt.Sprintf("cluster: shard %d has %d replicas, shard 0 has %d", i, len(group), reps))
+		}
+		sh := &Shard{ID: i}
+		for rank, addr := range group {
+			sh.Replicas = append(sh.Replicas, &Replica{
+				Shard: i,
+				Rank:  rank,
+				Addr:  addr,
+				brk:   NewBreaker(pol.BreakerFailures, pol.BreakerCooldown),
+			})
+		}
+		p.shards = append(p.shards, sh)
 	}
 	return p
 }
@@ -105,18 +171,32 @@ func (p *Pool) Shards() []*Shard { return p.shards }
 type ShardReport struct {
 	// Total is the cluster's shard count.
 	Total int `json:"total"`
-	// OK lists shards that answered cleanly on the first attempt.
+	// OK lists shards whose primary answered cleanly on the first
+	// attempt.
 	OK []int `json:"ok"`
-	// Degraded lists shards that answered, but only after a retry or
-	// through a hedged request — their hits are merged, the latency
-	// or reliability budget was not.
+	// Degraded lists shards that answered, but only after a retry,
+	// through a hedged request, or from a non-primary replica — their
+	// hits are merged, the latency or reliability budget was not.
 	Degraded []int `json:"degraded"`
-	// Skipped lists shards that contributed nothing: quarantined by
-	// their breaker, or every attempt failed. Their slice of the
-	// database is missing from the merged hits.
+	// Skipped lists shards that contributed nothing: every replica was
+	// quarantined or failed. Their slice of the database is missing
+	// from the merged hits.
 	Skipped []int `json:"skipped"`
 	// Causes explains each skipped shard, keyed by shard ID.
 	Causes map[string]string `json:"causes,omitempty"`
+	// Attempts details every replica that failed or was passed over
+	// before the shard's verdict, keyed by shard ID. A shard that
+	// answered from its primary on the first try has no entry.
+	Attempts map[string][]ReplicaAttempt `json:"attempts,omitempty"`
+}
+
+// ReplicaAttempt records one replica's failure (or quarantine skip)
+// during a shard's failover walk.
+type ReplicaAttempt struct {
+	// Replica is the failover rank that was tried.
+	Replica int    `json:"replica"`
+	Addr    string `json:"addr"`
+	Cause   string `json:"cause"`
 }
 
 // Partial reports whether any shard's slice is missing from the
@@ -128,7 +208,8 @@ type shardOutcome struct {
 	shard    int
 	hits     []Hit
 	degraded bool
-	err      error // nil when the shard answered
+	attempts []ReplicaAttempt
+	err      error // nil when some replica answered
 }
 
 // Scatter fans req out to every shard, gathers under the routing
@@ -136,54 +217,35 @@ type shardOutcome struct {
 // report says which shards contributed; err is only non-nil for
 // protocol violations (a shard answering with sequences the index has
 // never seen), never for shard unavailability — that is what the
-// report's Skipped list is for.
+// report's Skipped list is for. A shard is skipped only when every one
+// of its replicas is quarantined or failed the query.
 func (p *Pool) Scatter(ctx context.Context, req Request) ([]Hit, ShardReport, error) {
 	p.met.Scatters.Add(1)
 	rep := ShardReport{Total: len(p.shards)}
 	results := make(chan shardOutcome, len(p.shards))
-	inflight := 0
 	for _, sh := range p.shards {
-		if sh.brk.Rejecting() {
-			// Quarantined: don't spend an attempt, don't feed the
-			// breaker — only probes (admitted by Allow below) decide
-			// recovery.
-			p.met.Shard(sh.ID).BreakerSkipped.Add(1)
-			p.met.Shard(sh.ID).Skipped.Add(1)
-			rep.Skipped = append(rep.Skipped, sh.ID)
-			p.cause(&rep, sh.ID, "quarantined: circuit breaker open")
-			continue
-		}
-		if !sh.brk.Allow() {
-			// Half-open with the probe already taken by a concurrent
-			// query: same as quarantined for this scatter.
-			p.met.Shard(sh.ID).BreakerSkipped.Add(1)
-			p.met.Shard(sh.ID).Skipped.Add(1)
-			rep.Skipped = append(rep.Skipped, sh.ID)
-			p.cause(&rep, sh.ID, "quarantined: breaker probe in flight")
-			continue
-		}
-		inflight++
 		go func(sh *Shard) {
-			hits, degraded, err := p.queryShard(ctx, sh, req)
-			results <- shardOutcome{shard: sh.ID, hits: hits, degraded: degraded, err: err}
+			hits, degraded, attempts, err := p.queryShard(ctx, sh, req)
+			results <- shardOutcome{shard: sh.ID, hits: hits, degraded: degraded, attempts: attempts, err: err}
 		}(sh)
 	}
 
-	perShard := make([][]Hit, 0, inflight)
-	for i := 0; i < inflight; i++ {
+	perShard := make([][]Hit, 0, len(p.shards))
+	for i := 0; i < len(p.shards); i++ {
 		out := <-results
-		sh := p.shards[out.shard]
 		met := p.met.Shard(out.shard)
-		if out.err != nil {
-			if sh.brk.OnFailure() {
-				met.BreakerTrips.Add(1)
+		if len(out.attempts) > 0 {
+			if rep.Attempts == nil {
+				rep.Attempts = make(map[string][]ReplicaAttempt)
 			}
+			rep.Attempts[fmt.Sprint(out.shard)] = out.attempts
+		}
+		if out.err != nil {
 			met.Skipped.Add(1)
 			rep.Skipped = append(rep.Skipped, out.shard)
-			p.cause(&rep, out.shard, out.err.Error())
+			p.cause(&rep, out.shard, skipCause(out.attempts, out.err))
 			continue
 		}
-		sh.brk.OnSuccess()
 		perShard = append(perShard, out.hits)
 		if out.degraded {
 			met.Degraded.Add(1)
@@ -210,6 +272,23 @@ func (p *Pool) Scatter(ctx context.Context, req Request) ([]Hit, ShardReport, er
 	return hits, rep, nil
 }
 
+// skipCause summarizes a skipped shard for the report. With a single
+// attempt the cause is that attempt's, verbatim — single-replica pools
+// keep the exact pre-replication vocabulary ("quarantined: circuit
+// breaker open", shard error strings). With several, the summary names
+// the count and quotes the last failure, and the per-replica detail
+// lives in the report's Attempts.
+func skipCause(attempts []ReplicaAttempt, err error) string {
+	if len(attempts) == 1 {
+		return attempts[0].Cause
+	}
+	if len(attempts) > 1 {
+		return fmt.Sprintf("all %d replicas failed; last: %s",
+			len(attempts), attempts[len(attempts)-1].Cause)
+	}
+	return err.Error()
+}
+
 func (p *Pool) cause(rep *ShardReport, shard int, msg string) {
 	if rep.Causes == nil {
 		rep.Causes = make(map[string]string)
@@ -217,11 +296,82 @@ func (p *Pool) cause(rep *ShardReport, shard int, msg string) {
 	rep.Causes[fmt.Sprint(shard)] = msg
 }
 
-// queryShard runs the full per-shard policy for one query: a hedged
+// queryShard walks the shard's replicas in failover order until one
+// answers: for each admitted replica it runs the full per-replica
+// policy (hedged attempt, then bounded backoff retries while the
+// failure stays transient), failing over to the next replica on
+// quarantine, permanent error, or retry-budget exhaustion. degraded
+// reports whether the answer needed a retry, a hedge, or a failover.
+// attempts lists every replica that was passed over or failed.
+func (p *Pool) queryShard(ctx context.Context, sh *Shard, req Request) (hits []Hit, degraded bool, attempts []ReplicaAttempt, err error) {
+	met := p.met.Shard(sh.ID)
+	for _, r := range sh.Replicas {
+		cause := p.admitCause(r)
+		if cause == "" {
+			hits, deg, qerr := p.queryReplica(ctx, sh, r, req)
+			if qerr == nil {
+				if len(attempts) > 0 {
+					met.Failovers.Add(1)
+					for _, a := range attempts {
+						p.met.Replica(sh.ID, a.Replica).Failovers.Add(1)
+					}
+				}
+				return hits, deg || len(attempts) > 0, attempts, nil
+			}
+			cause = qerr.Error()
+			if r.brk.OnFailure() {
+				met.BreakerTrips.Add(1)
+				p.met.Replica(sh.ID, r.Rank).SetState(ReplicaDown)
+			}
+		} else {
+			met.BreakerSkipped.Add(1)
+		}
+		attempts = append(attempts, ReplicaAttempt{Replica: r.Rank, Addr: r.Addr, Cause: cause})
+		if ctx.Err() != nil {
+			// The scatter itself is done; walking further replicas
+			// would only burn dials against a dead deadline.
+			break
+		}
+	}
+	return nil, false, attempts, fmt.Errorf("shard %d: no replica answered", sh.ID)
+}
+
+// admitCause decides whether a replica may be queried; a non-empty
+// return is the quarantine cause. With a prober running, admission is
+// a pure read (Closed) — reintegration of a tripped replica belongs to
+// the prober's half-open pings alone, so queries never race it for the
+// probe slot. Without one (single-replica pools by default), queries
+// themselves probe: a breaker past its cooldown admits exactly one
+// query via Allow, preserving the pre-replication behavior.
+func (p *Pool) admitCause(r *Replica) string {
+	if p.proberOn.Load() {
+		if r.brk.Closed() {
+			return ""
+		}
+		if r.brk.Rejecting() {
+			return "quarantined: circuit breaker open"
+		}
+		return "quarantined: awaiting reintegration probe"
+	}
+	if r.brk.Rejecting() {
+		return "quarantined: circuit breaker open"
+	}
+	if !r.brk.Allow() {
+		return "quarantined: breaker probe in flight"
+	}
+	return ""
+}
+
+// queryReplica runs the per-replica policy for one query: a hedged
 // attempt, then bounded exponential-backoff retries while the failure
 // stays transient. degraded reports whether the answer needed a retry
-// or came from a hedge.
-func (p *Pool) queryShard(ctx context.Context, sh *Shard, req Request) (hits []Hit, degraded bool, err error) {
+// or came from a hedge. The replica's breaker is fed on the caller's
+// side for failures; a success feeds the breaker of whichever replica
+// actually answered (the hedge may have won on a sibling).
+func (p *Pool) queryReplica(ctx context.Context, sh *Shard, r *Replica, req Request) (hits []Hit, degraded bool, err error) {
+	if err := failpoint.Inject("cluster/replica"); err != nil {
+		return nil, false, err
+	}
 	met := p.met.Shard(sh.ID)
 	var lastErr error
 	for attempt := 0; attempt <= p.pol.Retries; attempt++ {
@@ -231,8 +381,10 @@ func (p *Pool) queryShard(ctx context.Context, sh *Shard, req Request) (hits []H
 				break
 			}
 		}
-		hits, hedged, err := p.attemptHedged(ctx, sh, req)
+		hits, winner, hedged, err := p.attemptHedged(ctx, sh, r, req)
 		if err == nil {
+			winner.brk.OnSuccess()
+			p.met.Replica(sh.ID, winner.Rank).SetState(ReplicaHealthy)
 			return hits, attempt > 0 || hedged, nil
 		}
 		lastErr = err
@@ -243,11 +395,13 @@ func (p *Pool) queryShard(ctx context.Context, sh *Shard, req Request) (hits []H
 	return nil, false, lastErr
 }
 
-// attemptHedged runs one policy attempt: the primary request, plus a
-// speculative hedge against the same shard if the primary is still
-// unanswered after HedgeAfter. First success wins; the loser's
-// goroutine unwinds on the shared per-attempt context.
-func (p *Pool) attemptHedged(ctx context.Context, sh *Shard, req Request) (hits []Hit, hedged bool, err error) {
+// attemptHedged runs one policy attempt: the request against r, plus a
+// speculative hedge if r is still unanswered after HedgeAfter. The
+// hedge goes to the next healthy sibling replica (hedgeTarget), racing
+// two processes that hold the same slice; first success wins and the
+// loser's goroutine unwinds on the shared per-attempt context. winner
+// is the replica whose answer was used.
+func (p *Pool) attemptHedged(ctx context.Context, sh *Shard, r *Replica, req Request) (hits []Hit, winner *Replica, hedged bool, err error) {
 	met := p.met.Shard(sh.ID)
 	actx, cancel := context.WithTimeout(ctx, p.pol.Timeout)
 	defer cancel()
@@ -256,16 +410,18 @@ func (p *Pool) attemptHedged(ctx context.Context, sh *Shard, req Request) (hits 
 		hits  []Hit
 		err   error
 		hedge bool
+		from  *Replica
 	}
 	ch := make(chan reply, 2)
-	launch := func(hedge bool) {
+	launch := func(target *Replica, hedge bool) {
 		met.Requests.Add(1)
+		p.met.Replica(sh.ID, target.Rank).Requests.Add(1)
 		go func() {
-			h, e := p.query(actx, sh, req)
-			ch <- reply{hits: h, err: e, hedge: hedge}
+			h, e := p.query(actx, target, req)
+			ch <- reply{hits: h, err: e, hedge: hedge, from: target}
 		}()
 	}
-	launch(false)
+	launch(r, false)
 	inflight := 1
 
 	var hedgeC <-chan time.Time
@@ -285,21 +441,22 @@ func (p *Pool) attemptHedged(ctx context.Context, sh *Shard, req Request) (hits 
 			if firstErr == nil {
 				firstErr = actx.Err()
 			}
-			return nil, false, firstErr
-		case r := <-ch:
+			return nil, nil, false, firstErr
+		case rp := <-ch:
 			inflight--
-			if r.err == nil {
-				if r.hedge {
+			if rp.err == nil {
+				if rp.hedge {
 					met.HedgeWins.Add(1)
 				}
-				return r.hits, r.hedge, nil
+				return rp.hits, rp.from, rp.hedge, nil
 			}
 			met.Errors.Add(1)
+			p.met.Replica(sh.ID, rp.from.Rank).Errors.Add(1)
 			if firstErr == nil {
-				firstErr = r.err
+				firstErr = rp.err
 			}
 			if inflight == 0 {
-				return nil, false, firstErr
+				return nil, nil, false, firstErr
 			}
 			// One request is still in flight; stop arming new hedges
 			// and wait for it.
@@ -307,25 +464,42 @@ func (p *Pool) attemptHedged(ctx context.Context, sh *Shard, req Request) (hits 
 		case <-hedgeC:
 			hedgeC = nil
 			met.Hedges.Add(1)
-			launch(true)
+			launch(p.hedgeTarget(sh, r), true)
 			inflight++
 		}
 	}
 }
 
-// query performs one wire request against a shard: dial, send the
+// hedgeTarget picks where a hedge goes: the next replica after cur in
+// failover order (wrapping) whose breaker is closed, or cur itself
+// when no sibling is healthy — a single-replica shard therefore hedges
+// by re-asking the same process, exactly the pre-replication behavior.
+// The health check is the non-mutating Closed so picking a target
+// never consumes a half-open breaker's probe slot.
+func (p *Pool) hedgeTarget(sh *Shard, cur *Replica) *Replica {
+	n := len(sh.Replicas)
+	for off := 1; off < n; off++ {
+		cand := sh.Replicas[(cur.Rank+off)%n]
+		if cand.brk.Closed() {
+			return cand
+		}
+	}
+	return cur
+}
+
+// query performs one wire request against a replica: dial, send the
 // JSON line, read the JSON answer. The context bounds everything —
 // cancellation closes the connection so a blocked read returns
 // immediately and no goroutine outlives the scatter by more than a
 // connection teardown.
-func (p *Pool) query(ctx context.Context, sh *Shard, req Request) ([]Hit, error) {
+func (p *Pool) query(ctx context.Context, r *Replica, req Request) ([]Hit, error) {
 	if err := failpoint.Inject("cluster/shard"); err != nil {
 		return nil, err
 	}
 	var d net.Dialer
-	conn, err := d.DialContext(ctx, "tcp", sh.Addr)
+	conn, err := d.DialContext(ctx, "tcp", r.Addr)
 	if err != nil {
-		return nil, fmt.Errorf("shard %d: dial: %w", sh.ID, err)
+		return nil, fmt.Errorf("shard %d: dial: %w", r.Shard, err)
 	}
 	defer conn.Close()
 	stop := context.AfterFunc(ctx, func() { conn.Close() })
@@ -334,17 +508,17 @@ func (p *Pool) query(ctx context.Context, sh *Shard, req Request) ([]Hit, error)
 		conn.SetDeadline(dl)
 	}
 	if err := json.NewEncoder(conn).Encode(req); err != nil {
-		return nil, fmt.Errorf("shard %d: send: %w", sh.ID, err)
+		return nil, fmt.Errorf("shard %d: send: %w", r.Shard, err)
 	}
 	var resp Response
 	if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&resp); err != nil {
-		return nil, fmt.Errorf("shard %d: recv: %w", sh.ID, err)
+		return nil, fmt.Errorf("shard %d: recv: %w", r.Shard, err)
 	}
 	if resp.Error != "" {
-		return nil, &ShardError{Shard: sh.ID, Code: resp.Code, Msg: resp.Error}
+		return nil, &ShardError{Shard: r.Shard, Code: resp.Code, Msg: resp.Error}
 	}
 	if resp.ID != req.ID {
-		return nil, fmt.Errorf("shard %d: response for %q, want %q", sh.ID, resp.ID, req.ID)
+		return nil, fmt.Errorf("shard %d: response for %q, want %q", r.Shard, resp.ID, req.ID)
 	}
 	return resp.Hits, nil
 }

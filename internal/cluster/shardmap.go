@@ -99,6 +99,68 @@ func (m *ShardMap) Partition(db []seqio.Sequence) [][]seqio.Sequence {
 	return out
 }
 
+// ReplicaOrder returns the failover preference for a shard's replicas:
+// a permutation of 0..replicas-1 whose first element is the primary.
+// Like Assign it is a pure function of (shard count, replica count,
+// shard index) — no process identity, no time — so every router
+// restart computes the same priorities and a failover never flaps
+// because two routers disagree about who is primary. The permutation
+// is hash-derived rather than constant so that, across shards,
+// primaries spread evenly over the replica ranks: when each rank is a
+// distinct machine hosting one process per slice, 1/R of the primary
+// traffic lands on each machine instead of rank 0 taking all of it.
+func (m *ShardMap) ReplicaOrder(shard, replicas int) []int {
+	if replicas < 1 {
+		panic(fmt.Sprintf("cluster: replica order needs at least 1 replica, got %d", replicas))
+	}
+	order := make([]int, replicas)
+	for r := range order {
+		order[r] = r
+	}
+	keys := make([]uint64, replicas)
+	for r := range keys {
+		keys[r] = hash64(fmt.Sprintf("shards-%d/shard-%d/replica-%d", m.shards, shard, r))
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		if keys[order[i]] != keys[order[j]] {
+			return keys[order[i]] < keys[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	return order
+}
+
+// GroupReplicas splits a flat address list into per-shard ordered
+// replica groups. Addresses are laid out replica-major: with
+// S = len(addrs)/replicas shards, the first S addresses are the rank-0
+// servers of shards 0..S-1, the next S the rank-1 servers, and so on —
+// so a replicas=1 list is exactly the pre-replication layout. Each
+// group is returned in ReplicaOrder priority (primary first), making
+// the whole grouping a pure function of (addrs, replicas).
+func GroupReplicas(addrs []string, replicas int) ([][]string, error) {
+	if replicas < 1 {
+		return nil, fmt.Errorf("cluster: need at least 1 replica, got %d", replicas)
+	}
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("cluster: no shard addresses")
+	}
+	if len(addrs)%replicas != 0 {
+		return nil, fmt.Errorf("cluster: %d addresses do not divide into %d replicas per shard", len(addrs), replicas)
+	}
+	shards := len(addrs) / replicas
+	m := NewShardMap(shards)
+	groups := make([][]string, shards)
+	for s := 0; s < shards; s++ {
+		order := m.ReplicaOrder(s, replicas)
+		group := make([]string, replicas)
+		for i, r := range order {
+			group[i] = addrs[r*shards+s]
+		}
+		groups[s] = group
+	}
+	return groups, nil
+}
+
 // hash64 is FNV-1a with a splitmix64 finalizer; stable across
 // processes and Go releases, unlike maphash. The finalizer matters:
 // FNV-1a alone clusters short structured IDs ("SYN000042",

@@ -124,3 +124,131 @@ func TestNewShardMapRejectsZeroShards(t *testing.T) {
 	}()
 	NewShardMap(0)
 }
+
+// TestReplicaOrderStableAcrossConstructions asserts the failover
+// priority is a pure function of (shards, replicas, shard index):
+// independently built maps agree, so routers never disagree about who
+// a shard's primary is across restarts.
+func TestReplicaOrderStableAcrossConstructions(t *testing.T) {
+	for _, shards := range []int{1, 3, 8} {
+		a, b := NewShardMap(shards), NewShardMap(shards)
+		for _, reps := range []int{1, 2, 3, 5} {
+			for s := 0; s < shards; s++ {
+				oa, ob := a.ReplicaOrder(s, reps), b.ReplicaOrder(s, reps)
+				if !reflect.DeepEqual(oa, ob) {
+					t.Fatalf("shards=%d reps=%d shard=%d: order differs across constructions: %v vs %v",
+						shards, reps, s, oa, ob)
+				}
+			}
+		}
+	}
+}
+
+// TestReplicaOrderIsPermutation asserts every order is a permutation
+// of 0..R-1 — each rank appears exactly once, so the failover walk
+// visits every replica and the non-primary set is exactly the ranks
+// disjoint from the primary.
+func TestReplicaOrderIsPermutation(t *testing.T) {
+	m := NewShardMap(16)
+	for s := 0; s < 16; s++ {
+		for _, reps := range []int{1, 2, 3, 7} {
+			order := m.ReplicaOrder(s, reps)
+			if len(order) != reps {
+				t.Fatalf("shard %d reps=%d: order has %d entries", s, reps, len(order))
+			}
+			seen := make(map[int]bool, reps)
+			for _, r := range order {
+				if r < 0 || r >= reps || seen[r] {
+					t.Fatalf("shard %d reps=%d: not a permutation: %v", s, reps, order)
+				}
+				seen[r] = true
+			}
+			for _, r := range order[1:] {
+				if r == order[0] {
+					t.Fatalf("shard %d reps=%d: primary repeated in failover tail: %v", s, reps, order)
+				}
+			}
+		}
+	}
+}
+
+// TestReplicaOrderSpreadsPrimaries asserts the hash-derived priorities
+// spread primary duty across replica ranks: over many shards, no rank
+// should be primary for almost all of them (a constant order would put
+// every primary on rank 0).
+func TestReplicaOrderSpreadsPrimaries(t *testing.T) {
+	const shards, reps = 64, 4
+	m := NewShardMap(shards)
+	primaries := make(map[int]int)
+	for s := 0; s < shards; s++ {
+		primaries[m.ReplicaOrder(s, reps)[0]]++
+	}
+	for rank := 0; rank < reps; rank++ {
+		n := primaries[rank]
+		// Expected 16 of 64; binomial spread makes 2..35 overwhelmingly
+		// safe while still catching a constant or near-constant order.
+		if n < 2 || n > 35 {
+			t.Fatalf("rank %d is primary for %d of %d shards (want 2..35): %v", rank, n, shards, primaries)
+		}
+	}
+}
+
+// TestGroupReplicasLayout asserts the replica-major address layout:
+// group[s] holds addresses {addrs[r*S+s]} reordered by ReplicaOrder,
+// every address appears in exactly one group, and replicas=1
+// reproduces the flat pre-replication list.
+func TestGroupReplicasLayout(t *testing.T) {
+	addrs := []string{"a0", "a1", "a2", "b0", "b1", "b2"} // 3 shards x 2 replicas
+	groups, err := GroupReplicas(addrs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 3 {
+		t.Fatalf("got %d groups, want 3", len(groups))
+	}
+	m := NewShardMap(3)
+	seen := make(map[string]bool)
+	for s, group := range groups {
+		if len(group) != 2 {
+			t.Fatalf("shard %d has %d replicas, want 2", s, len(group))
+		}
+		order := m.ReplicaOrder(s, 2)
+		for j, addr := range group {
+			want := addrs[order[j]*3+s]
+			if addr != want {
+				t.Fatalf("shard %d rank %d = %q, want %q (order %v)", s, j, addr, want, order)
+			}
+			if seen[addr] {
+				t.Fatalf("address %q grouped twice", addr)
+			}
+			seen[addr] = true
+		}
+	}
+	if len(seen) != len(addrs) {
+		t.Fatalf("groups cover %d of %d addresses", len(seen), len(addrs))
+	}
+
+	flat, err := GroupReplicas([]string{"x", "y", "z"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range flat {
+		if len(g) != 1 || g[0] != []string{"x", "y", "z"}[i] {
+			t.Fatalf("replicas=1 regrouped the list: %v", flat)
+		}
+	}
+}
+
+// TestGroupReplicasRejectsBadShapes covers the error contract: zero
+// replicas, an empty list, and a list that does not divide evenly.
+func TestGroupReplicasRejectsBadShapes(t *testing.T) {
+	if _, err := GroupReplicas([]string{"a", "b"}, 0); err == nil {
+		t.Fatal("replicas=0 accepted")
+	}
+	if _, err := GroupReplicas(nil, 1); err == nil {
+		t.Fatal("empty address list accepted")
+	}
+	if _, err := GroupReplicas([]string{"a", "b", "c"}, 2); err == nil {
+		t.Fatal("3 addresses for 2 replicas accepted")
+	}
+}

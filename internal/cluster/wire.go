@@ -10,7 +10,22 @@ type Request struct {
 	ID       string `json:"id"`
 	Residues string `json:"residues"`
 	Top      int    `json:"top"`
+	// Type selects the request kind; the zero value is a search so
+	// every pre-replication client on the wire stays valid.
+	Type string `json:"type,omitempty"`
 }
+
+// Request types.
+const (
+	// TypeSearch is the zero value: a normal alignment query.
+	TypeSearch = ""
+	// TypePing is the health prober's liveness round-trip: the server
+	// answers immediately with the echoed ID — admission-exempt (it
+	// never touches validation, the breaker, or the batch queue) and
+	// deadline-bounded, so a ping measures process liveness rather
+	// than compute-queue depth.
+	TypePing = "ping"
+)
 
 // Hit is one database match.
 type Hit struct {

@@ -152,7 +152,7 @@ func main() {
 		currentPath  = flag.String("current", "BENCH_ci.json", "this run's test2json stream")
 		outPath      = flag.String("out", "BENCHCHECK_ci.json", "comparison artifact to write ('' disables)")
 		threshold    = flag.Float64("threshold", 1.30, "fail when current/baseline ns/op exceeds this")
-		match        = flag.String("match", `^BenchmarkSearch(EndToEnd|Pipeline)/`, "gate only benchmarks matching this regexp")
+		match        = flag.String("match", `^BenchmarkSearch(EndToEnd|Pipeline|Scatter)/`, "gate only benchmarks matching this regexp")
 	)
 	flag.Parse()
 

@@ -54,12 +54,15 @@ echo "== chaos (failpoint build, race) =="
 go test -race -short -tags failpoint ./...
 
 echo "== cluster e2e (3-shard chaos gate) =="
-# The full scatter-gather stack as it ships: build the real swserver,
-# spawn a 3-shard loopback cluster, route concurrent queries through
-# swrouter, and SIGKILL one shard mid-search. Every merged response
-# must stay bit-identical to a single-node search of the shards that
-# answered, the dead shard must be reported partial, and leakcheck
-# must hold — all under the race detector with failpoints compiled in.
+# The full scatter-gather stack as it ships, both deployment shapes:
+# replicas=1 spawns a 3-shard loopback cluster, SIGKILLs one shard
+# mid-search, and requires every merged response to stay bit-identical
+# to a single-node search of the shards that answered with the dead
+# shard reported partial; replicas=2 spawns 3 shards x 2 replicas,
+# SIGKILLs a primary mid-search, and requires every response complete
+# (partial=false) and bit-identical to the full single-node search —
+# the slice is retried on its surviving replica, not skipped. Both
+# under the race detector with failpoints compiled in, leakchecked.
 go test -race -tags failpoint -run 'TestClusterE2E' -v ./cmd/swrouter
 
 echo "== fuzz smoke =="
@@ -78,7 +81,9 @@ grep -q '"Action":"pass"' BENCH_ci.json || { echo "bench smoke failed" >&2; exit
 # Second pass over the gated end-to-end benchmarks only, appended to
 # the same stream: benchcheck keys on the fastest run per name, and
 # min-of-2 tames the noise a single one-iteration sample carries.
-go test -run '^$' -bench 'BenchmarkSearch(EndToEnd|Pipeline)' -benchtime 1x -json . >> BENCH_ci.json
+# Scatter sub-names carry replicas= so the replicated routing walk is
+# priced separately from the single-copy path.
+go test -run '^$' -bench 'BenchmarkSearch(EndToEnd|Pipeline|Scatter)' -benchtime 1x -json . >> BENCH_ci.json
 
 echo "== benchcheck (regression gate) =="
 # Compare this run's end-to-end search benchmarks against the
